@@ -1,0 +1,20 @@
+//! # cdas-baselines — the machine baselines of the CDAS evaluation
+//!
+//! The paper compares its human-assisted pipelines against two automatic systems:
+//!
+//! * **LIBSVM** for Twitter sentiment classification (Figure 5), substituted here by a
+//!   multinomial Naive-Bayes bag-of-words classifier ([`text::NaiveBayesClassifier`]) plus
+//!   a simpler lexicon-rule classifier ([`text::LexiconRuleClassifier`]), and
+//! * **ALIPR** for automatic image annotation (Figure 17), substituted by a noisy
+//!   feature-affinity tagger ([`image::AutoTagger`]).
+//!
+//! Neither substitute tries to be a state-of-the-art model; they play the same role the
+//! originals play in the paper — automatic systems whose accuracy saturates far below the
+//! crowd on the hard fraction of the workload — so the *shape* of the comparison holds.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod image;
+pub mod text;

@@ -1,0 +1,270 @@
+//! Text-classification baselines for the TSA comparison (the paper's LIBSVM role).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdas_core::types::Label;
+use cdas_workloads::tsa::lexicon;
+use cdas_workloads::tsa::tweets::Tweet;
+use cdas_workloads::tsa::Sentiment;
+
+/// Lower-cased alphanumeric tokens of a text.
+pub fn tokenize(text: &str) -> Vec<String> {
+    text.to_lowercase()
+        .split(|c: char| !c.is_alphanumeric())
+        .filter(|t| !t.is_empty())
+        .map(|t| t.to_string())
+        .collect()
+}
+
+/// A multinomial Naive-Bayes bag-of-words classifier with Laplace smoothing — the
+/// stand-in for the paper's LIBSVM baseline. Trained on labelled tweets about the
+/// *training* movies, evaluated on the held-out test movies (the paper trains on 195 movies
+/// and tests on 5).
+#[derive(Debug, Clone, Default)]
+pub struct NaiveBayesClassifier {
+    /// class → (token → count)
+    token_counts: BTreeMap<Sentiment, BTreeMap<String, usize>>,
+    /// class → total tokens
+    class_tokens: BTreeMap<Sentiment, usize>,
+    /// class → documents
+    class_docs: BTreeMap<Sentiment, usize>,
+    vocabulary: BTreeSet<String>,
+    total_docs: usize,
+}
+
+impl NaiveBayesClassifier {
+    /// An untrained classifier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Train on labelled tweets.
+    pub fn train<'a>(&mut self, tweets: impl IntoIterator<Item = &'a Tweet>) {
+        for tweet in tweets {
+            self.train_one(&tweet.text, tweet.sentiment);
+        }
+    }
+
+    /// Train on one labelled document.
+    pub fn train_one(&mut self, text: &str, sentiment: Sentiment) {
+        *self.class_docs.entry(sentiment).or_insert(0) += 1;
+        self.total_docs += 1;
+        let counts = self.token_counts.entry(sentiment).or_default();
+        for token in tokenize(text) {
+            *counts.entry(token.clone()).or_insert(0) += 1;
+            *self.class_tokens.entry(sentiment).or_insert(0) += 1;
+            self.vocabulary.insert(token);
+        }
+    }
+
+    /// Whether the classifier has seen any training data.
+    pub fn is_trained(&self) -> bool {
+        self.total_docs > 0
+    }
+
+    /// Number of training documents.
+    pub fn training_documents(&self) -> usize {
+        self.total_docs
+    }
+
+    /// Classify a text into a sentiment (falls back to `Neutral` before training).
+    pub fn classify(&self, text: &str) -> Sentiment {
+        if !self.is_trained() {
+            return Sentiment::Neutral;
+        }
+        let tokens = tokenize(text);
+        let vocab = self.vocabulary.len().max(1) as f64;
+        let mut best = (Sentiment::Neutral, f64::NEG_INFINITY);
+        for class in Sentiment::ALL {
+            let docs = *self.class_docs.get(&class).unwrap_or(&0);
+            if docs == 0 {
+                continue;
+            }
+            let mut score = (docs as f64 / self.total_docs as f64).ln();
+            let class_total = *self.class_tokens.get(&class).unwrap_or(&0) as f64;
+            let counts = self.token_counts.get(&class);
+            for token in &tokens {
+                let count = counts
+                    .and_then(|c| c.get(token))
+                    .copied()
+                    .unwrap_or(0) as f64;
+                // Laplace smoothing.
+                score += ((count + 1.0) / (class_total + vocab)).ln();
+            }
+            if score > best.1 {
+                best = (class, score);
+            }
+        }
+        best.0
+    }
+
+    /// Classify a tweet and return the label used by the answering model.
+    pub fn classify_label(&self, text: &str) -> Label {
+        self.classify(text).label()
+    }
+
+    /// Accuracy over a labelled test set.
+    pub fn accuracy<'a>(&self, tweets: impl IntoIterator<Item = &'a Tweet>) -> f64 {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for t in tweets {
+            total += 1;
+            if self.classify(&t.text) == t.sentiment {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+/// A keyword-lexicon rule classifier: count surface-positive and surface-negative phrases
+/// and pick the majority polarity. Even simpler than Naive Bayes; included as a second
+/// machine reference point (the paper cites rule/IR-based approaches alongside SVM).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct LexiconRuleClassifier;
+
+impl LexiconRuleClassifier {
+    /// Create the classifier (stateless).
+    pub fn new() -> Self {
+        LexiconRuleClassifier
+    }
+
+    /// Classify a text by counting lexicon phrase hits.
+    pub fn classify(&self, text: &str) -> Sentiment {
+        let lower = text.to_lowercase();
+        let hits = |phrases: &[&str]| phrases.iter().filter(|p| lower.contains(*p)).count();
+        let pos = hits(lexicon::POSITIVE_PHRASES);
+        let neg = hits(lexicon::NEGATIVE_PHRASES);
+        if pos > neg {
+            Sentiment::Positive
+        } else if neg > pos {
+            Sentiment::Negative
+        } else {
+            Sentiment::Neutral
+        }
+    }
+
+    /// Accuracy over a labelled test set.
+    pub fn accuracy<'a>(&self, tweets: impl IntoIterator<Item = &'a Tweet>) -> f64 {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for t in tweets {
+            total += 1;
+            if self.classify(&t.text) == t.sentiment {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            correct as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_workloads::difficulty::DifficultyModel;
+    use cdas_workloads::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};
+    use cdas_workloads::tsa::MovieCatalog;
+
+    fn corpus(seed: u64, hard_fraction: f64, per_movie: usize, movies: usize) -> Vec<Tweet> {
+        let mut generator = TweetGenerator::new(TweetGeneratorConfig {
+            difficulty: DifficultyModel {
+                hard_fraction,
+                easy_difficulty: 0.05,
+                hard_difficulty: 0.8,
+            },
+            seed,
+            ..TweetGeneratorConfig::default()
+        });
+        let catalog = MovieCatalog::with_size(movies);
+        let mut tweets = Vec::new();
+        for title in catalog.titles() {
+            tweets.extend(generator.generate(title, per_movie));
+        }
+        tweets
+    }
+
+    #[test]
+    fn tokenizer_lowercases_and_splits() {
+        assert_eq!(
+            tokenize("Green Lantern, SUCKS! 100%"),
+            vec!["green", "lantern", "sucks", "100"]
+        );
+        assert!(tokenize("...").is_empty());
+    }
+
+    #[test]
+    fn untrained_classifier_defaults_to_neutral() {
+        let nb = NaiveBayesClassifier::new();
+        assert!(!nb.is_trained());
+        assert_eq!(nb.classify("anything at all"), Sentiment::Neutral);
+    }
+
+    #[test]
+    fn naive_bayes_learns_easy_tweets() {
+        let train = corpus(1, 0.0, 30, 20);
+        let test = corpus(2, 0.0, 30, 10);
+        let mut nb = NaiveBayesClassifier::new();
+        nb.train(&train);
+        assert!(nb.is_trained());
+        assert_eq!(nb.training_documents(), train.len());
+        let acc = nb.accuracy(&test);
+        assert!(acc > 0.8, "easy-tweet accuracy {acc}");
+    }
+
+    #[test]
+    fn naive_bayes_degrades_on_sarcastic_tweets() {
+        // The Figure 5 premise: the machine baseline is markedly worse on the hard mix.
+        let train = corpus(3, 0.15, 30, 20);
+        let mut nb = NaiveBayesClassifier::new();
+        nb.train(&train);
+        let easy_test = corpus(4, 0.0, 40, 8);
+        let hard_test = corpus(5, 1.0, 40, 8);
+        let easy = nb.accuracy(&easy_test);
+        let hard = nb.accuracy(&hard_test);
+        assert!(
+            easy > hard + 0.15,
+            "sarcasm should hurt the classifier: easy {easy} vs hard {hard}"
+        );
+    }
+
+    #[test]
+    fn classify_label_matches_classify() {
+        let train = corpus(6, 0.1, 20, 10);
+        let mut nb = NaiveBayesClassifier::new();
+        nb.train(&train);
+        let t = &train[0];
+        assert_eq!(nb.classify_label(&t.text), nb.classify(&t.text).label());
+    }
+
+    #[test]
+    fn lexicon_rule_handles_clear_polarity() {
+        let rule = LexiconRuleClassifier::new();
+        assert_eq!(rule.classify("this movie is a masterpiece"), Sentiment::Positive);
+        assert_eq!(rule.classify("what a letdown, terrible pacing"), Sentiment::Negative);
+        assert_eq!(rule.classify("the runtime is about two hours"), Sentiment::Neutral);
+    }
+
+    #[test]
+    fn lexicon_rule_is_fooled_by_sarcasm() {
+        let rule = LexiconRuleClassifier::new();
+        // Surface-negative wording with positive ground truth (the "Airbender" example).
+        let hard = corpus(7, 1.0, 50, 5);
+        let acc = rule.accuracy(&hard);
+        assert!(acc < 0.6, "sarcastic tweets should defeat the rule classifier, got {acc}");
+        assert_eq!(rule.accuracy(Vec::<&Tweet>::new().into_iter().collect::<Vec<_>>()), 0.0);
+    }
+
+    #[test]
+    fn empty_test_set_has_zero_accuracy() {
+        let nb = NaiveBayesClassifier::new();
+        assert_eq!(nb.accuracy(Vec::<&Tweet>::new()), 0.0);
+    }
+}

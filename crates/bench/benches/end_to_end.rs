@@ -1,0 +1,54 @@
+//! Criterion benchmark for the whole engine path: publish a HIT on the simulated platform,
+//! sample worker accuracies from gold questions, and verify a 20-question batch — the
+//! per-HIT cost of CDAS itself (excluding human latency, which the simulator compresses).
+
+use cdas_bench::sentiment_question;
+use cdas_core::economics::CostModel;
+use cdas_crowd::pool::{PoolConfig, WorkerPool};
+use cdas_crowd::SimulatedPlatform;
+use cdas_engine::engine::{CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy};
+use cdas_core::online::TerminationStrategy;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let pool = WorkerPool::generate(&PoolConfig::default());
+    let questions: Vec<_> = (0..20u64)
+        .map(|i| {
+            let q = sentiment_question(i, 0.05);
+            if i % 5 == 0 {
+                q.as_gold()
+            } else {
+                q
+            }
+        })
+        .collect();
+    let mut group = c.benchmark_group("end_to_end_hit");
+    group.sample_size(30);
+    for (label, termination) in [("offline", None), ("expmax", Some(TerminationStrategy::ExpMax))] {
+        group.bench_with_input(
+            BenchmarkId::new("run_hit_9_workers", label),
+            &termination,
+            |b, termination| {
+                let engine = CrowdsourcingEngine::new(EngineConfig {
+                    verification: VerificationStrategy::Probabilistic,
+                    termination: *termination,
+                    workers: WorkerCountPolicy::Fixed(9),
+                    domain_size: Some(3),
+                    ..EngineConfig::default()
+                });
+                b.iter(|| {
+                    let mut platform =
+                        SimulatedPlatform::new(pool.clone(), CostModel::default(), 7);
+                    engine
+                        .run_hit(&mut platform, black_box(questions.clone()))
+                        .unwrap()
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

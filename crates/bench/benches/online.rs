@@ -1,0 +1,37 @@
+//! Criterion microbenchmarks for online processing: consuming an answer stream with each
+//! early-termination strategy (Algorithm 5), which the engine runs once per question.
+
+use cdas_bench::{paper_pool, rng, sentiment_question, simulate_observation};
+use cdas_core::online::{OnlineProcessor, TerminationStrategy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_online(c: &mut Criterion) {
+    let pool = paper_pool(7);
+    let question = sentiment_question(0, 0.05);
+    let mut group = c.benchmark_group("online");
+    for &n in &[9usize, 15, 29] {
+        let mut r = rng(100 + n as u64);
+        let votes = simulate_observation(&pool, &question, n, &mut r).votes().to_vec();
+        for strategy in TerminationStrategy::ALL {
+            group.bench_with_input(
+                BenchmarkId::new(strategy.name(), n),
+                &votes,
+                |b, votes| {
+                    b.iter(|| {
+                        let mut processor = OnlineProcessor::new(n, 0.68, strategy)
+                            .unwrap()
+                            .with_domain_size(3);
+                        processor
+                            .run_until_termination(black_box(votes.iter().cloned()))
+                            .unwrap()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_online);
+criterion_main!(benches);

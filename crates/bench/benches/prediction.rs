@@ -1,0 +1,34 @@
+//! Criterion microbenchmarks for the prediction model (Theorem 3, Algorithms 2–3): the
+//! cost of the conservative bound, the exact binomial expectation, and the binary search,
+//! which the engine runs once per HIT.
+
+use cdas_core::prediction::{
+    conservative_worker_estimate, expected_majority_probability, refined_worker_estimate,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_prediction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prediction");
+    group.bench_function("conservative_estimate_c99", |b| {
+        b.iter(|| conservative_worker_estimate(black_box(0.99), black_box(0.7)).unwrap())
+    });
+    for &n in &[9u64, 29, 101, 1001] {
+        group.bench_with_input(
+            BenchmarkId::new("expected_majority_probability", n),
+            &n,
+            |b, &n| b.iter(|| expected_majority_probability(black_box(n), black_box(0.7))),
+        );
+    }
+    for &c_req in &[0.8f64, 0.95, 0.99] {
+        group.bench_with_input(
+            BenchmarkId::new("refined_estimate", format!("{c_req}")),
+            &c_req,
+            |b, &c_req| b.iter(|| refined_worker_estimate(black_box(c_req), black_box(0.7)).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prediction);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion microbenchmarks for the verification model: Equation 4 over observations of
+//! growing size, compared with the voting baselines — the per-question cost of phase 2.
+
+use cdas_bench::{paper_pool, rng, sentiment_question, simulate_observation};
+use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+use cdas_core::verification::Verifier;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_verification(c: &mut Criterion) {
+    let pool = paper_pool(42);
+    let question = sentiment_question(0, 0.05);
+    let mut group = c.benchmark_group("verification");
+    for &n in &[5usize, 15, 29, 101] {
+        let mut r = rng(n as u64);
+        let observation = simulate_observation(&pool, &question, n, &mut r);
+        group.bench_with_input(BenchmarkId::new("probabilistic", n), &observation, |b, obs| {
+            let verifier = ProbabilisticVerifier::with_domain_size(3);
+            b.iter(|| verifier.verify(black_box(obs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("half_voting", n), &observation, |b, obs| {
+            let verifier = HalfVoting::new(n);
+            b.iter(|| verifier.decide(black_box(obs)).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("majority_voting", n), &observation, |b, obs| {
+            let verifier = MajorityVoting::new();
+            b.iter(|| verifier.decide(black_box(obs)).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_verification);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Regenerate the tables and figures of the CDAS evaluation.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p cdas-bench --release --bin reproduce -- all
+//! cargo run -p cdas-bench --release --bin reproduce -- fig7 fig8
+//! cargo run -p cdas-bench --release --bin reproduce -- --csv fig6
+//! cargo run -p cdas-bench --release --bin reproduce -- --list
+//! ```
+
+use cdas_bench::experiments;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let csv = args.iter().any(|a| a == "--csv");
+    let list = args.iter().any(|a| a == "--list");
+    let targets: Vec<String> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|a| a.to_lowercase())
+        .collect();
+
+    let available = experiments::all();
+    if list {
+        println!("available experiments:");
+        for (name, _) in &available {
+            println!("  {name}");
+        }
+        return;
+    }
+    if targets.is_empty() {
+        eprintln!("usage: reproduce [--csv] [--list] <all | table4 | fig5 .. fig18>...");
+        std::process::exit(2);
+    }
+
+    let run_all = targets.iter().any(|t| t == "all");
+    let mut ran = 0usize;
+    for (name, runner) in available {
+        if run_all || targets.iter().any(|t| t == name) {
+            let table = runner();
+            if csv {
+                println!("# {}", table.title);
+                print!("{}", table.to_csv());
+            } else {
+                println!("{}", table.render());
+            }
+            ran += 1;
+        }
+    }
+    if ran == 0 {
+        eprintln!("no experiment matched {targets:?}; use --list to see the available ids");
+        std::process::exit(2);
+    }
+}

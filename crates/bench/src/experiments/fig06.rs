@@ -1,0 +1,33 @@
+//! Figure 6 — number of workers required: the conservative (Chernoff) estimate versus the
+//! binary-search refinement, as the user-required accuracy grows from 0.65 to 0.99.
+
+use cdas_core::prediction::PredictionModel;
+
+use crate::{paper_pool, sentiment_question, Table};
+
+/// Run the worker-estimate comparison using the paper pool's true mean accuracy.
+pub fn run() -> Table {
+    let pool = paper_pool(1);
+    let mu = pool.true_mean_accuracy(&sentiment_question(0, 0.0));
+    let model = PredictionModel::new(mu).expect("paper pool mean accuracy exceeds 0.5");
+    let mut table = Table::new(
+        format!("Figure 6 — number of workers required (mu = {mu:.3})"),
+        &["required accuracy", "conservative", "binary search"],
+    );
+    let mut c = 0.65;
+    while c <= 0.991 {
+        table.push_row(vec![
+            format!("{c:.2}"),
+            model.conservative_workers(c).unwrap().to_string(),
+            model.refined_workers(c).unwrap().to_string(),
+        ]);
+        c += 0.05;
+    }
+    // The paper's right-most point.
+    table.push_row(vec![
+        "0.99".into(),
+        model.conservative_workers(0.99).unwrap().to_string(),
+        model.refined_workers(0.99).unwrap().to_string(),
+    ]);
+    table
+}

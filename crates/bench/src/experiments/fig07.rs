@@ -1,0 +1,46 @@
+//! Figure 7 — real accuracy of the three verification models as the number of workers per
+//! question grows from 1 to 29.
+
+use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+use cdas_core::verification::Verifier;
+
+use crate::{fmt, paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const TRIALS: usize = 300;
+
+/// Measure accuracy (no-answer counts as wrong) for every strategy and worker count.
+pub fn run() -> Table {
+    let pool = paper_pool(7);
+    let mut r = rng(77);
+    let mut table = Table::new(
+        format!("Figure 7 — real accuracy vs number of workers ({TRIALS} questions per point)"),
+        &["workers", "Majority-Voting", "Half-Voting", "Verification"],
+    );
+    for n in (1..=29usize).step_by(2) {
+        let mut correct = [0usize; 3];
+        for i in 0..TRIALS {
+            let question = sentiment_question(i as u64, if i % 6 == 0 { 0.5 } else { 0.05 });
+            let observation = simulate_observation(&pool, &question, n, &mut r);
+            let verdicts = [
+                MajorityVoting::new().decide(&observation).unwrap(),
+                HalfVoting::new(n).decide(&observation).unwrap(),
+                ProbabilisticVerifier::with_domain_size(3)
+                    .decide(&observation)
+                    .unwrap(),
+            ];
+            for (k, v) in verdicts.iter().enumerate() {
+                if v.label() == Some(&question.ground_truth) {
+                    correct[k] += 1;
+                }
+            }
+        }
+        table.push_row(vec![
+            n.to_string(),
+            fmt(correct[0] as f64 / TRIALS as f64),
+            fmt(correct[1] as f64 / TRIALS as f64),
+            fmt(correct[2] as f64 / TRIALS as f64),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,53 @@
+//! Figure 8 — real accuracy of the three verification models when the number of workers is
+//! chosen by the prediction model for a user-required accuracy between 0.65 and 0.95.
+
+use cdas_core::prediction::PredictionModel;
+use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+use cdas_core::verification::Verifier;
+
+use crate::{fmt, paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const TRIALS: usize = 300;
+
+/// Measure accuracy for each required-accuracy level.
+pub fn run() -> Table {
+    let pool = paper_pool(8);
+    let mu = pool.true_mean_accuracy(&sentiment_question(0, 0.0));
+    let prediction = PredictionModel::new(mu).unwrap();
+    let mut r = rng(88);
+    let mut table = Table::new(
+        format!("Figure 8 — real accuracy vs user-required accuracy (mu = {mu:.3})"),
+        &["required", "workers", "Majority-Voting", "Half-Voting", "Verification"],
+    );
+    let mut c = 0.65;
+    while c <= 0.951 {
+        let n = prediction.refined_workers(c).unwrap() as usize;
+        let mut correct = [0usize; 3];
+        for i in 0..TRIALS {
+            let question = sentiment_question(i as u64, if i % 6 == 0 { 0.5 } else { 0.05 });
+            let observation = simulate_observation(&pool, &question, n, &mut r);
+            let verdicts = [
+                MajorityVoting::new().decide(&observation).unwrap(),
+                HalfVoting::new(n).decide(&observation).unwrap(),
+                ProbabilisticVerifier::with_domain_size(3)
+                    .decide(&observation)
+                    .unwrap(),
+            ];
+            for (k, v) in verdicts.iter().enumerate() {
+                if v.label() == Some(&question.ground_truth) {
+                    correct[k] += 1;
+                }
+            }
+        }
+        table.push_row(vec![
+            format!("{c:.2}"),
+            n.to_string(),
+            fmt(correct[0] as f64 / TRIALS as f64),
+            fmt(correct[1] as f64 / TRIALS as f64),
+            fmt(correct[2] as f64 / TRIALS as f64),
+        ]);
+        c += 0.05;
+    }
+    table
+}

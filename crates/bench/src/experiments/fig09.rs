@@ -1,0 +1,40 @@
+//! Figure 9 — percentage of reviews for which the voting models fail to produce an answer,
+//! as the number of workers grows.
+
+use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+use cdas_core::verification::Verifier;
+
+use crate::{paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const TRIALS: usize = 300;
+
+/// Measure the no-answer ratio of both voting models per worker count.
+pub fn run() -> Table {
+    let pool = paper_pool(9);
+    let mut r = rng(99);
+    let mut table = Table::new(
+        format!("Figure 9 — no-answer ratio vs number of workers ({TRIALS} reviews per point)"),
+        &["workers", "Majority-Voting", "Half-Voting"],
+    );
+    for n in (1..=29usize).step_by(2) {
+        let mut undecided = [0usize; 2];
+        for i in 0..TRIALS {
+            // The review mix includes the hard (ambiguous) fraction the paper blames for
+            // persistent ties.
+            let question = sentiment_question(i as u64, if i % 5 == 0 { 0.6 } else { 0.1 });
+            let observation = simulate_observation(&pool, &question, n, &mut r);
+            if !MajorityVoting::new().decide(&observation).unwrap().is_accepted() {
+                undecided[0] += 1;
+            }
+            if !HalfVoting::new(n).decide(&observation).unwrap().is_accepted() {
+                undecided[1] += 1;
+            }
+        }
+        table.push_row(vec![
+            n.to_string(),
+            format!("{:.1}%", undecided[0] as f64 / TRIALS as f64 * 100.0),
+            format!("{:.1}%", undecided[1] as f64 / TRIALS as f64 * 100.0),
+        ]);
+    }
+    table
+}

@@ -1,0 +1,38 @@
+//! Figure 10 — percentage of reviews with no answer as the number of reviews grows (fixed
+//! worker count): the ratio is stable, i.e. indecisive reviews are spread uniformly.
+
+use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+use cdas_core::verification::Verifier;
+
+use crate::{paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const WORKERS: usize = 5;
+
+/// Measure the no-answer ratio for growing review counts.
+pub fn run() -> Table {
+    let pool = paper_pool(10);
+    let mut r = rng(1010);
+    let mut table = Table::new(
+        format!("Figure 10 — no-answer ratio vs number of reviews ({WORKERS} workers)"),
+        &["reviews", "Majority-Voting", "Half-Voting"],
+    );
+    for reviews in (20..=300usize).step_by(40) {
+        let mut undecided = [0usize; 2];
+        for i in 0..reviews {
+            let question = sentiment_question(i as u64, if i % 5 == 0 { 0.6 } else { 0.1 });
+            let observation = simulate_observation(&pool, &question, WORKERS, &mut r);
+            if !MajorityVoting::new().decide(&observation).unwrap().is_accepted() {
+                undecided[0] += 1;
+            }
+            if !HalfVoting::new(WORKERS).decide(&observation).unwrap().is_accepted() {
+                undecided[1] += 1;
+            }
+        }
+        table.push_row(vec![
+            reviews.to_string(),
+            format!("{:.1}%", undecided[0] as f64 / reviews as f64 * 100.0),
+            format!("{:.1}%", undecided[1] as f64 / reviews as f64 * 100.0),
+        ]);
+    }
+    table
+}

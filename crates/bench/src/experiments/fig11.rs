@@ -1,0 +1,65 @@
+//! Figure 11 — effect of the answer-arrival sequence: the accuracy of the approximate
+//! result of one HIT (50 reviews, 30 workers) as answers arrive, under four different
+//! arrival permutations of the same answer set.
+
+use cdas_core::types::Vote;
+use cdas_core::verification::confidence::answer_confidences;
+use cdas_core::types::Observation;
+use rand::seq::SliceRandom;
+
+use crate::{fmt, paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const REVIEWS: usize = 50;
+const WORKERS: usize = 30;
+
+/// Replay the same HIT under four arrival orders and report accuracy after every 5 answers.
+pub fn run() -> Table {
+    let pool = paper_pool(11);
+    let mut r = rng(1111);
+    // The full answer sets: per review, 30 votes.
+    let questions: Vec<_> = (0..REVIEWS)
+        .map(|i| sentiment_question(i as u64, if i % 6 == 0 { 0.5 } else { 0.05 }))
+        .collect();
+    let answer_sets: Vec<Vec<Vote>> = questions
+        .iter()
+        .map(|q| simulate_observation(&pool, q, WORKERS, &mut r).votes().to_vec())
+        .collect();
+
+    let mut table = Table::new(
+        "Figure 11 — accuracy of the approximate result vs answers arrived, per arrival sequence",
+        &["answers", "sequence 1", "sequence 2", "sequence 3", "sequence 4"],
+    );
+    // Four permutations of the arrival order (sequence 1 is the original order).
+    let mut orders: Vec<Vec<Vec<Vote>>> = Vec::new();
+    for s in 0..4u64 {
+        let mut perm_rng = rng(2000 + s);
+        let permuted: Vec<Vec<Vote>> = answer_sets
+            .iter()
+            .map(|votes| {
+                let mut v = votes.clone();
+                if s > 0 {
+                    v.shuffle(&mut perm_rng);
+                }
+                v
+            })
+            .collect();
+        orders.push(permuted);
+    }
+
+    for arrived in (5..=WORKERS).step_by(5) {
+        let mut row = vec![arrived.to_string()];
+        for order in &orders {
+            let mut correct = 0usize;
+            for (q, votes) in questions.iter().zip(order.iter()) {
+                let partial = Observation::from_votes(votes[..arrived].to_vec());
+                let ranking = answer_confidences(&partial, 3);
+                if ranking.first().map(|(l, _)| l) == Some(&q.ground_truth) {
+                    correct += 1;
+                }
+            }
+            row.push(fmt(correct as f64 / REVIEWS as f64));
+        }
+        table.push_row(row);
+    }
+    table
+}

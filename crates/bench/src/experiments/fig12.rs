@@ -1,0 +1,53 @@
+//! Figure 12 — effect of early termination on the number of workers actually consumed, per
+//! termination strategy, against the prediction model's estimate (the "red line").
+
+use cdas_core::online::{OnlineProcessor, TerminationStrategy};
+use cdas_core::prediction::PredictionModel;
+
+use crate::{fmt, paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const TRIALS: usize = 200;
+
+/// Measure the mean number of answers consumed per strategy and required accuracy.
+pub fn run() -> Table {
+    let pool = paper_pool(12);
+    let mu = pool.true_mean_accuracy(&sentiment_question(0, 0.0));
+    let prediction = PredictionModel::new(mu).unwrap();
+    let mut r = rng(1212);
+    let mut table = Table::new(
+        format!("Figure 12 — workers consumed with early termination (mu = {mu:.3})"),
+        &["required", "predicted n", "MinExp", "MinMax", "ExpMax"],
+    );
+    let mut c = 0.65;
+    while c <= 0.951 {
+        let n = prediction.refined_workers(c).unwrap() as usize;
+        let mut consumed = [0usize; 3];
+        for i in 0..TRIALS {
+            let question = sentiment_question(i as u64, if i % 6 == 0 { 0.5 } else { 0.05 });
+            let votes = simulate_observation(&pool, &question, n, &mut r).votes().to_vec();
+            for (k, strategy) in [
+                TerminationStrategy::MinExp,
+                TerminationStrategy::MinMax,
+                TerminationStrategy::ExpMax,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut processor = OnlineProcessor::new(n, mu, strategy)
+                    .unwrap()
+                    .with_domain_size(3);
+                let outcome = processor.run_until_termination(votes.iter().cloned()).unwrap();
+                consumed[k] += outcome.answers_received;
+            }
+        }
+        table.push_row(vec![
+            format!("{c:.2}"),
+            n.to_string(),
+            fmt(consumed[0] as f64 / TRIALS as f64),
+            fmt(consumed[1] as f64 / TRIALS as f64),
+            fmt(consumed[2] as f64 / TRIALS as f64),
+        ]);
+        c += 0.05;
+    }
+    table
+}

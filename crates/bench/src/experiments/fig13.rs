@@ -1,0 +1,54 @@
+//! Figure 13 — effect of early termination on the *real accuracy*, per termination
+//! strategy, against the user-required accuracy.
+
+use cdas_core::online::{OnlineProcessor, TerminationStrategy};
+use cdas_core::prediction::PredictionModel;
+
+use crate::{fmt, paper_pool, rng, sentiment_question, simulate_observation, Table};
+
+const TRIALS: usize = 200;
+
+/// Measure the accuracy of the early-terminated result per strategy and required accuracy.
+pub fn run() -> Table {
+    let pool = paper_pool(13);
+    let mu = pool.true_mean_accuracy(&sentiment_question(0, 0.0));
+    let prediction = PredictionModel::new(mu).unwrap();
+    let mut r = rng(1313);
+    let mut table = Table::new(
+        format!("Figure 13 — real accuracy with early termination (mu = {mu:.3})"),
+        &["required", "MinExp", "MinMax", "ExpMax"],
+    );
+    let mut c = 0.65;
+    while c <= 0.951 {
+        let n = prediction.refined_workers(c).unwrap() as usize;
+        let mut correct = [0usize; 3];
+        for i in 0..TRIALS {
+            let question = sentiment_question(i as u64, if i % 8 == 0 { 0.4 } else { 0.05 });
+            let votes = simulate_observation(&pool, &question, n, &mut r).votes().to_vec();
+            for (k, strategy) in [
+                TerminationStrategy::MinExp,
+                TerminationStrategy::MinMax,
+                TerminationStrategy::ExpMax,
+            ]
+            .into_iter()
+            .enumerate()
+            {
+                let mut processor = OnlineProcessor::new(n, mu, strategy)
+                    .unwrap()
+                    .with_domain_size(3);
+                let outcome = processor.run_until_termination(votes.iter().cloned()).unwrap();
+                if outcome.best.map(|(l, _)| l) == Some(question.ground_truth.clone()) {
+                    correct[k] += 1;
+                }
+            }
+        }
+        table.push_row(vec![
+            format!("{c:.2}"),
+            fmt(correct[0] as f64 / TRIALS as f64),
+            fmt(correct[1] as f64 / TRIALS as f64),
+            fmt(correct[2] as f64 / TRIALS as f64),
+        ]);
+        c += 0.05;
+    }
+    table
+}

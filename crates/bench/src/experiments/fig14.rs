@@ -1,0 +1,38 @@
+//! Figure 14 — worker accuracy versus AMT approval rate: the percentage of workers falling
+//! into each 5-point band, for the real (task) accuracy and the publicly visible approval
+//! rate. The two distributions are very different, which is why CDAS estimates accuracy by
+//! sampling instead of trusting approval rates.
+
+use crate::{paper_pool, Table};
+
+/// Histogram both distributions over the paper's 25–100 % bands.
+pub fn run() -> Table {
+    let pool = paper_pool(14);
+    let pairs = pool.accuracy_vs_approval();
+    let n = pairs.len() as f64;
+    let mut table = Table::new(
+        "Figure 14 — worker accuracy vs approval rate (fraction of workers per band)",
+        &["band", "real accuracy", "approval rate"],
+    );
+    let mut lo = 0.25;
+    while lo < 1.0 - 1e-9 {
+        let hi = lo + 0.05;
+        let acc = pairs
+            .iter()
+            .filter(|(a, _)| *a >= lo && (*a < hi || (hi >= 1.0 && *a <= 1.0)))
+            .count() as f64
+            / n;
+        let app = pairs
+            .iter()
+            .filter(|(_, p)| *p >= lo && (*p < hi || (hi >= 1.0 && *p <= 1.0)))
+            .count() as f64
+            / n;
+        table.push_row(vec![
+            format!("{:.0}-{:.0}%", lo * 100.0, hi * 100.0),
+            format!("{:.1}%", acc * 100.0),
+            format!("{:.1}%", app * 100.0),
+        ]);
+        lo = hi;
+    }
+    table
+}

@@ -1,0 +1,65 @@
+//! Figure 15 — effect of the sampling rate on the worker-accuracy estimates: mean estimated
+//! accuracy and mean absolute error against the 100 %-sampling reference.
+
+use std::collections::BTreeMap;
+
+use cdas_core::sampling::{SamplingEstimator, SamplingPlan};
+use cdas_core::types::QuestionId;
+
+use crate::{fmt, paper_pool, rng, sentiment_question, Table};
+
+const BATCH: usize = 100;
+const WORKERS: usize = 40;
+
+/// Estimate worker accuracies at several sampling rates and compare to full sampling.
+pub fn run() -> Table {
+    let pool = paper_pool(15);
+    let mut r = rng(1515);
+    // Every worker answers all 100 questions of a calibration batch once.
+    let questions: Vec<_> = (0..BATCH)
+        .map(|i| sentiment_question(i as u64, 0.05))
+        .collect();
+    let workers: Vec<_> = pool.assign(WORKERS, &mut r).into_iter().cloned().collect();
+    let answers: Vec<Vec<cdas_core::types::Label>> = workers
+        .iter()
+        .map(|w| questions.iter().map(|q| w.answer(q, &mut r)).collect())
+        .collect();
+
+    // Reference: estimates from answering every question (100 % sampling).
+    let estimate_at = |rate: f64| -> BTreeMap<cdas_core::types::WorkerId, f64> {
+        let plan = SamplingPlan::new(BATCH, rate).unwrap();
+        let mut estimator = SamplingEstimator::new();
+        for (w, row) in workers.iter().zip(answers.iter()) {
+            for (i, answer) in row.iter().enumerate() {
+                if plan.is_gold(i) {
+                    estimator.record(w.id, QuestionId(i as u64), answer, &questions[i].ground_truth);
+                }
+            }
+        }
+        workers
+            .iter()
+            .filter_map(|w| estimator.accuracy_of(w.id).map(|a| (w.id, a)))
+            .collect()
+    };
+    let reference = estimate_at(1.0);
+
+    let mut table = Table::new(
+        format!("Figure 15 — effect of sampling rate on worker-accuracy estimation ({WORKERS} workers, B = {BATCH})"),
+        &["sampling rate", "mean accuracy", "mean abs error"],
+    );
+    for rate in [0.1, 0.2, 0.4, 0.6, 0.8, 1.0] {
+        let estimates = estimate_at(rate);
+        let mean = estimates.values().sum::<f64>() / estimates.len().max(1) as f64;
+        let err = estimates
+            .iter()
+            .map(|(w, a)| (a - reference.get(w).copied().unwrap_or(*a)).abs())
+            .sum::<f64>()
+            / estimates.len().max(1) as f64;
+        table.push_row(vec![
+            format!("{:.0}%", rate * 100.0),
+            fmt(mean),
+            fmt(err),
+        ]);
+    }
+    table
+}

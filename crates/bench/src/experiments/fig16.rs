@@ -1,0 +1,85 @@
+//! Figure 16 — effect of the sampling rate on the verification accuracy: the engine
+//! estimates worker accuracies from the gold questions of each HIT and verifies the real
+//! questions with them; lower sampling rates give noisier estimates and lower accuracy.
+
+use cdas_core::online::TerminationStrategy;
+use cdas_crowd::platform::SimulatedPlatform;
+use cdas_crowd::pool::PoolConfig;
+use cdas_crowd::pool::WorkerPool;
+use cdas_engine::engine::{
+    AccuracySource, CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy,
+};
+use cdas_engine::metrics::score_hit;
+use cdas_core::economics::CostModel;
+use cdas_core::prediction::PredictionModel;
+use cdas_core::sampling::SamplingPlan;
+
+use crate::{fmt, sentiment_question, Table};
+
+const BATCH: usize = 60;
+
+/// Run the engine at several sampling rates and required accuracies.
+pub fn run() -> Table {
+    let pool = WorkerPool::generate(&PoolConfig {
+        size: 400,
+        seed: 16,
+        ..PoolConfig::default()
+    });
+    let mu = pool.true_mean_accuracy(&sentiment_question(0, 0.0));
+    let prediction = PredictionModel::new(mu).unwrap();
+    let _ = TerminationStrategy::ALL; // (documented alternative: run with early termination)
+
+    let mut table = Table::new(
+        format!("Figure 16 — verification accuracy vs required accuracy per sampling rate (mu = {mu:.3})"),
+        &["required", "rate 5%", "rate 10%", "rate 20%", "rate 100%"],
+    );
+    let mut c = 0.65;
+    while c <= 0.951 {
+        let n = prediction.refined_workers(c).unwrap() as usize;
+        let mut row = vec![format!("{c:.2}")];
+        for rate in [0.05, 0.10, 0.20, 1.0] {
+            let plan = SamplingPlan::new(BATCH, rate).unwrap();
+            let questions: Vec<_> = (0..BATCH)
+                .map(|i| {
+                    let q = sentiment_question(i as u64, if i % 8 == 0 { 0.4 } else { 0.05 });
+                    if plan.is_gold(i) {
+                        q.as_gold()
+                    } else {
+                        q
+                    }
+                })
+                .collect();
+            let engine = CrowdsourcingEngine::new(EngineConfig {
+                verification: VerificationStrategy::Probabilistic,
+                workers: WorkerCountPolicy::Fixed(n),
+                required_accuracy: c,
+                accuracy_source: AccuracySource::GoldSampling,
+                default_worker_accuracy: mu,
+                domain_size: Some(3),
+                ..EngineConfig::default()
+            });
+            let mut platform = SimulatedPlatform::new(
+                pool.clone(),
+                CostModel::default(),
+                (c * 100.0) as u64 + (rate * 1000.0) as u64,
+            );
+            let outcome = engine.run_hit(&mut platform, questions.clone()).unwrap();
+            // At 100 % sampling every question is gold; score those instead of the (empty)
+            // set of real questions.
+            let report = if rate >= 1.0 {
+                let correct = outcome
+                    .verdicts
+                    .iter()
+                    .filter(|v| v.verdict.label() == Some(&questions[0].ground_truth))
+                    .count();
+                correct as f64 / outcome.verdicts.len() as f64
+            } else {
+                score_hit(&questions, &outcome).accuracy
+            };
+            row.push(fmt(report));
+        }
+        table.push_row(row);
+        c += 0.1;
+    }
+    table
+}

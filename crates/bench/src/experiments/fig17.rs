@@ -1,0 +1,60 @@
+//! Figure 17 — crowdsourcing versus the automatic image tagger (the ALIPR stand-in): per
+//! subject, the tagger's accuracy against IT with 1, 3 and 5 workers on 20 images each.
+
+use cdas_baselines::image::AutoTagger;
+use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+use cdas_core::verification::Verifier;
+use cdas_crowd::question::CrowdQuestion;
+use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};
+use cdas_workloads::it::FIGURE17_SUBJECTS;
+
+use crate::{fmt, paper_pool, rng, simulate_observation, Table};
+
+const IMAGES_PER_SUBJECT: usize = 20;
+
+/// Run the per-subject comparison.
+pub fn run() -> Table {
+    // Train the automatic tagger on a disjoint image collection.
+    let mut train_gen = ImageGenerator::new(ImageGeneratorConfig {
+        seed: 1700,
+        ..ImageGeneratorConfig::default()
+    });
+    let mut tagger = AutoTagger::new();
+    for subject in FIGURE17_SUBJECTS {
+        let images = train_gen.generate(subject, 20);
+        tagger.train(&images);
+    }
+
+    let pool = paper_pool(17);
+    let mut r = rng(1717);
+    let mut table = Table::new(
+        format!("Figure 17 — crowdsourcing vs automatic tagger ({IMAGES_PER_SUBJECT} images per subject)"),
+        &["subject", "auto tagger", "IT 1 worker", "IT 3 workers", "IT 5 workers"],
+    );
+    for (i, subject) in FIGURE17_SUBJECTS.iter().enumerate() {
+        let mut test_gen = ImageGenerator::new(ImageGeneratorConfig {
+            seed: 1800 + i as u64,
+            ..ImageGeneratorConfig::default()
+        });
+        let images = test_gen.generate(subject, IMAGES_PER_SUBJECT);
+        let machine = tagger.accuracy(&images);
+        let mut row = vec![subject.to_string(), fmt(machine)];
+        for workers in [1usize, 3, 5] {
+            let mut correct = 0usize;
+            for img in &images {
+                let question = CrowdQuestion::new(img.id, img.domain(), img.truth_label())
+                    .with_difficulty(img.difficulty);
+                let observation = simulate_observation(&pool, &question, workers, &mut r);
+                let verdict = ProbabilisticVerifier::with_domain_size(img.candidates.len())
+                    .decide(&observation)
+                    .unwrap();
+                if verdict.label() == Some(&question.ground_truth) {
+                    correct += 1;
+                }
+            }
+            row.push(fmt(correct as f64 / images.len() as f64));
+        }
+        table.push_row(row);
+    }
+    table
+}

@@ -1,0 +1,60 @@
+//! Figure 18 — image tagging: real accuracy achieved versus the user-required accuracy,
+//! with the worker count chosen by the prediction model.
+
+use cdas_core::prediction::PredictionModel;
+use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+use cdas_core::verification::Verifier;
+use cdas_crowd::question::CrowdQuestion;
+use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};
+use cdas_workloads::it::FIGURE17_SUBJECTS;
+
+use crate::{fmt, paper_pool, rng, simulate_observation, Table};
+
+/// Run the required-vs-real accuracy sweep for the IT application.
+pub fn run() -> Table {
+    let pool = paper_pool(18);
+    let mut r = rng(1818);
+    // Mean accuracy on a representative tagging question (8 candidate tags).
+    let mut gen = ImageGenerator::new(ImageGeneratorConfig {
+        seed: 1888,
+        ..ImageGeneratorConfig::default()
+    });
+    let sample_img = gen.generate_one("sun");
+    let reference = CrowdQuestion::new(sample_img.id, sample_img.domain(), sample_img.truth_label());
+    let mu = pool.true_mean_accuracy(&reference);
+    let prediction = PredictionModel::new(mu).unwrap();
+
+    // Evaluation images: the 100-image set of the paper (20 per subject).
+    let mut images = Vec::new();
+    for subject in FIGURE17_SUBJECTS {
+        images.extend(gen.generate(subject, 20));
+    }
+
+    let mut table = Table::new(
+        format!("Figure 18 — IT real accuracy vs user-required accuracy (mu = {mu:.3})"),
+        &["required", "workers", "real accuracy"],
+    );
+    let mut c = 0.80;
+    while c <= 0.961 {
+        let n = prediction.refined_workers(c).unwrap() as usize;
+        let mut correct = 0usize;
+        for img in &images {
+            let question = CrowdQuestion::new(img.id, img.domain(), img.truth_label())
+                .with_difficulty(img.difficulty);
+            let observation = simulate_observation(&pool, &question, n, &mut r);
+            let verdict = ProbabilisticVerifier::with_domain_size(img.candidates.len())
+                .decide(&observation)
+                .unwrap();
+            if verdict.label() == Some(&question.ground_truth) {
+                correct += 1;
+            }
+        }
+        table.push_row(vec![
+            format!("{c:.2}"),
+            n.to_string(),
+            fmt(correct as f64 / images.len() as f64),
+        ]);
+        c += 0.02;
+    }
+    table
+}

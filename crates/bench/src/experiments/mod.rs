@@ -1,0 +1,40 @@
+//! One module per table/figure of the CDAS evaluation (see DESIGN.md §4 for the index).
+
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod fig11;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig18;
+pub mod table04;
+
+use crate::Table;
+
+/// Every experiment, keyed by the id accepted by the `reproduce` binary.
+pub fn all() -> Vec<(&'static str, fn() -> Table)> {
+    vec![
+        ("table4", table04::run as fn() -> Table),
+        ("fig5", fig05::run),
+        ("fig6", fig06::run),
+        ("fig7", fig07::run),
+        ("fig8", fig08::run),
+        ("fig9", fig09::run),
+        ("fig10", fig10::run),
+        ("fig11", fig11::run),
+        ("fig12", fig12::run),
+        ("fig13", fig13::run),
+        ("fig14", fig14::run),
+        ("fig15", fig15::run),
+        ("fig16", fig16::run),
+        ("fig17", fig17::run),
+        ("fig18", fig18::run),
+    ]
+}

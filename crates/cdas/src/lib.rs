@@ -1,0 +1,54 @@
+//! # cdas — umbrella crate of the CDAS reproduction
+//!
+//! Re-exports every sub-crate under one roof so applications can depend on a single crate:
+//!
+//! * [`core`] — the quality-sensitive answering model (prediction, verification, online
+//!   processing, sampling, presentation, economics),
+//! * [`crowd`] — the simulated crowdsourcing platform (the AMT substitute),
+//! * [`workloads`] — the synthetic TSA and IT workloads,
+//! * [`baselines`] — the machine baselines (LIBSVM / ALIPR substitutes),
+//! * [`engine`] — the CDAS query engine and the two end-to-end applications.
+//!
+//! The workspace-level `examples/` and `tests/` directories are registered against this
+//! crate; see the repository README for a guided tour.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub use cdas_baselines as baselines;
+pub use cdas_core as core;
+pub use cdas_crowd as crowd;
+pub use cdas_engine as engine;
+pub use cdas_workloads as workloads;
+
+/// A convenient prelude pulling in the types most programs need.
+pub mod prelude {
+    pub use cdas_core::economics::CostModel;
+    pub use cdas_core::model::QualitySensitiveModel;
+    pub use cdas_core::online::TerminationStrategy;
+    pub use cdas_core::prediction::PredictionModel;
+    pub use cdas_core::types::{Label, Observation, QuestionId, Vote, WorkerId};
+    pub use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+    pub use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+    pub use cdas_core::verification::{Verdict, Verifier};
+    pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    pub use cdas_crowd::{CrowdPlatform, SimulatedPlatform};
+    pub use cdas_engine::apps::{ImageTaggingApp, ItConfig, TsaApp, TsaConfig};
+    pub use cdas_engine::{
+        CrowdsourcingEngine, EngineConfig, Query, VerificationStrategy,
+    };
+    pub use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};
+    pub use cdas_workloads::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn prelude_reexports_compile() {
+        use crate::prelude::*;
+        let model = PredictionModel::new(0.8).unwrap();
+        assert!(model.refined_workers(0.9).unwrap() >= 1);
+        let _ = CostModel::default();
+    }
+}

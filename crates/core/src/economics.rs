@@ -1,0 +1,200 @@
+//! The economic model of the crowd platform (§3.1): what a query costs.
+//!
+//! Every worker answering a HIT is paid `m_c`, and the platform charges `m_s` per worker
+//! per HIT, so a HIT with `n` workers costs `(m_c + m_s)·n`. A TSA query that receives `K`
+//! candidate tweets per time unit over a window of `w` units costs
+//! `(m_c + m_s) · n · K · w`, and with the prediction model `n = g(C)`, the cost becomes
+//! `(m_c + m_s) · K · w · g(C)`.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CdasError, Result};
+
+/// Price of one worker answering one HIT: the worker fee `m_c` plus the platform fee `m_s`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Reward paid to the worker per HIT (`m_c`), in dollars.
+    pub worker_fee: f64,
+    /// Fee paid to the platform per worker per HIT (`m_s`), in dollars.
+    pub platform_fee: f64,
+}
+
+impl Default for CostModel {
+    /// The paper's running example: one cent per worker per HIT, plus a 10 % platform fee
+    /// (AMT's historical commission).
+    fn default() -> Self {
+        CostModel {
+            worker_fee: 0.01,
+            platform_fee: 0.001,
+        }
+    }
+}
+
+impl CostModel {
+    /// Create a cost model, validating that both fees are non-negative.
+    pub fn new(worker_fee: f64, platform_fee: f64) -> Result<Self> {
+        if worker_fee < 0.0 || worker_fee.is_nan() {
+            return Err(CdasError::NonPositive { what: "worker fee" });
+        }
+        if platform_fee < 0.0 || platform_fee.is_nan() {
+            return Err(CdasError::NonPositive { what: "platform fee" });
+        }
+        Ok(CostModel {
+            worker_fee,
+            platform_fee,
+        })
+    }
+
+    /// The combined price per worker per HIT, `m_c + m_s`.
+    pub fn per_assignment(&self) -> f64 {
+        self.worker_fee + self.platform_fee
+    }
+
+    /// Cost of one HIT answered by `n` workers: `(m_c + m_s)·n`.
+    pub fn hit_cost(&self, workers: u64) -> f64 {
+        self.per_assignment() * workers as f64
+    }
+
+    /// Cost of a windowed query: `(m_c + m_s) · n · K · w` where `K` is the number of HITs
+    /// (candidate items) per time unit and `w` the number of time units.
+    pub fn query_cost(&self, workers: u64, items_per_unit: u64, window_units: u64) -> f64 {
+        self.hit_cost(workers) * items_per_unit as f64 * window_units as f64
+    }
+
+    /// Cost saved by early termination: the difference between paying for `planned` workers
+    /// and paying only the `consumed` answers actually delivered before cancellation.
+    pub fn savings(&self, planned: u64, consumed: u64) -> f64 {
+        self.hit_cost(planned.saturating_sub(consumed.min(planned)))
+    }
+}
+
+/// Running budget tracker used by the engine to enforce a spending cap across HITs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Budget {
+    /// Maximum spend allowed, in dollars; `None` means unlimited.
+    pub limit: Option<f64>,
+    spent: f64,
+}
+
+impl Budget {
+    /// An unlimited budget.
+    pub fn unlimited() -> Self {
+        Budget {
+            limit: None,
+            spent: 0.0,
+        }
+    }
+
+    /// A budget capped at `limit` dollars.
+    pub fn capped(limit: f64) -> Result<Self> {
+        if limit < 0.0 || limit.is_nan() {
+            return Err(CdasError::NonPositive { what: "budget limit" });
+        }
+        Ok(Budget {
+            limit: Some(limit),
+            spent: 0.0,
+        })
+    }
+
+    /// Amount spent so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining budget (`None` when unlimited).
+    pub fn remaining(&self) -> Option<f64> {
+        self.limit.map(|l| (l - self.spent).max(0.0))
+    }
+
+    /// Whether a charge of `amount` fits in the remaining budget.
+    pub fn can_afford(&self, amount: f64) -> bool {
+        match self.limit {
+            None => true,
+            Some(limit) => self.spent + amount <= limit + 1e-12,
+        }
+    }
+
+    /// Record a charge. Returns an error (and records nothing) when the budget would be
+    /// exceeded.
+    pub fn charge(&mut self, amount: f64) -> Result<()> {
+        if amount < 0.0 || amount.is_nan() {
+            return Err(CdasError::NonPositive { what: "charge amount" });
+        }
+        if !self.can_afford(amount) {
+            return Err(CdasError::NonPositive { what: "remaining budget" });
+        }
+        self.spent += amount;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cost_model_validation() {
+        assert!(CostModel::new(-0.01, 0.0).is_err());
+        assert!(CostModel::new(0.01, -0.1).is_err());
+        assert!(CostModel::new(f64::NAN, 0.0).is_err());
+        assert!(CostModel::new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn hit_and_query_cost_follow_the_formulas() {
+        let model = CostModel::new(0.01, 0.001).unwrap();
+        assert!((model.per_assignment() - 0.011).abs() < 1e-12);
+        assert!((model.hit_cost(5) - 0.055).abs() < 1e-12);
+        // (m_c + m_s) · n · K · w with n = 5, K = 20 tweets/unit, w = 10 units.
+        assert!((model.query_cost(5, 20, 10) - 11.0).abs() < 1e-9);
+        assert_eq!(model.query_cost(5, 0, 10), 0.0);
+    }
+
+    #[test]
+    fn default_model_matches_paper_example() {
+        let model = CostModel::default();
+        assert!((model.worker_fee - 0.01).abs() < 1e-12);
+        assert!(model.per_assignment() > 0.01);
+    }
+
+    #[test]
+    fn savings_from_early_termination() {
+        let model = CostModel::new(0.01, 0.0).unwrap();
+        assert!((model.savings(29, 13) - 0.16).abs() < 1e-12);
+        assert_eq!(model.savings(5, 5), 0.0);
+        // Over-delivery never yields negative savings.
+        assert_eq!(model.savings(5, 9), 0.0);
+    }
+
+    #[test]
+    fn budget_tracks_spending() {
+        let mut b = Budget::capped(1.0).unwrap();
+        assert_eq!(b.remaining(), Some(1.0));
+        assert!(b.can_afford(0.5));
+        b.charge(0.6).unwrap();
+        assert!((b.spent() - 0.6).abs() < 1e-12);
+        assert!(!b.can_afford(0.5));
+        assert!(b.charge(0.5).is_err());
+        assert!((b.spent() - 0.6).abs() < 1e-12, "failed charge must not be recorded");
+        b.charge(0.4).unwrap();
+        assert!((b.remaining().unwrap()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unlimited_budget_accepts_everything() {
+        let mut b = Budget::unlimited();
+        assert_eq!(b.remaining(), None);
+        for _ in 0..100 {
+            b.charge(123.0).unwrap();
+        }
+        assert!(b.spent() > 12_000.0);
+    }
+
+    #[test]
+    fn budget_validation() {
+        assert!(Budget::capped(-1.0).is_err());
+        let mut b = Budget::capped(1.0).unwrap();
+        assert!(b.charge(-0.1).is_err());
+        assert!(b.charge(f64::NAN).is_err());
+    }
+}

@@ -1,0 +1,111 @@
+//! Error type shared by every module of the quality-sensitive answering model.
+
+use std::fmt;
+
+/// Convenient result alias used throughout the crate.
+pub type Result<T, E = CdasError> = std::result::Result<T, E>;
+
+/// Errors produced by the quality-sensitive answering model.
+///
+/// Every variant carries enough context to explain *why* a model refused to produce an
+/// estimate; callers in the engine surface these directly to the job requester.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CdasError {
+    /// The mean worker accuracy `μ` is not usable by the prediction model.
+    ///
+    /// Theorem 3 requires `μ > 0.5`: if the average worker is no better than a coin flip,
+    /// no number of workers makes a majority reliable.
+    InvalidMeanAccuracy {
+        /// The offending mean accuracy.
+        mu: f64,
+    },
+    /// A worker accuracy outside `(0, 1)` was supplied where an open-interval value is
+    /// required (e.g. when computing the log-odds confidence).
+    InvalidWorkerAccuracy {
+        /// The offending accuracy value.
+        accuracy: f64,
+    },
+    /// The user-required accuracy `C` is outside the half-open interval `[0, 1)`.
+    InvalidRequiredAccuracy {
+        /// The offending required accuracy.
+        required: f64,
+    },
+    /// An observation with no votes was given to a component that needs at least one vote.
+    EmptyObservation,
+    /// The answer domain is too small (fewer than two possible answers).
+    DegenerateDomain {
+        /// The offending domain size.
+        size: usize,
+    },
+    /// A sampling plan was requested with a rate outside `(0, 1]`.
+    InvalidSamplingRate {
+        /// The offending sampling rate.
+        rate: f64,
+    },
+    /// A quantity that must be positive was zero or negative.
+    NonPositive {
+        /// Human-readable name of the quantity.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for CdasError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CdasError::InvalidMeanAccuracy { mu } => write!(
+                f,
+                "mean worker accuracy must be in (0.5, 1.0) for the prediction model, got {mu}"
+            ),
+            CdasError::InvalidWorkerAccuracy { accuracy } => {
+                write!(f, "worker accuracy must lie strictly inside (0, 1), got {accuracy}")
+            }
+            CdasError::InvalidRequiredAccuracy { required } => {
+                write!(f, "required accuracy must lie in [0, 1), got {required}")
+            }
+            CdasError::EmptyObservation => write!(f, "observation contains no votes"),
+            CdasError::DegenerateDomain { size } => {
+                write!(f, "answer domain must contain at least 2 answers, got {size}")
+            }
+            CdasError::InvalidSamplingRate { rate } => {
+                write!(f, "sampling rate must lie in (0, 1], got {rate}")
+            }
+            CdasError::NonPositive { what } => write!(f, "{what} must be positive"),
+        }
+    }
+}
+
+impl std::error::Error for CdasError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offending_values() {
+        let e = CdasError::InvalidMeanAccuracy { mu: 0.4 };
+        assert!(e.to_string().contains("0.4"));
+        let e = CdasError::InvalidRequiredAccuracy { required: 1.2 };
+        assert!(e.to_string().contains("1.2"));
+        let e = CdasError::InvalidWorkerAccuracy { accuracy: -0.1 };
+        assert!(e.to_string().contains("-0.1"));
+        let e = CdasError::InvalidSamplingRate { rate: 0.0 };
+        assert!(e.to_string().contains('0'));
+        let e = CdasError::DegenerateDomain { size: 1 };
+        assert!(e.to_string().contains('1'));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&CdasError::EmptyObservation);
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CdasError::EmptyObservation, CdasError::EmptyObservation);
+        assert_ne!(
+            CdasError::EmptyObservation,
+            CdasError::NonPositive { what: "n" }
+        );
+    }
+}

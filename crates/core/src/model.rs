@@ -1,0 +1,203 @@
+//! The quality-sensitive answering model facade: one object bundling the prediction model,
+//! the probability-based verifier, the online-termination policy and the cost model, as the
+//! crowdsourcing engine consumes them (Algorithm 1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::economics::CostModel;
+use crate::error::Result;
+use crate::online::{OnlineProcessor, TerminationStrategy};
+use crate::prediction::PredictionModel;
+use crate::types::Observation;
+use crate::verification::probabilistic::{ProbabilisticVerifier, VerificationResult};
+
+/// A plan for one HIT: how many workers to request and what it will cost.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkerPlan {
+    /// Number of workers to assign (always odd).
+    pub workers: u64,
+    /// The user-required accuracy the plan was built for.
+    pub required_accuracy: f64,
+    /// The expected accuracy `E[P_{n/2}]` the plan achieves.
+    pub expected_accuracy: f64,
+    /// The price of the HIT under the configured cost model.
+    pub cost: f64,
+}
+
+/// The complete quality-sensitive answering model (§1: "the core part of CDAS").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QualitySensitiveModel {
+    prediction: PredictionModel,
+    verifier: ProbabilisticVerifier,
+    termination: TerminationStrategy,
+    cost: CostModel,
+}
+
+impl QualitySensitiveModel {
+    /// Build a model from the population mean accuracy `μ`, using the paper's recommended
+    /// defaults elsewhere: probabilistic verification with per-observation domain
+    /// estimation, ExpMax early termination, and the default AMT-style cost model.
+    pub fn new(mean_accuracy: f64) -> Result<Self> {
+        Ok(QualitySensitiveModel {
+            prediction: PredictionModel::new(mean_accuracy)?,
+            verifier: ProbabilisticVerifier::new(),
+            termination: TerminationStrategy::ExpMax,
+            cost: CostModel::default(),
+        })
+    }
+
+    /// Use a fixed answer-domain size (e.g. 3 for sentiment labels).
+    pub fn with_domain_size(mut self, m: usize) -> Self {
+        self.verifier = ProbabilisticVerifier::with_domain_size(m);
+        self
+    }
+
+    /// Change the early-termination strategy.
+    pub fn with_termination(mut self, strategy: TerminationStrategy) -> Self {
+        self.termination = strategy;
+        self
+    }
+
+    /// Change the cost model.
+    pub fn with_cost_model(mut self, cost: CostModel) -> Self {
+        self.cost = cost;
+        self
+    }
+
+    /// The underlying prediction model.
+    pub fn prediction(&self) -> &PredictionModel {
+        &self.prediction
+    }
+
+    /// The underlying probabilistic verifier.
+    pub fn verifier(&self) -> &ProbabilisticVerifier {
+        &self.verifier
+    }
+
+    /// The configured termination strategy.
+    pub fn termination(&self) -> TerminationStrategy {
+        self.termination
+    }
+
+    /// The configured cost model.
+    pub fn cost_model(&self) -> &CostModel {
+        &self.cost
+    }
+
+    /// Phase 1 of Algorithm 1: plan a HIT for the required accuracy `c`.
+    pub fn plan(&self, c: f64) -> Result<WorkerPlan> {
+        let workers = self.prediction.refined_workers(c)?;
+        let expected_accuracy = self.prediction.expected_accuracy(workers)?;
+        Ok(WorkerPlan {
+            workers,
+            required_accuracy: c,
+            expected_accuracy,
+            cost: self.cost.hit_cost(workers),
+        })
+    }
+
+    /// Phase 2 of Algorithm 1 (offline variant): verify a complete observation.
+    pub fn verify(&self, observation: &Observation) -> Result<VerificationResult> {
+        self.verifier.verify(observation)
+    }
+
+    /// Phase 2 of Algorithm 1 (online variant): build an online processor for a HIT planned
+    /// with [`QualitySensitiveModel::plan`].
+    pub fn online_processor(&self, plan: &WorkerPlan) -> Result<OnlineProcessor> {
+        let processor = OnlineProcessor::new(
+            plan.workers as usize,
+            self.prediction.mean_accuracy(),
+            self.termination,
+        )?;
+        Ok(match self.verifier.effective_domain(&Observation::empty()) {
+            // A fixed domain configured on the verifier propagates to the online processor;
+            // the estimated case keeps per-observation estimation.
+            m if self.has_fixed_domain() => processor.with_domain_size(m),
+            _ => processor,
+        })
+    }
+
+    fn has_fixed_domain(&self) -> bool {
+        // The verifier reports the same effective domain for an empty observation only when
+        // it was constructed with a fixed size; the estimating verifier returns the floor
+        // of 2 which we also treat as "not fixed" (estimation continues per observation).
+        self.verifier.effective_domain(&Observation::empty()) > 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Label, Vote, WorkerId};
+
+    #[test]
+    fn plan_meets_required_accuracy_and_prices_the_hit() {
+        let model = QualitySensitiveModel::new(0.75).unwrap();
+        let plan = model.plan(0.95).unwrap();
+        assert_eq!(plan.workers % 2, 1);
+        assert!(plan.expected_accuracy >= 0.95);
+        assert!((plan.cost - model.cost_model().hit_cost(plan.workers)).abs() < 1e-12);
+        assert_eq!(plan.required_accuracy, 0.95);
+    }
+
+    #[test]
+    fn verify_delegates_to_probabilistic_verifier() {
+        let model = QualitySensitiveModel::new(0.75).unwrap().with_domain_size(3);
+        let obs = Observation::from_votes(vec![
+            Vote::new(WorkerId(1), Label::from("pos"), 0.54),
+            Vote::new(WorkerId(2), Label::from("pos"), 0.31),
+            Vote::new(WorkerId(3), Label::from("neu"), 0.49),
+            Vote::new(WorkerId(4), Label::from("neg"), 0.73),
+            Vote::new(WorkerId(5), Label::from("pos"), 0.46),
+        ]);
+        assert_eq!(model.verify(&obs).unwrap().best().as_str(), "neg");
+    }
+
+    #[test]
+    fn online_processor_uses_plan_and_strategy() {
+        let model = QualitySensitiveModel::new(0.8)
+            .unwrap()
+            .with_domain_size(3)
+            .with_termination(TerminationStrategy::ExpMax);
+        assert_eq!(model.termination(), TerminationStrategy::ExpMax);
+        let plan = model.plan(0.9).unwrap();
+        let mut processor = model.online_processor(&plan).unwrap();
+        let mut terminated_after = None;
+        for i in 0..plan.workers {
+            let o = processor
+                .consume(Vote::new(WorkerId(i), Label::from("good"), 0.85))
+                .unwrap();
+            if o.terminated {
+                terminated_after = Some(o.answers_received);
+                break;
+            }
+        }
+        let consumed = terminated_after.unwrap_or(plan.workers as usize);
+        assert!(consumed <= plan.workers as usize);
+        // ExpMax on unanimous answers should save workers relative to the plan when the
+        // plan involves more than one worker.
+        if plan.workers > 3 {
+            assert!(consumed < plan.workers as usize);
+        }
+    }
+
+    #[test]
+    fn builders_are_chainable() {
+        let model = QualitySensitiveModel::new(0.7)
+            .unwrap()
+            .with_domain_size(5)
+            .with_termination(TerminationStrategy::MinMax)
+            .with_cost_model(CostModel::new(0.02, 0.002).unwrap());
+        assert_eq!(model.termination(), TerminationStrategy::MinMax);
+        assert!((model.cost_model().worker_fee - 0.02).abs() < 1e-12);
+        assert!((model.prediction().mean_accuracy() - 0.7).abs() < 1e-12);
+        let plan = model.plan(0.9).unwrap();
+        assert!(plan.cost > 0.0);
+    }
+
+    #[test]
+    fn invalid_mean_accuracy_is_rejected() {
+        assert!(QualitySensitiveModel::new(0.5).is_err());
+        assert!(QualitySensitiveModel::new(0.3).is_err());
+    }
+}

@@ -1,0 +1,17 @@
+//! Online processing (§4.2): produce an approximate answer from a *partial* observation
+//! and terminate the HIT early once the answer can no longer change (or is unlikely to).
+//!
+//! * [`partial`] — confidence of answers under a partial observation (Theorem 6 shows the
+//!   offline Equation 4 applies unchanged).
+//! * [`termination`] — the MinMax / MinExp / ExpMax early-termination conditions built on
+//!   the extreme-case bounds of Equations 5 and 6.
+//! * [`processor`] — Algorithm 5: the loop that consumes answers one at a time, updates
+//!   confidences and stops as soon as the termination condition fires.
+
+pub mod partial;
+pub mod processor;
+pub mod termination;
+
+pub use partial::PartialConfidence;
+pub use processor::{OnlineOutcome, OnlineProcessor};
+pub use termination::{TerminationConfig, TerminationStrategy};

@@ -1,0 +1,157 @@
+//! Confidence of answers under a partial observation (§4.2.1).
+//!
+//! Theorem 6: when workers answer independently and answers arrive in random order, the
+//! expected posterior over all possible completions of the remaining answers equals the
+//! posterior computed from the partial observation alone, `ρ(r) = P(r | Ω′)`. The partial
+//! confidence therefore reuses Equation 4; this module packages it together with the
+//! bookkeeping needed by the termination strategies (how many answers are still missing
+//! and what confidence an *unseen* average worker would carry).
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CdasError, Result};
+use crate::math::clamp_probability;
+use crate::types::{Label, Observation};
+use crate::verification::confidence::{answer_confidences, worker_confidence};
+use crate::verification::domain::DomainEstimator;
+
+/// Confidence computation over a partial observation `Ω′` of a HIT assigned to `n` workers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PartialConfidence {
+    /// Total number of workers the HIT was assigned to (`n`).
+    pub assigned_workers: usize,
+    /// Mean accuracy `E[a_i]` assumed for the workers that have not answered yet.
+    pub mean_accuracy: f64,
+    /// Domain-size estimator (or fixed size) used in Equation 4.
+    pub domain: DomainEstimator,
+    fixed_domain: Option<usize>,
+}
+
+impl PartialConfidence {
+    /// Create a partial-confidence computation for a HIT assigned to `assigned_workers`
+    /// workers whose population mean accuracy is `mean_accuracy`.
+    pub fn new(assigned_workers: usize, mean_accuracy: f64) -> Result<Self> {
+        if assigned_workers == 0 {
+            return Err(CdasError::NonPositive { what: "assigned workers" });
+        }
+        if !(0.0..=1.0).contains(&mean_accuracy) || mean_accuracy.is_nan() {
+            return Err(CdasError::InvalidWorkerAccuracy {
+                accuracy: mean_accuracy,
+            });
+        }
+        Ok(PartialConfidence {
+            assigned_workers,
+            mean_accuracy: clamp_probability(mean_accuracy),
+            domain: DomainEstimator::new(),
+            fixed_domain: None,
+        })
+    }
+
+    /// Use a fixed answer-domain size instead of estimating it per observation.
+    pub fn with_domain_size(mut self, m: usize) -> Self {
+        self.fixed_domain = Some(m.max(2));
+        self.domain = DomainEstimator::with_declared_size(m);
+        self
+    }
+
+    /// The effective domain size `m` for an observation.
+    pub fn effective_domain(&self, observation: &Observation) -> usize {
+        match self.fixed_domain {
+            Some(m) => m,
+            None => self.domain.estimate(observation.distinct_answers()),
+        }
+    }
+
+    /// Number of answers still outstanding for this HIT.
+    pub fn remaining(&self, observation: &Observation) -> usize {
+        self.assigned_workers.saturating_sub(observation.len())
+    }
+
+    /// `ρ(r) = P(r | Ω′)` for every observed answer (Theorem 6), best first.
+    pub fn confidences(&self, observation: &Observation) -> Result<Vec<(Label, f64)>> {
+        if observation.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        Ok(answer_confidences(
+            observation,
+            self.effective_domain(observation),
+        ))
+    }
+
+    /// The confidence weight `c̄ = ln((m−1)·E[a]/(1−E[a]))` carried by one not-yet-seen
+    /// worker, used by the extreme-case bounds of the termination strategies.
+    pub fn unseen_worker_confidence(&self, observation: &Observation) -> f64 {
+        worker_confidence(self.mean_accuracy, self.effective_domain(observation))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Vote, WorkerId};
+
+    fn obs(entries: &[(&str, f64)]) -> Observation {
+        Observation::from_votes(
+            entries
+                .iter()
+                .enumerate()
+                .map(|(i, (l, a))| Vote::new(WorkerId(i as u64), Label::from(*l), *a))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn construction_validation() {
+        assert!(PartialConfidence::new(0, 0.7).is_err());
+        assert!(PartialConfidence::new(5, 1.5).is_err());
+        assert!(PartialConfidence::new(5, f64::NAN).is_err());
+        assert!(PartialConfidence::new(5, 0.7).is_ok());
+    }
+
+    #[test]
+    fn partial_equals_offline_equation_4() {
+        // Theorem 6: the partial confidence is just Equation 4 on the received votes.
+        let pc = PartialConfidence::new(9, 0.75).unwrap().with_domain_size(3);
+        let observation = obs(&[("pos", 0.8), ("neg", 0.6), ("pos", 0.7)]);
+        let partial = pc.confidences(&observation).unwrap();
+        let offline = answer_confidences(&observation, 3);
+        assert_eq!(partial, offline);
+    }
+
+    #[test]
+    fn remaining_counts_down() {
+        let pc = PartialConfidence::new(5, 0.7).unwrap();
+        let mut observation = Observation::empty();
+        assert_eq!(pc.remaining(&observation), 5);
+        observation.push(Vote::new(WorkerId(0), Label::from("a"), 0.7));
+        assert_eq!(pc.remaining(&observation), 4);
+        for i in 1..7 {
+            observation.push(Vote::new(WorkerId(i), Label::from("a"), 0.7));
+        }
+        // More answers than assigned (platform over-delivery) never underflows.
+        assert_eq!(pc.remaining(&observation), 0);
+    }
+
+    #[test]
+    fn unseen_worker_confidence_uses_mean_accuracy() {
+        let pc = PartialConfidence::new(5, 0.8).unwrap().with_domain_size(3);
+        let observation = obs(&[("a", 0.9)]);
+        let c = pc.unseen_worker_confidence(&observation);
+        assert!((c - worker_confidence(0.8, 3)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_observation_has_no_confidences() {
+        let pc = PartialConfidence::new(5, 0.7).unwrap();
+        assert!(pc.confidences(&Observation::empty()).is_err());
+    }
+
+    #[test]
+    fn effective_domain_estimated_when_not_fixed() {
+        let pc = PartialConfidence::new(5, 0.7).unwrap();
+        let observation = obs(&[("a", 0.8), ("b", 0.7), ("c", 0.9), ("d", 0.6)]);
+        assert!(pc.effective_domain(&observation) >= 4);
+        let fixed = PartialConfidence::new(5, 0.7).unwrap().with_domain_size(4);
+        assert_eq!(fixed.effective_domain(&observation), 4);
+    }
+}

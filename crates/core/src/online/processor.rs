@@ -1,0 +1,268 @@
+//! Algorithm 5: the online processing loop.
+//!
+//! The processor consumes one answer at a time (as the crowd platform delivers them),
+//! recomputes the confidence of every distinct answer, and reports whether the configured
+//! early-termination condition is satisfied. The engine uses it to (a) render approximate
+//! results while the HIT is still running and (b) cancel the HIT as soon as the answer is
+//! good enough, which caps the crowdsourcing cost.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CdasError, Result};
+use crate::online::partial::PartialConfidence;
+use crate::online::termination::{TerminationConfig, TerminationStrategy};
+use crate::types::{Label, Observation, Vote};
+
+/// Snapshot of the online state after consuming an answer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineOutcome {
+    /// Current best answer and its confidence (`None` before the first answer).
+    pub best: Option<(Label, f64)>,
+    /// Confidence ranking over every observed answer, best first.
+    pub ranking: Vec<(Label, f64)>,
+    /// Number of answers consumed so far (`n′`).
+    pub answers_received: usize,
+    /// Whether the termination condition fired at (or before) this point.
+    pub terminated: bool,
+}
+
+/// The online processor for a single question of a HIT (Algorithm 5).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct OnlineProcessor {
+    termination: TerminationConfig,
+    observation: Observation,
+    terminated_at: Option<usize>,
+}
+
+impl OnlineProcessor {
+    /// Create a processor for a HIT assigned to `assigned_workers` workers with population
+    /// mean accuracy `mean_accuracy`, using the given termination strategy.
+    pub fn new(
+        assigned_workers: usize,
+        mean_accuracy: f64,
+        strategy: TerminationStrategy,
+    ) -> Result<Self> {
+        let partial = PartialConfidence::new(assigned_workers, mean_accuracy)?;
+        Ok(OnlineProcessor {
+            termination: TerminationConfig::new(strategy, partial),
+            observation: Observation::empty(),
+            terminated_at: None,
+        })
+    }
+
+    /// Fix the answer-domain size `m` instead of estimating it per observation.
+    pub fn with_domain_size(mut self, m: usize) -> Self {
+        self.termination.partial = self.termination.partial.with_domain_size(m);
+        self
+    }
+
+    /// The observation accumulated so far.
+    pub fn observation(&self) -> &Observation {
+        &self.observation
+    }
+
+    /// Number of answers consumed.
+    pub fn answers_received(&self) -> usize {
+        self.observation.len()
+    }
+
+    /// The answer index (1-based) at which the termination condition first fired, if it
+    /// has fired.
+    pub fn terminated_at(&self) -> Option<usize> {
+        self.terminated_at
+    }
+
+    /// Whether the termination condition has fired.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated_at.is_some()
+    }
+
+    /// Consume one answer and return the refreshed outcome (one iteration of the
+    /// `while not all answers are returned` loop of Algorithm 5).
+    ///
+    /// Answers arriving after termination are still folded into the confidence estimate
+    /// (the platform may deliver them before the cancellation takes effect) but do not
+    /// reset the termination point.
+    pub fn consume(&mut self, vote: Vote) -> Result<OnlineOutcome> {
+        self.observation.push(vote);
+        let ranking = self
+            .termination
+            .partial
+            .confidences(&self.observation)?;
+        if self.terminated_at.is_none() && self.termination.should_terminate(&self.observation)? {
+            self.terminated_at = Some(self.observation.len());
+        }
+        Ok(OnlineOutcome {
+            best: ranking.first().cloned(),
+            ranking,
+            answers_received: self.observation.len(),
+            terminated: self.is_terminated(),
+        })
+    }
+
+    /// Current outcome without consuming a new answer.
+    pub fn current(&self) -> Result<OnlineOutcome> {
+        if self.observation.is_empty() {
+            return Ok(OnlineOutcome {
+                best: None,
+                ranking: Vec::new(),
+                answers_received: 0,
+                terminated: false,
+            });
+        }
+        let ranking = self
+            .termination
+            .partial
+            .confidences(&self.observation)?;
+        Ok(OnlineOutcome {
+            best: ranking.first().cloned(),
+            ranking,
+            answers_received: self.observation.len(),
+            terminated: self.is_terminated(),
+        })
+    }
+
+    /// Run the processor over a full answer sequence, stopping at the first termination
+    /// point, and return the final outcome together with the number of answers consumed.
+    ///
+    /// This is the batch counterpart used by the experiment harness; `consume` is the
+    /// streaming interface used by the engine.
+    pub fn run_until_termination(
+        &mut self,
+        answers: impl IntoIterator<Item = Vote>,
+    ) -> Result<OnlineOutcome> {
+        let mut last = self.current()?;
+        for vote in answers {
+            last = self.consume(vote)?;
+            if last.terminated {
+                break;
+            }
+        }
+        if last.answers_received == 0 {
+            return Err(CdasError::EmptyObservation);
+        }
+        Ok(last)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::WorkerId;
+    use crate::verification::confidence::answer_confidences;
+
+    fn vote(i: u64, label: &str, accuracy: f64) -> Vote {
+        Vote::new(WorkerId(i), Label::from(label), accuracy)
+    }
+
+    #[test]
+    fn consumes_answers_and_tracks_best() {
+        let mut p = OnlineProcessor::new(5, 0.75, TerminationStrategy::MinMax)
+            .unwrap()
+            .with_domain_size(3);
+        assert_eq!(p.current().unwrap().answers_received, 0);
+        let o1 = p.consume(vote(1, "pos", 0.8)).unwrap();
+        assert_eq!(o1.best.as_ref().unwrap().0.as_str(), "pos");
+        assert_eq!(o1.answers_received, 1);
+        let o2 = p.consume(vote(2, "neg", 0.9)).unwrap();
+        assert_eq!(o2.best.as_ref().unwrap().0.as_str(), "neg");
+        assert_eq!(p.answers_received(), 2);
+        assert_eq!(p.observation().len(), 2);
+    }
+
+    #[test]
+    fn online_confidence_converges_to_offline() {
+        // After all n answers arrive, the online ranking equals the offline Equation 4.
+        let answers = vec![
+            vote(1, "pos", 0.54),
+            vote(2, "pos", 0.31),
+            vote(3, "neu", 0.49),
+            vote(4, "neg", 0.73),
+            vote(5, "pos", 0.46),
+        ];
+        let mut p = OnlineProcessor::new(5, 0.5, TerminationStrategy::MinMax)
+            .unwrap()
+            .with_domain_size(3);
+        let mut last = None;
+        for a in answers.clone() {
+            last = Some(p.consume(a).unwrap());
+        }
+        let offline = answer_confidences(&Observation::from_votes(answers), 3);
+        assert_eq!(last.unwrap().ranking, offline);
+    }
+
+    #[test]
+    fn termination_point_is_recorded_once() {
+        let mut p = OnlineProcessor::new(5, 0.8, TerminationStrategy::ExpMax)
+            .unwrap()
+            .with_domain_size(3);
+        let mut fired_at = None;
+        for i in 0..5u64 {
+            let o = p.consume(vote(i, "a", 0.9)).unwrap();
+            if o.terminated && fired_at.is_none() {
+                fired_at = Some(o.answers_received);
+            }
+        }
+        assert!(fired_at.is_some(), "unanimous votes must eventually terminate");
+        assert_eq!(p.terminated_at(), fired_at);
+        assert!(p.is_terminated());
+        // ExpMax with strong agreement should fire before all 5 answers arrive.
+        assert!(fired_at.unwrap() < 5);
+    }
+
+    #[test]
+    fn run_until_termination_stops_early() {
+        let answers: Vec<Vote> = (0..9).map(|i| vote(i, "a", 0.9)).collect();
+        let mut p = OnlineProcessor::new(9, 0.75, TerminationStrategy::ExpMax)
+            .unwrap()
+            .with_domain_size(3);
+        let outcome = p.run_until_termination(answers).unwrap();
+        assert!(outcome.terminated);
+        assert!(outcome.answers_received < 9, "should save workers");
+        assert_eq!(outcome.best.unwrap().0.as_str(), "a");
+    }
+
+    #[test]
+    fn run_until_termination_with_no_answers_is_an_error() {
+        let mut p = OnlineProcessor::new(3, 0.75, TerminationStrategy::MinMax).unwrap();
+        assert!(p.run_until_termination(Vec::new()).is_err());
+    }
+
+    #[test]
+    fn conflicting_answers_delay_termination() {
+        // Alternating answers keep the race close; MinMax must not fire early.
+        let mut p = OnlineProcessor::new(9, 0.7, TerminationStrategy::MinMax)
+            .unwrap()
+            .with_domain_size(2);
+        let labels = ["a", "b", "a", "b", "a", "b"];
+        for (i, l) in labels.iter().enumerate() {
+            let o = p.consume(vote(i as u64, l, 0.7)).unwrap();
+            assert!(!o.terminated, "MinMax fired on a tied race after {} answers", i + 1);
+        }
+    }
+
+    #[test]
+    fn strategies_order_by_aggressiveness_on_a_stream() {
+        // On the same answer stream, MinMax terminates no earlier than MinExp and ExpMax.
+        let answers: Vec<Vote> = vec![
+            vote(0, "a", 0.85),
+            vote(1, "a", 0.8),
+            vote(2, "b", 0.6),
+            vote(3, "a", 0.9),
+            vote(4, "a", 0.85),
+            vote(5, "a", 0.8),
+            vote(6, "a", 0.8),
+            vote(7, "a", 0.85),
+            vote(8, "a", 0.8),
+        ];
+        let consumed = |strategy| {
+            let mut p = OnlineProcessor::new(9, 0.75, strategy).unwrap().with_domain_size(3);
+            p.run_until_termination(answers.clone()).unwrap().answers_received
+        };
+        let minmax = consumed(TerminationStrategy::MinMax);
+        let minexp = consumed(TerminationStrategy::MinExp);
+        let expmax = consumed(TerminationStrategy::ExpMax);
+        assert!(minexp <= minmax);
+        assert!(expmax <= minmax);
+    }
+}

@@ -1,0 +1,152 @@
+//! Algorithm 2 of the paper: refine the conservative estimate with a binary search over
+//! odd worker counts against the exact binomial expectation (Algorithm 3).
+//!
+//! The Chernoff bound is loose for small `n`, so Theorem 3 over-provisions workers; the
+//! binary search finds the *minimum odd* `n` with `E[P_{n/2}] ≥ C` inside the interval
+//! `[1, conservative_estimate]`, typically cutting the worker count by more than half
+//! (Figure 6).
+
+use crate::error::Result;
+use crate::prediction::binomial::expected_majority_probability;
+use crate::prediction::conservative::conservative_worker_estimate;
+
+/// Minimum odd number of workers whose exact expected majority accuracy reaches `c`,
+/// found by binary search over odd values in `[1, conservative_estimate]` (Algorithm 2).
+pub fn refined_worker_estimate(c: f64, mu: f64) -> Result<u64> {
+    let upper = conservative_worker_estimate(c, mu)?;
+    Ok(binary_search_odd(c, mu, upper))
+}
+
+/// Binary search over odd `n ∈ [1, upper]` (upper odd) for the minimum `n` with
+/// `E[P_{n/2}] ≥ c`. If even `upper` does not reach `c` (cannot happen when `upper` comes
+/// from the conservative bound), `upper` is returned.
+fn binary_search_odd(c: f64, mu: f64, upper: u64) -> u64 {
+    debug_assert!(upper % 2 == 1);
+    // Search over the index space i where n = 2i + 1, so the candidates stay odd.
+    let mut lo = 0u64; // n = 1
+    let mut hi = (upper - 1) / 2; // n = upper
+    if expected_majority_probability(upper, mu) < c {
+        return upper;
+    }
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        let n = 2 * mid + 1;
+        if expected_majority_probability(n, mu) >= c {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    2 * lo + 1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prediction::binomial::expected_majority_probability;
+
+    /// Reference implementation: walk odd n upwards until the accuracy requirement holds.
+    fn linear_scan(c: f64, mu: f64) -> u64 {
+        let mut n = 1u64;
+        loop {
+            if expected_majority_probability(n, mu) >= c {
+                return n;
+            }
+            n += 2;
+            assert!(n < 100_000, "runaway scan");
+        }
+    }
+
+    #[test]
+    fn binary_search_agrees_with_linear_scan() {
+        for &mu in &[0.55, 0.6, 0.7, 0.8, 0.9, 0.95] {
+            for i in 0..8 {
+                let c = 0.65 + 0.04 * i as f64;
+                if c >= 1.0 {
+                    continue;
+                }
+                assert_eq!(
+                    refined_worker_estimate(c, mu).unwrap(),
+                    linear_scan(c, mu),
+                    "mismatch at c={c}, mu={mu}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn result_is_minimal_and_sufficient() {
+        let (c, mu) = (0.95, 0.7);
+        let n = refined_worker_estimate(c, mu).unwrap();
+        assert!(expected_majority_probability(n, mu) >= c);
+        if n > 1 {
+            assert!(expected_majority_probability(n - 2, mu) < c);
+        }
+    }
+
+    #[test]
+    fn one_worker_suffices_for_low_requirements() {
+        // A single 0.9-accurate worker already gives 0.9 expected accuracy.
+        assert_eq!(refined_worker_estimate(0.85, 0.9).unwrap(), 1);
+        assert_eq!(refined_worker_estimate(0.0, 0.75).unwrap(), 1);
+    }
+
+    #[test]
+    fn refined_is_substantially_below_conservative_for_high_accuracy() {
+        // The headline observation of Figure 6: the refined estimate is far below the
+        // conservative one for high required accuracies (the paper reports "less than
+        // half" for its worker population; the exact ratio depends on μ).
+        let mu = 0.7;
+        for &c in &[0.9, 0.95, 0.99] {
+            let cons = conservative_worker_estimate(c, mu).unwrap();
+            let refined = refined_worker_estimate(c, mu).unwrap();
+            assert!(
+                refined as f64 <= 0.6 * cons as f64,
+                "expected refined ({refined}) to be well below conservative ({cons}) at C={c}"
+            );
+        }
+    }
+
+    #[test]
+    fn propagates_input_validation() {
+        assert!(refined_worker_estimate(1.0, 0.7).is_err());
+        assert!(refined_worker_estimate(0.9, 0.5).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The refined estimate is always odd, meets the requirement, and is minimal.
+        #[test]
+        fn refined_estimate_is_minimal_odd(c in 0.0f64..0.995, mu in 0.55f64..0.98) {
+            let n = refined_worker_estimate(c, mu).unwrap();
+            prop_assert_eq!(n % 2, 1);
+            prop_assert!(expected_majority_probability(n, mu) >= c);
+            if n > 1 {
+                prop_assert!(expected_majority_probability(n - 2, mu) < c);
+            }
+        }
+
+        /// Monotonicity: a stricter accuracy requirement never needs fewer workers.
+        #[test]
+        fn monotone_in_required_accuracy(c1 in 0.0f64..0.99, c2 in 0.0f64..0.99, mu in 0.55f64..0.95) {
+            let (lo, hi) = if c1 <= c2 { (c1, c2) } else { (c2, c1) };
+            let n_lo = refined_worker_estimate(lo, mu).unwrap();
+            let n_hi = refined_worker_estimate(hi, mu).unwrap();
+            prop_assert!(n_lo <= n_hi);
+        }
+
+        /// Monotonicity: better workers never increase the estimate.
+        #[test]
+        fn monotone_in_mean_accuracy(c in 0.6f64..0.99, mu1 in 0.55f64..0.95, mu2 in 0.55f64..0.95) {
+            let (lo, hi) = if mu1 <= mu2 { (mu1, mu2) } else { (mu2, mu1) };
+            let n_lo_mu = refined_worker_estimate(c, lo).unwrap();
+            let n_hi_mu = refined_worker_estimate(c, hi).unwrap();
+            prop_assert!(n_hi_mu <= n_lo_mu);
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Algorithm 3 of the paper: `computeExpectedProb`, the exact binomial expectation
+//! `E[P_{n/2}] = Σ_{k=⌈n/2⌉}^{n} C(n,k) μ^k (1−μ)^{n−k}` (Theorem 1).
+//!
+//! The paper evaluates the sum with a descending recurrence on the binomial term,
+//! exploiting `C(n, k−1)/C(n, k) = k/(n−k+1)`; we follow the same O(n) scheme but start
+//! from the *largest* term (at `k = n` the term is `μ^n`, which underflows for large `n`),
+//! working in log space for the initial term so the estimate remains accurate up to
+//! thousands of workers.
+
+use crate::math::{ln_choose, log_sum_exp};
+
+/// The expected probability that **at least `⌈n/2⌉`** of `n` workers (each independently
+/// correct with probability `mu`) return the correct answer.
+///
+/// This is `E[P_{n/2}]` of Theorem 1. For odd `n` it is the expected accuracy of the
+/// Half-Voting strategy; Theorem 4 shows it also lower-bounds the accuracy of the
+/// probability-based verification model.
+///
+/// # Panics
+/// Panics if `mu` is outside `[0, 1]` or `n == 0`.
+pub fn expected_majority_probability(n: u64, mu: f64) -> f64 {
+    assert!(n > 0, "need at least one worker");
+    assert!(
+        (0.0..=1.0).contains(&mu),
+        "mean accuracy must be a probability, got {mu}"
+    );
+    if mu == 0.0 {
+        return 0.0;
+    }
+    if mu == 1.0 {
+        return 1.0;
+    }
+    let start = n / 2 + (n % 2); // ⌈n/2⌉
+    // Log-space evaluation of every tail term, then a stable log-sum-exp.
+    // O(n) like the paper's recurrence, but immune to underflow of μ^n.
+    let ln_mu = mu.ln();
+    let ln_one_minus = (1.0 - mu).ln();
+    let terms: Vec<f64> = (start..=n)
+        .map(|k| ln_choose(n, k) + k as f64 * ln_mu + (n - k) as f64 * ln_one_minus)
+        .collect();
+    log_sum_exp(&terms).exp().min(1.0)
+}
+
+/// Literal transcription of the paper's Algorithm 3 (descending recurrence starting from
+/// `δ = μ^x`). Kept for fidelity and used by the tests as a cross-check against the
+/// log-space implementation; it loses precision once `μ^x` underflows (x ≳ 700 for
+/// μ = 0.7), which is far beyond any realistic worker count.
+pub fn expected_majority_probability_recurrence(x: u64, mu: f64) -> f64 {
+    assert!(x > 0);
+    assert!((0.0..1.0).contains(&mu) && mu > 0.0, "recurrence needs mu in (0,1)");
+    let mut e = 0.0_f64;
+    let mut delta = mu.powi(x as i32);
+    let lower = x / 2 + (x % 2); // ⌈x/2⌉
+    let mut i = x;
+    loop {
+        e += delta;
+        if i == lower {
+            break;
+        }
+        delta *= (1.0 - mu) * i as f64 / (mu * (x - i + 1) as f64);
+        i -= 1;
+    }
+    e.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::math::binomial_tail;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() <= tol, "{a} !≈ {b}");
+    }
+
+    #[test]
+    fn single_worker_equals_mu() {
+        for &mu in &[0.55, 0.7, 0.95] {
+            assert_close(expected_majority_probability(1, mu), mu, 1e-12);
+        }
+    }
+
+    #[test]
+    fn three_workers_closed_form() {
+        // P[X ≥ 2] for X ~ Bin(3, μ) = 3μ²(1−μ) + μ³.
+        for &mu in &[0.6f64, 0.75, 0.9] {
+            let expect = 3.0 * mu * mu * (1.0 - mu) + mu.powi(3);
+            assert_close(expected_majority_probability(3, mu), expect, 1e-12);
+        }
+    }
+
+    #[test]
+    fn matches_direct_binomial_tail() {
+        for &n in &[1u64, 3, 5, 7, 15, 29, 101] {
+            for &mu in &[0.51, 0.6, 0.75, 0.9, 0.99] {
+                let tail = binomial_tail(n, n / 2 + n % 2, mu);
+                assert_close(expected_majority_probability(n, mu), tail, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_paper_recurrence() {
+        for &n in &[1u64, 3, 9, 29, 99] {
+            for &mu in &[0.55, 0.7, 0.85] {
+                assert_close(
+                    expected_majority_probability(n, mu),
+                    expected_majority_probability_recurrence(n, mu),
+                    1e-9,
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn even_n_uses_ceiling() {
+        // For n = 2 the majority threshold is ⌈2/2⌉ = 1, i.e. P[X ≥ 1] = 1 − (1−μ)².
+        let mu = 0.7;
+        assert_close(
+            expected_majority_probability(2, mu),
+            1.0 - (1.0 - mu) * (1.0 - mu),
+            1e-12,
+        );
+    }
+
+    #[test]
+    fn monotone_in_workers_for_odd_n() {
+        let mu = 0.7;
+        let mut prev = 0.0;
+        for n in (1..60).step_by(2) {
+            let p = expected_majority_probability(n, mu);
+            assert!(p >= prev - 1e-12, "not monotone at n={n}: {p} < {prev}");
+            prev = p;
+        }
+        assert!(prev > 0.99);
+    }
+
+    #[test]
+    fn degenerate_mu() {
+        assert_eq!(expected_majority_probability(9, 0.0), 0.0);
+        assert_eq!(expected_majority_probability(9, 1.0), 1.0);
+    }
+
+    #[test]
+    fn large_n_does_not_underflow() {
+        let p = expected_majority_probability(2001, 0.55);
+        assert!(p > 0.99 && p <= 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one worker")]
+    fn zero_workers_panics() {
+        let _ = expected_majority_probability(0, 0.7);
+    }
+}

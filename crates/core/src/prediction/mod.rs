@@ -1,0 +1,144 @@
+//! The **prediction model** (§3 of the paper): given the mean worker accuracy `μ` and a
+//! user-required accuracy `C`, estimate the number of workers `n` to assign to a HIT.
+//!
+//! Two estimators are provided:
+//!
+//! * a **conservative** closed-form bound derived from the Chernoff bound (Theorem 3),
+//!   implemented in [`conservative`], and
+//! * a **refined** estimate that binary-searches the exact binomial expectation
+//!   `E[P_{n/2}]` (Algorithms 2 and 3), implemented in [`binary_search`].
+//!
+//! The refined estimate is what CDAS uses in production; Figure 6 of the paper (and the
+//! `fig6` experiment in `cdas-bench`) shows it needs fewer than half the workers of the
+//! conservative bound across the whole accuracy range.
+
+pub mod binary_search;
+pub mod binomial;
+pub mod conservative;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CdasError, Result};
+
+pub use binary_search::refined_worker_estimate;
+pub use binomial::expected_majority_probability;
+pub use conservative::conservative_worker_estimate;
+
+/// The prediction model: wraps the mean worker accuracy `μ` and exposes both estimators.
+///
+/// `μ` must exceed 0.5 — if the average worker is no better than random, a majority vote
+/// can never be driven to an arbitrary accuracy by adding workers (Theorem 3's bound
+/// diverges).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PredictionModel {
+    mu: f64,
+}
+
+impl PredictionModel {
+    /// Create a model for a population whose mean accuracy is `mu`.
+    pub fn new(mu: f64) -> Result<Self> {
+        if !(mu > 0.5 && mu < 1.0) || mu.is_nan() {
+            return Err(CdasError::InvalidMeanAccuracy { mu });
+        }
+        Ok(PredictionModel { mu })
+    }
+
+    /// The mean worker accuracy `μ` the model was built with.
+    pub fn mean_accuracy(&self) -> f64 {
+        self.mu
+    }
+
+    /// Conservative (Chernoff-bound) estimate of the number of workers needed for required
+    /// accuracy `c` — Theorem 3. Always odd.
+    pub fn conservative_workers(&self, c: f64) -> Result<u64> {
+        conservative_worker_estimate(c, self.mu)
+    }
+
+    /// Refined estimate via binary search on the exact binomial expectation — Algorithm 2.
+    /// Always odd, and never larger than the conservative estimate.
+    pub fn refined_workers(&self, c: f64) -> Result<u64> {
+        refined_worker_estimate(c, self.mu)
+    }
+
+    /// The expected probability `E[P_{n/2}]` that at least `⌈n/2⌉` of `n` workers answer
+    /// correctly — Theorem 1 / Algorithm 3.
+    pub fn expected_accuracy(&self, n: u64) -> Result<f64> {
+        if n == 0 {
+            return Err(CdasError::NonPositive { what: "worker count" });
+        }
+        Ok(expected_majority_probability(n, self.mu))
+    }
+
+    /// The function `g(C)` of §3.1: required accuracy → number of workers, using the
+    /// refined estimator. Exposed separately because the economic model multiplies it with
+    /// the per-HIT price.
+    pub fn g(&self, c: f64) -> Result<u64> {
+        self.refined_workers(c)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_rejects_bad_mu() {
+        assert!(PredictionModel::new(0.5).is_err());
+        assert!(PredictionModel::new(0.49).is_err());
+        assert!(PredictionModel::new(1.0).is_err());
+        assert!(PredictionModel::new(f64::NAN).is_err());
+        assert!(PredictionModel::new(0.51).is_ok());
+    }
+
+    #[test]
+    fn refined_never_exceeds_conservative() {
+        let model = PredictionModel::new(0.7).unwrap();
+        for i in 0..30 {
+            let c = 0.65 + 0.01 * i as f64;
+            let cons = model.conservative_workers(c).unwrap();
+            let refined = model.refined_workers(c).unwrap();
+            assert!(refined <= cons, "refined {refined} > conservative {cons} at C={c}");
+            assert_eq!(refined % 2, 1);
+            assert_eq!(cons % 2, 1);
+        }
+    }
+
+    #[test]
+    fn refined_estimate_meets_required_accuracy() {
+        let model = PredictionModel::new(0.72).unwrap();
+        for &c in &[0.65, 0.8, 0.9, 0.95, 0.99] {
+            let n = model.refined_workers(c).unwrap();
+            let achieved = model.expected_accuracy(n).unwrap();
+            assert!(
+                achieved >= c,
+                "n={n} achieves only {achieved} < required {c}"
+            );
+            // Minimality: two fewer workers must not be enough (unless n == 1).
+            if n > 1 {
+                let below = model.expected_accuracy(n - 2).unwrap();
+                assert!(below < c, "n-2={} already achieves {below} ≥ {c}", n - 2);
+            }
+        }
+    }
+
+    #[test]
+    fn expected_accuracy_rejects_zero_workers() {
+        let model = PredictionModel::new(0.8).unwrap();
+        assert!(model.expected_accuracy(0).is_err());
+    }
+
+    #[test]
+    fn g_matches_refined() {
+        let model = PredictionModel::new(0.75).unwrap();
+        assert_eq!(model.g(0.9).unwrap(), model.refined_workers(0.9).unwrap());
+    }
+
+    #[test]
+    fn higher_mu_needs_fewer_workers() {
+        let low = PredictionModel::new(0.65).unwrap();
+        let high = PredictionModel::new(0.85).unwrap();
+        for &c in &[0.7, 0.8, 0.9, 0.95] {
+            assert!(high.refined_workers(c).unwrap() <= low.refined_workers(c).unwrap());
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Result presentation (§4.3): turn per-question verdicts into the aggregate view the
+//! user sees — per-answer percentages and the most frequent reason keywords — updated
+//! continuously while answers stream in (Figure 4).
+//!
+//! For a list of questions `t_1 … t_N`, the score of answer `r` on question `t_i` is
+//!
+//! ```text
+//! h_{t_i}(r) = 1        if r was accepted for t_i
+//!            = 0        if another answer was accepted
+//!            = ρ_{t_i}(r)  if no answer has been accepted yet
+//! ```
+//!
+//! and the reported percentage of `r` is `(1/N) Σ_i h_{t_i}(r)`.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::types::Label;
+
+/// The presentation-relevant state of one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuestionOutcome {
+    /// An answer was accepted (verification finished or early-terminated).
+    Accepted {
+        /// The accepted label.
+        label: Label,
+    },
+    /// No answer accepted yet; carry the current confidence of every observed answer.
+    Pending {
+        /// Current confidences `ρ_{t_i}(r)` per observed label.
+        confidences: Vec<(Label, f64)>,
+    },
+}
+
+impl QuestionOutcome {
+    /// The score `h_{t_i}(r)` this question contributes to answer `r`.
+    pub fn score(&self, label: &Label) -> f64 {
+        match self {
+            QuestionOutcome::Accepted { label: accepted } => {
+                if accepted == label {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            QuestionOutcome::Pending { confidences } => confidences
+                .iter()
+                .find(|(l, _)| l == label)
+                .map(|(_, p)| *p)
+                .unwrap_or(0.0),
+        }
+    }
+
+    /// Whether the question has an accepted answer.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, QuestionOutcome::Accepted { .. })
+    }
+}
+
+/// One row of the presented result: an answer, its percentage, and its reasons.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnswerSummary {
+    /// The answer label.
+    pub label: Label,
+    /// Percentage of questions supporting the answer, in `[0, 1]`.
+    pub percentage: f64,
+    /// The most frequent reason keywords provided by workers who chose this answer,
+    /// most frequent first.
+    pub reasons: Vec<String>,
+}
+
+/// Aggregator producing the Figure-4-style live result view.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct ResultPresenter {
+    outcomes: Vec<QuestionOutcome>,
+    /// keyword → (label → count)
+    keyword_counts: BTreeMap<Label, BTreeMap<String, usize>>,
+    /// Maximum number of reason keywords reported per answer.
+    max_reasons: usize,
+}
+
+impl ResultPresenter {
+    /// A presenter reporting at most 5 reason keywords per answer (as in Figure 4).
+    pub fn new() -> Self {
+        ResultPresenter {
+            outcomes: Vec::new(),
+            keyword_counts: BTreeMap::new(),
+            max_reasons: 5,
+        }
+    }
+
+    /// Change the number of reason keywords reported per answer.
+    pub fn with_max_reasons(mut self, max_reasons: usize) -> Self {
+        self.max_reasons = max_reasons;
+        self
+    }
+
+    /// Record the outcome of one question.
+    pub fn push_outcome(&mut self, outcome: QuestionOutcome) {
+        self.outcomes.push(outcome);
+    }
+
+    /// Record reason keywords a worker attached to their answer for some question.
+    pub fn push_keywords<'a>(
+        &mut self,
+        label: &Label,
+        keywords: impl IntoIterator<Item = &'a str>,
+    ) {
+        let entry = self.keyword_counts.entry(label.clone()).or_default();
+        for kw in keywords {
+            let kw = kw.trim().to_lowercase();
+            if kw.is_empty() {
+                continue;
+            }
+            *entry.entry(kw).or_insert(0) += 1;
+        }
+    }
+
+    /// Number of questions folded into the result so far (`N`).
+    pub fn questions(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Number of questions with an accepted answer.
+    pub fn accepted_questions(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.is_accepted()).count()
+    }
+
+    /// Progress of the job in `[0, 1]`: accepted questions over total questions.
+    pub fn progress(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.accepted_questions() as f64 / self.outcomes.len() as f64
+    }
+
+    /// Build the summary rows for the given answer domain, ordered by descending
+    /// percentage.
+    pub fn summarize(&self, domain: &[Label]) -> Vec<AnswerSummary> {
+        let n = self.outcomes.len();
+        let mut rows: Vec<AnswerSummary> = domain
+            .iter()
+            .map(|label| {
+                let total: f64 = self.outcomes.iter().map(|o| o.score(label)).sum();
+                let percentage = if n == 0 { 0.0 } else { total / n as f64 };
+                AnswerSummary {
+                    label: label.clone(),
+                    percentage,
+                    reasons: self.top_reasons(label),
+                }
+            })
+            .collect();
+        rows.sort_by(|a, b| {
+            b.percentage
+                .partial_cmp(&a.percentage)
+                .unwrap()
+                .then_with(|| a.label.cmp(&b.label))
+        });
+        rows
+    }
+
+    fn top_reasons(&self, label: &Label) -> Vec<String> {
+        let Some(counts) = self.keyword_counts.get(label) else {
+            return Vec::new();
+        };
+        let mut pairs: Vec<(&String, &usize)> = counts.iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(a.1).then_with(|| a.0.cmp(b.0)));
+        pairs
+            .into_iter()
+            .take(self.max_reasons)
+            .map(|(k, _)| k.clone())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(s: &str) -> Label {
+        Label::from(s)
+    }
+
+    #[test]
+    fn outcome_scores_follow_the_definition() {
+        let accepted = QuestionOutcome::Accepted { label: label("pos") };
+        assert_eq!(accepted.score(&label("pos")), 1.0);
+        assert_eq!(accepted.score(&label("neg")), 0.0);
+        assert!(accepted.is_accepted());
+
+        let pending = QuestionOutcome::Pending {
+            confidences: vec![(label("pos"), 0.6), (label("neg"), 0.3)],
+        };
+        assert_eq!(pending.score(&label("pos")), 0.6);
+        assert_eq!(pending.score(&label("neg")), 0.3);
+        assert_eq!(pending.score(&label("neu")), 0.0);
+        assert!(!pending.is_accepted());
+    }
+
+    #[test]
+    fn percentages_mix_accepted_and_pending_questions() {
+        let mut presenter = ResultPresenter::new();
+        presenter.push_outcome(QuestionOutcome::Accepted { label: label("pos") });
+        presenter.push_outcome(QuestionOutcome::Accepted { label: label("neg") });
+        presenter.push_outcome(QuestionOutcome::Pending {
+            confidences: vec![(label("pos"), 0.5), (label("neg"), 0.5)],
+        });
+        let domain = [label("pos"), label("neg"), label("neu")];
+        let rows = presenter.summarize(&domain);
+        assert_eq!(rows.len(), 3);
+        let find = |name: &str| rows.iter().find(|r| r.label.as_str() == name).unwrap();
+        assert!((find("pos").percentage - 0.5).abs() < 1e-12);
+        assert!((find("neg").percentage - 0.5).abs() < 1e-12);
+        assert_eq!(find("neu").percentage, 0.0);
+        assert!((presenter.progress() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(presenter.questions(), 3);
+        assert_eq!(presenter.accepted_questions(), 2);
+    }
+
+    #[test]
+    fn reasons_are_ranked_by_frequency() {
+        let mut presenter = ResultPresenter::new().with_max_reasons(2);
+        let pos = label("pos");
+        presenter.push_keywords(&pos, ["Siri", "iOS 5", "siri"]);
+        presenter.push_keywords(&pos, ["siri", "performance"]);
+        presenter.push_keywords(&label("neg"), ["battery"]);
+        presenter.push_outcome(QuestionOutcome::Accepted { label: pos.clone() });
+        let rows = presenter.summarize(&[pos.clone(), label("neg")]);
+        let pos_row = rows.iter().find(|r| r.label == pos).unwrap();
+        assert_eq!(pos_row.reasons, vec!["siri".to_string(), "ios 5".to_string()]);
+        let neg_row = rows.iter().find(|r| r.label.as_str() == "neg").unwrap();
+        assert_eq!(neg_row.reasons, vec!["battery".to_string()]);
+    }
+
+    #[test]
+    fn empty_presenter_reports_zeroes() {
+        let presenter = ResultPresenter::new();
+        assert_eq!(presenter.progress(), 0.0);
+        let rows = presenter.summarize(&[label("a")]);
+        assert_eq!(rows[0].percentage, 0.0);
+        assert!(rows[0].reasons.is_empty());
+    }
+
+    #[test]
+    fn blank_keywords_are_ignored() {
+        let mut presenter = ResultPresenter::new();
+        presenter.push_keywords(&label("pos"), ["  ", "", "ok"]);
+        presenter.push_outcome(QuestionOutcome::Accepted { label: label("pos") });
+        let rows = presenter.summarize(&[label("pos")]);
+        assert_eq!(rows[0].reasons, vec!["ok".to_string()]);
+    }
+
+    #[test]
+    fn summary_rows_are_sorted_by_percentage() {
+        let mut presenter = ResultPresenter::new();
+        for _ in 0..3 {
+            presenter.push_outcome(QuestionOutcome::Accepted { label: label("good") });
+        }
+        presenter.push_outcome(QuestionOutcome::Accepted { label: label("bad") });
+        let rows = presenter.summarize(&[label("bad"), label("good")]);
+        assert_eq!(rows[0].label.as_str(), "good");
+        assert_eq!(rows[1].label.as_str(), "bad");
+        assert!((rows[0].percentage - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,363 @@
+//! Sampling-based worker-accuracy estimation (§3.3, Algorithm 4).
+//!
+//! Crowd platforms either hide worker statistics or expose an *approval rate* that does not
+//! reflect accuracy on the task at hand (Figure 14). CDAS therefore embeds `αB` *gold*
+//! questions with known ground truth into every HIT of `B` questions; each worker's
+//! accuracy is estimated as their fraction of correct answers on the gold questions.
+//!
+//! This module provides
+//!
+//! * [`SamplingPlan`] — which positions of a HIT batch carry gold questions,
+//! * [`SamplingEstimator`] — the per-worker accuracy bookkeeping of Algorithm 4, and
+//! * [`SamplingReport`] — the aggregate view consumed by the prediction model (mean `μ`)
+//!   and the experiment harness (Figure 15: mean accuracy and mean absolute error per
+//!   sampling rate).
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::accuracy::{AccuracyRegistry, AccuracyStats};
+use crate::error::{CdasError, Result};
+use crate::types::{Label, QuestionId, WorkerId};
+
+/// Default sampling rate α used by the paper's deployment (20 %).
+pub const DEFAULT_SAMPLING_RATE: f64 = 0.2;
+
+/// Default HIT batch size B used by the paper's deployment (100 questions).
+pub const DEFAULT_BATCH_SIZE: usize = 100;
+
+/// Which positions of a `batch_size`-question HIT are gold (testing) questions.
+///
+/// Positions are spread evenly across the batch so a worker cannot learn that e.g. "the
+/// first questions are the tests"; the engine may additionally shuffle question order.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SamplingPlan {
+    batch_size: usize,
+    gold_positions: Vec<usize>,
+}
+
+impl SamplingPlan {
+    /// Create a plan injecting `⌈rate · batch_size⌉` gold questions into a batch.
+    ///
+    /// Errors when the rate is outside `(0, 1]` or the batch is empty.
+    pub fn new(batch_size: usize, rate: f64) -> Result<Self> {
+        if batch_size == 0 {
+            return Err(CdasError::NonPositive { what: "batch size" });
+        }
+        if !(rate > 0.0 && rate <= 1.0) || rate.is_nan() {
+            return Err(CdasError::InvalidSamplingRate { rate });
+        }
+        let count = ((batch_size as f64 * rate).ceil() as usize).clamp(1, batch_size);
+        // Evenly spread positions: position i gets the slot round(i * B / count).
+        let gold_positions: Vec<usize> = (0..count)
+            .map(|i| (i * batch_size) / count)
+            .collect();
+        Ok(SamplingPlan {
+            batch_size,
+            gold_positions,
+        })
+    }
+
+    /// The paper's default plan: B = 100, α = 0.2.
+    pub fn paper_default() -> Self {
+        SamplingPlan::new(DEFAULT_BATCH_SIZE, DEFAULT_SAMPLING_RATE)
+            .expect("default plan parameters are valid")
+    }
+
+    /// Number of questions in the batch.
+    pub fn batch_size(&self) -> usize {
+        self.batch_size
+    }
+
+    /// Number of gold questions in the batch (`αB`).
+    pub fn gold_count(&self) -> usize {
+        self.gold_positions.len()
+    }
+
+    /// Number of real (non-gold) questions in the batch (`(1−α)B`).
+    pub fn real_count(&self) -> usize {
+        self.batch_size - self.gold_count()
+    }
+
+    /// Whether the question at `position` is a gold question.
+    pub fn is_gold(&self, position: usize) -> bool {
+        self.gold_positions.binary_search(&position).is_ok()
+    }
+
+    /// The gold positions, ascending.
+    pub fn gold_positions(&self) -> &[usize] {
+        &self.gold_positions
+    }
+
+    /// The effective sampling rate `gold_count / batch_size`.
+    pub fn rate(&self) -> f64 {
+        self.gold_count() as f64 / self.batch_size as f64
+    }
+}
+
+/// Per-worker accuracy estimation from gold questions (Algorithm 4).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SamplingEstimator {
+    tallies: BTreeMap<WorkerId, GoldTally>,
+}
+
+/// Gold-question tally for one worker.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct GoldTally {
+    /// Gold questions answered correctly.
+    pub correct: usize,
+    /// Gold questions answered in total.
+    pub total: usize,
+}
+
+impl GoldTally {
+    /// The estimated accuracy `correct / total`, or `None` before any gold answer.
+    pub fn accuracy(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some(self.correct as f64 / self.total as f64)
+        }
+    }
+}
+
+impl SamplingEstimator {
+    /// An estimator with no recorded answers.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a worker's answer to a gold question with known `ground_truth`
+    /// (the inner loop of Algorithm 4).
+    pub fn record(
+        &mut self,
+        worker: WorkerId,
+        _question: QuestionId,
+        answer: &Label,
+        ground_truth: &Label,
+    ) {
+        let tally = self.tallies.entry(worker).or_default();
+        tally.total += 1;
+        if answer == ground_truth {
+            tally.correct += 1;
+        }
+    }
+
+    /// The tally of one worker.
+    pub fn tally(&self, worker: WorkerId) -> Option<GoldTally> {
+        self.tallies.get(&worker).copied()
+    }
+
+    /// The estimated accuracy of one worker.
+    pub fn accuracy_of(&self, worker: WorkerId) -> Option<f64> {
+        self.tally(worker).and_then(|t| t.accuracy())
+    }
+
+    /// Number of workers with at least one recorded gold answer.
+    pub fn workers(&self) -> usize {
+        self.tallies.len()
+    }
+
+    /// Build an [`AccuracyRegistry`] from the estimates, for use by the verification model.
+    ///
+    /// Workers whose estimate would be exactly 0 or 1 are clamped inside the registry (the
+    /// registry clamps automatically) so their confidences stay finite.
+    pub fn to_registry(&self) -> AccuracyRegistry {
+        let mut registry = AccuracyRegistry::new();
+        for (worker, tally) in &self.tallies {
+            if let Some(a) = tally.accuracy() {
+                registry.set(*worker, a, tally.total);
+            }
+        }
+        registry
+    }
+
+    /// Aggregate statistics over all estimated accuracies.
+    pub fn stats(&self) -> Result<AccuracyStats> {
+        let accuracies: Vec<f64> = self
+            .tallies
+            .values()
+            .filter_map(|t| t.accuracy())
+            .collect();
+        AccuracyStats::from_accuracies(&accuracies)
+    }
+
+    /// Compare these estimates against reference accuracies (e.g. the 100 %-sampling
+    /// estimates of Figure 15), producing the mean accuracy `μ_j` and mean absolute error
+    /// `err_j` the paper plots per sampling rate.
+    pub fn report_against(&self, reference: &BTreeMap<WorkerId, f64>) -> SamplingReport {
+        let mut mean = 0.0;
+        let mut err = 0.0;
+        let mut matched = 0usize;
+        for (worker, tally) in &self.tallies {
+            if let Some(a) = tally.accuracy() {
+                mean += a;
+                if let Some(r) = reference.get(worker) {
+                    err += (a - r).abs();
+                    matched += 1;
+                }
+            }
+        }
+        let count = self.tallies.len();
+        SamplingReport {
+            mean_accuracy: if count > 0 { mean / count as f64 } else { 0.0 },
+            mean_absolute_error: if matched > 0 { err / matched as f64 } else { 0.0 },
+            workers: count,
+        }
+    }
+}
+
+/// Aggregate sampling quality, matching the quantities of Figure 15.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SamplingReport {
+    /// Mean estimated accuracy `μ_j = (1/n) Σ a_i^j`.
+    pub mean_accuracy: f64,
+    /// Mean absolute error `err_j = (1/n) Σ |a_i^j − a_i^100|` against the reference.
+    pub mean_absolute_error: f64,
+    /// Number of workers contributing to the report.
+    pub workers: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_validation() {
+        assert!(SamplingPlan::new(0, 0.2).is_err());
+        assert!(SamplingPlan::new(10, 0.0).is_err());
+        assert!(SamplingPlan::new(10, 1.5).is_err());
+        assert!(SamplingPlan::new(10, f64::NAN).is_err());
+        assert!(SamplingPlan::new(10, 1.0).is_ok());
+    }
+
+    #[test]
+    fn paper_default_plan_matches_deployment_parameters() {
+        let plan = SamplingPlan::paper_default();
+        assert_eq!(plan.batch_size(), 100);
+        assert_eq!(plan.gold_count(), 20);
+        assert_eq!(plan.real_count(), 80);
+        assert!((plan.rate() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gold_positions_are_spread_and_unique() {
+        let plan = SamplingPlan::new(100, 0.2).unwrap();
+        let positions = plan.gold_positions();
+        assert_eq!(positions.len(), 20);
+        let mut sorted = positions.to_vec();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 20, "gold positions must be unique");
+        assert!(positions.iter().all(|&p| p < 100));
+        // Spread: neighbouring gold questions are roughly batch/count apart.
+        for w in positions.windows(2) {
+            assert!(w[1] - w[0] >= 4 && w[1] - w[0] <= 6);
+        }
+        assert!(plan.is_gold(positions[3]));
+        assert!(!plan.is_gold(positions[3] + 1));
+    }
+
+    #[test]
+    fn tiny_batches_always_get_at_least_one_gold_question() {
+        let plan = SamplingPlan::new(3, 0.05).unwrap();
+        assert_eq!(plan.gold_count(), 1);
+        let plan = SamplingPlan::new(1, 1.0).unwrap();
+        assert_eq!(plan.gold_count(), 1);
+        assert_eq!(plan.real_count(), 0);
+    }
+
+    #[test]
+    fn estimator_tracks_per_worker_accuracy() {
+        let mut est = SamplingEstimator::new();
+        let truth = Label::from("pos");
+        let wrong = Label::from("neg");
+        for i in 0..8 {
+            let answer = if i < 6 { &truth } else { &wrong };
+            est.record(WorkerId(1), QuestionId(i), answer, &truth);
+        }
+        for i in 0..4 {
+            est.record(WorkerId(2), QuestionId(i), &truth, &truth);
+        }
+        assert_eq!(est.workers(), 2);
+        assert!((est.accuracy_of(WorkerId(1)).unwrap() - 0.75).abs() < 1e-12);
+        assert_eq!(est.accuracy_of(WorkerId(2)), Some(1.0));
+        assert_eq!(est.accuracy_of(WorkerId(3)), None);
+        assert_eq!(est.tally(WorkerId(1)).unwrap(), GoldTally { correct: 6, total: 8 });
+
+        let registry = est.to_registry();
+        assert_eq!(registry.len(), 2);
+        // The registry clamps the perfect worker so the log-odds stay finite.
+        assert!(registry.get(WorkerId(2)).unwrap().log_odds.is_finite());
+
+        let stats = est.stats().unwrap();
+        assert!((stats.mean - 0.875).abs() < 1e-12);
+    }
+
+    #[test]
+    fn report_against_reference() {
+        let mut est = SamplingEstimator::new();
+        let truth = Label::from("t");
+        let wrong = Label::from("f");
+        // Worker 1: 1/2 correct; Worker 2: 2/2 correct.
+        est.record(WorkerId(1), QuestionId(0), &truth, &truth);
+        est.record(WorkerId(1), QuestionId(1), &wrong, &truth);
+        est.record(WorkerId(2), QuestionId(0), &truth, &truth);
+        est.record(WorkerId(2), QuestionId(1), &truth, &truth);
+        let mut reference = BTreeMap::new();
+        reference.insert(WorkerId(1), 0.6);
+        reference.insert(WorkerId(2), 0.9);
+        let report = est.report_against(&reference);
+        assert_eq!(report.workers, 2);
+        assert!((report.mean_accuracy - 0.75).abs() < 1e-12);
+        assert!((report.mean_absolute_error - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_estimator_has_no_stats() {
+        let est = SamplingEstimator::new();
+        assert!(est.stats().is_err());
+        let report = est.report_against(&BTreeMap::new());
+        assert_eq!(report.workers, 0);
+        assert_eq!(report.mean_accuracy, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The plan always injects between 1 and B gold questions at valid, unique positions.
+        #[test]
+        fn plan_positions_are_valid(batch in 1usize..500, rate in 0.01f64..1.0) {
+            let plan = SamplingPlan::new(batch, rate).unwrap();
+            prop_assert!(plan.gold_count() >= 1);
+            prop_assert!(plan.gold_count() <= batch);
+            prop_assert_eq!(plan.gold_count() + plan.real_count(), batch);
+            let mut positions = plan.gold_positions().to_vec();
+            prop_assert!(positions.iter().all(|&p| p < batch));
+            positions.dedup();
+            prop_assert_eq!(positions.len(), plan.gold_count());
+        }
+
+        /// The estimator's accuracy is always the exact fraction of correct gold answers.
+        #[test]
+        fn estimator_fraction_is_exact(correct in 0usize..50, wrong in 0usize..50) {
+            prop_assume!(correct + wrong > 0);
+            let mut est = SamplingEstimator::new();
+            let truth = Label::from("t");
+            let not = Label::from("f");
+            for i in 0..correct {
+                est.record(WorkerId(9), QuestionId(i as u64), &truth, &truth);
+            }
+            for i in 0..wrong {
+                est.record(WorkerId(9), QuestionId((correct + i) as u64), &not, &truth);
+            }
+            let a = est.accuracy_of(WorkerId(9)).unwrap();
+            let expect = correct as f64 / (correct + wrong) as f64;
+            prop_assert!((a - expect).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,319 @@
+//! Fundamental vocabulary types shared by every component of the answering model.
+//!
+//! The model reasons about *workers* answering *questions* with *labels* drawn from an
+//! *answer domain*; a set of `(worker, label, accuracy)` triples for one question is an
+//! [`Observation`] (the `Ω` of the paper's Equation 1).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::clamp_probability;
+
+/// Identifier of a human worker, unique within a crowd platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WorkerId(pub u64);
+
+impl fmt::Display for WorkerId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "w{}", self.0)
+    }
+}
+
+/// Identifier of a single question inside a HIT (one tweet, one image, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct QuestionId(pub u64);
+
+impl fmt::Display for QuestionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "q{}", self.0)
+    }
+}
+
+/// Identifier of a HIT (Human Intelligence Task) published to the crowd platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HitId(pub u64);
+
+impl fmt::Display for HitId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "hit{}", self.0)
+    }
+}
+
+/// A categorical answer label (e.g. `"Positive"`, `"Negative"`, an image tag, ...).
+///
+/// Labels are immutable and cheap to clone (`Arc<str>` internally) because the verification
+/// model copies them into score tables, rankings and presentation layers.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(Arc<str>);
+
+impl Label {
+    /// Create a label from any string-like value.
+    pub fn new(s: impl AsRef<str>) -> Self {
+        Label(Arc::from(s.as_ref()))
+    }
+
+    /// View the label as a string slice.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl From<&str> for Label {
+    fn from(s: &str) -> Self {
+        Label::new(s)
+    }
+}
+
+impl From<String> for Label {
+    fn from(s: String) -> Self {
+        Label::new(s)
+    }
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Serialize for Label {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Label {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Label::new(s))
+    }
+}
+
+/// The domain `R` of possible answers for a question.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AnswerDomain {
+    labels: Vec<Label>,
+}
+
+impl AnswerDomain {
+    /// Build a domain from an ordered list of labels. Duplicate labels are removed while
+    /// preserving the first occurrence's position.
+    pub fn new(labels: impl IntoIterator<Item = Label>) -> Self {
+        let mut seen = Vec::new();
+        for l in labels {
+            if !seen.contains(&l) {
+                seen.push(l);
+            }
+        }
+        AnswerDomain { labels: seen }
+    }
+
+    /// Convenience constructor from string slices.
+    pub fn from_strs(labels: &[&str]) -> Self {
+        AnswerDomain::new(labels.iter().map(|s| Label::from(*s)))
+    }
+
+    /// Number of possible answers, the `|R| = m` of the paper.
+    pub fn size(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the domain contains the given label.
+    pub fn contains(&self, label: &Label) -> bool {
+        self.labels.contains(label)
+    }
+
+    /// Iterate over the labels in their declared order.
+    pub fn labels(&self) -> impl Iterator<Item = &Label> {
+        self.labels.iter()
+    }
+
+    /// The label at a given index, if any.
+    pub fn get(&self, idx: usize) -> Option<&Label> {
+        self.labels.get(idx)
+    }
+}
+
+/// One worker's answer to one question, together with the engine's current estimate of that
+/// worker's accuracy (obtained from sampling, see [`crate::sampling`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Vote {
+    /// Who answered.
+    pub worker: WorkerId,
+    /// The answer they gave.
+    pub label: Label,
+    /// The worker's estimated accuracy `a_j`, clamped into the open interval `(0, 1)`.
+    accuracy: f64,
+    /// Optional free-text keywords the worker supplied as the *reason* for the answer
+    /// (used by the presentation layer, §4.3 of the paper).
+    pub keywords: Vec<String>,
+}
+
+impl Vote {
+    /// Create a vote; the accuracy is clamped into `(0, 1)` so downstream log-odds stay
+    /// finite.
+    pub fn new(worker: WorkerId, label: Label, accuracy: f64) -> Self {
+        Vote {
+            worker,
+            label,
+            accuracy: clamp_probability(accuracy),
+            keywords: Vec::new(),
+        }
+    }
+
+    /// Attach reason keywords to the vote.
+    pub fn with_keywords(mut self, keywords: impl IntoIterator<Item = String>) -> Self {
+        self.keywords = keywords.into_iter().collect();
+        self
+    }
+
+    /// The worker's estimated accuracy `a_j ∈ (0, 1)`.
+    pub fn accuracy(&self) -> f64 {
+        self.accuracy
+    }
+}
+
+/// The observation `Ω` for one question: the set of votes received so far.
+///
+/// An observation may be *partial* (online processing, §4.2): the number of workers the HIT
+/// was assigned to can exceed the number of votes collected.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Observation {
+    votes: Vec<Vote>,
+}
+
+impl Observation {
+    /// An observation with no votes yet.
+    pub fn empty() -> Self {
+        Observation { votes: Vec::new() }
+    }
+
+    /// Build an observation from a list of votes.
+    pub fn from_votes(votes: Vec<Vote>) -> Self {
+        Observation { votes }
+    }
+
+    /// Append one vote (used by the online processor as answers arrive).
+    pub fn push(&mut self, vote: Vote) {
+        self.votes.push(vote);
+    }
+
+    /// Number of votes received, the `n'` of §4.2.
+    pub fn len(&self) -> usize {
+        self.votes.len()
+    }
+
+    /// Whether no votes have been received yet.
+    pub fn is_empty(&self) -> bool {
+        self.votes.is_empty()
+    }
+
+    /// Iterate over the votes in arrival order.
+    pub fn votes(&self) -> &[Vote] {
+        &self.votes
+    }
+
+    /// Number of *distinct* labels observed, the `k` used by the domain-size estimator.
+    pub fn distinct_answers(&self) -> usize {
+        let mut labels: Vec<&Label> = self.votes.iter().map(|v| &v.label).collect();
+        labels.sort();
+        labels.dedup();
+        labels.len()
+    }
+
+    /// Vote counts per label, ordered by label for deterministic iteration.
+    pub fn tally(&self) -> BTreeMap<Label, usize> {
+        let mut counts = BTreeMap::new();
+        for v in &self.votes {
+            *counts.entry(v.label.clone()).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// The mean accuracy of the workers that have voted so far.
+    ///
+    /// Returns `None` for an empty observation.
+    pub fn mean_accuracy(&self) -> Option<f64> {
+        if self.votes.is_empty() {
+            return None;
+        }
+        Some(self.votes.iter().map(|v| v.accuracy()).sum::<f64>() / self.votes.len() as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn label_roundtrips_and_displays() {
+        let l = Label::from("Positive");
+        assert_eq!(l.as_str(), "Positive");
+        assert_eq!(l.to_string(), "Positive");
+        assert_eq!(l, Label::from(String::from("Positive")));
+        assert_ne!(l, Label::from("Negative"));
+    }
+
+    #[test]
+    fn label_is_cheap_to_clone() {
+        let l = Label::from("Neutral");
+        let l2 = l.clone();
+        // Arc-backed: both point at the same allocation.
+        assert_eq!(l.as_str().as_ptr(), l2.as_str().as_ptr());
+    }
+
+    #[test]
+    fn answer_domain_deduplicates() {
+        let d = AnswerDomain::from_strs(&["pos", "neg", "pos", "neu"]);
+        assert_eq!(d.size(), 3);
+        assert!(d.contains(&Label::from("neu")));
+        assert!(!d.contains(&Label::from("meh")));
+        assert_eq!(d.get(0), Some(&Label::from("pos")));
+        assert_eq!(d.get(3), None);
+        assert_eq!(d.labels().count(), 3);
+    }
+
+    #[test]
+    fn vote_clamps_accuracy() {
+        let v = Vote::new(WorkerId(1), Label::from("pos"), 1.0);
+        assert!(v.accuracy() < 1.0);
+        let v = Vote::new(WorkerId(1), Label::from("pos"), 0.0);
+        assert!(v.accuracy() > 0.0);
+        let v = Vote::new(WorkerId(1), Label::from("pos"), 0.8);
+        assert_eq!(v.accuracy(), 0.8);
+    }
+
+    #[test]
+    fn vote_keywords_are_attached() {
+        let v = Vote::new(WorkerId(7), Label::from("pos"), 0.9)
+            .with_keywords(vec!["siri".to_string(), "ios".to_string()]);
+        assert_eq!(v.keywords, vec!["siri", "ios"]);
+    }
+
+    #[test]
+    fn observation_tally_and_distinct() {
+        let mut obs = Observation::empty();
+        assert!(obs.is_empty());
+        assert_eq!(obs.mean_accuracy(), None);
+        obs.push(Vote::new(WorkerId(1), Label::from("pos"), 0.6));
+        obs.push(Vote::new(WorkerId(2), Label::from("neg"), 0.8));
+        obs.push(Vote::new(WorkerId(3), Label::from("pos"), 0.7));
+        assert_eq!(obs.len(), 3);
+        assert_eq!(obs.distinct_answers(), 2);
+        let tally = obs.tally();
+        assert_eq!(tally[&Label::from("pos")], 2);
+        assert_eq!(tally[&Label::from("neg")], 1);
+        let mean = obs.mean_accuracy().unwrap();
+        assert!((mean - 0.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ids_display_with_prefixes() {
+        assert_eq!(WorkerId(3).to_string(), "w3");
+        assert_eq!(QuestionId(5).to_string(), "q5");
+        assert_eq!(HitId(9).to_string(), "hit9");
+    }
+}

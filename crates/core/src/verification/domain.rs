@@ -1,0 +1,229 @@
+//! Estimation of the effective answer-domain size `m` (Lemmas 1–2, Theorem 5).
+//!
+//! Equation 4 needs the number of possible answers `m`. Using the declared domain size
+//! `|R|` is wasteful when the answer distribution is skewed (the paper's example: a 0–100
+//! score where most values are never chosen) because the never-chosen answers dilute the
+//! weight of the correct one. The paper instead asks: *given that the `n` workers produced
+//! only `k` distinct answers, how large can `m` plausibly be?* Requiring the probability of
+//! observing only `k` distinct values, `C(m,k)/m^k`, to exceed a significance level
+//! `ε = 0.05` (Fisher's exact test convention) yields two lower bounds on `m`, of which the
+//! paper takes the larger (Theorem 5).
+
+use serde::{Deserialize, Serialize};
+
+use crate::math::harmonic;
+
+/// Significance level used by the paper (Fisher's exact test convention).
+pub const DEFAULT_EPSILON: f64 = 0.05;
+
+/// Lemma 1: `m > (k−1) / (H_{k−1} − (k−1)(εk)^{1/(k−1)})`.
+///
+/// Returns `None` when the bound is undefined or vacuous (denominator ≤ 0, or `k < 2`).
+pub fn lemma1_lower_bound(k: usize, epsilon: f64) -> Option<f64> {
+    if k < 2 {
+        return None;
+    }
+    let kf = k as f64;
+    let denominator = harmonic(k as u64 - 1) - (kf - 1.0) * (epsilon * kf).powf(1.0 / (kf - 1.0));
+    if denominator <= 0.0 {
+        return None;
+    }
+    Some((kf - 1.0) / denominator)
+}
+
+/// Lemma 2 (the tighter bound for large `k`): `m > (k−1) / (1 − k·ε^{1/k})`.
+///
+/// Returns `None` when the bound is undefined or vacuous (denominator ≤ 0, or `k < 2`).
+pub fn lemma2_lower_bound(k: usize, epsilon: f64) -> Option<f64> {
+    if k < 2 {
+        return None;
+    }
+    let kf = k as f64;
+    let denominator = 1.0 - kf * epsilon.powf(1.0 / kf);
+    if denominator <= 0.0 {
+        return None;
+    }
+    Some((kf - 1.0) / denominator)
+}
+
+/// Configuration of the domain-size estimator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainEstimator {
+    /// Significance level ε of the rarity test (default 0.05).
+    pub epsilon: f64,
+    /// The declared domain size `|R|`, used as an upper cap when known.
+    pub declared_size: Option<usize>,
+}
+
+impl Default for DomainEstimator {
+    fn default() -> Self {
+        DomainEstimator {
+            epsilon: DEFAULT_EPSILON,
+            declared_size: None,
+        }
+    }
+}
+
+impl DomainEstimator {
+    /// Estimator with the paper's default ε and no declared-domain cap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Estimator capped at a declared domain size `|R|`.
+    pub fn with_declared_size(size: usize) -> Self {
+        DomainEstimator {
+            epsilon: DEFAULT_EPSILON,
+            declared_size: Some(size),
+        }
+    }
+
+    /// Estimate the effective `m` from the number of distinct observed answers `k`
+    /// (Theorem 5): the smallest integer exceeding both lower bounds, never smaller than
+    /// `max(k, 2)` and never larger than the declared `|R|`.
+    pub fn estimate(&self, distinct_answers: usize) -> usize {
+        let k = distinct_answers;
+        let floor = k.max(2);
+        let bound = [
+            lemma1_lower_bound(k, self.epsilon),
+            lemma2_lower_bound(k, self.epsilon),
+        ]
+        .into_iter()
+        .flatten()
+        .fold(0.0f64, f64::max);
+        // `m` must strictly exceed the bound.
+        let mut m = floor.max(bound.floor() as usize + 1);
+        if let Some(cap) = self.declared_size {
+            m = m.min(cap.max(2)).max(k.min(cap.max(2)));
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Direct evaluation of the rarity probability C(m, k) / m^k used by the lemmas.
+    fn rarity(m: usize, k: usize) -> f64 {
+        if k > m {
+            return 0.0;
+        }
+        let mut p = 1.0f64;
+        for i in 0..k {
+            p *= (m - i) as f64 / m as f64;
+        }
+        // divide by k! to finish C(m,k)/m^k = m(m-1)..(m-k+1) / (k! m^k)
+        for i in 1..=k {
+            p /= i as f64;
+        }
+        p
+    }
+
+    #[test]
+    fn lemma_bounds_exist_for_moderate_k() {
+        for k in 2..20 {
+            let l2 = lemma2_lower_bound(k, 0.05);
+            // Lemma 2's denominator 1 − k ε^{1/k} becomes negative for k ≥ 5 at ε = 0.05,
+            // so it only applies for small k; Lemma 1 behaves similarly. The estimator
+            // must cope with both being absent.
+            if let Some(b) = l2 {
+                assert!(b > 0.0);
+            }
+            let l1 = lemma1_lower_bound(k, 0.05);
+            if let Some(b) = l1 {
+                assert!(b > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn small_k_has_no_bounds() {
+        assert_eq!(lemma1_lower_bound(0, 0.05), None);
+        assert_eq!(lemma1_lower_bound(1, 0.05), None);
+        assert_eq!(lemma2_lower_bound(1, 0.05), None);
+    }
+
+    #[test]
+    fn estimate_is_at_least_observed_and_at_least_two() {
+        let est = DomainEstimator::new();
+        assert_eq!(est.estimate(0), 2);
+        assert_eq!(est.estimate(1), 2);
+        for k in 2..30 {
+            assert!(est.estimate(k) >= k, "estimate below observed k={k}");
+        }
+    }
+
+    #[test]
+    fn estimate_respects_declared_cap() {
+        let est = DomainEstimator::with_declared_size(3);
+        for k in 0..6 {
+            assert!(est.estimate(k) <= 3);
+        }
+        assert_eq!(est.estimate(2), 3.min(est.estimate(2)).max(2));
+    }
+
+    #[test]
+    fn estimate_is_a_valid_lower_bound() {
+        // Theorem 5 gives a *lower bound* on every m that makes the observation non-rare
+        // (rarity C(m,k)/m^k > ε): whenever such an m exists at all, the smallest one must
+        // be no smaller than the estimate. For larger k the rarity is capped by 1/k! < ε,
+        // the lemma denominators turn negative and the estimator falls back to m = k.
+        let est = DomainEstimator::new();
+        for k in 2..8usize {
+            let estimate = est.estimate(k);
+            match (k..2000).find(|&m| rarity(m, k) > est.epsilon) {
+                Some(smallest_valid) => assert!(
+                    smallest_valid >= estimate || rarity(estimate, k) > est.epsilon,
+                    "k={k}: smallest valid m {smallest_valid} is below the estimate {estimate}"
+                ),
+                // When no m satisfies the exact rarity test, the lower bound is vacuously
+                // valid (the lemmas relax the constraint via AM-GM, so they may still
+                // produce a finite value); nothing further to check.
+                None => assert!(estimate >= k),
+            }
+        }
+    }
+
+    #[test]
+    fn estimate_with_declared_size_for_skewed_scores() {
+        // The paper's motivating example: a 0–100 score domain where only 4 distinct
+        // scores are observed. The effective m must be far below 101.
+        let est = DomainEstimator::with_declared_size(101);
+        let m = est.estimate(4);
+        assert!(m < 60, "effective domain {m} should prune a large part of the 101 scores");
+        assert!(m >= 4);
+    }
+
+    #[test]
+    fn epsilon_controls_looseness() {
+        // The rarity C(m,k)/m^k grows with m, so requiring it to exceed a *larger* ε forces
+        // a larger m — as long as the lemma bounds are defined for both ε values. Once the
+        // larger ε makes the bound vacuous (denominator ≤ 0), the estimator falls back to
+        // m = k, so the comparison only applies where both bounds exist.
+        let strict = DomainEstimator {
+            epsilon: 0.01,
+            declared_size: None,
+        };
+        let loose = DomainEstimator {
+            epsilon: 0.2,
+            declared_size: None,
+        };
+        for k in 2..6usize {
+            let both_defined = lemma1_lower_bound(k, loose.epsilon).is_some()
+                && lemma1_lower_bound(k, strict.epsilon).is_some();
+            if both_defined {
+                assert!(
+                    loose.estimate(k) >= strict.estimate(k),
+                    "k={k}: loose {} < strict {}",
+                    loose.estimate(k),
+                    strict.estimate(k)
+                );
+            }
+        }
+        // And the bounds themselves are monotone in ε wherever defined.
+        if let (Some(l), Some(s)) = (lemma1_lower_bound(2, 0.2), lemma1_lower_bound(2, 0.01)) {
+            assert!(l >= s);
+        }
+    }
+}

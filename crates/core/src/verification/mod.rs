@@ -1,0 +1,83 @@
+//! The **verification model** (§4 of the paper): decide which of the conflicting worker
+//! answers to accept.
+//!
+//! Three strategies are implemented:
+//!
+//! * [`voting::HalfVoting`] — accept an answer returned by at least `⌈n/2⌉` workers
+//!   (the CrowdDB-style baseline),
+//! * [`voting::MajorityVoting`] — accept the strictly most-voted answer,
+//! * [`probabilistic::ProbabilisticVerifier`] — the paper's contribution: a Bayesian
+//!   aggregation that weights every worker by the log-odds of their historical accuracy
+//!   (Definitions 2–3, Equation 4), with the effective answer-domain size `m` estimated
+//!   from the observed distinct answers (Theorem 5, [`domain`]).
+//!
+//! The voting strategies may fail to produce an answer (ties, no majority); the
+//! probabilistic verifier always ranks every observed answer by confidence.
+
+pub mod confidence;
+pub mod domain;
+pub mod probabilistic;
+pub mod voting;
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::Result;
+use crate::types::{Label, Observation};
+
+/// Outcome of a verification strategy on one question.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// An answer was accepted.
+    Accepted {
+        /// The accepted label.
+        label: Label,
+        /// The strategy's confidence in the label (vote fraction for the voting baselines,
+        /// posterior probability for the probabilistic verifier).
+        confidence: f64,
+    },
+    /// The strategy could not single out an answer (tie / no majority). The paper reports
+    /// this as the *no-answer ratio* in Figures 9 and 10.
+    NoAnswer,
+}
+
+impl Verdict {
+    /// The accepted label, if any.
+    pub fn label(&self) -> Option<&Label> {
+        match self {
+            Verdict::Accepted { label, .. } => Some(label),
+            Verdict::NoAnswer => None,
+        }
+    }
+
+    /// Whether the strategy produced an answer.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Verdict::Accepted { .. })
+    }
+}
+
+/// Common interface of every answer-verification strategy.
+pub trait Verifier {
+    /// Decide which answer (if any) to accept for the given observation.
+    fn decide(&self, observation: &Observation) -> Result<Verdict>;
+
+    /// Human-readable name used by the experiment harness when printing result tables.
+    fn name(&self) -> &'static str;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verdict_accessors() {
+        let v = Verdict::Accepted {
+            label: Label::from("pos"),
+            confidence: 0.8,
+        };
+        assert!(v.is_accepted());
+        assert_eq!(v.label().unwrap().as_str(), "pos");
+        let n = Verdict::NoAnswer;
+        assert!(!n.is_accepted());
+        assert!(n.label().is_none());
+    }
+}

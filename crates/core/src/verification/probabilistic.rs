@@ -1,0 +1,235 @@
+//! The probability-based verification model (§4.1): accept the answer with the highest
+//! Bayesian posterior given every worker's historical accuracy.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::{CdasError, Result};
+use crate::types::{Label, Observation};
+use crate::verification::confidence::answer_confidences;
+use crate::verification::domain::DomainEstimator;
+use crate::verification::{Verdict, Verifier};
+
+/// Full output of a probabilistic verification: the accepted answer plus the complete
+/// confidence ranking and the effective domain size that was used.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VerificationResult {
+    ranking: Vec<(Label, f64)>,
+    effective_domain: usize,
+}
+
+impl VerificationResult {
+    /// The accepted (highest-confidence) answer.
+    pub fn best(&self) -> &Label {
+        &self.ranking[0].0
+    }
+
+    /// Confidence of the accepted answer, `ρ(r̄) = P(r̄ | Ω)`.
+    pub fn best_confidence(&self) -> f64 {
+        self.ranking[0].1
+    }
+
+    /// The runner-up answer and its confidence, if at least two answers were observed.
+    pub fn second(&self) -> Option<(&Label, f64)> {
+        self.ranking.get(1).map(|(l, p)| (l, *p))
+    }
+
+    /// The full ranking, best first.
+    pub fn ranking(&self) -> &[(Label, f64)] {
+        &self.ranking
+    }
+
+    /// The effective answer-domain size `m` used in Equation 4.
+    pub fn effective_domain(&self) -> usize {
+        self.effective_domain
+    }
+
+    /// Confidence of an arbitrary label (zero if it was never voted for).
+    pub fn confidence_of(&self, label: &Label) -> f64 {
+        self.ranking
+            .iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, p)| *p)
+            .unwrap_or(0.0)
+    }
+}
+
+/// The probability-based verifier of §4.1.
+///
+/// The effective answer-domain size `m` is estimated per observation from the number of
+/// distinct answers (Theorem 5) unless a fixed domain size is supplied.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ProbabilisticVerifier {
+    estimator: DomainEstimator,
+    fixed_domain: Option<usize>,
+}
+
+impl Default for ProbabilisticVerifier {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ProbabilisticVerifier {
+    /// Verifier that estimates `m` per observation with the default ε = 0.05.
+    pub fn new() -> Self {
+        ProbabilisticVerifier {
+            estimator: DomainEstimator::new(),
+            fixed_domain: None,
+        }
+    }
+
+    /// Verifier with a fixed, known domain size `m = |R|` (e.g. 3 for sentiment labels).
+    pub fn with_domain_size(m: usize) -> Self {
+        ProbabilisticVerifier {
+            estimator: DomainEstimator::with_declared_size(m),
+            fixed_domain: Some(m.max(2)),
+        }
+    }
+
+    /// Verifier that estimates `m` but caps it at the declared `|R|`.
+    pub fn with_declared_domain(size: usize) -> Self {
+        ProbabilisticVerifier {
+            estimator: DomainEstimator::with_declared_size(size),
+            fixed_domain: None,
+        }
+    }
+
+    /// The effective `m` this verifier would use for the given observation.
+    pub fn effective_domain(&self, observation: &Observation) -> usize {
+        match self.fixed_domain {
+            Some(m) => m,
+            None => self.estimator.estimate(observation.distinct_answers()),
+        }
+    }
+
+    /// Rank every observed answer by confidence (Equation 4).
+    pub fn verify(&self, observation: &Observation) -> Result<VerificationResult> {
+        if observation.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        let m = self.effective_domain(observation);
+        if m < 2 {
+            return Err(CdasError::DegenerateDomain { size: m });
+        }
+        let ranking = answer_confidences(observation, m);
+        Ok(VerificationResult {
+            ranking,
+            effective_domain: m,
+        })
+    }
+}
+
+impl Verifier for ProbabilisticVerifier {
+    fn decide(&self, observation: &Observation) -> Result<Verdict> {
+        let result = self.verify(observation)?;
+        Ok(Verdict::Accepted {
+            label: result.best().clone(),
+            confidence: result.best_confidence(),
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Verification"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Vote, WorkerId};
+    use crate::verification::voting::{HalfVoting, MajorityVoting};
+
+    fn table4_observation() -> Observation {
+        Observation::from_votes(vec![
+            Vote::new(WorkerId(1), Label::from("pos"), 0.54),
+            Vote::new(WorkerId(2), Label::from("pos"), 0.31),
+            Vote::new(WorkerId(3), Label::from("neu"), 0.49),
+            Vote::new(WorkerId(4), Label::from("neg"), 0.73),
+            Vote::new(WorkerId(5), Label::from("pos"), 0.46),
+        ])
+    }
+
+    #[test]
+    fn reproduces_table_4() {
+        // Voting strategies say "pos"; the probabilistic verifier flips to "neg".
+        let observation = table4_observation();
+        let voting = MajorityVoting::new().decide(&observation).unwrap();
+        assert_eq!(voting.label().unwrap().as_str(), "pos");
+        let half = HalfVoting::new(5).decide(&observation).unwrap();
+        assert_eq!(half.label().unwrap().as_str(), "pos");
+
+        let verifier = ProbabilisticVerifier::with_domain_size(3);
+        let result = verifier.verify(&observation).unwrap();
+        assert_eq!(result.best().as_str(), "neg");
+        assert!((result.best_confidence() - 0.495).abs() < 0.01);
+        assert_eq!(result.effective_domain(), 3);
+        assert_eq!(result.ranking().len(), 3);
+        assert!(result.confidence_of(&Label::from("pos")) < result.best_confidence());
+        assert_eq!(result.confidence_of(&Label::from("unseen")), 0.0);
+        let (second, p2) = result.second().unwrap();
+        assert_eq!(second.as_str(), "pos");
+        assert!(p2 < result.best_confidence());
+    }
+
+    #[test]
+    fn verifier_trait_reports_best_answer() {
+        let observation = table4_observation();
+        let verifier = ProbabilisticVerifier::with_domain_size(3);
+        let verdict = verifier.decide(&observation).unwrap();
+        assert_eq!(verdict.label().unwrap().as_str(), "neg");
+        assert_eq!(verifier.name(), "Verification");
+    }
+
+    #[test]
+    fn estimated_domain_used_when_not_fixed() {
+        let observation = table4_observation();
+        let auto = ProbabilisticVerifier::new();
+        let m = auto.effective_domain(&observation);
+        assert!(m >= 3, "estimated domain must cover the 3 observed answers");
+        let result = auto.verify(&observation).unwrap();
+        assert_eq!(result.effective_domain(), m);
+    }
+
+    #[test]
+    fn declared_domain_caps_estimate() {
+        let observation = table4_observation();
+        let capped = ProbabilisticVerifier::with_declared_domain(3);
+        assert_eq!(capped.effective_domain(&observation), 3);
+    }
+
+    #[test]
+    fn empty_observation_is_an_error() {
+        let verifier = ProbabilisticVerifier::new();
+        assert_eq!(
+            verifier.verify(&Observation::empty()).unwrap_err(),
+            CdasError::EmptyObservation
+        );
+    }
+
+    #[test]
+    fn unanimous_high_accuracy_vote_is_near_certain() {
+        let observation = Observation::from_votes(
+            (0..9)
+                .map(|i| Vote::new(WorkerId(i), Label::from("yes"), 0.9))
+                .collect(),
+        );
+        let verifier = ProbabilisticVerifier::with_domain_size(2);
+        let result = verifier.verify(&observation).unwrap();
+        assert_eq!(result.best().as_str(), "yes");
+        assert!(result.best_confidence() > 0.999);
+    }
+
+    #[test]
+    fn low_accuracy_majority_loses_to_high_accuracy_minority() {
+        // Three 0.52-accuracy workers versus one 0.95-accuracy worker.
+        let observation = Observation::from_votes(vec![
+            Vote::new(WorkerId(1), Label::from("a"), 0.52),
+            Vote::new(WorkerId(2), Label::from("a"), 0.52),
+            Vote::new(WorkerId(3), Label::from("a"), 0.52),
+            Vote::new(WorkerId(4), Label::from("b"), 0.95),
+        ]);
+        let verifier = ProbabilisticVerifier::with_domain_size(3);
+        let result = verifier.verify(&observation).unwrap();
+        assert_eq!(result.best().as_str(), "b");
+    }
+}

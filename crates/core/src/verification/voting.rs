@@ -1,0 +1,183 @@
+//! The voting baselines used throughout the paper's evaluation: Half-Voting and
+//! Majority-Voting (§5, "Half-Voting" / "Majority-Voting" models).
+//!
+//! Both ignore worker accuracy entirely, which is exactly why the probabilistic verifier
+//! outperforms them (Figures 7 and 8); both can also fail to return any answer, which the
+//! paper measures as the *no-answer ratio* (Figures 9 and 10).
+
+use crate::error::{CdasError, Result};
+use crate::types::{Label, Observation};
+use crate::verification::{Verdict, Verifier};
+
+/// Half-Voting: accept an answer iff **at least half** of the assigned workers returned it.
+///
+/// `assigned_workers` is the total number of workers `n` the HIT was sent to; an
+/// observation may contain fewer votes (e.g. when used on a partial observation), in which
+/// case the threshold still refers to `n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HalfVoting {
+    assigned_workers: usize,
+}
+
+impl HalfVoting {
+    /// Create a Half-Voting verifier for a HIT assigned to `assigned_workers` workers.
+    pub fn new(assigned_workers: usize) -> Self {
+        HalfVoting { assigned_workers }
+    }
+
+    /// The acceptance threshold `⌈n/2⌉`.
+    pub fn threshold(&self) -> usize {
+        self.assigned_workers.div_ceil(2)
+    }
+}
+
+impl Verifier for HalfVoting {
+    fn decide(&self, observation: &Observation) -> Result<Verdict> {
+        if observation.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        let tally = observation.tally();
+        let threshold = self.threshold();
+        let total = self.assigned_workers.max(observation.len());
+        let best = tally
+            .iter()
+            .max_by(|a, b| a.1.cmp(b.1).then_with(|| b.0.cmp(a.0)))
+            .map(|(l, c)| (l.clone(), *c));
+        match best {
+            Some((label, count)) if count >= threshold => Ok(Verdict::Accepted {
+                confidence: count as f64 / total as f64,
+                label,
+            }),
+            _ => Ok(Verdict::NoAnswer),
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "Half-Voting"
+    }
+}
+
+/// Majority-Voting: accept the answer with strictly more votes than every other answer;
+/// a tie for the top count yields [`Verdict::NoAnswer`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MajorityVoting;
+
+impl MajorityVoting {
+    /// Create a Majority-Voting verifier.
+    pub fn new() -> Self {
+        MajorityVoting
+    }
+}
+
+impl Verifier for MajorityVoting {
+    fn decide(&self, observation: &Observation) -> Result<Verdict> {
+        if observation.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        let tally = observation.tally();
+        let mut entries: Vec<(&Label, usize)> = tally.iter().map(|(l, c)| (l, *c)).collect();
+        entries.sort_by(|a, b| b.1.cmp(&a.1));
+        let (top_label, top_count) = entries[0];
+        let tied = entries.len() > 1 && entries[1].1 == top_count;
+        if tied {
+            return Ok(Verdict::NoAnswer);
+        }
+        Ok(Verdict::Accepted {
+            label: top_label.clone(),
+            confidence: top_count as f64 / observation.len() as f64,
+        })
+    }
+
+    fn name(&self) -> &'static str {
+        "Majority-Voting"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::{Vote, WorkerId};
+
+    fn obs(labels: &[&str]) -> Observation {
+        Observation::from_votes(
+            labels
+                .iter()
+                .enumerate()
+                .map(|(i, l)| Vote::new(WorkerId(i as u64), Label::from(*l), 0.7))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn half_voting_accepts_clear_majority() {
+        let v = HalfVoting::new(5);
+        let verdict = v.decide(&obs(&["pos", "pos", "pos", "neg", "neu"])).unwrap();
+        assert_eq!(verdict.label().unwrap().as_str(), "pos");
+        if let Verdict::Accepted { confidence, .. } = verdict {
+            assert!((confidence - 0.6).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn half_voting_threshold_is_ceiling() {
+        assert_eq!(HalfVoting::new(5).threshold(), 3);
+        assert_eq!(HalfVoting::new(4).threshold(), 2);
+        assert_eq!(HalfVoting::new(1).threshold(), 1);
+    }
+
+    #[test]
+    fn half_voting_rejects_split_votes() {
+        // 2/2/1 split over 5 workers: no answer reaches 3 votes.
+        let v = HalfVoting::new(5);
+        let verdict = v.decide(&obs(&["pos", "pos", "neg", "neg", "neu"])).unwrap();
+        assert_eq!(verdict, Verdict::NoAnswer);
+    }
+
+    #[test]
+    fn half_voting_counts_against_assigned_not_received() {
+        // 2 votes for "pos" out of 5 assigned workers: below the threshold of 3 even though
+        // only 3 answers have arrived.
+        let v = HalfVoting::new(5);
+        let verdict = v.decide(&obs(&["pos", "pos", "neg"])).unwrap();
+        assert_eq!(verdict, Verdict::NoAnswer);
+    }
+
+    #[test]
+    fn majority_voting_accepts_plurality() {
+        // 2/1/1: Majority-Voting accepts "pos" even though Half-Voting would not (n = 5).
+        let m = MajorityVoting::new();
+        let verdict = m.decide(&obs(&["pos", "pos", "neg", "neu"])).unwrap();
+        assert_eq!(verdict.label().unwrap().as_str(), "pos");
+        let h = HalfVoting::new(5);
+        assert_eq!(h.decide(&obs(&["pos", "pos", "neg", "neu"])).unwrap(), Verdict::NoAnswer);
+    }
+
+    #[test]
+    fn majority_voting_reports_tie_as_no_answer() {
+        let m = MajorityVoting::new();
+        let verdict = m.decide(&obs(&["pos", "pos", "neg", "neg", "neu"])).unwrap();
+        assert_eq!(verdict, Verdict::NoAnswer);
+    }
+
+    #[test]
+    fn both_error_on_empty_observation() {
+        assert!(HalfVoting::new(3).decide(&Observation::empty()).is_err());
+        assert!(MajorityVoting::new().decide(&Observation::empty()).is_err());
+    }
+
+    #[test]
+    fn table_4_voting_rows() {
+        // Table 4 of the paper: the 3/1/1 split makes both voting models pick "pos".
+        let observation = obs(&["pos", "pos", "neu", "neg", "pos"]);
+        let h = HalfVoting::new(5).decide(&observation).unwrap();
+        let m = MajorityVoting::new().decide(&observation).unwrap();
+        assert_eq!(h.label().unwrap().as_str(), "pos");
+        assert_eq!(m.label().unwrap().as_str(), "pos");
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(HalfVoting::new(3).name(), "Half-Voting");
+        assert_eq!(MajorityVoting::new().name(), "Majority-Voting");
+    }
+}

@@ -1,0 +1,94 @@
+//! Approval-rate modelling (§3.3, Figure 14).
+//!
+//! AMT records an *approval rate* per worker — the fraction of their past answers the
+//! requesters approved. The paper shows it is a poor proxy for task accuracy, for two
+//! reasons it names explicitly: workers are not experts in every domain (accuracy varies
+//! across jobs), and many requesters auto-approve everything. This module generates
+//! approval rates with exactly those properties so the Figure 14 / Figure 15 experiments
+//! can demonstrate why sampling-based estimation is necessary.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How a worker's public approval rate relates to their true task accuracy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ApprovalModel {
+    /// Fraction of requesters that auto-approve every answer (pushes approval towards 1
+    /// regardless of quality).
+    pub auto_approval_fraction: f64,
+    /// Correlation-like weight in `[0, 1]` between task accuracy and the manually-approved
+    /// part of the history; 0 means approval is unrelated to this job's accuracy.
+    pub accuracy_weight: f64,
+    /// Noise amplitude added to the manual part.
+    pub noise: f64,
+}
+
+impl Default for ApprovalModel {
+    /// Defaults chosen to reproduce the Figure 14 contrast: most mass ≥ 90 % approval while
+    /// real accuracies centre around 0.65.
+    fn default() -> Self {
+        ApprovalModel {
+            auto_approval_fraction: 0.6,
+            accuracy_weight: 0.3,
+            noise: 0.05,
+        }
+    }
+}
+
+impl ApprovalModel {
+    /// Draw an approval rate for a worker whose accuracy *on this job* is `task_accuracy`.
+    pub fn sample<R: Rng + ?Sized>(&self, task_accuracy: f64, rng: &mut R) -> f64 {
+        // The auto-approved fraction of history contributes full approval; the manual part
+        // is loosely tied to a "general competence" value that only partially reflects the
+        // accuracy on this particular job.
+        let general = self.accuracy_weight * task_accuracy
+            + (1.0 - self.accuracy_weight) * rng.random_range(0.7..0.98);
+        let manual = (general + (rng.random::<f64>() - 0.5) * 2.0 * self.noise).clamp(0.0, 1.0);
+        (self.auto_approval_fraction + (1.0 - self.auto_approval_fraction) * manual)
+            .clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn approval_rates_are_high_even_for_poor_workers() {
+        let model = ApprovalModel::default();
+        let mut rng = StdRng::seed_from_u64(21);
+        let rates: Vec<f64> = (0..5000).map(|_| model.sample(0.4, &mut rng)).collect();
+        let mean = rates.iter().sum::<f64>() / rates.len() as f64;
+        assert!(mean > 0.8, "poor workers still show high approval, got {mean}");
+        assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
+    }
+
+    #[test]
+    fn approval_is_only_weakly_ordered_by_accuracy() {
+        let model = ApprovalModel::default();
+        let mut rng = StdRng::seed_from_u64(22);
+        let mean = |acc: f64, rng: &mut StdRng| {
+            (0..5000).map(|_| model.sample(acc, rng)).sum::<f64>() / 5000.0
+        };
+        let low = mean(0.4, &mut rng);
+        let high = mean(0.9, &mut rng);
+        // Better workers get slightly better approval...
+        assert!(high >= low);
+        // ...but the gap is far smaller than the 0.5 accuracy gap (the Figure 14 point).
+        assert!(high - low < 0.15, "gap {}", high - low);
+    }
+
+    #[test]
+    fn full_auto_approval_ignores_accuracy() {
+        let model = ApprovalModel {
+            auto_approval_fraction: 1.0,
+            accuracy_weight: 1.0,
+            noise: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(23);
+        assert_eq!(model.sample(0.1, &mut rng), 1.0);
+        assert_eq!(model.sample(0.9, &mut rng), 1.0);
+    }
+}

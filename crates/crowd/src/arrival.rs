@@ -1,0 +1,168 @@
+//! Asynchronous answer arrival (§4.2: "workers finish their jobs asynchronously").
+//!
+//! Each worker's completion time is drawn from a latency model; sorting the completion
+//! times yields the *arrival sequence* in which the online processor consumes answers.
+//! Figure 11 of the paper shows that the quality of the approximate result depends heavily
+//! on this sequence, which is why the simulator exposes it explicitly.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of the time a worker takes to return a HIT, in simulated minutes.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LatencyModel {
+    /// Always exactly this long.
+    Constant(f64),
+    /// Uniform between the two bounds.
+    Uniform {
+        /// Minimum latency.
+        lo: f64,
+        /// Maximum latency.
+        hi: f64,
+    },
+    /// Exponential with the given mean (memoryless worker arrivals, the default).
+    Exponential {
+        /// Mean latency.
+        mean: f64,
+    },
+    /// Log-normal with the given location and scale of the underlying normal; models the
+    /// heavy tail of workers who pick up a HIT much later.
+    LogNormal {
+        /// Location parameter μ of the underlying normal.
+        mu: f64,
+        /// Scale parameter σ of the underlying normal.
+        sigma: f64,
+    },
+}
+
+impl Default for LatencyModel {
+    fn default() -> Self {
+        LatencyModel::Exponential { mean: 5.0 }
+    }
+}
+
+impl LatencyModel {
+    /// Sample one latency (always strictly positive).
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match self {
+            LatencyModel::Constant(v) => *v,
+            LatencyModel::Uniform { lo, hi } => {
+                if (hi - lo).abs() < f64::EPSILON {
+                    *lo
+                } else {
+                    rng.random_range(*lo..*hi)
+                }
+            }
+            LatencyModel::Exponential { mean } => {
+                let u: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                -mean * u.ln()
+            }
+            LatencyModel::LogNormal { mu, sigma } => {
+                let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+                let u2: f64 = rng.random::<f64>();
+                let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+                (mu + sigma * z).exp()
+            }
+        };
+        v.max(1e-6)
+    }
+}
+
+/// An arrival schedule: which worker (by index into the assignment) finishes at what time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrivalSchedule {
+    /// `(worker_index, completion_time)` sorted by completion time.
+    entries: Vec<(usize, f64)>,
+}
+
+impl ArrivalSchedule {
+    /// Build a schedule from per-worker completion times.
+    pub fn from_times(times: Vec<f64>) -> Self {
+        let mut entries: Vec<(usize, f64)> = times.into_iter().enumerate().collect();
+        entries.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        ArrivalSchedule { entries }
+    }
+
+    /// Number of scheduled arrivals.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Iterate over `(worker_index, completion_time)` in arrival order.
+    pub fn iter(&self) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// The arrival order as worker indices.
+    pub fn order(&self) -> Vec<usize> {
+        self.entries.iter().map(|(i, _)| *i).collect()
+    }
+
+    /// Completion time of the last arrival (the HIT's makespan).
+    pub fn makespan(&self) -> f64 {
+        self.entries.last().map(|(_, t)| *t).unwrap_or(0.0)
+    }
+
+    /// The arrivals that have happened by time `t`.
+    pub fn arrived_by(&self, t: f64) -> impl Iterator<Item = (usize, f64)> + '_ {
+        self.entries.iter().copied().take_while(move |(_, at)| *at <= t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_are_positive() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let models = [
+            LatencyModel::Constant(2.0),
+            LatencyModel::Uniform { lo: 1.0, hi: 4.0 },
+            LatencyModel::Exponential { mean: 3.0 },
+            LatencyModel::LogNormal { mu: 1.0, sigma: 0.5 },
+        ];
+        for m in models {
+            for _ in 0..1000 {
+                assert!(m.sample(&mut rng) > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn exponential_mean_is_respected() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = LatencyModel::Exponential { mean: 5.0 };
+        let n = 50_000;
+        let mean: f64 = (0..n).map(|_| m.sample(&mut rng)).sum::<f64>() / n as f64;
+        assert!((mean - 5.0).abs() < 0.1, "mean {mean}");
+    }
+
+    #[test]
+    fn schedule_sorts_by_completion_time() {
+        let schedule = ArrivalSchedule::from_times(vec![5.0, 1.0, 3.0]);
+        assert_eq!(schedule.order(), vec![1, 2, 0]);
+        assert_eq!(schedule.len(), 3);
+        assert!(!schedule.is_empty());
+        assert_eq!(schedule.makespan(), 5.0);
+        let early: Vec<usize> = schedule.arrived_by(3.5).map(|(i, _)| i).collect();
+        assert_eq!(early, vec![1, 2]);
+        let times: Vec<f64> = schedule.iter().map(|(_, t)| t).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn empty_schedule() {
+        let schedule = ArrivalSchedule::from_times(vec![]);
+        assert!(schedule.is_empty());
+        assert_eq!(schedule.makespan(), 0.0);
+        assert_eq!(schedule.order(), Vec::<usize>::new());
+    }
+}

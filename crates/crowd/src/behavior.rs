@@ -1,0 +1,174 @@
+//! Worker behaviour models.
+//!
+//! §1 of the paper motivates the quality problem with two worker types: *malicious* workers
+//! that submit random answers to collect rewards, and well-meaning workers that simply lack
+//! the knowledge for a task. §4.1 additionally mentions colluding workers that agree on a
+//! false answer. The simulator models all of them so that the verification experiments
+//! exercise the same failure modes.
+
+use cdas_core::types::Label;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::question::CrowdQuestion;
+
+/// How a simulated worker produces answers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum WorkerBehavior {
+    /// Answers correctly with their (difficulty-adjusted) accuracy; wrong answers are
+    /// uniform over the remaining labels. The overwhelmingly common case.
+    Diligent,
+    /// Ignores the question entirely and picks a uniformly random label ("submit random
+    /// answers to all questions", §1). Their true accuracy is `1/m` regardless of profile.
+    Spammer,
+    /// Colludes with other colluders: deterministically answers with the *first wrong*
+    /// label of the domain, so all colluders agree on the same false answer (§1's
+    /// "malicious workers may collude to produce a false answer").
+    Colluder,
+    /// A domain expert: their accuracy is boosted towards 1 by the given factor in `[0,1]`
+    /// (0 = no boost, 1 = always correct before difficulty adjustment).
+    Expert {
+        /// Fraction of the remaining error removed.
+        boost: f64,
+    },
+}
+
+impl WorkerBehavior {
+    /// The accuracy this behaviour effectively achieves on a question, given the worker's
+    /// nominal accuracy. Used both by the simulator (to generate answers) and by oracle
+    /// registries (to compute true accuracies).
+    pub fn effective_accuracy(&self, nominal: f64, question: &CrowdQuestion) -> f64 {
+        match self {
+            WorkerBehavior::Diligent => question.effective_accuracy(nominal),
+            WorkerBehavior::Spammer => 1.0 / question.domain.size().max(2) as f64,
+            WorkerBehavior::Colluder => 0.0,
+            WorkerBehavior::Expert { boost } => {
+                let boosted = nominal + (1.0 - nominal) * boost.clamp(0.0, 1.0);
+                question.effective_accuracy(boosted)
+            }
+        }
+    }
+
+    /// Produce an answer to the question.
+    pub fn answer<R: Rng + ?Sized>(
+        &self,
+        nominal_accuracy: f64,
+        question: &CrowdQuestion,
+        rng: &mut R,
+    ) -> Label {
+        match self {
+            WorkerBehavior::Spammer => {
+                let idx = rng.random_range(0..question.domain.size().max(1));
+                question
+                    .domain
+                    .get(idx)
+                    .cloned()
+                    .unwrap_or_else(|| question.ground_truth.clone())
+            }
+            WorkerBehavior::Colluder => question
+                .wrong_answers()
+                .first()
+                .map(|l| (*l).clone())
+                .unwrap_or_else(|| question.ground_truth.clone()),
+            WorkerBehavior::Diligent | WorkerBehavior::Expert { .. } => {
+                let p = self.effective_accuracy(nominal_accuracy, question);
+                if rng.random_bool(p.clamp(0.0, 1.0)) {
+                    question.ground_truth.clone()
+                } else {
+                    let wrong = question.wrong_answers();
+                    if wrong.is_empty() {
+                        question.ground_truth.clone()
+                    } else {
+                        wrong[rng.random_range(0..wrong.len())].clone()
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::types::{AnswerDomain, QuestionId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn question() -> CrowdQuestion {
+        CrowdQuestion::new(
+            QuestionId(0),
+            AnswerDomain::from_strs(&["a", "b", "c", "d"]),
+            Label::from("a"),
+        )
+    }
+
+    fn empirical_accuracy(behavior: &WorkerBehavior, nominal: f64, n: usize) -> f64 {
+        let q = question();
+        let mut rng = StdRng::seed_from_u64(17);
+        let correct = (0..n)
+            .filter(|_| behavior.answer(nominal, &q, &mut rng) == q.ground_truth)
+            .count();
+        correct as f64 / n as f64
+    }
+
+    #[test]
+    fn diligent_workers_hit_their_nominal_accuracy() {
+        let measured = empirical_accuracy(&WorkerBehavior::Diligent, 0.8, 20_000);
+        assert!((measured - 0.8).abs() < 0.01, "measured {measured}");
+    }
+
+    #[test]
+    fn spammers_answer_at_chance_level() {
+        let measured = empirical_accuracy(&WorkerBehavior::Spammer, 0.9, 20_000);
+        assert!((measured - 0.25).abs() < 0.02, "measured {measured}");
+        assert!(
+            (WorkerBehavior::Spammer.effective_accuracy(0.9, &question()) - 0.25).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn colluders_always_agree_on_the_same_wrong_answer() {
+        let q = question();
+        let mut rng = StdRng::seed_from_u64(3);
+        let answers: Vec<Label> = (0..50)
+            .map(|_| WorkerBehavior::Colluder.answer(0.9, &q, &mut rng))
+            .collect();
+        assert!(answers.iter().all(|a| a == &answers[0]));
+        assert_ne!(answers[0], q.ground_truth);
+        assert_eq!(WorkerBehavior::Colluder.effective_accuracy(0.9, &q), 0.0);
+    }
+
+    #[test]
+    fn experts_beat_their_nominal_accuracy() {
+        let nominal = 0.6;
+        let expert = WorkerBehavior::Expert { boost: 0.8 };
+        let measured = empirical_accuracy(&expert, nominal, 20_000);
+        assert!(measured > 0.85, "measured {measured}");
+        assert!(expert.effective_accuracy(nominal, &question()) > nominal);
+    }
+
+    #[test]
+    fn difficulty_reduces_diligent_accuracy() {
+        let q = question().with_difficulty(1.0);
+        let effective = WorkerBehavior::Diligent.effective_accuracy(0.9, &q);
+        assert!((effective - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn binary_domain_edge_case() {
+        let q = CrowdQuestion::new(
+            QuestionId(1),
+            AnswerDomain::from_strs(&["yes", "no"]),
+            Label::from("yes"),
+        );
+        let mut rng = StdRng::seed_from_u64(5);
+        // Colluders pick the single wrong answer.
+        assert_eq!(
+            WorkerBehavior::Colluder.answer(0.9, &q, &mut rng).as_str(),
+            "no"
+        );
+        // Spammers pick between the two answers.
+        let answer = WorkerBehavior::Spammer.answer(0.9, &q, &mut rng);
+        assert!(answer.as_str() == "yes" || answer.as_str() == "no");
+    }
+}

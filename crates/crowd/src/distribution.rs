@@ -1,0 +1,291 @@
+//! Samplers for worker-accuracy and approval-rate distributions.
+//!
+//! The paper's Figure 14 contrasts the distribution of workers' *real accuracy* on the TSA
+//! task (roughly bell-shaped between 0.25 and 1.0, centred around 0.6–0.8) with their AMT
+//! *approval rate* (heavily skewed towards 90–100 %). [`AccuracyDistribution::paper_accuracy`]
+//! and [`AccuracyDistribution::paper_approval`] reproduce those two shapes as empirical
+//! histograms; Beta / truncated-normal / uniform samplers are provided for sensitivity
+//! experiments.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// A distribution over `[0, 1]` used to draw worker accuracies or approval rates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccuracyDistribution {
+    /// Every worker has the same value.
+    Constant(f64),
+    /// Uniform on `[lo, hi] ⊆ [0, 1]`.
+    Uniform {
+        /// Lower bound.
+        lo: f64,
+        /// Upper bound.
+        hi: f64,
+    },
+    /// Beta(α, β) — the conjugate prior for accuracies; sampled via Jöhnk's algorithm.
+    Beta {
+        /// Shape parameter α > 0.
+        alpha: f64,
+        /// Shape parameter β > 0.
+        beta: f64,
+    },
+    /// Normal(mean, std) truncated to `[0.01, 0.99]` by rejection.
+    TruncatedNormal {
+        /// Mean of the underlying normal.
+        mean: f64,
+        /// Standard deviation of the underlying normal.
+        std: f64,
+    },
+    /// Empirical histogram: a list of `(bin_lo, bin_hi, weight)` entries; a bin is chosen
+    /// with probability proportional to its weight and the value is uniform inside it.
+    Empirical {
+        /// Histogram bins.
+        bins: Vec<(f64, f64, f64)>,
+    },
+}
+
+impl AccuracyDistribution {
+    /// The distribution of workers' *real accuracy* on the TSA task, shaped after the
+    /// paper's Figure 14 (mass between 0.25 and 1.0, peaking in the 0.6–0.8 bands).
+    pub fn paper_accuracy() -> Self {
+        AccuracyDistribution::Empirical {
+            bins: vec![
+                (0.25, 0.30, 0.01),
+                (0.30, 0.35, 0.01),
+                (0.35, 0.40, 0.02),
+                (0.40, 0.45, 0.03),
+                (0.45, 0.50, 0.04),
+                (0.50, 0.55, 0.07),
+                (0.55, 0.60, 0.10),
+                (0.60, 0.65, 0.14),
+                (0.65, 0.70, 0.16),
+                (0.70, 0.75, 0.15),
+                (0.75, 0.80, 0.12),
+                (0.80, 0.85, 0.08),
+                (0.85, 0.90, 0.04),
+                (0.90, 0.95, 0.02),
+                (0.95, 1.00, 0.01),
+            ],
+        }
+    }
+
+    /// The distribution of AMT *approval rates*, shaped after Figure 14 (over half of the
+    /// workers sit in the 95–100 % band regardless of their task accuracy).
+    pub fn paper_approval() -> Self {
+        AccuracyDistribution::Empirical {
+            bins: vec![
+                (0.50, 0.60, 0.02),
+                (0.60, 0.70, 0.03),
+                (0.70, 0.80, 0.05),
+                (0.80, 0.85, 0.06),
+                (0.85, 0.90, 0.09),
+                (0.90, 0.95, 0.22),
+                (0.95, 1.00, 0.53),
+            ],
+        }
+    }
+
+    /// Draw one value in `[0, 1]`.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        let v = match self {
+            AccuracyDistribution::Constant(v) => *v,
+            AccuracyDistribution::Uniform { lo, hi } => {
+                if (hi - lo).abs() < f64::EPSILON {
+                    *lo
+                } else {
+                    rng.random_range(*lo..*hi)
+                }
+            }
+            AccuracyDistribution::Beta { alpha, beta } => sample_beta(rng, *alpha, *beta),
+            AccuracyDistribution::TruncatedNormal { mean, std } => {
+                sample_truncated_normal(rng, *mean, *std)
+            }
+            AccuracyDistribution::Empirical { bins } => sample_empirical(rng, bins),
+        };
+        v.clamp(0.0, 1.0)
+    }
+
+    /// The mean of the distribution, estimated analytically where possible and otherwise
+    /// from the bin structure.
+    pub fn mean(&self) -> f64 {
+        match self {
+            AccuracyDistribution::Constant(v) => *v,
+            AccuracyDistribution::Uniform { lo, hi } => 0.5 * (lo + hi),
+            AccuracyDistribution::Beta { alpha, beta } => alpha / (alpha + beta),
+            AccuracyDistribution::TruncatedNormal { mean, .. } => mean.clamp(0.01, 0.99),
+            AccuracyDistribution::Empirical { bins } => {
+                let total: f64 = bins.iter().map(|(_, _, w)| w).sum();
+                if total <= 0.0 {
+                    return 0.5;
+                }
+                bins.iter()
+                    .map(|(lo, hi, w)| 0.5 * (lo + hi) * w)
+                    .sum::<f64>()
+                    / total
+            }
+        }
+    }
+}
+
+/// Jöhnk's Beta sampler: draw U, V uniform until U^{1/α} + V^{1/β} ≤ 1; the sample is
+/// X = U^{1/α} / (U^{1/α} + V^{1/β}). Falls back to the mean after too many rejections
+/// (only relevant for very large α+β, where the distribution is sharply peaked anyway).
+fn sample_beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
+    assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+    for _ in 0..256 {
+        let u: f64 = rng.random::<f64>();
+        let v: f64 = rng.random::<f64>();
+        let x = u.powf(1.0 / alpha);
+        let y = v.powf(1.0 / beta);
+        if x + y <= 1.0 && x + y > 0.0 {
+            return x / (x + y);
+        }
+    }
+    alpha / (alpha + beta)
+}
+
+/// Box–Muller normal sampler with rejection outside `[0.01, 0.99]`.
+fn sample_truncated_normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std: f64) -> f64 {
+    for _ in 0..256 {
+        let u1: f64 = rng.random::<f64>().max(f64::MIN_POSITIVE);
+        let u2: f64 = rng.random::<f64>();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        let v = mean + std * z;
+        if (0.01..=0.99).contains(&v) {
+            return v;
+        }
+    }
+    mean.clamp(0.01, 0.99)
+}
+
+fn sample_empirical<R: Rng + ?Sized>(rng: &mut R, bins: &[(f64, f64, f64)]) -> f64 {
+    let total: f64 = bins.iter().map(|(_, _, w)| w).sum();
+    if bins.is_empty() || total <= 0.0 {
+        return 0.5;
+    }
+    let mut target = rng.random::<f64>() * total;
+    for (lo, hi, w) in bins {
+        if target <= *w {
+            return if (hi - lo).abs() < f64::EPSILON {
+                *lo
+            } else {
+                rng.random_range(*lo..*hi)
+            };
+        }
+        target -= w;
+    }
+    let (lo, hi, _) = bins[bins.len() - 1];
+    0.5 * (lo + hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn sample_mean(dist: &AccuracyDistribution, n: usize, seed: u64) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| dist.sample(&mut rng)).sum::<f64>() / n as f64
+    }
+
+    #[test]
+    fn constant_distribution() {
+        let d = AccuracyDistribution::Constant(0.73);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10 {
+            assert_eq!(d.sample(&mut rng), 0.73);
+        }
+        assert_eq!(d.mean(), 0.73);
+    }
+
+    #[test]
+    fn uniform_stays_in_range_and_mean_matches() {
+        let d = AccuracyDistribution::Uniform { lo: 0.6, hi: 0.8 };
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = d.sample(&mut rng);
+            assert!((0.6..=0.8).contains(&v));
+        }
+        assert!((sample_mean(&d, 20_000, 3) - 0.7).abs() < 0.01);
+        assert!((d.mean() - 0.7).abs() < 1e-12);
+        // Degenerate range behaves like a constant.
+        let d = AccuracyDistribution::Uniform { lo: 0.5, hi: 0.5 };
+        assert_eq!(d.sample(&mut rng), 0.5);
+    }
+
+    #[test]
+    fn beta_sampler_matches_analytic_mean() {
+        for &(alpha, beta) in &[(2.0, 2.0), (5.0, 2.0), (8.0, 3.0)] {
+            let d = AccuracyDistribution::Beta { alpha, beta };
+            let empirical = sample_mean(&d, 30_000, 42);
+            assert!(
+                (empirical - d.mean()).abs() < 0.02,
+                "Beta({alpha},{beta}): empirical mean {empirical} vs analytic {}",
+                d.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn truncated_normal_stays_in_bounds() {
+        let d = AccuracyDistribution::TruncatedNormal { mean: 0.7, std: 0.1 };
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..5000 {
+            let v = d.sample(&mut rng);
+            assert!((0.0..=1.0).contains(&v));
+        }
+        assert!((sample_mean(&d, 20_000, 8) - 0.7).abs() < 0.02);
+    }
+
+    #[test]
+    fn empirical_histogram_respects_bins() {
+        let d = AccuracyDistribution::Empirical {
+            bins: vec![(0.2, 0.3, 1.0), (0.8, 0.9, 3.0)],
+        };
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut high = 0usize;
+        let n = 20_000;
+        for _ in 0..n {
+            let v = d.sample(&mut rng);
+            assert!((0.2..0.3).contains(&v) || (0.8..0.9).contains(&v));
+            if v >= 0.8 {
+                high += 1;
+            }
+        }
+        let frac = high as f64 / n as f64;
+        assert!((frac - 0.75).abs() < 0.02, "high-bin fraction {frac}");
+    }
+
+    #[test]
+    fn paper_distributions_have_the_figure_14_shape() {
+        let accuracy = AccuracyDistribution::paper_accuracy();
+        let approval = AccuracyDistribution::paper_approval();
+        // Approval rates are much higher on average than real accuracies.
+        assert!(approval.mean() > accuracy.mean() + 0.15);
+        // Real accuracy mean sits in the usable (> 0.5) band so the prediction model works.
+        assert!(accuracy.mean() > 0.6 && accuracy.mean() < 0.75);
+        // Over half of the approval mass is in the 90–100 % band.
+        let mut rng = StdRng::seed_from_u64(5);
+        let high = (0..10_000)
+            .filter(|_| approval.sample(&mut rng) >= 0.9)
+            .count();
+        assert!(high > 6_000);
+    }
+
+    #[test]
+    fn degenerate_empirical_falls_back() {
+        let d = AccuracyDistribution::Empirical { bins: vec![] };
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(d.sample(&mut rng), 0.5);
+        assert_eq!(d.mean(), 0.5);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let d = AccuracyDistribution::paper_accuracy();
+        let a = sample_mean(&d, 100, 99);
+        let b = sample_mean(&d, 100, 99);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,126 @@
+//! HITs (Human Intelligence Tasks) as the platform sees them.
+//!
+//! A HIT bundles a batch of questions (in TSA: `B` tweets about one movie, `αB` of which
+//! are gold samples) and asks for `n` assignments, i.e. `n` distinct workers each answering
+//! every question in the batch.
+
+use cdas_core::sampling::SamplingPlan;
+use cdas_core::types::HitId;
+use serde::{Deserialize, Serialize};
+
+use crate::question::CrowdQuestion;
+
+/// A request to publish a HIT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitRequest {
+    /// The questions in the batch, in presentation order.
+    pub questions: Vec<CrowdQuestion>,
+    /// Number of workers (assignments) requested, the `n` from the prediction model.
+    pub assignments: usize,
+    /// Reward per assignment in dollars (the `m_c` of the economic model).
+    pub reward: f64,
+}
+
+impl HitRequest {
+    /// Build a request.
+    pub fn new(questions: Vec<CrowdQuestion>, assignments: usize, reward: f64) -> Self {
+        HitRequest {
+            questions,
+            assignments,
+            reward,
+        }
+    }
+
+    /// Number of questions in the batch (`B`).
+    pub fn batch_size(&self) -> usize {
+        self.questions.len()
+    }
+
+    /// Number of gold questions in the batch (`αB`).
+    pub fn gold_count(&self) -> usize {
+        self.questions.iter().filter(|q| q.is_gold).count()
+    }
+
+    /// Whether the gold questions in this batch agree with a sampling plan's positions.
+    pub fn matches_plan(&self, plan: &SamplingPlan) -> bool {
+        if self.questions.len() != plan.batch_size() {
+            return false;
+        }
+        self.questions
+            .iter()
+            .enumerate()
+            .all(|(i, q)| q.is_gold == plan.is_gold(i))
+    }
+}
+
+/// A HIT accepted by the platform.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PublishedHit {
+    /// The platform-assigned identifier.
+    pub id: HitId,
+    /// The original request.
+    pub request: HitRequest,
+    /// Simulated wall-clock time at which the HIT was published.
+    pub published_at: f64,
+}
+
+impl PublishedHit {
+    /// Total number of answers the platform will eventually deliver if the HIT is not
+    /// cancelled: one answer per question per assignment.
+    pub fn expected_answers(&self) -> usize {
+        self.request.assignments * self.request.questions.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::types::{AnswerDomain, Label, QuestionId};
+
+    fn question(i: u64, gold: bool) -> CrowdQuestion {
+        let q = CrowdQuestion::new(
+            QuestionId(i),
+            AnswerDomain::from_strs(&["a", "b"]),
+            Label::from("a"),
+        );
+        if gold {
+            q.as_gold()
+        } else {
+            q
+        }
+    }
+
+    #[test]
+    fn request_counts_gold_questions() {
+        let request = HitRequest::new(
+            vec![question(0, true), question(1, false), question(2, false)],
+            5,
+            0.01,
+        );
+        assert_eq!(request.batch_size(), 3);
+        assert_eq!(request.gold_count(), 1);
+    }
+
+    #[test]
+    fn request_matches_sampling_plan() {
+        let plan = SamplingPlan::new(10, 0.2).unwrap();
+        let questions: Vec<CrowdQuestion> = (0..10)
+            .map(|i| question(i as u64, plan.is_gold(i)))
+            .collect();
+        let request = HitRequest::new(questions, 3, 0.01);
+        assert!(request.matches_plan(&plan));
+        // Wrong batch size does not match.
+        let short = HitRequest::new(vec![question(0, true)], 3, 0.01);
+        assert!(!short.matches_plan(&plan));
+    }
+
+    #[test]
+    fn published_hit_expected_answers() {
+        let hit = PublishedHit {
+            id: HitId(1),
+            request: HitRequest::new(vec![question(0, false), question(1, false)], 7, 0.01),
+            published_at: 0.0,
+        };
+        assert_eq!(hit.expected_answers(), 14);
+    }
+}

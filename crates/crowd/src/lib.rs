@@ -1,0 +1,41 @@
+//! # cdas-crowd — a simulated crowdsourcing platform (the AMT substrate of CDAS)
+//!
+//! The CDAS paper evaluates its answering model on Amazon Mechanical Turk. A reproduction
+//! cannot employ a real crowd, so this crate provides a **discrete, seeded simulation** of
+//! everything the answering model observes about one:
+//!
+//! * a [`pool::WorkerPool`] of simulated workers whose latent accuracies follow a
+//!   configurable [`distribution::AccuracyDistribution`] (including an empirical
+//!   distribution shaped like the paper's Figure 14),
+//! * per-worker [`behavior::WorkerBehavior`] models — diligent workers, spammers that
+//!   answer at random, and colluders that agree on a wrong answer (§1 names both threats),
+//! * **approval rates** that are deliberately *decoupled* from true task accuracy
+//!   ([`approval`]), reproducing the paper's observation that AMT approval rates are not a
+//!   usable accuracy signal,
+//! * asynchronous answer **arrival** with configurable latency models ([`arrival`]), which
+//!   drives the online-processing experiments, and
+//! * a [`platform::SimulatedPlatform`] that publishes HITs, delivers answers in arrival
+//!   order, supports cancelling a HIT early, and charges the requester per delivered
+//!   answer using the economic model of §3.1.
+//!
+//! Everything is deterministic given a seed, so every experiment in `cdas-bench` is
+//! reproducible.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod approval;
+pub mod arrival;
+pub mod behavior;
+pub mod distribution;
+pub mod hit;
+pub mod platform;
+pub mod pool;
+pub mod question;
+pub mod worker;
+
+pub use platform::{CrowdPlatform, SimulatedPlatform, WorkerAnswer};
+pub use pool::{PoolConfig, WorkerPool};
+pub use question::CrowdQuestion;
+pub use worker::SimulatedWorker;

@@ -1,0 +1,310 @@
+//! The simulated crowdsourcing platform: publish HITs, receive answers asynchronously,
+//! cancel HITs early, and get charged per delivered assignment (§3.1's economic model,
+//! including the paper's footnote that a cancelled HIT does not pay workers who have not
+//! submitted yet).
+
+use std::collections::BTreeMap;
+
+use cdas_core::economics::CostModel;
+use cdas_core::types::{HitId, Label, QuestionId, WorkerId};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::ArrivalSchedule;
+use crate::hit::{HitRequest, PublishedHit};
+use crate::pool::WorkerPool;
+
+/// One worker's answer to one question of a HIT, delivered at a simulated time.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerAnswer {
+    /// The HIT the answer belongs to.
+    pub hit: HitId,
+    /// The answering worker.
+    pub worker: WorkerId,
+    /// The question answered.
+    pub question: QuestionId,
+    /// The chosen label.
+    pub label: Label,
+    /// Reason keywords the worker attached (empty for wrong or lazy answers).
+    pub keywords: Vec<String>,
+    /// Simulated time (minutes since publication) the answer arrived at.
+    pub arrived_at: f64,
+    /// The worker's publicly visible approval rate at submission time.
+    pub approval_rate: f64,
+}
+
+/// The interface the crowdsourcing engine programs against. `SimulatedPlatform` is the only
+/// implementation in this repository; a real AMT adapter would implement the same trait.
+pub trait CrowdPlatform {
+    /// Publish a HIT and return its identifier.
+    fn publish(&mut self, request: HitRequest) -> HitId;
+
+    /// All answers of the HIT that have *arrived* by `now` (minutes since publication) and
+    /// have not been returned by a previous poll.
+    fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer>;
+
+    /// Cancel the outstanding assignments of a HIT. Returns the number of per-question
+    /// answers that will now never be delivered (and never be paid for).
+    fn cancel(&mut self, hit: HitId) -> usize;
+
+    /// Total amount charged to the requester so far.
+    fn total_cost(&self) -> f64;
+}
+
+struct HitState {
+    hit: PublishedHit,
+    /// Every answer the assigned workers will eventually produce, sorted by arrival time.
+    pending: Vec<WorkerAnswer>,
+    /// Index of the next pending answer to deliver.
+    delivered: usize,
+    cancelled: bool,
+}
+
+/// A deterministic, in-memory simulation of an AMT-like platform backed by a
+/// [`WorkerPool`].
+pub struct SimulatedPlatform {
+    pool: WorkerPool,
+    cost_model: CostModel,
+    rng: StdRng,
+    hits: BTreeMap<HitId, HitState>,
+    next_hit: u64,
+    charged: f64,
+}
+
+impl SimulatedPlatform {
+    /// Create a platform over the given pool. All randomness (worker assignment, answer
+    /// generation, latencies) derives from `seed`.
+    pub fn new(pool: WorkerPool, cost_model: CostModel, seed: u64) -> Self {
+        SimulatedPlatform {
+            pool,
+            cost_model,
+            rng: StdRng::seed_from_u64(seed),
+            hits: BTreeMap::new(),
+            next_hit: 0,
+            charged: 0.0,
+        }
+    }
+
+    /// The worker pool backing the platform.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// The published state of a HIT, if it exists.
+    pub fn hit(&self, id: HitId) -> Option<&PublishedHit> {
+        self.hits.get(&id).map(|s| &s.hit)
+    }
+
+    /// Convenience for experiments: publish a HIT and immediately return *all* of its
+    /// answers in arrival order (as if polled at the end of time), charging for all of
+    /// them.
+    pub fn publish_and_collect(&mut self, request: HitRequest) -> (HitId, Vec<WorkerAnswer>) {
+        let id = self.publish(request);
+        let answers = self.poll(id, f64::INFINITY);
+        (id, answers)
+    }
+}
+
+impl CrowdPlatform for SimulatedPlatform {
+    fn publish(&mut self, request: HitRequest) -> HitId {
+        let id = HitId(self.next_hit);
+        self.next_hit += 1;
+
+        // Assign n random workers from the pool (AMT: "n random workers provide answers").
+        let assigned: Vec<_> = self
+            .pool
+            .assign(request.assignments, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        // One completion time per worker: a worker submits all their answers when they
+        // finish the HIT.
+        let times: Vec<f64> = assigned
+            .iter()
+            .map(|w| w.sample_latency(&mut self.rng))
+            .collect();
+        let schedule = ArrivalSchedule::from_times(times);
+
+        let mut pending = Vec::with_capacity(assigned.len() * request.questions.len());
+        for (worker_idx, finished_at) in schedule.iter() {
+            let worker = &assigned[worker_idx];
+            for question in &request.questions {
+                let (label, keywords) = worker.answer_with_reasons(question, &mut self.rng);
+                pending.push(WorkerAnswer {
+                    hit: id,
+                    worker: worker.id,
+                    question: question.id,
+                    label,
+                    keywords,
+                    arrived_at: finished_at,
+                    approval_rate: worker.approval_rate,
+                });
+            }
+        }
+
+        self.hits.insert(
+            id,
+            HitState {
+                hit: PublishedHit {
+                    id,
+                    request,
+                    published_at: 0.0,
+                },
+                pending,
+                delivered: 0,
+                cancelled: false,
+            },
+        );
+        id
+    }
+
+    fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer> {
+        let Some(state) = self.hits.get_mut(&hit) else {
+            return Vec::new();
+        };
+        if state.cancelled {
+            return Vec::new();
+        }
+        let mut delivered = Vec::new();
+        while state.delivered < state.pending.len()
+            && state.pending[state.delivered].arrived_at <= now
+        {
+            delivered.push(state.pending[state.delivered].clone());
+            state.delivered += 1;
+        }
+        // The requester is charged per delivered per-question answer, pro-rated from the
+        // per-assignment price over the batch size.
+        let batch = state.hit.request.questions.len().max(1);
+        self.charged +=
+            self.cost_model.per_assignment() * delivered.len() as f64 / batch as f64;
+        delivered
+    }
+
+    fn cancel(&mut self, hit: HitId) -> usize {
+        let Some(state) = self.hits.get_mut(&hit) else {
+            return 0;
+        };
+        if state.cancelled {
+            return 0;
+        }
+        state.cancelled = true;
+        state.pending.len() - state.delivered
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.charged
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use crate::question::CrowdQuestion;
+    use cdas_core::types::AnswerDomain;
+
+    fn platform(pool_size: usize, accuracy: f64) -> SimulatedPlatform {
+        let pool = WorkerPool::generate(&PoolConfig::clean(pool_size, accuracy, 5));
+        SimulatedPlatform::new(pool, CostModel::new(0.01, 0.001).unwrap(), 99)
+    }
+
+    fn request(questions: u64, assignments: usize) -> HitRequest {
+        let qs: Vec<CrowdQuestion> = (0..questions)
+            .map(|i| {
+                CrowdQuestion::new(
+                    QuestionId(i),
+                    AnswerDomain::from_strs(&["pos", "neu", "neg"]),
+                    Label::from("pos"),
+                )
+            })
+            .collect();
+        HitRequest::new(qs, assignments, 0.01)
+    }
+
+    #[test]
+    fn publish_and_collect_delivers_all_answers() {
+        let mut p = platform(50, 0.8);
+        let (id, answers) = p.publish_and_collect(request(4, 5));
+        assert_eq!(answers.len(), 20, "5 workers × 4 questions");
+        assert!(p.hit(id).is_some());
+        // Arrival order is non-decreasing.
+        assert!(answers.windows(2).all(|w| w[0].arrived_at <= w[1].arrived_at));
+        // Workers are distinct per assignment.
+        let mut workers: Vec<u64> = answers.iter().map(|a| a.worker.0).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers.len(), 5);
+        // The full price was charged: 5 assignments × (0.01 + 0.001).
+        assert!((p.total_cost() - 0.055).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poll_respects_time_and_does_not_redeliver() {
+        let mut p = platform(50, 0.8);
+        let id = p.publish(request(2, 7));
+        let early = p.poll(id, 0.5);
+        let later = p.poll(id, f64::INFINITY);
+        assert_eq!(early.len() + later.len(), 14);
+        // Nothing is delivered twice.
+        let mut seen: Vec<(u64, u64)> = early
+            .iter()
+            .chain(later.iter())
+            .map(|a| (a.worker.0, a.question.0))
+            .collect();
+        let total = seen.len();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), total);
+    }
+
+    #[test]
+    fn cancel_stops_delivery_and_charging() {
+        let mut p = platform(50, 0.8);
+        let id = p.publish(request(1, 9));
+        // Deliver only the earliest answers, then cancel.
+        let some = p.poll(id, 1.0);
+        let cost_before = p.total_cost();
+        let skipped = p.cancel(id);
+        assert_eq!(some.len() + skipped, 9);
+        assert!(p.poll(id, f64::INFINITY).is_empty());
+        assert_eq!(p.total_cost(), cost_before, "no charge after cancellation");
+        // Cancelling twice is a no-op.
+        assert_eq!(p.cancel(id), 0);
+    }
+
+    #[test]
+    fn high_accuracy_pool_answers_mostly_correctly() {
+        let mut p = platform(100, 0.9);
+        let (_, answers) = p.publish_and_collect(request(20, 9));
+        let correct = answers
+            .iter()
+            .filter(|a| a.label.as_str() == "pos")
+            .count();
+        let accuracy = correct as f64 / answers.len() as f64;
+        assert!((accuracy - 0.9).abs() < 0.06, "measured accuracy {accuracy}");
+    }
+
+    #[test]
+    fn unknown_hit_is_handled_gracefully() {
+        let mut p = platform(10, 0.8);
+        assert!(p.poll(HitId(99), 1.0).is_empty());
+        assert_eq!(p.cancel(HitId(99)), 0);
+        assert!(p.hit(HitId(99)).is_none());
+        assert_eq!(p.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn platform_is_deterministic_for_a_seed() {
+        let collect = || {
+            let pool = WorkerPool::generate(&PoolConfig::default());
+            let mut p = SimulatedPlatform::new(pool, CostModel::default(), 7);
+            let (_, answers) = p.publish_and_collect(request(3, 5));
+            answers
+                .iter()
+                .map(|a| (a.worker.0, a.question.0, a.label.as_str().to_string()))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(collect(), collect());
+    }
+}

@@ -1,0 +1,124 @@
+//! The questions a HIT poses to the crowd, as the *simulator* sees them.
+//!
+//! Unlike the engine (which must not know the truth), the simulated crowd needs the ground
+//! truth and a difficulty score to decide how a worker of a given accuracy answers.
+
+use cdas_core::types::{AnswerDomain, Label, QuestionId};
+use serde::{Deserialize, Serialize};
+
+/// A question posed to the crowd, carrying the simulation-side metadata (ground truth,
+/// difficulty) that real platforms obviously do not expose to the requester.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CrowdQuestion {
+    /// Question identifier (unique within a job).
+    pub id: QuestionId,
+    /// The candidate answers shown to the worker.
+    pub domain: AnswerDomain,
+    /// The correct answer.
+    pub ground_truth: Label,
+    /// How hard the question is for a human, in `[0, 1]`: 0 means a worker answers with
+    /// their nominal accuracy, 1 means they are reduced to a random guess. This models the
+    /// paper's observation that some tweets (sarcasm, slang) are much harder than average.
+    pub difficulty: f64,
+    /// Whether this is a gold question injected by the sampling plan (§3.3); the engine
+    /// knows the ground truth of gold questions, the workers cannot tell them apart.
+    pub is_gold: bool,
+    /// Keywords associated with the correct answer, which diligent workers echo as their
+    /// "reasons" (feeds the presentation layer).
+    pub reason_keywords: Vec<String>,
+}
+
+impl CrowdQuestion {
+    /// Create a question with no particular difficulty.
+    pub fn new(id: QuestionId, domain: AnswerDomain, ground_truth: Label) -> Self {
+        CrowdQuestion {
+            id,
+            domain,
+            ground_truth,
+            difficulty: 0.0,
+            is_gold: false,
+            reason_keywords: Vec::new(),
+        }
+    }
+
+    /// Set the difficulty in `[0, 1]`.
+    pub fn with_difficulty(mut self, difficulty: f64) -> Self {
+        self.difficulty = difficulty.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Mark the question as a gold (sampling) question.
+    pub fn as_gold(mut self) -> Self {
+        self.is_gold = true;
+        self
+    }
+
+    /// Attach reason keywords.
+    pub fn with_reasons(mut self, keywords: impl IntoIterator<Item = String>) -> Self {
+        self.reason_keywords = keywords.into_iter().collect();
+        self
+    }
+
+    /// The probability that a worker of nominal accuracy `accuracy` answers this question
+    /// correctly: difficulty interpolates between the nominal accuracy and a random guess
+    /// over the domain.
+    pub fn effective_accuracy(&self, accuracy: f64) -> f64 {
+        let guess = 1.0 / self.domain.size().max(2) as f64;
+        let a = accuracy.clamp(0.0, 1.0);
+        (a * (1.0 - self.difficulty) + guess * self.difficulty).clamp(0.0, 1.0)
+    }
+
+    /// The wrong answers of the domain.
+    pub fn wrong_answers(&self) -> Vec<&Label> {
+        self.domain
+            .labels()
+            .filter(|l| **l != self.ground_truth)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn question() -> CrowdQuestion {
+        CrowdQuestion::new(
+            QuestionId(1),
+            AnswerDomain::from_strs(&["pos", "neu", "neg"]),
+            Label::from("pos"),
+        )
+    }
+
+    #[test]
+    fn builders_set_fields() {
+        let q = question()
+            .with_difficulty(0.4)
+            .as_gold()
+            .with_reasons(vec!["siri".to_string()]);
+        assert_eq!(q.difficulty, 0.4);
+        assert!(q.is_gold);
+        assert_eq!(q.reason_keywords, vec!["siri"]);
+        // Difficulty is clamped.
+        assert_eq!(question().with_difficulty(7.0).difficulty, 1.0);
+        assert_eq!(question().with_difficulty(-1.0).difficulty, 0.0);
+    }
+
+    #[test]
+    fn effective_accuracy_interpolates_towards_guessing() {
+        let easy = question(); // difficulty 0
+        assert!((easy.effective_accuracy(0.9) - 0.9).abs() < 1e-12);
+        let hard = question().with_difficulty(1.0);
+        assert!((hard.effective_accuracy(0.9) - 1.0 / 3.0).abs() < 1e-12);
+        let medium = question().with_difficulty(0.5);
+        let expected = 0.5 * 0.9 + 0.5 / 3.0;
+        assert!((medium.effective_accuracy(0.9) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrong_answers_exclude_ground_truth() {
+        let q = question();
+        let wrong = q.wrong_answers();
+        assert_eq!(wrong.len(), 2);
+        assert!(wrong.iter().all(|l| l.as_str() != "pos"));
+    }
+}

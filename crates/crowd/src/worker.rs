@@ -1,0 +1,162 @@
+//! A simulated crowd worker.
+
+use cdas_core::types::{Label, WorkerId};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::arrival::LatencyModel;
+use crate::behavior::WorkerBehavior;
+use crate::question::CrowdQuestion;
+
+/// One simulated worker: a latent accuracy, a behaviour model, a public approval rate and a
+/// latency profile governing when their answers arrive.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SimulatedWorker {
+    /// The worker's identifier on the platform.
+    pub id: WorkerId,
+    /// Latent probability of answering an average-difficulty question correctly.
+    /// Hidden from the engine; only the simulator and oracle registries see it.
+    pub true_accuracy: f64,
+    /// Behaviour model (diligent / spammer / colluder / expert).
+    pub behavior: WorkerBehavior,
+    /// The publicly visible AMT-style approval rate (poorly correlated with accuracy).
+    pub approval_rate: f64,
+    /// Distribution of the time the worker takes to return a HIT.
+    pub latency: LatencyModel,
+}
+
+impl SimulatedWorker {
+    /// Create a diligent worker with the given accuracy, full approval and unit latency.
+    pub fn diligent(id: WorkerId, accuracy: f64) -> Self {
+        SimulatedWorker {
+            id,
+            true_accuracy: accuracy.clamp(0.0, 1.0),
+            behavior: WorkerBehavior::Diligent,
+            approval_rate: 1.0,
+            latency: LatencyModel::Constant(1.0),
+        }
+    }
+
+    /// Override the behaviour model.
+    pub fn with_behavior(mut self, behavior: WorkerBehavior) -> Self {
+        self.behavior = behavior;
+        self
+    }
+
+    /// Override the approval rate.
+    pub fn with_approval_rate(mut self, approval: f64) -> Self {
+        self.approval_rate = approval.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Override the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// The accuracy this worker actually achieves on the given question (behaviour and
+    /// difficulty adjusted). This is what an oracle accuracy registry should contain.
+    pub fn effective_accuracy(&self, question: &CrowdQuestion) -> f64 {
+        self.behavior
+            .effective_accuracy(self.true_accuracy, question)
+    }
+
+    /// Answer one question.
+    pub fn answer<R: Rng + ?Sized>(&self, question: &CrowdQuestion, rng: &mut R) -> Label {
+        self.behavior.answer(self.true_accuracy, question, rng)
+    }
+
+    /// Answer one question and, when answering correctly, echo (a subset of) the question's
+    /// reason keywords — the simulated analogue of the free-text reasons the paper's TSA
+    /// interface collects.
+    pub fn answer_with_reasons<R: Rng + ?Sized>(
+        &self,
+        question: &CrowdQuestion,
+        rng: &mut R,
+    ) -> (Label, Vec<String>) {
+        let label = self.answer(question, rng);
+        let reasons = if label == question.ground_truth {
+            question
+                .reason_keywords
+                .iter()
+                .filter(|_| rng.random_bool(0.8))
+                .cloned()
+                .collect()
+        } else {
+            Vec::new()
+        };
+        (label, reasons)
+    }
+
+    /// Sample the time (in simulated minutes) this worker takes to return a HIT.
+    pub fn sample_latency<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        self.latency.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::types::{AnswerDomain, QuestionId};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn question() -> CrowdQuestion {
+        CrowdQuestion::new(
+            QuestionId(0),
+            AnswerDomain::from_strs(&["pos", "neu", "neg"]),
+            Label::from("pos"),
+        )
+        .with_reasons(vec!["plot".to_string(), "acting".to_string()])
+    }
+
+    #[test]
+    fn builders_clamp_values() {
+        let w = SimulatedWorker::diligent(WorkerId(1), 1.7).with_approval_rate(2.0);
+        assert_eq!(w.true_accuracy, 1.0);
+        assert_eq!(w.approval_rate, 1.0);
+    }
+
+    #[test]
+    fn diligent_worker_accuracy_is_measurable() {
+        let w = SimulatedWorker::diligent(WorkerId(1), 0.75);
+        let q = question();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 20_000;
+        let correct = (0..n).filter(|_| w.answer(&q, &mut rng) == q.ground_truth).count();
+        let measured = correct as f64 / n as f64;
+        assert!((measured - 0.75).abs() < 0.01);
+        assert!((w.effective_accuracy(&q) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reasons_only_accompany_correct_answers() {
+        let w = SimulatedWorker::diligent(WorkerId(2), 0.5);
+        let q = question();
+        let mut rng = StdRng::seed_from_u64(10);
+        for _ in 0..200 {
+            let (label, reasons) = w.answer_with_reasons(&q, &mut rng);
+            if label != q.ground_truth {
+                assert!(reasons.is_empty());
+            } else {
+                assert!(reasons.iter().all(|r| q.reason_keywords.contains(r)));
+            }
+        }
+    }
+
+    #[test]
+    fn spammer_behaviour_overrides_accuracy() {
+        let w = SimulatedWorker::diligent(WorkerId(3), 0.95).with_behavior(WorkerBehavior::Spammer);
+        let q = question();
+        assert!((w.effective_accuracy(&q) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn latency_sampling_uses_the_model() {
+        let w = SimulatedWorker::diligent(WorkerId(4), 0.8)
+            .with_latency(LatencyModel::Constant(7.5));
+        let mut rng = StdRng::seed_from_u64(11);
+        assert_eq!(w.sample_latency(&mut rng), 7.5);
+    }
+}

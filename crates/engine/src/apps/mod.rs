@@ -1,0 +1,8 @@
+//! The two applications the paper deploys on CDAS to validate the answering model:
+//! Twitter Sentiment Analytics ([`tsa`]) and Image Tagging ([`it`]).
+
+pub mod it;
+pub mod tsa;
+
+pub use it::{ImageTaggingApp, ItConfig, ItRunReport};
+pub use tsa::{TsaApp, TsaConfig, TsaRunReport};

@@ -1,0 +1,536 @@
+//! The two-phase crowdsourcing engine (§2.1, Algorithm 1).
+//!
+//! **Phase 1** — the engine renders the HIT from the query template, decides how many
+//! workers to request (either a fixed count supplied by an experiment, or the prediction
+//! model's `g(C)` given a mean worker accuracy), and publishes it to the crowd platform.
+//!
+//! **Phase 2** — answers come back asynchronously. The engine first scores the *gold*
+//! questions to estimate each participating worker's accuracy (Algorithm 4), then verifies
+//! every real question with the configured strategy: Half-Voting, Majority-Voting, or the
+//! probability-based verification model — the latter either offline (all answers) or online
+//! with one of the early-termination strategies, in which case the HIT is cancelled once
+//! every question has terminated and the saved assignments are never paid for.
+
+use std::collections::BTreeMap;
+
+use cdas_core::accuracy::AccuracyRegistry;
+use cdas_core::economics::CostModel;
+use cdas_core::online::{OnlineProcessor, TerminationStrategy};
+use cdas_core::prediction::PredictionModel;
+use cdas_core::sampling::SamplingEstimator;
+use cdas_core::types::{HitId, Label, Observation, QuestionId, Vote, WorkerId};
+use cdas_core::verification::probabilistic::ProbabilisticVerifier;
+use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
+use cdas_core::verification::{Verdict, Verifier};
+use cdas_core::{CdasError, Result};
+use cdas_crowd::hit::HitRequest;
+use cdas_crowd::platform::{CrowdPlatform, WorkerAnswer};
+use cdas_crowd::question::CrowdQuestion;
+use serde::{Deserialize, Serialize};
+
+/// Which answer-verification strategy the engine applies to each question.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum VerificationStrategy {
+    /// Accept an answer returned by at least half of the assigned workers.
+    HalfVoting,
+    /// Accept the strictly most-voted answer.
+    MajorityVoting,
+    /// The paper's probability-based verification model.
+    Probabilistic,
+}
+
+impl VerificationStrategy {
+    /// All strategies in the order the paper's figures list them.
+    pub const ALL: [VerificationStrategy; 3] = [
+        VerificationStrategy::MajorityVoting,
+        VerificationStrategy::HalfVoting,
+        VerificationStrategy::Probabilistic,
+    ];
+
+    /// Display name matching the figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            VerificationStrategy::HalfVoting => "Half-Voting",
+            VerificationStrategy::MajorityVoting => "Majority-Voting",
+            VerificationStrategy::Probabilistic => "Verification",
+        }
+    }
+}
+
+/// How many workers to request per HIT.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum WorkerCountPolicy {
+    /// A fixed assignment count (used by the "vary the number of workers" experiments).
+    Fixed(usize),
+    /// Use the prediction model: the refined estimate `g(C)` for the configured required
+    /// accuracy, computed from the given mean worker accuracy.
+    Predicted {
+        /// The mean worker accuracy `μ` the prediction model uses.
+        mean_accuracy: f64,
+    },
+}
+
+/// Where the verification model gets per-worker accuracies from.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum AccuracySource {
+    /// Estimate from the gold questions inside the HIT (the production path, §3.3).
+    GoldSampling,
+    /// Use an externally supplied registry (e.g. the simulator's oracle, or estimates from
+    /// previous HITs). Used by experiments that isolate verification from sampling noise.
+    Registry(AccuracyRegistry),
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Verification strategy.
+    pub verification: VerificationStrategy,
+    /// Online early-termination strategy; `None` waits for all answers (offline).
+    pub termination: Option<TerminationStrategy>,
+    /// Worker-count policy.
+    pub workers: WorkerCountPolicy,
+    /// The user-required accuracy `C` (drives the prediction model and reporting).
+    pub required_accuracy: f64,
+    /// Source of per-worker accuracies for verification.
+    pub accuracy_source: AccuracySource,
+    /// Accuracy assumed for a worker with no estimate (new worker, no gold answers).
+    pub default_worker_accuracy: f64,
+    /// Fixed answer-domain size `m`; `None` estimates it per observation (Theorem 5).
+    pub domain_size: Option<usize>,
+    /// Reward per assignment (the `m_c` handed to the platform request).
+    pub reward: f64,
+    /// Cost model used for engine-side accounting.
+    pub cost_model: CostModel,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            verification: VerificationStrategy::Probabilistic,
+            termination: None,
+            workers: WorkerCountPolicy::Fixed(5),
+            required_accuracy: 0.9,
+            accuracy_source: AccuracySource::GoldSampling,
+            default_worker_accuracy: 0.7,
+            domain_size: None,
+            reward: 0.01,
+            cost_model: CostModel::default(),
+        }
+    }
+}
+
+/// The verdict for one question of a HIT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QuestionVerdict {
+    /// The question.
+    pub question: QuestionId,
+    /// The accepted answer (or `NoAnswer` for indecisive voting).
+    pub verdict: Verdict,
+    /// How many answers were consumed before the decision (equals the assignment count for
+    /// offline processing, fewer when early termination fired).
+    pub answers_used: usize,
+    /// Whether this was a gold (sampling) question.
+    pub is_gold: bool,
+    /// Reason keywords collected from workers that voted for the accepted answer.
+    pub reasons: Vec<String>,
+}
+
+/// The outcome of one HIT run end to end through the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HitOutcome {
+    /// The platform HIT id.
+    pub hit: HitId,
+    /// Per-question verdicts (gold questions included, flagged).
+    pub verdicts: Vec<QuestionVerdict>,
+    /// Number of workers the HIT was assigned to.
+    pub workers_assigned: usize,
+    /// The mean worker accuracy estimated from gold questions (when sampling was used).
+    pub estimated_mean_accuracy: Option<f64>,
+    /// The per-worker accuracy registry the verification used.
+    pub registry: AccuracyRegistry,
+    /// Dollars charged by the platform for this HIT.
+    pub cost: f64,
+}
+
+impl HitOutcome {
+    /// The verdicts of the real (non-gold) questions.
+    pub fn real_verdicts(&self) -> impl Iterator<Item = &QuestionVerdict> {
+        self.verdicts.iter().filter(|v| !v.is_gold)
+    }
+
+    /// Fraction of real questions with no accepted answer (the paper's no-answer ratio).
+    pub fn no_answer_ratio(&self) -> f64 {
+        let real: Vec<_> = self.real_verdicts().collect();
+        if real.is_empty() {
+            return 0.0;
+        }
+        real.iter().filter(|v| !v.verdict.is_accepted()).count() as f64 / real.len() as f64
+    }
+
+    /// Average number of answers consumed per real question (Figure 12's metric).
+    pub fn mean_answers_used(&self) -> f64 {
+        let real: Vec<_> = self.real_verdicts().collect();
+        if real.is_empty() {
+            return 0.0;
+        }
+        real.iter().map(|v| v.answers_used).sum::<usize>() as f64 / real.len() as f64
+    }
+}
+
+/// The two-phase crowdsourcing engine.
+#[derive(Debug, Clone)]
+pub struct CrowdsourcingEngine {
+    config: EngineConfig,
+}
+
+impl CrowdsourcingEngine {
+    /// Create an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> Self {
+        CrowdsourcingEngine { config }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &EngineConfig {
+        &self.config
+    }
+
+    /// Phase-1 worker-count decision.
+    pub fn decide_workers(&self) -> Result<usize> {
+        match self.config.workers {
+            WorkerCountPolicy::Fixed(n) => {
+                if n == 0 {
+                    return Err(CdasError::NonPositive { what: "worker count" });
+                }
+                Ok(n)
+            }
+            WorkerCountPolicy::Predicted { mean_accuracy } => {
+                let model = PredictionModel::new(mean_accuracy)?;
+                Ok(model.refined_workers(self.config.required_accuracy)? as usize)
+            }
+        }
+    }
+
+    /// Run one HIT end to end: publish, collect answers, estimate accuracies, verify.
+    ///
+    /// `questions` is the HIT batch (gold questions flagged); the platform delivers answers
+    /// in arrival order, which the online path consumes incrementally.
+    pub fn run_hit<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        questions: Vec<CrowdQuestion>,
+    ) -> Result<HitOutcome> {
+        if questions.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        let workers = self.decide_workers()?;
+        let cost_before = platform.total_cost();
+        let request = HitRequest::new(questions.clone(), workers, self.config.reward);
+        let hit = platform.publish(request);
+        let answers = platform.poll(hit, f64::INFINITY);
+
+        // Phase 2a: estimate worker accuracy from gold questions.
+        let (registry, estimated_mean) = self.build_registry(&questions, &answers);
+
+        // Phase 2b: verify every question.
+        let mut per_question: BTreeMap<QuestionId, Vec<&WorkerAnswer>> = BTreeMap::new();
+        for a in &answers {
+            per_question.entry(a.question).or_default().push(a);
+        }
+        let mut verdicts = Vec::with_capacity(questions.len());
+        let mut online_consumed_max = 0usize;
+        for question in &questions {
+            let votes = per_question.get(&question.id).cloned().unwrap_or_default();
+            let (verdict, answers_used, reasons) =
+                self.verify_question(question, &votes, workers, &registry, estimated_mean)?;
+            online_consumed_max = online_consumed_max.max(answers_used);
+            verdicts.push(QuestionVerdict {
+                question: question.id,
+                verdict,
+                answers_used,
+                is_gold: question.is_gold,
+                reasons,
+            });
+        }
+
+        // Early termination at the HIT level: if every question terminated before the last
+        // worker, cancel the remainder (the paper's footnote 3 — cancelled assignments are
+        // not paid). The simulated platform charged us for everything we polled, so the
+        // engine re-prices the HIT at the consumed fraction for its own accounting.
+        if self.config.termination.is_some() && online_consumed_max < workers {
+            platform.cancel(hit);
+        }
+        let platform_cost = platform.total_cost() - cost_before;
+        let cost = if self.config.termination.is_some() {
+            self.config.cost_model.hit_cost(online_consumed_max as u64)
+        } else {
+            platform_cost
+        };
+
+        Ok(HitOutcome {
+            hit,
+            verdicts,
+            workers_assigned: workers,
+            estimated_mean_accuracy: estimated_mean,
+            registry,
+            cost,
+        })
+    }
+
+    /// Build the accuracy registry for phase 2 from the configured source.
+    fn build_registry(
+        &self,
+        questions: &[CrowdQuestion],
+        answers: &[WorkerAnswer],
+    ) -> (AccuracyRegistry, Option<f64>) {
+        match &self.config.accuracy_source {
+            AccuracySource::Registry(r) => {
+                let mean = r.mean_accuracy();
+                (r.clone().with_default_accuracy(self.config.default_worker_accuracy), mean)
+            }
+            AccuracySource::GoldSampling => {
+                let truth_by_question: BTreeMap<QuestionId, &Label> = questions
+                    .iter()
+                    .filter(|q| q.is_gold)
+                    .map(|q| (q.id, &q.ground_truth))
+                    .collect();
+                let mut estimator = SamplingEstimator::new();
+                for a in answers {
+                    if let Some(truth) = truth_by_question.get(&a.question) {
+                        estimator.record(a.worker, a.question, &a.label, truth);
+                    }
+                }
+                let mean = estimator.stats().ok().map(|s| s.mean);
+                let registry = estimator
+                    .to_registry()
+                    .with_default_accuracy(self.config.default_worker_accuracy);
+                (registry, mean)
+            }
+        }
+    }
+
+    /// Verify a single question from its votes (in arrival order).
+    fn verify_question(
+        &self,
+        question: &CrowdQuestion,
+        votes: &[&WorkerAnswer],
+        workers_assigned: usize,
+        registry: &AccuracyRegistry,
+        estimated_mean: Option<f64>,
+    ) -> Result<(Verdict, usize, Vec<String>)> {
+        if votes.is_empty() {
+            return Ok((Verdict::NoAnswer, 0, Vec::new()));
+        }
+        let accuracy_of = |worker: WorkerId| {
+            registry
+                .accuracy_of(worker)
+                .unwrap_or(self.config.default_worker_accuracy)
+        };
+        let to_vote = |a: &&WorkerAnswer| {
+            Vote::new(a.worker, a.label.clone(), accuracy_of(a.worker))
+                .with_keywords(a.keywords.iter().cloned())
+        };
+        let domain_size = self
+            .config
+            .domain_size
+            .unwrap_or_else(|| question.domain.size());
+
+        let (verdict, answers_used) = match (self.config.verification, self.config.termination) {
+            (VerificationStrategy::HalfVoting, _) => {
+                let observation = Observation::from_votes(votes.iter().map(to_vote).collect());
+                (
+                    HalfVoting::new(workers_assigned).decide(&observation)?,
+                    votes.len(),
+                )
+            }
+            (VerificationStrategy::MajorityVoting, _) => {
+                let observation = Observation::from_votes(votes.iter().map(to_vote).collect());
+                (MajorityVoting::new().decide(&observation)?, votes.len())
+            }
+            (VerificationStrategy::Probabilistic, None) => {
+                let observation = Observation::from_votes(votes.iter().map(to_vote).collect());
+                let verifier = ProbabilisticVerifier::with_domain_size(domain_size);
+                (verifier.decide(&observation)?, votes.len())
+            }
+            (VerificationStrategy::Probabilistic, Some(strategy)) => {
+                let mean = estimated_mean
+                    .or_else(|| registry.mean_accuracy())
+                    .unwrap_or(self.config.default_worker_accuracy);
+                let mut processor =
+                    OnlineProcessor::new(workers_assigned, mean, strategy)?
+                        .with_domain_size(domain_size);
+                let outcome =
+                    processor.run_until_termination(votes.iter().map(to_vote))?;
+                let verdict = match outcome.best {
+                    Some((label, confidence)) => Verdict::Accepted { label, confidence },
+                    None => Verdict::NoAnswer,
+                };
+                (verdict, outcome.answers_received)
+            }
+        };
+
+        // Reasons: keywords from the workers (among the consumed prefix) whose vote matches
+        // the accepted answer.
+        let reasons = match verdict.label() {
+            Some(accepted) => votes
+                .iter()
+                .take(answers_used)
+                .filter(|a| &a.label == accepted)
+                .flat_map(|a| a.keywords.iter().cloned())
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok((verdict, answers_used, reasons))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::types::AnswerDomain;
+    use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    use cdas_crowd::SimulatedPlatform;
+
+    fn sentiment_question(id: u64, gold: bool) -> CrowdQuestion {
+        let q = CrowdQuestion::new(
+            QuestionId(id),
+            AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+            Label::from("Positive"),
+        )
+        .with_reasons(vec!["acting".to_string()]);
+        if gold {
+            q.as_gold()
+        } else {
+            q
+        }
+    }
+
+    fn batch(real: u64, gold: u64) -> Vec<CrowdQuestion> {
+        let mut qs: Vec<CrowdQuestion> = (0..gold).map(|i| sentiment_question(i, true)).collect();
+        qs.extend((gold..gold + real).map(|i| sentiment_question(i, false)));
+        qs
+    }
+
+    fn platform(accuracy: f64, seed: u64) -> SimulatedPlatform {
+        let pool = WorkerPool::generate(&PoolConfig::clean(60, accuracy, seed));
+        SimulatedPlatform::new(pool, CostModel::default(), seed)
+    }
+
+    #[test]
+    fn decide_workers_fixed_and_predicted() {
+        let fixed = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(7),
+            ..EngineConfig::default()
+        });
+        assert_eq!(fixed.decide_workers().unwrap(), 7);
+        let zero = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(0),
+            ..EngineConfig::default()
+        });
+        assert!(zero.decide_workers().is_err());
+        let predicted = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Predicted { mean_accuracy: 0.75 },
+            required_accuracy: 0.95,
+            ..EngineConfig::default()
+        });
+        let n = predicted.decide_workers().unwrap();
+        assert!(n % 2 == 1 && n >= 5);
+    }
+
+    #[test]
+    fn offline_probabilistic_hit_answers_most_questions_correctly() {
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(9),
+            verification: VerificationStrategy::Probabilistic,
+            ..EngineConfig::default()
+        });
+        let mut p = platform(0.8, 3);
+        let outcome = engine.run_hit(&mut p, batch(20, 5)).unwrap();
+        assert_eq!(outcome.workers_assigned, 9);
+        assert_eq!(outcome.verdicts.len(), 25);
+        assert!(outcome.estimated_mean_accuracy.unwrap() > 0.6);
+        assert!(outcome.cost > 0.0);
+        let correct = outcome
+            .real_verdicts()
+            .filter(|v| v.verdict.label().map(|l| l.as_str()) == Some("Positive"))
+            .count();
+        assert!(correct >= 18, "only {correct}/20 correct");
+        assert_eq!(outcome.no_answer_ratio(), 0.0);
+        // Reasons echo the keyword of correct workers.
+        assert!(outcome
+            .real_verdicts()
+            .any(|v| v.reasons.contains(&"acting".to_string())));
+    }
+
+    #[test]
+    fn voting_strategies_can_fail_to_answer() {
+        // A 0.52-accuracy pool over 3 labels frequently splits the votes.
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(5),
+            verification: VerificationStrategy::HalfVoting,
+            ..EngineConfig::default()
+        });
+        let mut p = platform(0.45, 11);
+        let outcome = engine.run_hit(&mut p, batch(60, 10)).unwrap();
+        assert!(
+            outcome.no_answer_ratio() > 0.0,
+            "expected some undecided questions with a weak pool"
+        );
+    }
+
+    #[test]
+    fn online_termination_consumes_fewer_answers() {
+        let offline = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(15),
+            verification: VerificationStrategy::Probabilistic,
+            termination: None,
+            ..EngineConfig::default()
+        });
+        let online = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(15),
+            verification: VerificationStrategy::Probabilistic,
+            termination: Some(TerminationStrategy::ExpMax),
+            ..EngineConfig::default()
+        });
+        let outcome_offline = offline.run_hit(&mut platform(0.85, 17), batch(15, 5)).unwrap();
+        let outcome_online = online.run_hit(&mut platform(0.85, 17), batch(15, 5)).unwrap();
+        assert!(outcome_online.mean_answers_used() < outcome_offline.mean_answers_used());
+        assert!(outcome_online.cost <= outcome_offline.cost);
+        // Accuracy should not collapse.
+        let correct = outcome_online
+            .real_verdicts()
+            .filter(|v| v.verdict.label().map(|l| l.as_str()) == Some("Positive"))
+            .count();
+        assert!(correct >= 13, "online accuracy too low: {correct}/15");
+    }
+
+    #[test]
+    fn registry_source_skips_sampling() {
+        let pool = WorkerPool::generate(&PoolConfig::clean(40, 0.8, 23));
+        let reference = sentiment_question(0, false);
+        let oracle = pool.oracle_registry(&reference);
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(7),
+            accuracy_source: AccuracySource::Registry(oracle),
+            ..EngineConfig::default()
+        });
+        let mut p = SimulatedPlatform::new(pool, CostModel::default(), 23);
+        let outcome = engine.run_hit(&mut p, batch(10, 0)).unwrap();
+        assert_eq!(outcome.registry.len(), 40);
+        assert!(outcome.estimated_mean_accuracy.is_some());
+    }
+
+    #[test]
+    fn empty_batch_is_rejected() {
+        let engine = CrowdsourcingEngine::new(EngineConfig::default());
+        let mut p = platform(0.8, 1);
+        assert!(engine.run_hit(&mut p, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn strategy_names_are_stable() {
+        assert_eq!(VerificationStrategy::HalfVoting.name(), "Half-Voting");
+        assert_eq!(VerificationStrategy::MajorityVoting.name(), "Majority-Voting");
+        assert_eq!(VerificationStrategy::Probabilistic.name(), "Verification");
+        assert_eq!(VerificationStrategy::ALL.len(), 3);
+    }
+}

@@ -1,0 +1,124 @@
+//! The program executor (§2.1): the computer half of a CDAS job.
+//!
+//! For TSA it retrieves the tweet stream, keeps the tweets that match the query keywords
+//! inside the query window, and buffers them for the crowdsourcing engine; it can also run
+//! the machine baseline on the same tweets so the Figure 5 comparison is produced from
+//! identical inputs.
+
+use cdas_baselines::text::NaiveBayesClassifier;
+use cdas_core::types::Label;
+use cdas_workloads::tsa::stream::TweetStream;
+use cdas_workloads::tsa::tweets::Tweet;
+
+use crate::query::Query;
+
+/// The program executor for the TSA pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct ProgramExecutor {
+    baseline: Option<NaiveBayesClassifier>,
+}
+
+impl ProgramExecutor {
+    /// An executor without a machine baseline.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Attach a trained machine baseline so candidate tweets are also auto-classified.
+    pub fn with_baseline(mut self, baseline: NaiveBayesClassifier) -> Self {
+        self.baseline = Some(baseline);
+        self
+    }
+
+    /// Whether a machine baseline is attached.
+    pub fn has_baseline(&self) -> bool {
+        self.baseline.is_some()
+    }
+
+    /// Filter the stream down to the query's candidate tweets: keyword match inside the
+    /// time window, in arrival order.
+    pub fn candidate_tweets<'a>(&self, stream: &'a TweetStream, query: &Query) -> Vec<&'a Tweet> {
+        stream
+            .tweets()
+            .iter()
+            .filter(|t| query.covers(t.posted_at) && query.matches(&t.text))
+            .collect()
+    }
+
+    /// Run the machine baseline over tweets, returning `(question, predicted label)` pairs.
+    /// Returns an empty vector when no baseline is attached.
+    pub fn machine_predictions<'a>(
+        &self,
+        tweets: impl IntoIterator<Item = &'a Tweet>,
+    ) -> Vec<(cdas_core::types::QuestionId, Label)> {
+        let Some(baseline) = &self.baseline else {
+            return Vec::new();
+        };
+        tweets
+            .into_iter()
+            .map(|t| (t.id, baseline.classify_label(&t.text)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::types::AnswerDomain;
+    use cdas_workloads::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};
+
+    fn stream() -> TweetStream {
+        let mut g = TweetGenerator::new(TweetGeneratorConfig::default());
+        let mut tweets = g.generate("Thor", 40);
+        tweets.extend(g.generate("Green Lantern", 30));
+        TweetStream::new(tweets)
+    }
+
+    fn thor_query(start: f64, window: f64) -> Query {
+        Query::new(
+            vec!["Thor".to_string()],
+            0.9,
+            AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+            start,
+            window,
+        )
+    }
+
+    #[test]
+    fn candidates_are_filtered_by_keyword_and_window() {
+        let executor = ProgramExecutor::new();
+        let s = stream();
+        let all = executor.candidate_tweets(&s, &thor_query(0.0, 24.0 * 60.0));
+        assert_eq!(all.len(), 40);
+        assert!(all.iter().all(|t| t.movie == "Thor"));
+        let half = executor.candidate_tweets(&s, &thor_query(0.0, 12.0 * 60.0));
+        assert!(half.len() < all.len());
+        assert!(half.iter().all(|t| t.posted_at < 12.0 * 60.0));
+    }
+
+    #[test]
+    fn baseline_predictions_cover_every_candidate() {
+        let mut g = TweetGenerator::new(TweetGeneratorConfig { seed: 11, ..TweetGeneratorConfig::default() });
+        let train = g.generate("Midnight Horizon", 100);
+        let mut nb = NaiveBayesClassifier::new();
+        nb.train(&train);
+        let executor = ProgramExecutor::new().with_baseline(nb);
+        assert!(executor.has_baseline());
+        let s = stream();
+        let candidates = executor.candidate_tweets(&s, &thor_query(0.0, 24.0 * 60.0));
+        let predictions = executor.machine_predictions(candidates.iter().copied());
+        assert_eq!(predictions.len(), candidates.len());
+        for (_, label) in predictions {
+            assert!(["Positive", "Neutral", "Negative"].contains(&label.as_str()));
+        }
+    }
+
+    #[test]
+    fn no_baseline_means_no_predictions() {
+        let executor = ProgramExecutor::new();
+        assert!(!executor.has_baseline());
+        let s = stream();
+        let candidates = executor.candidate_tweets(&s, &thor_query(0.0, 100.0));
+        assert!(executor.machine_predictions(candidates.iter().copied()).is_empty());
+    }
+}

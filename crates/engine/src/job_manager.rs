@@ -1,0 +1,192 @@
+//! The job manager (§2.1): accept an analytics job and transform it into a processing plan
+//! that splits the work between the program executor (computer part) and the crowdsourcing
+//! engine (human part).
+
+use cdas_core::sampling::SamplingPlan;
+use serde::{Deserialize, Serialize};
+
+use crate::query::Query;
+use crate::template::QueryTemplate;
+
+/// The kind of analytics job, which decides the query template and the computer-side
+/// pre-processing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobKind {
+    /// Twitter sentiment analytics: computers filter the stream, humans label sentiment.
+    SentimentAnalytics,
+    /// Image tagging: computers build candidate tag sets and indexes, humans pick tags.
+    ImageTagging,
+}
+
+/// A registered analytics job: a query plus the job kind.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AnalyticsJob {
+    /// What kind of job this is.
+    pub kind: JobKind,
+    /// The query to answer.
+    pub query: Query,
+    /// Human-readable job name (used in reports).
+    pub name: String,
+}
+
+impl AnalyticsJob {
+    /// Register a job.
+    pub fn new(kind: JobKind, query: Query, name: impl Into<String>) -> Self {
+        AnalyticsJob {
+            kind,
+            query,
+            name: name.into(),
+        }
+    }
+}
+
+/// The computer part of the processing plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ComputerPart {
+    /// Keywords the program executor filters the stream with.
+    pub filter_keywords: Vec<String>,
+    /// The time window the executor restricts items to.
+    pub window: (f64, f64),
+    /// Whether the executor should also run the machine baseline for comparison.
+    pub run_machine_baseline: bool,
+}
+
+/// The human part of the processing plan.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HumanPart {
+    /// The query template used to render HITs.
+    pub template: QueryTemplate,
+    /// The required accuracy handed to the prediction model.
+    pub required_accuracy: f64,
+    /// The gold-question sampling plan (`B`, `α`).
+    pub sampling: SamplingPlan,
+}
+
+/// A processing plan: the two parts the job manager hands to the executor and the engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessingPlan {
+    /// Work done by computers.
+    pub computer: ComputerPart,
+    /// Work done by the crowd.
+    pub human: HumanPart,
+}
+
+/// The job manager.
+#[derive(Debug, Clone, Default)]
+pub struct JobManager {
+    jobs: Vec<AnalyticsJob>,
+}
+
+impl JobManager {
+    /// A manager with no registered jobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a job and return its index.
+    pub fn register(&mut self, job: AnalyticsJob) -> usize {
+        self.jobs.push(job);
+        self.jobs.len() - 1
+    }
+
+    /// The registered jobs.
+    pub fn jobs(&self) -> &[AnalyticsJob] {
+        &self.jobs
+    }
+
+    /// Transform a job into its processing plan (the partitioning step of §2.1).
+    pub fn plan(&self, job: &AnalyticsJob) -> ProcessingPlan {
+        self.plan_with_sampling(job, SamplingPlan::paper_default())
+    }
+
+    /// Transform a job into a plan with an explicit sampling plan (used by the sampling-rate
+    /// experiments, Figures 15–16).
+    pub fn plan_with_sampling(&self, job: &AnalyticsJob, sampling: SamplingPlan) -> ProcessingPlan {
+        let template = match job.kind {
+            JobKind::SentimentAnalytics => QueryTemplate::tsa(),
+            JobKind::ImageTagging => QueryTemplate::image_tagging(job.query.domain.clone()),
+        };
+        ProcessingPlan {
+            computer: ComputerPart {
+                filter_keywords: job.query.keywords.clone(),
+                window: (job.query.start, job.query.end()),
+                run_machine_baseline: matches!(job.kind, JobKind::SentimentAnalytics),
+            },
+            human: HumanPart {
+                template,
+                required_accuracy: job.query.required_accuracy,
+                sampling,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::types::AnswerDomain;
+
+    fn tsa_job() -> AnalyticsJob {
+        AnalyticsJob::new(
+            JobKind::SentimentAnalytics,
+            Query::new(
+                vec!["Thor".to_string()],
+                0.9,
+                AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+                0.0,
+                60.0,
+            ),
+            "thor-sentiment",
+        )
+    }
+
+    #[test]
+    fn registration_keeps_jobs() {
+        let mut m = JobManager::new();
+        assert!(m.jobs().is_empty());
+        let idx = m.register(tsa_job());
+        assert_eq!(idx, 0);
+        assert_eq!(m.jobs().len(), 1);
+        assert_eq!(m.jobs()[0].name, "thor-sentiment");
+    }
+
+    #[test]
+    fn tsa_plan_splits_work() {
+        let m = JobManager::new();
+        let plan = m.plan(&tsa_job());
+        assert_eq!(plan.computer.filter_keywords, vec!["Thor".to_string()]);
+        assert_eq!(plan.computer.window, (0.0, 60.0));
+        assert!(plan.computer.run_machine_baseline);
+        assert_eq!(plan.human.required_accuracy, 0.9);
+        assert_eq!(plan.human.template.domain.size(), 3);
+        assert_eq!(plan.human.sampling.batch_size(), 100);
+        assert_eq!(plan.human.sampling.gold_count(), 20);
+    }
+
+    #[test]
+    fn it_plan_uses_the_query_domain() {
+        let m = JobManager::new();
+        let job = AnalyticsJob::new(
+            JobKind::ImageTagging,
+            Query::new(
+                vec!["apple".to_string()],
+                0.85,
+                AnswerDomain::from_strs(&["apple", "fruit", "fax", "sun"]),
+                0.0,
+                10.0,
+            ),
+            "apple-tags",
+        );
+        let plan = m.plan(&job);
+        assert_eq!(plan.human.template.domain.size(), 4);
+        assert!(!plan.computer.run_machine_baseline);
+    }
+
+    #[test]
+    fn explicit_sampling_plan_is_honoured() {
+        let m = JobManager::new();
+        let sampling = SamplingPlan::new(50, 0.1).unwrap();
+        let plan = m.plan_with_sampling(&tsa_job(), sampling.clone());
+        assert_eq!(plan.human.sampling, sampling);
+    }
+}

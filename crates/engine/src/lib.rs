@@ -1,0 +1,35 @@
+//! # cdas-engine — the CDAS query engine
+//!
+//! This crate assembles the quality-sensitive answering model (`cdas-core`), the simulated
+//! crowd platform (`cdas-crowd`), the synthetic workloads (`cdas-workloads`) and the
+//! machine baselines (`cdas-baselines`) into the system described in §2 of the paper:
+//!
+//! * the [`query`] module defines the TSA-style query `(S, C, R, t, w)` (Definition 1),
+//! * the [`job_manager`] turns an analytics job into a processing plan split between the
+//!   [`executor`] (computer part: stream filtering) and the [`engine`] (human part),
+//! * the [`template`] module renders HIT descriptions (Figure 3) and the [`privacy`]
+//!   manager can mask sensitive content and reject workers,
+//! * the [`engine`] module implements the two-phase crowdsourcing engine of Algorithm 1:
+//!   predict the worker count, publish the HIT, collect answers asynchronously, estimate
+//!   worker accuracy from gold questions, verify answers (voting or probabilistic,
+//!   offline or online with early termination) and account for cost,
+//! * the [`apps`] module wires two complete applications — Twitter Sentiment Analytics and
+//!   Image Tagging — end to end, and
+//! * the [`metrics`] module scores any of it against ground truth (real accuracy,
+//!   no-answer ratio, workers consumed, dollars spent).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod apps;
+pub mod engine;
+pub mod executor;
+pub mod job_manager;
+pub mod metrics;
+pub mod privacy;
+pub mod query;
+pub mod template;
+
+pub use engine::{CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict, VerificationStrategy};
+pub use query::Query;

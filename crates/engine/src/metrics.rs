@@ -1,0 +1,186 @@
+//! Scoring engine output against ground truth: the "real accuracy" of the evaluation
+//! figures, plus the auxiliary measures the paper reports (no-answer ratio, answers
+//! consumed, cost).
+
+use std::collections::BTreeMap;
+
+use cdas_core::types::{Label, QuestionId};
+use cdas_crowd::question::CrowdQuestion;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::HitOutcome;
+
+/// Accuracy-style metrics of one or more HIT outcomes against ground truth.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Real accuracy over *all* real questions: unanswered questions count as wrong
+    /// (this is the quantity plotted in Figures 7, 8, 13, 16, 18).
+    pub accuracy: f64,
+    /// Accuracy restricted to the questions that received an accepted answer.
+    pub accuracy_over_answered: f64,
+    /// Fraction of real questions with no accepted answer (Figures 9 and 10).
+    pub no_answer_ratio: f64,
+    /// Mean number of answers consumed per real question (Figure 12).
+    pub mean_answers_used: f64,
+    /// Number of real questions scored.
+    pub questions: usize,
+    /// Total engine-side cost of the scored HITs, in dollars.
+    pub cost: f64,
+}
+
+/// Score one HIT outcome against the ground truth carried by its questions.
+pub fn score_hit(questions: &[CrowdQuestion], outcome: &HitOutcome) -> AccuracyReport {
+    score_hits(std::iter::once((questions, outcome)))
+}
+
+/// Score several HIT outcomes together (e.g. every HIT of a query window).
+pub fn score_hits<'a>(
+    runs: impl IntoIterator<Item = (&'a [CrowdQuestion], &'a HitOutcome)>,
+) -> AccuracyReport {
+    let mut total = 0usize;
+    let mut correct = 0usize;
+    let mut answered = 0usize;
+    let mut answered_correct = 0usize;
+    let mut answers_used = 0usize;
+    let mut cost = 0.0f64;
+    for (questions, outcome) in runs {
+        let truth: BTreeMap<QuestionId, &Label> = questions
+            .iter()
+            .map(|q| (q.id, &q.ground_truth))
+            .collect();
+        cost += outcome.cost;
+        for verdict in outcome.real_verdicts() {
+            let Some(expected) = truth.get(&verdict.question) else {
+                continue;
+            };
+            total += 1;
+            answers_used += verdict.answers_used;
+            match verdict.verdict.label() {
+                Some(label) => {
+                    answered += 1;
+                    if &label == expected {
+                        correct += 1;
+                        answered_correct += 1;
+                    }
+                }
+                None => {}
+            }
+        }
+    }
+    AccuracyReport {
+        accuracy: ratio(correct, total),
+        accuracy_over_answered: ratio(answered_correct, answered),
+        no_answer_ratio: ratio(total - answered, total),
+        mean_answers_used: if total == 0 {
+            0.0
+        } else {
+            answers_used as f64 / total as f64
+        },
+        questions: total,
+        cost,
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::QuestionVerdict;
+    use cdas_core::accuracy::AccuracyRegistry;
+    use cdas_core::types::{AnswerDomain, HitId};
+    use cdas_core::verification::Verdict;
+
+    fn question(id: u64, truth: &str, gold: bool) -> CrowdQuestion {
+        let q = CrowdQuestion::new(
+            QuestionId(id),
+            AnswerDomain::from_strs(&["a", "b", "c"]),
+            Label::from(truth),
+        );
+        if gold {
+            q.as_gold()
+        } else {
+            q
+        }
+    }
+
+    fn verdict(id: u64, answer: Option<&str>, used: usize, gold: bool) -> QuestionVerdict {
+        QuestionVerdict {
+            question: QuestionId(id),
+            verdict: match answer {
+                Some(a) => Verdict::Accepted {
+                    label: Label::from(a),
+                    confidence: 0.9,
+                },
+                None => Verdict::NoAnswer,
+            },
+            answers_used: used,
+            is_gold: gold,
+            reasons: Vec::new(),
+        }
+    }
+
+    fn outcome(verdicts: Vec<QuestionVerdict>, cost: f64) -> HitOutcome {
+        HitOutcome {
+            hit: HitId(0),
+            verdicts,
+            workers_assigned: 5,
+            estimated_mean_accuracy: Some(0.75),
+            registry: AccuracyRegistry::new(),
+            cost,
+        }
+    }
+
+    #[test]
+    fn scoring_counts_unanswered_as_wrong() {
+        let questions = vec![
+            question(0, "a", false),
+            question(1, "b", false),
+            question(2, "c", false),
+            question(3, "a", true), // gold: excluded from scoring
+        ];
+        let o = outcome(
+            vec![
+                verdict(0, Some("a"), 5, false), // correct
+                verdict(1, Some("c"), 5, false), // wrong
+                verdict(2, None, 5, false),      // unanswered
+                verdict(3, Some("a"), 5, true),  // gold, ignored
+            ],
+            0.25,
+        );
+        let report = score_hit(&questions, &o);
+        assert_eq!(report.questions, 3);
+        assert!((report.accuracy - 1.0 / 3.0).abs() < 1e-12);
+        assert!((report.accuracy_over_answered - 0.5).abs() < 1e-12);
+        assert!((report.no_answer_ratio - 1.0 / 3.0).abs() < 1e-12);
+        assert_eq!(report.mean_answers_used, 5.0);
+        assert_eq!(report.cost, 0.25);
+    }
+
+    #[test]
+    fn scoring_multiple_hits_accumulates() {
+        let q1 = vec![question(0, "a", false)];
+        let o1 = outcome(vec![verdict(0, Some("a"), 3, false)], 0.1);
+        let q2 = vec![question(1, "b", false)];
+        let o2 = outcome(vec![verdict(1, Some("a"), 7, false)], 0.2);
+        let report = score_hits(vec![(q1.as_slice(), &o1), (q2.as_slice(), &o2)]);
+        assert_eq!(report.questions, 2);
+        assert!((report.accuracy - 0.5).abs() < 1e-12);
+        assert!((report.mean_answers_used - 5.0).abs() < 1e-12);
+        assert!((report.cost - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input_yields_zeroes() {
+        let report = score_hits(Vec::<(&[CrowdQuestion], &HitOutcome)>::new());
+        assert_eq!(report.questions, 0);
+        assert_eq!(report.accuracy, 0.0);
+        assert_eq!(report.no_answer_ratio, 0.0);
+    }
+}

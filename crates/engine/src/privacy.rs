@@ -1,0 +1,129 @@
+//! The privacy manager (§2.1): adapt question formats so sensitive data is not exposed to
+//! the crowd, and reject specific workers from specific tasks.
+
+use cdas_core::types::WorkerId;
+use serde::{Deserialize, Serialize};
+
+/// Policy applied to outgoing HIT content and incoming worker assignments.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct PrivacyManager {
+    /// Terms that must never appear verbatim in a published question.
+    sensitive_terms: Vec<String>,
+    /// Workers that must not receive tasks from this requester.
+    blocked_workers: Vec<WorkerId>,
+    /// The replacement used for redacted terms.
+    mask: String,
+}
+
+impl PrivacyManager {
+    /// A manager with no restrictions.
+    pub fn permissive() -> Self {
+        PrivacyManager {
+            sensitive_terms: Vec::new(),
+            blocked_workers: Vec::new(),
+            mask: "█".to_string(),
+        }
+    }
+
+    /// Add a sensitive term to redact from published questions.
+    pub fn redact_term(mut self, term: impl Into<String>) -> Self {
+        self.sensitive_terms.push(term.into());
+        self
+    }
+
+    /// Block a worker from receiving tasks.
+    pub fn block_worker(mut self, worker: WorkerId) -> Self {
+        self.blocked_workers.push(worker);
+        self
+    }
+
+    /// Change the mask string.
+    pub fn with_mask(mut self, mask: impl Into<String>) -> Self {
+        self.mask = mask.into();
+        self
+    }
+
+    /// Redact sensitive terms from a question text (case-insensitive).
+    pub fn sanitize(&self, text: &str) -> String {
+        let mut out = text.to_string();
+        for term in &self.sensitive_terms {
+            if term.is_empty() {
+                continue;
+            }
+            let lower_out = out.to_lowercase();
+            let lower_term = term.to_lowercase();
+            let mut result = String::with_capacity(out.len());
+            let mut cursor = 0usize;
+            while let Some(pos) = lower_out[cursor..].find(&lower_term) {
+                let absolute = cursor + pos;
+                result.push_str(&out[cursor..absolute]);
+                result.push_str(&self.mask);
+                cursor = absolute + term.len();
+            }
+            result.push_str(&out[cursor..]);
+            out = result;
+        }
+        out
+    }
+
+    /// Whether a worker may receive tasks.
+    pub fn allows_worker(&self, worker: WorkerId) -> bool {
+        !self.blocked_workers.contains(&worker)
+    }
+
+    /// Number of blocked workers.
+    pub fn blocked_count(&self) -> usize {
+        self.blocked_workers.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn permissive_manager_changes_nothing() {
+        let p = PrivacyManager::permissive();
+        assert_eq!(p.sanitize("patient John Smith, MRN 12345"), "patient John Smith, MRN 12345");
+        assert!(p.allows_worker(WorkerId(1)));
+        assert_eq!(p.blocked_count(), 0);
+    }
+
+    #[test]
+    fn sensitive_terms_are_masked_case_insensitively() {
+        let p = PrivacyManager::permissive()
+            .redact_term("John Smith")
+            .with_mask("[REDACTED]");
+        let out = p.sanitize("Report for JOHN SMITH: john smith is doing fine.");
+        assert!(!out.to_lowercase().contains("john smith"));
+        assert_eq!(out.matches("[REDACTED]").count(), 2);
+        assert!(out.contains("is doing fine"));
+    }
+
+    #[test]
+    fn multiple_terms_are_all_masked() {
+        let p = PrivacyManager::permissive()
+            .redact_term("acme corp")
+            .redact_term("project falcon");
+        let out = p.sanitize("Acme Corp launches Project Falcon next week");
+        assert!(!out.to_lowercase().contains("acme corp"));
+        assert!(!out.to_lowercase().contains("project falcon"));
+    }
+
+    #[test]
+    fn blocked_workers_are_rejected() {
+        let p = PrivacyManager::permissive()
+            .block_worker(WorkerId(3))
+            .block_worker(WorkerId(5));
+        assert!(!p.allows_worker(WorkerId(3)));
+        assert!(!p.allows_worker(WorkerId(5)));
+        assert!(p.allows_worker(WorkerId(4)));
+        assert_eq!(p.blocked_count(), 2);
+    }
+
+    #[test]
+    fn empty_term_is_ignored() {
+        let p = PrivacyManager::permissive().redact_term("");
+        assert_eq!(p.sanitize("unchanged"), "unchanged");
+    }
+}

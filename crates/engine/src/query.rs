@@ -1,0 +1,103 @@
+//! The CDAS query (Definition 1): `(S, C, R, t, w)`.
+
+use cdas_core::types::AnswerDomain;
+use serde::{Deserialize, Serialize};
+
+/// A TSA-style analytics query.
+///
+/// * `S` — keywords selecting the relevant stream items,
+/// * `C` — the required accuracy of the crowdsourced answers,
+/// * `R` — the answer domain,
+/// * `t` — the start timestamp (minutes, simulation time),
+/// * `w` — the time window length in minutes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Query {
+    /// The keyword set `S`.
+    pub keywords: Vec<String>,
+    /// The required accuracy `C ∈ [0, 1)`.
+    pub required_accuracy: f64,
+    /// The answer domain `R`.
+    pub domain: AnswerDomain,
+    /// The start timestamp `t` (minutes).
+    pub start: f64,
+    /// The window length `w` (minutes).
+    pub window: f64,
+}
+
+impl Query {
+    /// Build a query.
+    pub fn new(
+        keywords: Vec<String>,
+        required_accuracy: f64,
+        domain: AnswerDomain,
+        start: f64,
+        window: f64,
+    ) -> Self {
+        Query {
+            keywords,
+            required_accuracy,
+            domain,
+            start,
+            window,
+        }
+    }
+
+    /// The paper's running example: `({iPhone4S, iPhone 4S}, 95%, {...}, t, 10)`.
+    pub fn example_iphone() -> Self {
+        Query::new(
+            vec!["iPhone4S".to_string(), "iPhone 4S".to_string()],
+            0.95,
+            AnswerDomain::from_strs(&["Best Ever", "Good", "Not Satisfied"]),
+            0.0,
+            10.0,
+        )
+    }
+
+    /// The end of the query window.
+    pub fn end(&self) -> f64 {
+        self.start + self.window
+    }
+
+    /// Whether a timestamp falls inside the query window.
+    pub fn covers(&self, at: f64) -> bool {
+        at >= self.start && at < self.end()
+    }
+
+    /// Whether a text matches any of the query keywords (case-insensitive).
+    pub fn matches(&self, text: &str) -> bool {
+        let lower = text.to_lowercase();
+        self.keywords.iter().any(|k| lower.contains(&k.to_lowercase()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn example_query_matches_the_paper() {
+        let q = Query::example_iphone();
+        assert_eq!(q.keywords.len(), 2);
+        assert_eq!(q.required_accuracy, 0.95);
+        assert_eq!(q.domain.size(), 3);
+        assert_eq!(q.window, 10.0);
+    }
+
+    #[test]
+    fn window_and_keyword_matching() {
+        let q = Query::new(
+            vec!["Thor".to_string()],
+            0.9,
+            AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+            100.0,
+            50.0,
+        );
+        assert_eq!(q.end(), 150.0);
+        assert!(q.covers(100.0));
+        assert!(q.covers(149.9));
+        assert!(!q.covers(150.0));
+        assert!(!q.covers(99.9));
+        assert!(q.matches("just watched THOR, loved it"));
+        assert!(!q.matches("watching avatar tonight"));
+    }
+}

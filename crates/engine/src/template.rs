@@ -1,0 +1,129 @@
+//! HIT templating (§2.2, Figure 3): render the batch of questions as the HTML-section
+//! description published to the crowd platform.
+//!
+//! Each question becomes a `<div>` section containing the item text and one radio button
+//! per answer in the domain; the sections are concatenated into the HIT description
+//! (Algorithm 1, lines 1–6). The simulated platform never parses this HTML — it exists so
+//! the engine exercises the same artefacts a real AMT deployment would produce, and so the
+//! privacy manager has something concrete to redact.
+
+use cdas_core::types::AnswerDomain;
+use serde::{Deserialize, Serialize};
+
+/// A query template: the question phrasing and the answer domain, per application.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct QueryTemplate {
+    /// The instruction shown above every item (e.g. "What is the opinion of this tweet?").
+    pub instruction: String,
+    /// The answer domain rendered as radio buttons.
+    pub domain: AnswerDomain,
+}
+
+impl QueryTemplate {
+    /// Create a template.
+    pub fn new(instruction: impl Into<String>, domain: AnswerDomain) -> Self {
+        QueryTemplate {
+            instruction: instruction.into(),
+            domain,
+        }
+    }
+
+    /// The TSA template of Figure 3.
+    pub fn tsa() -> Self {
+        QueryTemplate::new(
+            "Choose the opinion expressed by this tweet about the movie",
+            AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+        )
+    }
+
+    /// An IT template over the given candidate tags.
+    pub fn image_tagging(domain: AnswerDomain) -> Self {
+        QueryTemplate::new("Choose the tag that best describes this image", domain)
+    }
+
+    /// Render one item as an HTML section (`<div>` bounded, Figure 3 style).
+    pub fn render_section(&self, item_id: u64, item_text: &str) -> String {
+        let mut html = String::with_capacity(256);
+        html.push_str(&format!("<div class=\"question\" id=\"q{item_id}\">\n"));
+        html.push_str(&format!("  <p class=\"instruction\">{}</p>\n", escape(&self.instruction)));
+        html.push_str(&format!("  <blockquote>{}</blockquote>\n", escape(item_text)));
+        for (i, label) in self.domain.labels().enumerate() {
+            html.push_str(&format!(
+                "  <label><input type=\"radio\" name=\"q{item_id}\" value=\"{i}\"/> {}</label>\n",
+                escape(label.as_str())
+            ));
+        }
+        html.push_str("  <input type=\"text\" name=\"reason\" placeholder=\"why? (keywords)\"/>\n");
+        html.push_str("</div>");
+        html
+    }
+
+    /// Render a whole HIT description by concatenating the sections of every item
+    /// (Algorithm 1, line 5's `concatenate`).
+    pub fn render_hit<'a>(
+        &self,
+        items: impl IntoIterator<Item = (u64, &'a str)>,
+    ) -> String {
+        let mut html = String::from("<form class=\"cdas-hit\">\n");
+        for (id, text) in items {
+            html.push_str(&self.render_section(id, text));
+            html.push('\n');
+        }
+        html.push_str("</form>");
+        html
+    }
+}
+
+/// Minimal HTML escaping for the generated descriptions.
+fn escape(text: &str) -> String {
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsa_template_has_three_options() {
+        let t = QueryTemplate::tsa();
+        assert_eq!(t.domain.size(), 3);
+        let section = t.render_section(7, "Thor was great");
+        assert!(section.contains("id=\"q7\""));
+        assert!(section.contains("Positive"));
+        assert!(section.contains("Negative"));
+        assert!(section.contains("radio"));
+        assert!(section.starts_with("<div"));
+        assert!(section.ends_with("</div>"));
+    }
+
+    #[test]
+    fn hit_rendering_concatenates_sections() {
+        let t = QueryTemplate::tsa();
+        let html = t.render_hit(vec![(0, "tweet one"), (1, "tweet two"), (2, "tweet three")]);
+        assert_eq!(html.matches("<div class=\"question\"").count(), 3);
+        assert!(html.contains("tweet two"));
+        assert!(html.starts_with("<form"));
+        assert!(html.ends_with("</form>"));
+    }
+
+    #[test]
+    fn html_is_escaped() {
+        let t = QueryTemplate::tsa();
+        let section = t.render_section(0, "<script>alert(\"x\") & stuff</script>");
+        assert!(!section.contains("<script>"));
+        assert!(section.contains("&lt;script&gt;"));
+        assert!(section.contains("&quot;x&quot;"));
+        assert!(section.contains("&amp; stuff"));
+    }
+
+    #[test]
+    fn image_template_uses_candidate_tags() {
+        let t = QueryTemplate::image_tagging(AnswerDomain::from_strs(&["apple", "fruit", "fax"]));
+        let section = t.render_section(3, "[image 3]");
+        assert!(section.contains("apple"));
+        assert!(section.contains("fax"));
+    }
+}

@@ -1,0 +1,103 @@
+//! Question-difficulty modelling.
+//!
+//! The paper observes that worker accuracy on *difficult* questions is markedly lower than
+//! their average accuracy (the "Avatar: The Last Airbender sucks" example in §5.1.2) and
+//! uses that to explain why voting under-performs its prediction. The workload generators
+//! therefore tag a configurable fraction of items as *hard*, and the crowd simulator
+//! degrades worker accuracy on those items.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Distribution of per-item difficulty in `[0, 1]`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DifficultyModel {
+    /// Fraction of items that are hard.
+    pub hard_fraction: f64,
+    /// Difficulty assigned to easy items.
+    pub easy_difficulty: f64,
+    /// Difficulty assigned to hard items.
+    pub hard_difficulty: f64,
+}
+
+impl Default for DifficultyModel {
+    /// Roughly one in six items is hard (sarcasm, ambiguous phrasing), costing workers
+    /// about half of their edge over random guessing on those items.
+    fn default() -> Self {
+        DifficultyModel {
+            hard_fraction: 0.15,
+            easy_difficulty: 0.05,
+            hard_difficulty: 0.55,
+        }
+    }
+}
+
+impl DifficultyModel {
+    /// A model where every item is equally easy.
+    pub fn uniform(difficulty: f64) -> Self {
+        DifficultyModel {
+            hard_fraction: 0.0,
+            easy_difficulty: difficulty.clamp(0.0, 1.0),
+            hard_difficulty: difficulty.clamp(0.0, 1.0),
+        }
+    }
+
+    /// Draw a difficulty for one item.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        if self.hard_fraction > 0.0 && rng.random_bool(self.hard_fraction.clamp(0.0, 1.0)) {
+            self.hard_difficulty
+        } else {
+            self.easy_difficulty
+        }
+    }
+
+    /// Expected difficulty over many items.
+    pub fn mean(&self) -> f64 {
+        self.hard_fraction * self.hard_difficulty + (1.0 - self.hard_fraction) * self.easy_difficulty
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn uniform_model_is_constant() {
+        let m = DifficultyModel::uniform(0.3);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(m.sample(&mut rng), 0.3);
+        }
+        assert!((m.mean() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hard_fraction_is_respected() {
+        let m = DifficultyModel::default();
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 50_000;
+        let hard = (0..n)
+            .filter(|_| (m.sample(&mut rng) - m.hard_difficulty).abs() < 1e-12)
+            .count();
+        let frac = hard as f64 / n as f64;
+        assert!((frac - m.hard_fraction).abs() < 0.01, "hard fraction {frac}");
+    }
+
+    #[test]
+    fn mean_matches_mixture() {
+        let m = DifficultyModel {
+            hard_fraction: 0.25,
+            easy_difficulty: 0.0,
+            hard_difficulty: 0.8,
+        };
+        assert!((m.mean() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamps_out_of_range_difficulty() {
+        let m = DifficultyModel::uniform(3.0);
+        assert_eq!(m.easy_difficulty, 1.0);
+    }
+}

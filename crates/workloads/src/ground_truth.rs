@@ -1,0 +1,113 @@
+//! Ground-truth bookkeeping shared by both workloads.
+//!
+//! The paper's authors manually labelled every tweet and image to measure "real accuracy";
+//! the synthetic generators know the truth by construction and record it here so the
+//! experiment harness can score any verification strategy against it.
+
+use std::collections::BTreeMap;
+
+use cdas_core::types::{Label, QuestionId};
+use serde::{Deserialize, Serialize};
+
+/// A store mapping questions to their correct answers.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct GroundTruthStore {
+    truths: BTreeMap<QuestionId, Label>,
+}
+
+impl GroundTruthStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record the correct answer for a question.
+    pub fn insert(&mut self, question: QuestionId, truth: Label) {
+        self.truths.insert(question, truth);
+    }
+
+    /// The correct answer for a question, if known.
+    pub fn get(&self, question: QuestionId) -> Option<&Label> {
+        self.truths.get(&question)
+    }
+
+    /// Whether an answer is correct for a question (unknown questions count as incorrect).
+    pub fn is_correct(&self, question: QuestionId, answer: &Label) -> bool {
+        self.get(question).is_some_and(|t| t == answer)
+    }
+
+    /// Number of questions with known truth.
+    pub fn len(&self) -> usize {
+        self.truths.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.truths.is_empty()
+    }
+
+    /// Iterate over `(question, truth)` pairs in question order.
+    pub fn iter(&self) -> impl Iterator<Item = (&QuestionId, &Label)> {
+        self.truths.iter()
+    }
+
+    /// Fraction of the given `(question, answer)` pairs that are correct — the "real
+    /// accuracy" measure used by every evaluation figure. Returns `None` for an empty
+    /// input.
+    pub fn accuracy_of<'a>(
+        &self,
+        answers: impl IntoIterator<Item = (QuestionId, &'a Label)>,
+    ) -> Option<f64> {
+        let mut total = 0usize;
+        let mut correct = 0usize;
+        for (q, a) in answers {
+            total += 1;
+            if self.is_correct(q, a) {
+                correct += 1;
+            }
+        }
+        if total == 0 {
+            None
+        } else {
+            Some(correct as f64 / total as f64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_lookup() {
+        let mut store = GroundTruthStore::new();
+        assert!(store.is_empty());
+        store.insert(QuestionId(1), Label::from("pos"));
+        store.insert(QuestionId(2), Label::from("neg"));
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(QuestionId(1)).unwrap().as_str(), "pos");
+        assert!(store.get(QuestionId(3)).is_none());
+        assert!(store.is_correct(QuestionId(2), &Label::from("neg")));
+        assert!(!store.is_correct(QuestionId(2), &Label::from("pos")));
+        assert!(!store.is_correct(QuestionId(99), &Label::from("pos")));
+        assert_eq!(store.iter().count(), 2);
+    }
+
+    #[test]
+    fn accuracy_over_answers() {
+        let mut store = GroundTruthStore::new();
+        store.insert(QuestionId(1), Label::from("a"));
+        store.insert(QuestionId(2), Label::from("b"));
+        store.insert(QuestionId(3), Label::from("c"));
+        let a = Label::from("a");
+        let b = Label::from("b");
+        let wrong = Label::from("z");
+        let answers = vec![
+            (QuestionId(1), &a),
+            (QuestionId(2), &b),
+            (QuestionId(3), &wrong),
+        ];
+        assert!((store.accuracy_of(answers).unwrap() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(store.accuracy_of(Vec::new()), None);
+    }
+}

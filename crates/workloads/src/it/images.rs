@@ -1,0 +1,240 @@
+//! Synthetic image descriptors for the IT workload.
+
+use cdas_core::types::{AnswerDomain, Label, QuestionId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::difficulty::DifficultyModel;
+use crate::it::tags::TagVocabulary;
+
+/// One synthetic image: a subject, a primary true tag, and the candidate tags shown to
+/// workers (true tags plus injected noise tags, shuffled).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SyntheticImage {
+    /// Question identifier for the crowd task built from this image.
+    pub id: QuestionId,
+    /// The Flickr-style search subject the image belongs to (e.g. "apple").
+    pub subject: String,
+    /// The primary correct tag workers are asked to identify.
+    pub true_tag: String,
+    /// The candidate tags presented to the worker (contains `true_tag`).
+    pub candidates: Vec<String>,
+    /// Visual difficulty in `[0, 1]` (cluttered or ambiguous images).
+    pub difficulty: f64,
+    /// A crude "visual feature" vector over the tag vocabulary, used only by the automatic
+    /// tagger baseline (ALIPR substitute): noisy affinities between the image and each
+    /// candidate tag.
+    pub feature_affinity: Vec<(String, f64)>,
+}
+
+impl SyntheticImage {
+    /// The ground-truth label.
+    pub fn truth_label(&self) -> Label {
+        Label::from(self.true_tag.as_str())
+    }
+
+    /// The answer domain shown to workers.
+    pub fn domain(&self) -> AnswerDomain {
+        AnswerDomain::new(self.candidates.iter().map(|c| Label::from(c.as_str())))
+    }
+}
+
+/// Configuration of the image generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ImageGeneratorConfig {
+    /// Number of candidate tags per image (true tag + distractors + noise).
+    pub candidates_per_image: usize,
+    /// How many of the candidates are pure noise tags.
+    pub noise_tags_per_image: usize,
+    /// Difficulty model.
+    pub difficulty: DifficultyModel,
+    /// How well the automatic tagger's features correlate with the truth, in `[0, 1]`;
+    /// the paper's ALIPR comparison needs this to be low (≈ 0.2) so the machine baseline
+    /// lands in the 10–30 % accuracy band of Figure 17.
+    pub feature_quality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for ImageGeneratorConfig {
+    fn default() -> Self {
+        ImageGeneratorConfig {
+            candidates_per_image: 8,
+            noise_tags_per_image: 3,
+            difficulty: DifficultyModel {
+                hard_fraction: 0.1,
+                easy_difficulty: 0.05,
+                hard_difficulty: 0.4,
+            },
+            feature_quality: 0.2,
+            seed: 13,
+        }
+    }
+}
+
+/// Deterministic image-descriptor generator.
+#[derive(Debug, Clone)]
+pub struct ImageGenerator {
+    config: ImageGeneratorConfig,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl ImageGenerator {
+    /// Create a generator.
+    pub fn new(config: ImageGeneratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        ImageGenerator {
+            config,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// Generate `count` images of one subject.
+    pub fn generate(&mut self, subject: &str, count: usize) -> Vec<SyntheticImage> {
+        (0..count).map(|_| self.generate_one(subject)).collect()
+    }
+
+    /// Generate one image of a subject.
+    pub fn generate_one(&mut self, subject: &str) -> SyntheticImage {
+        let true_tags = TagVocabulary::true_tags(subject);
+        let true_tag = if true_tags.is_empty() {
+            subject.to_string()
+        } else {
+            true_tags[self.rng.random_range(0..true_tags.len())].to_string()
+        };
+
+        // Candidates: the true tag, other tags of the same subject (plausible distractors),
+        // tags of other subjects, and pure noise tags.
+        let mut candidates: Vec<String> = vec![true_tag.clone()];
+        for t in true_tags.iter().filter(|t| **t != true_tag).take(2) {
+            candidates.push(t.to_string());
+        }
+        let other_subjects: Vec<&str> = TagVocabulary::subjects()
+            .into_iter()
+            .filter(|s| *s != subject)
+            .collect();
+        while candidates.len()
+            < self
+                .config
+                .candidates_per_image
+                .saturating_sub(self.config.noise_tags_per_image)
+        {
+            let s = other_subjects[self.rng.random_range(0..other_subjects.len())];
+            let tags = TagVocabulary::true_tags(s);
+            let tag = tags[self.rng.random_range(0..tags.len())].to_string();
+            if !candidates.contains(&tag) {
+                candidates.push(tag);
+            }
+        }
+        let noise = TagVocabulary::noise_tags();
+        while candidates.len() < self.config.candidates_per_image {
+            let tag = noise[self.rng.random_range(0..noise.len())].to_string();
+            if !candidates.contains(&tag) {
+                candidates.push(tag);
+            }
+        }
+        candidates.shuffle(&mut self.rng);
+
+        let difficulty = self.config.difficulty.sample(&mut self.rng);
+        // Noisy feature affinities: mostly random, with a small bump towards the truth
+        // scaled by feature_quality.
+        let feature_affinity: Vec<(String, f64)> = candidates
+            .iter()
+            .map(|c| {
+                let base: f64 = self.rng.random::<f64>();
+                let bonus = if *c == true_tag {
+                    self.config.feature_quality
+                } else {
+                    0.0
+                };
+                (c.clone(), (base * (1.0 - self.config.feature_quality) + bonus).clamp(0.0, 1.0))
+            })
+            .collect();
+
+        let id = QuestionId(self.next_id);
+        self.next_id += 1;
+        SyntheticImage {
+            id,
+            subject: subject.to_string(),
+            true_tag,
+            candidates,
+            difficulty,
+            feature_affinity,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::it::FIGURE17_SUBJECTS;
+
+    fn generator(seed: u64) -> ImageGenerator {
+        ImageGenerator::new(ImageGeneratorConfig {
+            seed,
+            ..ImageGeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn candidates_contain_truth_and_requested_count() {
+        let mut g = generator(1);
+        for subject in FIGURE17_SUBJECTS {
+            for img in g.generate(subject, 20) {
+                assert_eq!(img.candidates.len(), 8);
+                assert!(img.candidates.contains(&img.true_tag));
+                assert_eq!(img.subject, subject);
+                assert!(TagVocabulary::is_true_tag(subject, &img.true_tag));
+                // Domain matches candidates, truth label is in the domain.
+                assert_eq!(img.domain().size(), 8);
+                assert!(img.domain().contains(&img.truth_label()));
+                // Feature affinities cover every candidate.
+                assert_eq!(img.feature_affinity.len(), 8);
+            }
+        }
+    }
+
+    #[test]
+    fn candidates_include_noise_tags() {
+        let mut g = generator(2);
+        let img = g.generate_one("sun");
+        let noise_count = img
+            .candidates
+            .iter()
+            .filter(|c| TagVocabulary::noise_tags().contains(&c.as_str()))
+            .count();
+        assert_eq!(noise_count, 3);
+    }
+
+    #[test]
+    fn ids_are_unique_across_subjects() {
+        let mut g = generator(3);
+        let mut ids = Vec::new();
+        for s in FIGURE17_SUBJECTS {
+            ids.extend(g.generate(s, 20).iter().map(|i| i.id.0));
+        }
+        let total = ids.len();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), total);
+    }
+
+    #[test]
+    fn unknown_subject_still_produces_an_image() {
+        let mut g = generator(4);
+        let img = g.generate_one("submarine");
+        assert_eq!(img.true_tag, "submarine");
+        assert!(img.candidates.contains(&"submarine".to_string()));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<String> = generator(9).generate("apple", 10).iter().map(|i| i.true_tag.clone()).collect();
+        let b: Vec<String> = generator(9).generate("apple", 10).iter().map(|i| i.true_tag.clone()).collect();
+        assert_eq!(a, b);
+    }
+}

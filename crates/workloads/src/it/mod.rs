@@ -1,0 +1,16 @@
+//! The Image Tagging (IT) workload (§5.2).
+//!
+//! The paper uses 100 Flickr images grouped by search subject (apple, bride, flying, sun,
+//! twilight); for each image the crowd picks the correct tag among candidates that mix the
+//! true Flickr tags with injected noise tags. The synthetic generator produces image
+//! *descriptors* (a subject, a true tag, distractor tags, a difficulty) with the same
+//! observable structure — the pixels themselves are irrelevant to the answering model.
+
+pub mod images;
+pub mod tags;
+
+pub use images::{ImageGenerator, ImageGeneratorConfig, SyntheticImage};
+pub use tags::TagVocabulary;
+
+/// The five subjects of the paper's Figure 17.
+pub const FIGURE17_SUBJECTS: [&str; 5] = ["apple", "bride", "flying", "sun", "twilight"];

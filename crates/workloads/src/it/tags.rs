@@ -1,0 +1,91 @@
+//! Tag vocabulary for the image-tagging workload: true tags per subject plus a pool of
+//! noise tags injected among the candidates ("the candidate tags include Flickr tags and
+//! some embedded noise tags", §5.2).
+
+use serde::{Deserialize, Serialize};
+
+/// Tags that genuinely describe images of each subject.
+const SUBJECT_TAGS: &[(&str, &[&str])] = &[
+    ("apple", &["apple", "fruit", "orchard", "red", "harvest"]),
+    ("bride", &["bride", "wedding", "dress", "bouquet", "ceremony"]),
+    ("flying", &["flying", "bird", "sky", "wings", "airplane"]),
+    ("sun", &["sun", "sunset", "sunrise", "sky", "clouds"]),
+    ("twilight", &["twilight", "dusk", "evening", "horizon", "stars"]),
+    ("mountain", &["mountain", "peak", "snow", "hiking", "summit"]),
+    ("ocean", &["ocean", "waves", "beach", "surf", "tide"]),
+    ("city", &["city", "skyline", "street", "night", "lights"]),
+];
+
+/// Noise tags that describe none of the subjects.
+const NOISE_TAGS: &[&str] = &[
+    "keyboard", "spreadsheet", "radiator", "stapler", "parking", "invoice", "cardboard",
+    "tarmac", "plumbing", "modem", "lawnmower", "fax",
+];
+
+/// The tag vocabulary: true tags per subject and the shared noise pool.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TagVocabulary;
+
+impl TagVocabulary {
+    /// The subjects with a known tag set.
+    pub fn subjects() -> Vec<&'static str> {
+        SUBJECT_TAGS.iter().map(|(s, _)| *s).collect()
+    }
+
+    /// The true tags for a subject (empty for unknown subjects).
+    pub fn true_tags(subject: &str) -> &'static [&'static str] {
+        SUBJECT_TAGS
+            .iter()
+            .find(|(s, _)| *s == subject)
+            .map(|(_, tags)| *tags)
+            .unwrap_or(&[])
+    }
+
+    /// The shared noise-tag pool.
+    pub fn noise_tags() -> &'static [&'static str] {
+        NOISE_TAGS
+    }
+
+    /// Whether a tag is a true tag of the subject.
+    pub fn is_true_tag(subject: &str, tag: &str) -> bool {
+        Self::true_tags(subject).contains(&tag)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::it::FIGURE17_SUBJECTS;
+
+    #[test]
+    fn all_figure17_subjects_have_tags() {
+        for s in FIGURE17_SUBJECTS {
+            assert!(!TagVocabulary::true_tags(s).is_empty(), "no tags for {s}");
+        }
+        assert!(TagVocabulary::subjects().len() >= 5);
+    }
+
+    #[test]
+    fn noise_tags_never_overlap_true_tags() {
+        for subject in TagVocabulary::subjects() {
+            for noise in TagVocabulary::noise_tags() {
+                assert!(
+                    !TagVocabulary::is_true_tag(subject, noise),
+                    "{noise} is both noise and a true tag of {subject}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn unknown_subject_has_no_tags() {
+        assert!(TagVocabulary::true_tags("submarine").is_empty());
+        assert!(!TagVocabulary::is_true_tag("submarine", "apple"));
+    }
+
+    #[test]
+    fn membership_checks() {
+        assert!(TagVocabulary::is_true_tag("apple", "fruit"));
+        assert!(!TagVocabulary::is_true_tag("apple", "wedding"));
+    }
+}

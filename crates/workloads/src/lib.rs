@@ -1,0 +1,25 @@
+//! # cdas-workloads — synthetic evaluation workloads for CDAS
+//!
+//! The paper evaluates CDAS on two applications:
+//!
+//! * **TSA** (Twitter Sentiment Analytics): one-day tweet streams about 200 recent movies,
+//!   manually labelled Positive / Neutral / Negative ([`tsa`]), and
+//! * **IT** (Image Tagging): 100 Flickr images with candidate tags that mix the true Flickr
+//!   tags with injected noise tags ([`it`]).
+//!
+//! Real Twitter and Flickr data cannot ship with a reproduction, so this crate generates
+//! *synthetic* workloads with the same observable structure: labelled short texts whose
+//! difficulty varies (some tweets are hard even for humans — sarcasm, slang), candidate tag
+//! sets with plausible distractors, timestamps, keyword reasons, and ground truth for
+//! accuracy measurement. Generation is fully deterministic given a seed.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![deny(unsafe_code)]
+
+pub mod difficulty;
+pub mod ground_truth;
+pub mod it;
+pub mod tsa;
+
+pub use ground_truth::GroundTruthStore;

@@ -1,0 +1,124 @@
+//! The sentiment lexicon used to assemble synthetic tweet text.
+//!
+//! Phrases are grouped by the sentiment they *express on the surface*. Easy tweets use
+//! phrases matching their true sentiment; hard (sarcastic) tweets deliberately mix in
+//! phrases of the opposite surface sentiment, which is what defeats bag-of-words machine
+//! baselines and trips up low-accuracy workers.
+
+use super::Sentiment;
+
+/// Phrases whose surface sentiment is positive.
+pub const POSITIVE_PHRASES: &[&str] = &[
+    "absolutely loved it",
+    "a masterpiece",
+    "best movie of the year",
+    "brilliant acting",
+    "can't stop thinking about it",
+    "go watch it now",
+    "gorgeous cinematography",
+    "had me smiling the whole time",
+    "instant classic",
+    "left the cinema happy",
+    "phenomenal soundtrack",
+    "so much fun",
+    "stunning visuals",
+    "the plot twist is genius",
+    "totally worth the ticket",
+    "what a ride",
+];
+
+/// Phrases whose surface sentiment is negative.
+pub const NEGATIVE_PHRASES: &[&str] = &[
+    "a complete mess",
+    "boring from start to finish",
+    "fell asleep halfway",
+    "i want my money back",
+    "painfully predictable",
+    "sucks",
+    "terrible pacing",
+    "the dialogue is awful",
+    "the worst thing i've seen",
+    "two hours i'll never get back",
+    "utterly disappointing",
+    "what a letdown",
+    "wooden performances",
+    "save yourself the trouble",
+];
+
+/// Phrases whose surface sentiment is neutral / factual.
+pub const NEUTRAL_PHRASES: &[&str] = &[
+    "just got back from watching",
+    "showing at the downtown cinema",
+    "the runtime is about two hours",
+    "saw the midnight screening of",
+    "they announced a sequel to",
+    "the director also made",
+    "tickets were sold out for",
+    "watching this again tonight",
+    "trailer just dropped for",
+    "is now streaming",
+];
+
+/// Keyword reasons associated with each sentiment (what workers cite as justification,
+/// mirroring the "Siri, iOS 5" style reasons of Table 1).
+pub const POSITIVE_REASONS: &[&str] = &["acting", "visuals", "soundtrack", "plot", "humor"];
+/// Reasons cited for negative opinions.
+pub const NEGATIVE_REASONS: &[&str] = &["pacing", "dialogue", "length", "ending", "cliches"];
+/// Reasons cited for neutral statements.
+pub const NEUTRAL_REASONS: &[&str] = &["screening", "trailer", "release", "runtime"];
+
+/// The surface phrase bank for a sentiment.
+pub fn phrases(sentiment: Sentiment) -> &'static [&'static str] {
+    match sentiment {
+        Sentiment::Positive => POSITIVE_PHRASES,
+        Sentiment::Neutral => NEUTRAL_PHRASES,
+        Sentiment::Negative => NEGATIVE_PHRASES,
+    }
+}
+
+/// The reason keywords for a sentiment.
+pub fn reasons(sentiment: Sentiment) -> &'static [&'static str] {
+    match sentiment {
+        Sentiment::Positive => POSITIVE_REASONS,
+        Sentiment::Neutral => NEUTRAL_REASONS,
+        Sentiment::Negative => NEGATIVE_REASONS,
+    }
+}
+
+/// The sentiment whose surface phrases *contradict* the given one (used for sarcasm).
+/// Neutral has no opposite and maps to Negative (deadpan understatement).
+pub fn opposite(sentiment: Sentiment) -> Sentiment {
+    match sentiment {
+        Sentiment::Positive => Sentiment::Negative,
+        Sentiment::Negative => Sentiment::Positive,
+        Sentiment::Neutral => Sentiment::Negative,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn phrase_banks_are_nonempty_and_distinct() {
+        for s in Sentiment::ALL {
+            assert!(!phrases(s).is_empty());
+            assert!(!reasons(s).is_empty());
+        }
+        // No phrase appears in two banks (keeps the surface signal unambiguous).
+        for p in POSITIVE_PHRASES {
+            assert!(!NEGATIVE_PHRASES.contains(p));
+            assert!(!NEUTRAL_PHRASES.contains(p));
+        }
+        for p in NEGATIVE_PHRASES {
+            assert!(!NEUTRAL_PHRASES.contains(p));
+        }
+    }
+
+    #[test]
+    fn opposites_flip_polarity() {
+        assert_eq!(opposite(Sentiment::Positive), Sentiment::Negative);
+        assert_eq!(opposite(Sentiment::Negative), Sentiment::Positive);
+        assert_eq!(opposite(Sentiment::Neutral), Sentiment::Negative);
+    }
+}

@@ -1,0 +1,81 @@
+//! The Twitter Sentiment Analytics (TSA) workload (§2.2, §5.1).
+//!
+//! Queries are movie titles; candidate tweets mentioning the title are labelled
+//! Positive / Neutral / Negative by the crowd. The synthetic generator produces labelled
+//! tweets whose text is assembled from a sentiment lexicon, with a configurable fraction of
+//! *hard* tweets (sarcasm: surface words contradicting the true sentiment), timestamps
+//! inside the query window, and reason keywords.
+
+pub mod lexicon;
+pub mod movies;
+pub mod stream;
+pub mod tweets;
+
+use cdas_core::types::{AnswerDomain, Label};
+
+pub use movies::MovieCatalog;
+pub use stream::TweetStream;
+pub use tweets::{Tweet, TweetGenerator, TweetGeneratorConfig};
+
+/// The three sentiment labels of the TSA answer domain.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize, serde::Deserialize,
+)]
+pub enum Sentiment {
+    /// The tweet speaks well of the movie.
+    Positive,
+    /// The tweet is neutral or purely factual.
+    Neutral,
+    /// The tweet speaks badly of the movie.
+    Negative,
+}
+
+impl Sentiment {
+    /// All sentiments in the order the paper lists them.
+    pub const ALL: [Sentiment; 3] = [Sentiment::Positive, Sentiment::Neutral, Sentiment::Negative];
+
+    /// The label string used in observations and domains.
+    pub fn label(&self) -> Label {
+        match self {
+            Sentiment::Positive => Label::from("Positive"),
+            Sentiment::Neutral => Label::from("Neutral"),
+            Sentiment::Negative => Label::from("Negative"),
+        }
+    }
+
+    /// Parse a label back into a sentiment.
+    pub fn from_label(label: &Label) -> Option<Sentiment> {
+        match label.as_str() {
+            "Positive" => Some(Sentiment::Positive),
+            "Neutral" => Some(Sentiment::Neutral),
+            "Negative" => Some(Sentiment::Negative),
+            _ => None,
+        }
+    }
+}
+
+/// The TSA answer domain `R = {Positive, Neutral, Negative}`.
+pub fn sentiment_domain() -> AnswerDomain {
+    AnswerDomain::new(Sentiment::ALL.iter().map(|s| s.label()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domain_has_three_labels() {
+        let d = sentiment_domain();
+        assert_eq!(d.size(), 3);
+        assert!(d.contains(&Label::from("Positive")));
+        assert!(d.contains(&Label::from("Negative")));
+    }
+
+    #[test]
+    fn sentiment_label_roundtrip() {
+        for s in Sentiment::ALL {
+            assert_eq!(Sentiment::from_label(&s.label()), Some(s));
+        }
+        assert_eq!(Sentiment::from_label(&Label::from("meh")), None);
+    }
+}

@@ -1,0 +1,154 @@
+//! The movie catalogue: the 200 query titles of the TSA evaluation (§5.1).
+//!
+//! The paper uses the 200 most recent movies listed on IMDB and singles out five of them —
+//! District 9, The Social Network, Thor, Green Lantern and The Roommate — for the
+//! crowdsourcing-versus-LIBSVM comparison of Figure 5. We keep those five verbatim and
+//! synthesise the remaining titles deterministically.
+
+use serde::{Deserialize, Serialize};
+
+/// The five movies the paper evaluates individually in Figure 5 (and Figure 17's analogue
+/// role in IT is played by tag subjects).
+pub const FIGURE5_MOVIES: [&str; 5] = [
+    "District 9",
+    "The Social Network",
+    "Thor",
+    "Green Lantern",
+    "The Roommate",
+];
+
+const ADJECTIVES: [&str; 20] = [
+    "Midnight", "Crimson", "Silent", "Golden", "Broken", "Hidden", "Electric", "Savage",
+    "Frozen", "Rising", "Falling", "Iron", "Paper", "Neon", "Lost", "Burning", "Distant",
+    "Hollow", "Velvet", "Shattered",
+];
+
+const NOUNS: [&str; 20] = [
+    "Horizon", "Empire", "Garden", "Protocol", "Paradox", "Symphony", "Harbor", "Covenant",
+    "Voyage", "Kingdom", "Mirage", "Outpost", "Reunion", "Labyrinth", "Ascension", "Verdict",
+    "Frontier", "Eclipse", "Requiem", "Crossing",
+];
+
+/// A catalogue of movie titles used as TSA queries.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MovieCatalog {
+    titles: Vec<String>,
+}
+
+impl MovieCatalog {
+    /// The paper's setup: 200 titles, the first five being the Figure 5 movies.
+    pub fn paper_default() -> Self {
+        Self::with_size(200)
+    }
+
+    /// A catalogue of `size` titles (at least the five Figure 5 movies).
+    pub fn with_size(size: usize) -> Self {
+        let mut titles: Vec<String> = FIGURE5_MOVIES.iter().map(|s| s.to_string()).collect();
+        let mut i = 0usize;
+        while titles.len() < size.max(FIGURE5_MOVIES.len()) {
+            let adj = ADJECTIVES[i % ADJECTIVES.len()];
+            let noun = NOUNS[(i / ADJECTIVES.len()) % NOUNS.len()];
+            let suffix = i / (ADJECTIVES.len() * NOUNS.len());
+            let title = if suffix == 0 {
+                format!("{adj} {noun}")
+            } else {
+                format!("{adj} {noun} {}", suffix + 1)
+            };
+            if !titles.contains(&title) {
+                titles.push(title);
+            }
+            i += 1;
+        }
+        titles.truncate(size.max(FIGURE5_MOVIES.len()));
+        MovieCatalog { titles }
+    }
+
+    /// Number of titles.
+    pub fn len(&self) -> usize {
+        self.titles.len()
+    }
+
+    /// Whether the catalogue is empty (never true for the provided constructors).
+    pub fn is_empty(&self) -> bool {
+        self.titles.is_empty()
+    }
+
+    /// All titles in order.
+    pub fn titles(&self) -> &[String] {
+        &self.titles
+    }
+
+    /// The title at an index.
+    pub fn get(&self, idx: usize) -> Option<&str> {
+        self.titles.get(idx).map(|s| s.as_str())
+    }
+
+    /// The five movies used by Figure 5, as stored in this catalogue.
+    pub fn figure5_movies(&self) -> Vec<&str> {
+        self.titles
+            .iter()
+            .filter(|t| FIGURE5_MOVIES.contains(&t.as_str()))
+            .map(|s| s.as_str())
+            .collect()
+    }
+
+    /// Keywords a tweet about the movie would contain (the `S` of the query definition):
+    /// the full title plus a squashed no-space variant, mirroring the paper's
+    /// `{iPhone4S, iPhone 4S}` example.
+    pub fn keywords(title: &str) -> Vec<String> {
+        let squashed: String = title.chars().filter(|c| !c.is_whitespace()).collect();
+        if squashed == title {
+            vec![title.to_string()]
+        } else {
+            vec![title.to_string(), squashed]
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_catalogue_has_200_unique_titles() {
+        let c = MovieCatalog::paper_default();
+        assert_eq!(c.len(), 200);
+        assert!(!c.is_empty());
+        let mut titles = c.titles().to_vec();
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), 200, "titles must be unique");
+    }
+
+    #[test]
+    fn figure5_movies_come_first() {
+        let c = MovieCatalog::paper_default();
+        for (i, title) in FIGURE5_MOVIES.iter().enumerate() {
+            assert_eq!(c.get(i), Some(*title));
+        }
+        assert_eq!(c.figure5_movies().len(), 5);
+    }
+
+    #[test]
+    fn small_catalogues_still_contain_figure5() {
+        let c = MovieCatalog::with_size(3);
+        assert_eq!(c.len(), 5, "never fewer than the Figure 5 movies");
+    }
+
+    #[test]
+    fn large_catalogues_do_not_repeat() {
+        let c = MovieCatalog::with_size(450);
+        let mut titles = c.titles().to_vec();
+        assert_eq!(titles.len(), 450);
+        titles.sort();
+        titles.dedup();
+        assert_eq!(titles.len(), 450);
+    }
+
+    #[test]
+    fn keywords_include_squashed_variant() {
+        let kw = MovieCatalog::keywords("Green Lantern");
+        assert_eq!(kw, vec!["Green Lantern".to_string(), "GreenLantern".to_string()]);
+        assert_eq!(MovieCatalog::keywords("Thor"), vec!["Thor".to_string()]);
+    }
+}

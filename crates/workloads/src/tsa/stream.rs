@@ -1,0 +1,115 @@
+//! The tweet stream the program executor consumes (§2.2): timestamped tweets filtered by
+//! query keyword and time window.
+
+use serde::{Deserialize, Serialize};
+
+use crate::tsa::tweets::Tweet;
+
+/// A time-ordered stream of tweets.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TweetStream {
+    tweets: Vec<Tweet>,
+}
+
+impl TweetStream {
+    /// Build a stream from tweets (sorted by posting time).
+    pub fn new(mut tweets: Vec<Tweet>) -> Self {
+        tweets.sort_by(|a, b| {
+            a.posted_at
+                .partial_cmp(&b.posted_at)
+                .unwrap()
+                .then_with(|| a.id.cmp(&b.id))
+        });
+        TweetStream { tweets }
+    }
+
+    /// Number of tweets in the stream.
+    pub fn len(&self) -> usize {
+        self.tweets.len()
+    }
+
+    /// Whether the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.tweets.is_empty()
+    }
+
+    /// All tweets in time order.
+    pub fn tweets(&self) -> &[Tweet] {
+        &self.tweets
+    }
+
+    /// The tweets that mention any of the given keywords (the program executor's filter).
+    pub fn filter_keywords<'a>(&'a self, keywords: &'a [String]) -> impl Iterator<Item = &'a Tweet> {
+        self.tweets
+            .iter()
+            .filter(move |t| keywords.iter().any(|k| t.mentions(k)))
+    }
+
+    /// The tweets posted inside `[from, to)` minutes.
+    pub fn window(&self, from: f64, to: f64) -> impl Iterator<Item = &Tweet> {
+        self.tweets
+            .iter()
+            .filter(move |t| t.posted_at >= from && t.posted_at < to)
+    }
+
+    /// Consume the stream in arrival order, in batches of `batch_size` (how the engine
+    /// buffers tweets before building a HIT).
+    pub fn batches(&self, batch_size: usize) -> impl Iterator<Item = &[Tweet]> {
+        self.tweets.chunks(batch_size.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};
+
+    fn stream() -> TweetStream {
+        let mut g = TweetGenerator::new(TweetGeneratorConfig::default());
+        let mut tweets = g.generate("Thor", 30);
+        tweets.extend(g.generate("Green Lantern", 20));
+        TweetStream::new(tweets)
+    }
+
+    #[test]
+    fn stream_is_time_ordered() {
+        let s = stream();
+        assert_eq!(s.len(), 50);
+        assert!(!s.is_empty());
+        assert!(s
+            .tweets()
+            .windows(2)
+            .all(|w| w[0].posted_at <= w[1].posted_at));
+    }
+
+    #[test]
+    fn keyword_filter_selects_the_right_movie() {
+        let s = stream();
+        let thor_kw = vec!["Thor".to_string()];
+        let thor: Vec<_> = s.filter_keywords(&thor_kw).collect();
+        assert_eq!(thor.len(), 30);
+        assert!(thor.iter().all(|t| t.movie == "Thor"));
+        let avatar_kw = vec!["Avatar".to_string()];
+        let none: Vec<_> = s.filter_keywords(&avatar_kw).collect();
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn window_filter_bounds_timestamps() {
+        let s = stream();
+        let mid: Vec<_> = s.window(100.0, 500.0).collect();
+        assert!(mid.iter().all(|t| t.posted_at >= 100.0 && t.posted_at < 500.0));
+        let all: usize = s.window(0.0, f64::INFINITY).count();
+        assert_eq!(all, 50);
+    }
+
+    #[test]
+    fn batches_cover_the_stream() {
+        let s = stream();
+        let total: usize = s.batches(7).map(|b| b.len()).sum();
+        assert_eq!(total, 50);
+        assert!(s.batches(7).all(|b| b.len() <= 7));
+        // A zero batch size is clamped rather than panicking.
+        assert_eq!(s.batches(0).next().unwrap().len(), 1);
+    }
+}

@@ -1,0 +1,225 @@
+//! Synthetic tweet generation with ground-truth sentiment.
+
+use cdas_core::types::{Label, QuestionId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::difficulty::DifficultyModel;
+use crate::tsa::{lexicon, Sentiment};
+
+/// One synthetic tweet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Tweet {
+    /// Question identifier (used when the tweet becomes a crowd question).
+    pub id: QuestionId,
+    /// The movie the tweet is about.
+    pub movie: String,
+    /// The tweet text.
+    pub text: String,
+    /// The true sentiment of the tweet (ground truth).
+    pub sentiment: Sentiment,
+    /// Difficulty in `[0, 1]`: how much the surface wording obscures the true sentiment.
+    pub difficulty: f64,
+    /// Minutes since the start of the query window at which the tweet was posted.
+    pub posted_at: f64,
+    /// Keywords a worker choosing the correct sentiment would plausibly cite as reasons.
+    pub reason_keywords: Vec<String>,
+}
+
+impl Tweet {
+    /// The ground-truth label of the tweet.
+    pub fn truth_label(&self) -> Label {
+        self.sentiment.label()
+    }
+
+    /// Whether the tweet mentions the given keyword (case-insensitive substring), the check
+    /// the program executor performs when filtering the stream.
+    pub fn mentions(&self, keyword: &str) -> bool {
+        self.text.to_lowercase().contains(&keyword.to_lowercase())
+    }
+}
+
+/// Configuration of the tweet generator.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TweetGeneratorConfig {
+    /// Probability of each sentiment `(positive, neutral, negative)`; normalised on use.
+    pub sentiment_mix: (f64, f64, f64),
+    /// Difficulty model (hard tweets read like the opposite sentiment).
+    pub difficulty: DifficultyModel,
+    /// Length of the query window in minutes (timestamps are uniform inside it).
+    pub window_minutes: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TweetGeneratorConfig {
+    /// Movie chatter skews positive, with the default hard-tweet fraction and a one-day
+    /// window (matching the paper's one-day queries).
+    fn default() -> Self {
+        TweetGeneratorConfig {
+            sentiment_mix: (0.45, 0.25, 0.30),
+            difficulty: DifficultyModel::default(),
+            window_minutes: 24.0 * 60.0,
+            seed: 7,
+        }
+    }
+}
+
+/// Deterministic tweet generator.
+#[derive(Debug, Clone)]
+pub struct TweetGenerator {
+    config: TweetGeneratorConfig,
+    rng: StdRng,
+    next_id: u64,
+}
+
+impl TweetGenerator {
+    /// Create a generator.
+    pub fn new(config: TweetGeneratorConfig) -> Self {
+        let rng = StdRng::seed_from_u64(config.seed);
+        TweetGenerator {
+            config,
+            rng,
+            next_id: 0,
+        }
+    }
+
+    /// Generate `count` tweets about one movie.
+    pub fn generate(&mut self, movie: &str, count: usize) -> Vec<Tweet> {
+        (0..count).map(|_| self.generate_one(movie)).collect()
+    }
+
+    /// Generate one tweet about a movie.
+    pub fn generate_one(&mut self, movie: &str) -> Tweet {
+        let sentiment = self.sample_sentiment();
+        let difficulty = self.config.difficulty.sample(&mut self.rng);
+        let text = self.compose_text(movie, sentiment, difficulty);
+        let posted_at = self.rng.random_range(0.0..self.config.window_minutes.max(1e-6));
+        let reasons: Vec<String> = lexicon::reasons(sentiment)
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let id = QuestionId(self.next_id);
+        self.next_id += 1;
+        Tweet {
+            id,
+            movie: movie.to_string(),
+            text,
+            sentiment,
+            difficulty,
+            posted_at,
+            reason_keywords: reasons,
+        }
+    }
+
+    fn sample_sentiment(&mut self) -> Sentiment {
+        let (p, n, g) = self.config.sentiment_mix;
+        let total = (p + n + g).max(f64::MIN_POSITIVE);
+        let x = self.rng.random::<f64>() * total;
+        if x < p {
+            Sentiment::Positive
+        } else if x < p + n {
+            Sentiment::Neutral
+        } else {
+            Sentiment::Negative
+        }
+    }
+
+    /// Compose tweet text: easy tweets use phrases matching the true sentiment; hard tweets
+    /// are *sarcastic* — their surface words carry only the opposite polarity (mirroring
+    /// the paper's "Avatar: The Last Airbender sucks... I'm disowning him" example), so
+    /// bag-of-words classifiers are systematically misled and careless workers err too.
+    fn compose_text(&mut self, movie: &str, sentiment: Sentiment, difficulty: f64) -> String {
+        let own = lexicon::phrases(sentiment);
+        let own_phrase = own[self.rng.random_range(0..own.len())];
+        if difficulty >= 0.5 {
+            let opp = lexicon::phrases(lexicon::opposite(sentiment));
+            let opp_phrase = opp[self.rng.random_range(0..opp.len())];
+            format!("my nephew keeps saying \"{movie}\" {opp_phrase}... i'm disowning him")
+        } else {
+            format!("{movie}: {own_phrase} #movies")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generator(seed: u64) -> TweetGenerator {
+        TweetGenerator::new(TweetGeneratorConfig {
+            seed,
+            ..TweetGeneratorConfig::default()
+        })
+    }
+
+    #[test]
+    fn generates_requested_count_with_unique_ids() {
+        let mut g = generator(1);
+        let tweets = g.generate("Thor", 50);
+        assert_eq!(tweets.len(), 50);
+        let mut ids: Vec<u64> = tweets.iter().map(|t| t.id.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 50);
+        // IDs keep growing across calls.
+        let more = g.generate("Thor", 10);
+        assert!(more.iter().all(|t| t.id.0 >= 50));
+    }
+
+    #[test]
+    fn tweets_mention_their_movie_and_stay_in_window() {
+        let mut g = generator(2);
+        for t in g.generate("Green Lantern", 100) {
+            assert!(t.mentions("green lantern"));
+            assert!(t.posted_at >= 0.0 && t.posted_at <= 24.0 * 60.0);
+            assert!(!t.reason_keywords.is_empty());
+            assert_eq!(t.movie, "Green Lantern");
+        }
+    }
+
+    #[test]
+    fn sentiment_mix_is_respected() {
+        let mut g = TweetGenerator::new(TweetGeneratorConfig {
+            sentiment_mix: (0.7, 0.1, 0.2),
+            seed: 3,
+            ..TweetGeneratorConfig::default()
+        });
+        let tweets = g.generate("Thor", 20_000);
+        let pos = tweets.iter().filter(|t| t.sentiment == Sentiment::Positive).count();
+        let neu = tweets.iter().filter(|t| t.sentiment == Sentiment::Neutral).count();
+        assert!((pos as f64 / 20_000.0 - 0.7).abs() < 0.02);
+        assert!((neu as f64 / 20_000.0 - 0.1).abs() < 0.02);
+    }
+
+    #[test]
+    fn hard_tweets_contain_contradictory_surface_text() {
+        let mut g = TweetGenerator::new(TweetGeneratorConfig {
+            difficulty: DifficultyModel {
+                hard_fraction: 1.0,
+                easy_difficulty: 0.0,
+                hard_difficulty: 0.8,
+            },
+            seed: 4,
+            ..TweetGeneratorConfig::default()
+        });
+        let tweet = g.generate_one("Thor");
+        assert!(tweet.difficulty >= 0.5);
+        assert!(tweet.text.contains("disowning"), "sarcastic marker missing: {}", tweet.text);
+    }
+
+    #[test]
+    fn truth_label_matches_sentiment() {
+        let mut g = generator(5);
+        let t = g.generate_one("Thor");
+        assert_eq!(Sentiment::from_label(&t.truth_label()), Some(t.sentiment));
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a: Vec<String> = generator(9).generate("Thor", 20).iter().map(|t| t.text.clone()).collect();
+        let b: Vec<String> = generator(9).generate("Thor", 20).iter().map(|t| t.text.clone()).collect();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,52 @@
+//! Image tagging end to end: synthetic Flickr-style images with candidate + noise tags,
+//! crowdsourced tag selection versus the automatic tagger (the ALIPR stand-in) — the
+//! Figure 17 comparison in miniature.
+//!
+//! Run with: `cargo run -p cdas --example image_tagging`
+
+use cdas::baselines::image::AutoTagger;
+use cdas::engine::engine::WorkerCountPolicy;
+use cdas::prelude::*;
+use cdas::workloads::it::FIGURE17_SUBJECTS;
+
+fn main() {
+    let mut generator = ImageGenerator::new(ImageGeneratorConfig::default());
+
+    // Train the automatic tagger on a separate image collection.
+    let mut training = Vec::new();
+    for subject in FIGURE17_SUBJECTS {
+        training.extend(generator.generate(subject, 20));
+    }
+    let mut tagger = AutoTagger::new();
+    tagger.train(&training);
+
+    // The evaluation set: 20 images per subject, as in the paper.
+    let pool = WorkerPool::generate(&PoolConfig::default());
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10}",
+        "subject", "ALIPR*", "1 worker", "3 workers", "5 workers"
+    );
+    for subject in FIGURE17_SUBJECTS {
+        let images = generator.generate(subject, 20);
+        let refs: Vec<_> = images.iter().collect();
+        let machine = tagger.accuracy(&images);
+        let mut row = format!("{subject:<10} {:>7.1}%", machine * 100.0);
+        for workers in [1usize, 3, 5] {
+            let app = ImageTaggingApp::new(ItConfig {
+                engine: EngineConfig {
+                    workers: WorkerCountPolicy::Fixed(workers),
+                    ..EngineConfig::default()
+                },
+                batch_size: 10,
+                sampling_rate: 0.2,
+            });
+            let mut platform =
+                SimulatedPlatform::new(pool.clone(), CostModel::default(), 31 + workers as u64);
+            let report = app.run(&mut platform, &refs, None).expect("IT run");
+            row.push_str(&format!(" {:>9.1}%", report.crowd.accuracy * 100.0));
+        }
+        println!("{row}");
+    }
+    println!("\n(*) automatic tagger baseline — the reproduction's substitute for ALIPR");
+    println!("Even a single crowd worker beats automatic annotation by a wide margin (Figure 17).");
+}

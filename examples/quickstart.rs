@@ -1,0 +1,54 @@
+//! Quickstart: the quality-sensitive answering model in ~40 lines.
+//!
+//! 1. Ask the prediction model how many workers a 95 %-accuracy HIT needs.
+//! 2. Aggregate five conflicting worker answers with the probability-based verification
+//!    model (the paper's Table 3/4 example).
+//!
+//! Run with: `cargo run -p cdas --example quickstart`
+
+use cdas::prelude::*;
+
+fn main() {
+    // --- Phase 1: prediction --------------------------------------------------------
+    // Our worker population answers correctly 75 % of the time on average.
+    let prediction = PredictionModel::new(0.75).expect("mean accuracy must exceed 0.5");
+    for required in [0.80, 0.90, 0.95, 0.99] {
+        let conservative = prediction.conservative_workers(required).unwrap();
+        let refined = prediction.refined_workers(required).unwrap();
+        println!(
+            "required accuracy {:>4.0}% -> conservative estimate {:>3} workers, refined {:>3}",
+            required * 100.0,
+            conservative,
+            refined
+        );
+    }
+
+    // --- Phase 2: verification ------------------------------------------------------
+    // Five workers disagree about the sentiment of a tweet (Table 3 of the paper).
+    let observation = Observation::from_votes(vec![
+        Vote::new(WorkerId(1), Label::from("Positive"), 0.54),
+        Vote::new(WorkerId(2), Label::from("Positive"), 0.31),
+        Vote::new(WorkerId(3), Label::from("Neutral"), 0.49),
+        Vote::new(WorkerId(4), Label::from("Negative"), 0.73),
+        Vote::new(WorkerId(5), Label::from("Positive"), 0.46),
+    ]);
+
+    let majority = MajorityVoting::new().decide(&observation).unwrap();
+    println!(
+        "\nMajority-Voting says:         {}",
+        majority.label().map(|l| l.as_str()).unwrap_or("no answer")
+    );
+
+    let verifier = ProbabilisticVerifier::with_domain_size(3);
+    let result = verifier.verify(&observation).unwrap();
+    println!(
+        "Probability-based model says: {} (confidence {:.3})",
+        result.best(),
+        result.best_confidence()
+    );
+    println!("Full ranking:");
+    for (label, confidence) in result.ranking() {
+        println!("  {label:<9} {confidence:.3}");
+    }
+    println!("\nThe high-accuracy worker (0.73) flips the answer to Negative — Table 4 of the paper.");
+}

@@ -1,0 +1,88 @@
+//! Twitter Sentiment Analytics end to end: synthetic tweet stream → program executor
+//! filter → HIT batches with gold questions → simulated crowd → probability-based
+//! verification → Figure-4-style summary, compared against the Naive-Bayes baseline
+//! (the reproduction's LIBSVM stand-in).
+//!
+//! Run with: `cargo run -p cdas --example tsa_pipeline`
+
+use cdas::baselines::text::NaiveBayesClassifier;
+use cdas::core::types::AnswerDomain;
+use cdas::engine::engine::WorkerCountPolicy;
+use cdas::engine::executor::ProgramExecutor;
+use cdas::prelude::*;
+use cdas::workloads::tsa::stream::TweetStream;
+use cdas::workloads::tsa::MovieCatalog;
+
+fn main() {
+    let catalog = MovieCatalog::paper_default();
+
+    // Training corpus: tweets about every movie except the query movie.
+    let mut generator = TweetGenerator::new(TweetGeneratorConfig::default());
+    let mut training = Vec::new();
+    for title in catalog.titles().iter().skip(5).take(60) {
+        training.extend(generator.generate(title, 20));
+    }
+    let mut baseline = NaiveBayesClassifier::new();
+    baseline.train(&training);
+
+    // The query: opinions about Thor over one day, 90 % required accuracy.
+    let query = Query::new(
+        MovieCatalog::keywords("Thor"),
+        0.90,
+        AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+        0.0,
+        24.0 * 60.0,
+    );
+    let stream = TweetStream::new(generator.generate("Thor", 120));
+    let executor = ProgramExecutor::new();
+    let candidates = executor.candidate_tweets(&stream, &query);
+    println!(
+        "program executor selected {} candidate tweets for {:?}",
+        candidates.len(),
+        query.keywords
+    );
+
+    // Simulated crowd platform.
+    let pool = WorkerPool::generate(&PoolConfig::default());
+    let mut platform = SimulatedPlatform::new(pool, CostModel::default(), 2024);
+
+    // Crowdsourcing engine: prediction model decides the worker count from the estimated
+    // mean accuracy; probabilistic verification; ExpMax early termination.
+    let app = TsaApp::new(TsaConfig {
+        engine: EngineConfig {
+            workers: WorkerCountPolicy::Predicted { mean_accuracy: 0.68 },
+            required_accuracy: query.required_accuracy,
+            termination: Some(TerminationStrategy::ExpMax),
+            domain_size: Some(3),
+            ..EngineConfig::default()
+        },
+        batch_size: 20,
+        sampling_rate: 0.2,
+    });
+    let report = app
+        .run(&mut platform, &candidates, Some(&baseline))
+        .expect("TSA run");
+
+    println!(
+        "\n== results over {} tweets ({} HITs) ==",
+        report.crowd.questions, report.hits
+    );
+    println!("crowd accuracy        : {:.3}", report.crowd.accuracy);
+    println!("machine (NB) accuracy : {:.3}", report.machine_accuracy.unwrap());
+    println!("no-answer ratio       : {:.3}", report.crowd.no_answer_ratio);
+    println!("mean answers/question : {:.2}", report.crowd.mean_answers_used);
+    println!("engine-side cost      : ${:.2}", report.crowd.cost);
+    println!("\nopinion summary (Figure 4 style):");
+    for row in &report.summary {
+        println!(
+            "  {:<9} {:>5.1}%   reasons: {}",
+            row.label.as_str(),
+            row.percentage * 100.0,
+            if row.reasons.is_empty() {
+                "-".to_string()
+            } else {
+                row.reasons.join(", ")
+            }
+        );
+    }
+}

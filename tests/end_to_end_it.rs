@@ -1,0 +1,93 @@
+//! Integration test: the image-tagging pipeline — synthetic images with noise tags, the
+//! simulated crowd, and the automatic-tagger baseline (Figure 17/18 shape).
+
+use cdas::baselines::image::AutoTagger;
+use cdas::engine::engine::WorkerCountPolicy;
+use cdas::prelude::*;
+use cdas::workloads::it::FIGURE17_SUBJECTS;
+
+fn images(seed: u64, per_subject: usize) -> Vec<cdas::workloads::it::images::SyntheticImage> {
+    let mut g = ImageGenerator::new(ImageGeneratorConfig {
+        seed,
+        ..ImageGeneratorConfig::default()
+    });
+    let mut all = Vec::new();
+    for s in FIGURE17_SUBJECTS {
+        all.extend(g.generate(s, per_subject));
+    }
+    all
+}
+
+#[test]
+fn crowd_tagging_dominates_the_automatic_tagger_on_every_subject() {
+    let mut tagger = AutoTagger::new();
+    tagger.train(&images(1, 20));
+
+    let pool = WorkerPool::generate(&PoolConfig {
+        size: 200,
+        seed: 5,
+        ..PoolConfig::default()
+    });
+
+    for (i, subject) in FIGURE17_SUBJECTS.iter().enumerate() {
+        let mut g = ImageGenerator::new(ImageGeneratorConfig {
+            seed: 100 + i as u64,
+            ..ImageGeneratorConfig::default()
+        });
+        let test = g.generate(subject, 20);
+        let refs: Vec<_> = test.iter().collect();
+        let machine = tagger.accuracy(&test);
+
+        let app = ImageTaggingApp::new(ItConfig {
+            engine: EngineConfig {
+                workers: WorkerCountPolicy::Fixed(5),
+                ..EngineConfig::default()
+            },
+            batch_size: 10,
+            sampling_rate: 0.2,
+        });
+        let mut platform =
+            SimulatedPlatform::new(pool.clone(), CostModel::default(), 200 + i as u64);
+        let report = app.run(&mut platform, &refs, Some(&tagger)).unwrap();
+
+        assert!(
+            machine < 0.6,
+            "{subject}: automatic tagger unexpectedly strong ({machine})"
+        );
+        assert!(
+            report.crowd.accuracy > machine + 0.15,
+            "{subject}: crowd {} does not dominate machine {machine}",
+            report.crowd.accuracy
+        );
+    }
+}
+
+#[test]
+fn more_workers_do_not_hurt_it_accuracy() {
+    let test = images(7, 10);
+    let refs: Vec<_> = test.iter().collect();
+    let pool = WorkerPool::generate(&PoolConfig {
+        size: 150,
+        seed: 9,
+        ..PoolConfig::default()
+    });
+    let accuracy_with = |workers: usize| {
+        let app = ImageTaggingApp::new(ItConfig {
+            engine: EngineConfig {
+                workers: WorkerCountPolicy::Fixed(workers),
+                ..EngineConfig::default()
+            },
+            batch_size: 10,
+            sampling_rate: 0.2,
+        });
+        let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 77);
+        app.run(&mut platform, &refs, None).unwrap().crowd.accuracy
+    };
+    let one = accuracy_with(1);
+    let nine = accuracy_with(9);
+    assert!(
+        nine >= one - 0.05,
+        "9 workers ({nine}) should not be meaningfully worse than 1 ({one})"
+    );
+    assert!(nine > 0.7, "9-worker accuracy too low: {nine}");
+}

@@ -1,0 +1,131 @@
+//! Integration test: online processing against the asynchronous simulated crowd — partial
+//! results converge to the offline answer, early termination saves assignments without
+//! destroying accuracy, and different arrival sequences change intermediate (but not final)
+//! results.
+
+use cdas::core::online::{OnlineProcessor, TerminationStrategy};
+use cdas::core::types::{AnswerDomain, Label, QuestionId, Observation, Vote};
+use cdas::core::verification::confidence::answer_confidences;
+use cdas::crowd::question::CrowdQuestion;
+use cdas::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn question() -> CrowdQuestion {
+    CrowdQuestion::new(
+        QuestionId(0),
+        AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+        Label::from("Positive"),
+    )
+}
+
+fn answer_sequence(pool: &WorkerPool, n: usize, seed: u64) -> Vec<(f64, Vote)> {
+    let q = question();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workers = pool.assign(n, &mut rng);
+    let mut submissions: Vec<(f64, Vote)> = workers
+        .iter()
+        .map(|w| {
+            (
+                w.sample_latency(&mut rng),
+                Vote::new(w.id, w.answer(&q, &mut rng), w.effective_accuracy(&q)),
+            )
+        })
+        .collect();
+    submissions.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
+    submissions
+}
+
+#[test]
+fn online_ranking_converges_to_offline_equation_4() {
+    let pool = WorkerPool::generate(&PoolConfig::default());
+    let sequence = answer_sequence(&pool, 21, 5);
+    let mean = pool.true_mean_accuracy(&question());
+    let mut processor = OnlineProcessor::new(21, mean, TerminationStrategy::MinMax)
+        .unwrap()
+        .with_domain_size(3);
+    let mut last = None;
+    for (_, vote) in &sequence {
+        last = Some(processor.consume(vote.clone()).unwrap());
+    }
+    let votes: Vec<Vote> = sequence.into_iter().map(|(_, v)| v).collect();
+    let offline = answer_confidences(&Observation::from_votes(votes), 3);
+    assert_eq!(last.unwrap().ranking, offline);
+}
+
+#[test]
+fn expmax_saves_workers_without_losing_much_accuracy() {
+    let pool = WorkerPool::generate(&PoolConfig {
+        size: 400,
+        seed: 41,
+        ..PoolConfig::default()
+    });
+    let mean = pool.true_mean_accuracy(&question());
+    let trials = 300;
+    let n = 15usize;
+    let mut full_correct = 0usize;
+    let mut early_correct = 0usize;
+    let mut consumed_total = 0usize;
+    for i in 0..trials {
+        let sequence = answer_sequence(&pool, n, 1000 + i as u64);
+        let votes: Vec<Vote> = sequence.iter().map(|(_, v)| v.clone()).collect();
+        // Offline answer.
+        let offline = answer_confidences(&Observation::from_votes(votes.clone()), 3);
+        if offline[0].0.as_str() == "Positive" {
+            full_correct += 1;
+        }
+        // ExpMax online.
+        let mut processor = OnlineProcessor::new(n, mean, TerminationStrategy::ExpMax)
+            .unwrap()
+            .with_domain_size(3);
+        let outcome = processor.run_until_termination(votes).unwrap();
+        consumed_total += outcome.answers_received;
+        if outcome.best.unwrap().0.as_str() == "Positive" {
+            early_correct += 1;
+        }
+    }
+    let mean_consumed = consumed_total as f64 / trials as f64;
+    let full_acc = full_correct as f64 / trials as f64;
+    let early_acc = early_correct as f64 / trials as f64;
+    // The Figure 12 claim: ExpMax saves a large fraction of the assignments…
+    assert!(
+        mean_consumed < 0.7 * n as f64,
+        "expected substantial savings, consumed {mean_consumed}/{n}"
+    );
+    // …and the Figure 13 claim: without giving up much accuracy.
+    assert!(
+        early_acc >= full_acc - 0.05,
+        "early termination lost too much accuracy: {early_acc} vs {full_acc}"
+    );
+}
+
+#[test]
+fn arrival_order_changes_intermediate_but_not_final_confidence() {
+    let pool = WorkerPool::generate(&PoolConfig::clean(100, 0.8, 51));
+    let sequence = answer_sequence(&pool, 11, 9);
+    let votes: Vec<Vote> = sequence.iter().map(|(_, v)| v.clone()).collect();
+    let mut reversed = votes.clone();
+    reversed.reverse();
+
+    let run = |order: &[Vote]| {
+        let mut processor = OnlineProcessor::new(11, 0.8, TerminationStrategy::MinMax)
+            .unwrap()
+            .with_domain_size(3);
+        let mut intermediate = Vec::new();
+        let mut last = None;
+        for v in order {
+            let o = processor.consume(v.clone()).unwrap();
+            intermediate.push(o.best.clone().map(|(l, _)| l));
+            last = o.best;
+        }
+        (intermediate, last)
+    };
+    let (forward_steps, forward_final) = run(&votes);
+    let (reverse_steps, reverse_final) = run(&reversed);
+    // The final answer is order-independent (same multiset of votes)…
+    assert_eq!(forward_final.unwrap().0, reverse_final.unwrap().0);
+    // …even though the intermediate trajectories normally differ (Figure 11). We only
+    // assert that both trajectories are well-formed; a strict inequality would be flaky
+    // when all workers happen to agree.
+    assert_eq!(forward_steps.len(), reverse_steps.len());
+}

@@ -1,0 +1,139 @@
+//! Integration test: the contract between the crowdsourcing engine and the crowd platform —
+//! assignment counts, answer delivery, cancellation, and cost accounting.
+
+use cdas::core::online::TerminationStrategy;
+use cdas::core::types::{AnswerDomain, Label, QuestionId};
+use cdas::crowd::hit::HitRequest;
+use cdas::crowd::question::CrowdQuestion;
+use cdas::engine::engine::{AccuracySource, WorkerCountPolicy};
+use cdas::prelude::*;
+
+fn questions(count: u64) -> Vec<CrowdQuestion> {
+    (0..count)
+        .map(|i| {
+            CrowdQuestion::new(
+                QuestionId(i),
+                AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+                Label::from("Positive"),
+            )
+        })
+        .collect()
+}
+
+fn platform(accuracy: f64, seed: u64) -> SimulatedPlatform {
+    let pool = WorkerPool::generate(&PoolConfig::clean(100, accuracy, seed));
+    SimulatedPlatform::new(pool, CostModel::default(), seed)
+}
+
+#[test]
+fn platform_delivers_exactly_assignments_times_questions() {
+    let mut p = platform(0.8, 1);
+    let request = HitRequest::new(questions(6), 7, 0.01);
+    let (_, answers) = p.publish_and_collect(request);
+    assert_eq!(answers.len(), 42);
+    // Every question gets exactly 7 answers, one per assigned worker.
+    for q in 0..6u64 {
+        let votes: Vec<_> = answers.iter().filter(|a| a.question == QuestionId(q)).collect();
+        assert_eq!(votes.len(), 7);
+        let mut workers: Vec<u64> = votes.iter().map(|a| a.worker.0).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert_eq!(workers.len(), 7, "each worker answers a question once");
+    }
+}
+
+#[test]
+fn engine_charges_full_price_offline_and_less_with_early_termination() {
+    let offline_engine = CrowdsourcingEngine::new(EngineConfig {
+        workers: WorkerCountPolicy::Fixed(15),
+        verification: VerificationStrategy::Probabilistic,
+        termination: None,
+        domain_size: Some(3),
+        ..EngineConfig::default()
+    });
+    let online_engine = CrowdsourcingEngine::new(EngineConfig {
+        workers: WorkerCountPolicy::Fixed(15),
+        verification: VerificationStrategy::Probabilistic,
+        termination: Some(TerminationStrategy::ExpMax),
+        domain_size: Some(3),
+        ..EngineConfig::default()
+    });
+    let offline = offline_engine
+        .run_hit(&mut platform(0.85, 3), questions(10))
+        .unwrap();
+    let online = online_engine
+        .run_hit(&mut platform(0.85, 3), questions(10))
+        .unwrap();
+    let full_price = CostModel::default().hit_cost(15);
+    assert!((offline.cost - full_price).abs() < 1e-9);
+    assert!(online.cost < offline.cost, "early termination must save money");
+    assert!(online.mean_answers_used() < 15.0);
+}
+
+#[test]
+fn oracle_registry_and_gold_sampling_agree_on_clean_pools() {
+    // With a uniform-accuracy pool, sampling-based estimation and the oracle registry lead
+    // to the same verdicts on easy questions.
+    let pool = WorkerPool::generate(&PoolConfig::clean(100, 0.85, 13));
+    let reference = &questions(1)[0];
+    let oracle = pool.oracle_registry(reference);
+
+    let gold_engine = CrowdsourcingEngine::new(EngineConfig {
+        workers: WorkerCountPolicy::Fixed(9),
+        accuracy_source: AccuracySource::GoldSampling,
+        domain_size: Some(3),
+        ..EngineConfig::default()
+    });
+    let oracle_engine = CrowdsourcingEngine::new(EngineConfig {
+        workers: WorkerCountPolicy::Fixed(9),
+        accuracy_source: AccuracySource::Registry(oracle),
+        domain_size: Some(3),
+        ..EngineConfig::default()
+    });
+
+    // Mark a fifth of the questions gold for the sampling path.
+    let mut qs = questions(25);
+    for (i, q) in qs.iter_mut().enumerate() {
+        if i % 5 == 0 {
+            *q = q.clone().as_gold();
+        }
+    }
+    let a = gold_engine
+        .run_hit(
+            &mut SimulatedPlatform::new(pool.clone(), CostModel::default(), 21),
+            qs.clone(),
+        )
+        .unwrap();
+    let b = oracle_engine
+        .run_hit(
+            &mut SimulatedPlatform::new(pool.clone(), CostModel::default(), 21),
+            qs,
+        )
+        .unwrap();
+    let labels = |o: &cdas::engine::HitOutcome| {
+        o.real_verdicts()
+            .map(|v| v.verdict.label().map(|l| l.as_str().to_string()))
+            .collect::<Vec<_>>()
+    };
+    // Same platform seed ⇒ same raw answers; the two accuracy sources must agree on nearly
+    // every verdict for a homogeneous pool.
+    let same = labels(&a)
+        .iter()
+        .zip(labels(&b).iter())
+        .filter(|(x, y)| x == y)
+        .count();
+    assert!(same >= 18, "only {same}/20 verdicts agree");
+}
+
+#[test]
+fn privacy_manager_blocks_workers_and_masks_terms() {
+    use cdas::core::types::WorkerId;
+    use cdas::engine::privacy::PrivacyManager;
+    let privacy = PrivacyManager::permissive()
+        .redact_term("Acme Corp")
+        .block_worker(WorkerId(2));
+    assert!(!privacy.allows_worker(WorkerId(2)));
+    assert!(privacy.allows_worker(WorkerId(3)));
+    let masked = privacy.sanitize("Acme Corp quarterly report");
+    assert!(!masked.contains("Acme Corp"));
+}

@@ -1,0 +1,151 @@
+//! Integration test: the quality guarantees the answering model claims — the prediction
+//! model's worker estimate really does drive the *measured* accuracy of the verification
+//! strategies above the requirement (Theorem 3 + Theorem 4 exercised against the simulated
+//! crowd rather than in isolation).
+
+use cdas::core::prediction::PredictionModel;
+use cdas::core::types::{AnswerDomain, Label, QuestionId, Observation, Vote};
+use cdas::core::verification::probabilistic::ProbabilisticVerifier;
+use cdas::core::verification::voting::HalfVoting;
+use cdas::core::verification::Verifier;
+use cdas::crowd::question::CrowdQuestion;
+use cdas::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Simulate one question answered by `n` random workers of the pool and verify it with the
+/// probabilistic model using the workers' true accuracies.
+fn run_question(
+    pool: &WorkerPool,
+    question: &CrowdQuestion,
+    n: usize,
+    rng: &mut StdRng,
+) -> (Label, Label) {
+    let workers = pool.assign(n, rng);
+    let votes: Vec<Vote> = workers
+        .iter()
+        .map(|w| Vote::new(w.id, w.answer(question, rng), w.effective_accuracy(question)))
+        .collect();
+    let observation = Observation::from_votes(votes);
+    let verifier = ProbabilisticVerifier::with_domain_size(question.domain.size());
+    let best = verifier.verify(&observation).unwrap().best().clone();
+    (best, question.ground_truth.clone())
+}
+
+fn sentiment_question(id: u64) -> CrowdQuestion {
+    CrowdQuestion::new(
+        QuestionId(id),
+        AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+        Label::from("Positive"),
+    )
+}
+
+#[test]
+fn predicted_worker_count_achieves_the_required_accuracy_in_simulation() {
+    let pool = WorkerPool::generate(&PoolConfig::clean(400, 0.7, 3));
+    let mu = 0.7;
+    let model = PredictionModel::new(mu).unwrap();
+    let mut rng = StdRng::seed_from_u64(17);
+    for required in [0.75, 0.85, 0.95] {
+        let n = model.refined_workers(required).unwrap() as usize;
+        let trials = 400;
+        let mut correct = 0usize;
+        for i in 0..trials {
+            let q = sentiment_question(i as u64);
+            let (answer, truth) = run_question(&pool, &q, n, &mut rng);
+            if answer == truth {
+                correct += 1;
+            }
+        }
+        let measured = correct as f64 / trials as f64;
+        // Simulation noise: allow a 3-point slack below the requirement.
+        assert!(
+            measured >= required - 0.03,
+            "required {required}, n={n}, measured only {measured}"
+        );
+    }
+}
+
+#[test]
+fn verification_beats_half_voting_with_heterogeneous_workers() {
+    // The Figure 7 claim, measured end to end: with a mixed-accuracy pool the probabilistic
+    // verifier beats Half-Voting at the same worker count.
+    let pool = WorkerPool::generate(&PoolConfig {
+        size: 400,
+        seed: 23,
+        ..PoolConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(29);
+    let n = 7usize;
+    let trials = 500;
+    let mut prob_correct = 0usize;
+    let mut half_correct = 0usize;
+    for i in 0..trials {
+        let q = sentiment_question(i as u64);
+        let workers = pool.assign(n, &mut rng);
+        let votes: Vec<Vote> = workers
+            .iter()
+            .map(|w| Vote::new(w.id, w.answer(&q, &mut rng), w.effective_accuracy(&q)))
+            .collect();
+        let observation = Observation::from_votes(votes);
+        let prob = ProbabilisticVerifier::with_domain_size(3)
+            .decide(&observation)
+            .unwrap();
+        if prob.label() == Some(&q.ground_truth) {
+            prob_correct += 1;
+        }
+        let half = HalfVoting::new(n).decide(&observation).unwrap();
+        if half.label() == Some(&q.ground_truth) {
+            half_correct += 1;
+        }
+    }
+    let prob_acc = prob_correct as f64 / trials as f64;
+    let half_acc = half_correct as f64 / trials as f64;
+    assert!(
+        prob_acc >= half_acc,
+        "verification ({prob_acc}) should not lose to half-voting ({half_acc})"
+    );
+    assert!(prob_acc > 0.8, "verification accuracy too low: {prob_acc}");
+}
+
+#[test]
+fn spammers_and_colluders_degrade_voting_more_than_verification() {
+    // A quarter of the pool is malicious; verification down-weights them via sampling-style
+    // accuracies, voting cannot.
+    let pool = WorkerPool::generate(&PoolConfig {
+        size: 300,
+        spammer_fraction: 0.15,
+        colluder_fraction: 0.10,
+        seed: 31,
+        ..PoolConfig::default()
+    });
+    let mut rng = StdRng::seed_from_u64(37);
+    let trials = 400;
+    let n = 9usize;
+    let mut prob_correct = 0usize;
+    let mut half_correct = 0usize;
+    for i in 0..trials {
+        let q = sentiment_question(i as u64);
+        let workers = pool.assign(n, &mut rng);
+        let votes: Vec<Vote> = workers
+            .iter()
+            .map(|w| Vote::new(w.id, w.answer(&q, &mut rng), w.effective_accuracy(&q)))
+            .collect();
+        let observation = Observation::from_votes(votes);
+        if ProbabilisticVerifier::with_domain_size(3)
+            .decide(&observation)
+            .unwrap()
+            .label()
+            == Some(&q.ground_truth)
+        {
+            prob_correct += 1;
+        }
+        if HalfVoting::new(n).decide(&observation).unwrap().label() == Some(&q.ground_truth) {
+            half_correct += 1;
+        }
+    }
+    assert!(
+        prob_correct >= half_correct,
+        "verification ({prob_correct}) should tolerate malicious workers at least as well as voting ({half_correct})"
+    );
+}
