@@ -122,7 +122,10 @@ mod tests {
         tagger.train(&images(3, 20));
         let acc = tagger.accuracy(&images(4, 20));
         assert!(acc < 0.45, "automatic tagger unexpectedly good: {acc}");
-        assert!(acc > 0.02, "automatic tagger should beat blind guessing occasionally: {acc}");
+        assert!(
+            acc > 0.02,
+            "automatic tagger should beat blind guessing occasionally: {acc}"
+        );
     }
 
     #[test]

@@ -84,10 +84,7 @@ impl NaiveBayesClassifier {
             let class_total = *self.class_tokens.get(&class).unwrap_or(&0) as f64;
             let counts = self.token_counts.get(&class);
             for token in &tokens {
-                let count = counts
-                    .and_then(|c| c.get(token))
-                    .copied()
-                    .unwrap_or(0) as f64;
+                let count = counts.and_then(|c| c.get(token)).copied().unwrap_or(0) as f64;
                 // Laplace smoothing.
                 score += ((count + 1.0) / (class_total + vocab)).ln();
             }
@@ -247,9 +244,18 @@ mod tests {
     #[test]
     fn lexicon_rule_handles_clear_polarity() {
         let rule = LexiconRuleClassifier::new();
-        assert_eq!(rule.classify("this movie is a masterpiece"), Sentiment::Positive);
-        assert_eq!(rule.classify("what a letdown, terrible pacing"), Sentiment::Negative);
-        assert_eq!(rule.classify("the runtime is about two hours"), Sentiment::Neutral);
+        assert_eq!(
+            rule.classify("this movie is a masterpiece"),
+            Sentiment::Positive
+        );
+        assert_eq!(
+            rule.classify("what a letdown, terrible pacing"),
+            Sentiment::Negative
+        );
+        assert_eq!(
+            rule.classify("the runtime is about two hours"),
+            Sentiment::Neutral
+        );
     }
 
     #[test]
@@ -258,8 +264,11 @@ mod tests {
         // Surface-negative wording with positive ground truth (the "Airbender" example).
         let hard = corpus(7, 1.0, 50, 5);
         let acc = rule.accuracy(&hard);
-        assert!(acc < 0.6, "sarcastic tweets should defeat the rule classifier, got {acc}");
-        assert_eq!(rule.accuracy(Vec::<&Tweet>::new().into_iter().collect::<Vec<_>>()), 0.0);
+        assert!(
+            acc < 0.6,
+            "sarcastic tweets should defeat the rule classifier, got {acc}"
+        );
+        assert_eq!(rule.accuracy(Vec::<&Tweet>::new()), 0.0);
     }
 
     #[test]

@@ -4,10 +4,12 @@
 
 use cdas_bench::sentiment_question;
 use cdas_core::economics::CostModel;
+use cdas_core::online::TerminationStrategy;
 use cdas_crowd::pool::{PoolConfig, WorkerPool};
 use cdas_crowd::SimulatedPlatform;
-use cdas_engine::engine::{CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy};
-use cdas_core::online::TerminationStrategy;
+use cdas_engine::engine::{
+    CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -25,7 +27,10 @@ fn bench_end_to_end(c: &mut Criterion) {
         .collect();
     let mut group = c.benchmark_group("end_to_end_hit");
     group.sample_size(30);
-    for (label, termination) in [("offline", None), ("expmax", Some(TerminationStrategy::ExpMax))] {
+    for (label, termination) in [
+        ("offline", None),
+        ("expmax", Some(TerminationStrategy::ExpMax)),
+    ] {
         group.bench_with_input(
             BenchmarkId::new("run_hit_9_workers", label),
             &termination,

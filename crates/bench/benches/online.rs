@@ -12,22 +12,20 @@ fn bench_online(c: &mut Criterion) {
     let mut group = c.benchmark_group("online");
     for &n in &[9usize, 15, 29] {
         let mut r = rng(100 + n as u64);
-        let votes = simulate_observation(&pool, &question, n, &mut r).votes().to_vec();
+        let votes = simulate_observation(&pool, &question, n, &mut r)
+            .votes()
+            .to_vec();
         for strategy in TerminationStrategy::ALL {
-            group.bench_with_input(
-                BenchmarkId::new(strategy.name(), n),
-                &votes,
-                |b, votes| {
-                    b.iter(|| {
-                        let mut processor = OnlineProcessor::new(n, 0.68, strategy)
-                            .unwrap()
-                            .with_domain_size(3);
-                        processor
-                            .run_until_termination(black_box(votes.iter().cloned()))
-                            .unwrap()
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(strategy.name(), n), &votes, |b, votes| {
+                b.iter(|| {
+                    let mut processor = OnlineProcessor::new(n, 0.68, strategy)
+                        .unwrap()
+                        .with_domain_size(3);
+                    processor
+                        .run_until_termination(black_box(votes.iter().cloned()))
+                        .unwrap()
+                })
+            });
         }
     }
     group.finish();

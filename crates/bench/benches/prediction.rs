@@ -24,7 +24,9 @@ fn bench_prediction(c: &mut Criterion) {
         group.bench_with_input(
             BenchmarkId::new("refined_estimate", format!("{c_req}")),
             &c_req,
-            |b, &c_req| b.iter(|| refined_worker_estimate(black_box(c_req), black_box(0.7)).unwrap()),
+            |b, &c_req| {
+                b.iter(|| refined_worker_estimate(black_box(c_req), black_box(0.7)).unwrap())
+            },
         );
     }
     group.finish();

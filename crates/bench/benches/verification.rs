@@ -15,18 +15,30 @@ fn bench_verification(c: &mut Criterion) {
     for &n in &[5usize, 15, 29, 101] {
         let mut r = rng(n as u64);
         let observation = simulate_observation(&pool, &question, n, &mut r);
-        group.bench_with_input(BenchmarkId::new("probabilistic", n), &observation, |b, obs| {
-            let verifier = ProbabilisticVerifier::with_domain_size(3);
-            b.iter(|| verifier.verify(black_box(obs)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("half_voting", n), &observation, |b, obs| {
-            let verifier = HalfVoting::new(n);
-            b.iter(|| verifier.decide(black_box(obs)).unwrap())
-        });
-        group.bench_with_input(BenchmarkId::new("majority_voting", n), &observation, |b, obs| {
-            let verifier = MajorityVoting::new();
-            b.iter(|| verifier.decide(black_box(obs)).unwrap())
-        });
+        group.bench_with_input(
+            BenchmarkId::new("probabilistic", n),
+            &observation,
+            |b, obs| {
+                let verifier = ProbabilisticVerifier::with_domain_size(3);
+                b.iter(|| verifier.verify(black_box(obs)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("half_voting", n),
+            &observation,
+            |b, obs| {
+                let verifier = HalfVoting::new(n);
+                b.iter(|| verifier.decide(black_box(obs)).unwrap())
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("majority_voting", n),
+            &observation,
+            |b, obs| {
+                let verifier = MajorityVoting::new();
+                b.iter(|| verifier.decide(black_box(obs)).unwrap())
+            },
+        );
     }
     group.finish();
 }

@@ -43,9 +43,19 @@ pub fn run() -> Table {
     let mut r = rng(55);
     let mut table = Table::new(
         "Figure 5 — crowdsourcing vs text classifier (accuracy per movie, 200 tweets each)",
-        &["movie", "classifier", "TSA 1 worker", "TSA 3 workers", "TSA 5 workers"],
+        &[
+            "movie",
+            "classifier",
+            "TSA 1 worker",
+            "TSA 3 workers",
+            "TSA 5 workers",
+        ],
     );
-    for (i, movie) in MovieCatalog::paper_default().figure5_movies().iter().enumerate() {
+    for (i, movie) in MovieCatalog::paper_default()
+        .figure5_movies()
+        .iter()
+        .enumerate()
+    {
         let mut test_gen = generator(600 + i as u64);
         let tweets = test_gen.generate(movie, TWEETS_PER_MOVIE);
         let machine = nb.accuracy(&tweets);

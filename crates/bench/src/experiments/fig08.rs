@@ -18,7 +18,13 @@ pub fn run() -> Table {
     let mut r = rng(88);
     let mut table = Table::new(
         format!("Figure 8 — real accuracy vs user-required accuracy (mu = {mu:.3})"),
-        &["required", "workers", "Majority-Voting", "Half-Voting", "Verification"],
+        &[
+            "required",
+            "workers",
+            "Majority-Voting",
+            "Half-Voting",
+            "Verification",
+        ],
     );
     let mut c = 0.65;
     while c <= 0.951 {

@@ -23,10 +23,18 @@ pub fn run() -> Table {
             // persistent ties.
             let question = sentiment_question(i as u64, if i % 5 == 0 { 0.6 } else { 0.1 });
             let observation = simulate_observation(&pool, &question, n, &mut r);
-            if !MajorityVoting::new().decide(&observation).unwrap().is_accepted() {
+            if !MajorityVoting::new()
+                .decide(&observation)
+                .unwrap()
+                .is_accepted()
+            {
                 undecided[0] += 1;
             }
-            if !HalfVoting::new(n).decide(&observation).unwrap().is_accepted() {
+            if !HalfVoting::new(n)
+                .decide(&observation)
+                .unwrap()
+                .is_accepted()
+            {
                 undecided[1] += 1;
             }
         }

@@ -21,10 +21,18 @@ pub fn run() -> Table {
         for i in 0..reviews {
             let question = sentiment_question(i as u64, if i % 5 == 0 { 0.6 } else { 0.1 });
             let observation = simulate_observation(&pool, &question, WORKERS, &mut r);
-            if !MajorityVoting::new().decide(&observation).unwrap().is_accepted() {
+            if !MajorityVoting::new()
+                .decide(&observation)
+                .unwrap()
+                .is_accepted()
+            {
                 undecided[0] += 1;
             }
-            if !HalfVoting::new(WORKERS).decide(&observation).unwrap().is_accepted() {
+            if !HalfVoting::new(WORKERS)
+                .decide(&observation)
+                .unwrap()
+                .is_accepted()
+            {
                 undecided[1] += 1;
             }
         }

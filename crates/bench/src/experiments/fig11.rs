@@ -2,9 +2,9 @@
 //! result of one HIT (50 reviews, 30 workers) as answers arrive, under four different
 //! arrival permutations of the same answer set.
 
+use cdas_core::types::Observation;
 use cdas_core::types::Vote;
 use cdas_core::verification::confidence::answer_confidences;
-use cdas_core::types::Observation;
 use rand::seq::SliceRandom;
 
 use crate::{fmt, paper_pool, rng, sentiment_question, simulate_observation, Table};
@@ -22,12 +22,22 @@ pub fn run() -> Table {
         .collect();
     let answer_sets: Vec<Vec<Vote>> = questions
         .iter()
-        .map(|q| simulate_observation(&pool, q, WORKERS, &mut r).votes().to_vec())
+        .map(|q| {
+            simulate_observation(&pool, q, WORKERS, &mut r)
+                .votes()
+                .to_vec()
+        })
         .collect();
 
     let mut table = Table::new(
         "Figure 11 — accuracy of the approximate result vs answers arrived, per arrival sequence",
-        &["answers", "sequence 1", "sequence 2", "sequence 3", "sequence 4"],
+        &[
+            "answers",
+            "sequence 1",
+            "sequence 2",
+            "sequence 3",
+            "sequence 4",
+        ],
     );
     // Four permutations of the arrival order (sequence 1 is the original order).
     let mut orders: Vec<Vec<Vec<Vote>>> = Vec::new();

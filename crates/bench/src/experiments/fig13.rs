@@ -24,7 +24,9 @@ pub fn run() -> Table {
         let mut correct = [0usize; 3];
         for i in 0..TRIALS {
             let question = sentiment_question(i as u64, if i % 8 == 0 { 0.4 } else { 0.05 });
-            let votes = simulate_observation(&pool, &question, n, &mut r).votes().to_vec();
+            let votes = simulate_observation(&pool, &question, n, &mut r)
+                .votes()
+                .to_vec();
             for (k, strategy) in [
                 TerminationStrategy::MinExp,
                 TerminationStrategy::MinMax,
@@ -36,7 +38,9 @@ pub fn run() -> Table {
                 let mut processor = OnlineProcessor::new(n, mu, strategy)
                     .unwrap()
                     .with_domain_size(3);
-                let outcome = processor.run_until_termination(votes.iter().cloned()).unwrap();
+                let outcome = processor
+                    .run_until_termination(votes.iter().cloned())
+                    .unwrap();
                 if outcome.best.map(|(l, _)| l) == Some(question.ground_truth.clone()) {
                     correct[k] += 1;
                 }

@@ -32,7 +32,12 @@ pub fn run() -> Table {
         for (w, row) in workers.iter().zip(answers.iter()) {
             for (i, answer) in row.iter().enumerate() {
                 if plan.is_gold(i) {
-                    estimator.record(w.id, QuestionId(i as u64), answer, &questions[i].ground_truth);
+                    estimator.record(
+                        w.id,
+                        QuestionId(i as u64),
+                        answer,
+                        &questions[i].ground_truth,
+                    );
                 }
             }
         }
@@ -55,11 +60,7 @@ pub fn run() -> Table {
             .map(|(w, a)| (a - reference.get(w).copied().unwrap_or(*a)).abs())
             .sum::<f64>()
             / estimates.len().max(1) as f64;
-        table.push_row(vec![
-            format!("{:.0}%", rate * 100.0),
-            fmt(mean),
-            fmt(err),
-        ]);
+        table.push_row(vec![format!("{:.0}%", rate * 100.0), fmt(mean), fmt(err)]);
     }
     table
 }

@@ -2,7 +2,10 @@
 //! estimates worker accuracies from the gold questions of each HIT and verifies the real
 //! questions with them; lower sampling rates give noisier estimates and lower accuracy.
 
+use cdas_core::economics::CostModel;
 use cdas_core::online::TerminationStrategy;
+use cdas_core::prediction::PredictionModel;
+use cdas_core::sampling::SamplingPlan;
 use cdas_crowd::platform::SimulatedPlatform;
 use cdas_crowd::pool::PoolConfig;
 use cdas_crowd::pool::WorkerPool;
@@ -10,9 +13,6 @@ use cdas_engine::engine::{
     AccuracySource, CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy,
 };
 use cdas_engine::metrics::score_hit;
-use cdas_core::economics::CostModel;
-use cdas_core::prediction::PredictionModel;
-use cdas_core::sampling::SamplingPlan;
 
 use crate::{fmt, sentiment_question, Table};
 

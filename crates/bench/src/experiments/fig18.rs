@@ -20,7 +20,8 @@ pub fn run() -> Table {
         ..ImageGeneratorConfig::default()
     });
     let sample_img = gen.generate_one("sun");
-    let reference = CrowdQuestion::new(sample_img.id, sample_img.domain(), sample_img.truth_label());
+    let reference =
+        CrowdQuestion::new(sample_img.id, sample_img.domain(), sample_img.truth_label());
     let mu = pool.true_mean_accuracy(&reference);
     let prediction = PredictionModel::new(mu).unwrap();
 

@@ -1,4 +1,5 @@
-//! One module per table/figure of the CDAS evaluation (see DESIGN.md §4 for the index).
+//! One module per table/figure of the CDAS evaluation (see the repository
+//! ARCHITECTURE.md for the paper-section index).
 
 pub mod fig05;
 pub mod fig06;
@@ -18,10 +19,13 @@ pub mod table04;
 
 use crate::Table;
 
+/// The signature shared by every experiment runner.
+pub type ExperimentFn = fn() -> Table;
+
 /// Every experiment, keyed by the id accepted by the `reproduce` binary.
-pub fn all() -> Vec<(&'static str, fn() -> Table)> {
+pub fn all() -> Vec<(&'static str, ExperimentFn)> {
     vec![
-        ("table4", table04::run as fn() -> Table),
+        ("table4", table04::run as ExperimentFn),
         ("fig5", fig05::run),
         ("fig6", fig06::run),
         ("fig7", fig07::run),

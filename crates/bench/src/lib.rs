@@ -2,7 +2,7 @@
 //!
 //! One runner per table/figure of the paper's evaluation (§5). Each experiment returns a
 //! [`Table`] with the same rows/series the paper plots; the `reproduce` binary prints them
-//! (and a CSV form) so EXPERIMENTS.md can record paper-versus-measured shapes.
+//! (and a CSV form) so paper-versus-measured shapes can be recorded side by side.
 //!
 //! The absolute numbers differ from the paper — there is no real crowd here — but every
 //! qualitative claim is regenerated: verification dominates voting, binary search cuts the
@@ -64,13 +64,21 @@ impl Table {
             cells
                 .iter()
                 .enumerate()
-                .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+                .map(|(i, c)| {
+                    format!(
+                        "{:>width$}",
+                        c,
+                        width = widths.get(i).copied().unwrap_or(c.len())
+                    )
+                })
                 .collect::<Vec<_>>()
                 .join("  ")
         };
         out.push_str(&fmt_row(&self.headers, &widths));
         out.push('\n');
-        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+        out.push_str(
+            &"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)),
+        );
         out.push('\n');
         for row in &self.rows {
             out.push_str(&fmt_row(row, &widths));
@@ -129,7 +137,13 @@ pub fn simulate_observation(
     Observation::from_votes(
         workers
             .iter()
-            .map(|w| Vote::new(w.id, w.answer(question, rng), w.effective_accuracy(question)))
+            .map(|w| {
+                Vote::new(
+                    w.id,
+                    w.answer(question, rng),
+                    w.effective_accuracy(question),
+                )
+            })
             .collect(),
     )
 }

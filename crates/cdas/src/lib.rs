@@ -35,9 +35,7 @@ pub mod prelude {
     pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
     pub use cdas_crowd::{CrowdPlatform, SimulatedPlatform};
     pub use cdas_engine::apps::{ImageTaggingApp, ItConfig, TsaApp, TsaConfig};
-    pub use cdas_engine::{
-        CrowdsourcingEngine, EngineConfig, Query, VerificationStrategy,
-    };
+    pub use cdas_engine::{CrowdsourcingEngine, EngineConfig, Query, VerificationStrategy};
     pub use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};
     pub use cdas_workloads::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};
 }

@@ -37,7 +37,9 @@ impl CostModel {
             return Err(CdasError::NonPositive { what: "worker fee" });
         }
         if platform_fee < 0.0 || platform_fee.is_nan() {
-            return Err(CdasError::NonPositive { what: "platform fee" });
+            return Err(CdasError::NonPositive {
+                what: "platform fee",
+            });
         }
         Ok(CostModel {
             worker_fee,
@@ -88,7 +90,9 @@ impl Budget {
     /// A budget capped at `limit` dollars.
     pub fn capped(limit: f64) -> Result<Self> {
         if limit < 0.0 || limit.is_nan() {
-            return Err(CdasError::NonPositive { what: "budget limit" });
+            return Err(CdasError::NonPositive {
+                what: "budget limit",
+            });
         }
         Ok(Budget {
             limit: Some(limit),
@@ -118,10 +122,14 @@ impl Budget {
     /// exceeded.
     pub fn charge(&mut self, amount: f64) -> Result<()> {
         if amount < 0.0 || amount.is_nan() {
-            return Err(CdasError::NonPositive { what: "charge amount" });
+            return Err(CdasError::NonPositive {
+                what: "charge amount",
+            });
         }
         if !self.can_afford(amount) {
-            return Err(CdasError::NonPositive { what: "remaining budget" });
+            return Err(CdasError::NonPositive {
+                what: "remaining budget",
+            });
         }
         self.spent += amount;
         Ok(())
@@ -175,7 +183,10 @@ mod tests {
         assert!((b.spent() - 0.6).abs() < 1e-12);
         assert!(!b.can_afford(0.5));
         assert!(b.charge(0.5).is_err());
-        assert!((b.spent() - 0.6).abs() < 1e-12, "failed charge must not be recorded");
+        assert!(
+            (b.spent() - 0.6).abs() < 1e-12,
+            "failed charge must not be recorded"
+        );
         b.charge(0.4).unwrap();
         assert!((b.remaining().unwrap()).abs() < 1e-9);
     }

@@ -57,14 +57,20 @@ impl fmt::Display for CdasError {
                 "mean worker accuracy must be in (0.5, 1.0) for the prediction model, got {mu}"
             ),
             CdasError::InvalidWorkerAccuracy { accuracy } => {
-                write!(f, "worker accuracy must lie strictly inside (0, 1), got {accuracy}")
+                write!(
+                    f,
+                    "worker accuracy must lie strictly inside (0, 1), got {accuracy}"
+                )
             }
             CdasError::InvalidRequiredAccuracy { required } => {
                 write!(f, "required accuracy must lie in [0, 1), got {required}")
             }
             CdasError::EmptyObservation => write!(f, "observation contains no votes"),
             CdasError::DegenerateDomain { size } => {
-                write!(f, "answer domain must contain at least 2 answers, got {size}")
+                write!(
+                    f,
+                    "answer domain must contain at least 2 answers, got {size}"
+                )
             }
             CdasError::InvalidSamplingRate { rate } => {
                 write!(f, "sampling rate must lie in (0, 1], got {rate}")

@@ -109,12 +109,14 @@ impl QualitySensitiveModel {
             self.prediction.mean_accuracy(),
             self.termination,
         )?;
-        Ok(match self.verifier.effective_domain(&Observation::empty()) {
-            // A fixed domain configured on the verifier propagates to the online processor;
-            // the estimated case keeps per-observation estimation.
-            m if self.has_fixed_domain() => processor.with_domain_size(m),
-            _ => processor,
-        })
+        Ok(
+            match self.verifier.effective_domain(&Observation::empty()) {
+                // A fixed domain configured on the verifier propagates to the online processor;
+                // the estimated case keeps per-observation estimation.
+                m if self.has_fixed_domain() => processor.with_domain_size(m),
+                _ => processor,
+            },
+        )
     }
 
     fn has_fixed_domain(&self) -> bool {
@@ -142,7 +144,9 @@ mod tests {
 
     #[test]
     fn verify_delegates_to_probabilistic_verifier() {
-        let model = QualitySensitiveModel::new(0.75).unwrap().with_domain_size(3);
+        let model = QualitySensitiveModel::new(0.75)
+            .unwrap()
+            .with_domain_size(3);
         let obs = Observation::from_votes(vec![
             Vote::new(WorkerId(1), Label::from("pos"), 0.54),
             Vote::new(WorkerId(2), Label::from("pos"), 0.31),

@@ -32,7 +32,9 @@ impl PartialConfidence {
     /// workers whose population mean accuracy is `mean_accuracy`.
     pub fn new(assigned_workers: usize, mean_accuracy: f64) -> Result<Self> {
         if assigned_workers == 0 {
-            return Err(CdasError::NonPositive { what: "assigned workers" });
+            return Err(CdasError::NonPositive {
+                what: "assigned workers",
+            });
         }
         if !(0.0..=1.0).contains(&mean_accuracy) || mean_accuracy.is_nan() {
             return Err(CdasError::InvalidWorkerAccuracy {

@@ -85,10 +85,7 @@ impl OnlineProcessor {
     /// reset the termination point.
     pub fn consume(&mut self, vote: Vote) -> Result<OnlineOutcome> {
         self.observation.push(vote);
-        let ranking = self
-            .termination
-            .partial
-            .confidences(&self.observation)?;
+        let ranking = self.termination.partial.confidences(&self.observation)?;
         if self.terminated_at.is_none() && self.termination.should_terminate(&self.observation)? {
             self.terminated_at = Some(self.observation.len());
         }
@@ -110,10 +107,7 @@ impl OnlineProcessor {
                 terminated: false,
             });
         }
-        let ranking = self
-            .termination
-            .partial
-            .confidences(&self.observation)?;
+        let ranking = self.termination.partial.confidences(&self.observation)?;
         Ok(OnlineOutcome {
             best: ranking.first().cloned(),
             ranking,
@@ -203,7 +197,10 @@ mod tests {
                 fired_at = Some(o.answers_received);
             }
         }
-        assert!(fired_at.is_some(), "unanimous votes must eventually terminate");
+        assert!(
+            fired_at.is_some(),
+            "unanimous votes must eventually terminate"
+        );
         assert_eq!(p.terminated_at(), fired_at);
         assert!(p.is_terminated());
         // ExpMax with strong agreement should fire before all 5 answers arrive.
@@ -237,7 +234,11 @@ mod tests {
         let labels = ["a", "b", "a", "b", "a", "b"];
         for (i, l) in labels.iter().enumerate() {
             let o = p.consume(vote(i as u64, l, 0.7)).unwrap();
-            assert!(!o.terminated, "MinMax fired on a tied race after {} answers", i + 1);
+            assert!(
+                !o.terminated,
+                "MinMax fired on a tied race after {} answers",
+                i + 1
+            );
         }
     }
 
@@ -256,8 +257,12 @@ mod tests {
             vote(8, "a", 0.8),
         ];
         let consumed = |strategy| {
-            let mut p = OnlineProcessor::new(9, 0.75, strategy).unwrap().with_domain_size(3);
-            p.run_until_termination(answers.clone()).unwrap().answers_received
+            let mut p = OnlineProcessor::new(9, 0.75, strategy)
+                .unwrap()
+                .with_domain_size(3);
+            p.run_until_termination(answers.clone())
+                .unwrap()
+                .answers_received
         };
         let minmax = consumed(TerminationStrategy::MinMax);
         let minexp = consumed(TerminationStrategy::MinExp);

@@ -185,7 +185,11 @@ fn completed_probabilities(
 ) -> (f64, f64) {
     let k_observed = sums.len();
     // If the runner-up is a never-observed answer, it becomes observed in the completion.
-    let k = if second.is_some() { k_observed } else { k_observed + 1 };
+    let k = if second.is_some() {
+        k_observed
+    } else {
+        k_observed + 1
+    };
     let m = m.max(k).max(2);
     let mut terms: Vec<f64> = Vec::with_capacity(k + 1);
     for (label, &s) in sums {
@@ -256,7 +260,12 @@ mod tests {
         // Best case for the runner-up is no worse than its current confidence.
         assert!(b.second_best_case >= b.second_current - 1e-12);
         // All values are probabilities.
-        for v in [b.best_current, b.second_current, b.best_worst_case, b.second_best_case] {
+        for v in [
+            b.best_current,
+            b.second_current,
+            b.best_worst_case,
+            b.second_best_case,
+        ] {
             assert!((0.0..=1.0).contains(&v));
         }
     }
@@ -341,7 +350,11 @@ mod tests {
                 completed.push(Vote::new(WorkerId(100 + i as u64), Label::from("b"), 0.75));
             }
             let ranked = crate::verification::confidence::answer_confidences(&completed, 3);
-            assert_eq!(ranked[0].0.as_str(), "a", "MinMax terminated but the answer flipped");
+            assert_eq!(
+                ranked[0].0.as_str(),
+                "a",
+                "MinMax terminated but the answer flipped"
+            );
         } else {
             panic!("expected MinMax to fire in this scenario");
         }
@@ -356,8 +369,11 @@ mod proptests {
 
     fn arbitrary_partial() -> impl Strategy<Value = (Observation, usize)> {
         let label = prop_oneof![Just("a"), Just("b"), Just("c")];
-        (prop::collection::vec((label, 0.55f64..0.95), 1..10), 10usize..20).prop_map(
-            |(entries, n)| {
+        (
+            prop::collection::vec((label, 0.55f64..0.95), 1..10),
+            10usize..20,
+        )
+            .prop_map(|(entries, n)| {
                 let observation = Observation::from_votes(
                     entries
                         .into_iter()
@@ -366,8 +382,7 @@ mod proptests {
                         .collect(),
                 );
                 (observation, n)
-            },
-        )
+            })
     }
 
     proptest! {

@@ -30,9 +30,9 @@ pub fn expected_majority_probability(n: u64, mu: f64) -> f64 {
     if mu == 1.0 {
         return 1.0;
     }
-    let start = n / 2 + (n % 2); // ⌈n/2⌉
-    // Log-space evaluation of every tail term, then a stable log-sum-exp.
+    // ⌈n/2⌉, then log-space evaluation of every tail term with a stable log-sum-exp:
     // O(n) like the paper's recurrence, but immune to underflow of μ^n.
+    let start = n / 2 + (n % 2);
     let ln_mu = mu.ln();
     let ln_one_minus = (1.0 - mu).ln();
     let terms: Vec<f64> = (start..=n)
@@ -47,7 +47,10 @@ pub fn expected_majority_probability(n: u64, mu: f64) -> f64 {
 /// μ = 0.7), which is far beyond any realistic worker count.
 pub fn expected_majority_probability_recurrence(x: u64, mu: f64) -> f64 {
     assert!(x > 0);
-    assert!((0.0..1.0).contains(&mu) && mu > 0.0, "recurrence needs mu in (0,1)");
+    assert!(
+        (0.0..1.0).contains(&mu) && mu > 0.0,
+        "recurrence needs mu in (0,1)"
+    );
     let mut e = 0.0_f64;
     let mut delta = mu.powi(x as i32);
     let lower = x / 2 + (x % 2); // ⌈x/2⌉

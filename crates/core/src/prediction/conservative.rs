@@ -135,7 +135,10 @@ mod tests {
         // figure uses the doubled odd form. Sanity-check the rounded value sits in a
         // plausible band rather than a specific number.
         let n = conservative_worker_estimate(0.99, 0.7).unwrap();
-        assert!(n >= 57 && n <= 121, "unexpected conservative estimate {n}");
+        assert!(
+            (57..=121).contains(&n),
+            "unexpected conservative estimate {n}"
+        );
     }
 
     #[test]

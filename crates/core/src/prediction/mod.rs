@@ -64,7 +64,9 @@ impl PredictionModel {
     /// correctly — Theorem 1 / Algorithm 3.
     pub fn expected_accuracy(&self, n: u64) -> Result<f64> {
         if n == 0 {
-            return Err(CdasError::NonPositive { what: "worker count" });
+            return Err(CdasError::NonPositive {
+                what: "worker count",
+            });
         }
         Ok(expected_majority_probability(n, self.mu))
     }
@@ -97,7 +99,10 @@ mod tests {
             let c = 0.65 + 0.01 * i as f64;
             let cons = model.conservative_workers(c).unwrap();
             let refined = model.refined_workers(c).unwrap();
-            assert!(refined <= cons, "refined {refined} > conservative {cons} at C={c}");
+            assert!(
+                refined <= cons,
+                "refined {refined} > conservative {cons} at C={c}"
+            );
             assert_eq!(refined % 2, 1);
             assert_eq!(cons % 2, 1);
         }

@@ -184,7 +184,9 @@ mod tests {
 
     #[test]
     fn outcome_scores_follow_the_definition() {
-        let accepted = QuestionOutcome::Accepted { label: label("pos") };
+        let accepted = QuestionOutcome::Accepted {
+            label: label("pos"),
+        };
         assert_eq!(accepted.score(&label("pos")), 1.0);
         assert_eq!(accepted.score(&label("neg")), 0.0);
         assert!(accepted.is_accepted());
@@ -201,8 +203,12 @@ mod tests {
     #[test]
     fn percentages_mix_accepted_and_pending_questions() {
         let mut presenter = ResultPresenter::new();
-        presenter.push_outcome(QuestionOutcome::Accepted { label: label("pos") });
-        presenter.push_outcome(QuestionOutcome::Accepted { label: label("neg") });
+        presenter.push_outcome(QuestionOutcome::Accepted {
+            label: label("pos"),
+        });
+        presenter.push_outcome(QuestionOutcome::Accepted {
+            label: label("neg"),
+        });
         presenter.push_outcome(QuestionOutcome::Pending {
             confidences: vec![(label("pos"), 0.5), (label("neg"), 0.5)],
         });
@@ -228,7 +234,10 @@ mod tests {
         presenter.push_outcome(QuestionOutcome::Accepted { label: pos.clone() });
         let rows = presenter.summarize(&[pos.clone(), label("neg")]);
         let pos_row = rows.iter().find(|r| r.label == pos).unwrap();
-        assert_eq!(pos_row.reasons, vec!["siri".to_string(), "ios 5".to_string()]);
+        assert_eq!(
+            pos_row.reasons,
+            vec!["siri".to_string(), "ios 5".to_string()]
+        );
         let neg_row = rows.iter().find(|r| r.label.as_str() == "neg").unwrap();
         assert_eq!(neg_row.reasons, vec!["battery".to_string()]);
     }
@@ -246,7 +255,9 @@ mod tests {
     fn blank_keywords_are_ignored() {
         let mut presenter = ResultPresenter::new();
         presenter.push_keywords(&label("pos"), ["  ", "", "ok"]);
-        presenter.push_outcome(QuestionOutcome::Accepted { label: label("pos") });
+        presenter.push_outcome(QuestionOutcome::Accepted {
+            label: label("pos"),
+        });
         let rows = presenter.summarize(&[label("pos")]);
         assert_eq!(rows[0].reasons, vec!["ok".to_string()]);
     }
@@ -255,9 +266,13 @@ mod tests {
     fn summary_rows_are_sorted_by_percentage() {
         let mut presenter = ResultPresenter::new();
         for _ in 0..3 {
-            presenter.push_outcome(QuestionOutcome::Accepted { label: label("good") });
+            presenter.push_outcome(QuestionOutcome::Accepted {
+                label: label("good"),
+            });
         }
-        presenter.push_outcome(QuestionOutcome::Accepted { label: label("bad") });
+        presenter.push_outcome(QuestionOutcome::Accepted {
+            label: label("bad"),
+        });
         let rows = presenter.summarize(&[label("bad"), label("good")]);
         assert_eq!(rows[0].label.as_str(), "good");
         assert_eq!(rows[1].label.as_str(), "bad");

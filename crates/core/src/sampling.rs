@@ -50,9 +50,7 @@ impl SamplingPlan {
         }
         let count = ((batch_size as f64 * rate).ceil() as usize).clamp(1, batch_size);
         // Evenly spread positions: position i gets the slot round(i * B / count).
-        let gold_positions: Vec<usize> = (0..count)
-            .map(|i| (i * batch_size) / count)
-            .collect();
+        let gold_positions: Vec<usize> = (0..count).map(|i| (i * batch_size) / count).collect();
         Ok(SamplingPlan {
             batch_size,
             gold_positions,
@@ -161,13 +159,18 @@ impl SamplingEstimator {
 
     /// Build an [`AccuracyRegistry`] from the estimates, for use by the verification model.
     ///
-    /// Workers whose estimate would be exactly 0 or 1 are clamped inside the registry (the
-    /// registry clamps automatically) so their confidences stay finite.
+    /// The registry receives the *Laplace-smoothed* estimate `(correct + 1) / (total + 2)`
+    /// (the rule of succession) rather than the raw fraction: the verification model turns
+    /// accuracies into log-odds vote weights, and a worker who happened to score 5/5 on a
+    /// handful of gold questions must not be handed a near-infinite weight that lets their
+    /// single wrong vote overrule every other worker. The raw fraction stays available via
+    /// [`SamplingEstimator::accuracy_of`] for reporting (Figure 15 uses it).
     pub fn to_registry(&self) -> AccuracyRegistry {
         let mut registry = AccuracyRegistry::new();
         for (worker, tally) in &self.tallies {
-            if let Some(a) = tally.accuracy() {
-                registry.set(*worker, a, tally.total);
+            if tally.total > 0 {
+                let smoothed = (tally.correct as f64 + 1.0) / (tally.total as f64 + 2.0);
+                registry.set(*worker, smoothed, tally.total);
             }
         }
         registry
@@ -175,11 +178,7 @@ impl SamplingEstimator {
 
     /// Aggregate statistics over all estimated accuracies.
     pub fn stats(&self) -> Result<AccuracyStats> {
-        let accuracies: Vec<f64> = self
-            .tallies
-            .values()
-            .filter_map(|t| t.accuracy())
-            .collect();
+        let accuracies: Vec<f64> = self.tallies.values().filter_map(|t| t.accuracy()).collect();
         AccuracyStats::from_accuracies(&accuracies)
     }
 
@@ -202,7 +201,11 @@ impl SamplingEstimator {
         let count = self.tallies.len();
         SamplingReport {
             mean_accuracy: if count > 0 { mean / count as f64 } else { 0.0 },
-            mean_absolute_error: if matched > 0 { err / matched as f64 } else { 0.0 },
+            mean_absolute_error: if matched > 0 {
+                err / matched as f64
+            } else {
+                0.0
+            },
             workers: count,
         }
     }
@@ -283,12 +286,21 @@ mod tests {
         assert!((est.accuracy_of(WorkerId(1)).unwrap() - 0.75).abs() < 1e-12);
         assert_eq!(est.accuracy_of(WorkerId(2)), Some(1.0));
         assert_eq!(est.accuracy_of(WorkerId(3)), None);
-        assert_eq!(est.tally(WorkerId(1)).unwrap(), GoldTally { correct: 6, total: 8 });
+        assert_eq!(
+            est.tally(WorkerId(1)).unwrap(),
+            GoldTally {
+                correct: 6,
+                total: 8
+            }
+        );
 
         let registry = est.to_registry();
         assert_eq!(registry.len(), 2);
-        // The registry clamps the perfect worker so the log-odds stay finite.
-        assert!(registry.get(WorkerId(2)).unwrap().log_odds.is_finite());
+        // The registry receives Laplace-smoothed estimates, so even the perfect worker's
+        // log-odds stay finite and bounded by the evidence (4/4 gold -> 5/6).
+        let perfect = registry.get(WorkerId(2)).unwrap();
+        assert!(perfect.log_odds.is_finite());
+        assert!((perfect.accuracy - 5.0 / 6.0).abs() < 1e-12);
 
         let stats = est.stats().unwrap();
         assert!((stats.mean - 0.875).abs() < 1e-12);

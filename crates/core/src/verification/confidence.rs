@@ -133,7 +133,13 @@ mod tests {
 
     #[test]
     fn confidences_match_bruteforce_bayes() {
-        let observation = obs(&[("pos", 0.54), ("pos", 0.31), ("neu", 0.49), ("neg", 0.73), ("pos", 0.46)]);
+        let observation = obs(&[
+            ("pos", 0.54),
+            ("pos", 0.31),
+            ("neu", 0.49),
+            ("neg", 0.73),
+            ("pos", 0.46),
+        ]);
         for &m in &[3usize, 5, 10] {
             let fast = answer_confidences(&observation, m);
             let slow = answer_confidences_bruteforce(&observation, m);
@@ -149,7 +155,13 @@ mod tests {
     fn table_4_worked_example() {
         // Table 3/4 of the paper: the verification model must flip the result to "neg"
         // with confidences close to (pos 0.329, neu 0.176, neg 0.495).
-        let observation = obs(&[("pos", 0.54), ("pos", 0.31), ("neu", 0.49), ("neg", 0.73), ("pos", 0.46)]);
+        let observation = obs(&[
+            ("pos", 0.54),
+            ("pos", 0.31),
+            ("neu", 0.49),
+            ("neg", 0.73),
+            ("pos", 0.46),
+        ]);
         let ranked = answer_confidences(&observation, 3);
         assert_eq!(ranked[0].0.as_str(), "neg");
         let lookup = |name: &str| {
@@ -159,9 +171,21 @@ mod tests {
                 .map(|(_, p)| *p)
                 .unwrap()
         };
-        assert!((lookup("neg") - 0.495).abs() < 0.01, "neg={}", lookup("neg"));
-        assert!((lookup("pos") - 0.329).abs() < 0.01, "pos={}", lookup("pos"));
-        assert!((lookup("neu") - 0.176).abs() < 0.01, "neu={}", lookup("neu"));
+        assert!(
+            (lookup("neg") - 0.495).abs() < 0.01,
+            "neg={}",
+            lookup("neg")
+        );
+        assert!(
+            (lookup("pos") - 0.329).abs() < 0.01,
+            "pos={}",
+            lookup("pos")
+        );
+        assert!(
+            (lookup("neu") - 0.176).abs() < 0.01,
+            "neu={}",
+            lookup("neu")
+        );
     }
 
     #[test]
@@ -261,7 +285,7 @@ mod proptests {
             let total: f64 = ranked.iter().map(|(_, p)| p).sum();
             prop_assert!(total <= 1.0 + 1e-9);
             for (_, p) in ranked {
-                prop_assert!(p >= 0.0 && p <= 1.0);
+                prop_assert!((0.0..=1.0).contains(&p));
             }
         }
 

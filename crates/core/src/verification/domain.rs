@@ -191,7 +191,10 @@ mod tests {
         // scores are observed. The effective m must be far below 101.
         let est = DomainEstimator::with_declared_size(101);
         let m = est.estimate(4);
-        assert!(m < 60, "effective domain {m} should prune a large part of the 101 scores");
+        assert!(
+            m < 60,
+            "effective domain {m} should prune a large part of the 101 scores"
+        );
         assert!(m >= 4);
     }
 

@@ -76,7 +76,7 @@ impl Verifier for MajorityVoting {
         }
         let tally = observation.tally();
         let mut entries: Vec<(&Label, usize)> = tally.iter().map(|(l, c)| (l, *c)).collect();
-        entries.sort_by(|a, b| b.1.cmp(&a.1));
+        entries.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
         let (top_label, top_count) = entries[0];
         let tied = entries.len() > 1 && entries[1].1 == top_count;
         if tied {
@@ -111,7 +111,9 @@ mod tests {
     #[test]
     fn half_voting_accepts_clear_majority() {
         let v = HalfVoting::new(5);
-        let verdict = v.decide(&obs(&["pos", "pos", "pos", "neg", "neu"])).unwrap();
+        let verdict = v
+            .decide(&obs(&["pos", "pos", "pos", "neg", "neu"]))
+            .unwrap();
         assert_eq!(verdict.label().unwrap().as_str(), "pos");
         if let Verdict::Accepted { confidence, .. } = verdict {
             assert!((confidence - 0.6).abs() < 1e-12);
@@ -129,7 +131,9 @@ mod tests {
     fn half_voting_rejects_split_votes() {
         // 2/2/1 split over 5 workers: no answer reaches 3 votes.
         let v = HalfVoting::new(5);
-        let verdict = v.decide(&obs(&["pos", "pos", "neg", "neg", "neu"])).unwrap();
+        let verdict = v
+            .decide(&obs(&["pos", "pos", "neg", "neg", "neu"]))
+            .unwrap();
         assert_eq!(verdict, Verdict::NoAnswer);
     }
 
@@ -149,13 +153,18 @@ mod tests {
         let verdict = m.decide(&obs(&["pos", "pos", "neg", "neu"])).unwrap();
         assert_eq!(verdict.label().unwrap().as_str(), "pos");
         let h = HalfVoting::new(5);
-        assert_eq!(h.decide(&obs(&["pos", "pos", "neg", "neu"])).unwrap(), Verdict::NoAnswer);
+        assert_eq!(
+            h.decide(&obs(&["pos", "pos", "neg", "neu"])).unwrap(),
+            Verdict::NoAnswer
+        );
     }
 
     #[test]
     fn majority_voting_reports_tie_as_no_answer() {
         let m = MajorityVoting::new();
-        let verdict = m.decide(&obs(&["pos", "pos", "neg", "neg", "neu"])).unwrap();
+        let verdict = m
+            .decide(&obs(&["pos", "pos", "neg", "neg", "neu"]))
+            .unwrap();
         assert_eq!(verdict, Verdict::NoAnswer);
     }
 

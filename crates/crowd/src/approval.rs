@@ -44,8 +44,7 @@ impl ApprovalModel {
         let general = self.accuracy_weight * task_accuracy
             + (1.0 - self.accuracy_weight) * rng.random_range(0.7..0.98);
         let manual = (general + (rng.random::<f64>() - 0.5) * 2.0 * self.noise).clamp(0.0, 1.0);
-        (self.auto_approval_fraction + (1.0 - self.auto_approval_fraction) * manual)
-            .clamp(0.0, 1.0)
+        (self.auto_approval_fraction + (1.0 - self.auto_approval_fraction) * manual).clamp(0.0, 1.0)
     }
 }
 
@@ -61,7 +60,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(21);
         let rates: Vec<f64> = (0..5000).map(|_| model.sample(0.4, &mut rng)).collect();
         let mean = rates.iter().sum::<f64>() / rates.len() as f64;
-        assert!(mean > 0.8, "poor workers still show high approval, got {mean}");
+        assert!(
+            mean > 0.8,
+            "poor workers still show high approval, got {mean}"
+        );
         assert!(rates.iter().all(|r| (0.0..=1.0).contains(r)));
     }
 

@@ -110,7 +110,10 @@ impl ArrivalSchedule {
 
     /// The arrivals that have happened by time `t`.
     pub fn arrived_by(&self, t: f64) -> impl Iterator<Item = (usize, f64)> + '_ {
-        self.entries.iter().copied().take_while(move |(_, at)| *at <= t)
+        self.entries
+            .iter()
+            .copied()
+            .take_while(move |(_, at)| *at <= t)
     }
 }
 
@@ -127,7 +130,10 @@ mod tests {
             LatencyModel::Constant(2.0),
             LatencyModel::Uniform { lo: 1.0, hi: 4.0 },
             LatencyModel::Exponential { mean: 3.0 },
-            LatencyModel::LogNormal { mu: 1.0, sigma: 0.5 },
+            LatencyModel::LogNormal {
+                mu: 1.0,
+                sigma: 0.5,
+            },
         ];
         for m in models {
             for _ in 0..1000 {

@@ -131,7 +131,10 @@ impl AccuracyDistribution {
 /// X = U^{1/α} / (U^{1/α} + V^{1/β}). Falls back to the mean after too many rejections
 /// (only relevant for very large α+β, where the distribution is sharply peaked anyway).
 fn sample_beta<R: Rng + ?Sized>(rng: &mut R, alpha: f64, beta: f64) -> f64 {
-    assert!(alpha > 0.0 && beta > 0.0, "Beta parameters must be positive");
+    assert!(
+        alpha > 0.0 && beta > 0.0,
+        "Beta parameters must be positive"
+    );
     for _ in 0..256 {
         let u: f64 = rng.random::<f64>();
         let v: f64 = rng.random::<f64>();
@@ -229,7 +232,10 @@ mod tests {
 
     #[test]
     fn truncated_normal_stays_in_bounds() {
-        let d = AccuracyDistribution::TruncatedNormal { mean: 0.7, std: 0.1 };
+        let d = AccuracyDistribution::TruncatedNormal {
+            mean: 0.7,
+            std: 0.1,
+        };
         let mut rng = StdRng::seed_from_u64(7);
         for _ in 0..5000 {
             let v = d.sample(&mut rng);

@@ -176,8 +176,7 @@ impl CrowdPlatform for SimulatedPlatform {
         // The requester is charged per delivered per-question answer, pro-rated from the
         // per-assignment price over the batch size.
         let batch = state.hit.request.questions.len().max(1);
-        self.charged +=
-            self.cost_model.per_assignment() * delivered.len() as f64 / batch as f64;
+        self.charged += self.cost_model.per_assignment() * delivered.len() as f64 / batch as f64;
         delivered
     }
 
@@ -229,7 +228,9 @@ mod tests {
         assert_eq!(answers.len(), 20, "5 workers × 4 questions");
         assert!(p.hit(id).is_some());
         // Arrival order is non-decreasing.
-        assert!(answers.windows(2).all(|w| w[0].arrived_at <= w[1].arrived_at));
+        assert!(answers
+            .windows(2)
+            .all(|w| w[0].arrived_at <= w[1].arrived_at));
         // Workers are distinct per assignment.
         let mut workers: Vec<u64> = answers.iter().map(|a| a.worker.0).collect();
         workers.sort_unstable();
@@ -277,12 +278,12 @@ mod tests {
     fn high_accuracy_pool_answers_mostly_correctly() {
         let mut p = platform(100, 0.9);
         let (_, answers) = p.publish_and_collect(request(20, 9));
-        let correct = answers
-            .iter()
-            .filter(|a| a.label.as_str() == "pos")
-            .count();
+        let correct = answers.iter().filter(|a| a.label.as_str() == "pos").count();
         let accuracy = correct as f64 / answers.len() as f64;
-        assert!((accuracy - 0.9).abs() < 0.06, "measured accuracy {accuracy}");
+        assert!(
+            (accuracy - 0.9).abs() < 0.06,
+            "measured accuracy {accuracy}"
+        );
     }
 
     #[test]

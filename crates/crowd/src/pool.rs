@@ -263,7 +263,10 @@ mod tests {
         assert_eq!(pairs.len(), pool.len());
         let mean_acc: f64 = pairs.iter().map(|(a, _)| a).sum::<f64>() / pairs.len() as f64;
         let mean_app: f64 = pairs.iter().map(|(_, p)| p).sum::<f64>() / pairs.len() as f64;
-        assert!(mean_app > mean_acc + 0.1, "approval {mean_app} vs accuracy {mean_acc}");
+        assert!(
+            mean_app > mean_acc + 0.1,
+            "approval {mean_app} vs accuracy {mean_acc}"
+        );
     }
 
     #[test]

@@ -124,7 +124,9 @@ mod tests {
         let q = question();
         let mut rng = StdRng::seed_from_u64(9);
         let n = 20_000;
-        let correct = (0..n).filter(|_| w.answer(&q, &mut rng) == q.ground_truth).count();
+        let correct = (0..n)
+            .filter(|_| w.answer(&q, &mut rng) == q.ground_truth)
+            .count();
         let measured = correct as f64 / n as f64;
         assert!((measured - 0.75).abs() < 0.01);
         assert!((w.effective_accuracy(&q) - 0.75).abs() < 1e-12);
@@ -154,8 +156,8 @@ mod tests {
 
     #[test]
     fn latency_sampling_uses_the_model() {
-        let w = SimulatedWorker::diligent(WorkerId(4), 0.8)
-            .with_latency(LatencyModel::Constant(7.5));
+        let w =
+            SimulatedWorker::diligent(WorkerId(4), 0.8).with_latency(LatencyModel::Constant(7.5));
         let mut rng = StdRng::seed_from_u64(11);
         assert_eq!(w.sample_latency(&mut rng), 7.5);
     }

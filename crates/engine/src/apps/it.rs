@@ -64,9 +64,11 @@ impl ImageTaggingApp {
 
     /// Convert images into crowd questions with per-image candidate-tag domains.
     pub fn build_questions(&self, images: &[&SyntheticImage]) -> Vec<CrowdQuestion> {
-        let plan =
-            SamplingPlan::new(images.len().max(1), self.config.sampling_rate.clamp(0.01, 1.0))
-                .unwrap_or_else(|_| SamplingPlan::paper_default());
+        let plan = SamplingPlan::new(
+            images.len().max(1),
+            self.config.sampling_rate.clamp(0.01, 1.0),
+        )
+        .unwrap_or_else(|_| SamplingPlan::paper_default());
         images
             .iter()
             .enumerate()

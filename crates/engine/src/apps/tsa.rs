@@ -75,9 +75,11 @@ impl TsaApp {
     /// itself (their ground truth is assumed known to the requester, as the paper does by
     /// pre-labelling a small sample).
     pub fn build_questions(&self, tweets: &[&Tweet]) -> Vec<CrowdQuestion> {
-        let plan =
-            SamplingPlan::new(tweets.len().max(1), self.config.sampling_rate.clamp(0.01, 1.0))
-                .unwrap_or_else(|_| SamplingPlan::paper_default());
+        let plan = SamplingPlan::new(
+            tweets.len().max(1),
+            self.config.sampling_rate.clamp(0.01, 1.0),
+        )
+        .unwrap_or_else(|_| SamplingPlan::paper_default());
         tweets
             .iter()
             .enumerate()
@@ -135,9 +137,10 @@ impl TsaApp {
             for verdict in outcome.real_verdicts() {
                 match verdict.verdict.label() {
                     Some(label) => {
-                        presenter.push_outcome(QuestionOutcome::Accepted { label: label.clone() });
-                        presenter
-                            .push_keywords(label, verdict.reasons.iter().map(|s| s.as_str()));
+                        presenter.push_outcome(QuestionOutcome::Accepted {
+                            label: label.clone(),
+                        });
+                        presenter.push_keywords(label, verdict.reasons.iter().map(|s| s.as_str()));
                     }
                     None => presenter.push_outcome(QuestionOutcome::Pending {
                         confidences: Vec::new(),

@@ -199,7 +199,9 @@ impl CrowdsourcingEngine {
         match self.config.workers {
             WorkerCountPolicy::Fixed(n) => {
                 if n == 0 {
-                    return Err(CdasError::NonPositive { what: "worker count" });
+                    return Err(CdasError::NonPositive {
+                        what: "worker count",
+                    });
                 }
                 Ok(n)
             }
@@ -285,7 +287,11 @@ impl CrowdsourcingEngine {
         match &self.config.accuracy_source {
             AccuracySource::Registry(r) => {
                 let mean = r.mean_accuracy();
-                (r.clone().with_default_accuracy(self.config.default_worker_accuracy), mean)
+                (
+                    r.clone()
+                        .with_default_accuracy(self.config.default_worker_accuracy),
+                    mean,
+                )
             }
             AccuracySource::GoldSampling => {
                 let truth_by_question: BTreeMap<QuestionId, &Label> = questions
@@ -355,11 +361,9 @@ impl CrowdsourcingEngine {
                 let mean = estimated_mean
                     .or_else(|| registry.mean_accuracy())
                     .unwrap_or(self.config.default_worker_accuracy);
-                let mut processor =
-                    OnlineProcessor::new(workers_assigned, mean, strategy)?
-                        .with_domain_size(domain_size);
-                let outcome =
-                    processor.run_until_termination(votes.iter().map(to_vote))?;
+                let mut processor = OnlineProcessor::new(workers_assigned, mean, strategy)?
+                    .with_domain_size(domain_size);
+                let outcome = processor.run_until_termination(votes.iter().map(to_vote))?;
                 let verdict = match outcome.best {
                     Some((label, confidence)) => Verdict::Accepted { label, confidence },
                     None => Verdict::NoAnswer,
@@ -428,7 +432,9 @@ mod tests {
         });
         assert!(zero.decide_workers().is_err());
         let predicted = CrowdsourcingEngine::new(EngineConfig {
-            workers: WorkerCountPolicy::Predicted { mean_accuracy: 0.75 },
+            workers: WorkerCountPolicy::Predicted {
+                mean_accuracy: 0.75,
+            },
             required_accuracy: 0.95,
             ..EngineConfig::default()
         });
@@ -491,8 +497,12 @@ mod tests {
             termination: Some(TerminationStrategy::ExpMax),
             ..EngineConfig::default()
         });
-        let outcome_offline = offline.run_hit(&mut platform(0.85, 17), batch(15, 5)).unwrap();
-        let outcome_online = online.run_hit(&mut platform(0.85, 17), batch(15, 5)).unwrap();
+        let outcome_offline = offline
+            .run_hit(&mut platform(0.85, 17), batch(15, 5))
+            .unwrap();
+        let outcome_online = online
+            .run_hit(&mut platform(0.85, 17), batch(15, 5))
+            .unwrap();
         assert!(outcome_online.mean_answers_used() < outcome_offline.mean_answers_used());
         assert!(outcome_online.cost <= outcome_offline.cost);
         // Accuracy should not collapse.
@@ -529,7 +539,10 @@ mod tests {
     #[test]
     fn strategy_names_are_stable() {
         assert_eq!(VerificationStrategy::HalfVoting.name(), "Half-Voting");
-        assert_eq!(VerificationStrategy::MajorityVoting.name(), "Majority-Voting");
+        assert_eq!(
+            VerificationStrategy::MajorityVoting.name(),
+            "Majority-Voting"
+        );
         assert_eq!(VerificationStrategy::Probabilistic.name(), "Verification");
         assert_eq!(VerificationStrategy::ALL.len(), 3);
     }

@@ -98,7 +98,10 @@ mod tests {
 
     #[test]
     fn baseline_predictions_cover_every_candidate() {
-        let mut g = TweetGenerator::new(TweetGeneratorConfig { seed: 11, ..TweetGeneratorConfig::default() });
+        let mut g = TweetGenerator::new(TweetGeneratorConfig {
+            seed: 11,
+            ..TweetGeneratorConfig::default()
+        });
         let train = g.generate("Midnight Horizon", 100);
         let mut nb = NaiveBayesClassifier::new();
         nb.train(&train);
@@ -119,6 +122,8 @@ mod tests {
         assert!(!executor.has_baseline());
         let s = stream();
         let candidates = executor.candidate_tweets(&s, &thor_query(0.0, 100.0));
-        assert!(executor.machine_predictions(candidates.iter().copied()).is_empty());
+        assert!(executor
+            .machine_predictions(candidates.iter().copied())
+            .is_empty());
     }
 }

@@ -31,5 +31,7 @@ pub mod privacy;
 pub mod query;
 pub mod template;
 
-pub use engine::{CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict, VerificationStrategy};
+pub use engine::{
+    CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict, VerificationStrategy,
+};
 pub use query::Query;

@@ -44,10 +44,8 @@ pub fn score_hits<'a>(
     let mut answers_used = 0usize;
     let mut cost = 0.0f64;
     for (questions, outcome) in runs {
-        let truth: BTreeMap<QuestionId, &Label> = questions
-            .iter()
-            .map(|q| (q.id, &q.ground_truth))
-            .collect();
+        let truth: BTreeMap<QuestionId, &Label> =
+            questions.iter().map(|q| (q.id, &q.ground_truth)).collect();
         cost += outcome.cost;
         for verdict in outcome.real_verdicts() {
             let Some(expected) = truth.get(&verdict.question) else {
@@ -55,15 +53,12 @@ pub fn score_hits<'a>(
             };
             total += 1;
             answers_used += verdict.answers_used;
-            match verdict.verdict.label() {
-                Some(label) => {
-                    answered += 1;
-                    if &label == expected {
-                        correct += 1;
-                        answered_correct += 1;
-                    }
+            if let Some(label) = verdict.verdict.label() {
+                answered += 1;
+                if &label == expected {
+                    correct += 1;
+                    answered_correct += 1;
                 }
-                None => {}
             }
         }
     }

@@ -84,7 +84,10 @@ mod tests {
     #[test]
     fn permissive_manager_changes_nothing() {
         let p = PrivacyManager::permissive();
-        assert_eq!(p.sanitize("patient John Smith, MRN 12345"), "patient John Smith, MRN 12345");
+        assert_eq!(
+            p.sanitize("patient John Smith, MRN 12345"),
+            "patient John Smith, MRN 12345"
+        );
         assert!(p.allows_worker(WorkerId(1)));
         assert_eq!(p.blocked_count(), 0);
     }

@@ -66,7 +66,9 @@ impl Query {
     /// Whether a text matches any of the query keywords (case-insensitive).
     pub fn matches(&self, text: &str) -> bool {
         let lower = text.to_lowercase();
-        self.keywords.iter().any(|k| lower.contains(&k.to_lowercase()))
+        self.keywords
+            .iter()
+            .any(|k| lower.contains(&k.to_lowercase()))
     }
 }
 

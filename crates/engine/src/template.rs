@@ -45,8 +45,14 @@ impl QueryTemplate {
     pub fn render_section(&self, item_id: u64, item_text: &str) -> String {
         let mut html = String::with_capacity(256);
         html.push_str(&format!("<div class=\"question\" id=\"q{item_id}\">\n"));
-        html.push_str(&format!("  <p class=\"instruction\">{}</p>\n", escape(&self.instruction)));
-        html.push_str(&format!("  <blockquote>{}</blockquote>\n", escape(item_text)));
+        html.push_str(&format!(
+            "  <p class=\"instruction\">{}</p>\n",
+            escape(&self.instruction)
+        ));
+        html.push_str(&format!(
+            "  <blockquote>{}</blockquote>\n",
+            escape(item_text)
+        ));
         for (i, label) in self.domain.labels().enumerate() {
             html.push_str(&format!(
                 "  <label><input type=\"radio\" name=\"q{item_id}\" value=\"{i}\"/> {}</label>\n",
@@ -60,10 +66,7 @@ impl QueryTemplate {
 
     /// Render a whole HIT description by concatenating the sections of every item
     /// (Algorithm 1, line 5's `concatenate`).
-    pub fn render_hit<'a>(
-        &self,
-        items: impl IntoIterator<Item = (u64, &'a str)>,
-    ) -> String {
+    pub fn render_hit<'a>(&self, items: impl IntoIterator<Item = (u64, &'a str)>) -> String {
         let mut html = String::from("<form class=\"cdas-hit\">\n");
         for (id, text) in items {
             html.push_str(&self.render_section(id, text));

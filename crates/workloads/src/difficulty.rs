@@ -53,7 +53,8 @@ impl DifficultyModel {
 
     /// Expected difficulty over many items.
     pub fn mean(&self) -> f64 {
-        self.hard_fraction * self.hard_difficulty + (1.0 - self.hard_fraction) * self.easy_difficulty
+        self.hard_fraction * self.hard_difficulty
+            + (1.0 - self.hard_fraction) * self.easy_difficulty
     }
 }
 
@@ -82,7 +83,10 @@ mod tests {
             .filter(|_| (m.sample(&mut rng) - m.hard_difficulty).abs() < 1e-12)
             .count();
         let frac = hard as f64 / n as f64;
-        assert!((frac - m.hard_fraction).abs() < 0.01, "hard fraction {frac}");
+        assert!(
+            (frac - m.hard_fraction).abs() < 0.01,
+            "hard fraction {frac}"
+        );
     }
 
     #[test]

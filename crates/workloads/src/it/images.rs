@@ -151,7 +151,10 @@ impl ImageGenerator {
                 } else {
                     0.0
                 };
-                (c.clone(), (base * (1.0 - self.config.feature_quality) + bonus).clamp(0.0, 1.0))
+                (
+                    c.clone(),
+                    (base * (1.0 - self.config.feature_quality) + bonus).clamp(0.0, 1.0),
+                )
             })
             .collect();
 
@@ -233,8 +236,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a: Vec<String> = generator(9).generate("apple", 10).iter().map(|i| i.true_tag.clone()).collect();
-        let b: Vec<String> = generator(9).generate("apple", 10).iter().map(|i| i.true_tag.clone()).collect();
+        let a: Vec<String> = generator(9)
+            .generate("apple", 10)
+            .iter()
+            .map(|i| i.true_tag.clone())
+            .collect();
+        let b: Vec<String> = generator(9)
+            .generate("apple", 10)
+            .iter()
+            .map(|i| i.true_tag.clone())
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -7,19 +7,38 @@ use serde::{Deserialize, Serialize};
 /// Tags that genuinely describe images of each subject.
 const SUBJECT_TAGS: &[(&str, &[&str])] = &[
     ("apple", &["apple", "fruit", "orchard", "red", "harvest"]),
-    ("bride", &["bride", "wedding", "dress", "bouquet", "ceremony"]),
+    (
+        "bride",
+        &["bride", "wedding", "dress", "bouquet", "ceremony"],
+    ),
     ("flying", &["flying", "bird", "sky", "wings", "airplane"]),
     ("sun", &["sun", "sunset", "sunrise", "sky", "clouds"]),
-    ("twilight", &["twilight", "dusk", "evening", "horizon", "stars"]),
-    ("mountain", &["mountain", "peak", "snow", "hiking", "summit"]),
+    (
+        "twilight",
+        &["twilight", "dusk", "evening", "horizon", "stars"],
+    ),
+    (
+        "mountain",
+        &["mountain", "peak", "snow", "hiking", "summit"],
+    ),
     ("ocean", &["ocean", "waves", "beach", "surf", "tide"]),
     ("city", &["city", "skyline", "street", "night", "lights"]),
 ];
 
 /// Noise tags that describe none of the subjects.
 const NOISE_TAGS: &[&str] = &[
-    "keyboard", "spreadsheet", "radiator", "stapler", "parking", "invoice", "cardboard",
-    "tarmac", "plumbing", "modem", "lawnmower", "fax",
+    "keyboard",
+    "spreadsheet",
+    "radiator",
+    "stapler",
+    "parking",
+    "invoice",
+    "cardboard",
+    "tarmac",
+    "plumbing",
+    "modem",
+    "lawnmower",
+    "fax",
 ];
 
 /// The tag vocabulary: true tags per subject and the shared noise pool.

@@ -18,15 +18,49 @@ pub const FIGURE5_MOVIES: [&str; 5] = [
 ];
 
 const ADJECTIVES: [&str; 20] = [
-    "Midnight", "Crimson", "Silent", "Golden", "Broken", "Hidden", "Electric", "Savage",
-    "Frozen", "Rising", "Falling", "Iron", "Paper", "Neon", "Lost", "Burning", "Distant",
-    "Hollow", "Velvet", "Shattered",
+    "Midnight",
+    "Crimson",
+    "Silent",
+    "Golden",
+    "Broken",
+    "Hidden",
+    "Electric",
+    "Savage",
+    "Frozen",
+    "Rising",
+    "Falling",
+    "Iron",
+    "Paper",
+    "Neon",
+    "Lost",
+    "Burning",
+    "Distant",
+    "Hollow",
+    "Velvet",
+    "Shattered",
 ];
 
 const NOUNS: [&str; 20] = [
-    "Horizon", "Empire", "Garden", "Protocol", "Paradox", "Symphony", "Harbor", "Covenant",
-    "Voyage", "Kingdom", "Mirage", "Outpost", "Reunion", "Labyrinth", "Ascension", "Verdict",
-    "Frontier", "Eclipse", "Requiem", "Crossing",
+    "Horizon",
+    "Empire",
+    "Garden",
+    "Protocol",
+    "Paradox",
+    "Symphony",
+    "Harbor",
+    "Covenant",
+    "Voyage",
+    "Kingdom",
+    "Mirage",
+    "Outpost",
+    "Reunion",
+    "Labyrinth",
+    "Ascension",
+    "Verdict",
+    "Frontier",
+    "Eclipse",
+    "Requiem",
+    "Crossing",
 ];
 
 /// A catalogue of movie titles used as TSA queries.
@@ -148,7 +182,10 @@ mod tests {
     #[test]
     fn keywords_include_squashed_variant() {
         let kw = MovieCatalog::keywords("Green Lantern");
-        assert_eq!(kw, vec!["Green Lantern".to_string(), "GreenLantern".to_string()]);
+        assert_eq!(
+            kw,
+            vec!["Green Lantern".to_string(), "GreenLantern".to_string()]
+        );
         assert_eq!(MovieCatalog::keywords("Thor"), vec!["Thor".to_string()]);
     }
 }

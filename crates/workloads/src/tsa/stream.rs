@@ -39,7 +39,10 @@ impl TweetStream {
     }
 
     /// The tweets that mention any of the given keywords (the program executor's filter).
-    pub fn filter_keywords<'a>(&'a self, keywords: &'a [String]) -> impl Iterator<Item = &'a Tweet> {
+    pub fn filter_keywords<'a>(
+        &'a self,
+        keywords: &'a [String],
+    ) -> impl Iterator<Item = &'a Tweet> {
         self.tweets
             .iter()
             .filter(move |t| keywords.iter().any(|k| t.mentions(k)))
@@ -98,7 +101,9 @@ mod tests {
     fn window_filter_bounds_timestamps() {
         let s = stream();
         let mid: Vec<_> = s.window(100.0, 500.0).collect();
-        assert!(mid.iter().all(|t| t.posted_at >= 100.0 && t.posted_at < 500.0));
+        assert!(mid
+            .iter()
+            .all(|t| t.posted_at >= 100.0 && t.posted_at < 500.0));
         let all: usize = s.window(0.0, f64::INFINITY).count();
         assert_eq!(all, 50);
     }

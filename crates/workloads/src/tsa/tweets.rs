@@ -95,7 +95,9 @@ impl TweetGenerator {
         let sentiment = self.sample_sentiment();
         let difficulty = self.config.difficulty.sample(&mut self.rng);
         let text = self.compose_text(movie, sentiment, difficulty);
-        let posted_at = self.rng.random_range(0.0..self.config.window_minutes.max(1e-6));
+        let posted_at = self
+            .rng
+            .random_range(0.0..self.config.window_minutes.max(1e-6));
         let reasons: Vec<String> = lexicon::reasons(sentiment)
             .iter()
             .map(|s| s.to_string())
@@ -187,8 +189,14 @@ mod tests {
             ..TweetGeneratorConfig::default()
         });
         let tweets = g.generate("Thor", 20_000);
-        let pos = tweets.iter().filter(|t| t.sentiment == Sentiment::Positive).count();
-        let neu = tweets.iter().filter(|t| t.sentiment == Sentiment::Neutral).count();
+        let pos = tweets
+            .iter()
+            .filter(|t| t.sentiment == Sentiment::Positive)
+            .count();
+        let neu = tweets
+            .iter()
+            .filter(|t| t.sentiment == Sentiment::Neutral)
+            .count();
         assert!((pos as f64 / 20_000.0 - 0.7).abs() < 0.02);
         assert!((neu as f64 / 20_000.0 - 0.1).abs() < 0.02);
     }
@@ -206,7 +214,11 @@ mod tests {
         });
         let tweet = g.generate_one("Thor");
         assert!(tweet.difficulty >= 0.5);
-        assert!(tweet.text.contains("disowning"), "sarcastic marker missing: {}", tweet.text);
+        assert!(
+            tweet.text.contains("disowning"),
+            "sarcastic marker missing: {}",
+            tweet.text
+        );
     }
 
     #[test]
@@ -218,8 +230,16 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        let a: Vec<String> = generator(9).generate("Thor", 20).iter().map(|t| t.text.clone()).collect();
-        let b: Vec<String> = generator(9).generate("Thor", 20).iter().map(|t| t.text.clone()).collect();
+        let a: Vec<String> = generator(9)
+            .generate("Thor", 20)
+            .iter()
+            .map(|t| t.text.clone())
+            .collect();
+        let b: Vec<String> = generator(9)
+            .generate("Thor", 20)
+            .iter()
+            .map(|t| t.text.clone())
+            .collect();
         assert_eq!(a, b);
     }
 }

@@ -50,5 +50,7 @@ fn main() {
     for (label, confidence) in result.ranking() {
         println!("  {label:<9} {confidence:.3}");
     }
-    println!("\nThe high-accuracy worker (0.73) flips the answer to Negative — Table 4 of the paper.");
+    println!(
+        "\nThe high-accuracy worker (0.73) flips the answer to Negative — Table 4 of the paper."
+    );
 }

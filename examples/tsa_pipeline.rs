@@ -50,7 +50,9 @@ fn main() {
     // mean accuracy; probabilistic verification; ExpMax early termination.
     let app = TsaApp::new(TsaConfig {
         engine: EngineConfig {
-            workers: WorkerCountPolicy::Predicted { mean_accuracy: 0.68 },
+            workers: WorkerCountPolicy::Predicted {
+                mean_accuracy: 0.68,
+            },
             required_accuracy: query.required_accuracy,
             termination: Some(TerminationStrategy::ExpMax),
             domain_size: Some(3),
@@ -68,9 +70,18 @@ fn main() {
         report.crowd.questions, report.hits
     );
     println!("crowd accuracy        : {:.3}", report.crowd.accuracy);
-    println!("machine (NB) accuracy : {:.3}", report.machine_accuracy.unwrap());
-    println!("no-answer ratio       : {:.3}", report.crowd.no_answer_ratio);
-    println!("mean answers/question : {:.2}", report.crowd.mean_answers_used);
+    println!(
+        "machine (NB) accuracy : {:.3}",
+        report.machine_accuracy.unwrap()
+    );
+    println!(
+        "no-answer ratio       : {:.3}",
+        report.crowd.no_answer_ratio
+    );
+    println!(
+        "mean answers/question : {:.2}",
+        report.crowd.mean_answers_used
+    );
     println!("engine-side cost      : ${:.2}", report.crowd.cost);
     println!("\nopinion summary (Figure 4 style):");
     for row in &report.summary {

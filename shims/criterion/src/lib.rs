@@ -1,0 +1,245 @@
+//! Offline minimal stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the slice of criterion's API that `cdas-bench` uses — benchmark
+//! groups, [`BenchmarkId`], [`Bencher::iter`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros — backed by a plain
+//! wall-clock measurement loop. There is no statistical analysis, HTML report,
+//! or outlier rejection: each benchmark is warmed up once and then timed for a
+//! fixed number of samples, and the minimum / mean sample times are printed.
+//! That is enough to compare the relative cost of the CDAS code paths on one
+//! machine, which is all the reproduction's benches claim to do.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Label identifying one benchmark within a group: a function name plus an
+/// optional parameter rendering (e.g. `verify/29`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    /// Create an id from a function name and a parameter shown after a `/`.
+    pub fn new(function_name: impl Into<String>, parameter: impl fmt::Display) -> Self {
+        BenchmarkId {
+            name: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            name: name.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> Self {
+        BenchmarkId { name }
+    }
+}
+
+/// Timing driver handed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    samples: usize,
+    recorded: Vec<Duration>,
+}
+
+impl Bencher {
+    fn new(samples: usize) -> Self {
+        Bencher {
+            samples,
+            recorded: Vec::with_capacity(samples),
+        }
+    }
+
+    /// Run the routine once to warm up, then time it `sample_size` times.
+    ///
+    /// The routine's output is passed through [`std::hint::black_box`] so the
+    /// optimizer cannot delete the measured work.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        std::hint::black_box(routine());
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(routine());
+            self.recorded.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, label: &str) {
+        if self.recorded.is_empty() {
+            println!("bench {label:<48} (no samples recorded)");
+            return;
+        }
+        let min = self.recorded.iter().min().copied().unwrap_or_default();
+        let total: Duration = self.recorded.iter().sum();
+        let mean = total / self.recorded.len() as u32;
+        println!(
+            "bench {label:<48} mean {mean:>12?}  min {min:>12?}  ({} samples)",
+            self.recorded.len()
+        );
+    }
+}
+
+/// A named set of related benchmarks sharing a sample-size configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set how many timed samples each benchmark in the group records.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Benchmark a routine that takes no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher);
+        bencher.report(&format!("{}/{}", self.name, id.name));
+        self
+    }
+
+    /// Benchmark a routine parameterized by a borrowed input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        let mut bencher = Bencher::new(self.sample_size);
+        f(&mut bencher, input);
+        bencher.report(&format!("{}/{}", self.name, id.name));
+        self
+    }
+
+    /// End the group (upstream criterion finalizes reports here; the shim's
+    /// reporting is immediate, so this only consumes the group).
+    pub fn finish(self) {}
+}
+
+/// Entry point mirroring `criterion::Criterion`: a factory for benchmark
+/// groups and standalone benchmark functions.
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.default_sample_size,
+            _criterion: self,
+        }
+    }
+
+    /// Benchmark a standalone routine outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher::new(self.default_sample_size);
+        f(&mut bencher);
+        bencher.report(name);
+        self
+    }
+}
+
+/// Bundle benchmark functions into a single runner function, as upstream
+/// criterion does. Only the plain `criterion_group!(name, target...)` form is
+/// supported.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        /// Run every benchmark function registered in this group.
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Generate a `main` that runs the given benchmark groups. Harness arguments
+/// passed by `cargo bench`/`cargo test` (e.g. `--bench`) are accepted and
+/// ignored, so bench binaries stay runnable under either command.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closures_and_counts_samples() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut group = c.benchmark_group("demo");
+            group.sample_size(4);
+            group.bench_function("inc", |b| {
+                b.iter(|| {
+                    calls += 1;
+                })
+            });
+            group.finish();
+        }
+        // 1 warmup + 4 samples.
+        assert_eq!(calls, 5);
+    }
+
+    #[test]
+    fn bench_with_input_passes_the_input_through() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(2);
+        let input = vec![1u64, 2, 3];
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("sum", input.len()), &input, |b, v| {
+            b.iter(|| {
+                seen = v.iter().sum();
+            })
+        });
+        group.finish();
+        assert_eq!(seen, 6);
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        let id = BenchmarkId::new("verify", 29);
+        assert_eq!(id.name, "verify/29");
+        let from_str: BenchmarkId = "plain".into();
+        assert_eq!(from_str.name, "plain");
+    }
+}

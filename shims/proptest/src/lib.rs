@@ -1,0 +1,293 @@
+//! Offline minimal stand-in for the `proptest` property-testing crate.
+//!
+//! Provides the subset `cdas-core`'s property tests use: the [`proptest!`]
+//! macro, range / [`Just`] / [`prop_oneof!`] / tuple / [`collection::vec`]
+//! strategies, [`Strategy::prop_map`], and the `prop_assert*` / `prop_assume!`
+//! macros. Differences from the real crate, acceptable for an offline
+//! reproduction:
+//!
+//! * **no shrinking** — a failing case panics with the generated inputs left
+//!   in the assertion message rather than being minimized, and
+//! * **fixed deterministic seeding** — each test's RNG is seeded from a hash
+//!   of the test name, so runs are reproducible and CI cannot flake.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::ops::Range;
+
+/// Number of random cases each [`proptest!`] test executes.
+pub const CASES: usize = 64;
+
+/// Deterministic per-test RNG, seeded from the test's name (FNV-1a).
+pub fn test_rng(test_name: &str) -> StdRng {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    StdRng::seed_from_u64(hash)
+}
+
+/// A recipe for generating random values of one type.
+pub trait Strategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform every generated value with `map`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, map: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, map }
+    }
+}
+
+/// Object-safe mirror of [`Strategy`], used by [`OneOf`] to erase the
+/// concrete strategy types behind `prop_oneof!` arms.
+pub trait DynStrategy {
+    /// The type of value this strategy generates.
+    type Value;
+
+    /// Generate one value.
+    fn generate_dyn(&self, rng: &mut StdRng) -> Self::Value;
+}
+
+impl<S: Strategy> DynStrategy for S {
+    type Value = S::Value;
+
+    fn generate_dyn(&self, rng: &mut StdRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn generate(&self, rng: &mut StdRng) -> f64 {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for Range<usize> {
+    type Value = usize;
+
+    fn generate(&self, rng: &mut StdRng) -> usize {
+        rng.random_range(self.clone())
+    }
+}
+
+impl Strategy for Range<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut StdRng) -> u64 {
+        rng.random_range(self.clone())
+    }
+}
+
+/// A strategy that always yields a clone of one fixed value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy built by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    map: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.map)(self.inner.generate(rng))
+    }
+}
+
+/// The strategy built by [`prop_oneof!`]: picks one arm uniformly per case.
+pub struct OneOf<V> {
+    options: Vec<Box<dyn DynStrategy<Value = V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from the type-erased arms. Panics if `options` is empty.
+    pub fn new(options: Vec<Box<dyn DynStrategy<Value = V>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        OneOf { options }
+    }
+
+    /// Type-erase one arm (used by [`prop_oneof!`]; a function coerces more
+    /// reliably than an `as` cast under integer-literal fallback).
+    pub fn erase<S: Strategy<Value = V> + 'static>(arm: S) -> Box<dyn DynStrategy<Value = V>> {
+        Box::new(arm)
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut StdRng) -> V {
+        let idx = rng.random_range(0..self.options.len());
+        self.options[idx].generate_dyn(rng)
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
+    }
+}
+
+/// Collection strategies, mirroring `proptest::collection`.
+pub mod collection {
+    use super::{StdRng, Strategy};
+    use rand::Rng;
+    use std::ops::Range;
+
+    /// A strategy for `Vec`s whose length is drawn from `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// Generate vectors of values from `element` with a length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = rng.random_range(self.size.clone());
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// The usual proptest imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate as prop;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest};
+    pub use crate::{Just, Strategy};
+}
+
+/// Define property tests: each `fn name(pattern in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body for [`CASES`] generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    ($( $(#[$meta:meta])* fn $name:ident( $($pat:pat in $strat:expr),+ $(,)? ) $body:block )+) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let mut __proptest_rng = $crate::test_rng(stringify!($name));
+                for __proptest_case in 0..$crate::CASES {
+                    $(let $pat = $crate::Strategy::generate(&($strat), &mut __proptest_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// Assert a property holds for the current generated case (panics on failure;
+/// the shim does not shrink).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Assert two values are equal for the current generated case.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Skip the current generated case when its inputs don't satisfy a
+/// precondition. Only valid directly inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// Build a strategy that picks uniformly between several same-typed arms.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::OneOf::new(vec![$($crate::OneOf::erase($arm)),+])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn strategies_generate_within_bounds() {
+        let mut rng = crate::test_rng("strategies_generate_within_bounds");
+        let s = (
+            prop_oneof![Just(1u64), Just(2u64), Just(3u64)],
+            0.25f64..0.75,
+        )
+            .prop_map(|(a, b)| (a, b));
+        for _ in 0..1_000 {
+            let (a, b) = Strategy::generate(&s, &mut rng);
+            assert!((1..=3).contains(&a));
+            assert!((0.25..0.75).contains(&b));
+        }
+        let v = prop::collection::vec(0usize..5, 2..4);
+        for _ in 0..1_000 {
+            let xs = Strategy::generate(&v, &mut rng);
+            assert!(xs.len() == 2 || xs.len() == 3);
+            assert!(xs.iter().all(|x| *x < 5));
+        }
+    }
+
+    #[test]
+    fn test_rng_is_deterministic_per_name() {
+        use rand::Rng;
+        let a: f64 = crate::test_rng("x").random();
+        let b: f64 = crate::test_rng("x").random();
+        let c: f64 = crate::test_rng("y").random();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    proptest! {
+        /// The proptest! macro itself: patterns, assume, and assertions.
+        #[test]
+        fn macro_drives_cases((a, b) in (0usize..10, 0usize..10), c in 0.0f64..1.0) {
+            prop_assume!(a + b > 0);
+            prop_assert!(a < 10 && b < 10);
+            prop_assert_eq!(a + b, b + a);
+            prop_assert!((0.0..1.0).contains(&c));
+        }
+    }
+}

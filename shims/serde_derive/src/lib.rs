@@ -1,0 +1,25 @@
+//! No-op `#[derive(Serialize)]` / `#[derive(Deserialize)]` macros for the
+//! offline serde shim.
+//!
+//! The CDAS workspace annotates its data types for serialization but never
+//! serializes at runtime (no `serde_json`, no wire format), so the derives can
+//! expand to nothing: the annotation is kept source-compatible with the real
+//! `serde` crate without generating impls nobody calls. The only hand-written
+//! impls (`cdas_core::types::Label`) target the traits in the `serde` shim
+//! directly.
+
+use proc_macro::TokenStream;
+
+/// Accept `#[derive(Serialize)]` (and `#[serde(...)]` attributes) and expand to
+/// nothing.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accept `#[derive(Deserialize)]` (and `#[serde(...)]` attributes) and expand
+/// to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

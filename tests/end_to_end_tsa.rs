@@ -58,7 +58,9 @@ fn tsa_pipeline_meets_required_accuracy_and_beats_the_machine() {
 
     let app = TsaApp::new(TsaConfig {
         engine: EngineConfig {
-            workers: WorkerCountPolicy::Predicted { mean_accuracy: 0.68 },
+            workers: WorkerCountPolicy::Predicted {
+                mean_accuracy: 0.68,
+            },
             required_accuracy: query.required_accuracy,
             domain_size: Some(3),
             ..EngineConfig::default()
@@ -94,7 +96,10 @@ fn tsa_pipeline_meets_required_accuracy_and_beats_the_machine() {
 
 #[test]
 fn predicted_worker_count_scales_with_required_accuracy() {
-    let mut generator = TweetGenerator::new(TweetGeneratorConfig { seed: 3, ..TweetGeneratorConfig::default() });
+    let mut generator = TweetGenerator::new(TweetGeneratorConfig {
+        seed: 3,
+        ..TweetGeneratorConfig::default()
+    });
     let tweets = generator.generate("Green Lantern", 30);
     let refs: Vec<_> = tweets.iter().collect();
 

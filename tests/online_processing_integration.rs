@@ -4,7 +4,7 @@
 //! results.
 
 use cdas::core::online::{OnlineProcessor, TerminationStrategy};
-use cdas::core::types::{AnswerDomain, Label, QuestionId, Observation, Vote};
+use cdas::core::types::{AnswerDomain, Label, Observation, QuestionId, Vote};
 use cdas::core::verification::confidence::answer_confidences;
 use cdas::crowd::question::CrowdQuestion;
 use cdas::prelude::*;

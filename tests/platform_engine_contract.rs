@@ -33,7 +33,10 @@ fn platform_delivers_exactly_assignments_times_questions() {
     assert_eq!(answers.len(), 42);
     // Every question gets exactly 7 answers, one per assigned worker.
     for q in 0..6u64 {
-        let votes: Vec<_> = answers.iter().filter(|a| a.question == QuestionId(q)).collect();
+        let votes: Vec<_> = answers
+            .iter()
+            .filter(|a| a.question == QuestionId(q))
+            .collect();
         assert_eq!(votes.len(), 7);
         let mut workers: Vec<u64> = votes.iter().map(|a| a.worker.0).collect();
         workers.sort_unstable();
@@ -66,7 +69,10 @@ fn engine_charges_full_price_offline_and_less_with_early_termination() {
         .unwrap();
     let full_price = CostModel::default().hit_cost(15);
     assert!((offline.cost - full_price).abs() < 1e-9);
-    assert!(online.cost < offline.cost, "early termination must save money");
+    assert!(
+        online.cost < offline.cost,
+        "early termination must save money"
+    );
     assert!(online.mean_answers_used() < 15.0);
 }
 

@@ -1,0 +1,109 @@
+//! Guard against manifest/feature drift between `cdas::prelude` and the
+//! sub-crates it re-exports from.
+//!
+//! Every item the prelude promises is checked to be *the same item* as the one
+//! at its canonical path in the owning sub-crate — a `TypeId` comparison for
+//! types, and a trait-bound check (the canonical implementor must satisfy the
+//! prelude-named trait) for traits. If a sub-crate renames or re-homes an item,
+//! or the umbrella crate's manifest stops wiring a sub-crate in, this test
+//! stops compiling or fails, instead of the drift surfacing in user code.
+
+use std::any::TypeId;
+
+use cdas::prelude;
+
+fn same_type<A: 'static, B: 'static>(name: &str) {
+    assert_eq!(
+        TypeId::of::<A>(),
+        TypeId::of::<B>(),
+        "prelude::{name} is not the canonical type"
+    );
+}
+
+#[test]
+fn prelude_types_match_their_canonical_definitions() {
+    same_type::<prelude::CostModel, cdas::core::economics::CostModel>("CostModel");
+    same_type::<prelude::QualitySensitiveModel, cdas::core::model::QualitySensitiveModel>(
+        "QualitySensitiveModel",
+    );
+    same_type::<prelude::TerminationStrategy, cdas::core::online::TerminationStrategy>(
+        "TerminationStrategy",
+    );
+    same_type::<prelude::PredictionModel, cdas::core::prediction::PredictionModel>(
+        "PredictionModel",
+    );
+    same_type::<prelude::Label, cdas::core::types::Label>("Label");
+    same_type::<prelude::Observation, cdas::core::types::Observation>("Observation");
+    same_type::<prelude::QuestionId, cdas::core::types::QuestionId>("QuestionId");
+    same_type::<prelude::Vote, cdas::core::types::Vote>("Vote");
+    same_type::<prelude::WorkerId, cdas::core::types::WorkerId>("WorkerId");
+    same_type::<
+        prelude::ProbabilisticVerifier,
+        cdas::core::verification::probabilistic::ProbabilisticVerifier,
+    >("ProbabilisticVerifier");
+    same_type::<prelude::HalfVoting, cdas::core::verification::voting::HalfVoting>("HalfVoting");
+    same_type::<prelude::MajorityVoting, cdas::core::verification::voting::MajorityVoting>(
+        "MajorityVoting",
+    );
+    same_type::<prelude::Verdict, cdas::core::verification::Verdict>("Verdict");
+    same_type::<prelude::PoolConfig, cdas::crowd::pool::PoolConfig>("PoolConfig");
+    same_type::<prelude::WorkerPool, cdas::crowd::pool::WorkerPool>("WorkerPool");
+    same_type::<prelude::SimulatedPlatform, cdas::crowd::SimulatedPlatform>("SimulatedPlatform");
+    same_type::<prelude::ImageTaggingApp, cdas::engine::apps::ImageTaggingApp>("ImageTaggingApp");
+    same_type::<prelude::ItConfig, cdas::engine::apps::ItConfig>("ItConfig");
+    same_type::<prelude::TsaApp, cdas::engine::apps::TsaApp>("TsaApp");
+    same_type::<prelude::TsaConfig, cdas::engine::apps::TsaConfig>("TsaConfig");
+    same_type::<prelude::CrowdsourcingEngine, cdas::engine::CrowdsourcingEngine>(
+        "CrowdsourcingEngine",
+    );
+    same_type::<prelude::EngineConfig, cdas::engine::EngineConfig>("EngineConfig");
+    same_type::<prelude::Query, cdas::engine::Query>("Query");
+    same_type::<prelude::VerificationStrategy, cdas::engine::VerificationStrategy>(
+        "VerificationStrategy",
+    );
+    same_type::<prelude::ImageGenerator, cdas::workloads::it::images::ImageGenerator>(
+        "ImageGenerator",
+    );
+    same_type::<prelude::ImageGeneratorConfig, cdas::workloads::it::images::ImageGeneratorConfig>(
+        "ImageGeneratorConfig",
+    );
+    same_type::<prelude::TweetGenerator, cdas::workloads::tsa::tweets::TweetGenerator>(
+        "TweetGenerator",
+    );
+    same_type::<prelude::TweetGeneratorConfig, cdas::workloads::tsa::tweets::TweetGeneratorConfig>(
+        "TweetGeneratorConfig",
+    );
+}
+
+#[test]
+fn prelude_traits_match_their_canonical_definitions() {
+    // The canonical implementors must satisfy the *prelude-named* traits: this
+    // fails to compile if prelude::Verifier / prelude::CrowdPlatform ever stop
+    // being the same traits the sub-crates define and implement.
+    fn requires_verifier<T: prelude::Verifier>() {}
+    requires_verifier::<cdas::core::verification::probabilistic::ProbabilisticVerifier>();
+    requires_verifier::<cdas::core::verification::voting::MajorityVoting>();
+
+    fn requires_platform<T: prelude::CrowdPlatform>() {}
+    requires_platform::<cdas::crowd::SimulatedPlatform>();
+}
+
+#[test]
+fn prelude_is_sufficient_for_the_quickstart_path() {
+    // A compile-time sanity check that the prelude alone covers the README
+    // quickstart: predict, simulate, verify.
+    use cdas::prelude::*;
+
+    let model = PredictionModel::new(0.75).unwrap();
+    let n = model.refined_workers(0.9).unwrap();
+    assert!(n >= 3 && n % 2 == 1);
+
+    let obs = Observation::from_votes(vec![
+        Vote::new(WorkerId(1), Label::from("pos"), 0.8),
+        Vote::new(WorkerId(2), Label::from("pos"), 0.7),
+        Vote::new(WorkerId(3), Label::from("neg"), 0.6),
+    ]);
+    let verifier = ProbabilisticVerifier::with_domain_size(3);
+    let result = verifier.verify(&obs).unwrap();
+    assert_eq!(result.best().as_str(), "pos");
+}

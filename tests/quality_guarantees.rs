@@ -4,7 +4,7 @@
 //! crowd rather than in isolation).
 
 use cdas::core::prediction::PredictionModel;
-use cdas::core::types::{AnswerDomain, Label, QuestionId, Observation, Vote};
+use cdas::core::types::{AnswerDomain, Label, Observation, QuestionId, Vote};
 use cdas::core::verification::probabilistic::ProbabilisticVerifier;
 use cdas::core::verification::voting::HalfVoting;
 use cdas::core::verification::Verifier;
@@ -24,7 +24,13 @@ fn run_question(
     let workers = pool.assign(n, rng);
     let votes: Vec<Vote> = workers
         .iter()
-        .map(|w| Vote::new(w.id, w.answer(question, rng), w.effective_accuracy(question)))
+        .map(|w| {
+            Vote::new(
+                w.id,
+                w.answer(question, rng),
+                w.effective_accuracy(question),
+            )
+        })
         .collect();
     let observation = Observation::from_votes(votes);
     let verifier = ProbabilisticVerifier::with_domain_size(question.domain.size());
