@@ -1,0 +1,98 @@
+//! Criterion benchmark for the multi-job scheduler: the dispatch-loop cost of multiplexing
+//! a fleet of analytics jobs over one shared worker pool (leases, shared-registry absorbs,
+//! cached snapshots), compared against running the same batches sequentially through the
+//! single-job engine path.
+
+use cdas_core::economics::CostModel;
+use cdas_crowd::lease::PoolLedger;
+use cdas_crowd::pool::{PoolConfig, WorkerPool};
+use cdas_crowd::SimulatedPlatform;
+use cdas_engine::engine::{CrowdsourcingEngine, EngineConfig, WorkerCountPolicy};
+use cdas_engine::job_manager::JobKind;
+use cdas_engine::scheduler::{
+    demo_questions, DispatchPolicy, JobScheduler, ScheduledJob, SchedulerConfig,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const JOBS: usize = 3;
+const REAL: u64 = 25;
+const GOLD: u64 = 5;
+const BATCH: usize = 10;
+const WORKERS: usize = 7;
+
+fn engine_config() -> EngineConfig {
+    EngineConfig {
+        workers: WorkerCountPolicy::Fixed(WORKERS),
+        domain_size: Some(3),
+        ..EngineConfig::default()
+    }
+}
+
+fn bench_scheduler(c: &mut Criterion) {
+    let pool = WorkerPool::generate(&PoolConfig::clean(20, 0.8, 7));
+    let mut group = c.benchmark_group("scheduler_fleet");
+    group.sample_size(20);
+
+    // The fleet path: 3 jobs interleaved over one pool, with leases + shared registry.
+    for (label, policy) in [
+        ("round_robin", DispatchPolicy::RoundRobin),
+        ("priority", DispatchPolicy::Priority),
+    ] {
+        group.bench_with_input(
+            BenchmarkId::new("3_jobs_shared_pool", label),
+            &policy,
+            |b, policy| {
+                b.iter(|| {
+                    let mut platform =
+                        SimulatedPlatform::new(pool.clone(), CostModel::default(), 7);
+                    let mut scheduler = JobScheduler::new(
+                        SchedulerConfig {
+                            policy: *policy,
+                            ..SchedulerConfig::default()
+                        },
+                        PoolLedger::from_pool(&pool),
+                    );
+                    for (i, name) in ["a", "b", "c"].iter().enumerate() {
+                        scheduler.submit(
+                            ScheduledJob::named(
+                                JobKind::SentimentAnalytics,
+                                *name,
+                                demo_questions(REAL, GOLD),
+                            )
+                            .with_engine(engine_config())
+                            .with_batch_size(BATCH)
+                            .with_priority(i as u8),
+                        );
+                    }
+                    scheduler.run(black_box(&mut platform)).unwrap()
+                })
+            },
+        );
+    }
+
+    // The baseline: the same 3 × (25+5) questions pushed through the single-job engine,
+    // one batch after another, no sharing and no leases.
+    group.bench_function("sequential_run_hit_baseline", |b| {
+        let engine = CrowdsourcingEngine::new(engine_config());
+        b.iter(|| {
+            let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 7);
+            let mut outcomes = Vec::new();
+            for _ in 0..JOBS {
+                let questions = demo_questions(REAL, GOLD);
+                for chunk in questions.chunks(BATCH) {
+                    outcomes.push(
+                        engine
+                            .run_hit(&mut platform, black_box(chunk.to_vec()))
+                            .unwrap(),
+                    );
+                }
+            }
+            outcomes
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_scheduler);
+criterion_main!(benches);

@@ -28,13 +28,20 @@ pub mod prelude {
     pub use cdas_core::model::QualitySensitiveModel;
     pub use cdas_core::online::TerminationStrategy;
     pub use cdas_core::prediction::PredictionModel;
+    pub use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
     pub use cdas_core::types::{Label, Observation, QuestionId, Vote, WorkerId};
     pub use cdas_core::verification::probabilistic::ProbabilisticVerifier;
     pub use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
     pub use cdas_core::verification::{Verdict, Verifier};
+    pub use cdas_crowd::lease::{LeaseId, PoolLedger, WorkerLease};
     pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
     pub use cdas_crowd::{CrowdPlatform, SimulatedPlatform};
     pub use cdas_engine::apps::{ImageTaggingApp, ItConfig, TsaApp, TsaConfig};
+    pub use cdas_engine::job_manager::{AnalyticsJob, JobKind, JobManager};
+    pub use cdas_engine::metrics::{FleetReport, JobReport};
+    pub use cdas_engine::scheduler::{
+        DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
+    };
     pub use cdas_engine::{CrowdsourcingEngine, EngineConfig, Query, VerificationStrategy};
     pub use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};
     pub use cdas_workloads::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};

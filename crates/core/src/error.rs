@@ -47,6 +47,20 @@ pub enum CdasError {
         /// Human-readable name of the quantity.
         what: &'static str,
     },
+    /// A job demands more concurrent workers than the shared pool roster can ever supply,
+    /// so scheduling it would wait forever.
+    PoolExhausted {
+        /// Workers the job's batches need at once.
+        needed: usize,
+        /// Workers the shared roster holds in total.
+        available: usize,
+    },
+    /// The scheduler detected a tick in which no batch could be published or ingested
+    /// although jobs remain unfinished (a progress bug or an impossible configuration).
+    SchedulerStalled {
+        /// The tick at which progress stopped.
+        ticks: usize,
+    },
 }
 
 impl fmt::Display for CdasError {
@@ -76,6 +90,13 @@ impl fmt::Display for CdasError {
                 write!(f, "sampling rate must lie in (0, 1], got {rate}")
             }
             CdasError::NonPositive { what } => write!(f, "{what} must be positive"),
+            CdasError::PoolExhausted { needed, available } => write!(
+                f,
+                "job needs {needed} concurrent workers but the shared pool roster only has {available}"
+            ),
+            CdasError::SchedulerStalled { ticks } => {
+                write!(f, "scheduler made no progress at tick {ticks}")
+            }
         }
     }
 }
@@ -98,6 +119,13 @@ mod tests {
         assert!(e.to_string().contains('0'));
         let e = CdasError::DegenerateDomain { size: 1 };
         assert!(e.to_string().contains('1'));
+        let e = CdasError::PoolExhausted {
+            needed: 9,
+            available: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = CdasError::SchedulerStalled { ticks: 17 };
+        assert!(e.to_string().contains("17"));
     }
 
     #[test]

@@ -13,7 +13,9 @@
 //! 4. estimate worker accuracy by **sampling** gold questions with known ground truth
 //!    ([`sampling`]), and
 //! 5. present aggregated results with per-answer percentages and keyword reasons
-//!    ([`presentation`]).
+//!    ([`presentation`]), and
+//! 6. **share** the worker-accuracy estimates learned by one job with every other job
+//!    multiplexed over the same crowd, behind a read-through cache ([`sharing`]).
 //!
 //! The crate is deliberately free of I/O and randomness: it consumes plain observations
 //! (who answered what, with which estimated accuracy) and produces decisions. The
@@ -60,6 +62,7 @@ pub mod online;
 pub mod prediction;
 pub mod presentation;
 pub mod sampling;
+pub mod sharing;
 pub mod types;
 pub mod verification;
 

@@ -1,0 +1,325 @@
+//! Cross-job sharing of worker-accuracy estimates.
+//!
+//! §2.1 describes a job manager that accepts *jobs* (plural), yet the accuracy a worker
+//! demonstrates on one job's gold questions (§3.3, Algorithm 4) is knowledge about the
+//! *worker*, not about the job. When many analytics jobs multiplex one worker pool, the
+//! estimates every job learns should immediately reweight that worker's votes in every
+//! other job. This module provides the two pieces the multi-job scheduler
+//! (`cdas_engine::scheduler`) builds on:
+//!
+//! * [`SharedAccuracyRegistry`] — a cheaply clonable, generation-counted handle to one
+//!   [`AccuracyRegistry`] shared by every job. Jobs [`absorb`](SharedAccuracyRegistry::absorb)
+//!   the estimates each HIT produces; absorbing merges per worker, weighting by the number
+//!   of gold questions behind each estimate.
+//! * [`AccuracyCache`] — a small read-through cache in front of the shared registry. The
+//!   verification hot loop asks for a registry snapshot once per HIT batch; the cache
+//!   re-serves the previous snapshot for as long as the shared generation has not moved,
+//!   mirroring the shared-cache discipline of multi-tenant dispatch loops.
+//!
+//! ```
+//! use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
+//! use cdas_core::types::WorkerId;
+//!
+//! let shared = SharedAccuracyRegistry::new();
+//! let job_a_handle = shared.clone(); // both handles see the same estimates
+//! job_a_handle.record(WorkerId(7), 0.9, 10);
+//!
+//! let cache = AccuracyCache::new(shared);
+//! assert_eq!(cache.snapshot().accuracy_of(WorkerId(7)), Some(0.9));
+//! let _ = cache.snapshot(); // generation unchanged: served from the cache
+//! assert_eq!(cache.hits(), 1);
+//! ```
+
+use std::cell::{Cell, RefCell};
+use std::sync::{Arc, RwLock};
+
+use crate::accuracy::AccuracyRegistry;
+use crate::types::WorkerId;
+
+/// Generation value meaning "no snapshot taken yet".
+const NEVER: u64 = u64::MAX;
+
+#[derive(Debug, Default)]
+struct SharedState {
+    registry: AccuracyRegistry,
+    generation: u64,
+}
+
+/// A cheaply clonable handle to one [`AccuracyRegistry`] shared across jobs.
+///
+/// Every clone refers to the same underlying registry; writes through any handle are
+/// visible to all. A monotonically increasing *generation* is bumped on every write, which
+/// lets read-side caches ([`AccuracyCache`]) detect staleness without diffing registries.
+#[derive(Debug, Clone, Default)]
+pub struct SharedAccuracyRegistry {
+    inner: Arc<RwLock<SharedState>>,
+}
+
+impl SharedAccuracyRegistry {
+    /// An empty shared registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A shared registry seeded with existing estimates (e.g. from a previous fleet run).
+    pub fn with_registry(registry: AccuracyRegistry) -> Self {
+        SharedAccuracyRegistry {
+            inner: Arc::new(RwLock::new(SharedState {
+                registry,
+                generation: 0,
+            })),
+        }
+    }
+
+    fn read<T>(&self, f: impl FnOnce(&SharedState) -> T) -> T {
+        f(&self
+            .inner
+            .read()
+            .expect("shared accuracy registry poisoned"))
+    }
+
+    /// Record (or merge) a single worker estimate backed by `samples` gold questions.
+    ///
+    /// Merging follows the same policy as [`absorb`](Self::absorb).
+    pub fn record(&self, worker: WorkerId, accuracy: f64, samples: usize) {
+        let mut single = AccuracyRegistry::new();
+        single.set(worker, accuracy, samples);
+        self.absorb(&single);
+    }
+
+    /// Merge a batch of estimates (typically one HIT's gold-sampling output) into the
+    /// shared registry. Returns the number of workers whose entry changed.
+    ///
+    /// Per worker, the merge pools sample counts: an existing estimate backed by `s₁` gold
+    /// questions and a new one backed by `s₂` combine into the sample-weighted mean backed
+    /// by `s₁ + s₂`. Injected estimates (`samples == 0`, e.g. a simulation oracle) never
+    /// displace sampled ones; among injected estimates the latest wins.
+    pub fn absorb(&self, estimates: &AccuracyRegistry) -> usize {
+        if estimates.is_empty() {
+            return 0;
+        }
+        let mut state = self
+            .inner
+            .write()
+            .expect("shared accuracy registry poisoned");
+        let mut changed = 0usize;
+        for (&worker, incoming) in estimates.iter() {
+            let merged = match state.registry.get(worker) {
+                None => Some((incoming.accuracy, incoming.samples)),
+                Some(current) => {
+                    let total = current.samples + incoming.samples;
+                    if incoming.samples == 0 && current.samples > 0 {
+                        None // a sampled estimate outranks an injected one
+                    } else if total == 0 {
+                        Some((incoming.accuracy, 0)) // both injected: latest wins
+                    } else {
+                        let pooled = (current.accuracy * current.samples as f64
+                            + incoming.accuracy * incoming.samples as f64)
+                            / total as f64;
+                        Some((pooled, total))
+                    }
+                }
+            };
+            if let Some((accuracy, samples)) = merged {
+                state.registry.set(worker, accuracy, samples);
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            state.generation += 1;
+        }
+        changed
+    }
+
+    /// The current write generation (bumped on every mutating call that changed an entry).
+    pub fn generation(&self) -> u64 {
+        self.read(|s| s.generation)
+    }
+
+    /// An owned copy of the current registry contents.
+    pub fn snapshot(&self) -> AccuracyRegistry {
+        self.read(|s| s.registry.clone())
+    }
+
+    /// Number of workers with an estimate.
+    pub fn len(&self) -> usize {
+        self.read(|s| s.registry.len())
+    }
+
+    /// Whether no worker has an estimate yet.
+    pub fn is_empty(&self) -> bool {
+        self.read(|s| s.registry.is_empty())
+    }
+
+    /// The population mean `μ` over all shared estimates.
+    pub fn mean_accuracy(&self) -> Option<f64> {
+        self.read(|s| s.registry.mean_accuracy())
+    }
+
+    /// A worker's current shared estimate, if any.
+    pub fn accuracy_of(&self, worker: WorkerId) -> Option<f64> {
+        self.read(|s| s.registry.get(worker).map(|e| e.accuracy))
+    }
+}
+
+/// A read-through cache over a [`SharedAccuracyRegistry`].
+///
+/// [`snapshot`](AccuracyCache::snapshot) returns the shared registry's contents. A read
+/// only goes to the shared side (lock acquisition + rebuild of the local copy) when the
+/// shared generation has advanced since the last read; otherwise it is served from the
+/// local copy without touching the shared state at all. Batches that absorb new gold
+/// estimates therefore miss, while batches that learned nothing new — gold-free jobs,
+/// steady state after the crowd is fully estimated — hit. [`hits`](AccuracyCache::hits)
+/// and [`misses`](AccuracyCache::misses) expose the cache's effectiveness for fleet
+/// metrics.
+#[derive(Debug)]
+pub struct AccuracyCache {
+    shared: SharedAccuracyRegistry,
+    cached_generation: Cell<u64>,
+    cached: RefCell<AccuracyRegistry>,
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+}
+
+impl AccuracyCache {
+    /// A cache over the given shared registry, initially empty (first read is a miss).
+    pub fn new(shared: SharedAccuracyRegistry) -> Self {
+        AccuracyCache {
+            shared,
+            cached_generation: Cell::new(NEVER),
+            cached: RefCell::new(AccuracyRegistry::new()),
+            hits: Cell::new(0),
+            misses: Cell::new(0),
+        }
+    }
+
+    /// The shared registry behind the cache (for absorbing new estimates).
+    pub fn shared(&self) -> &SharedAccuracyRegistry {
+        &self.shared
+    }
+
+    fn refresh(&self) {
+        let generation = self.shared.generation();
+        if self.cached_generation.get() == generation {
+            self.hits.set(self.hits.get() + 1);
+        } else {
+            *self.cached.borrow_mut() = self.shared.snapshot();
+            self.cached_generation.set(generation);
+            self.misses.set(self.misses.get() + 1);
+        }
+    }
+
+    /// The current registry contents, served from the cache when the shared generation has
+    /// not moved since the last read.
+    pub fn snapshot(&self) -> AccuracyRegistry {
+        self.refresh();
+        self.cached.borrow().clone()
+    }
+
+    /// A single worker's accuracy, read through the cache.
+    pub fn accuracy_of(&self, worker: WorkerId) -> Option<f64> {
+        self.refresh();
+        self.cached.borrow().get(worker).map(|e| e.accuracy)
+    }
+
+    /// Number of reads served from the cached snapshot.
+    pub fn hits(&self) -> u64 {
+        self.hits.get()
+    }
+
+    /// Number of reads that had to rebuild the snapshot from the shared registry.
+    pub fn misses(&self) -> u64 {
+        self.misses.get()
+    }
+
+    /// Fraction of reads served from the cache (0 when nothing was read yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits.get() + self.misses.get();
+        if total == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handles_share_one_registry() {
+        let a = SharedAccuracyRegistry::new();
+        let b = a.clone();
+        assert!(a.is_empty());
+        b.record(WorkerId(1), 0.8, 5);
+        assert_eq!(a.len(), 1);
+        assert_eq!(a.accuracy_of(WorkerId(1)), Some(0.8));
+        assert_eq!(a.generation(), b.generation());
+    }
+
+    #[test]
+    fn absorb_pools_samples_per_worker() {
+        let shared = SharedAccuracyRegistry::new();
+        shared.record(WorkerId(1), 0.6, 4);
+        // A second job sees the same worker do better on 8 gold questions.
+        let mut estimates = AccuracyRegistry::new();
+        estimates.set(WorkerId(1), 0.9, 8);
+        estimates.set(WorkerId(2), 0.7, 2);
+        assert_eq!(shared.absorb(&estimates), 2);
+        let snap = shared.snapshot();
+        let w1 = snap.get(WorkerId(1)).unwrap();
+        assert!((w1.accuracy - (0.6 * 4.0 + 0.9 * 8.0) / 12.0).abs() < 1e-12);
+        assert_eq!(w1.samples, 12);
+        assert_eq!(snap.get(WorkerId(2)).unwrap().samples, 2);
+    }
+
+    #[test]
+    fn injected_estimates_never_displace_sampled_ones() {
+        let shared = SharedAccuracyRegistry::new();
+        shared.record(WorkerId(1), 0.8, 6);
+        let before = shared.generation();
+        let mut oracle = AccuracyRegistry::new();
+        oracle.set(WorkerId(1), 0.2, 0);
+        assert_eq!(shared.absorb(&oracle), 0);
+        assert_eq!(shared.accuracy_of(WorkerId(1)), Some(0.8));
+        assert_eq!(shared.generation(), before, "no-op absorb must not bump");
+        // But injected-over-injected updates in place.
+        shared.record(WorkerId(2), 0.5, 0);
+        shared.record(WorkerId(2), 0.6, 0);
+        assert_eq!(shared.accuracy_of(WorkerId(2)), Some(0.6));
+    }
+
+    #[test]
+    fn absorbing_nothing_is_free() {
+        let shared = SharedAccuracyRegistry::new();
+        let before = shared.generation();
+        assert_eq!(shared.absorb(&AccuracyRegistry::new()), 0);
+        assert_eq!(shared.generation(), before);
+    }
+
+    #[test]
+    fn cache_serves_repeated_reads_without_rebuilding() {
+        let shared = SharedAccuracyRegistry::new();
+        shared.record(WorkerId(3), 0.75, 3);
+        let cache = AccuracyCache::new(shared.clone());
+        assert_eq!(cache.snapshot().len(), 1);
+        assert_eq!(cache.accuracy_of(WorkerId(3)), Some(0.75));
+        assert_eq!(cache.misses(), 1, "only the first read rebuilds");
+        assert_eq!(cache.hits(), 1);
+        // A write through any handle invalidates the cache.
+        shared.record(WorkerId(4), 0.65, 2);
+        assert_eq!(cache.snapshot().len(), 2);
+        assert_eq!(cache.misses(), 2);
+        assert!(cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn seeded_registry_is_visible_immediately() {
+        let mut seed = AccuracyRegistry::new();
+        seed.set(WorkerId(9), 0.9, 10);
+        let shared = SharedAccuracyRegistry::with_registry(seed);
+        assert_eq!(shared.len(), 1);
+        assert!((shared.mean_accuracy().unwrap() - 0.9).abs() < 1e-12);
+    }
+}

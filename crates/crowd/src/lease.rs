@@ -1,0 +1,262 @@
+//! Worker checkout/lease bookkeeping for concurrent jobs sharing one pool.
+//!
+//! §3.1 assumes "n random workers provide the answers" — true for a single HIT, but when
+//! the multi-job scheduler (`cdas_engine::scheduler`) keeps several HITs from *different*
+//! jobs in flight at once, nothing in the platform stops the same worker from being
+//! assigned to two overlapping HITs, or twice to the same question through them. The
+//! [`PoolLedger`] closes that gap: it tracks which workers are currently checked out, hands
+//! out disjoint [`WorkerLease`]s, and takes workers back when a HIT completes or is
+//! cancelled.
+//!
+//! The ledger deliberately holds only [`WorkerId`]s, not worker state: it composes with
+//! any roster — a [`WorkerPool`], a real platform's qualified
+//! worker list, or a hand-written subset.
+//!
+//! ```
+//! use cdas_crowd::lease::PoolLedger;
+//! use cdas_core::types::WorkerId;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let mut ledger = PoolLedger::new((0..10).map(WorkerId));
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let a = ledger.try_lease(6, &mut rng).unwrap();
+//! // Only 4 workers remain free: a second 6-worker lease must wait.
+//! assert!(ledger.try_lease(6, &mut rng).is_none());
+//! assert_eq!(ledger.available(), 4);
+//! ledger.release(a.id);
+//! assert_eq!(ledger.available(), 10);
+//! ```
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use cdas_core::types::WorkerId;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::pool::WorkerPool;
+
+/// Identifier of one outstanding lease.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct LeaseId(pub u64);
+
+/// A set of workers checked out together for one HIT.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkerLease {
+    /// The lease identifier (hand it back via [`PoolLedger::release`]).
+    pub id: LeaseId,
+    workers: Vec<WorkerId>,
+}
+
+impl WorkerLease {
+    /// The leased workers, in assignment order.
+    pub fn workers(&self) -> &[WorkerId] {
+        &self.workers
+    }
+
+    /// Number of leased workers.
+    pub fn len(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Whether the lease is empty (never produced by [`PoolLedger::try_lease`]).
+    pub fn is_empty(&self) -> bool {
+        self.workers.is_empty()
+    }
+}
+
+/// Checkout ledger over a fixed worker roster.
+///
+/// All operations are O(roster) or better; the ledger is deterministic given the caller's
+/// RNG, like everything else in the simulation.
+#[derive(Debug, Clone, Default)]
+pub struct PoolLedger {
+    roster: Vec<WorkerId>,
+    busy: BTreeSet<WorkerId>,
+    leases: BTreeMap<LeaseId, Vec<WorkerId>>,
+    next_lease: u64,
+}
+
+impl PoolLedger {
+    /// A ledger over an explicit roster (duplicates are collapsed, order preserved).
+    pub fn new(roster: impl IntoIterator<Item = WorkerId>) -> Self {
+        let mut seen = BTreeSet::new();
+        let roster = roster
+            .into_iter()
+            .filter(|w| seen.insert(*w))
+            .collect::<Vec<_>>();
+        PoolLedger {
+            roster,
+            busy: BTreeSet::new(),
+            leases: BTreeMap::new(),
+            next_lease: 0,
+        }
+    }
+
+    /// A ledger over every worker of a simulated pool.
+    pub fn from_pool(pool: &WorkerPool) -> Self {
+        Self::new(pool.workers().iter().map(|w| w.id))
+    }
+
+    /// Total roster size.
+    pub fn roster_len(&self) -> usize {
+        self.roster.len()
+    }
+
+    /// Number of workers currently free.
+    pub fn available(&self) -> usize {
+        self.roster.len() - self.busy.len()
+    }
+
+    /// Number of workers currently checked out.
+    pub fn leased(&self) -> usize {
+        self.busy.len()
+    }
+
+    /// Number of outstanding leases.
+    pub fn outstanding_leases(&self) -> usize {
+        self.leases.len()
+    }
+
+    /// Whether a specific worker is currently checked out.
+    pub fn is_leased(&self, worker: WorkerId) -> bool {
+        self.busy.contains(&worker)
+    }
+
+    /// The workers behind an outstanding lease.
+    pub fn workers_of(&self, lease: LeaseId) -> Option<&[WorkerId]> {
+        self.leases.get(&lease).map(|w| w.as_slice())
+    }
+
+    /// Try to check out `n` distinct free workers, chosen uniformly at random among the
+    /// free part of the roster. Returns `None` — leaving the ledger untouched — when fewer
+    /// than `n` workers are free (the caller waits and retries) or when `n` is zero.
+    pub fn try_lease<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Option<WorkerLease> {
+        if n == 0 {
+            return None;
+        }
+        let mut free: Vec<WorkerId> = self
+            .roster
+            .iter()
+            .copied()
+            .filter(|w| !self.busy.contains(w))
+            .collect();
+        if free.len() < n {
+            return None;
+        }
+        free.shuffle(rng);
+        free.truncate(n);
+        for w in &free {
+            self.busy.insert(*w);
+        }
+        let id = LeaseId(self.next_lease);
+        self.next_lease += 1;
+        self.leases.insert(id, free.clone());
+        Some(WorkerLease { id, workers: free })
+    }
+
+    /// Return a lease's workers to the free roster. Returns how many workers were freed
+    /// (0 for an unknown or already-released lease).
+    pub fn release(&mut self, lease: LeaseId) -> usize {
+        match self.leases.remove(&lease) {
+            None => 0,
+            Some(workers) => {
+                for w in &workers {
+                    self.busy.remove(w);
+                }
+                workers.len()
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::PoolConfig;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ledger(n: u64) -> PoolLedger {
+        PoolLedger::new((0..n).map(WorkerId))
+    }
+
+    #[test]
+    fn leases_are_disjoint_until_released() {
+        let mut l = ledger(12);
+        let mut rng = StdRng::seed_from_u64(7);
+        let a = l.try_lease(5, &mut rng).unwrap();
+        let b = l.try_lease(5, &mut rng).unwrap();
+        assert_eq!(a.len(), 5);
+        assert_eq!(b.len(), 5);
+        let overlap = a
+            .workers()
+            .iter()
+            .filter(|w| b.workers().contains(w))
+            .count();
+        assert_eq!(overlap, 0, "concurrent leases must not share workers");
+        assert_eq!(l.available(), 2);
+        assert_eq!(l.outstanding_leases(), 2);
+        // Third lease cannot be satisfied until one releases.
+        assert!(l.try_lease(5, &mut rng).is_none());
+        assert_eq!(l.release(a.id), 5);
+        assert!(l.try_lease(5, &mut rng).is_some());
+    }
+
+    #[test]
+    fn leased_workers_are_distinct_within_a_lease() {
+        let mut l = ledger(30);
+        let mut rng = StdRng::seed_from_u64(3);
+        let lease = l.try_lease(20, &mut rng).unwrap();
+        let mut ids: Vec<u64> = lease.workers().iter().map(|w| w.0).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), 20);
+        for w in lease.workers() {
+            assert!(l.is_leased(*w));
+        }
+        assert_eq!(l.workers_of(lease.id).unwrap().len(), 20);
+    }
+
+    #[test]
+    fn failed_lease_leaves_ledger_untouched() {
+        let mut l = ledger(4);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(l.try_lease(5, &mut rng).is_none());
+        assert!(l.try_lease(0, &mut rng).is_none());
+        assert_eq!(l.available(), 4);
+        assert_eq!(l.leased(), 0);
+        assert_eq!(l.outstanding_leases(), 0);
+    }
+
+    #[test]
+    fn double_release_is_a_noop() {
+        let mut l = ledger(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        let lease = l.try_lease(3, &mut rng).unwrap();
+        assert_eq!(l.release(lease.id), 3);
+        assert_eq!(l.release(lease.id), 0);
+        assert_eq!(l.release(LeaseId(999)), 0);
+        assert_eq!(l.available(), 6);
+    }
+
+    #[test]
+    fn from_pool_covers_every_worker_and_dedups() {
+        let pool = WorkerPool::generate(&PoolConfig::clean(25, 0.8, 5));
+        let l = PoolLedger::from_pool(&pool);
+        assert_eq!(l.roster_len(), 25);
+        let dup = PoolLedger::new([WorkerId(1), WorkerId(1), WorkerId(2)]);
+        assert_eq!(dup.roster_len(), 2);
+    }
+
+    #[test]
+    fn leasing_is_deterministic_for_a_seed() {
+        let pick = || {
+            let mut l = ledger(40);
+            let mut rng = StdRng::seed_from_u64(11);
+            l.try_lease(10, &mut rng).unwrap().workers().to_vec()
+        };
+        assert_eq!(pick(), pick());
+    }
+}

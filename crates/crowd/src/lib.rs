@@ -16,7 +16,10 @@
 //!   drives the online-processing experiments, and
 //! * a [`platform::SimulatedPlatform`] that publishes HITs, delivers answers in arrival
 //!   order, supports cancelling a HIT early, and charges the requester per delivered
-//!   answer using the economic model of §3.1.
+//!   answer using the economic model of §3.1, and
+//! * a worker checkout [`lease::PoolLedger`] so that many concurrent jobs multiplexed over
+//!   one pool (the multi-job scheduler in `cdas-engine`) never double-assign a worker to
+//!   overlapping HITs.
 //!
 //! Everything is deterministic given a seed, so every experiment in `cdas-bench` is
 //! reproducible.
@@ -30,11 +33,13 @@ pub mod arrival;
 pub mod behavior;
 pub mod distribution;
 pub mod hit;
+pub mod lease;
 pub mod platform;
 pub mod pool;
 pub mod question;
 pub mod worker;
 
+pub use lease::{LeaseId, PoolLedger, WorkerLease};
 pub use platform::{CrowdPlatform, SimulatedPlatform, WorkerAnswer};
 pub use pool::{PoolConfig, WorkerPool};
 pub use question::CrowdQuestion;

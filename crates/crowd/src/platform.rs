@@ -40,6 +40,17 @@ pub trait CrowdPlatform {
     /// Publish a HIT and return its identifier.
     fn publish(&mut self, request: HitRequest) -> HitId;
 
+    /// Publish a HIT restricted to an explicit set of workers (the lease-aware path used
+    /// by the multi-job scheduler: the caller checked the workers out of a
+    /// [`crate::lease::PoolLedger`] first, so concurrent HITs never share a worker).
+    ///
+    /// Platforms without assignment control (e.g. a plain AMT adapter) may ignore the
+    /// restriction; the default implementation falls back to [`publish`](Self::publish).
+    fn publish_to(&mut self, request: HitRequest, workers: &[WorkerId]) -> HitId {
+        let _ = workers;
+        self.publish(request)
+    }
+
     /// All answers of the HIT that have *arrived* by `now` (minutes since publication) and
     /// have not been returned by a previous poll.
     fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer>;
@@ -104,20 +115,17 @@ impl SimulatedPlatform {
         let answers = self.poll(id, f64::INFINITY);
         (id, answers)
     }
-}
 
-impl CrowdPlatform for SimulatedPlatform {
-    fn publish(&mut self, request: HitRequest) -> HitId {
+    /// Admit a HIT with an already-chosen worker set: sample per-worker completion times,
+    /// pre-generate every answer in arrival order, and register the HIT state.
+    fn admit(
+        &mut self,
+        request: HitRequest,
+        assigned: Vec<crate::worker::SimulatedWorker>,
+    ) -> HitId {
         let id = HitId(self.next_hit);
         self.next_hit += 1;
 
-        // Assign n random workers from the pool (AMT: "n random workers provide answers").
-        let assigned: Vec<_> = self
-            .pool
-            .assign(request.assignments, &mut self.rng)
-            .into_iter()
-            .cloned()
-            .collect();
         // One completion time per worker: a worker submits all their answers when they
         // finish the HIT.
         let times: Vec<f64> = assigned
@@ -157,6 +165,33 @@ impl CrowdPlatform for SimulatedPlatform {
             },
         );
         id
+    }
+}
+
+impl CrowdPlatform for SimulatedPlatform {
+    fn publish(&mut self, request: HitRequest) -> HitId {
+        // Assign n random workers from the pool (AMT: "n random workers provide answers").
+        let assigned: Vec<_> = self
+            .pool
+            .assign(request.assignments, &mut self.rng)
+            .into_iter()
+            .cloned()
+            .collect();
+        self.admit(request, assigned)
+    }
+
+    fn publish_to(&mut self, request: HitRequest, workers: &[WorkerId]) -> HitId {
+        // The caller (typically the scheduler's lease ledger) names the exact worker set;
+        // ids the pool does not know are skipped rather than invented, and duplicates are
+        // collapsed so a repeated id cannot double-assign a worker to the same questions.
+        let mut seen = std::collections::BTreeSet::new();
+        let assigned: Vec<_> = workers
+            .iter()
+            .filter(|id| seen.insert(**id))
+            .filter_map(|id| self.pool.get(*id))
+            .cloned()
+            .collect();
+        self.admit(request, assigned)
     }
 
     fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer> {
@@ -293,6 +328,32 @@ mod tests {
         assert_eq!(p.cancel(HitId(99)), 0);
         assert!(p.hit(HitId(99)).is_none());
         assert_eq!(p.total_cost(), 0.0);
+    }
+
+    #[test]
+    fn publish_to_uses_exactly_the_named_workers() {
+        let mut p = platform(50, 0.8);
+        let chosen = [WorkerId(3), WorkerId(17), WorkerId(42)];
+        let id = p.publish_to(request(4, 3), &chosen);
+        let answers = p.poll(id, f64::INFINITY);
+        assert_eq!(answers.len(), 12, "3 workers × 4 questions");
+        let mut seen: Vec<u64> = answers.iter().map(|a| a.worker.0).collect();
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen, vec![3, 17, 42]);
+    }
+
+    #[test]
+    fn publish_to_skips_unknown_workers_and_collapses_duplicates() {
+        let mut p = platform(10, 0.8);
+        let id = p.publish_to(request(2, 2), &[WorkerId(1), WorkerId(999)]);
+        let answers = p.poll(id, f64::INFINITY);
+        assert_eq!(answers.len(), 2, "only the known worker answers");
+        assert!(answers.iter().all(|a| a.worker == WorkerId(1)));
+        // A repeated id must not double-assign the worker to the same questions.
+        let id = p.publish_to(request(3, 2), &[WorkerId(4), WorkerId(4)]);
+        let answers = p.poll(id, f64::INFINITY);
+        assert_eq!(answers.len(), 3, "duplicate ids collapse to one assignment");
     }
 
     #[test]

@@ -10,6 +10,12 @@
 //! probability-based verification model — the latter either offline (all answers) or online
 //! with one of the early-termination strategies, in which case the HIT is cancelled once
 //! every question has terminated and the saved assignments are never paid for.
+//!
+//! The two phases are **re-entrant per batch**: [`CrowdsourcingEngine::publish_batch`]
+//! returns a [`BatchTicket`] and [`CrowdsourcingEngine::collect_batch`] redeems it, so a
+//! scheduler can keep many batches — from many jobs — in flight at once and interleave
+//! publishes with ingestion ([`crate::scheduler`]). [`CrowdsourcingEngine::run_hit`] is the
+//! single-batch composition of the two.
 
 use std::collections::BTreeMap;
 
@@ -18,6 +24,7 @@ use cdas_core::economics::CostModel;
 use cdas_core::online::{OnlineProcessor, TerminationStrategy};
 use cdas_core::prediction::PredictionModel;
 use cdas_core::sampling::SamplingEstimator;
+use cdas_core::sharing::AccuracyCache;
 use cdas_core::types::{HitId, Label, Observation, QuestionId, Vote, WorkerId};
 use cdas_core::verification::probabilistic::ProbabilisticVerifier;
 use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
@@ -103,6 +110,20 @@ pub struct EngineConfig {
     pub cost_model: CostModel,
 }
 
+impl EngineConfig {
+    /// The configuration a job implies over the engine defaults: its required accuracy
+    /// `C` and the size of its answer domain. Both the job manager's processing plans and
+    /// the scheduler's [`crate::scheduler::ScheduledJob::new`] derive through here, so the
+    /// rule cannot drift between the two paths.
+    pub fn for_job(required_accuracy: f64, domain_size: usize) -> Self {
+        EngineConfig {
+            required_accuracy,
+            domain_size: Some(domain_size),
+            ..EngineConfig::default()
+        }
+    }
+}
+
 impl Default for EngineConfig {
     fn default() -> Self {
         EngineConfig {
@@ -117,6 +138,23 @@ impl Default for EngineConfig {
             cost_model: CostModel::default(),
         }
     }
+}
+
+/// A phase-1 receipt: one published-but-not-yet-ingested HIT batch.
+///
+/// Returned by [`CrowdsourcingEngine::publish_batch`] (or
+/// [`publish_batch_to`](CrowdsourcingEngine::publish_batch_to)) and redeemed by
+/// [`collect_batch`](CrowdsourcingEngine::collect_batch). Holding a ticket is what makes
+/// the engine re-entrant: any number of tickets — across jobs — may be outstanding against
+/// one platform, and each is ingested independently.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BatchTicket {
+    /// The platform HIT id phase 2 will poll.
+    pub hit: HitId,
+    /// The batch's questions (kept so phase 2 can score gold questions and verify).
+    pub questions: Vec<CrowdQuestion>,
+    /// Number of workers the HIT was assigned to.
+    pub workers_assigned: usize,
 }
 
 /// The verdict for one question of a HIT.
@@ -215,23 +253,133 @@ impl CrowdsourcingEngine {
     /// Run one HIT end to end: publish, collect answers, estimate accuracies, verify.
     ///
     /// `questions` is the HIT batch (gold questions flagged); the platform delivers answers
-    /// in arrival order, which the online path consumes incrementally.
+    /// in arrival order, which the online path consumes incrementally. Equivalent to
+    /// [`publish_batch`](Self::publish_batch) immediately followed by
+    /// [`collect_batch`](Self::collect_batch).
     pub fn run_hit<P: CrowdPlatform>(
         &self,
         platform: &mut P,
         questions: Vec<CrowdQuestion>,
     ) -> Result<HitOutcome> {
+        let ticket = self.publish_batch(platform, questions)?;
+        self.collect_batch(platform, ticket)
+    }
+
+    /// Phase 1: publish one batch, letting the platform pick the workers.
+    ///
+    /// The worker count comes from the configured [`WorkerCountPolicy`]. The returned
+    /// [`BatchTicket`] is redeemed later by [`collect_batch`](Self::collect_batch); any
+    /// number of tickets may be outstanding at once.
+    pub fn publish_batch<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        questions: Vec<CrowdQuestion>,
+    ) -> Result<BatchTicket> {
         if questions.is_empty() {
             return Err(CdasError::EmptyObservation);
         }
         let workers = self.decide_workers()?;
-        let cost_before = platform.total_cost();
         let request = HitRequest::new(questions.clone(), workers, self.config.reward);
         let hit = platform.publish(request);
+        Ok(BatchTicket {
+            hit,
+            questions,
+            workers_assigned: workers,
+        })
+    }
+
+    /// Phase 1, lease-aware: publish one batch to an explicit worker set.
+    ///
+    /// Used by the multi-job scheduler after checking `workers` out of a
+    /// [`cdas_crowd::lease::PoolLedger`], so batches in flight concurrently never share a
+    /// worker. The assignment count is `workers.len()` — the caller already sized the
+    /// lease (usually via [`decide_workers`](Self::decide_workers)).
+    pub fn publish_batch_to<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        questions: Vec<CrowdQuestion>,
+        workers: &[WorkerId],
+    ) -> Result<BatchTicket> {
+        if questions.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        if workers.is_empty() {
+            return Err(CdasError::NonPositive {
+                what: "worker count",
+            });
+        }
+        let request = HitRequest::new(questions.clone(), workers.len(), self.config.reward);
+        let hit = platform.publish_to(request, workers);
+        Ok(BatchTicket {
+            hit,
+            questions,
+            workers_assigned: workers.len(),
+        })
+    }
+
+    /// Phase 2: ingest one published batch — poll its answers, estimate worker accuracies
+    /// from the gold questions, verify every question, and account for cost.
+    pub fn collect_batch<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        ticket: BatchTicket,
+    ) -> Result<HitOutcome> {
+        self.finish_batch(platform, ticket, None)
+    }
+
+    /// Phase 2 with cross-job accuracy sharing: like [`collect_batch`](Self::collect_batch),
+    /// but gold estimates from this batch are absorbed into the shared registry behind
+    /// `cache`, and verification weights votes with the *fleet-wide* estimates — so a
+    /// worker's accuracy learned in job A immediately reweights their votes in job B.
+    ///
+    /// An [`AccuracySource::Registry`] in the config is honoured by seeding the shared
+    /// registry with its entries as injected estimates (gold-sampled estimates, from any
+    /// job, always outrank them).
+    pub fn collect_batch_cached<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        ticket: BatchTicket,
+        cache: &AccuracyCache,
+    ) -> Result<HitOutcome> {
+        self.finish_batch(platform, ticket, Some(cache))
+    }
+
+    /// Shared phase-2 implementation.
+    fn finish_batch<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        ticket: BatchTicket,
+        cache: Option<&AccuracyCache>,
+    ) -> Result<HitOutcome> {
+        let BatchTicket {
+            hit,
+            questions,
+            workers_assigned: workers,
+        } = ticket;
+        // Cost is measured around this batch's own poll/cancel, so interleaved collects of
+        // other batches (the scheduler path) cannot leak charges into this HIT.
+        let cost_before = platform.total_cost();
         let answers = platform.poll(hit, f64::INFINITY);
 
         // Phase 2a: estimate worker accuracy from gold questions.
-        let (registry, estimated_mean) = self.build_registry(&questions, &answers);
+        let (registry, estimated_mean) = match cache {
+            None => self.build_registry(&questions, &answers),
+            Some(cache) => {
+                // An explicitly configured registry (simulation oracle, estimates from a
+                // previous deployment) seeds the fleet registry as *injected* estimates:
+                // sampled gold estimates always outrank it, per the absorb policy.
+                if let AccuracySource::Registry(r) = &self.config.accuracy_source {
+                    cache.shared().absorb(r);
+                }
+                let (local, local_mean) = self.sample_gold(&questions, &answers);
+                cache.shared().absorb(&local);
+                let registry = cache
+                    .snapshot()
+                    .with_default_accuracy(self.config.default_worker_accuracy);
+                let mean = local_mean.or_else(|| registry.mean_accuracy());
+                (registry, mean)
+            }
+        };
 
         // Phase 2b: verify every question.
         let mut per_question: BTreeMap<QuestionId, Vec<&WorkerAnswer>> = BTreeMap::new();
@@ -294,24 +442,36 @@ impl CrowdsourcingEngine {
                 )
             }
             AccuracySource::GoldSampling => {
-                let truth_by_question: BTreeMap<QuestionId, &Label> = questions
-                    .iter()
-                    .filter(|q| q.is_gold)
-                    .map(|q| (q.id, &q.ground_truth))
-                    .collect();
-                let mut estimator = SamplingEstimator::new();
-                for a in answers {
-                    if let Some(truth) = truth_by_question.get(&a.question) {
-                        estimator.record(a.worker, a.question, &a.label, truth);
-                    }
-                }
-                let mean = estimator.stats().ok().map(|s| s.mean);
-                let registry = estimator
-                    .to_registry()
-                    .with_default_accuracy(self.config.default_worker_accuracy);
-                (registry, mean)
+                let (registry, mean) = self.sample_gold(questions, answers);
+                (
+                    registry.with_default_accuracy(self.config.default_worker_accuracy),
+                    mean,
+                )
             }
         }
+    }
+
+    /// Algorithm 4 over one batch: estimate each participating worker's accuracy from the
+    /// gold questions. Returns the raw per-batch registry (no default accuracy applied)
+    /// and the estimated mean, if any gold answers arrived.
+    fn sample_gold(
+        &self,
+        questions: &[CrowdQuestion],
+        answers: &[WorkerAnswer],
+    ) -> (AccuracyRegistry, Option<f64>) {
+        let truth_by_question: BTreeMap<QuestionId, &Label> = questions
+            .iter()
+            .filter(|q| q.is_gold)
+            .map(|q| (q.id, &q.ground_truth))
+            .collect();
+        let mut estimator = SamplingEstimator::new();
+        for a in answers {
+            if let Some(truth) = truth_by_question.get(&a.question) {
+                estimator.record(a.worker, a.question, &a.label, truth);
+            }
+        }
+        let mean = estimator.stats().ok().map(|s| s.mean);
+        (estimator.to_registry(), mean)
     }
 
     /// Verify a single question from its votes (in arrival order).
@@ -534,6 +694,101 @@ mod tests {
         let engine = CrowdsourcingEngine::new(EngineConfig::default());
         let mut p = platform(0.8, 1);
         assert!(engine.run_hit(&mut p, Vec::new()).is_err());
+        assert!(engine.publish_batch(&mut p, Vec::new()).is_err());
+        assert!(engine
+            .publish_batch_to(&mut p, Vec::new(), &[WorkerId(1)])
+            .is_err());
+        assert!(engine.publish_batch_to(&mut p, batch(2, 0), &[]).is_err());
+    }
+
+    #[test]
+    fn split_phases_match_run_hit() {
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(7),
+            ..EngineConfig::default()
+        });
+        let composed = engine
+            .run_hit(&mut platform(0.8, 31), batch(10, 3))
+            .unwrap();
+        let mut p = platform(0.8, 31);
+        let ticket = engine.publish_batch(&mut p, batch(10, 3)).unwrap();
+        assert_eq!(ticket.workers_assigned, 7);
+        assert_eq!(ticket.questions.len(), 13);
+        let split = engine.collect_batch(&mut p, ticket).unwrap();
+        assert_eq!(composed, split, "run_hit must be publish + collect");
+    }
+
+    #[test]
+    fn interleaved_batches_account_costs_independently() {
+        // Two tickets outstanding at once; each collect must only see its own charges.
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(5),
+            ..EngineConfig::default()
+        });
+        let mut p = platform(0.8, 13);
+        let t1 = engine.publish_batch(&mut p, batch(10, 2)).unwrap();
+        let t2 = engine.publish_batch(&mut p, batch(10, 2)).unwrap();
+        let o1 = engine.collect_batch(&mut p, t1).unwrap();
+        let o2 = engine.collect_batch(&mut p, t2).unwrap();
+        assert!(o1.cost > 0.0);
+        assert!(
+            (o1.cost - o2.cost).abs() < 1e-9,
+            "same-shape batches, same cost"
+        );
+        assert!((o1.cost + o2.cost - p.total_cost()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_collect_reuses_estimates_from_earlier_batches() {
+        use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
+
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(7),
+            ..EngineConfig::default()
+        });
+        let mut p = platform(0.8, 41);
+        let cache = AccuracyCache::new(SharedAccuracyRegistry::new());
+
+        // Batch 1 carries gold questions: its estimates land in the shared registry.
+        let t1 = engine.publish_batch(&mut p, batch(8, 4)).unwrap();
+        let o1 = engine.collect_batch_cached(&mut p, t1, &cache).unwrap();
+        assert!(!cache.shared().is_empty());
+        assert!(o1.estimated_mean_accuracy.is_some());
+
+        // Batch 2 has NO gold questions, yet its verification registry is non-empty:
+        // every estimate it weights votes with was learned in batch 1.
+        let t2 = engine.publish_batch(&mut p, batch(8, 0)).unwrap();
+        let o2 = engine.collect_batch_cached(&mut p, t2, &cache).unwrap();
+        assert!(!o2.registry.is_empty());
+        assert!(
+            o2.registry.iter().all(|(_, e)| e.samples > 0),
+            "estimates came from gold sampling"
+        );
+    }
+
+    #[test]
+    fn cached_collect_honours_a_configured_registry_source() {
+        use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
+
+        let pool = WorkerPool::generate(&PoolConfig::clean(30, 0.8, 51));
+        let oracle = pool.oracle_registry(&sentiment_question(0, false));
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(5),
+            accuracy_source: AccuracySource::Registry(oracle),
+            ..EngineConfig::default()
+        });
+        let mut p = SimulatedPlatform::new(pool, CostModel::default(), 51);
+        let cache = AccuracyCache::new(SharedAccuracyRegistry::new());
+        // A gold-free batch: without the configured registry there would be nothing to
+        // weight votes with beyond the default.
+        let ticket = engine.publish_batch(&mut p, batch(6, 0)).unwrap();
+        let outcome = engine.collect_batch_cached(&mut p, ticket, &cache).unwrap();
+        assert_eq!(
+            cache.shared().len(),
+            30,
+            "the oracle registry seeded the fleet registry"
+        );
+        assert_eq!(outcome.registry.len(), 30);
     }
 
     #[test]

@@ -1,11 +1,19 @@
 //! The job manager (§2.1): accept an analytics job and transform it into a processing plan
 //! that splits the work between the program executor (computer part) and the crowdsourcing
 //! engine (human part).
+//!
+//! The paper's job manager accepts *jobs*, plural: once each job's human part has been
+//! rendered to crowd questions, [`JobManager::schedule`] turns the plan into a
+//! [`ScheduledJob`] for the multi-job
+//! [`scheduler`](crate::scheduler), which multiplexes all of them over one worker pool.
 
 use cdas_core::sampling::SamplingPlan;
+use cdas_crowd::question::CrowdQuestion;
 use serde::{Deserialize, Serialize};
 
+use crate::engine::EngineConfig;
 use crate::query::Query;
+use crate::scheduler::ScheduledJob;
 use crate::template::QueryTemplate;
 
 /// The kind of analytics job, which decides the query template and the computer-side
@@ -71,6 +79,17 @@ pub struct ProcessingPlan {
     pub human: HumanPart,
 }
 
+impl ProcessingPlan {
+    /// The engine configuration the human part implies: the plan's required accuracy and
+    /// the template's answer-domain size, over engine defaults.
+    pub fn engine_config(&self) -> EngineConfig {
+        EngineConfig::for_job(
+            self.human.required_accuracy,
+            self.human.template.domain.size(),
+        )
+    }
+}
+
 /// The job manager.
 #[derive(Debug, Clone, Default)]
 pub struct JobManager {
@@ -118,6 +137,18 @@ impl JobManager {
                 sampling,
             },
         }
+    }
+
+    /// Turn a job whose human part has been rendered to `questions` into a
+    /// [`ScheduledJob`] for the multi-job scheduler, deriving the engine configuration
+    /// and batch size from the job's processing plan.
+    pub fn schedule(&self, job: AnalyticsJob, questions: Vec<CrowdQuestion>) -> ScheduledJob {
+        let plan = self.plan(&job);
+        let engine = plan.engine_config();
+        let batch_size = plan.human.sampling.batch_size();
+        ScheduledJob::new(job, questions)
+            .with_engine(engine)
+            .with_batch_size(batch_size)
     }
 }
 
@@ -188,5 +219,23 @@ mod tests {
         let sampling = SamplingPlan::new(50, 0.1).unwrap();
         let plan = m.plan_with_sampling(&tsa_job(), sampling.clone());
         assert_eq!(plan.human.sampling, sampling);
+    }
+
+    #[test]
+    fn plan_derives_the_engine_config() {
+        let m = JobManager::new();
+        let config = m.plan(&tsa_job()).engine_config();
+        assert_eq!(config.required_accuracy, 0.9);
+        assert_eq!(config.domain_size, Some(3));
+    }
+
+    #[test]
+    fn schedule_bridges_a_plan_to_the_scheduler() {
+        let m = JobManager::new();
+        let scheduled = m.schedule(tsa_job(), Vec::new());
+        assert_eq!(scheduled.engine.required_accuracy, 0.9);
+        assert_eq!(scheduled.engine.domain_size, Some(3));
+        assert_eq!(scheduled.batch_size, 100, "the paper-default batch size B");
+        assert_eq!(scheduled.job.name, "thor-sentiment");
     }
 }

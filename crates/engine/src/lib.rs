@@ -14,9 +14,12 @@
 //!   worker accuracy from gold questions, verify answers (voting or probabilistic,
 //!   offline or online with early termination) and account for cost,
 //! * the [`apps`] module wires two complete applications — Twitter Sentiment Analytics and
-//!   Image Tagging — end to end, and
+//!   Image Tagging — end to end,
+//! * the [`scheduler`] module multiplexes **many concurrent jobs** over one shared worker
+//!   pool: disjoint worker leases per in-flight HIT, a fleet-wide shared accuracy registry,
+//!   and round-robin/priority dispatch (the §2.1 job manager at scale), and
 //! * the [`metrics`] module scores any of it against ground truth (real accuracy,
-//!   no-answer ratio, workers consumed, dollars spent).
+//!   no-answer ratio, workers consumed, dollars spent), per job and fleet-wide.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -29,9 +32,13 @@ pub mod job_manager;
 pub mod metrics;
 pub mod privacy;
 pub mod query;
+pub mod scheduler;
 pub mod template;
 
 pub use engine::{
-    CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict, VerificationStrategy,
+    BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict,
+    VerificationStrategy,
 };
+pub use metrics::{FleetReport, JobReport};
 pub use query::Query;
+pub use scheduler::{DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig};

@@ -1,6 +1,7 @@
 //! Scoring engine output against ground truth: the "real accuracy" of the evaluation
 //! figures, plus the auxiliary measures the paper reports (no-answer ratio, answers
-//! consumed, cost).
+//! consumed, cost), and the per-job / fleet-wide rollups emitted by the multi-job
+//! scheduler ([`JobReport`], [`FleetReport`]).
 
 use std::collections::BTreeMap;
 
@@ -9,6 +10,8 @@ use cdas_crowd::question::CrowdQuestion;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::HitOutcome;
+use crate::job_manager::JobKind;
+use crate::scheduler::{DispatchRecord, JobId};
 
 /// Accuracy-style metrics of one or more HIT outcomes against ground truth.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -73,6 +76,82 @@ pub fn score_hits<'a>(
         },
         questions: total,
         cost,
+    }
+}
+
+/// One job's rollup in a fleet run: its accuracy metrics plus the scheduling facts
+/// (contention waits, distinct workers consumed) the single-job path has no notion of.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobReport {
+    /// The job's scheduler id.
+    pub job: JobId,
+    /// Human-readable job name.
+    pub name: String,
+    /// The job kind (TSA or IT).
+    pub kind: JobKind,
+    /// The job's dispatch priority.
+    pub priority: u8,
+    /// Accuracy/cost metrics over all the job's batches.
+    pub report: AccuracyReport,
+    /// Number of HIT batches the job ran.
+    pub hits: usize,
+    /// Ticks the job spent waiting because the shared pool had too few free workers.
+    pub ticks_waited: usize,
+    /// Distinct workers that served this job across all its batches.
+    pub distinct_workers: usize,
+}
+
+/// The fleet-wide rollup of one scheduler run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetReport {
+    /// Per-job reports, in submission order.
+    pub jobs: Vec<JobReport>,
+    /// Metrics over every batch of every job.
+    pub fleet: AccuracyReport,
+    /// Number of scheduler ticks the fleet took.
+    pub ticks: usize,
+    /// The dispatch timeline (which job published which HIT with which workers, when).
+    pub dispatches: Vec<DispatchRecord>,
+    /// Workers with an estimate in the shared registry after the run.
+    pub registry_size: usize,
+    /// Shared-registry cache reads served from the cached snapshot.
+    pub cache_hits: u64,
+    /// Shared-registry cache reads that had to rebuild the snapshot.
+    pub cache_misses: u64,
+}
+
+impl FleetReport {
+    /// Fleet throughput: real questions resolved per scheduler tick.
+    pub fn questions_per_tick(&self) -> f64 {
+        if self.ticks == 0 {
+            0.0
+        } else {
+            self.fleet.questions as f64 / self.ticks as f64
+        }
+    }
+
+    /// Total dollars spent across the fleet.
+    pub fn total_cost(&self) -> f64 {
+        self.fleet.cost
+    }
+
+    /// The largest number of HITs that were in flight during one tick.
+    pub fn max_concurrent_hits(&self) -> usize {
+        let mut per_tick: BTreeMap<usize, usize> = BTreeMap::new();
+        for d in &self.dispatches {
+            *per_tick.entry(d.tick).or_default() += 1;
+        }
+        per_tick.values().copied().max().unwrap_or(0)
+    }
+
+    /// Fraction of shared-registry reads served from the cache.
+    pub fn cache_hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
     }
 }
 

@@ -1,0 +1,696 @@
+//! The multi-job scheduler: N concurrent analytics jobs over one shared worker pool.
+//!
+//! §2.1 describes a job manager that accepts *jobs* — plural — yet Algorithm 1 drives one
+//! HIT batch at a time. This module generalizes the two-phase engine to a fleet: a
+//! [`JobScheduler`] accepts any number of [`ScheduledJob`]s (TSA and IT mixed), splits each
+//! into HIT batches, and dispatches them onto a single shared pool in *ticks*. Every tick
+//! interleaves the two phases across jobs:
+//!
+//! 1. **Dispatch (phase 1)** — jobs are visited in [`DispatchPolicy`] order; each
+//!    unfinished job tries to check its required workers out of the shared
+//!    [`PoolLedger`]. Leases are disjoint, so two in-flight HITs never share a worker and
+//!    no worker is ever assigned twice to one question. A job that cannot get a lease
+//!    waits for the next tick (recorded as contention in its [`crate::metrics::JobReport`]).
+//! 2. **Ingest (phase 2)** — every in-flight batch is collected: answers polled, gold
+//!    estimates absorbed into one fleet-wide
+//!    [`SharedAccuracyRegistry`] behind an
+//!    [`AccuracyCache`], questions verified with the *shared* estimates (a worker's
+//!    accuracy learned in job A immediately reweights their votes in job B), and the lease
+//!    released.
+//!
+//! The run ends when every job has ingested its last batch, returning a
+//! [`crate::metrics::FleetReport`] with per-job and fleet-wide accuracy/cost/throughput.
+//!
+//! ```
+//! use cdas_core::economics::CostModel;
+//! use cdas_crowd::lease::PoolLedger;
+//! use cdas_crowd::pool::{PoolConfig, WorkerPool};
+//! use cdas_crowd::SimulatedPlatform;
+//! use cdas_engine::scheduler::{JobScheduler, ScheduledJob, SchedulerConfig};
+//! use cdas_engine::job_manager::JobKind;
+//!
+//! let pool = WorkerPool::generate(&PoolConfig::clean(20, 0.8, 7));
+//! let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 7);
+//! let mut scheduler = JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+//!
+//! let questions = cdas_engine::scheduler::demo_questions(10, 2);
+//! scheduler.submit(ScheduledJob::named(JobKind::SentimentAnalytics, "demo", questions));
+//! let report = scheduler.run(&mut platform).unwrap();
+//! assert_eq!(report.jobs.len(), 1);
+//! assert!(report.fleet.accuracy > 0.5);
+//! ```
+
+use std::collections::BTreeSet;
+
+use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
+use cdas_core::types::{AnswerDomain, HitId, Label, QuestionId, WorkerId};
+use cdas_core::{CdasError, Result};
+use cdas_crowd::lease::{LeaseId, PoolLedger};
+use cdas_crowd::platform::CrowdPlatform;
+use cdas_crowd::question::CrowdQuestion;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome};
+use crate::job_manager::{AnalyticsJob, JobKind};
+use crate::metrics::{score_hits, FleetReport, JobReport};
+use crate::query::Query;
+
+/// Identifier of a submitted job (the submission index).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub usize);
+
+/// How the dispatch phase orders jobs when they compete for the same free workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum DispatchPolicy {
+    /// Rotate which job gets first pick each tick — fair interleaving, the LogBase-style
+    /// multi-tenant default.
+    #[default]
+    RoundRobin,
+    /// Visit jobs by descending [`ScheduledJob::priority`]; equal priorities rotate
+    /// round-robin. A starved low-priority job still runs once the pool frees up.
+    Priority,
+}
+
+/// Scheduler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Dispatch ordering policy.
+    pub policy: DispatchPolicy,
+    /// Seed for the lease-selection RNG (worker checkout is randomized like §3.1's
+    /// "n random workers", but only over the *free* part of the roster).
+    pub seed: u64,
+    /// Safety valve: abort with [`CdasError::SchedulerStalled`] after this many ticks.
+    pub max_ticks: usize,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            policy: DispatchPolicy::RoundRobin,
+            seed: 42,
+            max_ticks: 10_000,
+        }
+    }
+}
+
+/// One analytics job as the scheduler sees it: the registered [`AnalyticsJob`], its
+/// rendered crowd questions, and the engine configuration its batches run with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ScheduledJob {
+    /// The registered job (kind, query, name).
+    pub job: AnalyticsJob,
+    /// The human-part work items, already rendered to crowd questions (gold flagged).
+    pub questions: Vec<CrowdQuestion>,
+    /// Engine configuration for this job's batches.
+    pub engine: EngineConfig,
+    /// Questions per HIT batch (`B`).
+    pub batch_size: usize,
+    /// Dispatch priority (higher runs first under [`DispatchPolicy::Priority`]).
+    pub priority: u8,
+}
+
+impl ScheduledJob {
+    /// Schedule a registered job over its rendered questions.
+    ///
+    /// The engine defaults are derived from the job's query (required accuracy and domain
+    /// size); override with [`with_engine`](Self::with_engine).
+    pub fn new(job: AnalyticsJob, questions: Vec<CrowdQuestion>) -> Self {
+        let engine = EngineConfig::for_job(job.query.required_accuracy, job.query.domain.size());
+        ScheduledJob {
+            job,
+            questions,
+            engine,
+            batch_size: 20,
+            priority: 0,
+        }
+    }
+
+    /// Convenience for tests and examples: synthesize the [`AnalyticsJob`] from a kind, a
+    /// name, and the questions themselves (the query domain is taken from the first
+    /// question; required accuracy defaults to 0.9).
+    pub fn named(kind: JobKind, name: impl Into<String>, questions: Vec<CrowdQuestion>) -> Self {
+        let name = name.into();
+        let domain = questions
+            .first()
+            .map(|q| q.domain.clone())
+            .unwrap_or_else(|| AnswerDomain::from_strs(&["yes", "no"]));
+        let query = Query::new(vec![name.clone()], 0.9, domain, 0.0, questions.len() as f64);
+        Self::new(AnalyticsJob::new(kind, query, name), questions)
+    }
+
+    /// Replace the engine configuration.
+    pub fn with_engine(mut self, engine: EngineConfig) -> Self {
+        self.engine = engine;
+        self
+    }
+
+    /// Set the batch size `B`.
+    pub fn with_batch_size(mut self, batch_size: usize) -> Self {
+        self.batch_size = batch_size.max(1);
+        self
+    }
+
+    /// Set the dispatch priority.
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.priority = priority;
+        self
+    }
+}
+
+/// One phase-1 dispatch, kept for the fleet timeline: which job published which HIT with
+/// which leased workers at which tick. The integration tests use this to prove leases of
+/// concurrently in-flight HITs are disjoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DispatchRecord {
+    /// The tick the batch was published in (1-based).
+    pub tick: usize,
+    /// The publishing job.
+    pub job: JobId,
+    /// The platform HIT id.
+    pub hit: HitId,
+    /// The leased workers the HIT was restricted to.
+    pub workers: Vec<WorkerId>,
+}
+
+/// A batch published in the current tick's dispatch phase, awaiting this tick's ingest
+/// phase. Batches live exactly one tick: dispatch leases and publishes, ingest collects
+/// and releases, so leases are held only while HITs genuinely coexist.
+struct Inflight {
+    job: usize,
+    /// The batch's range within its job's question list (avoids storing the questions
+    /// twice — the ticket owns the published copy, the job owns the original).
+    range: std::ops::Range<usize>,
+    ticket: BatchTicket,
+    lease: LeaseId,
+}
+
+struct JobState {
+    spec: ScheduledJob,
+    engine: CrowdsourcingEngine,
+    cursor: usize,
+    runs: Vec<(std::ops::Range<usize>, HitOutcome)>,
+    ticks_waited: usize,
+    workers_seen: BTreeSet<WorkerId>,
+}
+
+impl JobState {
+    fn finished(&self) -> bool {
+        self.cursor >= self.spec.questions.len()
+    }
+}
+
+/// The multi-job scheduler: submit N jobs, then [`run`](Self::run) them to completion
+/// against one platform and one shared worker roster.
+///
+/// ```
+/// use cdas_crowd::lease::PoolLedger;
+/// use cdas_core::types::WorkerId;
+/// use cdas_engine::scheduler::{JobScheduler, SchedulerConfig};
+///
+/// let ledger = PoolLedger::new((0..8).map(WorkerId));
+/// let scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+/// assert_eq!(scheduler.job_count(), 0);
+/// assert!(scheduler.shared_registry().is_empty());
+/// ```
+pub struct JobScheduler {
+    config: SchedulerConfig,
+    ledger: PoolLedger,
+    cache: AccuracyCache,
+    jobs: Vec<JobState>,
+    rng: StdRng,
+}
+
+impl JobScheduler {
+    /// A scheduler over the given worker roster, with a fresh (empty) shared registry.
+    pub fn new(config: SchedulerConfig, ledger: PoolLedger) -> Self {
+        Self::with_shared_registry(config, ledger, SharedAccuracyRegistry::new())
+    }
+
+    /// A scheduler whose jobs share (and extend) an existing registry — e.g. estimates
+    /// carried over from a previous fleet run against the same crowd.
+    pub fn with_shared_registry(
+        config: SchedulerConfig,
+        ledger: PoolLedger,
+        shared: SharedAccuracyRegistry,
+    ) -> Self {
+        JobScheduler {
+            config,
+            ledger,
+            cache: AccuracyCache::new(shared),
+            jobs: Vec::new(),
+            rng: StdRng::seed_from_u64(config.seed),
+        }
+    }
+
+    /// Submit a job; returns its [`JobId`].
+    ///
+    /// ```
+    /// use cdas_crowd::lease::PoolLedger;
+    /// use cdas_core::types::WorkerId;
+    /// use cdas_engine::job_manager::JobKind;
+    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    ///
+    /// let ledger = PoolLedger::new((0..10).map(WorkerId));
+    /// let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+    /// let a = scheduler.submit(ScheduledJob::named(
+    ///     JobKind::SentimentAnalytics, "job-a", demo_questions(6, 2)));
+    /// let b = scheduler.submit(ScheduledJob::named(
+    ///     JobKind::ImageTagging, "job-b", demo_questions(6, 0)));
+    /// assert_ne!(a, b);
+    /// assert_eq!(scheduler.job_count(), 2);
+    /// ```
+    pub fn submit(&mut self, spec: ScheduledJob) -> JobId {
+        let engine = CrowdsourcingEngine::new(spec.engine.clone());
+        self.jobs.push(JobState {
+            spec,
+            engine,
+            cursor: 0,
+            runs: Vec::new(),
+            ticks_waited: 0,
+            workers_seen: BTreeSet::new(),
+        });
+        JobId(self.jobs.len() - 1)
+    }
+
+    /// Number of submitted jobs.
+    pub fn job_count(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// The fleet-wide shared accuracy registry (alive across runs; pass it to
+    /// [`with_shared_registry`](Self::with_shared_registry) to seed a later fleet).
+    pub fn shared_registry(&self) -> &SharedAccuracyRegistry {
+        self.cache.shared()
+    }
+
+    /// A completed job's `(batch questions, outcome)` runs, in ingestion order. Empty for
+    /// an unknown id or a job that has not run yet.
+    pub fn outcomes(&self, job: JobId) -> Vec<(&[CrowdQuestion], &HitOutcome)> {
+        self.jobs
+            .get(job.0)
+            .map(|j| {
+                j.runs
+                    .iter()
+                    .map(|(range, outcome)| (&j.spec.questions[range.clone()], outcome))
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// Dispatch order for one tick: round-robin rotation, optionally stable-sorted by
+    /// descending priority so rotation still breaks ties fairly.
+    fn dispatch_order(&self, tick: usize) -> Vec<usize> {
+        let n = self.jobs.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        if n > 1 {
+            order.rotate_left((tick - 1) % n);
+        }
+        if self.config.policy == DispatchPolicy::Priority {
+            order.sort_by_key(|&i| std::cmp::Reverse(self.jobs[i].spec.priority));
+        }
+        order
+    }
+
+    /// Run every submitted job to completion, interleaving phase-1 publishes and phase-2
+    /// ingestion across jobs each tick.
+    ///
+    /// Errors with [`CdasError::PoolExhausted`] when a job's worker demand exceeds the
+    /// roster outright, and [`CdasError::SchedulerStalled`] if a tick ever makes no
+    /// progress (a configuration the ledger can never satisfy).
+    ///
+    /// ```
+    /// use cdas_core::economics::CostModel;
+    /// use cdas_crowd::lease::PoolLedger;
+    /// use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    /// use cdas_crowd::SimulatedPlatform;
+    /// use cdas_engine::job_manager::JobKind;
+    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    ///
+    /// let pool = WorkerPool::generate(&PoolConfig::clean(12, 0.8, 3));
+    /// let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 3);
+    /// let mut scheduler =
+    ///     JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+    /// // Two 5-worker jobs over a 12-worker pool: both fit in flight at once.
+    /// for name in ["alpha", "beta"] {
+    ///     scheduler.submit(ScheduledJob::named(
+    ///         JobKind::SentimentAnalytics, name, demo_questions(8, 2)));
+    /// }
+    /// let report = scheduler.run(&mut platform).unwrap();
+    /// assert_eq!(report.jobs.len(), 2);
+    /// assert_eq!(report.fleet.questions, 16, "8 real questions per job");
+    /// assert!(report.registry_size > 0, "gold estimates were shared");
+    /// ```
+    pub fn run<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
+        // Up-front feasibility: a demand larger than the whole roster would wait forever.
+        for state in &self.jobs {
+            let needed = state.engine.decide_workers()?;
+            if needed > self.ledger.roster_len() {
+                return Err(CdasError::PoolExhausted {
+                    needed,
+                    available: self.ledger.roster_len(),
+                });
+            }
+        }
+
+        let mut dispatches: Vec<DispatchRecord> = Vec::new();
+        let mut ticks = 0usize;
+        while self.jobs.iter().any(|j| !j.finished()) {
+            ticks += 1;
+            if ticks > self.config.max_ticks {
+                return Err(CdasError::SchedulerStalled { ticks });
+            }
+            // Phase 1: dispatch — one batch per unfinished job, policy order, for as long
+            // as the ledger can satisfy the lease. The leases of this tick's batches are
+            // all held simultaneously, which is what keeps concurrent HITs disjoint.
+            let mut inflight: Vec<Inflight> = Vec::new();
+            for idx in self.dispatch_order(ticks) {
+                let state = &mut self.jobs[idx];
+                if state.finished() {
+                    continue;
+                }
+                let needed = state.engine.decide_workers()?;
+                match self.ledger.try_lease(needed, &mut self.rng) {
+                    None => state.ticks_waited += 1,
+                    Some(lease) => {
+                        let end =
+                            (state.cursor + state.spec.batch_size).min(state.spec.questions.len());
+                        let batch = state.spec.questions[state.cursor..end].to_vec();
+                        let ticket =
+                            state
+                                .engine
+                                .publish_batch_to(platform, batch, lease.workers())?;
+                        dispatches.push(DispatchRecord {
+                            tick: ticks,
+                            job: JobId(idx),
+                            hit: ticket.hit,
+                            workers: lease.workers().to_vec(),
+                        });
+                        state.workers_seen.extend(lease.workers().iter().copied());
+                        let range = state.cursor..end;
+                        state.cursor = end;
+                        inflight.push(Inflight {
+                            job: idx,
+                            range,
+                            ticket,
+                            lease: lease.id,
+                        });
+                    }
+                }
+            }
+
+            if inflight.is_empty() {
+                // Unfinished jobs exist (loop condition) but none could lease: with all
+                // leases released at tick end this can only be a progress bug.
+                return Err(CdasError::SchedulerStalled { ticks });
+            }
+
+            // Phase 2: ingest every in-flight batch, sharing estimates as we go. Leases
+            // are released unconditionally — even when a collect fails — so an error can
+            // never leak workers out of the roster.
+            let mut failure: Option<CdasError> = None;
+            for batch in inflight {
+                if failure.is_none() {
+                    let state = &mut self.jobs[batch.job];
+                    match state
+                        .engine
+                        .collect_batch_cached(platform, batch.ticket, &self.cache)
+                    {
+                        Ok(outcome) => state.runs.push((batch.range, outcome)),
+                        Err(e) => failure = Some(e),
+                    }
+                }
+                self.ledger.release(batch.lease);
+            }
+            if let Some(e) = failure {
+                return Err(e);
+            }
+        }
+
+        Ok(self.report(ticks, dispatches))
+    }
+
+    /// Assemble the fleet report from completed job states.
+    fn report(&self, ticks: usize, dispatches: Vec<DispatchRecord>) -> FleetReport {
+        let jobs: Vec<JobReport> = self
+            .jobs
+            .iter()
+            .enumerate()
+            .map(|(idx, state)| JobReport {
+                job: JobId(idx),
+                name: state.spec.job.name.clone(),
+                kind: state.spec.job.kind,
+                priority: state.spec.priority,
+                report: score_hits(
+                    state
+                        .runs
+                        .iter()
+                        .map(|(r, o)| (&state.spec.questions[r.clone()], o)),
+                ),
+                hits: state.runs.len(),
+                ticks_waited: state.ticks_waited,
+                distinct_workers: state.workers_seen.len(),
+            })
+            .collect();
+        let fleet = score_hits(self.jobs.iter().flat_map(|s| {
+            s.runs
+                .iter()
+                .map(|(r, o)| (&s.spec.questions[r.clone()], o))
+        }));
+        FleetReport {
+            jobs,
+            fleet,
+            ticks,
+            dispatches,
+            registry_size: self.cache.shared().len(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+}
+
+/// Tiny deterministic sentiment batch used by doc-tests and examples: `real + gold`
+/// three-way questions whose ground truth is always `"Positive"`, the first `gold` of
+/// which are gold questions.
+pub fn demo_questions(real: u64, gold: u64) -> Vec<CrowdQuestion> {
+    (0..gold + real)
+        .map(|i| {
+            let q = CrowdQuestion::new(
+                QuestionId(i),
+                AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+                Label::from("Positive"),
+            );
+            if i < gold {
+                q.as_gold()
+            } else {
+                q
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkerCountPolicy;
+    use cdas_core::economics::CostModel;
+    use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    use cdas_crowd::SimulatedPlatform;
+
+    fn fixed_engine(n: usize) -> EngineConfig {
+        EngineConfig {
+            workers: WorkerCountPolicy::Fixed(n),
+            domain_size: Some(3),
+            ..EngineConfig::default()
+        }
+    }
+
+    fn setup(pool_size: usize, seed: u64) -> (SimulatedPlatform, PoolLedger) {
+        let pool = WorkerPool::generate(&PoolConfig::clean(pool_size, 0.8, seed));
+        let ledger = PoolLedger::from_pool(&pool);
+        (
+            SimulatedPlatform::new(pool, CostModel::default(), seed),
+            ledger,
+        )
+    }
+
+    #[test]
+    fn three_jobs_complete_over_one_pool() {
+        let (mut platform, ledger) = setup(20, 9);
+        let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+        for name in ["a", "b", "c"] {
+            scheduler.submit(
+                ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(12, 3))
+                    .with_engine(fixed_engine(7))
+                    .with_batch_size(5),
+            );
+        }
+        let report = scheduler.run(&mut platform).unwrap();
+        assert_eq!(report.jobs.len(), 3);
+        assert_eq!(report.fleet.questions, 36, "3 jobs × 12 real questions");
+        for job in &report.jobs {
+            assert!(job.hits >= 3, "{} ran in batches", job.name);
+            assert!(job.report.accuracy > 0.8, "{} accuracy", job.name);
+            assert!(job.distinct_workers >= 7);
+        }
+        // A 20-worker pool fits only two 7-worker HITs at once: contention happened.
+        assert!(
+            report.jobs.iter().any(|j| j.ticks_waited > 0),
+            "expected at least one job to wait for the pool"
+        );
+        assert!(report.ticks > 1);
+        assert!(report.registry_size > 0);
+    }
+
+    #[test]
+    fn concurrent_leases_never_share_a_worker() {
+        let (mut platform, ledger) = setup(30, 5);
+        let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+        for name in ["a", "b", "c"] {
+            scheduler.submit(
+                ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(10, 2))
+                    .with_engine(fixed_engine(9))
+                    .with_batch_size(4),
+            );
+        }
+        let report = scheduler.run(&mut platform).unwrap();
+        // Group dispatches by tick; concurrently in-flight worker sets must be disjoint.
+        for a in &report.dispatches {
+            for b in &report.dispatches {
+                if a.tick == b.tick && (a.job, a.hit) != (b.job, b.hit) {
+                    assert!(
+                        a.workers.iter().all(|w| !b.workers.contains(w)),
+                        "tick {}: jobs {:?} and {:?} share a worker",
+                        a.tick,
+                        a.job,
+                        b.job
+                    );
+                }
+            }
+            // And within one HIT every worker appears once.
+            let mut ids: Vec<u64> = a.workers.iter().map(|w| w.0).collect();
+            ids.sort_unstable();
+            ids.dedup();
+            assert_eq!(ids.len(), a.workers.len());
+        }
+    }
+
+    #[test]
+    fn priority_jobs_drain_first_when_the_pool_fits_one_hit() {
+        let (mut platform, ledger) = setup(10, 3);
+        let mut scheduler = JobScheduler::new(
+            SchedulerConfig {
+                policy: DispatchPolicy::Priority,
+                ..SchedulerConfig::default()
+            },
+            ledger,
+        );
+        let low = scheduler.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, "low", demo_questions(9, 3))
+                .with_engine(fixed_engine(7))
+                .with_batch_size(4)
+                .with_priority(1),
+        );
+        let high = scheduler.submit(
+            ScheduledJob::named(JobKind::ImageTagging, "high", demo_questions(9, 3))
+                .with_engine(fixed_engine(7))
+                .with_batch_size(4)
+                .with_priority(9),
+        );
+        let report = scheduler.run(&mut platform).unwrap();
+        let last_high = report
+            .dispatches
+            .iter()
+            .filter(|d| d.job == high)
+            .map(|d| d.tick)
+            .max()
+            .unwrap();
+        let first_low = report
+            .dispatches
+            .iter()
+            .filter(|d| d.job == low)
+            .map(|d| d.tick)
+            .min()
+            .unwrap();
+        assert!(
+            last_high < first_low,
+            "high-priority job must fully drain first (high last tick {last_high}, low first tick {first_low})"
+        );
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let run = || {
+            let (mut platform, ledger) = setup(25, 11);
+            let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+            for name in ["x", "y"] {
+                scheduler.submit(
+                    ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(8, 2))
+                        .with_engine(fixed_engine(7))
+                        .with_batch_size(5),
+                );
+            }
+            scheduler.run(&mut platform).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.dispatches, b.dispatches);
+        assert_eq!(a.fleet, b.fleet);
+        assert_eq!(a.ticks, b.ticks);
+    }
+
+    #[test]
+    fn oversized_job_is_rejected_up_front() {
+        let (mut platform, ledger) = setup(5, 1);
+        let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+        scheduler.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, "huge", demo_questions(4, 1))
+                .with_engine(fixed_engine(9)),
+        );
+        match scheduler.run(&mut platform) {
+            Err(CdasError::PoolExhausted { needed, available }) => {
+                assert_eq!(needed, 9);
+                assert_eq!(available, 5);
+            }
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn empty_scheduler_reports_an_empty_fleet() {
+        let (mut platform, ledger) = setup(5, 1);
+        let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+        let report = scheduler.run(&mut platform).unwrap();
+        assert!(report.jobs.is_empty());
+        assert_eq!(report.ticks, 0);
+        assert_eq!(report.fleet.questions, 0);
+    }
+
+    #[test]
+    fn shared_registry_survives_for_a_second_fleet() {
+        let (mut platform, ledger) = setup(15, 21);
+        let mut first = JobScheduler::new(SchedulerConfig::default(), ledger.clone());
+        first.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, "wave-1", demo_questions(6, 4))
+                .with_engine(fixed_engine(7)),
+        );
+        first.run(&mut platform).unwrap();
+        let carried = first.shared_registry().clone();
+        assert!(!carried.is_empty());
+
+        let mut second =
+            JobScheduler::with_shared_registry(SchedulerConfig::default(), ledger, carried.clone());
+        // Wave 2 has no gold questions at all: every estimate it verifies with was
+        // learned by wave 1.
+        let id = second.submit(
+            ScheduledJob::named(JobKind::ImageTagging, "wave-2", demo_questions(6, 0))
+                .with_engine(fixed_engine(7)),
+        );
+        let report = second.run(&mut platform).unwrap();
+        assert!(report.fleet.accuracy > 0.5);
+        let outcome = second.outcomes(id)[0].1;
+        assert!(!outcome.registry.is_empty());
+        assert!(outcome.registry.iter().all(|(_, e)| e.samples > 0));
+    }
+}

@@ -76,6 +76,31 @@ fn prelude_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_scheduler_types_match_their_canonical_definitions() {
+    // The multi-job scheduler surface (PR 2): the shared-registry types live in core,
+    // the lease ledger in crowd, and the scheduler itself in engine.
+    same_type::<prelude::SharedAccuracyRegistry, cdas::core::sharing::SharedAccuracyRegistry>(
+        "SharedAccuracyRegistry",
+    );
+    same_type::<prelude::AccuracyCache, cdas::core::sharing::AccuracyCache>("AccuracyCache");
+    same_type::<prelude::PoolLedger, cdas::crowd::lease::PoolLedger>("PoolLedger");
+    same_type::<prelude::WorkerLease, cdas::crowd::lease::WorkerLease>("WorkerLease");
+    same_type::<prelude::LeaseId, cdas::crowd::lease::LeaseId>("LeaseId");
+    same_type::<prelude::AnalyticsJob, cdas::engine::job_manager::AnalyticsJob>("AnalyticsJob");
+    same_type::<prelude::JobKind, cdas::engine::job_manager::JobKind>("JobKind");
+    same_type::<prelude::JobManager, cdas::engine::job_manager::JobManager>("JobManager");
+    same_type::<prelude::JobScheduler, cdas::engine::scheduler::JobScheduler>("JobScheduler");
+    same_type::<prelude::ScheduledJob, cdas::engine::scheduler::ScheduledJob>("ScheduledJob");
+    same_type::<prelude::SchedulerConfig, cdas::engine::scheduler::SchedulerConfig>(
+        "SchedulerConfig",
+    );
+    same_type::<prelude::DispatchPolicy, cdas::engine::scheduler::DispatchPolicy>("DispatchPolicy");
+    same_type::<prelude::JobId, cdas::engine::scheduler::JobId>("JobId");
+    same_type::<prelude::FleetReport, cdas::engine::metrics::FleetReport>("FleetReport");
+    same_type::<prelude::JobReport, cdas::engine::metrics::JobReport>("JobReport");
+}
+
+#[test]
 fn prelude_traits_match_their_canonical_definitions() {
     // The canonical implementors must satisfy the *prelude-named* traits: this
     // fails to compile if prelude::Verifier / prelude::CrowdPlatform ever stop
