@@ -104,8 +104,16 @@ pub fn binomial_tail(n: u64, k: u64, p: f64) -> f64 {
 /// a perfect (or zero) sampled accuracy would otherwise produce infinities that swamp every
 /// other vote. The paper caches `ln(a_j / (1 − a_j))` per worker, which implicitly assumes
 /// the same clamping.
+///
+/// A NaN probability (an upstream estimator dividing by zero) maps to `0.5` — the
+/// information-free coin flip — instead of propagating: `f64::clamp` passes NaN through,
+/// and one NaN log-odds used to poison every summed confidence of its HIT and panic the
+/// online termination path's ranking.
 pub fn clamp_probability(p: f64) -> f64 {
     const EPS: f64 = 1e-9;
+    if p.is_nan() {
+        return 0.5;
+    }
     p.clamp(EPS, 1.0 - EPS)
 }
 
@@ -232,5 +240,10 @@ mod tests {
         assert_eq!(clamp_probability(0.5), 0.5);
         assert!(clamp_probability(0.0) > 0.0);
         assert!(clamp_probability(1.0) < 1.0);
+    }
+
+    #[test]
+    fn clamp_probability_neutralizes_nan() {
+        assert_eq!(clamp_probability(f64::NAN), 0.5);
     }
 }

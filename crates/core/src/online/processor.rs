@@ -243,6 +243,29 @@ mod tests {
     }
 
     #[test]
+    fn nan_accuracy_mid_stream_does_not_panic_the_processor() {
+        // Regression for the termination-path NaN panic: a vote whose accuracy is NaN
+        // (e.g. an upstream estimator dividing by zero) used to poison its label's summed
+        // confidence and panic the ranking sort. The NaN now clamps to the neutral 0.5;
+        // the processor must keep consuming and never rank the NaN label best.
+        for strategy in TerminationStrategy::ALL {
+            let mut p = OnlineProcessor::new(5, 0.75, strategy)
+                .unwrap()
+                .with_domain_size(3);
+            p.consume(vote(0, "pos", 0.8)).unwrap();
+            let o = p.consume(vote(1, "bad", f64::NAN)).unwrap();
+            assert_eq!(o.best.as_ref().unwrap().0.as_str(), "pos");
+            let o = p.consume(vote(2, "pos", 0.7)).unwrap();
+            assert_eq!(o.best.unwrap().0.as_str(), "pos");
+            assert_eq!(
+                o.ranking.last().unwrap().0.as_str(),
+                "bad",
+                "the NaN-backed label ranks last"
+            );
+        }
+    }
+
+    #[test]
     fn strategies_order_by_aggressiveness_on_a_stream() {
         // On the same answer stream, MinMax terminates no earlier than MinExp and ExpMax.
         let answers: Vec<Vote> = vec![
@@ -269,5 +292,58 @@ mod tests {
         let expmax = consumed(TerminationStrategy::ExpMax);
         assert!(minexp <= minmax);
         assert!(expmax <= minmax);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::types::{Observation, WorkerId};
+    use crate::verification::confidence::answer_confidences;
+    use proptest::prelude::*;
+
+    /// A full arrival sequence: every assigned worker's vote, in arrival order, with
+    /// accuracies strictly below the population mean the processor assumes. §4.2.2's
+    /// stability argument completes `Ω′` with mean-accuracy workers, so it covers every
+    /// real completion whose workers are no stronger than the mean.
+    fn arrival_sequence() -> impl Strategy<Value = (Vec<Vote>, f64)> {
+        let label = prop_oneof![Just("a"), Just("b"), Just("c")];
+        (
+            prop::collection::vec((label, 0.55f64..0.80), 3..15),
+            0.80f64..0.95,
+        )
+            .prop_map(|(entries, mu)| {
+                let votes = entries
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (l, a))| Vote::new(WorkerId(i as u64), Label::from(l), a))
+                    .collect();
+                (votes, mu)
+            })
+    }
+
+    proptest! {
+        /// The §4.2.2 stability guarantee, end to end: whenever MinMax fires before the
+        /// last answer, the early verdict equals the offline verdict computed from the
+        /// *complete* arrival sequence — terminating saved answers without changing the
+        /// result the user would eventually have seen.
+        #[test]
+        fn minmax_early_verdict_equals_offline_verdict((votes, mu) in arrival_sequence()) {
+            let n = votes.len();
+            let mut p = OnlineProcessor::new(n, mu, TerminationStrategy::MinMax)
+                .unwrap()
+                .with_domain_size(3);
+            let outcome = p.run_until_termination(votes.clone()).unwrap();
+            if outcome.terminated && outcome.answers_received < n {
+                let offline = answer_confidences(&Observation::from_votes(votes), 3);
+                prop_assert_eq!(
+                    outcome.best.unwrap().0,
+                    offline[0].0.clone(),
+                    "MinMax fired at {} of {} but the verdict flipped offline",
+                    outcome.answers_received,
+                    n
+                );
+            }
+        }
     }
 }

@@ -143,10 +143,12 @@ impl TerminationConfig {
     }
 }
 
-/// Sort summed confidences descending (ties by label order).
+/// Sort summed confidences descending (ties by label order). The shared total comparator
+/// keeps a NaN summed confidence — a degenerate accuracy that slipped past clamping — from
+/// panicking the online path mid-HIT: NaN sums order last, never leading.
 fn rank(sums: &BTreeMap<Label, f64>) -> Vec<(Label, f64)> {
     let mut v: Vec<(Label, f64)> = sums.iter().map(|(l, s)| (l.clone(), *s)).collect();
-    v.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    crate::verification::confidence::sort_by_confidence_desc(&mut v);
     v
 }
 
@@ -334,6 +336,41 @@ mod tests {
                 strategy.name()
             );
         }
+    }
+
+    #[test]
+    fn nan_accuracy_does_not_panic_the_online_path() {
+        // A NaN accuracy used to survive probability clamping (`f64::clamp` propagates
+        // NaN), poison its label's summed confidence, and panic `rank`'s partial_cmp
+        // mid-HIT. Two layers defend now: clamping maps NaN to the information-free 0.5,
+        // and the ranking comparators are total (NaN orders last). Either way the online
+        // path must keep answering and never crown a NaN-backed label.
+        for strategy in TerminationStrategy::ALL {
+            let cfg = config(strategy, 9, 0.75);
+            let observation = obs(&[("pos", 0.8), ("bad", f64::NAN), ("pos", 0.7)]);
+            let bounds = cfg.bounds(&observation).unwrap();
+            assert_eq!(
+                bounds.best.as_str(),
+                "pos",
+                "a NaN-backed label must never lead"
+            );
+            // The decision completes without panicking; its value is strategy-dependent.
+            cfg.should_terminate(&observation).unwrap();
+        }
+        // All-NaN evidence still ranks deterministically (by label order) and never panics.
+        let cfg = config(TerminationStrategy::MinMax, 5, 0.75);
+        let observation = obs(&[("a", f64::NAN), ("b", f64::NAN)]);
+        let bounds = cfg.bounds(&observation).unwrap();
+        assert_eq!(bounds.best.as_str(), "a");
+        cfg.should_terminate(&observation).unwrap();
+        // Second layer, exercised directly: even a NaN that reaches the sums (bypassing
+        // vote clamping entirely) must sort last instead of panicking.
+        let mut sums = BTreeMap::new();
+        sums.insert(Label::from("nanny"), f64::NAN);
+        sums.insert(Label::from("solid"), 1.5);
+        let ranked = rank(&sums);
+        assert_eq!(ranked[0].0.as_str(), "solid");
+        assert!(ranked[1].1.is_nan());
     }
 
     #[test]

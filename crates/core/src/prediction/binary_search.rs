@@ -17,12 +17,16 @@ pub fn refined_worker_estimate(c: f64, mu: f64) -> Result<u64> {
     Ok(binary_search_odd(c, mu, upper))
 }
 
-/// Binary search over odd `n ∈ [1, upper]` (upper odd) for the minimum `n` with
-/// `E[P_{n/2}] ≥ c`. If even `upper` does not reach `c` (cannot happen when `upper` comes
-/// from the conservative bound), `upper` is returned.
+/// Binary search over odd `n ∈ [1, upper]` for the minimum `n` with `E[P_{n/2}] ≥ c`. If
+/// even `upper` does not reach `c` (cannot happen when `upper` comes from the conservative
+/// bound), `upper` is returned.
 fn binary_search_odd(c: f64, mu: f64, upper: u64) -> u64 {
-    debug_assert!(upper % 2 == 1);
-    // Search over the index space i where n = 2i + 1, so the candidates stay odd.
+    // The search runs over the index space i where n = 2i + 1, which is only meaningful
+    // for an odd, non-zero `upper`. The conservative bound always hands us one, but a
+    // `debug_assert!` alone would let an even value through in release builds and silently
+    // search the wrong index space (n = upper would map below the interval's top), so
+    // round an even or zero upper up to the next odd instead.
+    let upper = if upper % 2 == 0 { upper + 1 } else { upper };
     let mut lo = 0u64; // n = 1
     let mut hi = (upper - 1) / 2; // n = upper
     if expected_majority_probability(upper, mu) < c {
@@ -105,6 +109,30 @@ mod tests {
                 "expected refined ({refined}) to be well below conservative ({cons}) at C={c}"
             );
         }
+    }
+
+    #[test]
+    fn even_upper_is_rounded_up_not_mis_searched() {
+        // An even upper used to be accepted silently in release builds (the guard was a
+        // debug_assert!) and shifted the index space: with n = 2i + 1 and hi = (upper-1)/2,
+        // the top candidate became upper − 1 and the "upper does not reach c" early return
+        // probed an even worker count. Rounding up keeps every probe odd and the answer
+        // identical to the legitimate odd interval.
+        for &(c, mu) in &[(0.9, 0.7), (0.95, 0.7), (0.99, 0.8), (0.7, 0.55)] {
+            let odd = linear_scan(c, mu);
+            for upper in [odd, odd + 1, odd + 2, odd + 9, odd + 10] {
+                assert_eq!(
+                    binary_search_odd(c, mu, upper),
+                    odd,
+                    "upper={upper} (c={c}, mu={mu})"
+                );
+            }
+        }
+        // A zero upper (no interval at all) degrades to the single candidate n = 1.
+        assert_eq!(binary_search_odd(0.5, 0.9, 0), 1);
+        // An unreachable requirement still returns the (rounded) upper itself.
+        assert_eq!(binary_search_odd(0.999_999, 0.55, 4), 5);
+        assert_eq!(binary_search_odd(0.999_999, 0.55, 5), 5);
     }
 
     #[test]

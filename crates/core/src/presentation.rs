@@ -152,9 +152,7 @@ impl ResultPresenter {
             })
             .collect();
         rows.sort_by(|a, b| {
-            b.percentage
-                .partial_cmp(&a.percentage)
-                .unwrap()
+            crate::verification::confidence::desc_nan_last(a.percentage, b.percentage)
                 .then_with(|| a.label.cmp(&b.label))
         });
         rows

@@ -118,6 +118,17 @@ impl GoldTally {
             Some(self.correct as f64 / self.total as f64)
         }
     }
+
+    /// The Laplace-smoothed estimate `(correct + 1) / (total + 2)` the verification model
+    /// weights votes with (see [`SamplingEstimator::to_registry`] for why raw fractions
+    /// are unsafe as log-odds weights), or `None` before any gold answer.
+    pub fn smoothed_accuracy(&self) -> Option<f64> {
+        if self.total == 0 {
+            None
+        } else {
+            Some((self.correct as f64 + 1.0) / (self.total as f64 + 2.0))
+        }
+    }
 }
 
 impl SamplingEstimator {
@@ -168,8 +179,7 @@ impl SamplingEstimator {
     pub fn to_registry(&self) -> AccuracyRegistry {
         let mut registry = AccuracyRegistry::new();
         for (worker, tally) in &self.tallies {
-            if tally.total > 0 {
-                let smoothed = (tally.correct as f64 + 1.0) / (tally.total as f64 + 2.0);
+            if let Some(smoothed) = tally.smoothed_accuracy() {
                 registry.set(*worker, smoothed, tally.total);
             }
         }

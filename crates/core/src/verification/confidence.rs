@@ -10,6 +10,26 @@ use std::collections::BTreeMap;
 use crate::math::{clamp_probability, log_sum_exp};
 use crate::types::{Label, Observation};
 
+/// Sort `(label, value)` pairs by descending value with a **total** comparator, breaking
+/// ties by label order.
+///
+/// Confidence values are ordinarily finite, but a degenerate accuracy (NaN, or an exact
+/// 0/1 that slips past clamping upstream) poisons sums and posteriors into NaN; a
+/// `partial_cmp().unwrap()` here used to panic the online path mid-HIT. NaN values order
+/// *last*: a label whose evidence is NaN must never be declared the leader.
+pub(crate) fn sort_by_confidence_desc(ranked: &mut [(Label, f64)]) {
+    ranked.sort_by(|a, b| desc_nan_last(a.1, b.1).then_with(|| a.0.cmp(&b.0)));
+}
+
+/// Total descending order for confidence-like values, NaN last.
+pub(crate) fn desc_nan_last(a: f64, b: f64) -> std::cmp::Ordering {
+    match (a.is_nan(), b.is_nan()) {
+        (true, false) => std::cmp::Ordering::Greater,
+        (false, true) => std::cmp::Ordering::Less,
+        _ => b.total_cmp(&a),
+    }
+}
+
 /// The worker confidence `c_j = ln((m−1) a_j / (1 − a_j))` of Definition 2.
 ///
 /// `m` is the effective answer-domain size; `accuracy` is clamped into `(0, 1)` so the
@@ -62,7 +82,7 @@ pub fn ranked_from_sums(sums: &BTreeMap<Label, f64>, m: usize) -> Vec<(Label, f6
         .iter()
         .map(|(l, &s)| (l.clone(), (s - log_denominator).exp()))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    sort_by_confidence_desc(&mut ranked);
     ranked
 }
 
@@ -100,7 +120,7 @@ pub fn answer_confidences_bruteforce(observation: &Observation, m: usize) -> Vec
         .into_iter()
         .map(|(l, s)| (l, s / denominator))
         .collect();
-    ranked.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+    sort_by_confidence_desc(&mut ranked);
     ranked
 }
 

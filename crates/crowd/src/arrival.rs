@@ -76,10 +76,12 @@ pub struct ArrivalSchedule {
 }
 
 impl ArrivalSchedule {
-    /// Build a schedule from per-worker completion times.
+    /// Build a schedule from per-worker completion times. `total_cmp` keeps the sort total
+    /// even for NaN times (which order last), so a degenerate latency model cannot panic
+    /// the arrival path.
     pub fn from_times(times: Vec<f64>) -> Self {
         let mut entries: Vec<(usize, f64)> = times.into_iter().enumerate().collect();
-        entries.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap().then_with(|| a.0.cmp(&b.0)));
+        entries.sort_by(|a, b| a.1.total_cmp(&b.1).then_with(|| a.0.cmp(&b.0)));
         ArrivalSchedule { entries }
     }
 
@@ -162,6 +164,14 @@ mod tests {
         assert_eq!(early, vec![1, 2]);
         let times: Vec<f64> = schedule.iter().map(|(_, t)| t).collect();
         assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn nan_times_sort_last_instead_of_panicking() {
+        let schedule = ArrivalSchedule::from_times(vec![2.0, f64::NAN, 1.0]);
+        assert_eq!(schedule.order(), vec![2, 0, 1]);
+        let finite: Vec<usize> = schedule.arrived_by(10.0).map(|(i, _)| i).collect();
+        assert_eq!(finite, vec![2, 0], "a NaN arrival never 'arrives'");
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Simulated wall-clock time for discrete-event crowd runs (§4.2 made temporal).
+//!
+//! The paper's online processing is driven by workers finishing *asynchronously*: Figure 11
+//! shows the approximate result quality is a function of the arrival sequence, and §4.2.2's
+//! early termination only saves anything real if the HIT is cancelled while slower workers
+//! are still working. The [`SimClock`] is the single source of "now" for such a run: the
+//! engine polls the platform *up to* the clock, advances it to the next arrival event, and
+//! stamps every verdict and cancellation with the time it happened — which is what turns
+//! scheduler ticks into latency, makespan and worker-minutes-reclaimed numbers.
+//!
+//! The clock is deliberately dumb: monotone, `f64` minutes, no event queue. The event
+//! times themselves live with the platform (it knows when undelivered answers arrive);
+//! the clock only remembers how far the simulation has progressed.
+//!
+//! ```
+//! use cdas_crowd::clock::SimClock;
+//!
+//! let mut clock = SimClock::new();
+//! assert_eq!(clock.now(), 0.0);
+//! clock.advance(2.5);
+//! clock.advance_to(2.0); // going backwards is a no-op: time is monotone
+//! assert_eq!(clock.now(), 2.5);
+//! assert_eq!(clock.advance_to(4.0), 4.0);
+//! ```
+
+use serde::{Deserialize, Serialize};
+
+/// Monotone simulated time, in minutes since the start of the run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SimClock {
+    now: f64,
+}
+
+impl Default for SimClock {
+    fn default() -> Self {
+        SimClock::new()
+    }
+}
+
+impl SimClock {
+    /// A clock at time zero.
+    pub fn new() -> Self {
+        SimClock { now: 0.0 }
+    }
+
+    /// A clock starting at `t` minutes (negative, NaN and infinite starts clamp to zero —
+    /// simulated time begins when the run does).
+    pub fn at(t: f64) -> Self {
+        let mut clock = SimClock::new();
+        clock.advance_to(t);
+        clock
+    }
+
+    /// The current simulated time in minutes.
+    pub fn now(&self) -> f64 {
+        self.now
+    }
+
+    /// Advance by `dt` minutes and return the new time. Negative, NaN and infinite deltas
+    /// are ignored: the clock only moves forward, by finite steps.
+    pub fn advance(&mut self, dt: f64) -> f64 {
+        if dt.is_finite() && dt > 0.0 {
+            self.now += dt;
+        }
+        self.now
+    }
+
+    /// Advance *to* the absolute time `t` and return the new time. Times in the past (and
+    /// NaN or infinite targets) leave the clock untouched: time is monotone, and an
+    /// infinite "end of time" target would make every later duration meaningless.
+    pub fn advance_to(&mut self, t: f64) -> f64 {
+        if t.is_finite() && t > self.now {
+            self.now = t;
+        }
+        self.now
+    }
+
+    /// Minutes elapsed since an earlier instant (saturating at zero for instants the clock
+    /// has not reached, e.g. an event scheduled in the future).
+    pub fn since(&self, earlier: f64) -> f64 {
+        (self.now - earlier).max(0.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let mut clock = SimClock::new();
+        assert_eq!(clock.now(), 0.0);
+        assert_eq!(clock.advance(1.5), 1.5);
+        assert_eq!(clock.advance(0.5), 2.0);
+        assert_eq!(clock.now(), 2.0);
+    }
+
+    #[test]
+    fn rejects_backwards_and_non_finite_motion() {
+        let mut clock = SimClock::at(3.0);
+        assert_eq!(clock.advance(-1.0), 3.0);
+        assert_eq!(clock.advance(f64::NAN), 3.0);
+        assert_eq!(clock.advance(f64::INFINITY), 3.0);
+        assert_eq!(clock.advance_to(1.0), 3.0);
+        assert_eq!(clock.advance_to(f64::NAN), 3.0);
+        assert_eq!(clock.advance_to(f64::INFINITY), 3.0);
+        assert_eq!(clock.advance_to(5.0), 5.0);
+    }
+
+    #[test]
+    fn degenerate_starts_clamp_to_zero() {
+        assert_eq!(SimClock::at(-2.0).now(), 0.0);
+        assert_eq!(SimClock::at(f64::NAN).now(), 0.0);
+        assert_eq!(SimClock::at(7.5).now(), 7.5);
+    }
+
+    #[test]
+    fn since_saturates() {
+        let clock = SimClock::at(10.0);
+        assert_eq!(clock.since(4.0), 6.0);
+        assert_eq!(clock.since(12.0), 0.0);
+    }
+}

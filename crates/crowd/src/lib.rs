@@ -13,10 +13,14 @@
 //!   ([`approval`]), reproducing the paper's observation that AMT approval rates are not a
 //!   usable accuracy signal,
 //! * asynchronous answer **arrival** with configurable latency models ([`arrival`]), which
-//!   drives the online-processing experiments, and
+//!   drives the online-processing experiments,
 //! * a [`platform::SimulatedPlatform`] that publishes HITs, delivers answers in arrival
-//!   order, supports cancelling a HIT early, and charges the requester per delivered
-//!   answer using the economic model of §3.1, and
+//!   order incrementally as simulated time passes ([`CrowdPlatform::poll`] /
+//!   [`CrowdPlatform::next_arrival`]), supports a refunding mid-flight
+//!   [`CrowdPlatform::cancel`] (uncollected assignments are never paid, per §3.1's
+//!   footnote), and charges the requester per delivered answer,
+//! * a monotone [`clock::SimClock`] that clocked collectors advance from arrival event to
+//!   arrival event (discrete-event simulation of §4.2's asynchronous crowd), and
 //! * a worker checkout [`lease::PoolLedger`] so that many concurrent jobs multiplexed over
 //!   one pool (the multi-job scheduler in `cdas-engine`) never double-assign a worker to
 //!   overlapping HITs.
@@ -31,6 +35,7 @@
 pub mod approval;
 pub mod arrival;
 pub mod behavior;
+pub mod clock;
 pub mod distribution;
 pub mod hit;
 pub mod lease;
@@ -39,8 +44,9 @@ pub mod pool;
 pub mod question;
 pub mod worker;
 
+pub use clock::SimClock;
 pub use lease::{LeaseId, PoolLedger, WorkerLease};
-pub use platform::{CrowdPlatform, SimulatedPlatform, WorkerAnswer};
+pub use platform::{CancelReceipt, CrowdPlatform, SimulatedPlatform, WorkerAnswer};
 pub use pool::{PoolConfig, WorkerPool};
 pub use question::CrowdQuestion;
 pub use worker::SimulatedWorker;

@@ -34,6 +34,40 @@ pub struct WorkerAnswer {
     pub approval_rate: f64,
 }
 
+/// What a [`CrowdPlatform::cancel`] call took back: how much work was still outstanding
+/// when the HIT was cancelled, and what the cancellation is worth.
+///
+/// The paper's footnote to §3.1 is the economic contract: workers who already submitted
+/// are paid, workers who have not are not. A mid-flight cancellation therefore *refunds*
+/// every uncollected assignment (it is never charged) and — because those workers would
+/// otherwise have kept working until their completion time — returns their remaining
+/// simulated minutes to the crowd, which is what a scheduler can re-lease to another job.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct CancelReceipt {
+    /// Per-question answers that will now never be delivered (and never be paid for).
+    pub answers_cancelled: usize,
+    /// Distinct workers whose submission was cut off before arrival.
+    pub workers_cancelled: usize,
+    /// Simulated worker-minutes reclaimed: for each cancelled worker, the time between the
+    /// cancellation and the moment their submission would have arrived. Zero when the HIT
+    /// was cancelled "at the end of time" (nothing left to reclaim — the motivation for
+    /// clocked collection).
+    pub reclaimed_minutes: f64,
+}
+
+impl CancelReceipt {
+    /// A receipt for a cancel that found nothing outstanding (unknown HIT, double cancel,
+    /// or a HIT whose answers were all already delivered).
+    pub fn empty() -> Self {
+        CancelReceipt::default()
+    }
+
+    /// Whether the cancellation actually cut anything off.
+    pub fn cancelled_anything(&self) -> bool {
+        self.answers_cancelled > 0
+    }
+}
+
 /// The interface the crowdsourcing engine programs against. `SimulatedPlatform` is the only
 /// implementation in this repository; a real AMT adapter would implement the same trait.
 pub trait CrowdPlatform {
@@ -51,13 +85,38 @@ pub trait CrowdPlatform {
         self.publish(request)
     }
 
-    /// All answers of the HIT that have *arrived* by `now` (minutes since publication) and
+    /// Inform the platform of the current simulated time. HITs published afterwards are
+    /// stamped `published_at = now` and their answers arrive at `now + latency`, so a
+    /// batch published mid-run can never deliver answers from before its own publication.
+    /// Defaults to a no-op for platforms with their own notion of time (a real AMT
+    /// adapter); the simulated platform's clock is monotone, ignoring backwards and
+    /// non-finite targets.
+    fn advance_time(&mut self, now: f64) {
+        let _ = now;
+    }
+
+    /// All answers of the HIT that have *arrived* by the absolute simulated time `now` and
     /// have not been returned by a previous poll.
     fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer>;
 
-    /// Cancel the outstanding assignments of a HIT. Returns the number of per-question
-    /// answers that will now never be delivered (and never be paid for).
-    fn cancel(&mut self, hit: HitId) -> usize;
+    /// Arrival time of the earliest answer of the HIT that has not been delivered yet, or
+    /// `None` when nothing further will arrive (everything delivered, the HIT cancelled,
+    /// or the HIT unknown).
+    ///
+    /// This is the event source of the discrete-event simulation: a clocked collector
+    /// advances its [`crate::clock::SimClock`] to this time and polls. Platforms that
+    /// cannot look ahead (a real AMT adapter polling a remote queue) may keep the default
+    /// `None`; clocked callers then degrade to a single end-of-time poll.
+    fn next_arrival(&self, hit: HitId) -> Option<f64> {
+        let _ = hit;
+        None
+    }
+
+    /// Cancel the outstanding assignments of a HIT at simulated time `now`. Uncollected
+    /// assignments are marked unpaid (they are refunded, never charged) and the receipt
+    /// reports how many answers and workers were cut off and how many worker-minutes the
+    /// cancellation reclaimed relative to `now`.
+    fn cancel(&mut self, hit: HitId, now: f64) -> CancelReceipt;
 
     /// Total amount charged to the requester so far.
     fn total_cost(&self) -> f64;
@@ -81,6 +140,9 @@ pub struct SimulatedPlatform {
     hits: BTreeMap<HitId, HitState>,
     next_hit: u64,
     charged: f64,
+    /// Current simulated time; set via [`CrowdPlatform::advance_time`], stamps
+    /// publications.
+    now: f64,
 }
 
 impl SimulatedPlatform {
@@ -94,6 +156,7 @@ impl SimulatedPlatform {
             hits: BTreeMap::new(),
             next_hit: 0,
             charged: 0.0,
+            now: 0.0,
         }
     }
 
@@ -145,7 +208,9 @@ impl SimulatedPlatform {
                     question: question.id,
                     label,
                     keywords,
-                    arrived_at: finished_at,
+                    // Latencies are relative to publication; answers arrive on the
+                    // absolute simulated timeline.
+                    arrived_at: self.now + finished_at,
                     approval_rate: worker.approval_rate,
                 });
             }
@@ -157,7 +222,7 @@ impl SimulatedPlatform {
                 hit: PublishedHit {
                     id,
                     request,
-                    published_at: 0.0,
+                    published_at: self.now,
                 },
                 pending,
                 delivered: 0,
@@ -215,15 +280,47 @@ impl CrowdPlatform for SimulatedPlatform {
         delivered
     }
 
-    fn cancel(&mut self, hit: HitId) -> usize {
+    fn advance_time(&mut self, now: f64) {
+        if now.is_finite() && now > self.now {
+            self.now = now;
+        }
+    }
+
+    fn next_arrival(&self, hit: HitId) -> Option<f64> {
+        let state = self.hits.get(&hit)?;
+        if state.cancelled {
+            return None;
+        }
+        state.pending.get(state.delivered).map(|a| a.arrived_at)
+    }
+
+    fn cancel(&mut self, hit: HitId, now: f64) -> CancelReceipt {
         let Some(state) = self.hits.get_mut(&hit) else {
-            return 0;
+            return CancelReceipt::empty();
         };
         if state.cancelled {
-            return 0;
+            return CancelReceipt::empty();
         }
         state.cancelled = true;
-        state.pending.len() - state.delivered
+        // A worker submits all their answers at once, and `poll` only ever delivers whole
+        // submissions, so the undelivered tail is a set of complete submissions. Each
+        // cancelled worker stops working `now` instead of at their completion time; the
+        // difference is the reclaimed simulated time. An end-of-time cancel (`now` not
+        // finite, or past every arrival) reclaims nothing.
+        let mut workers = BTreeMap::new();
+        for answer in &state.pending[state.delivered..] {
+            workers.entry(answer.worker).or_insert(answer.arrived_at);
+        }
+        let reclaimed_minutes = if now.is_finite() {
+            workers.values().map(|t| (t - now).max(0.0)).sum()
+        } else {
+            0.0
+        };
+        CancelReceipt {
+            answers_cancelled: state.pending.len() - state.delivered,
+            workers_cancelled: workers.len(),
+            reclaimed_minutes,
+        }
     }
 
     fn total_cost(&self) -> f64 {
@@ -240,6 +337,16 @@ mod tests {
 
     fn platform(pool_size: usize, accuracy: f64) -> SimulatedPlatform {
         let pool = WorkerPool::generate(&PoolConfig::clean(pool_size, accuracy, 5));
+        SimulatedPlatform::new(pool, CostModel::new(0.01, 0.001).unwrap(), 99)
+    }
+
+    /// Like [`platform`], but with exponentially distributed worker latencies so arrival
+    /// times actually spread out (clean pools answer at a constant 1.0 minutes).
+    fn staggered_platform(pool_size: usize, accuracy: f64) -> SimulatedPlatform {
+        let pool = WorkerPool::generate(&PoolConfig {
+            latency: crate::arrival::LatencyModel::Exponential { mean: 5.0 },
+            ..PoolConfig::clean(pool_size, accuracy, 5)
+        });
         SimulatedPlatform::new(pool, CostModel::new(0.01, 0.001).unwrap(), 99)
     }
 
@@ -296,17 +403,95 @@ mod tests {
 
     #[test]
     fn cancel_stops_delivery_and_charging() {
-        let mut p = platform(50, 0.8);
+        let mut p = staggered_platform(50, 0.8);
         let id = p.publish(request(1, 9));
         // Deliver only the earliest answers, then cancel.
         let some = p.poll(id, 1.0);
         let cost_before = p.total_cost();
-        let skipped = p.cancel(id);
-        assert_eq!(some.len() + skipped, 9);
+        let receipt = p.cancel(id, 1.0);
+        assert_eq!(some.len() + receipt.answers_cancelled, 9);
+        assert_eq!(
+            receipt.workers_cancelled, receipt.answers_cancelled,
+            "one question per HIT: one cancelled answer per cancelled worker"
+        );
+        assert!(receipt.cancelled_anything());
+        assert!(
+            receipt.reclaimed_minutes > 0.0,
+            "cancelled workers had simulated time left on the clock"
+        );
         assert!(p.poll(id, f64::INFINITY).is_empty());
+        assert_eq!(
+            p.next_arrival(id),
+            None,
+            "cancelled HITs have no events left"
+        );
         assert_eq!(p.total_cost(), cost_before, "no charge after cancellation");
         // Cancelling twice is a no-op.
-        assert_eq!(p.cancel(id), 0);
+        assert_eq!(p.cancel(id, 1.0), CancelReceipt::empty());
+    }
+
+    #[test]
+    fn end_of_time_cancel_reclaims_nothing() {
+        let mut p = platform(50, 0.8);
+        let id = p.publish(request(2, 5));
+        let receipt = p.cancel(id, f64::INFINITY);
+        assert_eq!(receipt.answers_cancelled, 10);
+        assert_eq!(receipt.workers_cancelled, 5);
+        assert_eq!(
+            receipt.reclaimed_minutes, 0.0,
+            "cancelling at the end of time only replays history"
+        );
+    }
+
+    #[test]
+    fn cancel_reclaims_the_minutes_the_workers_had_left() {
+        let mut p = staggered_platform(50, 0.8);
+        let id = p.publish(request(1, 6));
+        // Read the would-be arrival times through next_arrival by draining one at a time.
+        let mut arrivals = Vec::new();
+        while let Some(t) = p.next_arrival(id) {
+            arrivals.push(t);
+            p.poll(id, t);
+        }
+        assert_eq!(arrivals.len(), 6);
+
+        // Re-run the identical schedule on a fresh platform and cancel halfway.
+        let mut p = staggered_platform(50, 0.8);
+        let id = p.publish(request(1, 6));
+        let cut = arrivals[2];
+        p.poll(id, cut);
+        let receipt = p.cancel(id, cut);
+        assert_eq!(receipt.workers_cancelled, 3);
+        let expected: f64 = arrivals[3..].iter().map(|t| t - cut).sum();
+        assert!(
+            (receipt.reclaimed_minutes - expected).abs() < 1e-9,
+            "reclaimed {} expected {expected}",
+            receipt.reclaimed_minutes
+        );
+    }
+
+    #[test]
+    fn next_arrival_tracks_the_undelivered_frontier() {
+        let mut p = staggered_platform(50, 0.8);
+        let id = p.publish(request(2, 4));
+        let first = p.next_arrival(id).expect("answers pending");
+        assert!(p.poll(id, first / 2.0).is_empty(), "nothing arrives early");
+        assert_eq!(
+            p.next_arrival(id),
+            Some(first),
+            "an empty poll does not move the frontier"
+        );
+        let delivered = p.poll(id, first);
+        assert!(!delivered.is_empty());
+        if let Some(next) = p.next_arrival(id) {
+            assert!(next > first, "the frontier advances past delivered answers");
+        }
+        p.poll(id, f64::INFINITY);
+        assert_eq!(
+            p.next_arrival(id),
+            None,
+            "fully drained HITs have no events"
+        );
     }
 
     #[test]
@@ -325,7 +510,8 @@ mod tests {
     fn unknown_hit_is_handled_gracefully() {
         let mut p = platform(10, 0.8);
         assert!(p.poll(HitId(99), 1.0).is_empty());
-        assert_eq!(p.cancel(HitId(99)), 0);
+        assert_eq!(p.cancel(HitId(99), 1.0), CancelReceipt::empty());
+        assert_eq!(p.next_arrival(HitId(99)), None);
         assert!(p.hit(HitId(99)).is_none());
         assert_eq!(p.total_cost(), 0.0);
     }
@@ -354,6 +540,22 @@ mod tests {
         let id = p.publish_to(request(3, 2), &[WorkerId(4), WorkerId(4)]);
         let answers = p.poll(id, f64::INFINITY);
         assert_eq!(answers.len(), 3, "duplicate ids collapse to one assignment");
+    }
+
+    #[test]
+    fn publications_after_advance_time_cannot_arrive_in_the_past() {
+        let mut p = staggered_platform(50, 0.8);
+        p.advance_time(7.5);
+        // Backwards and non-finite targets are ignored: the platform clock is monotone.
+        p.advance_time(2.0);
+        p.advance_time(f64::NAN);
+        p.advance_time(f64::INFINITY);
+        let id = p.publish(request(2, 5));
+        assert_eq!(p.hit(id).unwrap().published_at, 7.5);
+        assert!(p.poll(id, 7.5).is_empty(), "no answer precedes publication");
+        let answers = p.poll(id, f64::INFINITY);
+        assert_eq!(answers.len(), 10);
+        assert!(answers.iter().all(|a| a.arrived_at > 7.5));
     }
 
     #[test]

@@ -1,0 +1,784 @@
+//! Clocked phase 2: discrete-event ingestion of a HIT batch (§4.2 with real time).
+//!
+//! [`CrowdsourcingEngine::collect_batch`] polls the platform at the end of time: every
+//! answer is delivered (and paid for) before the first verdict is computed, so "early
+//! termination" only replays history. This module is the time-aware counterpart. A
+//! [`ClockedCollector`] is created when the batch is published and then *fed* answers as
+//! they arrive, advancing a [`SimClock`] from arrival event to arrival event:
+//!
+//! 1. each arriving worker submission is first scored against the batch's gold questions
+//!    (Algorithm 4 becomes incremental — a worker's weight reflects their own gold score
+//!    the moment their submission lands),
+//! 2. the real questions' votes stream into per-question [`OnlineProcessor`]s
+//!    (Algorithm 5), and
+//! 3. the moment *every* question's termination condition has fired, the caller cancels
+//!    the HIT mid-flight: undelivered assignments are never charged
+//!    ([`cdas_crowd::platform::CancelReceipt`]), and the workers still typing get their
+//!    remaining simulated minutes back — which a scheduler can immediately re-lease to
+//!    another job ([`crate::scheduler::JobScheduler::run_clocked`]).
+//!
+//! Strategies without an online termination signal (the voting strategies, or
+//! probabilistic verification without a [`cdas_core::online::TerminationStrategy`]) still
+//! benefit: answers
+//! are ingested incrementally and the batch completes at its natural makespan, with
+//! verdicts identical to the end-of-time path. The engine-side cost of a clocked batch is
+//! *by construction* what the platform charged — the per-delivered-answer price — closing
+//! the terminated-HIT accounting divergence of the legacy path.
+
+use std::collections::BTreeMap;
+
+use cdas_core::accuracy::AccuracyRegistry;
+use cdas_core::online::OnlineProcessor;
+use cdas_core::sampling::SamplingEstimator;
+use cdas_core::sharing::AccuracyCache;
+use cdas_core::types::{HitId, Label, QuestionId, Vote, WorkerId};
+use cdas_core::verification::Verdict;
+use cdas_core::Result;
+use cdas_crowd::clock::SimClock;
+use cdas_crowd::platform::{CancelReceipt, CrowdPlatform, WorkerAnswer};
+use cdas_crowd::question::CrowdQuestion;
+use serde::{Deserialize, Serialize};
+
+use crate::engine::{
+    AccuracySource, BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict,
+    VerificationStrategy,
+};
+
+/// The outcome of one clocked batch: the ordinary [`HitOutcome`] plus the temporal facts
+/// the end-of-time path cannot produce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClockedOutcome {
+    /// The verdicts, registry and cost, exactly as [`HitOutcome`] reports them. The cost
+    /// equals what the platform charged for the delivered answers — a cancelled HIT is
+    /// genuinely cheaper here, not merely re-priced.
+    pub outcome: HitOutcome,
+    /// Simulated time the batch was published at.
+    pub published_at: f64,
+    /// Simulated time the batch finished: the mid-flight termination instant, or the last
+    /// arrival when the batch ran to its natural makespan.
+    pub completed_at: f64,
+    /// Simulated time of the first final verdict on a *real* question (`None` when no real
+    /// question received an accepted answer).
+    pub first_verdict_at: Option<f64>,
+    /// Whether the batch was cancelled mid-flight by early termination.
+    pub cancelled: bool,
+    /// Per-question answers actually delivered (and charged).
+    pub answers_delivered: usize,
+    /// Per-question answers cancelled before delivery (never charged).
+    pub answers_cancelled: usize,
+    /// Distinct workers whose submission was cut off by the cancellation.
+    pub workers_cancelled: usize,
+    /// Simulated worker-minutes reclaimed by the cancellation (zero without one).
+    pub reclaimed_minutes: f64,
+}
+
+impl ClockedOutcome {
+    /// Wall-clock latency of the batch, publication to completion, in simulated minutes.
+    pub fn latency(&self) -> f64 {
+        (self.completed_at - self.published_at).max(0.0)
+    }
+}
+
+/// Incremental phase-2 state for one published batch.
+///
+/// Create with [`CrowdsourcingEngine::begin_clocked`], feed with
+/// [`ingest`](Self::ingest) after every poll, and redeem with
+/// [`finalize`](Self::finalize) once ingestion reports termination or the platform has no
+/// arrivals left. The single-batch composition of those steps is
+/// [`CrowdsourcingEngine::collect_batch_clocked`].
+#[derive(Debug, Clone)]
+pub struct ClockedCollector {
+    config: EngineConfig,
+    hit: HitId,
+    questions: Vec<CrowdQuestion>,
+    workers_assigned: usize,
+    published_at: f64,
+    gold_truth: BTreeMap<QuestionId, Label>,
+    estimator: SamplingEstimator,
+    /// The Laplace-smoothed registry over this batch's gold tallies, maintained
+    /// incrementally (one `set` per arriving submission) so hot-path lookups never
+    /// rebuild the whole estimator.
+    local_registry: AccuracyRegistry,
+    /// Dollars the platform charged for this batch's polls so far, reported by the
+    /// caller via [`ClockedCollector::record_charge`].
+    charged: f64,
+    /// Per-question online processors, created at each question's first vote. Only
+    /// populated for probabilistic verification with a termination strategy — the other
+    /// strategies verify once at finalize.
+    processors: BTreeMap<QuestionId, OnlineProcessor>,
+    votes: BTreeMap<QuestionId, Vec<WorkerAnswer>>,
+    answers_delivered: usize,
+    first_verdict_at: Option<f64>,
+    terminated_at: Option<f64>,
+    seeded_shared: bool,
+}
+
+impl CrowdsourcingEngine {
+    /// Begin clocked ingestion of a batch published at simulated time `published_at`.
+    pub fn begin_clocked(&self, ticket: BatchTicket, published_at: f64) -> ClockedCollector {
+        let BatchTicket {
+            hit,
+            questions,
+            workers_assigned,
+        } = ticket;
+        let gold_truth = questions
+            .iter()
+            .filter(|q| q.is_gold)
+            .map(|q| (q.id, q.ground_truth.clone()))
+            .collect();
+        ClockedCollector {
+            config: self.config().clone(),
+            hit,
+            questions,
+            workers_assigned,
+            published_at,
+            gold_truth,
+            estimator: SamplingEstimator::new(),
+            local_registry: AccuracyRegistry::new(),
+            charged: 0.0,
+            processors: BTreeMap::new(),
+            votes: BTreeMap::new(),
+            answers_delivered: 0,
+            first_verdict_at: None,
+            terminated_at: None,
+            seeded_shared: false,
+        }
+    }
+
+    /// Phase 2, clocked: ingest one batch by advancing `clock` from arrival event to
+    /// arrival event, and cancel the HIT mid-flight as soon as every question's
+    /// termination condition fires. The clock ends at the batch's completion time.
+    ///
+    /// On a platform without arrival look-ahead ([`CrowdPlatform::next_arrival`] returns
+    /// `None`), this degrades to a single end-of-time poll — equivalent to
+    /// [`collect_batch`](Self::collect_batch) with clocked bookkeeping.
+    pub fn collect_batch_clocked<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        ticket: BatchTicket,
+        clock: &mut SimClock,
+    ) -> Result<ClockedOutcome> {
+        self.drive_clocked(platform, ticket, clock, None)
+    }
+
+    /// Clocked phase 2 with cross-job accuracy sharing: gold estimates are absorbed into
+    /// the shared registry behind `cache` *as submissions arrive*, and votes are weighted
+    /// with the fleet-wide estimates.
+    pub fn collect_batch_clocked_cached<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        ticket: BatchTicket,
+        clock: &mut SimClock,
+        cache: &AccuracyCache,
+    ) -> Result<ClockedOutcome> {
+        self.drive_clocked(platform, ticket, clock, Some(cache))
+    }
+
+    fn drive_clocked<P: CrowdPlatform>(
+        &self,
+        platform: &mut P,
+        ticket: BatchTicket,
+        clock: &mut SimClock,
+        cache: Option<&AccuracyCache>,
+    ) -> Result<ClockedOutcome> {
+        let mut collector = self.begin_clocked(ticket, clock.now());
+        loop {
+            match platform
+                .next_arrival(collector.hit())
+                .filter(|t| t.is_finite())
+            {
+                None => {
+                    // No look-ahead (foreign platform) or nothing further arrives: drain
+                    // whatever the platform still holds and finalize at the last arrival.
+                    let cost_before = platform.total_cost();
+                    let answers = platform.poll(collector.hit(), f64::INFINITY);
+                    collector.record_charge(platform.total_cost() - cost_before);
+                    if let Some(last) = answers.last() {
+                        clock.advance_to(last.arrived_at);
+                    }
+                    collector.ingest(&answers, clock.now(), cache)?;
+                    return collector.finalize(clock.now(), None, cache);
+                }
+                Some(t) => {
+                    clock.advance_to(t);
+                    let cost_before = platform.total_cost();
+                    let answers = platform.poll(collector.hit(), clock.now());
+                    collector.record_charge(platform.total_cost() - cost_before);
+                    if collector.ingest(&answers, clock.now(), cache)? {
+                        let receipt = platform.cancel(collector.hit(), clock.now());
+                        return collector.finalize(clock.now(), Some(receipt), cache);
+                    }
+                }
+            }
+        }
+    }
+}
+
+impl ClockedCollector {
+    /// The platform HIT this collector ingests.
+    pub fn hit(&self) -> HitId {
+        self.hit
+    }
+
+    /// Simulated time the batch was published at.
+    pub fn published_at(&self) -> f64 {
+        self.published_at
+    }
+
+    /// Per-question answers delivered (and charged) so far.
+    pub fn answers_delivered(&self) -> usize {
+        self.answers_delivered
+    }
+
+    /// Whether every question's termination condition has fired.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated_at.is_some()
+    }
+
+    /// Record what the platform charged for one of this batch's polls: snapshot
+    /// `platform.total_cost()` around the poll and pass the difference. This is what
+    /// makes `HitOutcome::cost` equal the platform ledger *by construction*, whatever
+    /// cost model the platform uses — the engine never re-prices.
+    /// [`CrowdsourcingEngine::collect_batch_clocked`] and the clocked scheduler do this
+    /// for you; only direct `ingest` users need to call it.
+    pub fn record_charge(&mut self, amount: f64) {
+        if amount.is_finite() && amount > 0.0 {
+            self.charged += amount;
+        }
+    }
+
+    /// Whether the online path (probabilistic verification with a termination strategy)
+    /// is active; other configurations ingest incrementally but verify at finalize.
+    fn online(&self) -> bool {
+        self.config.verification == VerificationStrategy::Probabilistic
+            && self.config.termination.is_some()
+    }
+
+    /// Feed the answers of one poll, stamped with the poll time `now`.
+    ///
+    /// Returns whether the whole batch has terminated — the caller should then cancel the
+    /// HIT on the platform and [`finalize`](Self::finalize). Answers are processed one
+    /// worker submission at a time: the submission's gold answers are scored first, so the
+    /// worker's own vote weight already reflects their gold score.
+    pub fn ingest(
+        &mut self,
+        answers: &[WorkerAnswer],
+        now: f64,
+        cache: Option<&AccuracyCache>,
+    ) -> Result<bool> {
+        if let Some(cache) = cache {
+            if !self.seeded_shared {
+                // A configured registry (simulation oracle, prior deployment) seeds the
+                // fleet registry as injected estimates, exactly like the legacy cached
+                // path; gold-sampled estimates always outrank them.
+                if let AccuracySource::Registry(r) = &self.config.accuracy_source {
+                    cache.shared().absorb(r);
+                }
+                self.seeded_shared = true;
+            }
+        }
+        for submission in group_by_worker(answers) {
+            self.ingest_submission(&submission, now, cache)?;
+        }
+        if self.terminated_at.is_none() && self.online() && self.all_questions_terminated() {
+            self.terminated_at = Some(now);
+        }
+        Ok(self.is_terminated())
+    }
+
+    /// One worker's complete submission (workers answer every question of the batch at
+    /// their single completion time).
+    fn ingest_submission(
+        &mut self,
+        submission: &[WorkerAnswer],
+        now: f64,
+        cache: Option<&AccuracyCache>,
+    ) -> Result<()> {
+        let Some(worker) = submission.first().map(|a| a.worker) else {
+            return Ok(());
+        };
+        // Algorithm 4, incrementally: score this submission's gold answers...
+        for answer in submission {
+            if let Some(truth) = self.gold_truth.get(&answer.question) {
+                self.estimator
+                    .record(answer.worker, answer.question, &answer.label, truth);
+            }
+        }
+        // ...fold the refreshed estimate into the batch-local registry, and share exactly
+        // this worker's estimate with the fleet before weighting their votes. Each worker
+        // submits once per batch, so the shared registry absorbs one sampled estimate per
+        // (worker, batch) — same pooling semantics as the legacy once-per-batch absorb.
+        // (Absorbing the whole local registry here would re-pool every earlier worker's
+        // samples on every submission and inflate their weight fleet-wide.)
+        if let Some(tally) = self.estimator.tally(worker) {
+            if let Some(smoothed) = tally.smoothed_accuracy() {
+                self.local_registry.set(worker, smoothed, tally.total);
+                if let Some(cache) = cache {
+                    cache.shared().record(worker, smoothed, tally.total);
+                }
+            }
+        }
+        let accuracy = self.accuracy_for(worker, cache);
+
+        let online = self.online();
+        let mean = if online {
+            self.running_mean(cache)
+        } else {
+            0.0
+        };
+        for answer in submission {
+            self.answers_delivered += 1;
+            self.votes
+                .entry(answer.question)
+                .or_default()
+                .push(answer.clone());
+            if !online {
+                continue;
+            }
+            let processor = match self.processors.get_mut(&answer.question) {
+                Some(p) => p,
+                None => {
+                    let strategy = self
+                        .config
+                        .termination
+                        .expect("online() implies a termination strategy");
+                    let domain = self.config.domain_size.unwrap_or_else(|| {
+                        self.questions
+                            .iter()
+                            .find(|q| q.id == answer.question)
+                            .map(|q| q.domain.size())
+                            .unwrap_or(2)
+                    });
+                    let p = OnlineProcessor::new(self.workers_assigned, mean, strategy)?
+                        .with_domain_size(domain);
+                    self.processors.entry(answer.question).or_insert(p)
+                }
+            };
+            if processor.is_terminated() {
+                // This question already has its verdict; later answers for it were only
+                // delivered because *other* questions kept the HIT alive.
+                continue;
+            }
+            let vote = Vote::new(worker, answer.label.clone(), accuracy)
+                .with_keywords(answer.keywords.iter().cloned());
+            let outcome = processor.consume(vote)?;
+            if outcome.terminated
+                && self.first_verdict_at.is_none()
+                && !self.gold_truth.contains_key(&answer.question)
+            {
+                self.first_verdict_at = Some(now);
+            }
+        }
+        Ok(())
+    }
+
+    /// Whether every question of the batch has a terminated processor.
+    fn all_questions_terminated(&self) -> bool {
+        self.questions.iter().all(|q| {
+            self.processors
+                .get(&q.id)
+                .map(|p| p.is_terminated())
+                .unwrap_or(false)
+        })
+    }
+
+    /// The accuracy this worker's votes are weighted with *right now*: the fleet estimate
+    /// when sharing, the local gold estimate (Laplace-smoothed) otherwise, the configured
+    /// registry when sampling is disabled — falling back to the configured default.
+    fn accuracy_for(&self, worker: WorkerId, cache: Option<&AccuracyCache>) -> f64 {
+        let estimate = match (cache, &self.config.accuracy_source) {
+            (Some(cache), _) => cache.accuracy_of(worker),
+            (None, AccuracySource::Registry(r)) => r.accuracy_of(worker),
+            (None, AccuracySource::GoldSampling) => self.local_registry.accuracy_of(worker),
+        };
+        estimate.unwrap_or(self.config.default_worker_accuracy)
+    }
+
+    /// The population-mean accuracy assumed for not-yet-seen workers when a processor is
+    /// created (smoothed, so one perfect or hopeless early gold score cannot push the
+    /// termination bounds to an extreme).
+    fn running_mean(&self, cache: Option<&AccuracyCache>) -> f64 {
+        self.local_registry
+            .mean_accuracy()
+            .or_else(|| match &self.config.accuracy_source {
+                AccuracySource::Registry(r) => r.mean_accuracy(),
+                AccuracySource::GoldSampling => None,
+            })
+            .or_else(|| cache.and_then(|c| c.shared().mean_accuracy()))
+            .unwrap_or(self.config.default_worker_accuracy)
+    }
+
+    /// Redeem the collector into a [`ClockedOutcome`] at simulated time `completed_at`,
+    /// with the platform's [`CancelReceipt`] when the batch was cancelled mid-flight.
+    pub fn finalize(
+        self,
+        completed_at: f64,
+        cancel: Option<CancelReceipt>,
+        cache: Option<&AccuracyCache>,
+    ) -> Result<ClockedOutcome> {
+        let (registry, estimated_mean) = self.final_registry(cache);
+        let online = self.online();
+        let engine = CrowdsourcingEngine::new(self.config.clone());
+
+        let mut verdicts = Vec::with_capacity(self.questions.len());
+        let mut any_real_accepted = false;
+        for question in &self.questions {
+            let votes = self.votes.get(&question.id).cloned().unwrap_or_default();
+            let (verdict, answers_used, reasons) = if online {
+                self.online_verdict(question, &votes)?
+            } else {
+                let refs: Vec<&WorkerAnswer> = votes.iter().collect();
+                engine.verify_question(
+                    question,
+                    &refs,
+                    self.workers_assigned,
+                    &registry,
+                    estimated_mean,
+                )?
+            };
+            if !question.is_gold && verdict.is_accepted() {
+                any_real_accepted = true;
+            }
+            verdicts.push(QuestionVerdict {
+                question: question.id,
+                verdict,
+                answers_used,
+                is_gold: question.is_gold,
+                reasons,
+            });
+        }
+
+        // The engine-side price of a clocked batch is exactly what the platform charged
+        // for its polls (accumulated via `record_charge`), never a re-pricing — so the
+        // accounting agrees with `platform.total_cost()` even when the engine's own cost
+        // model differs from the platform's.
+        let cost = self.charged;
+
+        let receipt = cancel.unwrap_or_default();
+        let first_verdict_at = self
+            .first_verdict_at
+            .or_else(|| any_real_accepted.then_some(completed_at));
+        Ok(ClockedOutcome {
+            outcome: HitOutcome {
+                hit: self.hit,
+                verdicts,
+                workers_assigned: self.workers_assigned,
+                estimated_mean_accuracy: estimated_mean,
+                registry,
+                cost,
+            },
+            published_at: self.published_at,
+            completed_at: completed_at.max(self.published_at),
+            first_verdict_at,
+            cancelled: receipt.cancelled_anything(),
+            answers_delivered: self.answers_delivered,
+            answers_cancelled: receipt.answers_cancelled,
+            workers_cancelled: receipt.workers_cancelled,
+            reclaimed_minutes: receipt.reclaimed_minutes,
+        })
+    }
+
+    /// The verdict of one question under the online path: the processor's final ranking,
+    /// consumed up to its termination point.
+    fn online_verdict(
+        &self,
+        question: &CrowdQuestion,
+        votes: &[WorkerAnswer],
+    ) -> Result<(Verdict, usize, Vec<String>)> {
+        let Some(processor) = self.processors.get(&question.id) else {
+            return Ok((Verdict::NoAnswer, 0, Vec::new()));
+        };
+        let outcome = processor.current()?;
+        let answers_used = processor
+            .terminated_at()
+            .unwrap_or_else(|| processor.answers_received());
+        let verdict = match outcome.best {
+            Some((label, confidence)) => Verdict::Accepted { label, confidence },
+            None => Verdict::NoAnswer,
+        };
+        let reasons = match verdict.label() {
+            Some(accepted) => votes
+                .iter()
+                .take(answers_used)
+                .filter(|a| &a.label == accepted)
+                .flat_map(|a| a.keywords.iter().cloned())
+                .collect(),
+            None => Vec::new(),
+        };
+        Ok((verdict, answers_used, reasons))
+    }
+
+    /// The registry and mean estimate verification runs with, mirroring the legacy
+    /// phase-2 sources (fleet snapshot, configured registry, or local gold estimates).
+    fn final_registry(&self, cache: Option<&AccuracyCache>) -> (AccuracyRegistry, Option<f64>) {
+        let local_mean = self.estimator.stats().ok().map(|s| s.mean);
+        match (cache, &self.config.accuracy_source) {
+            (Some(cache), _) => {
+                let registry = cache
+                    .snapshot()
+                    .with_default_accuracy(self.config.default_worker_accuracy);
+                let mean = local_mean.or_else(|| registry.mean_accuracy());
+                (registry, mean)
+            }
+            (None, AccuracySource::Registry(r)) => {
+                let mean = r.mean_accuracy();
+                (
+                    r.clone()
+                        .with_default_accuracy(self.config.default_worker_accuracy),
+                    mean,
+                )
+            }
+            (None, AccuracySource::GoldSampling) => (
+                self.local_registry
+                    .clone()
+                    .with_default_accuracy(self.config.default_worker_accuracy),
+                local_mean,
+            ),
+        }
+    }
+}
+
+/// Split a poll's answers into per-worker submissions, preserving arrival order. A worker
+/// submits all their answers at one completion time, so submissions are contiguous runs;
+/// the fold tolerates interleavings anyway by appending to an existing run.
+fn group_by_worker(answers: &[WorkerAnswer]) -> Vec<Vec<WorkerAnswer>> {
+    let mut groups: Vec<Vec<WorkerAnswer>> = Vec::new();
+    let mut index: BTreeMap<WorkerId, usize> = BTreeMap::new();
+    for answer in answers {
+        match index.get(&answer.worker) {
+            Some(&i) => groups[i].push(answer.clone()),
+            None => {
+                index.insert(answer.worker, groups.len());
+                groups.push(vec![answer.clone()]);
+            }
+        }
+    }
+    groups
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::WorkerCountPolicy;
+    use cdas_core::economics::CostModel;
+    use cdas_core::online::TerminationStrategy;
+    use cdas_core::types::AnswerDomain;
+    use cdas_crowd::arrival::LatencyModel;
+    use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    use cdas_crowd::SimulatedPlatform;
+
+    fn question(id: u64, gold: bool) -> CrowdQuestion {
+        let q = CrowdQuestion::new(
+            QuestionId(id),
+            AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+            Label::from("Positive"),
+        );
+        if gold {
+            q.as_gold()
+        } else {
+            q
+        }
+    }
+
+    fn batch(real: u64, gold: u64) -> Vec<CrowdQuestion> {
+        let mut qs: Vec<CrowdQuestion> = (0..gold).map(|i| question(i, true)).collect();
+        qs.extend((gold..gold + real).map(|i| question(i, false)));
+        qs
+    }
+
+    fn platform(accuracy: f64, seed: u64) -> SimulatedPlatform {
+        let pool = WorkerPool::generate(&PoolConfig {
+            latency: LatencyModel::Exponential { mean: 5.0 },
+            ..PoolConfig::clean(60, accuracy, seed)
+        });
+        SimulatedPlatform::new(pool, CostModel::default(), seed)
+    }
+
+    fn engine(termination: Option<TerminationStrategy>) -> CrowdsourcingEngine {
+        CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(9),
+            verification: VerificationStrategy::Probabilistic,
+            termination,
+            domain_size: Some(3),
+            ..EngineConfig::default()
+        })
+    }
+
+    #[test]
+    fn clocked_collection_without_termination_matches_end_of_time_verdicts() {
+        // Same platform seed, same batch: the clocked path must reproduce the offline
+        // verdicts exactly when no termination strategy is configured.
+        let e = engine(None);
+        let mut p = platform(0.8, 5);
+        let ticket = e.publish_batch(&mut p, batch(10, 3)).unwrap();
+        let legacy = e.collect_batch(&mut p, ticket).unwrap();
+
+        let mut p = platform(0.8, 5);
+        let mut clock = SimClock::new();
+        let ticket = e.publish_batch(&mut p, batch(10, 3)).unwrap();
+        let clocked = e.collect_batch_clocked(&mut p, ticket, &mut clock).unwrap();
+
+        // Cost is the platform-ledger delta in both paths; the clocked path accumulates
+        // it per poll, so allow float-summation noise before comparing the rest exactly.
+        assert!((clocked.outcome.cost - legacy.cost).abs() < 1e-12);
+        let mut normalized = clocked.outcome.clone();
+        normalized.cost = legacy.cost;
+        assert_eq!(normalized, legacy, "offline verdicts must be identical");
+        assert!(!clocked.cancelled);
+        assert_eq!(clocked.answers_cancelled, 0);
+        assert_eq!(clocked.reclaimed_minutes, 0.0);
+        assert!(clocked.completed_at > 0.0, "time passed");
+        assert_eq!(
+            clock.now(),
+            clocked.completed_at,
+            "the clock ends at the batch's makespan"
+        );
+        assert_eq!(clocked.first_verdict_at, Some(clocked.completed_at));
+    }
+
+    #[test]
+    fn clocked_termination_cancels_mid_flight_and_saves_money_and_minutes() {
+        let online = engine(Some(TerminationStrategy::ExpMax));
+        let offline = engine(None);
+
+        let mut p_off = platform(0.9, 11);
+        let ticket = offline.publish_batch(&mut p_off, batch(8, 4)).unwrap();
+        let mut clock_off = SimClock::new();
+        let baseline = offline
+            .collect_batch_clocked(&mut p_off, ticket, &mut clock_off)
+            .unwrap();
+
+        let mut p_on = platform(0.9, 11);
+        let ticket = online.publish_batch(&mut p_on, batch(8, 4)).unwrap();
+        let mut clock_on = SimClock::new();
+        let early = online
+            .collect_batch_clocked(&mut p_on, ticket, &mut clock_on)
+            .unwrap();
+
+        assert!(early.cancelled, "a 0.9-accuracy crowd terminates early");
+        assert!(early.answers_cancelled > 0);
+        assert!(early.reclaimed_minutes > 0.0, "minutes were reclaimed");
+        assert!(
+            early.completed_at < baseline.completed_at,
+            "termination finished at {} but the full batch ran to {}",
+            early.completed_at,
+            baseline.completed_at
+        );
+        assert!(early.outcome.cost < baseline.outcome.cost, "real savings");
+        assert!(
+            (early.outcome.cost - p_on.total_cost()).abs() < 1e-9,
+            "engine cost equals platform cost under termination"
+        );
+        assert!(early.first_verdict_at.unwrap() <= early.completed_at);
+        // Quality holds: most real questions still answered correctly.
+        let correct = early
+            .outcome
+            .real_verdicts()
+            .filter(|v| v.verdict.label().map(|l| l.as_str()) == Some("Positive"))
+            .count();
+        assert!(correct >= 6, "only {correct}/8 correct after termination");
+    }
+
+    #[test]
+    fn clocked_cost_tracks_the_platform_ledger_not_the_engine_cost_model() {
+        // The engine keeps its default cost model while the platform charges 5x. The
+        // outcome must report what the platform ledger charged — the engine never
+        // re-prices — so the accounting invariant holds even when the two models diverge.
+        let e = engine(Some(TerminationStrategy::ExpMax));
+        let pool = WorkerPool::generate(&PoolConfig {
+            latency: LatencyModel::Exponential { mean: 5.0 },
+            ..PoolConfig::clean(60, 0.9, 13)
+        });
+        let mut p = SimulatedPlatform::new(pool, CostModel::new(0.05, 0.0).unwrap(), 13);
+        let mut clock = SimClock::new();
+        let ticket = e.publish_batch(&mut p, batch(6, 2)).unwrap();
+        let out = e.collect_batch_clocked(&mut p, ticket, &mut clock).unwrap();
+        assert!(out.outcome.cost > 0.0);
+        assert!(
+            (out.outcome.cost - p.total_cost()).abs() < 1e-12,
+            "engine reported {} but the platform charged {}",
+            out.outcome.cost,
+            p.total_cost()
+        );
+    }
+
+    #[test]
+    fn per_submission_sharing_does_not_inflate_sample_counts() {
+        use cdas_core::sharing::SharedAccuracyRegistry;
+
+        // Each worker answers the batch's gold questions exactly once; the shared
+        // registry must record their estimate backed by exactly that many samples.
+        // (Absorbing the whole local registry per submission used to re-pool every
+        // earlier worker's samples on every arrival, inflating their fleet-wide weight.)
+        let e = engine(None);
+        let mut p = platform(0.8, 47);
+        let cache = AccuracyCache::new(SharedAccuracyRegistry::new());
+        let mut clock = SimClock::new();
+        let gold = 4;
+        let ticket = e.publish_batch(&mut p, batch(6, gold)).unwrap();
+        e.collect_batch_clocked_cached(&mut p, ticket, &mut clock, &cache)
+            .unwrap();
+        let snapshot = cache.shared().snapshot();
+        assert!(!snapshot.is_empty());
+        assert!(
+            snapshot.iter().all(|(_, e)| e.samples == gold as usize),
+            "sample counts must equal the gold questions each worker answered"
+        );
+    }
+
+    #[test]
+    fn clocked_collection_is_deterministic() {
+        let run = || {
+            let e = engine(Some(TerminationStrategy::ExpMax));
+            let mut p = platform(0.85, 23);
+            let mut clock = SimClock::new();
+            let ticket = e.publish_batch(&mut p, batch(6, 2)).unwrap();
+            e.collect_batch_clocked(&mut p, ticket, &mut clock).unwrap()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn clocked_cached_collection_shares_estimates_mid_flight() {
+        use cdas_core::sharing::SharedAccuracyRegistry;
+
+        let e = engine(None);
+        let mut p = platform(0.8, 31);
+        let cache = AccuracyCache::new(SharedAccuracyRegistry::new());
+        let mut clock = SimClock::new();
+        let ticket = e.publish_batch(&mut p, batch(6, 3)).unwrap();
+        let out = e
+            .collect_batch_clocked_cached(&mut p, ticket, &mut clock, &cache)
+            .unwrap();
+        assert!(
+            !cache.shared().is_empty(),
+            "gold estimates reached the fleet registry during ingestion"
+        );
+        assert!(out.outcome.estimated_mean_accuracy.is_some());
+        // A second, gold-free batch verifies entirely with estimates learned by the first.
+        let ticket = e.publish_batch(&mut p, batch(6, 0)).unwrap();
+        let out = e
+            .collect_batch_clocked_cached(&mut p, ticket, &mut clock, &cache)
+            .unwrap();
+        assert!(!out.outcome.registry.is_empty());
+        assert!(out.outcome.registry.iter().all(|(_, e)| e.samples > 0));
+    }
+
+    #[test]
+    fn group_by_worker_preserves_order_and_merges_runs() {
+        let mk = |w: u64, q: u64| WorkerAnswer {
+            hit: HitId(0),
+            worker: WorkerId(w),
+            question: QuestionId(q),
+            label: Label::from("a"),
+            keywords: Vec::new(),
+            arrived_at: w as f64,
+            approval_rate: 1.0,
+        };
+        let groups = group_by_worker(&[mk(1, 0), mk(1, 1), mk(2, 0), mk(1, 2), mk(2, 1)]);
+        assert_eq!(groups.len(), 2);
+        assert_eq!(groups[0].len(), 3, "worker 1's answers merge into one run");
+        assert_eq!(groups[1].len(), 2);
+        assert!(group_by_worker(&[]).is_empty());
+    }
+}

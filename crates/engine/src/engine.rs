@@ -9,7 +9,12 @@
 //! every real question with the configured strategy: Half-Voting, Majority-Voting, or the
 //! probability-based verification model — the latter either offline (all answers) or online
 //! with one of the early-termination strategies, in which case the HIT is cancelled once
-//! every question has terminated and the saved assignments are never paid for.
+//! every question has terminated. [`collect_batch`](CrowdsourcingEngine::collect_batch)
+//! polls at the end of time, so it has already paid for every answer by the time it
+//! verifies; the **clocked** phase 2 in [`crate::clocked`] polls incrementally under a
+//! [`cdas_crowd::clock::SimClock`] and cancels *mid-flight*, so the saved assignments are
+//! genuinely never delivered, never paid for, and their workers are freed while the HIT
+//! is still running.
 //!
 //! The two phases are **re-entrant per batch**: [`CrowdsourcingEngine::publish_batch`]
 //! returns a [`BatchTicket`] and [`CrowdsourcingEngine::collect_batch`] redeems it, so a
@@ -404,17 +409,15 @@ impl CrowdsourcingEngine {
 
         // Early termination at the HIT level: if every question terminated before the last
         // worker, cancel the remainder (the paper's footnote 3 — cancelled assignments are
-        // not paid). The simulated platform charged us for everything we polled, so the
-        // engine re-prices the HIT at the consumed fraction for its own accounting.
+        // not paid). This end-of-time path polled every answer before verifying, so the
+        // cancel reclaims nothing and the HIT costs exactly what the platform charged —
+        // the engine no longer re-prices at the consumed fraction, which used to make
+        // `HitOutcome::cost` disagree with `platform.total_cost()`. Real savings come from
+        // the clocked path ([`crate::clocked`]), which stops polling at termination.
         if self.config.termination.is_some() && online_consumed_max < workers {
-            platform.cancel(hit);
+            platform.cancel(hit, f64::INFINITY);
         }
-        let platform_cost = platform.total_cost() - cost_before;
-        let cost = if self.config.termination.is_some() {
-            self.config.cost_model.hit_cost(online_consumed_max as u64)
-        } else {
-            platform_cost
-        };
+        let cost = platform.total_cost() - cost_before;
 
         Ok(HitOutcome {
             hit,
@@ -474,8 +477,10 @@ impl CrowdsourcingEngine {
         (estimator.to_registry(), mean)
     }
 
-    /// Verify a single question from its votes (in arrival order).
-    fn verify_question(
+    /// Verify a single question from its votes (in arrival order). Shared with the clocked
+    /// collector ([`crate::clocked`]), which uses it for the strategies that have no
+    /// online termination signal and must verify once all answers have arrived.
+    pub(crate) fn verify_question(
         &self,
         question: &CrowdQuestion,
         votes: &[&WorkerAnswer],
@@ -665,12 +670,43 @@ mod tests {
             .unwrap();
         assert!(outcome_online.mean_answers_used() < outcome_offline.mean_answers_used());
         assert!(outcome_online.cost <= outcome_offline.cost);
+        // End-of-time collection pays for everything it polled: the consumed-answer
+        // savings are informational here and only become dollars on the clocked path.
+        assert!(
+            (outcome_online.cost - outcome_offline.cost).abs() < 1e-9,
+            "the end-of-time path must not pretend termination saved money"
+        );
         // Accuracy should not collapse.
         let correct = outcome_online
             .real_verdicts()
             .filter(|v| v.verdict.label().map(|l| l.as_str()) == Some("Positive"))
             .count();
         assert!(correct >= 13, "online accuracy too low: {correct}/15");
+    }
+
+    #[test]
+    fn terminated_hit_cost_matches_platform_cost() {
+        // Regression for the terminated-HIT cost divergence: the engine used to re-price a
+        // terminated HIT at the consumed fraction while the platform kept the full charge,
+        // so fleet accounting (platform ledger) disagreed with `HitOutcome::cost`.
+        let engine = CrowdsourcingEngine::new(EngineConfig {
+            workers: WorkerCountPolicy::Fixed(15),
+            verification: VerificationStrategy::Probabilistic,
+            termination: Some(TerminationStrategy::ExpMax),
+            ..EngineConfig::default()
+        });
+        let mut p = platform(0.85, 17);
+        let outcome = engine.run_hit(&mut p, batch(15, 5)).unwrap();
+        assert!(
+            outcome.mean_answers_used() < 15.0,
+            "termination should have fired somewhere"
+        );
+        assert!(
+            (outcome.cost - p.total_cost()).abs() < 1e-9,
+            "engine cost {} != platform cost {}",
+            outcome.cost,
+            p.total_cost()
+        );
     }
 
     #[test]

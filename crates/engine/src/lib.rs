@@ -15,9 +15,16 @@
 //!   offline or online with early termination) and account for cost,
 //! * the [`apps`] module wires two complete applications — Twitter Sentiment Analytics and
 //!   Image Tagging — end to end,
+//! * the [`clocked`] module is phase 2 under **simulated time** (§4.2 made temporal): a
+//!   discrete-event collector feeds answers to the online processors as they arrive,
+//!   cancels early-terminated HITs mid-flight so uncollected assignments are never paid,
+//!   and reports latency, makespan and reclaimed worker-minutes,
 //! * the [`scheduler`] module multiplexes **many concurrent jobs** over one shared worker
 //!   pool: disjoint worker leases per in-flight HIT, a fleet-wide shared accuracy registry,
-//!   and round-robin/priority dispatch (the §2.1 job manager at scale), and
+//!   and round-robin/priority dispatch (the §2.1 job manager at scale) — unclocked via
+//!   [`scheduler::JobScheduler::run`] or time-aware via
+//!   [`scheduler::JobScheduler::run_clocked`], where cancelled HITs hand their leases to
+//!   waiting jobs mid-run, and
 //! * the [`metrics`] module scores any of it against ground truth (real accuracy,
 //!   no-answer ratio, workers consumed, dollars spent), per job and fleet-wide.
 
@@ -26,6 +33,7 @@
 #![deny(unsafe_code)]
 
 pub mod apps;
+pub mod clocked;
 pub mod engine;
 pub mod executor;
 pub mod job_manager;
@@ -35,6 +43,7 @@ pub mod query;
 pub mod scheduler;
 pub mod template;
 
+pub use clocked::{ClockedCollector, ClockedOutcome};
 pub use engine::{
     BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict,
     VerificationStrategy,

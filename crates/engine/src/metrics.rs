@@ -99,6 +99,17 @@ pub struct JobReport {
     pub ticks_waited: usize,
     /// Distinct workers that served this job across all its batches.
     pub distinct_workers: usize,
+    /// Simulated time of the job's first final verdict on a real question (clocked runs
+    /// only; `None` for unclocked runs or when nothing was accepted).
+    pub time_to_first_verdict: Option<f64>,
+    /// Simulated time the job's last batch completed (0.0 for unclocked runs).
+    pub completed_at: f64,
+    /// Simulated worker-minutes handed back to the pool by this job's mid-flight
+    /// cancellations (0.0 for unclocked runs — cancelling at the end of time reclaims
+    /// nothing).
+    pub reclaimed_minutes: f64,
+    /// Per-question answers of this job cancelled before delivery (never paid).
+    pub answers_cancelled: usize,
 }
 
 /// The fleet-wide rollup of one scheduler run.
@@ -108,8 +119,17 @@ pub struct FleetReport {
     pub jobs: Vec<JobReport>,
     /// Metrics over every batch of every job.
     pub fleet: AccuracyReport,
-    /// Number of scheduler ticks the fleet took.
+    /// Number of scheduler ticks the fleet took. In a clocked run every tick advances
+    /// simulated time to the next answer arrival, so ticks are *events*, not time — see
+    /// [`makespan`](Self::makespan).
     pub ticks: usize,
+    /// Simulated minutes from the start of the run to the completion of its last batch
+    /// (0.0 for unclocked runs, which have no notion of time).
+    pub makespan: f64,
+    /// Simulated worker-minutes reclaimed fleet-wide by mid-flight cancellations.
+    pub reclaimed_minutes: f64,
+    /// Per-question answers cancelled before delivery across the fleet (never paid).
+    pub answers_cancelled: usize,
     /// The dispatch timeline (which job published which HIT with which workers, when).
     pub dispatches: Vec<DispatchRecord>,
     /// Workers with an estimate in the shared registry after the run.
@@ -142,6 +162,15 @@ impl FleetReport {
             *per_tick.entry(d.tick).or_default() += 1;
         }
         per_tick.values().copied().max().unwrap_or(0)
+    }
+
+    /// Fleet throughput in real questions per simulated minute (0 for unclocked runs).
+    pub fn questions_per_minute(&self) -> f64 {
+        if self.makespan <= 0.0 {
+            0.0
+        } else {
+            self.fleet.questions as f64 / self.makespan
+        }
     }
 
     /// Fraction of shared-registry reads served from the cache.

@@ -21,6 +21,14 @@
 //! The run ends when every job has ingested its last batch, returning a
 //! [`crate::metrics::FleetReport`] with per-job and fleet-wide accuracy/cost/throughput.
 //!
+//! [`JobScheduler::run`] polls every batch at the end of time — batches live exactly one
+//! tick, and ticks are not time. [`JobScheduler::run_clocked`] is the discrete-event
+//! variant: ticks advance a [`SimClock`] to the next answer arrival under the pool's
+//! [`cdas_crowd::arrival::LatencyModel`], batches stay in flight while their workers are
+//! genuinely working, early-terminated HITs are cancelled *mid-flight* with their leases
+//! returned to the pool for other jobs to pick up, and the report additionally carries
+//! makespan, time-to-first-verdict and worker-minutes reclaimed.
+//!
 //! ```
 //! use cdas_core::economics::CostModel;
 //! use cdas_crowd::lease::PoolLedger;
@@ -52,6 +60,9 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use cdas_crowd::clock::SimClock;
+
+use crate::clocked::ClockedCollector;
 use crate::engine::{BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome};
 use crate::job_manager::{AnalyticsJob, JobKind};
 use crate::metrics::{score_hits, FleetReport, JobReport};
@@ -172,6 +183,8 @@ pub struct DispatchRecord {
     pub hit: HitId,
     /// The leased workers the HIT was restricted to.
     pub workers: Vec<WorkerId>,
+    /// Simulated time of the dispatch (0.0 in unclocked runs, where ticks are not time).
+    pub at: f64,
 }
 
 /// A batch published in the current tick's dispatch phase, awaiting this tick's ingest
@@ -186,6 +199,17 @@ struct Inflight {
     lease: LeaseId,
 }
 
+/// A batch in flight in a **clocked** run. Unlike [`Inflight`], it lives across ticks:
+/// the lease is held for exactly as long as the HIT is genuinely running, and is released
+/// the moment the batch completes — naturally or by mid-flight cancellation — so other
+/// jobs can lease the freed workers while slower HITs are still out.
+struct ClockedInflight {
+    job: usize,
+    range: std::ops::Range<usize>,
+    collector: ClockedCollector,
+    lease: LeaseId,
+}
+
 struct JobState {
     spec: ScheduledJob,
     engine: CrowdsourcingEngine,
@@ -193,6 +217,11 @@ struct JobState {
     runs: Vec<(std::ops::Range<usize>, HitOutcome)>,
     ticks_waited: usize,
     workers_seen: BTreeSet<WorkerId>,
+    // Clocked-run rollups; stay at their defaults in unclocked runs.
+    completed_at: f64,
+    first_verdict_at: Option<f64>,
+    reclaimed_minutes: f64,
+    answers_cancelled: usize,
 }
 
 impl JobState {
@@ -270,6 +299,10 @@ impl JobScheduler {
             runs: Vec::new(),
             ticks_waited: 0,
             workers_seen: BTreeSet::new(),
+            completed_at: 0.0,
+            first_verdict_at: None,
+            reclaimed_minutes: 0.0,
+            answers_cancelled: 0,
         });
         JobId(self.jobs.len() - 1)
     }
@@ -343,17 +376,7 @@ impl JobScheduler {
     /// assert!(report.registry_size > 0, "gold estimates were shared");
     /// ```
     pub fn run<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
-        // Up-front feasibility: a demand larger than the whole roster would wait forever.
-        for state in &self.jobs {
-            let needed = state.engine.decide_workers()?;
-            if needed > self.ledger.roster_len() {
-                return Err(CdasError::PoolExhausted {
-                    needed,
-                    available: self.ledger.roster_len(),
-                });
-            }
-        }
-
+        self.check_feasibility()?;
         let mut dispatches: Vec<DispatchRecord> = Vec::new();
         let mut ticks = 0usize;
         while self.jobs.iter().any(|j| !j.finished()) {
@@ -366,37 +389,18 @@ impl JobScheduler {
             // all held simultaneously, which is what keeps concurrent HITs disjoint.
             let mut inflight: Vec<Inflight> = Vec::new();
             for idx in self.dispatch_order(ticks) {
-                let state = &mut self.jobs[idx];
-                if state.finished() {
+                if self.jobs[idx].finished() {
                     continue;
                 }
-                let needed = state.engine.decide_workers()?;
-                match self.ledger.try_lease(needed, &mut self.rng) {
-                    None => state.ticks_waited += 1,
-                    Some(lease) => {
-                        let end =
-                            (state.cursor + state.spec.batch_size).min(state.spec.questions.len());
-                        let batch = state.spec.questions[state.cursor..end].to_vec();
-                        let ticket =
-                            state
-                                .engine
-                                .publish_batch_to(platform, batch, lease.workers())?;
-                        dispatches.push(DispatchRecord {
-                            tick: ticks,
-                            job: JobId(idx),
-                            hit: ticket.hit,
-                            workers: lease.workers().to_vec(),
-                        });
-                        state.workers_seen.extend(lease.workers().iter().copied());
-                        let range = state.cursor..end;
-                        state.cursor = end;
-                        inflight.push(Inflight {
-                            job: idx,
-                            range,
-                            ticket,
-                            lease: lease.id,
-                        });
-                    }
+                if let Some((range, ticket, lease)) =
+                    self.try_dispatch(idx, ticks, 0.0, platform, &mut dispatches)?
+                {
+                    inflight.push(Inflight {
+                        job: idx,
+                        range,
+                        ticket,
+                        lease,
+                    });
                 }
             }
 
@@ -428,11 +432,233 @@ impl JobScheduler {
             }
         }
 
-        Ok(self.report(ticks, dispatches))
+        Ok(self.report(ticks, dispatches, 0.0))
+    }
+
+    /// Run every submitted job to completion under **simulated time**: a discrete-event
+    /// loop in which every tick advances a [`SimClock`] to the next answer arrival across
+    /// all in-flight HITs, polls incrementally, and — when a job's batch terminates early —
+    /// cancels the HIT *mid-flight* and releases its [`cdas_crowd::lease::WorkerLease`]
+    /// back to the shared [`PoolLedger`], so a waiting job picks those workers up in the
+    /// same run. This is what makes early termination (§4.2.2) save wall-clock time and
+    /// money rather than merely replaying history; the returned
+    /// [`crate::metrics::FleetReport`] carries `makespan`, per-job time-to-first-verdict
+    /// and the reclaimed worker-minutes.
+    ///
+    /// Each job keeps at most one batch in flight, so leases are held exactly while their
+    /// HIT is genuinely running.
+    ///
+    /// ```
+    /// use cdas_core::economics::CostModel;
+    /// use cdas_crowd::arrival::LatencyModel;
+    /// use cdas_crowd::lease::PoolLedger;
+    /// use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    /// use cdas_crowd::SimulatedPlatform;
+    /// use cdas_engine::job_manager::JobKind;
+    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    ///
+    /// let pool = WorkerPool::generate(&PoolConfig {
+    ///     latency: LatencyModel::Exponential { mean: 5.0 },
+    ///     ..PoolConfig::clean(12, 0.8, 3)
+    /// });
+    /// let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 3);
+    /// let mut scheduler =
+    ///     JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+    /// scheduler.submit(ScheduledJob::named(
+    ///     JobKind::SentimentAnalytics, "clocked", demo_questions(8, 2)));
+    /// let report = scheduler.run_clocked(&mut platform).unwrap();
+    /// assert!(report.makespan > 0.0, "simulated time passed");
+    /// assert_eq!(report.fleet.questions, 8);
+    /// ```
+    pub fn run_clocked<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
+        self.check_feasibility()?;
+        let mut clock = SimClock::new();
+        let mut dispatches: Vec<DispatchRecord> = Vec::new();
+        let mut inflight: Vec<ClockedInflight> = Vec::new();
+        let result = self.clocked_loop(platform, &mut clock, &mut dispatches, &mut inflight);
+        // Leases must never leak, even when a collect fails mid-run.
+        for batch in inflight.drain(..) {
+            self.ledger.release(batch.lease);
+        }
+        let ticks = result?;
+        Ok(self.report(ticks, dispatches, clock.now()))
+    }
+
+    /// The discrete-event loop of [`run_clocked`](Self::run_clocked). On error, in-flight
+    /// batches stay in `inflight` for the caller to release.
+    fn clocked_loop<P: CrowdPlatform>(
+        &mut self,
+        platform: &mut P,
+        clock: &mut SimClock,
+        dispatches: &mut Vec<DispatchRecord>,
+        inflight: &mut Vec<ClockedInflight>,
+    ) -> Result<usize> {
+        // Clocked ticks are arrival *events*, not dispatch rounds: a fleet ingests one
+        // worker submission per tick at minimum, so the stall valve must scale with the
+        // fleet's expected submission count or a large-but-progressing run would be
+        // aborted mid-flight. `max_ticks` stays the floor for tiny fleets.
+        let expected_events: usize = self
+            .jobs
+            .iter()
+            .map(|s| {
+                let batches = s.spec.questions.len().div_ceil(s.spec.batch_size).max(1);
+                batches * s.engine.decide_workers().unwrap_or(1)
+            })
+            .sum();
+        let max_ticks = self.config.max_ticks.max(expected_events.saturating_mul(2));
+
+        let mut ticks = 0usize;
+        while self.jobs.iter().any(|j| !j.finished()) || !inflight.is_empty() {
+            ticks += 1;
+            if ticks > max_ticks {
+                return Err(CdasError::SchedulerStalled { ticks });
+            }
+
+            // Phase 1: dispatch at the current simulated time. A job keeps one batch in
+            // flight; everyone else competes for the workers that are free *now* — which
+            // includes workers a mid-flight cancellation released earlier this run.
+            platform.advance_time(clock.now());
+            let busy: BTreeSet<usize> = inflight.iter().map(|b| b.job).collect();
+            for idx in self.dispatch_order(ticks) {
+                if self.jobs[idx].finished() || busy.contains(&idx) {
+                    continue;
+                }
+                if let Some((range, ticket, lease)) =
+                    self.try_dispatch(idx, ticks, clock.now(), platform, dispatches)?
+                {
+                    let collector = self.jobs[idx].engine.begin_clocked(ticket, clock.now());
+                    inflight.push(ClockedInflight {
+                        job: idx,
+                        range,
+                        collector,
+                        lease,
+                    });
+                }
+            }
+
+            if inflight.is_empty() {
+                // Unfinished jobs but nothing in flight and nothing leasable: with every
+                // lease already released this can only be a progress bug.
+                return Err(CdasError::SchedulerStalled { ticks });
+            }
+
+            // Phase 2: advance the clock to the next arrival across all in-flight HITs
+            // and ingest it. Completed batches are finalized immediately and their leases
+            // released, so the next tick's dispatch phase sees the freed workers.
+            let next = inflight
+                .iter()
+                .filter_map(|b| platform.next_arrival(b.collector.hit()))
+                .filter(|t| t.is_finite())
+                .fold(f64::INFINITY, f64::min);
+            let poll_at = if next.is_finite() {
+                clock.advance_to(next)
+            } else {
+                // No future arrivals anywhere: drain whatever is left end-of-time.
+                f64::INFINITY
+            };
+
+            let mut i = 0;
+            while i < inflight.len() {
+                let hit = inflight[i].collector.hit();
+                let cost_before = platform.total_cost();
+                let answers = platform.poll(hit, poll_at);
+                inflight[i]
+                    .collector
+                    .record_charge(platform.total_cost() - cost_before);
+                if poll_at.is_infinite() {
+                    // End-of-time drain (a platform without arrival look-ahead): the
+                    // answers carry their own arrival times, so move the clock to the
+                    // latest one before stamping verdicts and completions with it.
+                    if let Some(last) = answers.last() {
+                        clock.advance_to(last.arrived_at);
+                    }
+                }
+                let terminated =
+                    inflight[i]
+                        .collector
+                        .ingest(&answers, clock.now(), Some(&self.cache))?;
+                let exhausted = platform.next_arrival(hit).is_none();
+                if !(terminated || exhausted) {
+                    i += 1;
+                    continue;
+                }
+                let batch = inflight.remove(i);
+                let receipt = terminated.then(|| platform.cancel(hit, clock.now()));
+                let result = batch
+                    .collector
+                    .finalize(clock.now(), receipt, Some(&self.cache));
+                self.ledger.release(batch.lease);
+                let clocked = result?;
+                let state = &mut self.jobs[batch.job];
+                state.completed_at = state.completed_at.max(clocked.completed_at);
+                state.first_verdict_at = match (state.first_verdict_at, clocked.first_verdict_at) {
+                    (Some(a), Some(b)) => Some(a.min(b)),
+                    (a, b) => a.or(b),
+                };
+                state.reclaimed_minutes += clocked.reclaimed_minutes;
+                state.answers_cancelled += clocked.answers_cancelled;
+                state.runs.push((batch.range, clocked.outcome));
+            }
+        }
+        Ok(ticks)
+    }
+
+    /// Phase-1 dispatch for one job, shared by the unclocked and clocked loops: lease the
+    /// job's workers, slice its next batch, publish to the leased workers, and record the
+    /// dispatch at tick `tick` / simulated time `at`. Returns `None` — after recording
+    /// the wait — when the ledger cannot satisfy the lease right now.
+    fn try_dispatch<P: CrowdPlatform>(
+        &mut self,
+        idx: usize,
+        tick: usize,
+        at: f64,
+        platform: &mut P,
+        dispatches: &mut Vec<DispatchRecord>,
+    ) -> Result<Option<(std::ops::Range<usize>, BatchTicket, LeaseId)>> {
+        let state = &mut self.jobs[idx];
+        let needed = state.engine.decide_workers()?;
+        match self.ledger.try_lease(needed, &mut self.rng) {
+            None => {
+                state.ticks_waited += 1;
+                Ok(None)
+            }
+            Some(lease) => {
+                let end = (state.cursor + state.spec.batch_size).min(state.spec.questions.len());
+                let batch = state.spec.questions[state.cursor..end].to_vec();
+                let ticket = state
+                    .engine
+                    .publish_batch_to(platform, batch, lease.workers())?;
+                dispatches.push(DispatchRecord {
+                    tick,
+                    job: JobId(idx),
+                    hit: ticket.hit,
+                    workers: lease.workers().to_vec(),
+                    at,
+                });
+                state.workers_seen.extend(lease.workers().iter().copied());
+                let range = state.cursor..end;
+                state.cursor = end;
+                Ok(Some((range, ticket, lease.id)))
+            }
+        }
+    }
+
+    /// Up-front feasibility: a demand larger than the whole roster would wait forever.
+    fn check_feasibility(&self) -> Result<()> {
+        for state in &self.jobs {
+            let needed = state.engine.decide_workers()?;
+            if needed > self.ledger.roster_len() {
+                return Err(CdasError::PoolExhausted {
+                    needed,
+                    available: self.ledger.roster_len(),
+                });
+            }
+        }
+        Ok(())
     }
 
     /// Assemble the fleet report from completed job states.
-    fn report(&self, ticks: usize, dispatches: Vec<DispatchRecord>) -> FleetReport {
+    fn report(&self, ticks: usize, dispatches: Vec<DispatchRecord>, makespan: f64) -> FleetReport {
         let jobs: Vec<JobReport> = self
             .jobs
             .iter()
@@ -451,6 +677,10 @@ impl JobScheduler {
                 hits: state.runs.len(),
                 ticks_waited: state.ticks_waited,
                 distinct_workers: state.workers_seen.len(),
+                time_to_first_verdict: state.first_verdict_at,
+                completed_at: state.completed_at,
+                reclaimed_minutes: state.reclaimed_minutes,
+                answers_cancelled: state.answers_cancelled,
             })
             .collect();
         let fleet = score_hits(self.jobs.iter().flat_map(|s| {
@@ -462,6 +692,9 @@ impl JobScheduler {
             jobs,
             fleet,
             ticks,
+            makespan,
+            reclaimed_minutes: self.jobs.iter().map(|s| s.reclaimed_minutes).sum(),
+            answers_cancelled: self.jobs.iter().map(|s| s.answers_cancelled).sum(),
             dispatches,
             registry_size: self.cache.shared().len(),
             cache_hits: self.cache.hits(),
@@ -513,6 +746,113 @@ mod tests {
             SimulatedPlatform::new(pool, CostModel::default(), seed),
             ledger,
         )
+    }
+
+    fn staggered_setup(
+        pool_size: usize,
+        accuracy: f64,
+        seed: u64,
+    ) -> (SimulatedPlatform, PoolLedger) {
+        let pool = WorkerPool::generate(&cdas_crowd::pool::PoolConfig {
+            latency: cdas_crowd::arrival::LatencyModel::Exponential { mean: 5.0 },
+            ..cdas_crowd::pool::PoolConfig::clean(pool_size, accuracy, seed)
+        });
+        let ledger = PoolLedger::from_pool(&pool);
+        (
+            SimulatedPlatform::new(pool, CostModel::default(), seed),
+            ledger,
+        )
+    }
+
+    #[test]
+    fn clocked_run_advances_simulated_time_and_keeps_quality() {
+        let (mut platform, ledger) = staggered_setup(20, 0.8, 9);
+        let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+        for name in ["a", "b"] {
+            scheduler.submit(
+                ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(10, 3))
+                    .with_engine(fixed_engine(7))
+                    .with_batch_size(5),
+            );
+        }
+        let report = scheduler.run_clocked(&mut platform).unwrap();
+        assert_eq!(report.fleet.questions, 20);
+        assert!(report.fleet.accuracy > 0.7);
+        assert!(report.makespan > 0.0, "simulated time passed");
+        assert!(report.questions_per_minute() > 0.0);
+        for job in &report.jobs {
+            assert!(job.completed_at > 0.0);
+            assert!(job.completed_at <= report.makespan + 1e-9);
+            let first = job.time_to_first_verdict.expect("verdicts were produced");
+            assert!(first <= job.completed_at);
+        }
+        // Dispatches carry their simulated time, monotonically within each job.
+        for d in &report.dispatches {
+            assert!(d.at >= 0.0);
+        }
+        let max_at = report.dispatches.iter().map(|d| d.at).fold(0.0, f64::max);
+        assert!(max_at > 0.0, "later batches dispatch later than time zero");
+    }
+
+    #[test]
+    fn clocked_termination_shortens_makespan_and_reclaims_minutes() {
+        // A 9-worker pool and two 7-worker jobs: only one HIT fits in flight, so job B
+        // can only start when job A's batch releases its lease. With early termination
+        // that happens mid-flight — strictly earlier than the batch's natural makespan.
+        let run = |termination: Option<TerminationStrategy>| {
+            let (mut platform, ledger) = staggered_setup(9, 0.9, 33);
+            let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+            for name in ["a", "b"] {
+                scheduler.submit(
+                    ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(6, 3))
+                        .with_engine(EngineConfig {
+                            termination,
+                            ..fixed_engine(7)
+                        })
+                        .with_batch_size(9),
+                );
+            }
+            let report = scheduler.run_clocked(&mut platform).unwrap();
+            let platform_cost = platform.total_cost();
+            (report, platform_cost)
+        };
+        use cdas_core::online::TerminationStrategy;
+        let (baseline, baseline_cost) = run(None);
+        let (early, early_cost) = run(Some(TerminationStrategy::ExpMax));
+        assert_eq!(baseline.reclaimed_minutes, 0.0);
+        assert!(early.reclaimed_minutes > 0.0, "leases came back mid-flight");
+        assert!(early.answers_cancelled > 0);
+        assert!(
+            early.makespan < baseline.makespan,
+            "termination makespan {} must beat the end-of-time {}",
+            early.makespan,
+            baseline.makespan
+        );
+        assert!(early.fleet.cost < baseline.fleet.cost, "real savings");
+        // Engine-side accounting agrees with the platform ledger in both modes.
+        assert!((early.fleet.cost - early_cost).abs() < 1e-9);
+        assert!((baseline.fleet.cost - baseline_cost).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clocked_runs_are_deterministic_for_a_seed() {
+        let run = || {
+            let (mut platform, ledger) = staggered_setup(25, 0.8, 11);
+            let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+            for name in ["x", "y"] {
+                scheduler.submit(
+                    ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(8, 2))
+                        .with_engine(fixed_engine(7))
+                        .with_batch_size(5),
+                );
+            }
+            scheduler.run_clocked(&mut platform).unwrap()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.dispatches, b.dispatches);
+        assert_eq!(a.fleet, b.fleet);
+        assert_eq!(a.makespan, b.makespan);
     }
 
     #[test]

@@ -1,0 +1,168 @@
+//! Integration test for the clocked fleet (§4.2 at scale): a discrete-event scheduler run
+//! in which early termination cancels HITs mid-flight, releases their worker leases back
+//! to the shared pool while slower workers are still out, and a second job picks those
+//! workers up — finishing the whole fleet strictly earlier than the end-of-time baseline,
+//! with engine-side accounting equal to the platform's ledger in both modes.
+
+use cdas::core::economics::CostModel;
+use cdas::core::online::TerminationStrategy;
+use cdas::crowd::arrival::LatencyModel;
+use cdas::crowd::lease::PoolLedger;
+use cdas::crowd::pool::{PoolConfig, WorkerPool};
+use cdas::engine::engine::WorkerCountPolicy;
+use cdas::engine::job_manager::JobKind;
+use cdas::engine::scheduler::demo_questions;
+use cdas::prelude::*;
+
+const SEED: u64 = 2012;
+
+/// A 9-worker pool with asynchronous (exponential) completion times: two 7-worker jobs
+/// can never be in flight at once, so the second job's start time is exactly the first
+/// job's lease-release time.
+fn setup() -> (SimulatedPlatform, PoolLedger) {
+    let pool = WorkerPool::generate(&PoolConfig {
+        latency: LatencyModel::Exponential { mean: 5.0 },
+        ..PoolConfig::clean(9, 0.9, SEED)
+    });
+    let ledger = PoolLedger::from_pool(&pool);
+    (
+        SimulatedPlatform::new(pool, CostModel::default(), SEED),
+        ledger,
+    )
+}
+
+fn engine(termination: Option<TerminationStrategy>) -> EngineConfig {
+    EngineConfig {
+        workers: WorkerCountPolicy::Fixed(7),
+        verification: VerificationStrategy::Probabilistic,
+        termination,
+        domain_size: Some(3),
+        ..EngineConfig::default()
+    }
+}
+
+fn run(termination: Option<TerminationStrategy>) -> (FleetReport, f64) {
+    let (mut platform, ledger) = setup();
+    let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+    for name in ["first", "second"] {
+        scheduler.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(6, 3))
+                .with_engine(engine(termination))
+                .with_batch_size(9),
+        );
+    }
+    let report = scheduler.run_clocked(&mut platform).unwrap();
+    (report, platform.total_cost())
+}
+
+#[test]
+fn early_termination_releases_leases_mid_flight_for_the_next_job() {
+    let (baseline, baseline_platform_cost) = run(None);
+    let (early, early_platform_cost) = run(Some(TerminationStrategy::ExpMax));
+
+    // The baseline fleet polls to the end of time: nothing is cancelled, nothing
+    // reclaimed, and engine cost equals platform cost trivially.
+    assert_eq!(baseline.answers_cancelled, 0);
+    assert_eq!(baseline.reclaimed_minutes, 0.0);
+    assert!(
+        (baseline.fleet.cost - baseline_platform_cost).abs() < 1e-9,
+        "baseline engine cost {} != platform cost {}",
+        baseline.fleet.cost,
+        baseline_platform_cost
+    );
+
+    // The clocked fleet cancelled mid-flight: assignments were cut off before delivery
+    // and their workers' remaining minutes went back to the pool.
+    assert!(early.answers_cancelled > 0, "no assignment was cancelled");
+    assert!(
+        early.reclaimed_minutes > 0.0,
+        "cancellation reclaimed no worker-minutes"
+    );
+    // Engine-side accounting equals the platform ledger *under termination* — the
+    // terminated-HIT cost divergence stays fixed at fleet scale.
+    assert!(
+        (early.fleet.cost - early_platform_cost).abs() < 1e-9,
+        "early engine cost {} != platform cost {}",
+        early.fleet.cost,
+        early_platform_cost
+    );
+    assert!(
+        early.fleet.cost < baseline.fleet.cost,
+        "mid-flight cancellation must cost less than full collection"
+    );
+
+    // Makespan strictly below the end-of-time baseline: the fleet finished while the
+    // baseline's slowest workers would still have been typing.
+    assert!(
+        early.makespan < baseline.makespan,
+        "clocked makespan {} is not below the end-of-time baseline {}",
+        early.makespan,
+        baseline.makespan
+    );
+
+    // The second job genuinely *reused* workers released mid-flight. With a 9-worker
+    // roster and 7-worker HITs, consecutive dispatches must share workers; the important
+    // part is WHEN the handover happened: the second job's first dispatch sits strictly
+    // before the baseline's, i.e. before the first job's batch would have drained
+    // naturally.
+    let first_dispatch_of = |report: &FleetReport, job: usize| {
+        report
+            .dispatches
+            .iter()
+            .find(|d| d.job == JobId(job))
+            .expect("both jobs dispatched")
+            .clone()
+    };
+    let early_handover = first_dispatch_of(&early, 1);
+    let baseline_handover = first_dispatch_of(&baseline, 1);
+    assert!(
+        early_handover.at < baseline_handover.at,
+        "the second job started at {} but the baseline handover was already at {}",
+        early_handover.at,
+        baseline_handover.at
+    );
+    let predecessor = first_dispatch_of(&early, 0);
+    let reused = early_handover
+        .workers
+        .iter()
+        .filter(|w| predecessor.workers.contains(w))
+        .count();
+    assert!(
+        reused > 0,
+        "the second job's lease shares no worker with the cancelled HIT"
+    );
+    // And the handover is mid-flight in a literal sense: the first job's batch completed
+    // (and released its lease) at the moment the second job dispatched.
+    let first_job = &early.jobs[0];
+    assert!(first_job.reclaimed_minutes > 0.0);
+    assert!(early_handover.at >= predecessor.at);
+
+    // Quality does not collapse for either fleet.
+    assert!(
+        early.fleet.accuracy > 0.7,
+        "accuracy {}",
+        early.fleet.accuracy
+    );
+    assert!(baseline.fleet.accuracy > 0.7);
+
+    // Temporal bookkeeping is coherent: per-job completion times bound the makespan and
+    // first verdicts precede completions.
+    for report in [&early, &baseline] {
+        for job in &report.jobs {
+            assert!(job.completed_at <= report.makespan + 1e-9);
+            let first = job.time_to_first_verdict.expect("verdicts exist");
+            assert!(first <= job.completed_at + 1e-9);
+        }
+    }
+}
+
+#[test]
+fn clocked_fleet_is_deterministic_end_to_end() {
+    let a = run(Some(TerminationStrategy::ExpMax));
+    let b = run(Some(TerminationStrategy::ExpMax));
+    assert_eq!(a.0.dispatches, b.0.dispatches);
+    assert_eq!(a.0.fleet, b.0.fleet);
+    assert_eq!(a.0.makespan, b.0.makespan);
+    assert_eq!(a.0.reclaimed_minutes, b.0.reclaimed_minutes);
+    assert_eq!(a.1, b.1);
+}

@@ -46,7 +46,7 @@ fn platform_delivers_exactly_assignments_times_questions() {
 }
 
 #[test]
-fn engine_charges_full_price_offline_and_less_with_early_termination() {
+fn engine_cost_always_equals_platform_cost_and_clocked_termination_saves() {
     let offline_engine = CrowdsourcingEngine::new(EngineConfig {
         workers: WorkerCountPolicy::Fixed(15),
         verification: VerificationStrategy::Probabilistic,
@@ -61,19 +61,47 @@ fn engine_charges_full_price_offline_and_less_with_early_termination() {
         domain_size: Some(3),
         ..EngineConfig::default()
     });
+
+    // End-of-time collection polls every answer before verifying, so both modes pay the
+    // full price — and, contract: `HitOutcome::cost` is exactly what the platform charged.
+    // (The engine used to re-price terminated HITs at the consumed fraction, which made
+    // its accounting diverge from `platform.total_cost()`.)
+    let mut p_offline = platform(0.85, 3);
     let offline = offline_engine
-        .run_hit(&mut platform(0.85, 3), questions(10))
+        .run_hit(&mut p_offline, questions(10))
         .unwrap();
-    let online = online_engine
-        .run_hit(&mut platform(0.85, 3), questions(10))
-        .unwrap();
+    let mut p_online = platform(0.85, 3);
+    let online = online_engine.run_hit(&mut p_online, questions(10)).unwrap();
     let full_price = CostModel::default().hit_cost(15);
     assert!((offline.cost - full_price).abs() < 1e-9);
+    assert!((offline.cost - p_offline.total_cost()).abs() < 1e-9);
+    assert!((online.cost - full_price).abs() < 1e-9);
+    assert!((online.cost - p_online.total_cost()).abs() < 1e-9);
+    assert!(online.mean_answers_used() < 15.0, "termination still fired");
+
+    // Real savings need real time: the clocked path polls up to the termination instant
+    // and cancels mid-flight, so undelivered assignments are never charged. Workers must
+    // finish asynchronously for that to matter (a constant-latency pool delivers every
+    // answer in one event).
+    let pool = WorkerPool::generate(&cdas::crowd::pool::PoolConfig {
+        latency: cdas::crowd::arrival::LatencyModel::Exponential { mean: 5.0 },
+        ..cdas::crowd::pool::PoolConfig::clean(100, 0.85, 3)
+    });
+    let mut p_clocked = SimulatedPlatform::new(pool, CostModel::default(), 3);
+    let mut clock = cdas::crowd::clock::SimClock::new();
+    let ticket = online_engine
+        .publish_batch(&mut p_clocked, questions(10))
+        .unwrap();
+    let clocked = online_engine
+        .collect_batch_clocked(&mut p_clocked, ticket, &mut clock)
+        .unwrap();
+    assert!(clocked.cancelled, "the HIT was cancelled mid-flight");
     assert!(
-        online.cost < offline.cost,
-        "early termination must save money"
+        clocked.outcome.cost < full_price,
+        "early termination must save money when collection is clocked"
     );
-    assert!(online.mean_answers_used() < 15.0);
+    assert!((clocked.outcome.cost - p_clocked.total_cost()).abs() < 1e-9);
+    assert!(clocked.reclaimed_minutes > 0.0);
 }
 
 #[test]

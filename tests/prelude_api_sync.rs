@@ -101,6 +101,18 @@ fn prelude_scheduler_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_clocked_types_match_their_canonical_definitions() {
+    // The clocked-crowd surface (PR 3): the simulation clock and cancel receipt live in
+    // crowd, the discrete-event collector in engine.
+    same_type::<prelude::SimClock, cdas::crowd::clock::SimClock>("SimClock");
+    same_type::<prelude::CancelReceipt, cdas::crowd::platform::CancelReceipt>("CancelReceipt");
+    same_type::<prelude::ClockedCollector, cdas::engine::clocked::ClockedCollector>(
+        "ClockedCollector",
+    );
+    same_type::<prelude::ClockedOutcome, cdas::engine::clocked::ClockedOutcome>("ClockedOutcome");
+}
+
+#[test]
 fn prelude_traits_match_their_canonical_definitions() {
     // The canonical implementors must satisfy the *prelude-named* traits: this
     // fails to compile if prelude::Verifier / prelude::CrowdPlatform ever stop
