@@ -1,0 +1,124 @@
+//! Criterion benchmark for the parallel fleet: `JobScheduler::run_parallel` at 1/2/4/8
+//! shards against the sequential `run_clocked` baseline on one fleet workload (16 jobs ×
+//! 28 questions over a 64-worker crowd).
+//!
+//! Two effects compose. On a multi-core host, shards genuinely run concurrently. And
+//! even on one core, sharding wins wall-clock: every arrival event of the sequential
+//! loop scans *all* in-flight batches (poll + termination checks), so splitting J jobs
+//! into S independent loops cuts the per-event scan by S — the speedup curve this bench
+//! records is real work avoided, not just parallel hardware.
+//!
+//! Besides the criterion timings, the bench prints a one-line speedup table
+//! (`parallel_speedup` = shard CPU-time sum over slowest shard, and the measured
+//! end-to-end wall-clock ratio against `run_clocked`).
+
+use std::time::Instant;
+
+use cdas_core::economics::CostModel;
+use cdas_crowd::arrival::LatencyModel;
+use cdas_crowd::lease::PoolLedger;
+use cdas_crowd::pool::{PoolConfig, WorkerPool};
+use cdas_crowd::sharded::ShardedPlatform;
+use cdas_crowd::SimulatedPlatform;
+use cdas_engine::engine::{EngineConfig, WorkerCountPolicy};
+use cdas_engine::job_manager::JobKind;
+use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+const SEED: u64 = 42;
+const POOL: usize = 64;
+const JOBS: usize = 16;
+const WORKERS_PER_HIT: usize = 7;
+
+fn pool() -> WorkerPool {
+    WorkerPool::generate(&PoolConfig {
+        latency: LatencyModel::Exponential { mean: 5.0 },
+        ..PoolConfig::clean(POOL, 0.85, SEED)
+    })
+}
+
+fn fleet_scheduler() -> JobScheduler {
+    let mut scheduler =
+        JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool()));
+    for i in 0..JOBS {
+        scheduler.submit(
+            ScheduledJob::named(
+                JobKind::SentimentAnalytics,
+                format!("job-{i}"),
+                demo_questions(24, 4),
+            )
+            .with_engine(EngineConfig {
+                workers: WorkerCountPolicy::Fixed(WORKERS_PER_HIT),
+                domain_size: Some(3),
+                ..EngineConfig::default()
+            })
+            .with_batch_size(7),
+        );
+    }
+    scheduler
+}
+
+fn run_sequential() -> f64 {
+    let mut platform = SimulatedPlatform::new(pool(), CostModel::default(), SEED);
+    let mut scheduler = fleet_scheduler();
+    scheduler.run_clocked(&mut platform).unwrap().fleet.accuracy
+}
+
+fn run_sharded(shards: usize) -> f64 {
+    let mut platform = ShardedPlatform::split(&pool(), CostModel::default(), SEED, shards);
+    let mut scheduler = fleet_scheduler();
+    scheduler
+        .run_parallel(&mut platform)
+        .unwrap()
+        .fleet
+        .accuracy
+}
+
+fn bench_parallel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("parallel_fleet");
+    group.sample_size(10);
+
+    group.bench_function("run_clocked_baseline", |b| {
+        b.iter(|| black_box(run_sequential()))
+    });
+    for shards in [1usize, 2, 4, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("run_parallel", shards),
+            &shards,
+            |b, &shards| b.iter(|| black_box(run_sharded(shards))),
+        );
+    }
+    group.finish();
+
+    // The headline numbers: end-to-end wall-clock per shard count vs the sequential
+    // baseline, plus the report's own shard-time speedup stat. Medians over a few runs
+    // keep the table stable enough to read trends from.
+    let time = |f: &dyn Fn() -> f64| {
+        let mut samples: Vec<f64> = (0..5)
+            .map(|_| {
+                let start = Instant::now();
+                black_box(f());
+                start.elapsed().as_secs_f64()
+            })
+            .collect();
+        samples.sort_by(f64::total_cmp);
+        samples[samples.len() / 2]
+    };
+    let baseline = time(&run_sequential);
+    println!(
+        "parallel fleet ({JOBS} jobs, {POOL} workers): run_clocked {:.2}ms",
+        baseline * 1e3
+    );
+    for shards in [1usize, 2, 4, 8] {
+        let elapsed = time(&move || run_sharded(shards));
+        println!(
+            "  run_parallel x{shards}: {:.2}ms  ({:.2}x vs run_clocked)",
+            elapsed * 1e3,
+            baseline / elapsed
+        );
+    }
+}
+
+criterion_group!(benches, bench_parallel);
+criterion_main!(benches);

@@ -36,11 +36,12 @@ pub mod prelude {
     pub use cdas_crowd::clock::SimClock;
     pub use cdas_crowd::lease::{LeaseId, PoolLedger, WorkerLease};
     pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    pub use cdas_crowd::sharded::{PlatformShard, ShardedPlatform};
     pub use cdas_crowd::{CancelReceipt, CrowdPlatform, SimulatedPlatform};
     pub use cdas_engine::apps::{ImageTaggingApp, ItConfig, TsaApp, TsaConfig};
     pub use cdas_engine::clocked::{ClockedCollector, ClockedOutcome};
     pub use cdas_engine::job_manager::{AnalyticsJob, JobKind, JobManager};
-    pub use cdas_engine::metrics::{FleetReport, JobReport};
+    pub use cdas_engine::metrics::{FleetReport, JobReport, ShardReport};
     pub use cdas_engine::scheduler::{
         DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
     };

@@ -135,6 +135,11 @@ impl AccuracyRegistry {
         self.stats().ok().map(|s| s.mean)
     }
 
+    /// The configured fallback accuracy for unknown workers, if any.
+    pub fn default_accuracy(&self) -> Option<f64> {
+        self.default_accuracy
+    }
+
     /// Number of workers with an estimate.
     pub fn len(&self) -> usize {
         self.entries.len()

@@ -47,6 +47,20 @@ pub enum CdasError {
         /// Human-readable name of the quantity.
         what: &'static str,
     },
+    /// The prediction model's worker estimate is astronomically large — the required
+    /// accuracy is so close to 1 (or the mean worker accuracy so close to ½) that the
+    /// Chernoff bound demands more workers than any HIT could ever be assigned. The
+    /// inputs are *individually* valid, which is why this is a separate variant: the
+    /// combination is what cannot be served.
+    WorkerEstimateOverflow {
+        /// The required accuracy `C` that produced the estimate.
+        required: f64,
+        /// The mean worker accuracy `μ` that produced the estimate.
+        mu: f64,
+        /// The conservative upper bound that overflowed the refinement's search range
+        /// (saturated at `u64::MAX` when it exceeds even that).
+        upper: u64,
+    },
     /// A job demands more concurrent workers than the shared pool roster can ever supply,
     /// so scheduling it would wait forever.
     PoolExhausted {
@@ -90,6 +104,11 @@ impl fmt::Display for CdasError {
                 write!(f, "sampling rate must lie in (0, 1], got {rate}")
             }
             CdasError::NonPositive { what } => write!(f, "{what} must be positive"),
+            CdasError::WorkerEstimateOverflow { required, mu, upper } => write!(
+                f,
+                "worker estimate overflowed: required accuracy {required} with mean worker \
+                 accuracy {mu} needs ~{upper} workers, beyond any dispatchable HIT"
+            ),
             CdasError::PoolExhausted { needed, available } => write!(
                 f,
                 "job needs {needed} concurrent workers but the shared pool roster only has {available}"
@@ -126,6 +145,13 @@ mod tests {
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
         let e = CdasError::SchedulerStalled { ticks: 17 };
         assert!(e.to_string().contains("17"));
+        let e = CdasError::WorkerEstimateOverflow {
+            required: 0.99,
+            mu: 0.5000000001,
+            upper: u64::MAX,
+        };
+        assert!(e.to_string().contains("0.99"));
+        assert!(e.to_string().contains("workers"));
     }
 
     #[test]

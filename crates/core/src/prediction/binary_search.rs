@@ -6,14 +6,35 @@
 //! `[1, conservative_estimate]`, typically cutting the worker count by more than half
 //! (Figure 6).
 
-use crate::error::Result;
+use crate::error::{CdasError, Result};
 use crate::prediction::binomial::expected_majority_probability;
 use crate::prediction::conservative::conservative_worker_estimate;
 
+/// Largest conservative upper bound the refinement will search below. Each probe of the
+/// binary search evaluates the exact binomial expectation, which is O(n) in the worker
+/// count, so an upper bound beyond this is not refinable in any reasonable time — and no
+/// real platform could assign a million workers to one HIT anyway.
+pub const MAX_REFINABLE_WORKERS: u64 = 1 << 20;
+
 /// Minimum odd number of workers whose exact expected majority accuracy reaches `c`,
 /// found by binary search over odd values in `[1, conservative_estimate]` (Algorithm 2).
+///
+/// Errors (like the conservative bound) on invalid `c` or `mu`, and additionally with
+/// [`CdasError::WorkerEstimateOverflow`] when the two are individually valid but their
+/// combination demands more than [`MAX_REFINABLE_WORKERS`] workers — e.g. a mean accuracy
+/// barely above ½. The estimate used to be fed straight into the search, whose first
+/// probe materializes one binomial term per worker: a degenerate-but-valid input such as
+/// `(c, mu) = (0.99, 0.5 + 1e-10)` panicked the library with a `Vec` capacity overflow
+/// instead of returning an error.
 pub fn refined_worker_estimate(c: f64, mu: f64) -> Result<u64> {
     let upper = conservative_worker_estimate(c, mu)?;
+    if upper > MAX_REFINABLE_WORKERS {
+        return Err(CdasError::WorkerEstimateOverflow {
+            required: c,
+            mu,
+            upper,
+        });
+    }
     Ok(binary_search_odd(c, mu, upper))
 }
 
@@ -139,6 +160,30 @@ mod tests {
     fn propagates_input_validation() {
         assert!(refined_worker_estimate(1.0, 0.7).is_err());
         assert!(refined_worker_estimate(0.9, 0.5).is_err());
+    }
+
+    #[test]
+    fn degenerate_but_valid_inputs_error_instead_of_panicking() {
+        // Regression: both inputs pass validation individually (c ∈ [0, 1), μ ∈ (0.5, 1)),
+        // but the conservative bound −ln(1−C)/(2(μ−½)²) explodes to ~2·10²⁰ and saturates
+        // to u64::MAX. The binary search's first probe then tried to materialize one
+        // binomial log-term per worker — a ~10¹⁹-element Vec, i.e. a capacity-overflow
+        // panic on the library path. The estimate must come back as an error the engine
+        // can surface to the requester.
+        let worst = refined_worker_estimate(0.99, 0.5 + 1e-10);
+        match worst {
+            Err(crate::error::CdasError::WorkerEstimateOverflow { upper, .. }) => {
+                assert!(upper > MAX_REFINABLE_WORKERS);
+            }
+            other => panic!("expected WorkerEstimateOverflow, got {other:?}"),
+        }
+        // A merely-large-but-refinable bound still succeeds…
+        assert!(refined_worker_estimate(0.99, 0.52).is_ok());
+        // …and the overflow error also fires for a requirement pushed toward 1.
+        assert!(matches!(
+            refined_worker_estimate(1.0 - 1e-16, 0.500001),
+            Err(crate::error::CdasError::WorkerEstimateOverflow { .. })
+        ));
     }
 }
 

@@ -7,14 +7,26 @@
 //! other job. This module provides the two pieces the multi-job scheduler
 //! (`cdas_engine::scheduler`) builds on:
 //!
-//! * [`SharedAccuracyRegistry`] — a cheaply clonable, generation-counted handle to one
-//!   [`AccuracyRegistry`] shared by every job. Jobs [`absorb`](SharedAccuracyRegistry::absorb)
-//!   the estimates each HIT produces; absorbing merges per worker, weighting by the number
-//!   of gold questions behind each estimate.
+//! * [`SharedAccuracyRegistry`] — a cheaply clonable, generation-counted, **thread-safe**
+//!   handle to one logical [`AccuracyRegistry`] shared by every job. Jobs
+//!   [`absorb`](SharedAccuracyRegistry::absorb) the estimates each HIT produces; absorbing
+//!   merges per worker, weighting by the number of gold questions behind each estimate.
+//!   Internally the registry is **lock-striped**: entries are spread over
+//!   [`STRIPES`] independently locked buckets keyed by worker id, so shard threads of a
+//!   parallel fleet ([`run_parallel`]) writing estimates for *different* workers never
+//!   contend on one global lock. Per-worker merges stay atomic (a worker's estimates live
+//!   in exactly one stripe), and because the sample-weighted merge pools per worker, the
+//!   final contents are independent of the interleaving of writers — absorbing the same
+//!   per-worker estimate sequences in any thread order converges to the same registry.
 //! * [`AccuracyCache`] — a small read-through cache in front of the shared registry. The
 //!   verification hot loop asks for a registry snapshot once per HIT batch; the cache
 //!   re-serves the previous snapshot for as long as the shared generation has not moved,
-//!   mirroring the shared-cache discipline of multi-tenant dispatch loops.
+//!   mirroring the shared-cache discipline of multi-tenant dispatch loops. The cache is
+//!   deliberately *not* `Sync` — each shard thread owns its own cache over the same shared
+//!   registry, which is exactly the per-core-cache / shared-store split of a sharded
+//!   storage server.
+//!
+//! [`run_parallel`]: ../../cdas_engine/scheduler/struct.JobScheduler.html#method.run_parallel
 //!
 //! ```
 //! use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
@@ -31,6 +43,7 @@
 //! ```
 
 use std::cell::{Cell, RefCell};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, RwLock};
 
 use crate::accuracy::AccuracyRegistry;
@@ -39,20 +52,53 @@ use crate::types::WorkerId;
 /// Generation value meaning "no snapshot taken yet".
 const NEVER: u64 = u64::MAX;
 
-#[derive(Debug, Default)]
-struct SharedState {
-    registry: AccuracyRegistry,
-    generation: u64,
+/// Number of independently locked buckets the shared registry spreads workers over.
+///
+/// Sixteen stripes keeps contention negligible for any plausible shard count (a parallel
+/// fleet runs one thread per platform shard, and shards own disjoint worker partitions —
+/// two threads only ever meet on a stripe, never on a worker).
+pub const STRIPES: usize = 16;
+
+#[derive(Debug)]
+struct StripedState {
+    /// The buckets; a worker's entry lives in stripe `worker.0 % STRIPES`.
+    stripes: Vec<RwLock<AccuracyRegistry>>,
+    /// Fallback accuracy carried by a seeded registry ([`SharedAccuracyRegistry::with_registry`]),
+    /// preserved so snapshots round-trip the whole [`AccuracyRegistry`] — entries *and*
+    /// default — exactly like the pre-striping implementation's full clone did.
+    default_accuracy: RwLock<Option<f64>>,
+    /// Global write generation, bumped after any stripe changes. Monotone, so a cache
+    /// that re-reads an unchanged generation may safely keep serving its snapshot.
+    generation: AtomicU64,
 }
 
-/// A cheaply clonable handle to one [`AccuracyRegistry`] shared across jobs.
+impl Default for StripedState {
+    fn default() -> Self {
+        StripedState {
+            stripes: (0..STRIPES).map(|_| RwLock::default()).collect(),
+            default_accuracy: RwLock::new(None),
+            generation: AtomicU64::new(0),
+        }
+    }
+}
+
+/// A cheaply clonable, thread-safe handle to one logical [`AccuracyRegistry`] shared
+/// across jobs — and, in a parallel fleet, across shard threads.
 ///
 /// Every clone refers to the same underlying registry; writes through any handle are
-/// visible to all. A monotonically increasing *generation* is bumped on every write, which
-/// lets read-side caches ([`AccuracyCache`]) detect staleness without diffing registries.
+/// visible to all. Entries are lock-striped by worker id ([`STRIPES`] buckets), so writers
+/// touching different workers rarely share a lock and per-worker merges remain atomic. A
+/// monotonically increasing *generation* is bumped on every write that changed an entry,
+/// which lets read-side caches ([`AccuracyCache`]) detect staleness without diffing
+/// registries.
 #[derive(Debug, Clone, Default)]
 pub struct SharedAccuracyRegistry {
-    inner: Arc<RwLock<SharedState>>,
+    inner: Arc<StripedState>,
+}
+
+/// Index of the stripe a worker's estimate lives in.
+fn stripe_of(worker: WorkerId) -> usize {
+    (worker.0 % STRIPES as u64) as usize
 }
 
 impl SharedAccuracyRegistry {
@@ -62,29 +108,54 @@ impl SharedAccuracyRegistry {
     }
 
     /// A shared registry seeded with existing estimates (e.g. from a previous fleet run).
+    /// The seed's configured default accuracy, if any, is carried along and re-applied to
+    /// every [`snapshot`](Self::snapshot).
     pub fn with_registry(registry: AccuracyRegistry) -> Self {
-        SharedAccuracyRegistry {
-            inner: Arc::new(RwLock::new(SharedState {
-                registry,
-                generation: 0,
-            })),
+        let shared = Self::new();
+        *shared
+            .inner
+            .default_accuracy
+            .write()
+            .expect("shared accuracy registry default poisoned") = registry.default_accuracy();
+        for (&worker, entry) in registry.iter() {
+            let mut stripe = shared.write_stripe(stripe_of(worker));
+            stripe.set(worker, entry.accuracy, entry.samples);
         }
+        shared
     }
 
-    fn read<T>(&self, f: impl FnOnce(&SharedState) -> T) -> T {
-        f(&self
+    fn default_accuracy(&self) -> Option<f64> {
+        *self
             .inner
+            .default_accuracy
             .read()
-            .expect("shared accuracy registry poisoned"))
+            .expect("shared accuracy registry default poisoned")
+    }
+
+    fn read_stripe(&self, i: usize) -> std::sync::RwLockReadGuard<'_, AccuracyRegistry> {
+        self.inner.stripes[i]
+            .read()
+            .expect("shared accuracy registry stripe poisoned")
+    }
+
+    fn write_stripe(&self, i: usize) -> std::sync::RwLockWriteGuard<'_, AccuracyRegistry> {
+        self.inner.stripes[i]
+            .write()
+            .expect("shared accuracy registry stripe poisoned")
     }
 
     /// Record (or merge) a single worker estimate backed by `samples` gold questions.
     ///
-    /// Merging follows the same policy as [`absorb`](Self::absorb).
+    /// Merging follows the same policy as [`absorb`](Self::absorb), but only the worker's
+    /// own stripe is locked — this is the hot write of the clocked ingestion path.
     pub fn record(&self, worker: WorkerId, accuracy: f64, samples: usize) {
-        let mut single = AccuracyRegistry::new();
-        single.set(worker, accuracy, samples);
-        self.absorb(&single);
+        let changed = {
+            let mut stripe = self.write_stripe(stripe_of(worker));
+            merge_entry(&mut stripe, worker, accuracy, samples)
+        };
+        if changed {
+            self.inner.generation.fetch_add(1, Ordering::AcqRel);
+        }
     }
 
     /// Merge a batch of estimates (typically one HIT's gold-sampling output) into the
@@ -94,71 +165,127 @@ impl SharedAccuracyRegistry {
     /// questions and a new one backed by `s₂` combine into the sample-weighted mean backed
     /// by `s₁ + s₂`. Injected estimates (`samples == 0`, e.g. a simulation oracle) never
     /// displace sampled ones; among injected estimates the latest wins.
+    ///
+    /// Stripes are locked one at a time (never nested), so concurrent absorbs from shard
+    /// threads cannot deadlock; each worker's merge is atomic under its stripe lock.
     pub fn absorb(&self, estimates: &AccuracyRegistry) -> usize {
         if estimates.is_empty() {
             return 0;
         }
-        let mut state = self
-            .inner
-            .write()
-            .expect("shared accuracy registry poisoned");
         let mut changed = 0usize;
         for (&worker, incoming) in estimates.iter() {
-            let merged = match state.registry.get(worker) {
-                None => Some((incoming.accuracy, incoming.samples)),
-                Some(current) => {
-                    let total = current.samples + incoming.samples;
-                    if incoming.samples == 0 && current.samples > 0 {
-                        None // a sampled estimate outranks an injected one
-                    } else if total == 0 {
-                        Some((incoming.accuracy, 0)) // both injected: latest wins
-                    } else {
-                        let pooled = (current.accuracy * current.samples as f64
-                            + incoming.accuracy * incoming.samples as f64)
-                            / total as f64;
-                        Some((pooled, total))
-                    }
-                }
-            };
-            if let Some((accuracy, samples)) = merged {
-                state.registry.set(worker, accuracy, samples);
+            let mut stripe = self.write_stripe(stripe_of(worker));
+            if merge_entry(&mut stripe, worker, incoming.accuracy, incoming.samples) {
                 changed += 1;
             }
         }
         if changed > 0 {
-            state.generation += 1;
+            self.inner.generation.fetch_add(1, Ordering::AcqRel);
         }
         changed
     }
 
     /// The current write generation (bumped on every mutating call that changed an entry).
     pub fn generation(&self) -> u64 {
-        self.read(|s| s.generation)
+        self.inner.generation.load(Ordering::Acquire)
     }
 
-    /// An owned copy of the current registry contents.
+    /// An owned copy of the current registry contents, merged across all stripes.
+    ///
+    /// Stripes are copied one at a time; under concurrent writers the snapshot is a
+    /// consistent view of each *stripe*, not a global atomic cut — the registry's merge
+    /// converges regardless of interleaving, so a slightly torn read only means a
+    /// slightly staler estimate, and the generation counter makes any missed write show
+    /// up as staleness at the next cache refresh.
     pub fn snapshot(&self) -> AccuracyRegistry {
-        self.read(|s| s.registry.clone())
+        let mut merged = AccuracyRegistry::new();
+        if let Some(default) = self.default_accuracy() {
+            merged = merged.with_default_accuracy(default);
+        }
+        for i in 0..STRIPES {
+            let stripe = self.read_stripe(i);
+            for (&worker, entry) in stripe.iter() {
+                merged.set(worker, entry.accuracy, entry.samples);
+            }
+        }
+        merged
     }
 
     /// Number of workers with an estimate.
     pub fn len(&self) -> usize {
-        self.read(|s| s.registry.len())
+        (0..STRIPES).map(|i| self.read_stripe(i).len()).sum()
     }
 
     /// Whether no worker has an estimate yet.
     pub fn is_empty(&self) -> bool {
-        self.read(|s| s.registry.is_empty())
+        (0..STRIPES).all(|i| self.read_stripe(i).is_empty())
     }
 
-    /// The population mean `μ` over all shared estimates.
+    /// The population mean `μ` over all shared estimates, falling back to the seeded
+    /// default accuracy when no worker has an estimate yet (mirroring
+    /// [`AccuracyRegistry::mean_accuracy`]).
     pub fn mean_accuracy(&self) -> Option<f64> {
-        self.read(|s| s.registry.mean_accuracy())
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for i in 0..STRIPES {
+            let stripe = self.read_stripe(i);
+            for (_, entry) in stripe.iter() {
+                sum += entry.accuracy;
+                count += 1;
+            }
+        }
+        if count > 0 {
+            Some(sum / count as f64)
+        } else {
+            self.default_accuracy()
+        }
     }
 
-    /// A worker's current shared estimate, if any.
+    /// A worker's current shared estimate, if any. Locks only the worker's stripe.
     pub fn accuracy_of(&self, worker: WorkerId) -> Option<f64> {
-        self.read(|s| s.registry.get(worker).map(|e| e.accuracy))
+        self.read_stripe(stripe_of(worker))
+            .get(worker)
+            .map(|e| e.accuracy)
+    }
+}
+
+/// The per-worker merge policy (see [`SharedAccuracyRegistry::absorb`]), applied to one
+/// stripe under its write lock. Returns whether the entry changed.
+///
+/// The incoming accuracy is normalized *before* pooling, exactly as the pre-striping
+/// implementation did by routing every write through [`AccuracyRegistry::set`]: a NaN
+/// becomes 0.5 and out-of-range values clamp into (0, 1), so a degenerate input shifts
+/// the sample-weighted mean by at most its own weight instead of poisoning (NaN) or
+/// inflating (>1) the worker's whole pooled history.
+fn merge_entry(
+    stripe: &mut AccuracyRegistry,
+    worker: WorkerId,
+    accuracy: f64,
+    samples: usize,
+) -> bool {
+    let accuracy = crate::math::clamp_probability(accuracy);
+    let merged = match stripe.get(worker) {
+        None => Some((accuracy, samples)),
+        Some(current) => {
+            let total = current.samples + samples;
+            if samples == 0 && current.samples > 0 {
+                None // a sampled estimate outranks an injected one
+            } else if total == 0 {
+                Some((accuracy, 0)) // both injected: latest wins
+            } else {
+                let pooled = (current.accuracy * current.samples as f64
+                    + accuracy * samples as f64)
+                    / total as f64;
+                Some((pooled, total))
+            }
+        }
+    };
+    match merged {
+        Some((accuracy, samples)) => {
+            stripe.set(worker, accuracy, samples);
+            true
+        }
+        None => false,
     }
 }
 
@@ -321,5 +448,148 @@ mod tests {
         let shared = SharedAccuracyRegistry::with_registry(seed);
         assert_eq!(shared.len(), 1);
         assert!((shared.mean_accuracy().unwrap() - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_accuracies_are_normalized_before_pooling() {
+        // Regression: the striped rewrite briefly pooled the *raw* incoming accuracy and
+        // clamped only the result, so record(w, 1.5, …) credited >100% accuracy into the
+        // weighted mean and record(w, NaN, …) wiped the worker's whole history to 0.5.
+        // Parity with the old set()-then-merge path: normalize first, pool second.
+        let shared = SharedAccuracyRegistry::new();
+        shared.record(WorkerId(1), 0.5, 10);
+        shared.record(WorkerId(1), 1.5, 2); // clamps to ~1.0 before pooling
+        let pooled = shared.accuracy_of(WorkerId(1)).unwrap();
+        assert!(
+            (pooled - (0.5 * 10.0 + 1.0 * 2.0) / 12.0).abs() < 1e-6,
+            "pooled {pooled}"
+        );
+        shared.record(WorkerId(2), 0.8, 10);
+        shared.record(WorkerId(2), f64::NAN, 2); // NaN contributes 0.5 at weight 2
+        let pooled = shared.accuracy_of(WorkerId(2)).unwrap();
+        assert!(!pooled.is_nan(), "NaN must not erase the history");
+        assert!((pooled - (0.8 * 10.0 + 0.5 * 2.0) / 12.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn seeded_default_accuracy_survives_striping() {
+        // Regression: the striped rewrite initially copied only the seed's *entries*, so
+        // a registry seeded with a default accuracy lost it — snapshots stopped answering
+        // for unseen workers and the empty-registry mean flipped to None. The default
+        // must round-trip like the pre-striping full clone did.
+        let seed = AccuracyRegistry::new().with_default_accuracy(0.75);
+        let shared = SharedAccuracyRegistry::with_registry(seed);
+        assert_eq!(shared.mean_accuracy(), Some(0.75), "empty-registry mean");
+        let snap = shared.snapshot();
+        assert_eq!(snap.accuracy_of(WorkerId(123)), Some(0.75));
+        assert_eq!(snap.default_accuracy(), Some(0.75));
+        // Real estimates still take over once they exist.
+        shared.record(WorkerId(1), 0.9, 4);
+        assert_eq!(shared.mean_accuracy(), Some(0.9));
+        assert_eq!(shared.snapshot().accuracy_of(WorkerId(123)), Some(0.75));
+    }
+
+    #[test]
+    fn entries_spread_across_stripes_and_reads_see_all_of_them() {
+        let shared = SharedAccuracyRegistry::new();
+        // Two full rounds over the stripe space: every stripe holds exactly two workers.
+        for id in 0..(2 * STRIPES as u64) {
+            shared.record(WorkerId(id), 0.6, 3);
+        }
+        assert_eq!(shared.len(), 2 * STRIPES);
+        let snap = shared.snapshot();
+        assert_eq!(snap.len(), 2 * STRIPES);
+        for id in 0..(2 * STRIPES as u64) {
+            assert_eq!(shared.accuracy_of(WorkerId(id)), Some(0.6));
+        }
+        assert!((shared.mean_accuracy().unwrap() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_writers_over_disjoint_workers_match_the_sequential_registry() {
+        // The parallel-fleet contract: shard threads own disjoint worker partitions, so
+        // each worker's estimate sequence is applied by exactly one thread in a
+        // deterministic order — the final registry must be bit-identical to applying all
+        // sequences on one thread, whatever the cross-thread interleaving was.
+        const THREADS: u64 = 8;
+        const WORKERS_PER_THREAD: u64 = 40;
+        let record_all = |shared: &SharedAccuracyRegistry, t: u64| {
+            for w in 0..WORKERS_PER_THREAD {
+                let worker = WorkerId(t * WORKERS_PER_THREAD + w);
+                // Two merges per worker, so the pooled mean is actually exercised.
+                shared.record(worker, 0.5 + 0.001 * (w % 37) as f64, 3);
+                shared.record(worker, 0.9 - 0.002 * (w % 11) as f64, 7);
+            }
+        };
+
+        let sequential = SharedAccuracyRegistry::new();
+        for t in 0..THREADS {
+            record_all(&sequential, t);
+        }
+
+        let parallel = SharedAccuracyRegistry::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let handle = parallel.clone();
+                scope.spawn(move || record_all(&handle, t));
+            }
+        });
+
+        let (a, b) = (sequential.snapshot(), parallel.snapshot());
+        assert_eq!(a.len(), b.len());
+        for (&worker, expected) in a.iter() {
+            let got = b.get(worker).expect("worker present in parallel registry");
+            assert_eq!(expected.accuracy.to_bits(), got.accuracy.to_bits());
+            assert_eq!(expected.samples, got.samples);
+        }
+    }
+
+    #[test]
+    fn contended_workers_pool_every_sample_exactly_once() {
+        // Threads hammering the SAME workers: per-worker merges are atomic under the
+        // stripe lock, so no sample is lost or double-counted, and the pooled mean lands
+        // within float-reassociation distance of the sequential order (the weighted-mean
+        // merge is order-independent up to rounding).
+        const THREADS: usize = 8;
+        const ROUNDS: usize = 25;
+        let workers = [WorkerId(0), WorkerId(1), WorkerId(16), WorkerId(17)];
+
+        let parallel = SharedAccuracyRegistry::new();
+        std::thread::scope(|scope| {
+            for t in 0..THREADS {
+                let handle = parallel.clone();
+                scope.spawn(move || {
+                    for r in 0..ROUNDS {
+                        for w in workers {
+                            handle.record(w, 0.5 + 0.01 * ((t + r) % 30) as f64, 2);
+                        }
+                    }
+                });
+            }
+        });
+
+        let sequential = SharedAccuracyRegistry::new();
+        for t in 0..THREADS {
+            for r in 0..ROUNDS {
+                for w in workers {
+                    sequential.record(w, 0.5 + 0.01 * ((t + r) % 30) as f64, 2);
+                }
+            }
+        }
+
+        let (par, seq) = (parallel.snapshot(), sequential.snapshot());
+        for w in workers {
+            let p = par.get(w).unwrap();
+            let s = seq.get(w).unwrap();
+            assert_eq!(p.samples, THREADS * ROUNDS * 2, "a sample went missing");
+            assert_eq!(p.samples, s.samples);
+            assert!(
+                (p.accuracy - s.accuracy).abs() < 1e-9,
+                "pooled mean diverged: parallel {} vs sequential {}",
+                p.accuracy,
+                s.accuracy
+            );
+        }
+        assert!(parallel.generation() > 0);
     }
 }

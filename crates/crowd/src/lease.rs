@@ -4,9 +4,20 @@
 //! the multi-job scheduler (`cdas_engine::scheduler`) keeps several HITs from *different*
 //! jobs in flight at once, nothing in the platform stops the same worker from being
 //! assigned to two overlapping HITs, or twice to the same question through them. The
-//! [`PoolLedger`] closes that gap: it tracks which workers are currently checked out, hands
-//! out disjoint [`WorkerLease`]s, and takes workers back when a HIT completes or is
+//! [`PoolLedger`] closes that gap: it tracks which workers are currently checked out,
+//! hands out disjoint [`WorkerLease`]s, and takes workers back when a HIT completes or is
 //! cancelled.
+//!
+//! Two properties matter for the parallel fleet:
+//!
+//! * The ledger is a **concurrent lease table**: a `PoolLedger` is a cheap handle (clones
+//!   share the same table), and every operation takes `&self` behind an internal lock, so
+//!   a ledger can be observed — or, in principle, leased from — by multiple threads.
+//! * Leases release **on drop (RAII)**. A [`WorkerLease`] holds a handle back to its
+//!   table and returns its workers the moment it goes out of scope — through an early
+//!   `?` return, a panic unwinding a shard thread, or a plain happy-path drop. A
+//!   scheduler bug (or crash) can therefore never strand workers in the busy set; the
+//!   leak the old explicit-release protocol allowed on error paths is structurally gone.
 //!
 //! The ledger deliberately holds only [`WorkerId`]s, not worker state: it composes with
 //! any roster — a [`WorkerPool`], a real platform's qualified
@@ -18,17 +29,18 @@
 //! use rand::rngs::StdRng;
 //! use rand::SeedableRng;
 //!
-//! let mut ledger = PoolLedger::new((0..10).map(WorkerId));
+//! let ledger = PoolLedger::new((0..10).map(WorkerId));
 //! let mut rng = StdRng::seed_from_u64(1);
 //! let a = ledger.try_lease(6, &mut rng).unwrap();
 //! // Only 4 workers remain free: a second 6-worker lease must wait.
 //! assert!(ledger.try_lease(6, &mut rng).is_none());
 //! assert_eq!(ledger.available(), 4);
-//! ledger.release(a.id);
+//! drop(a); // RAII: dropping the lease returns its workers
 //! assert_eq!(ledger.available(), 10);
 //! ```
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use cdas_core::types::WorkerId;
 use rand::seq::SliceRandom;
@@ -41,12 +53,41 @@ use crate::pool::WorkerPool;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct LeaseId(pub u64);
 
-/// A set of workers checked out together for one HIT.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+/// The table behind a [`PoolLedger`] handle.
+#[derive(Debug, Default)]
+struct LedgerState {
+    roster: Vec<WorkerId>,
+    busy: BTreeSet<WorkerId>,
+    leases: BTreeMap<LeaseId, Vec<WorkerId>>,
+    next_lease: u64,
+}
+
+impl LedgerState {
+    /// Return a lease's workers to the free roster; no-op for unknown/released ids.
+    fn release(&mut self, lease: LeaseId) -> usize {
+        match self.leases.remove(&lease) {
+            None => 0,
+            Some(workers) => {
+                for w in &workers {
+                    self.busy.remove(w);
+                }
+                workers.len()
+            }
+        }
+    }
+}
+
+/// A set of workers checked out together for one HIT — an RAII guard.
+///
+/// Dropping the lease (explicitly, through `?`, or during a panic unwind) returns its
+/// workers to the [`PoolLedger`] it came from. There is no way to copy or serialize a
+/// lease: exactly one guard exists per checkout, so the release happens exactly once.
+#[derive(Debug)]
 pub struct WorkerLease {
-    /// The lease identifier (hand it back via [`PoolLedger::release`]).
+    /// The lease identifier (for the dispatch timeline and [`PoolLedger::workers_of`]).
     pub id: LeaseId,
     workers: Vec<WorkerId>,
+    table: Arc<Mutex<LedgerState>>,
 }
 
 impl WorkerLease {
@@ -64,18 +105,36 @@ impl WorkerLease {
     pub fn is_empty(&self) -> bool {
         self.workers.is_empty()
     }
+
+    /// Release the lease now. Equivalent to dropping it; provided so call sites can make
+    /// the hand-back explicit.
+    pub fn release(self) {}
 }
 
-/// Checkout ledger over a fixed worker roster.
+impl Drop for WorkerLease {
+    fn drop(&mut self) {
+        // Recover from a poisoned table rather than skip the release: the only foreign
+        // code that runs under the ledger lock is the caller's RNG inside `try_lease`'s
+        // shuffle, which executes *before* any state mutation — so a poisoned
+        // `LedgerState` is never mid-mutation and releasing into it is safe. Skipping
+        // would strand this lease's workers forever, the exact failure RAII exists to
+        // rule out.
+        self.table
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .release(self.id);
+    }
+}
+
+/// Checkout ledger over a fixed worker roster — a concurrent lease table.
 ///
-/// All operations are O(roster) or better; the ledger is deterministic given the caller's
-/// RNG, like everything else in the simulation.
+/// `PoolLedger` is a handle: clones share the same table, so a test (or a supervisor
+/// thread) can keep a clone and watch `available()`/`outstanding_leases()` while a
+/// scheduler leases through its own. All operations are O(roster) or better and
+/// deterministic given the caller's RNG, like everything else in the simulation.
 #[derive(Debug, Clone, Default)]
 pub struct PoolLedger {
-    roster: Vec<WorkerId>,
-    busy: BTreeSet<WorkerId>,
-    leases: BTreeMap<LeaseId, Vec<WorkerId>>,
-    next_lease: u64,
+    table: Arc<Mutex<LedgerState>>,
 }
 
 impl PoolLedger {
@@ -87,10 +146,12 @@ impl PoolLedger {
             .filter(|w| seen.insert(*w))
             .collect::<Vec<_>>();
         PoolLedger {
-            roster,
-            busy: BTreeSet::new(),
-            leases: BTreeMap::new(),
-            next_lease: 0,
+            table: Arc::new(Mutex::new(LedgerState {
+                roster,
+                busy: BTreeSet::new(),
+                leases: BTreeMap::new(),
+                next_lease: 0,
+            })),
         }
     }
 
@@ -99,48 +160,67 @@ impl PoolLedger {
         Self::new(pool.workers().iter().map(|w| w.id))
     }
 
+    fn state(&self) -> MutexGuard<'_, LedgerState> {
+        // See `WorkerLease::drop`: a poisoned table is never mid-mutation (the caller's
+        // RNG is the only foreign code under this lock, and it runs before any write),
+        // so the ledger keeps working after a panicking caller instead of cascading.
+        self.table
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Total roster size.
     pub fn roster_len(&self) -> usize {
-        self.roster.len()
+        self.state().roster.len()
+    }
+
+    /// The roster, in checkout-priority order (a copy — the table stays locked only for
+    /// the duration of the call).
+    pub fn roster(&self) -> Vec<WorkerId> {
+        self.state().roster.clone()
     }
 
     /// Number of workers currently free.
     pub fn available(&self) -> usize {
-        self.roster.len() - self.busy.len()
+        let state = self.state();
+        state.roster.len() - state.busy.len()
     }
 
     /// Number of workers currently checked out.
     pub fn leased(&self) -> usize {
-        self.busy.len()
+        self.state().busy.len()
     }
 
     /// Number of outstanding leases.
     pub fn outstanding_leases(&self) -> usize {
-        self.leases.len()
+        self.state().leases.len()
     }
 
     /// Whether a specific worker is currently checked out.
     pub fn is_leased(&self, worker: WorkerId) -> bool {
-        self.busy.contains(&worker)
+        self.state().busy.contains(&worker)
     }
 
     /// The workers behind an outstanding lease.
-    pub fn workers_of(&self, lease: LeaseId) -> Option<&[WorkerId]> {
-        self.leases.get(&lease).map(|w| w.as_slice())
+    pub fn workers_of(&self, lease: LeaseId) -> Option<Vec<WorkerId>> {
+        self.state().leases.get(&lease).cloned()
     }
 
     /// Try to check out `n` distinct free workers, chosen uniformly at random among the
     /// free part of the roster. Returns `None` — leaving the ledger untouched — when fewer
     /// than `n` workers are free (the caller waits and retries) or when `n` is zero.
-    pub fn try_lease<R: Rng + ?Sized>(&mut self, n: usize, rng: &mut R) -> Option<WorkerLease> {
+    ///
+    /// The returned [`WorkerLease`] releases on drop.
+    pub fn try_lease<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Option<WorkerLease> {
         if n == 0 {
             return None;
         }
-        let mut free: Vec<WorkerId> = self
+        let mut state = self.state();
+        let mut free: Vec<WorkerId> = state
             .roster
             .iter()
             .copied()
-            .filter(|w| !self.busy.contains(w))
+            .filter(|w| !state.busy.contains(w))
             .collect();
         if free.len() < n {
             return None;
@@ -148,26 +228,25 @@ impl PoolLedger {
         free.shuffle(rng);
         free.truncate(n);
         for w in &free {
-            self.busy.insert(*w);
+            state.busy.insert(*w);
         }
-        let id = LeaseId(self.next_lease);
-        self.next_lease += 1;
-        self.leases.insert(id, free.clone());
-        Some(WorkerLease { id, workers: free })
+        let id = LeaseId(state.next_lease);
+        state.next_lease += 1;
+        state.leases.insert(id, free.clone());
+        Some(WorkerLease {
+            id,
+            workers: free,
+            table: Arc::clone(&self.table),
+        })
     }
 
-    /// Return a lease's workers to the free roster. Returns how many workers were freed
-    /// (0 for an unknown or already-released lease).
-    pub fn release(&mut self, lease: LeaseId) -> usize {
-        match self.leases.remove(&lease) {
-            None => 0,
-            Some(workers) => {
-                for w in &workers {
-                    self.busy.remove(w);
-                }
-                workers.len()
-            }
-        }
+    /// Return a lease's workers to the free roster by id. Returns how many workers were
+    /// freed (0 for an unknown or already-released lease).
+    ///
+    /// Normally unnecessary — leases release on drop — and safe to combine with RAII: the
+    /// guard's later drop finds the id gone and does nothing.
+    pub fn release(&self, lease: LeaseId) -> usize {
+        self.state().release(lease)
     }
 }
 
@@ -184,7 +263,7 @@ mod tests {
 
     #[test]
     fn leases_are_disjoint_until_released() {
-        let mut l = ledger(12);
+        let l = ledger(12);
         let mut rng = StdRng::seed_from_u64(7);
         let a = l.try_lease(5, &mut rng).unwrap();
         let b = l.try_lease(5, &mut rng).unwrap();
@@ -200,13 +279,13 @@ mod tests {
         assert_eq!(l.outstanding_leases(), 2);
         // Third lease cannot be satisfied until one releases.
         assert!(l.try_lease(5, &mut rng).is_none());
-        assert_eq!(l.release(a.id), 5);
+        a.release();
         assert!(l.try_lease(5, &mut rng).is_some());
     }
 
     #[test]
     fn leased_workers_are_distinct_within_a_lease() {
-        let mut l = ledger(30);
+        let l = ledger(30);
         let mut rng = StdRng::seed_from_u64(3);
         let lease = l.try_lease(20, &mut rng).unwrap();
         let mut ids: Vec<u64> = lease.workers().iter().map(|w| w.0).collect();
@@ -221,7 +300,7 @@ mod tests {
 
     #[test]
     fn failed_lease_leaves_ledger_untouched() {
-        let mut l = ledger(4);
+        let l = ledger(4);
         let mut rng = StdRng::seed_from_u64(1);
         assert!(l.try_lease(5, &mut rng).is_none());
         assert!(l.try_lease(0, &mut rng).is_none());
@@ -231,14 +310,96 @@ mod tests {
     }
 
     #[test]
-    fn double_release_is_a_noop() {
-        let mut l = ledger(6);
+    fn dropping_a_lease_releases_it() {
+        let l = ledger(6);
+        let mut rng = StdRng::seed_from_u64(2);
+        {
+            let _lease = l.try_lease(3, &mut rng).unwrap();
+            assert_eq!(l.available(), 3);
+        }
+        assert_eq!(l.available(), 6);
+        assert_eq!(l.outstanding_leases(), 0);
+    }
+
+    #[test]
+    fn manual_release_then_drop_frees_workers_exactly_once() {
+        let l = ledger(6);
         let mut rng = StdRng::seed_from_u64(2);
         let lease = l.try_lease(3, &mut rng).unwrap();
-        assert_eq!(l.release(lease.id), 3);
-        assert_eq!(l.release(lease.id), 0);
-        assert_eq!(l.release(LeaseId(999)), 0);
+        let id = lease.id;
+        assert_eq!(l.release(id), 3);
         assert_eq!(l.available(), 6);
+        // A second lease takes some of the same workers…
+        let again = l.try_lease(4, &mut rng).unwrap();
+        assert_eq!(l.available(), 2);
+        // …and the stale guard's drop must not free them out from under it.
+        drop(lease);
+        assert_eq!(l.available(), 2);
+        assert_eq!(l.release(LeaseId(999)), 0);
+        drop(again);
+        assert_eq!(l.available(), 6);
+    }
+
+    #[test]
+    fn a_panicking_thread_cannot_strand_workers() {
+        let l = ledger(8);
+        let observer = l.clone();
+        let result = std::thread::spawn(move || {
+            let mut rng = StdRng::seed_from_u64(9);
+            let _lease = l.try_lease(5, &mut rng).unwrap();
+            assert_eq!(l.available(), 3);
+            panic!("simulated shard crash mid-lease");
+        })
+        .join();
+        assert!(result.is_err(), "the thread must have panicked");
+        assert_eq!(observer.available(), 8, "unwind released the lease");
+        assert_eq!(observer.outstanding_leases(), 0);
+    }
+
+    #[test]
+    fn a_panicking_rng_cannot_poison_the_ledger_or_strand_leases() {
+        // `try_lease` runs the caller's RNG inside the table lock (the shuffle). If that
+        // RNG panics, the mutex is poisoned — but the state is never mid-mutation at
+        // that point, so both the guards' drops and later ledger calls must recover
+        // instead of stranding workers or cascading panics.
+        struct FusedRng(u32);
+        impl rand::Rng for FusedRng {
+            fn next_u64(&mut self) -> u64 {
+                self.0 = self.0.checked_sub(1).expect("scripted RNG exhausted");
+                7
+            }
+        }
+
+        let l = ledger(10);
+        let mut good_rng = StdRng::seed_from_u64(3);
+        let survivor = l.try_lease(4, &mut good_rng).unwrap();
+        let poisoning = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            l.try_lease(3, &mut FusedRng(2))
+        }));
+        assert!(poisoning.is_err(), "the scripted RNG must have panicked");
+        // The ledger keeps answering through the poison…
+        assert_eq!(l.available(), 6);
+        assert_eq!(l.outstanding_leases(), 1);
+        // …a fresh lease still works…
+        let after = l.try_lease(3, &mut good_rng).unwrap();
+        assert_eq!(l.available(), 3);
+        // …and the pre-poison guard still releases its workers on drop.
+        drop(survivor);
+        drop(after);
+        assert_eq!(l.available(), 10);
+        assert_eq!(l.leased(), 0);
+    }
+
+    #[test]
+    fn clones_share_one_table() {
+        let l = ledger(10);
+        let handle = l.clone();
+        let mut rng = StdRng::seed_from_u64(4);
+        let lease = l.try_lease(6, &mut rng).unwrap();
+        assert_eq!(handle.available(), 4);
+        assert_eq!(handle.outstanding_leases(), 1);
+        drop(lease);
+        assert_eq!(handle.available(), 10);
     }
 
     #[test]
@@ -246,6 +407,7 @@ mod tests {
         let pool = WorkerPool::generate(&PoolConfig::clean(25, 0.8, 5));
         let l = PoolLedger::from_pool(&pool);
         assert_eq!(l.roster_len(), 25);
+        assert_eq!(l.roster().len(), 25);
         let dup = PoolLedger::new([WorkerId(1), WorkerId(1), WorkerId(2)]);
         assert_eq!(dup.roster_len(), 2);
     }
@@ -253,7 +415,7 @@ mod tests {
     #[test]
     fn leasing_is_deterministic_for_a_seed() {
         let pick = || {
-            let mut l = ledger(40);
+            let l = ledger(40);
             let mut rng = StdRng::seed_from_u64(11);
             l.try_lease(10, &mut rng).unwrap().workers().to_vec()
         };

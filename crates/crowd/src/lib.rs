@@ -21,9 +21,14 @@
 //!   footnote), and charges the requester per delivered answer,
 //! * a monotone [`clock::SimClock`] that clocked collectors advance from arrival event to
 //!   arrival event (discrete-event simulation of §4.2's asynchronous crowd), and
-//! * a worker checkout [`lease::PoolLedger`] so that many concurrent jobs multiplexed over
-//!   one pool (the multi-job scheduler in `cdas-engine`) never double-assign a worker to
-//!   overlapping HITs.
+//! * a worker checkout [`lease::PoolLedger`] — a concurrent lease table whose
+//!   [`lease::WorkerLease`]s release on drop (RAII) — so that many concurrent jobs
+//!   multiplexed over one pool (the multi-job scheduler in `cdas-engine`) never
+//!   double-assign a worker to overlapping HITs, and an erroring or panicking scheduler
+//!   thread can never strand workers, and
+//! * a [`sharded::ShardedPlatform`] that partitions the worker pool and HIT-id space into
+//!   disjoint per-thread shards, the substrate of the parallel fleet
+//!   (`JobScheduler::run_parallel` in `cdas-engine`).
 //!
 //! Everything is deterministic given a seed, so every experiment in `cdas-bench` is
 //! reproducible.
@@ -42,6 +47,7 @@ pub mod lease;
 pub mod platform;
 pub mod pool;
 pub mod question;
+pub mod sharded;
 pub mod worker;
 
 pub use clock::SimClock;
@@ -49,4 +55,5 @@ pub use lease::{LeaseId, PoolLedger, WorkerLease};
 pub use platform::{CancelReceipt, CrowdPlatform, SimulatedPlatform, WorkerAnswer};
 pub use pool::{PoolConfig, WorkerPool};
 pub use question::CrowdQuestion;
+pub use sharded::{PlatformShard, ShardedPlatform};
 pub use worker::SimulatedWorker;

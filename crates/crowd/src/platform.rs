@@ -68,9 +68,17 @@ impl CancelReceipt {
     }
 }
 
-/// The interface the crowdsourcing engine programs against. `SimulatedPlatform` is the only
-/// implementation in this repository; a real AMT adapter would implement the same trait.
-pub trait CrowdPlatform {
+/// The interface the crowdsourcing engine programs against. `SimulatedPlatform` is the
+/// primary implementation in this repository (a [`crate::sharded::ShardedPlatform`]
+/// partitions several of them for parallel fleets); a real AMT adapter would implement
+/// the same trait.
+///
+/// The trait requires `Send`: the parallel scheduler
+/// (`cdas_engine::scheduler::JobScheduler::run_parallel`) moves each platform shard into
+/// its own OS thread, so any implementation must be transferable across threads. Every
+/// reasonable platform already is — the simulated one is plain owned data, and a real
+/// adapter holds an HTTP client.
+pub trait CrowdPlatform: Send {
     /// Publish a HIT and return its identifier.
     fn publish(&mut self, request: HitRequest) -> HitId;
 
@@ -116,6 +124,13 @@ pub trait CrowdPlatform {
     /// assignments are marked unpaid (they are refunded, never charged) and the receipt
     /// reports how many answers and workers were cut off and how many worker-minutes the
     /// cancellation reclaimed relative to `now`.
+    ///
+    /// **Must be idempotent.** Two engine code paths can legitimately cancel the same
+    /// HIT — the clocked collector cancels on termination, and the scheduler's error
+    /// cleanup cancels whatever is still in flight — so a second (or later) cancel must
+    /// return [`CancelReceipt::empty`] rather than refunding `reclaimed_minutes` or
+    /// `answers_cancelled` again. A double-counting cancel would let a fleet report more
+    /// reclaimed worker-minutes than its workers ever had.
     fn cancel(&mut self, hit: HitId, now: f64) -> CancelReceipt;
 
     /// Total amount charged to the requester so far.
@@ -139,6 +154,9 @@ pub struct SimulatedPlatform {
     rng: StdRng,
     hits: BTreeMap<HitId, HitState>,
     next_hit: u64,
+    /// Distance between consecutive HIT ids (1 for a standalone platform; the shard
+    /// count for a platform shard, giving every shard a disjoint id arithmetic class).
+    hit_stride: u64,
     charged: f64,
     /// Current simulated time; set via [`CrowdPlatform::advance_time`], stamps
     /// publications.
@@ -155,9 +173,23 @@ impl SimulatedPlatform {
             rng: StdRng::seed_from_u64(seed),
             hits: BTreeMap::new(),
             next_hit: 0,
+            hit_stride: 1,
             charged: 0.0,
             now: 0.0,
         }
+    }
+
+    /// Restrict the platform to a disjoint slice of the HIT-id space: ids start at
+    /// `offset` and advance by `stride`. Shard `i` of an `n`-way
+    /// [`crate::sharded::ShardedPlatform`] uses `(i, n)`, so two shards can never mint
+    /// the same [`HitId`] and a fleet's dispatch timeline stays unambiguous when shard
+    /// records are merged. `(0, 1)` — the default — is the whole id space.
+    ///
+    /// Only meaningful on a fresh platform; stride 0 is clamped to 1.
+    pub fn with_hit_namespace(mut self, offset: u64, stride: u64) -> Self {
+        self.next_hit = offset;
+        self.hit_stride = stride.max(1);
+        self
     }
 
     /// The worker pool backing the platform.
@@ -187,7 +219,7 @@ impl SimulatedPlatform {
         assigned: Vec<crate::worker::SimulatedWorker>,
     ) -> HitId {
         let id = HitId(self.next_hit);
-        self.next_hit += 1;
+        self.next_hit += self.hit_stride;
 
         // One completion time per worker: a worker submits all their answers when they
         // finish the HIT.
@@ -428,6 +460,44 @@ mod tests {
         assert_eq!(p.total_cost(), cost_before, "no charge after cancellation");
         // Cancelling twice is a no-op.
         assert_eq!(p.cancel(id, 1.0), CancelReceipt::empty());
+    }
+
+    #[test]
+    fn double_cancel_never_double_refunds_reclaimed_minutes() {
+        // Regression for the two-caller scenario the trait contract names: the clocked
+        // collector cancels a terminated HIT at time t₁, and the scheduler's cleanup
+        // sweeps the same HIT again at a later t₂. The second cancel must be a pure
+        // no-op — an empty receipt — so summing receipts (which the fleet rollups do)
+        // counts every reclaimed minute and cancelled answer exactly once.
+        let mut p = staggered_platform(50, 0.8);
+        let id = p.publish(request(2, 8));
+        p.poll(id, 1.0);
+        let first = p.cancel(id, 1.0); // collector-finalize path
+        assert!(first.cancelled_anything());
+        assert!(first.reclaimed_minutes > 0.0);
+        let second = p.cancel(id, 3.5); // scheduler-cleanup path, later timestamp
+        assert_eq!(second, CancelReceipt::empty());
+        let third = p.cancel(id, f64::INFINITY); // end-of-time sweep
+        assert_eq!(third, CancelReceipt::empty());
+        let total = first.reclaimed_minutes + second.reclaimed_minutes + third.reclaimed_minutes;
+        assert_eq!(total, first.reclaimed_minutes, "minutes refunded once");
+        let answers = first.answers_cancelled + second.answers_cancelled + third.answers_cancelled;
+        assert_eq!(answers, first.answers_cancelled, "answers refunded once");
+    }
+
+    #[test]
+    fn hit_namespaces_partition_the_id_space() {
+        // Two shards of a 2-way split mint interleaved, disjoint id classes.
+        let mut even = platform(20, 0.8).with_hit_namespace(0, 2);
+        let mut odd = platform(20, 0.8).with_hit_namespace(1, 2);
+        let e: Vec<u64> = (0..3).map(|_| even.publish(request(1, 2)).0).collect();
+        let o: Vec<u64> = (0..3).map(|_| odd.publish(request(1, 2)).0).collect();
+        assert_eq!(e, vec![0, 2, 4]);
+        assert_eq!(o, vec![1, 3, 5]);
+        // The default namespace is the whole space, and stride 0 clamps to 1.
+        let mut whole = platform(20, 0.8).with_hit_namespace(0, 0);
+        assert_eq!(whole.publish(request(1, 2)), HitId(0));
+        assert_eq!(whole.publish(request(1, 2)), HitId(1));
     }
 
     #[test]

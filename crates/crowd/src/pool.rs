@@ -161,6 +161,28 @@ impl WorkerPool {
             .map(|w| (w.true_accuracy, w.approval_rate))
             .collect()
     }
+
+    /// Partition the pool into `shards` disjoint sub-pools by round-robin striping:
+    /// worker at index `i` goes to shard `i % shards`. Every worker lands in **exactly
+    /// one** shard (the property the parallel fleet's lease isolation rests on, proptested
+    /// below), shard sizes differ by at most one, and within a shard the original roster
+    /// order is preserved — so a 1-way partition returns a pool identical to `self`.
+    ///
+    /// `shards == 0` is treated as 1.
+    pub fn partition(&self, shards: usize) -> Vec<WorkerPool> {
+        let shards = shards.max(1);
+        let mut parts: Vec<Vec<SimulatedWorker>> = vec![Vec::new(); shards];
+        for (i, worker) in self.workers.iter().enumerate() {
+            parts[i % shards].push(worker.clone());
+        }
+        parts
+            .into_iter()
+            .map(|workers| WorkerPool {
+                workers,
+                seed: self.seed,
+            })
+            .collect()
+    }
 }
 
 fn assign_behavior(config: &PoolConfig, index: usize) -> WorkerBehavior {
@@ -274,5 +296,60 @@ mod tests {
         let pool = WorkerPool::generate(&PoolConfig::clean(5, 0.8, 1));
         assert!(pool.get(WorkerId(3)).is_some());
         assert!(pool.get(WorkerId(99)).is_none());
+    }
+
+    #[test]
+    fn one_way_partition_is_the_identity() {
+        let pool = WorkerPool::generate(&PoolConfig::clean(17, 0.8, 3));
+        let parts = pool.partition(1);
+        assert_eq!(parts.len(), 1);
+        assert_eq!(parts[0], pool);
+        // Zero shards degrades to one.
+        assert_eq!(pool.partition(0).len(), 1);
+    }
+
+    #[test]
+    fn partition_balances_within_one_worker() {
+        let pool = WorkerPool::generate(&PoolConfig::clean(22, 0.8, 3));
+        let parts = pool.partition(4);
+        let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+        assert_eq!(sizes.iter().sum::<usize>(), 22);
+        assert_eq!(sizes.iter().max().unwrap() - sizes.iter().min().unwrap(), 1);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// The parallel fleet's isolation invariant: shard-partitioning assigns every
+        /// worker to exactly one shard — no worker in two shards (two shard threads could
+        /// otherwise lease the same worker into overlapping HITs), and no worker dropped.
+        #[test]
+        fn partition_is_disjoint_and_covering(size in 1usize..120, shards in 1usize..12) {
+            let pool = WorkerPool::generate(&PoolConfig::clean(size, 0.8, 7));
+            let parts = pool.partition(shards);
+            prop_assert_eq!(parts.len(), shards);
+            let mut seen = std::collections::BTreeMap::new();
+            for (s, part) in parts.iter().enumerate() {
+                for w in part.workers() {
+                    let previous = seen.insert(w.id, s);
+                    prop_assert!(
+                        previous.is_none(),
+                        "worker {:?} assigned to shards {:?} and {}",
+                        w.id,
+                        previous,
+                        s
+                    );
+                }
+            }
+            prop_assert_eq!(seen.len(), pool.len(), "every worker is in some shard");
+            // Sizes are balanced within one worker.
+            let sizes: Vec<usize> = parts.iter().map(|p| p.len()).collect();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            prop_assert!(max - min <= 1);
+        }
     }
 }

@@ -20,11 +20,15 @@
 //!   cancels early-terminated HITs mid-flight so uncollected assignments are never paid,
 //!   and reports latency, makespan and reclaimed worker-minutes,
 //! * the [`scheduler`] module multiplexes **many concurrent jobs** over one shared worker
-//!   pool: disjoint worker leases per in-flight HIT, a fleet-wide shared accuracy registry,
-//!   and round-robin/priority dispatch (the §2.1 job manager at scale) — unclocked via
-//!   [`scheduler::JobScheduler::run`] or time-aware via
+//!   pool: disjoint worker leases per in-flight HIT (RAII guards that release on drop, so
+//!   no error or panic strands workers), a fleet-wide lock-striped shared accuracy
+//!   registry, and round-robin/priority dispatch (the §2.1 job manager at scale) —
+//!   unclocked via [`scheduler::JobScheduler::run`], time-aware via
 //!   [`scheduler::JobScheduler::run_clocked`], where cancelled HITs hand their leases to
-//!   waiting jobs mid-run, and
+//!   waiting jobs mid-run, or **parallel across OS threads** via
+//!   [`scheduler::JobScheduler::run_parallel`] over a sharded platform
+//!   (`cdas_crowd::sharded::ShardedPlatform`), of which `run_clocked` is the one-shard
+//!   special case, and
 //! * the [`metrics`] module scores any of it against ground truth (real accuracy,
 //!   no-answer ratio, workers consumed, dollars spent), per job and fleet-wide.
 
@@ -48,6 +52,6 @@ pub use engine::{
     BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict,
     VerificationStrategy,
 };
-pub use metrics::{FleetReport, JobReport};
+pub use metrics::{FleetReport, JobReport, ShardReport};
 pub use query::Query;
 pub use scheduler::{DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig};

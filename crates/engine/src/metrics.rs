@@ -112,6 +112,37 @@ pub struct JobReport {
     pub answers_cancelled: usize,
 }
 
+/// One platform shard's rollup in a parallel fleet run ([`JobScheduler::run_parallel`]):
+/// which jobs the shard owned, how much simulated and real time its thread spent, and its
+/// share of the fleet's questions, dollars and reclaimed minutes. Sequential runs
+/// (`run`/`run_clocked`) report themselves as the single shard 0 of the same shape — they
+/// are the one-shard special case of the parallel code path.
+///
+/// [`JobScheduler::run_parallel`]: crate::scheduler::JobScheduler::run_parallel
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardReport {
+    /// The shard index (also the platform shard and thread index).
+    pub shard: usize,
+    /// The jobs assigned to this shard, by global [`JobId`], in submission order.
+    pub jobs: Vec<JobId>,
+    /// Scheduler ticks (arrival events) this shard processed.
+    pub ticks: usize,
+    /// Simulated minutes from the shard's start to its last batch completion.
+    pub makespan: f64,
+    /// Real questions this shard resolved.
+    pub questions: usize,
+    /// Dollars this shard's platform charged.
+    pub cost: f64,
+    /// Simulated worker-minutes this shard's cancellations reclaimed.
+    pub reclaimed_minutes: f64,
+    /// Per-question answers this shard cancelled before delivery.
+    pub answers_cancelled: usize,
+    /// Real (host wall-clock) seconds the shard's thread spent inside its run loop.
+    /// Nondeterministic by nature — compare reports with
+    /// [`FleetReport::ignoring_wall_clock`] when asserting run equivalence.
+    pub wall_seconds: f64,
+}
+
 /// The fleet-wide rollup of one scheduler run.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct FleetReport {
@@ -119,9 +150,12 @@ pub struct FleetReport {
     pub jobs: Vec<JobReport>,
     /// Metrics over every batch of every job.
     pub fleet: AccuracyReport,
-    /// Number of scheduler ticks the fleet took. In a clocked run every tick advances
-    /// simulated time to the next answer arrival, so ticks are *events*, not time — see
-    /// [`makespan`](Self::makespan).
+    /// Per-shard rollups: one entry per OS thread in a parallel run, exactly one entry
+    /// (shard 0) for the sequential `run`/`run_clocked` paths.
+    pub shards: Vec<ShardReport>,
+    /// Number of scheduler ticks the fleet took, summed across shards. In a clocked run
+    /// every tick advances simulated time to the next answer arrival, so ticks are
+    /// *events*, not time — see [`makespan`](Self::makespan).
     pub ticks: usize,
     /// Simulated minutes from the start of the run to the completion of its last batch
     /// (0.0 for unclocked runs, which have no notion of time).
@@ -181,6 +215,41 @@ impl FleetReport {
         } else {
             self.cache_hits as f64 / total as f64
         }
+    }
+
+    /// How much the run's *sharding* compressed the work: the sum of per-shard loop times
+    /// divided by the slowest single shard. This is the speedup an ideally-parallel host
+    /// would realize over running the same shards back to back — a measure of how evenly
+    /// the work was partitioned (`1.0` for one shard, approaching the shard count under
+    /// perfect balance), **not** the achieved end-to-end ratio: each shard times only its
+    /// own loop, so an oversubscribed or single-core host that serializes the threads
+    /// still reports the partition-balance number. For measured wall-clock against
+    /// `run_clocked`, see `benches/parallel.rs`, which times whole runs.
+    pub fn parallel_speedup(&self) -> f64 {
+        let total: f64 = self.shards.iter().map(|s| s.wall_seconds).sum();
+        let slowest = self
+            .shards
+            .iter()
+            .map(|s| s.wall_seconds)
+            .fold(0.0, f64::max);
+        if slowest <= 0.0 {
+            1.0
+        } else {
+            total / slowest
+        }
+    }
+
+    /// A copy with every shard's host wall-clock timing zeroed.
+    ///
+    /// Wall-clock seconds are the one nondeterministic field in a report; equivalence
+    /// assertions (e.g. "a 1-shard parallel run is byte-identical to `run_clocked`")
+    /// compare through this.
+    pub fn ignoring_wall_clock(&self) -> FleetReport {
+        let mut copy = self.clone();
+        for shard in &mut copy.shards {
+            shard.wall_seconds = 0.0;
+        }
+        copy
     }
 }
 
@@ -285,5 +354,66 @@ mod tests {
         assert_eq!(report.questions, 0);
         assert_eq!(report.accuracy, 0.0);
         assert_eq!(report.no_answer_ratio, 0.0);
+    }
+
+    fn shard(shard: usize, wall_seconds: f64) -> ShardReport {
+        ShardReport {
+            shard,
+            jobs: vec![JobId(shard)],
+            ticks: 10,
+            makespan: 5.0,
+            questions: 4,
+            cost: 0.1,
+            reclaimed_minutes: 0.0,
+            answers_cancelled: 0,
+            wall_seconds,
+        }
+    }
+
+    fn fleet_with_shards(shards: Vec<ShardReport>) -> FleetReport {
+        FleetReport {
+            jobs: Vec::new(),
+            fleet: score_hits(Vec::<(&[CrowdQuestion], &HitOutcome)>::new()),
+            shards,
+            ticks: 0,
+            makespan: 0.0,
+            reclaimed_minutes: 0.0,
+            answers_cancelled: 0,
+            dispatches: Vec::new(),
+            registry_size: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    #[test]
+    fn parallel_speedup_is_total_over_slowest() {
+        // Four balanced shards → ~4x; one dominant shard → barely above 1.
+        let balanced = fleet_with_shards(vec![
+            shard(0, 1.0),
+            shard(1, 1.0),
+            shard(2, 1.0),
+            shard(3, 1.0),
+        ]);
+        assert!((balanced.parallel_speedup() - 4.0).abs() < 1e-12);
+        let skewed = fleet_with_shards(vec![shard(0, 4.0), shard(1, 0.1)]);
+        assert!((skewed.parallel_speedup() - 4.1 / 4.0).abs() < 1e-12);
+        let sequential = fleet_with_shards(vec![shard(0, 2.0)]);
+        assert_eq!(sequential.parallel_speedup(), 1.0);
+        let empty = fleet_with_shards(Vec::new());
+        assert_eq!(empty.parallel_speedup(), 1.0);
+    }
+
+    #[test]
+    fn ignoring_wall_clock_zeroes_only_the_timings() {
+        let report = fleet_with_shards(vec![shard(0, 1.5), shard(1, 2.5)]);
+        let normalized = report.ignoring_wall_clock();
+        assert!(normalized.shards.iter().all(|s| s.wall_seconds == 0.0));
+        assert_eq!(normalized.shards.len(), report.shards.len());
+        assert_eq!(normalized.shards[1].ticks, report.shards[1].ticks);
+        assert_eq!(normalized.shards[1].jobs, report.shards[1].jobs);
+        // Two runs that differ only in wall clock compare equal through it.
+        let other = fleet_with_shards(vec![shard(0, 9.0), shard(1, 0.001)]);
+        assert_eq!(normalized, other.ignoring_wall_clock());
     }
 }

@@ -28,6 +28,16 @@
 //! genuinely working, early-terminated HITs are cancelled *mid-flight* with their leases
 //! returned to the pool for other jobs to pick up, and the report additionally carries
 //! makespan, time-to-first-verdict and worker-minutes reclaimed.
+//! [`JobScheduler::run_parallel`] is the scale-out variant: it stripes the jobs across
+//! the shards of a [`ShardedPlatform`] and runs one clocked event loop **per OS thread**,
+//! sharing only the lock-striped [`SharedAccuracyRegistry`] — `run_clocked` is the
+//! one-shard special case of the same code path, and the report gains per-shard rollups
+//! ([`crate::metrics::ShardReport`]) and a
+//! [`parallel-speedup stat`](crate::metrics::FleetReport::parallel_speedup).
+//!
+//! Worker leases are RAII guards ([`cdas_crowd::lease::WorkerLease`]): every exit from
+//! every loop — happy path, `?` propagation, thread panic — returns the leased workers to
+//! the shared [`PoolLedger`], so no failure mode can strand part of the roster.
 //!
 //! ```
 //! use cdas_core::economics::CostModel;
@@ -49,13 +59,15 @@
 //! ```
 
 use std::collections::BTreeSet;
+use std::time::Instant;
 
 use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
 use cdas_core::types::{AnswerDomain, HitId, Label, QuestionId, WorkerId};
 use cdas_core::{CdasError, Result};
-use cdas_crowd::lease::{LeaseId, PoolLedger};
+use cdas_crowd::lease::{PoolLedger, WorkerLease};
 use cdas_crowd::platform::CrowdPlatform;
 use cdas_crowd::question::CrowdQuestion;
+use cdas_crowd::sharded::ShardedPlatform;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -65,7 +77,7 @@ use cdas_crowd::clock::SimClock;
 use crate::clocked::ClockedCollector;
 use crate::engine::{BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome};
 use crate::job_manager::{AnalyticsJob, JobKind};
-use crate::metrics::{score_hits, FleetReport, JobReport};
+use crate::metrics::{score_hits, FleetReport, JobReport, ShardReport};
 use crate::query::Query;
 
 /// Identifier of a submitted job (the submission index).
@@ -188,26 +200,42 @@ pub struct DispatchRecord {
 }
 
 /// A batch published in the current tick's dispatch phase, awaiting this tick's ingest
-/// phase. Batches live exactly one tick: dispatch leases and publishes, ingest collects
-/// and releases, so leases are held only while HITs genuinely coexist.
+/// phase. Batches live exactly one tick: dispatch leases and publishes, ingest collects,
+/// and the [`WorkerLease`] guard releases on drop — at the end of the tick on the happy
+/// path, or during unwinding/early return on every other path, so leases are held only
+/// while HITs genuinely coexist and can never leak.
 struct Inflight {
     job: usize,
     /// The batch's range within its job's question list (avoids storing the questions
     /// twice — the ticket owns the published copy, the job owns the original).
     range: std::ops::Range<usize>,
     ticket: BatchTicket,
-    lease: LeaseId,
+    /// RAII guard: dropping the `Inflight` returns the workers to the ledger.
+    _lease: WorkerLease,
 }
 
 /// A batch in flight in a **clocked** run. Unlike [`Inflight`], it lives across ticks:
-/// the lease is held for exactly as long as the HIT is genuinely running, and is released
-/// the moment the batch completes — naturally or by mid-flight cancellation — so other
-/// jobs can lease the freed workers while slower HITs are still out.
+/// the lease guard is held for exactly as long as the HIT is genuinely running and drops
+/// the moment the batch completes — naturally, by mid-flight cancellation, or because an
+/// error (or panic) tore the run down — so other jobs can lease the freed workers while
+/// slower HITs are still out, and no failure mode strands workers.
 struct ClockedInflight {
     job: usize,
     range: std::ops::Range<usize>,
     collector: ClockedCollector,
-    lease: LeaseId,
+    /// RAII guard: dropping the `ClockedInflight` returns the workers to the ledger.
+    _lease: WorkerLease,
+}
+
+/// What a run loop records about one shard before scoring: identity, event count,
+/// simulated end time and host wall-clock. [`JobScheduler::report`] turns seeds into full
+/// [`ShardReport`]s by summing the per-job reports of each seed's jobs.
+struct ShardSeed {
+    shard: usize,
+    jobs: Vec<JobId>,
+    ticks: usize,
+    makespan: f64,
+    wall_seconds: f64,
 }
 
 struct JobState {
@@ -376,7 +404,8 @@ impl JobScheduler {
     /// assert!(report.registry_size > 0, "gold estimates were shared");
     /// ```
     pub fn run<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
-        self.check_feasibility()?;
+        let started = Instant::now();
+        self.check_feasibility(self.ledger.roster_len())?;
         let mut dispatches: Vec<DispatchRecord> = Vec::new();
         let mut ticks = 0usize;
         while self.jobs.iter().any(|j| !j.finished()) {
@@ -385,8 +414,8 @@ impl JobScheduler {
                 return Err(CdasError::SchedulerStalled { ticks });
             }
             // Phase 1: dispatch — one batch per unfinished job, policy order, for as long
-            // as the ledger can satisfy the lease. The leases of this tick's batches are
-            // all held simultaneously, which is what keeps concurrent HITs disjoint.
+            // as the ledger can satisfy the lease. The lease guards of this tick's batches
+            // are all held simultaneously, which is what keeps concurrent HITs disjoint.
             let mut inflight: Vec<Inflight> = Vec::new();
             for idx in self.dispatch_order(ticks) {
                 if self.jobs[idx].finished() {
@@ -399,7 +428,7 @@ impl JobScheduler {
                         job: idx,
                         range,
                         ticket,
-                        lease,
+                        _lease: lease,
                     });
                 }
             }
@@ -410,29 +439,22 @@ impl JobScheduler {
                 return Err(CdasError::SchedulerStalled { ticks });
             }
 
-            // Phase 2: ingest every in-flight batch, sharing estimates as we go. Leases
-            // are released unconditionally — even when a collect fails — so an error can
-            // never leak workers out of the roster.
-            let mut failure: Option<CdasError> = None;
+            // Phase 2: ingest every in-flight batch, sharing estimates as we go. Each
+            // batch's lease guard drops at the end of its iteration — and the whole
+            // vector unwinds on an early `?` return — so no path, happy or failing, can
+            // leak workers out of the roster.
             for batch in inflight {
-                if failure.is_none() {
-                    let state = &mut self.jobs[batch.job];
-                    match state
+                let state = &mut self.jobs[batch.job];
+                let outcome =
+                    state
                         .engine
-                        .collect_batch_cached(platform, batch.ticket, &self.cache)
-                    {
-                        Ok(outcome) => state.runs.push((batch.range, outcome)),
-                        Err(e) => failure = Some(e),
-                    }
-                }
-                self.ledger.release(batch.lease);
-            }
-            if let Some(e) = failure {
-                return Err(e);
+                        .collect_batch_cached(platform, batch.ticket, &self.cache)?;
+                state.runs.push((batch.range, outcome));
             }
         }
 
-        Ok(self.report(ticks, dispatches, 0.0))
+        let seed = self.seed_shard(ticks, 0.0, started.elapsed().as_secs_f64());
+        Ok(self.report(ticks, dispatches, 0.0, vec![seed]))
     }
 
     /// Run every submitted job to completion under **simulated time**: a discrete-event
@@ -471,21 +493,267 @@ impl JobScheduler {
     /// assert_eq!(report.fleet.questions, 8);
     /// ```
     pub fn run_clocked<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
-        self.check_feasibility()?;
+        let started = Instant::now();
+        self.check_feasibility(self.ledger.roster_len())?;
         let mut clock = SimClock::new();
         let mut dispatches: Vec<DispatchRecord> = Vec::new();
         let mut inflight: Vec<ClockedInflight> = Vec::new();
         let result = self.clocked_loop(platform, &mut clock, &mut dispatches, &mut inflight);
-        // Leases must never leak, even when a collect fails mid-run.
-        for batch in inflight.drain(..) {
-            self.ledger.release(batch.lease);
+        if result.is_err() {
+            // Error teardown: the platform must stop charging for HITs nobody will ever
+            // collect. The cancel is idempotent by the trait contract, so a batch whose
+            // collector already cancelled (the error came *after* its cancel) is a no-op
+            // here rather than a double refund. The lease guards release on drop.
+            for batch in inflight.drain(..) {
+                platform.cancel(batch.collector.hit(), clock.now());
+            }
         }
         let ticks = result?;
-        Ok(self.report(ticks, dispatches, clock.now()))
+        let seed = self.seed_shard(ticks, clock.now(), started.elapsed().as_secs_f64());
+        Ok(self.report(ticks, dispatches, clock.now(), vec![seed]))
+    }
+
+    /// Run the fleet **in parallel across OS threads**, one thread per shard of a
+    /// [`ShardedPlatform`].
+    ///
+    /// Jobs are striped over shards round-robin by submission index (job `j` runs on
+    /// shard `j % shards`), mirroring the round-robin worker partition of
+    /// [`ShardedPlatform::split`]. Each thread owns its platform shard, a sub-scheduler
+    /// over the shard's slice of this scheduler's roster, and runs **the same clocked
+    /// event loop as [`run_clocked`](Self::run_clocked)** — the sequential path is
+    /// literally the one-shard special case of this one, and a 1-shard `run_parallel`
+    /// produces a byte-identical report (up to host wall-clock timings; see
+    /// [`FleetReport::ignoring_wall_clock`]).
+    ///
+    /// What is shared and what is not:
+    ///
+    /// * **shared** — the [`SharedAccuracyRegistry`]: its lock-striped buckets let every
+    ///   shard absorb gold estimates and read fleet-wide accuracies concurrently, so a
+    ///   worker's accuracy learned on shard A still reweights nothing on shard B *for
+    ///   that worker* (workers are partitioned), but population means and carried-over
+    ///   registries are fleet-wide, exactly as in a sequential run;
+    /// * **per shard** — the platform, the worker partition, the lease table, the
+    ///   [`SimClock`] (shards are independent simulated timelines; the fleet `makespan`
+    ///   is their maximum), and the dispatch RNG (seeded `config.seed + shard`).
+    ///
+    /// The shard lease tables are derived from this scheduler's ledger **when the call
+    /// starts**: workers already checked out through another handle of that ledger are
+    /// excluded from every shard (they cannot be double-assigned), but external leases
+    /// taken mid-run are not observed — hand the parallel scheduler a quiescent ledger.
+    ///
+    /// Leases are RAII guards, so a shard thread that errors — or panics — releases its
+    /// workers while unwinding; a panic is resurfaced after every other shard joined
+    /// *and every job state was reassembled* (partial progress included), so a caller
+    /// that catches it still holds a scheduler whose [`outcomes`](Self::outcomes) are
+    /// inspectable. An error aborts the fleet with the first failing shard's error after
+    /// all shards finished and every in-flight HIT of the failing shard was cancelled.
+    ///
+    /// The returned [`FleetReport`] carries one [`ShardReport`] per thread
+    /// (`report.shards`) and [`FleetReport::parallel_speedup`] summarizes what the
+    /// sharding bought.
+    ///
+    /// Errors with [`CdasError::PoolExhausted`] when a job needs more workers than its
+    /// *shard* (not the whole pool) can ever offer — shard rosters are roughly
+    /// `roster / shards`, so a fleet that was feasible sequentially may need a smaller
+    /// worker count per HIT, or fewer shards, to run in parallel.
+    ///
+    /// ```
+    /// use cdas_core::economics::CostModel;
+    /// use cdas_crowd::pool::{PoolConfig, WorkerPool};
+    /// use cdas_crowd::sharded::ShardedPlatform;
+    /// use cdas_crowd::lease::PoolLedger;
+    /// use cdas_engine::job_manager::JobKind;
+    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    ///
+    /// let pool = WorkerPool::generate(&PoolConfig::clean(16, 0.8, 3));
+    /// let mut platform = ShardedPlatform::split(&pool, CostModel::default(), 3, 2);
+    /// let mut scheduler =
+    ///     JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+    /// // Four 5-worker jobs over two 8-worker shards: two jobs per thread.
+    /// for name in ["a", "b", "c", "d"] {
+    ///     scheduler.submit(ScheduledJob::named(
+    ///         JobKind::SentimentAnalytics, name, demo_questions(6, 2)));
+    /// }
+    /// let report = scheduler.run_parallel(&mut platform).unwrap();
+    /// assert_eq!(report.jobs.len(), 4);
+    /// assert_eq!(report.shards.len(), 2);
+    /// assert_eq!(report.fleet.questions, 24);
+    /// assert!(report.parallel_speedup() >= 1.0);
+    /// ```
+    pub fn run_parallel<P: CrowdPlatform>(
+        &mut self,
+        platform: &mut ShardedPlatform<P>,
+    ) -> Result<FleetReport> {
+        let shard_count = platform.shard_count();
+        if shard_count == 0 {
+            // No shards can serve no jobs; anything else is exhaustion by definition.
+            self.check_feasibility(0)?;
+            return Ok(self.report(0, Vec::new(), 0.0, Vec::new()));
+        }
+
+        // Each shard's slice of this scheduler's roster, in the parent ledger's
+        // checkout-priority order (so a 1-way shard leases exactly like the parent).
+        // Workers already checked out through another handle of the parent ledger at
+        // this moment are excluded outright — the shard ledgers are independent tables,
+        // so this is the only point where an outstanding external lease can be honoured
+        // (a lease taken through the parent *during* the parallel run is not observed,
+        // unlike in `run`/`run_clocked`, which lease from the parent tick by tick).
+        let parent_roster = self.ledger.roster();
+        let rosters: Vec<Vec<WorkerId>> = platform
+            .shards()
+            .iter()
+            .map(|shard| {
+                let members: BTreeSet<WorkerId> = shard.roster().iter().copied().collect();
+                parent_roster
+                    .iter()
+                    .copied()
+                    .filter(|w| members.contains(w) && !self.ledger.is_leased(*w))
+                    .collect()
+            })
+            .collect();
+
+        // Feasibility against the shard each job will actually run on.
+        for (j, state) in self.jobs.iter().enumerate() {
+            let needed = state.engine.decide_workers()?;
+            let available = rosters[j % shard_count].len();
+            if needed > available {
+                return Err(CdasError::PoolExhausted { needed, available });
+            }
+        }
+
+        // Build one sub-scheduler per shard over the shared registry, and stripe the job
+        // states across them (shard `s` owns jobs `s, s+n, s+2n, …`). The states are
+        // *moved*, not copied — the threads do the real work on the real jobs, and the
+        // parent reassembles them afterwards so `outcomes()` keeps working.
+        let shared = self.cache.shared().clone();
+        let mut global: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+        let mut subs: Vec<JobScheduler> = rosters
+            .iter()
+            .enumerate()
+            .map(|(s, roster)| {
+                JobScheduler::with_shared_registry(
+                    SchedulerConfig {
+                        seed: self.config.seed + s as u64,
+                        ..self.config
+                    },
+                    PoolLedger::new(roster.iter().copied()),
+                    shared.clone(),
+                )
+            })
+            .collect();
+        let total_jobs = self.jobs.len();
+        for (j, state) in std::mem::take(&mut self.jobs).into_iter().enumerate() {
+            global[j % shard_count].push(j);
+            subs[j % shard_count].jobs.push(state);
+        }
+
+        // One OS thread per shard, each running the same clocked event loop the
+        // sequential path runs. A panic inside a shard's run is caught *in the thread*
+        // so the sub-scheduler — and with it the job states — survives the unwind (the
+        // RAII lease guards release during it); the payload is re-raised from the parent
+        // only after every shard joined and every job state was reassembled, so a caller
+        // that catches the panic still holds a scheduler with all its jobs.
+        type ShardJoin = (
+            Option<Result<FleetReport>>,
+            JobScheduler,
+            Option<Box<dyn std::any::Any + Send>>,
+        );
+        let outcomes: Vec<ShardJoin> = std::thread::scope(|scope| {
+            let handles: Vec<_> = platform
+                .shards_mut()
+                .iter_mut()
+                .zip(subs.drain(..))
+                .map(|(shard, mut sub)| {
+                    scope.spawn(move || {
+                        let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            sub.run_clocked(shard.platform_mut())
+                        }));
+                        match run {
+                            Ok(result) => (Some(result), sub, None),
+                            Err(payload) => (None, sub, Some(payload)),
+                        }
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| {
+                    handle
+                        .join()
+                        .unwrap_or_else(|panic| std::panic::resume_unwind(panic))
+                })
+                .collect()
+        });
+
+        // Merge: reassemble job states in submission order (also on error, so partial
+        // outcomes stay inspectable), remap shard-local job ids to global ones, and fold
+        // the shard timelines together.
+        let mut slots: Vec<Option<JobState>> = (0..total_jobs).map(|_| None).collect();
+        let mut first_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        let mut first_error: Option<CdasError> = None;
+        let mut merged_dispatches: Vec<DispatchRecord> = Vec::new();
+        let mut shard_seeds: Vec<ShardSeed> = Vec::new();
+        let mut ticks = 0usize;
+        let mut makespan = 0.0f64;
+        let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
+        for (s, (result, sub, payload)) in outcomes.into_iter().enumerate() {
+            cache_hits += sub.cache.hits();
+            cache_misses += sub.cache.misses();
+            for (local, state) in sub.jobs.into_iter().enumerate() {
+                slots[global[s][local]] = Some(state);
+            }
+            if let Some(payload) = payload {
+                first_panic = first_panic.or(Some(payload));
+                continue;
+            }
+            match result.expect("a shard that did not panic returned a result") {
+                Ok(shard_report) => {
+                    ticks += shard_report.ticks;
+                    makespan = makespan.max(shard_report.makespan);
+                    merged_dispatches.extend(shard_report.dispatches.into_iter().map(
+                        |mut dispatch| {
+                            dispatch.job = JobId(global[s][dispatch.job.0]);
+                            dispatch
+                        },
+                    ));
+                    let rollup = shard_report
+                        .shards
+                        .into_iter()
+                        .next()
+                        .expect("a sequential run reports exactly one shard");
+                    shard_seeds.push(ShardSeed {
+                        shard: s,
+                        jobs: global[s].iter().copied().map(JobId).collect(),
+                        ticks: rollup.ticks,
+                        makespan: rollup.makespan,
+                        wall_seconds: rollup.wall_seconds,
+                    });
+                }
+                Err(e) => first_error = first_error.or(Some(e)),
+            }
+        }
+        self.jobs = slots
+            .into_iter()
+            .map(|state| state.expect("every job state returns from its shard"))
+            .collect();
+        if let Some(payload) = first_panic {
+            std::panic::resume_unwind(payload);
+        }
+        if let Some(e) = first_error {
+            return Err(e);
+        }
+        // Shard timelines are independent; a stable sort by simulated time gives one
+        // fleet-wide timeline (and leaves a 1-shard run's order untouched).
+        merged_dispatches.sort_by(|a, b| a.at.total_cmp(&b.at));
+        let mut report = self.report(ticks, merged_dispatches, makespan, shard_seeds);
+        report.cache_hits = cache_hits;
+        report.cache_misses = cache_misses;
+        Ok(report)
     }
 
     /// The discrete-event loop of [`run_clocked`](Self::run_clocked). On error, in-flight
-    /// batches stay in `inflight` for the caller to release.
+    /// batches stay in `inflight` for the caller to cancel (their leases release on
+    /// drop).
     fn clocked_loop<P: CrowdPlatform>(
         &mut self,
         platform: &mut P,
@@ -531,7 +799,7 @@ impl JobScheduler {
                         job: idx,
                         range,
                         collector,
-                        lease,
+                        _lease: lease,
                     });
                 }
             }
@@ -584,11 +852,12 @@ impl JobScheduler {
                 }
                 let batch = inflight.remove(i);
                 let receipt = terminated.then(|| platform.cancel(hit, clock.now()));
-                let result = batch
+                // `batch` (and with it the lease guard) drops at the end of this
+                // iteration — after finalize, before the next tick's dispatch phase sees
+                // the ledger — on the success and the `?` path alike.
+                let clocked = batch
                     .collector
-                    .finalize(clock.now(), receipt, Some(&self.cache));
-                self.ledger.release(batch.lease);
-                let clocked = result?;
+                    .finalize(clock.now(), receipt, Some(&self.cache))?;
                 let state = &mut self.jobs[batch.job];
                 state.completed_at = state.completed_at.max(clocked.completed_at);
                 state.first_verdict_at = match (state.first_verdict_at, clocked.first_verdict_at) {
@@ -606,7 +875,8 @@ impl JobScheduler {
     /// Phase-1 dispatch for one job, shared by the unclocked and clocked loops: lease the
     /// job's workers, slice its next batch, publish to the leased workers, and record the
     /// dispatch at tick `tick` / simulated time `at`. Returns `None` — after recording
-    /// the wait — when the ledger cannot satisfy the lease right now.
+    /// the wait — when the ledger cannot satisfy the lease right now. On success the
+    /// [`WorkerLease`] guard is handed to the caller, whose drop is the release.
     fn try_dispatch<P: CrowdPlatform>(
         &mut self,
         idx: usize,
@@ -614,7 +884,7 @@ impl JobScheduler {
         at: f64,
         platform: &mut P,
         dispatches: &mut Vec<DispatchRecord>,
-    ) -> Result<Option<(std::ops::Range<usize>, BatchTicket, LeaseId)>> {
+    ) -> Result<Option<(std::ops::Range<usize>, BatchTicket, WorkerLease)>> {
         let state = &mut self.jobs[idx];
         let needed = state.engine.decide_workers()?;
         match self.ledger.try_lease(needed, &mut self.rng) {
@@ -638,27 +908,48 @@ impl JobScheduler {
                 state.workers_seen.extend(lease.workers().iter().copied());
                 let range = state.cursor..end;
                 state.cursor = end;
-                Ok(Some((range, ticket, lease.id)))
+                Ok(Some((range, ticket, lease)))
             }
         }
     }
 
-    /// Up-front feasibility: a demand larger than the whole roster would wait forever.
-    fn check_feasibility(&self) -> Result<()> {
+    /// Up-front feasibility: a demand larger than `roster_len` would wait forever
+    /// (`roster_len` is the whole ledger for sequential runs, one shard's partition for
+    /// parallel ones).
+    fn check_feasibility(&self, roster_len: usize) -> Result<()> {
         for state in &self.jobs {
             let needed = state.engine.decide_workers()?;
-            if needed > self.ledger.roster_len() {
+            if needed > roster_len {
                 return Err(CdasError::PoolExhausted {
                     needed,
-                    available: self.ledger.roster_len(),
+                    available: roster_len,
                 });
             }
         }
         Ok(())
     }
 
+    /// The facts a run loop knows about one shard; [`JobScheduler::report`] fills in the
+    /// scored totals ([`ShardReport::questions`], cost, reclaimed minutes) from the
+    /// per-job reports it builds anyway, so nothing is scored twice.
+    fn seed_shard(&self, ticks: usize, makespan: f64, wall_seconds: f64) -> ShardSeed {
+        ShardSeed {
+            shard: 0,
+            jobs: (0..self.jobs.len()).map(JobId).collect(),
+            ticks,
+            makespan,
+            wall_seconds,
+        }
+    }
+
     /// Assemble the fleet report from completed job states.
-    fn report(&self, ticks: usize, dispatches: Vec<DispatchRecord>, makespan: f64) -> FleetReport {
+    fn report(
+        &self,
+        ticks: usize,
+        dispatches: Vec<DispatchRecord>,
+        makespan: f64,
+        shards: Vec<ShardSeed>,
+    ) -> FleetReport {
         let jobs: Vec<JobReport> = self
             .jobs
             .iter()
@@ -688,9 +979,37 @@ impl JobScheduler {
                 .iter()
                 .map(|(r, o)| (&s.spec.questions[r.clone()], o))
         }));
+        let shards = shards
+            .into_iter()
+            .map(|seed| {
+                let mut questions = 0usize;
+                let mut cost = 0.0f64;
+                let mut reclaimed_minutes = 0.0f64;
+                let mut answers_cancelled = 0usize;
+                for id in &seed.jobs {
+                    let job = &jobs[id.0];
+                    questions += job.report.questions;
+                    cost += job.report.cost;
+                    reclaimed_minutes += job.reclaimed_minutes;
+                    answers_cancelled += job.answers_cancelled;
+                }
+                ShardReport {
+                    shard: seed.shard,
+                    jobs: seed.jobs,
+                    ticks: seed.ticks,
+                    makespan: seed.makespan,
+                    questions,
+                    cost,
+                    reclaimed_minutes,
+                    answers_cancelled,
+                    wall_seconds: seed.wall_seconds,
+                }
+            })
+            .collect();
         FleetReport {
             jobs,
             fleet,
+            shards,
             ticks,
             makespan,
             reclaimed_minutes: self.jobs.iter().map(|s| s.reclaimed_minutes).sum(),
@@ -1005,6 +1324,316 @@ mod tests {
         assert!(report.jobs.is_empty());
         assert_eq!(report.ticks, 0);
         assert_eq!(report.fleet.questions, 0);
+    }
+
+    #[test]
+    fn one_shard_parallel_run_matches_run_clocked_byte_for_byte() {
+        // The tentpole regression: `run_clocked` is the one-shard special case of the
+        // parallel code path. Identical pools, seeds and jobs must produce identical
+        // reports — dispatch timeline, verdict metrics, shard rollup, everything except
+        // host wall-clock timing.
+        let submit_jobs = |scheduler: &mut JobScheduler| {
+            for name in ["a", "b", "c"] {
+                scheduler.submit(
+                    ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(10, 3))
+                        .with_engine(fixed_engine(7))
+                        .with_batch_size(5),
+                );
+            }
+        };
+        let pool = || {
+            WorkerPool::generate(&cdas_crowd::pool::PoolConfig {
+                latency: cdas_crowd::arrival::LatencyModel::Exponential { mean: 5.0 },
+                ..cdas_crowd::pool::PoolConfig::clean(20, 0.8, 9)
+            })
+        };
+
+        let mut sequential_platform = SimulatedPlatform::new(pool(), CostModel::default(), 9);
+        let mut sequential =
+            JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool()));
+        submit_jobs(&mut sequential);
+        let clocked = sequential.run_clocked(&mut sequential_platform).unwrap();
+
+        let mut sharded =
+            cdas_crowd::sharded::ShardedPlatform::split(&pool(), CostModel::default(), 9, 1);
+        let mut parallel =
+            JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool()));
+        submit_jobs(&mut parallel);
+        let par = parallel.run_parallel(&mut sharded).unwrap();
+
+        assert_eq!(
+            clocked.ignoring_wall_clock(),
+            par.ignoring_wall_clock(),
+            "1-shard run_parallel must be run_clocked"
+        );
+        assert_eq!(par.shards.len(), 1);
+        assert_eq!(par.parallel_speedup(), 1.0);
+        // The platform-side simulations agree too.
+        assert!(
+            (sequential_platform.total_cost() - sharded.total_cost()).abs() < 1e-12,
+            "identical simulations must charge identically"
+        );
+    }
+
+    #[test]
+    fn parallel_fleet_spreads_jobs_over_shards() {
+        let pool = WorkerPool::generate(&cdas_crowd::pool::PoolConfig {
+            latency: cdas_crowd::arrival::LatencyModel::Exponential { mean: 5.0 },
+            ..cdas_crowd::pool::PoolConfig::clean(32, 0.8, 21)
+        });
+        let mut platform =
+            cdas_crowd::sharded::ShardedPlatform::split(&pool, CostModel::default(), 21, 4);
+        let mut scheduler =
+            JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+        for i in 0..8 {
+            scheduler.submit(
+                ScheduledJob::named(JobKind::SentimentAnalytics, format!("job-{i}"), {
+                    demo_questions(8, 2)
+                })
+                .with_engine(fixed_engine(7))
+                .with_batch_size(5),
+            );
+        }
+        let report = scheduler.run_parallel(&mut platform).unwrap();
+        assert_eq!(report.jobs.len(), 8);
+        assert_eq!(report.shards.len(), 4);
+        // Round-robin striping: shard s owns jobs s and s + 4.
+        for (s, shard) in report.shards.iter().enumerate() {
+            assert_eq!(shard.shard, s);
+            assert_eq!(shard.jobs, vec![JobId(s), JobId(s + 4)]);
+            assert_eq!(
+                shard.questions, 16,
+                "each shard resolved its jobs' questions"
+            );
+            assert!(shard.ticks > 0);
+            assert!(shard.makespan > 0.0);
+        }
+        assert_eq!(report.fleet.questions, 64);
+        assert!(report.fleet.accuracy > 0.7, "{}", report.fleet.accuracy);
+        assert_eq!(
+            report.ticks,
+            report.shards.iter().map(|s| s.ticks).sum::<usize>()
+        );
+        let max_shard_makespan = report.shards.iter().map(|s| s.makespan).fold(0.0, f64::max);
+        assert_eq!(report.makespan, max_shard_makespan);
+        // Every job completed and is reassembled in submission order.
+        for (i, job) in report.jobs.iter().enumerate() {
+            assert_eq!(job.job, JobId(i));
+            assert_eq!(job.report.questions, 8);
+        }
+        // Dispatch timeline: HIT ids are globally unique (disjoint shard namespaces) and
+        // sorted by simulated time.
+        let mut hits: Vec<u64> = report.dispatches.iter().map(|d| d.hit.0).collect();
+        let total = hits.len();
+        hits.sort_unstable();
+        hits.dedup();
+        assert_eq!(hits.len(), total, "two shards minted the same HIT id");
+        assert!(report.dispatches.windows(2).all(|w| w[0].at <= w[1].at));
+        // Workers served at most one shard: each job's distinct workers lie inside its
+        // shard's roster.
+        for (j, job) in report.jobs.iter().enumerate() {
+            let shard = &platform.shards()[j % 4];
+            for d in report.dispatches.iter().filter(|d| d.job == job.job) {
+                assert!(d.workers.iter().all(|w| shard.roster().contains(w)));
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_runs_are_deterministic_per_shard() {
+        // Shards are independent deterministic simulations; two identical parallel runs
+        // must agree on every job report and the final registry, whatever the thread
+        // interleaving did to the cross-shard read timing of *means* (the jobs here all
+        // carry gold questions, so verification never consults a cross-shard mean).
+        let run = || {
+            let pool = WorkerPool::generate(&cdas_crowd::pool::PoolConfig {
+                latency: cdas_crowd::arrival::LatencyModel::Exponential { mean: 5.0 },
+                ..cdas_crowd::pool::PoolConfig::clean(24, 0.8, 5)
+            });
+            let mut platform =
+                cdas_crowd::sharded::ShardedPlatform::split(&pool, CostModel::default(), 5, 3);
+            let mut scheduler =
+                JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+            for i in 0..6 {
+                scheduler.submit(
+                    ScheduledJob::named(
+                        JobKind::SentimentAnalytics,
+                        format!("j{i}"),
+                        demo_questions(6, 2),
+                    )
+                    .with_engine(fixed_engine(7))
+                    .with_batch_size(4),
+                );
+            }
+            let report = scheduler.run_parallel(&mut platform).unwrap();
+            (report, scheduler.shared_registry().snapshot())
+        };
+        let (a, registry_a) = run();
+        let (b, registry_b) = run();
+        assert_eq!(a.jobs, b.jobs);
+        assert_eq!(a.dispatches, b.dispatches);
+        assert_eq!(a.fleet, b.fleet);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(registry_a, registry_b);
+    }
+
+    #[test]
+    fn oversized_job_for_its_shard_is_rejected_up_front() {
+        // 8 workers per shard after a 2-way split of 16: a 9-worker job fit the pool but
+        // not its shard.
+        let pool = WorkerPool::generate(&cdas_crowd::pool::PoolConfig::clean(16, 0.8, 2));
+        let mut platform =
+            cdas_crowd::sharded::ShardedPlatform::split(&pool, CostModel::default(), 2, 2);
+        let mut scheduler =
+            JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+        scheduler.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, "wide", demo_questions(4, 1))
+                .with_engine(fixed_engine(9)),
+        );
+        match scheduler.run_parallel(&mut platform) {
+            Err(CdasError::PoolExhausted { needed, available }) => {
+                assert_eq!(needed, 9);
+                assert_eq!(available, 8);
+            }
+            other => panic!("expected PoolExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn externally_leased_workers_are_excluded_from_parallel_shards() {
+        // The parent ledger is a concurrent table: workers checked out through another
+        // handle when run_parallel starts must not be leased again by any shard thread.
+        let pool = WorkerPool::generate(&cdas_crowd::pool::PoolConfig::clean(24, 0.8, 6));
+        let ledger = PoolLedger::from_pool(&pool);
+        let external = ledger.clone();
+        let mut rng = StdRng::seed_from_u64(99);
+        let held = external.try_lease(4, &mut rng).expect("external lease");
+
+        let mut platform =
+            cdas_crowd::sharded::ShardedPlatform::split(&pool, CostModel::default(), 6, 2);
+        let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
+        for name in ["a", "b"] {
+            scheduler.submit(
+                ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(6, 2))
+                    .with_engine(fixed_engine(5)),
+            );
+        }
+        let report = scheduler.run_parallel(&mut platform).unwrap();
+        assert_eq!(report.fleet.questions, 12, "the fleet still completed");
+        for dispatch in &report.dispatches {
+            for w in held.workers() {
+                assert!(
+                    !dispatch.workers.contains(w),
+                    "externally leased worker {w:?} was double-assigned by a shard"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn more_shards_than_jobs_leaves_trailing_shards_idle() {
+        let pool = WorkerPool::generate(&cdas_crowd::pool::PoolConfig::clean(32, 0.8, 4));
+        let mut platform =
+            cdas_crowd::sharded::ShardedPlatform::split(&pool, CostModel::default(), 4, 4);
+        let mut scheduler =
+            JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+        scheduler.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, "only", demo_questions(6, 2))
+                .with_engine(fixed_engine(5)),
+        );
+        let report = scheduler.run_parallel(&mut platform).unwrap();
+        assert_eq!(report.jobs.len(), 1);
+        assert_eq!(report.shards.len(), 4);
+        assert_eq!(report.shards[0].questions, 6);
+        for idle in &report.shards[1..] {
+            assert_eq!(idle.questions, 0);
+            assert_eq!(idle.ticks, 0);
+            assert!(idle.jobs.is_empty());
+        }
+    }
+
+    /// A platform whose event stream never dries up: `next_arrival` always promises a
+    /// future event, so an untermenable batch stays in flight until the scheduler's
+    /// stall valve fires — the regression scenario for lease leaks on the error path.
+    struct NeverDraining {
+        inner: SimulatedPlatform,
+        fake_next: std::cell::Cell<f64>,
+        cancels: std::cell::Cell<usize>,
+    }
+
+    impl CrowdPlatform for NeverDraining {
+        fn publish(&mut self, request: cdas_crowd::hit::HitRequest) -> HitId {
+            self.inner.publish(request)
+        }
+        fn publish_to(
+            &mut self,
+            request: cdas_crowd::hit::HitRequest,
+            workers: &[WorkerId],
+        ) -> HitId {
+            self.inner.publish_to(request, workers)
+        }
+        fn advance_time(&mut self, now: f64) {
+            self.inner.advance_time(now);
+        }
+        fn poll(&mut self, hit: HitId, now: f64) -> Vec<cdas_crowd::platform::WorkerAnswer> {
+            self.inner.poll(hit, now)
+        }
+        fn next_arrival(&self, hit: HitId) -> Option<f64> {
+            let real = self.inner.next_arrival(hit);
+            let fake = self.fake_next.get() + 1.0;
+            self.fake_next.set(fake);
+            Some(real.unwrap_or(fake))
+        }
+        fn cancel(&mut self, hit: HitId, now: f64) -> cdas_crowd::platform::CancelReceipt {
+            self.cancels.set(self.cancels.get() + 1);
+            self.inner.cancel(hit, now)
+        }
+        fn total_cost(&self) -> f64 {
+            self.inner.total_cost()
+        }
+    }
+
+    #[test]
+    fn stalled_clocked_fleet_leaves_the_ledger_empty_and_cancels_its_hits() {
+        // Regression for the lease leak: `run_clocked` used to release leases only on
+        // the happy path, so an early `?` return (here: SchedulerStalled from the stall
+        // valve) stranded the in-flight batch's workers. With RAII guards the ledger
+        // must come back whole, and the error teardown must cancel the orphaned HIT so
+        // the platform stops charging for it.
+        let pool = WorkerPool::generate(&PoolConfig::clean(10, 0.8, 13));
+        let mut platform = NeverDraining {
+            inner: SimulatedPlatform::new(pool.clone(), CostModel::default(), 13),
+            fake_next: std::cell::Cell::new(0.0),
+            cancels: std::cell::Cell::new(0),
+        };
+        let ledger = PoolLedger::from_pool(&pool);
+        let observer = ledger.clone();
+        let mut scheduler = JobScheduler::new(
+            SchedulerConfig {
+                max_ticks: 40,
+                ..SchedulerConfig::default()
+            },
+            ledger,
+        );
+        scheduler.submit(
+            ScheduledJob::named(JobKind::SentimentAnalytics, "stuck", demo_questions(4, 1))
+                .with_engine(fixed_engine(7)),
+        );
+        match scheduler.run_clocked(&mut platform) {
+            Err(CdasError::SchedulerStalled { .. }) => {}
+            other => panic!("expected SchedulerStalled, got {other:?}"),
+        }
+        assert_eq!(
+            observer.leased(),
+            0,
+            "the stalled batch's lease must have been released"
+        );
+        assert_eq!(observer.outstanding_leases(), 0);
+        assert_eq!(observer.available(), 10, "the whole roster is back");
+        assert!(
+            platform.cancels.get() >= 1,
+            "the orphaned in-flight HIT was cancelled during teardown"
+        );
     }
 
     #[test]

@@ -101,6 +101,23 @@ fn prelude_scheduler_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_parallel_types_match_their_canonical_definitions() {
+    // The parallel-fleet surface (PR 4): the sharded platform lives in crowd, the
+    // per-shard report in engine. `ShardedPlatform` is generic with a `SimulatedPlatform`
+    // default — the prelude re-export must preserve that default.
+    same_type::<prelude::ShardedPlatform, cdas::crowd::sharded::ShardedPlatform>("ShardedPlatform");
+    same_type::<
+        prelude::ShardedPlatform<cdas::crowd::SimulatedPlatform>,
+        cdas::crowd::sharded::ShardedPlatform,
+    >("ShardedPlatform<SimulatedPlatform>");
+    same_type::<
+        prelude::PlatformShard<cdas::crowd::SimulatedPlatform>,
+        cdas::crowd::sharded::PlatformShard<cdas::crowd::SimulatedPlatform>,
+    >("PlatformShard");
+    same_type::<prelude::ShardReport, cdas::engine::metrics::ShardReport>("ShardReport");
+}
+
+#[test]
 fn prelude_clocked_types_match_their_canonical_definitions() {
     // The clocked-crowd surface (PR 3): the simulation clock and cancel receipt live in
     // crowd, the discrete-event collector in engine.
