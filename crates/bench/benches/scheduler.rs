@@ -8,10 +8,9 @@ use cdas_crowd::lease::PoolLedger;
 use cdas_crowd::pool::{PoolConfig, WorkerPool};
 use cdas_crowd::SimulatedPlatform;
 use cdas_engine::engine::{CrowdsourcingEngine, EngineConfig, WorkerCountPolicy};
+use cdas_engine::fixtures::demo_questions;
 use cdas_engine::job_manager::JobKind;
-use cdas_engine::scheduler::{
-    demo_questions, DispatchPolicy, JobScheduler, ScheduledJob, SchedulerConfig,
-};
+use cdas_engine::scheduler::{DispatchPolicy, JobScheduler, ScheduledJob, SchedulerConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 

@@ -9,6 +9,10 @@
 //! * [`baselines`] — the machine baselines (LIBSVM / ALIPR substitutes),
 //! * [`engine`] — the CDAS query engine and the two end-to-end applications.
 //!
+//! The front door for applications is the [`prelude`] and the fleet facade it exports
+//! (`Fleet::builder()` — see `cdas::engine::fleet`); the [`fixtures`] module holds the
+//! deterministic demo questions the examples and benches feed it.
+//!
 //! The workspace-level `examples/` and `tests/` directories are registered against this
 //! crate; see the repository README for a guided tour.
 
@@ -20,9 +24,16 @@ pub use cdas_baselines as baselines;
 pub use cdas_core as core;
 pub use cdas_crowd as crowd;
 pub use cdas_engine as engine;
+pub use cdas_engine::fixtures;
 pub use cdas_workloads as workloads;
 
 /// A convenient prelude pulling in the types most programs need.
+///
+/// The **front door** lives here: [`Fleet`](prelude::Fleet) /
+/// [`JobSpec`](prelude::JobSpec) / [`CrowdSpec`](prelude::CrowdSpec) /
+/// [`ExecutionMode`](prelude::ExecutionMode) cover most programs end to end. The
+/// hand-wiring types ([`JobScheduler`](prelude::JobScheduler),
+/// [`PoolLedger`](prelude::PoolLedger), …) remain exported as the advanced layer.
 pub mod prelude {
     pub use cdas_core::economics::CostModel;
     pub use cdas_core::model::QualitySensitiveModel;
@@ -33,13 +44,19 @@ pub mod prelude {
     pub use cdas_core::verification::probabilistic::ProbabilisticVerifier;
     pub use cdas_core::verification::voting::{HalfVoting, MajorityVoting};
     pub use cdas_core::verification::{Verdict, Verifier};
+    pub use cdas_crowd::arrival::LatencyModel;
     pub use cdas_crowd::clock::SimClock;
     pub use cdas_crowd::lease::{LeaseId, PoolLedger, WorkerLease};
     pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
     pub use cdas_crowd::sharded::{PlatformShard, ShardedPlatform};
+    pub use cdas_crowd::spec::CrowdSpec;
     pub use cdas_crowd::{CancelReceipt, CrowdPlatform, SimulatedPlatform};
     pub use cdas_engine::apps::{ImageTaggingApp, ItConfig, TsaApp, TsaConfig};
     pub use cdas_engine::clocked::{ClockedCollector, ClockedOutcome};
+    pub use cdas_engine::engine::WorkerCountPolicy;
+    pub use cdas_engine::fleet::{
+        ExecutionMode, Fleet, FleetBuilder, FleetEvent, FleetRun, JobSpec,
+    };
     pub use cdas_engine::job_manager::{AnalyticsJob, JobKind, JobManager};
     pub use cdas_engine::metrics::{FleetReport, JobReport, ShardReport};
     pub use cdas_engine::scheduler::{

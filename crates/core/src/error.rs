@@ -75,6 +75,21 @@ pub enum CdasError {
         /// The tick at which progress stopped.
         ticks: usize,
     },
+    /// A fleet was built over a crowd with no workers: nothing could ever be dispatched.
+    EmptyFleet,
+    /// A job was submitted with no questions: there is no human part to crowdsource.
+    EmptyJob {
+        /// The offending job's name.
+        name: String,
+    },
+    /// The requested shard count cannot partition the fleet's crowd: zero shards serve
+    /// nothing, and more shards than workers would leave shards with empty rosters.
+    InvalidShardCount {
+        /// The requested shard count.
+        shards: usize,
+        /// The number of workers in the crowd being partitioned.
+        workers: usize,
+    },
 }
 
 impl fmt::Display for CdasError {
@@ -116,6 +131,17 @@ impl fmt::Display for CdasError {
             CdasError::SchedulerStalled { ticks } => {
                 write!(f, "scheduler made no progress at tick {ticks}")
             }
+            CdasError::EmptyFleet => {
+                write!(f, "fleet crowd has no workers; nothing can be dispatched")
+            }
+            CdasError::EmptyJob { name } => {
+                write!(f, "job {name:?} has no questions to crowdsource")
+            }
+            CdasError::InvalidShardCount { shards, workers } => write!(
+                f,
+                "cannot split a {workers}-worker crowd into {shards} shards \
+                 (need 1 <= shards <= workers)"
+            ),
         }
     }
 }
@@ -145,6 +171,17 @@ mod tests {
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
         let e = CdasError::SchedulerStalled { ticks: 17 };
         assert!(e.to_string().contains("17"));
+        let e = CdasError::EmptyFleet;
+        assert!(e.to_string().contains("no workers"));
+        let e = CdasError::EmptyJob {
+            name: "thor".to_string(),
+        };
+        assert!(e.to_string().contains("thor"));
+        let e = CdasError::InvalidShardCount {
+            shards: 9,
+            workers: 4,
+        };
+        assert!(e.to_string().contains('9') && e.to_string().contains('4'));
         let e = CdasError::WorkerEstimateOverflow {
             required: 0.99,
             mu: 0.5000000001,

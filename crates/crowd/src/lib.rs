@@ -28,7 +28,10 @@
 //!   thread can never strand workers, and
 //! * a [`sharded::ShardedPlatform`] that partitions the worker pool and HIT-id space into
 //!   disjoint per-thread shards, the substrate of the parallel fleet
-//!   (`JobScheduler::run_parallel` in `cdas-engine`).
+//!   (`JobScheduler::run_parallel` in `cdas-engine`), and
+//! * a [`spec::CrowdSpec`]: one declarative description of a crowd from which consistent
+//!   pools, platforms, sharded platforms and ledgers are derived on demand — the crowd
+//!   half of the `cdas-engine` fleet facade.
 //!
 //! Everything is deterministic given a seed, so every experiment in `cdas-bench` is
 //! reproducible.
@@ -48,6 +51,7 @@ pub mod platform;
 pub mod pool;
 pub mod question;
 pub mod sharded;
+pub mod spec;
 pub mod worker;
 
 pub use clock::SimClock;
@@ -56,4 +60,5 @@ pub use platform::{CancelReceipt, CrowdPlatform, SimulatedPlatform, WorkerAnswer
 pub use pool::{PoolConfig, WorkerPool};
 pub use question::CrowdQuestion;
 pub use sharded::{PlatformShard, ShardedPlatform};
+pub use spec::CrowdSpec;
 pub use worker::SimulatedWorker;

@@ -1,0 +1,44 @@
+//! Deterministic question fixtures for examples, benches and tests.
+//!
+//! These helpers are *not* part of the production pipeline — real questions come from the
+//! workload generators (`cdas-workloads`) via the apps' `build_questions` — but nearly
+//! every example, bench and doc-test needs a tiny deterministic batch to feed the
+//! scheduler, and before this module existed that helper lived inside the production
+//! `scheduler` module. It is re-exported at the umbrella crate as `cdas::fixtures`.
+
+use cdas_core::types::{AnswerDomain, Label, QuestionId};
+use cdas_crowd::question::CrowdQuestion;
+
+/// Tiny deterministic sentiment batch: `real + gold` three-way questions whose ground
+/// truth is always `"Positive"`, the first `gold` of which are gold questions.
+pub fn demo_questions(real: u64, gold: u64) -> Vec<CrowdQuestion> {
+    (0..gold + real)
+        .map(|i| {
+            let q = CrowdQuestion::new(
+                QuestionId(i),
+                AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
+                Label::from("Positive"),
+            );
+            if i < gold {
+                q.as_gold()
+            } else {
+                q
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn demo_questions_flag_the_gold_prefix() {
+        let qs = demo_questions(4, 2);
+        assert_eq!(qs.len(), 6);
+        assert!(qs[..2].iter().all(|q| q.is_gold));
+        assert!(qs[2..].iter().all(|q| !q.is_gold));
+        assert!(qs.iter().all(|q| q.ground_truth == Label::from("Positive")));
+        assert!(qs.iter().all(|q| q.domain.size() == 3));
+    }
+}

@@ -30,7 +30,14 @@
 //!   (`cdas_crowd::sharded::ShardedPlatform`), of which `run_clocked` is the one-shard
 //!   special case, and
 //! * the [`metrics`] module scores any of it against ground truth (real accuracy,
-//!   no-answer ratio, workers consumed, dollars spent), per job and fleet-wide.
+//!   no-answer ratio, workers consumed, dollars spent), per job and fleet-wide,
+//! * the [`fleet`] module is the **front door**: a [`fleet::Fleet`] facade whose
+//!   typestate builder collapses the pool/platform/ledger/scheduler wiring into one
+//!   chain, whose [`fleet::JobSpec`]s layer job overrides over fleet defaults, and whose
+//!   single [`fleet::Fleet::run`] entry point dispatches to the three scheduler paths by
+//!   [`fleet::ExecutionMode`] and streams [`fleet::FleetEvent`]s back, and
+//! * the [`fixtures`] module holds the deterministic demo questions examples, benches
+//!   and doc-tests feed the scheduler (not part of the production pipeline).
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -40,6 +47,8 @@ pub mod apps;
 pub mod clocked;
 pub mod engine;
 pub mod executor;
+pub mod fixtures;
+pub mod fleet;
 pub mod job_manager;
 pub mod metrics;
 pub mod privacy;
@@ -50,8 +59,9 @@ pub mod template;
 pub use clocked::{ClockedCollector, ClockedOutcome};
 pub use engine::{
     BatchTicket, CrowdsourcingEngine, EngineConfig, HitOutcome, QuestionVerdict,
-    VerificationStrategy,
+    VerificationStrategy, WorkerCountPolicy,
 };
+pub use fleet::{ExecutionMode, Fleet, FleetBuilder, FleetEvent, FleetRun, JobSpec};
 pub use metrics::{FleetReport, JobReport, ShardReport};
 pub use query::Query;
 pub use scheduler::{DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig};

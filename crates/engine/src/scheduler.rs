@@ -51,7 +51,7 @@
 //! let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 7);
 //! let mut scheduler = JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
 //!
-//! let questions = cdas_engine::scheduler::demo_questions(10, 2);
+//! let questions = cdas_engine::fixtures::demo_questions(10, 2);
 //! scheduler.submit(ScheduledJob::named(JobKind::SentimentAnalytics, "demo", questions));
 //! let report = scheduler.run(&mut platform).unwrap();
 //! assert_eq!(report.jobs.len(), 1);
@@ -62,7 +62,7 @@ use std::collections::BTreeSet;
 use std::time::Instant;
 
 use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
-use cdas_core::types::{AnswerDomain, HitId, Label, QuestionId, WorkerId};
+use cdas_core::types::{AnswerDomain, HitId, WorkerId};
 use cdas_core::{CdasError, Result};
 use cdas_crowd::lease::{PoolLedger, WorkerLease};
 use cdas_crowd::platform::CrowdPlatform;
@@ -307,7 +307,8 @@ impl JobScheduler {
     /// use cdas_crowd::lease::PoolLedger;
     /// use cdas_core::types::WorkerId;
     /// use cdas_engine::job_manager::JobKind;
-    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    /// use cdas_engine::fixtures::demo_questions;
+    /// use cdas_engine::scheduler::{JobScheduler, ScheduledJob, SchedulerConfig};
     ///
     /// let ledger = PoolLedger::new((0..10).map(WorkerId));
     /// let mut scheduler = JobScheduler::new(SchedulerConfig::default(), ledger);
@@ -387,7 +388,8 @@ impl JobScheduler {
     /// use cdas_crowd::pool::{PoolConfig, WorkerPool};
     /// use cdas_crowd::SimulatedPlatform;
     /// use cdas_engine::job_manager::JobKind;
-    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    /// use cdas_engine::fixtures::demo_questions;
+    /// use cdas_engine::scheduler::{JobScheduler, ScheduledJob, SchedulerConfig};
     ///
     /// let pool = WorkerPool::generate(&PoolConfig::clean(12, 0.8, 3));
     /// let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 3);
@@ -477,7 +479,8 @@ impl JobScheduler {
     /// use cdas_crowd::pool::{PoolConfig, WorkerPool};
     /// use cdas_crowd::SimulatedPlatform;
     /// use cdas_engine::job_manager::JobKind;
-    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    /// use cdas_engine::fixtures::demo_questions;
+    /// use cdas_engine::scheduler::{JobScheduler, ScheduledJob, SchedulerConfig};
     ///
     /// let pool = WorkerPool::generate(&PoolConfig {
     ///     latency: LatencyModel::Exponential { mean: 5.0 },
@@ -563,7 +566,8 @@ impl JobScheduler {
     /// use cdas_crowd::sharded::ShardedPlatform;
     /// use cdas_crowd::lease::PoolLedger;
     /// use cdas_engine::job_manager::JobKind;
-    /// use cdas_engine::scheduler::{demo_questions, JobScheduler, ScheduledJob, SchedulerConfig};
+    /// use cdas_engine::fixtures::demo_questions;
+    /// use cdas_engine::scheduler::{JobScheduler, ScheduledJob, SchedulerConfig};
     ///
     /// let pool = WorkerPool::generate(&PoolConfig::clean(16, 0.8, 3));
     /// let mut platform = ShardedPlatform::split(&pool, CostModel::default(), 3, 2);
@@ -1022,30 +1026,11 @@ impl JobScheduler {
     }
 }
 
-/// Tiny deterministic sentiment batch used by doc-tests and examples: `real + gold`
-/// three-way questions whose ground truth is always `"Positive"`, the first `gold` of
-/// which are gold questions.
-pub fn demo_questions(real: u64, gold: u64) -> Vec<CrowdQuestion> {
-    (0..gold + real)
-        .map(|i| {
-            let q = CrowdQuestion::new(
-                QuestionId(i),
-                AnswerDomain::from_strs(&["Positive", "Neutral", "Negative"]),
-                Label::from("Positive"),
-            );
-            if i < gold {
-                q.as_gold()
-            } else {
-                q
-            }
-        })
-        .collect()
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::engine::WorkerCountPolicy;
+    use crate::fixtures::demo_questions;
     use cdas_core::economics::CostModel;
     use cdas_crowd::pool::{PoolConfig, WorkerPool};
     use cdas_crowd::SimulatedPlatform;

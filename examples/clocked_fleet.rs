@@ -1,57 +1,46 @@
 //! The clocked crowd (§4.2 at scale): the same fleet run twice over identical worker
-//! pools — once polling every HIT at the end of time, once under a discrete-event
-//! `SimClock` where answers arrive asynchronously, early termination cancels HITs
-//! *mid-flight*, and the cancelled workers' leases flow straight to the next waiting job.
+//! pools — once polling every HIT to its natural makespan, once with early termination
+//! cancelling HITs *mid-flight*, so the cancelled workers' leases flow straight to the
+//! next waiting job.
 //!
 //! The pool is deliberately tight (9 workers, 7-worker HITs) so only one HIT fits in
 //! flight: every minute a lease comes back early is a minute the next job starts sooner.
-//! The paper's Figure 11 observation — result quality is driven by the *arrival sequence*
-//! — is what makes this simulation meaningful: the clocked run consumes exactly the
-//! prefix of each arrival sequence it needs, and pays only for that prefix.
+//! Because a `Fleet` derives a fresh, bit-identical crowd from its `CrowdSpec` on every
+//! `run`, the two configurations are compared over *the same* simulated workers — no
+//! hand-cloning of pools required.
 //!
 //! Run with: `cargo run -p cdas --example clocked_fleet`
 
-use cdas::core::economics::CostModel;
-use cdas::core::online::TerminationStrategy;
-use cdas::crowd::arrival::LatencyModel;
-use cdas::crowd::pool::PoolConfig;
-use cdas::engine::engine::WorkerCountPolicy;
-use cdas::engine::job_manager::JobKind;
-use cdas::engine::scheduler::demo_questions;
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 
 const SEED: u64 = 2012;
 
-fn engine(termination: Option<TerminationStrategy>) -> EngineConfig {
-    EngineConfig {
-        workers: WorkerCountPolicy::Fixed(7),
-        termination,
-        domain_size: Some(3),
-        ..EngineConfig::default()
-    }
-}
-
-/// Run the two-job fleet clocked, with or without early termination, over an identical
-/// crowd: 9 workers at 90 % accuracy whose completion times are exponential (mean 5 min).
-fn run(termination: Option<TerminationStrategy>) -> (FleetReport, f64) {
-    let pool = WorkerPool::generate(&PoolConfig {
-        latency: LatencyModel::Exponential { mean: 5.0 },
-        ..PoolConfig::clean(9, 0.9, SEED)
-    });
-    let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), SEED);
-    let mut scheduler = JobScheduler::new(SchedulerConfig::default(), PoolLedger::from_pool(&pool));
+/// The two-job fleet over a 9-worker, 90 %-accuracy crowd whose completion times are
+/// exponential (mean 5 min), with or without early termination.
+fn fleet(termination: Option<TerminationStrategy>) -> Fleet {
+    let mut builder = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(9, 0.9)
+                .seed(SEED)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .batch_size(9);
     for name in ["first-job", "second-job"] {
-        scheduler.submit(
-            ScheduledJob::named(JobKind::SentimentAnalytics, name, demo_questions(6, 3))
-                .with_engine(engine(termination))
-                .with_batch_size(9),
-        );
+        let mut job = JobSpec::sentiment(name, demo_questions(6, 3))
+            .workers(7)
+            .domain_size(3);
+        job = match termination {
+            Some(strategy) => job.termination(strategy),
+            None => job.no_termination(),
+        };
+        builder = builder.job(job);
     }
-    let report = scheduler.run_clocked(&mut platform).expect("fleet run");
-    (report, platform.total_cost())
+    builder.build().expect("a well-formed fleet")
 }
 
-fn print_fleet(tag: &str, report: &FleetReport, platform_cost: f64) {
+fn print_fleet(tag: &str, run: &FleetRun) {
+    let report = run.report();
     println!("== {tag} ==");
     println!(
         "{:<12} {:>9} {:>12} {:>12} {:>9} {:>8}",
@@ -75,44 +64,57 @@ fn print_fleet(tag: &str, report: &FleetReport, platform_cost: f64) {
     println!("worker-minutes saved  : {:.1}", report.reclaimed_minutes);
     println!("answers cancelled     : {}", report.answers_cancelled);
     println!("fleet cost            : ${:.3}", report.total_cost());
-    println!("platform ledger       : ${platform_cost:.3}");
+    println!("platform ledger       : ${:.3}", run.platform_cost());
     println!();
 }
 
 fn main() {
     // Baseline: clocked collection, but every HIT runs to its natural makespan.
-    let (baseline, baseline_cost) = run(None);
-    print_fleet("end-of-time baseline", &baseline, baseline_cost);
+    let baseline = fleet(None).run(ExecutionMode::Clocked).expect("fleet run");
+    print_fleet("end-of-time baseline", &baseline);
 
     // Early termination (ExpMax, the paper's recommendation): the moment every question
     // of a HIT is decided, the HIT is cancelled mid-flight — its undelivered assignments
     // are never paid, and its workers go back to the pool for the waiting job.
-    let (early, early_cost) = run(Some(TerminationStrategy::ExpMax));
-    print_fleet("ExpMax early termination", &early, early_cost);
+    let early = fleet(Some(TerminationStrategy::ExpMax))
+        .run(ExecutionMode::Clocked)
+        .expect("fleet run");
+    print_fleet("ExpMax early termination", &early);
 
-    // The handover, explicitly: when did the second job get its workers?
-    let handover = |report: &FleetReport| {
-        report
-            .dispatches
+    // The handover, observed from the event stream: when did the second job start, and
+    // when did leases come back mid-flight?
+    let started = |run: &FleetRun, job: JobId| {
+        run.events()
             .iter()
-            .find(|d| d.job == JobId(1))
-            .map(|d| d.at)
+            .find_map(|e| match e {
+                FleetEvent::JobStarted { job: j, at, .. } if *j == job => Some(*at),
+                _ => None,
+            })
             .unwrap_or(f64::NAN)
     };
     println!(
         "second job started    : {:.1}m (baseline {:.1}m)",
-        handover(&early),
-        handover(&baseline)
+        started(&early, JobId(1)),
+        started(&baseline, JobId(1))
     );
+    for event in early.events() {
+        if let FleetEvent::LeaseReclaimed { job, minutes, at } = event {
+            println!(
+                "lease reclaimed       : job {} handed back {minutes:.1} worker-minutes by {at:.1}m",
+                job.0
+            );
+        }
+    }
+    let (b, e) = (baseline.report(), early.report());
     println!(
         "makespan saved        : {:.1} simulated minutes ({:.0}%)",
-        baseline.makespan - early.makespan,
-        100.0 * (baseline.makespan - early.makespan) / baseline.makespan
+        b.makespan - e.makespan,
+        100.0 * (b.makespan - e.makespan) / b.makespan
     );
     println!(
         "dollars saved         : ${:.3}",
-        baseline.total_cost() - early.total_cost()
+        b.total_cost() - e.total_cost()
     );
-    assert!(early.makespan < baseline.makespan);
-    assert!((early.total_cost() - early_cost).abs() < 1e-9);
+    assert!(e.makespan < b.makespan);
+    assert!((e.total_cost() - early.platform_cost()).abs() < 1e-9);
 }

@@ -1,8 +1,12 @@
-//! Cost planning with the economic model of §3.1: what does a windowed TSA query cost under
-//! the conservative estimate, the refined estimate, and with ExpMax early termination?
+//! Cost planning with the economic model of §3.1: what does a windowed TSA query cost
+//! under the conservative estimate, the refined estimate, and with ExpMax early
+//! termination? Then the plan is checked against reality: a fleet sized by the same
+//! prediction model is run through the front door and its measured cost compared to the
+//! planned one.
 //!
 //! Run with: `cargo run -p cdas --example cost_planning`
 
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 
 fn main() {
@@ -46,4 +50,48 @@ fn main() {
 
     println!("\nThe refined (binary-search) estimate roughly halves the conservative cost, and");
     println!("online early termination halves it again while still meeting the accuracy target.");
+
+    // --- Plan vs reality -------------------------------------------------------------
+    // Size a real fleet with the same prediction model (C = 0.90 over a 0.72 crowd) and
+    // measure what the clocked run actually charges per question, with and without
+    // ExpMax termination. The refined estimate is the per-HIT worker count; termination
+    // is where the extra saving comes from.
+    let refined = prediction.refined_workers(0.90).unwrap() as usize;
+    let measured = |terminate: bool| {
+        let mut job = JobSpec::sentiment("planned", demo_questions(40, 8))
+            .worker_policy(WorkerCountPolicy::Predicted { mean_accuracy })
+            .required_accuracy(0.90)
+            .domain_size(3)
+            .batch_size(12);
+        job = if terminate {
+            job.termination(TerminationStrategy::ExpMax)
+        } else {
+            job.no_termination()
+        };
+        let fleet = Fleet::builder()
+            .crowd(
+                CrowdSpec::clean(30, mean_accuracy)
+                    .seed(11)
+                    .latency(LatencyModel::Exponential { mean: 5.0 }),
+            )
+            .job(job)
+            .build()
+            .expect("a well-formed fleet");
+        let run = fleet.run(ExecutionMode::Clocked).expect("fleet run");
+        let report = run.report();
+        (
+            report.fleet.cost / report.fleet.questions as f64,
+            report.fleet.accuracy,
+        )
+    };
+    let planned = cost.per_assignment() * refined as f64;
+    let (full, full_acc) = measured(false);
+    let (early, early_acc) = measured(true);
+    println!("\nplan vs measured (refined n = {refined}, C = 90%):");
+    println!("  planned  per question : ${planned:.3} (single-question HITs, as §3.1 prices)");
+    println!(
+        "  measured, no term.    : ${full:.3} (accuracy {full_acc:.3}; batching 12 questions \
+         per HIT amortizes the {refined} assignments)"
+    );
+    println!("  measured, ExpMax      : ${early:.3} (accuracy {early_acc:.3})");
 }

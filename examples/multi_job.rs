@@ -1,15 +1,17 @@
 //! Many concurrent analytics jobs over one shared crowd: two Twitter-sentiment jobs and
-//! one image-tagging job multiplexed over a single 16-worker pool by the multi-job
-//! scheduler. Each tick interleaves Phase-1 publishes with Phase-2 ingestion across jobs;
-//! worker leases keep concurrently in-flight HITs disjoint, and every job's gold-question
-//! estimates land in one shared accuracy registry, so what the fleet learns about a worker
-//! in one job reweights that worker's votes everywhere else.
+//! one image-tagging job multiplexed over a single 16-worker pool. Each tick interleaves
+//! Phase-1 publishes with Phase-2 ingestion across jobs; worker leases keep concurrently
+//! in-flight HITs disjoint, and every job's gold-question estimates land in one shared
+//! accuracy registry, so what the fleet learns about a worker in one job reweights that
+//! worker's votes everywhere else.
+//!
+//! The whole fleet is wired through the front door: one `CrowdSpec`, one
+//! `Fleet::builder()` chain, one `run(ExecutionMode::EndOfTime)`. The scheduler, ledger
+//! and platform it used to take five structs to assemble are derived behind the facade.
 //!
 //! Run with: `cargo run -p cdas --example multi_job`
 
-use cdas::core::economics::CostModel;
 use cdas::crowd::question::CrowdQuestion;
-use cdas::engine::engine::WorkerCountPolicy;
 use cdas::prelude::*;
 use cdas::workloads::it::images::SyntheticImage;
 use cdas::workloads::tsa::tweets::Tweet;
@@ -34,60 +36,34 @@ fn it_questions(subject: &str, seed: u64, count: usize) -> Vec<CrowdQuestion> {
     ImageTaggingApp::new(ItConfig::default()).build_questions(&refs)
 }
 
-fn engine(workers: usize, domain: Option<usize>) -> EngineConfig {
-    EngineConfig {
-        workers: WorkerCountPolicy::Fixed(workers),
-        domain_size: domain,
-        ..EngineConfig::default()
-    }
-}
-
 fn main() {
-    // One finite crowd, shared by everyone: 16 workers at 80 % accuracy.
-    let pool = WorkerPool::generate(&PoolConfig::clean(16, 0.8, 7));
-    let mut platform = SimulatedPlatform::new(pool.clone(), CostModel::default(), 7);
-
-    // The scheduler checks workers out of a lease ledger over that pool, so two HITs in
-    // flight at the same time can never share a worker.
-    let mut scheduler = JobScheduler::new(
-        SchedulerConfig {
-            policy: DispatchPolicy::Priority,
-            ..SchedulerConfig::default()
-        },
-        PoolLedger::from_pool(&pool),
-    );
-
-    // Three jobs compete for those 16 workers: 7 + 7 + 5 never fit at once.
-    scheduler.submit(
-        ScheduledJob::named(
-            JobKind::SentimentAnalytics,
-            "thor-sentiment",
-            tsa_questions("Thor", 1, 30),
+    // One finite crowd, shared by everyone: 16 workers at 80 % accuracy. Three jobs
+    // compete for them (7 + 7 + 5 never fit at once), batched 10 questions per HIT.
+    let fleet = Fleet::builder()
+        .crowd(CrowdSpec::clean(16, 0.8).seed(7))
+        .policy(DispatchPolicy::Priority)
+        .batch_size(10)
+        .job(
+            JobSpec::sentiment("thor-sentiment", tsa_questions("Thor", 1, 30))
+                .workers(7)
+                .domain_size(3)
+                .priority(10), // the urgent job: drains first under Priority dispatch
         )
-        .with_engine(engine(7, Some(3)))
-        .with_batch_size(10)
-        .with_priority(10), // the urgent job: drains first under Priority dispatch
-    );
-    scheduler.submit(
-        ScheduledJob::named(
-            JobKind::SentimentAnalytics,
-            "hulk-sentiment",
-            tsa_questions("Hulk", 2, 30),
+        .job(
+            JobSpec::sentiment("hulk-sentiment", tsa_questions("Hulk", 2, 30))
+                .workers(7)
+                .domain_size(3),
         )
-        .with_engine(engine(7, Some(3)))
-        .with_batch_size(10),
-    );
-    scheduler.submit(
-        ScheduledJob::named(
-            JobKind::ImageTagging,
-            "tiger-tags",
-            it_questions("tiger", 3, 20),
+        .job(
+            JobSpec::tagging("tiger-tags", it_questions("tiger", 3, 20))
+                .workers(5)
+                .estimated_domain_size(),
         )
-        .with_engine(engine(5, None))
-        .with_batch_size(10),
-    );
+        .build()
+        .expect("a well-formed fleet");
 
-    let report = scheduler.run(&mut platform).expect("fleet run");
+    let run = fleet.run(ExecutionMode::EndOfTime).expect("fleet run");
+    let report = run.report();
 
     println!(
         "== fleet of {} jobs over one 16-worker pool ==",
@@ -132,4 +108,14 @@ fn main() {
         print!(" {name} x{}", d.workers.len());
     }
     println!();
+
+    // The same run, observed as a stream: every verdict the fleet produced, without
+    // walking the per-job reports.
+    let accepted = run.verdicts().filter(|(_, _, v)| v.is_accepted()).count();
+    println!(
+        "\nstreamed {} events, {} verdicts ({} accepted)",
+        run.events().len(),
+        run.verdicts().count(),
+        accepted
+    );
 }

@@ -1,20 +1,88 @@
-//! Online processing: watch the confidence of a HIT's answers evolve as workers submit
-//! asynchronously, and see where each early-termination strategy would stop (§4.2,
-//! Figures 11–13).
+//! Online processing, observed live: run a clocked fleet with early termination and
+//! watch its event stream — jobs starting, HITs dispatched, verdicts terminating early,
+//! leases flowing back mid-flight — then drill into one HIT to see the per-answer
+//! confidence trajectory each termination strategy reacts to (§4.2, Figures 11–13).
 //!
 //! Run with: `cargo run -p cdas --example online_monitoring`
 
 use cdas::core::online::OnlineProcessor;
-use cdas::core::types::{AnswerDomain, QuestionId};
+use cdas::core::types::AnswerDomain;
 use cdas::crowd::question::CrowdQuestion;
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    // --- The monitor: a fleet's event stream ----------------------------------------
+    // Two 12-question jobs with ExpMax termination over a tight asynchronous crowd.
+    let fleet = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(12, 0.85)
+                .seed(7)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .batch_size(6)
+        .jobs(["alpha", "beta"].map(|name| {
+            JobSpec::sentiment(name, demo_questions(12, 3))
+                .workers(7)
+                .domain_size(3)
+                .termination(TerminationStrategy::ExpMax)
+        }))
+        .build()
+        .expect("a well-formed fleet");
+    let run = fleet.run(ExecutionMode::Clocked).expect("fleet run");
+
+    println!("live fleet monitor (simulated minutes):");
+    run.replay(|event| match event {
+        FleetEvent::JobStarted { name, at, .. } => {
+            println!("  {at:>6.1}m  job {name:?} started");
+        }
+        FleetEvent::HitDispatched {
+            job, workers, at, ..
+        } => {
+            println!(
+                "  {at:>6.1}m  job {} dispatched a HIT to {workers} workers",
+                job.0
+            );
+        }
+        FleetEvent::FirstVerdict { job, at } => {
+            println!("  {at:>6.1}m  job {} produced its first verdict", job.0);
+        }
+        FleetEvent::LeaseReclaimed { job, minutes, at } => {
+            println!(
+                "  {at:>6.1}m  job {} cancelled mid-flight, reclaiming {minutes:.1} worker-minutes",
+                job.0
+            );
+        }
+        FleetEvent::JobCompleted {
+            job,
+            questions,
+            accuracy,
+            at,
+        } => {
+            println!(
+                "  {at:>6.1}m  job {} completed: {questions} questions at {accuracy:.3}",
+                job.0
+            );
+        }
+        FleetEvent::QuestionTerminated { .. } => {} // 24 of these; summarized below
+    });
+    let early = run
+        .events()
+        .iter()
+        .filter(|e| matches!(e, FleetEvent::QuestionTerminated { early: true, .. }))
+        .count();
+    println!(
+        "  {} verdicts streamed, {} terminated before every worker answered\n",
+        run.verdicts().count(),
+        early
+    );
+
+    // --- The drill-down: one HIT, answer by answer ----------------------------------
     // A HIT assigned to 15 workers drawn from the default (Figure 14-shaped) pool; the
     // question has three answers and the true one is "Positive".
-    let pool = WorkerPool::generate(&PoolConfig::default());
+    let pool = CrowdSpec::paper().build_pool();
     let mut rng = StdRng::seed_from_u64(7);
     let question = CrowdQuestion::new(
         QuestionId(0),

@@ -1,54 +1,40 @@
 //! The parallel fleet: the same clocked scheduler, spread across OS threads.
 //!
-//! A `ShardedPlatform` splits one simulated crowd into disjoint shards — each shard owns
-//! a slice of the worker pool and a slice of the HIT-id space — and
-//! `JobScheduler::run_parallel` pins one shard (and the jobs striped onto it) to one
-//! thread. The threads share exactly one thing: the lock-striped
-//! `SharedAccuracyRegistry`, so accuracy learned anywhere in the fleet weights votes
-//! everywhere, just as in a sequential run. `run_clocked` is literally the one-shard
-//! special case of the same code path, which this example demonstrates by running the
-//! identical 8-job fleet three ways: sequentially, on 1 shard, and on 4 shards.
+//! One `Fleet` is run three ways — `Clocked`, `Parallel { shards: 1 }` and
+//! `Parallel { shards: 4 }` — over bit-identical crowds derived from its `CrowdSpec`.
+//! Under the hood a `ShardedPlatform` splits the simulated crowd into disjoint shards
+//! (each owning a slice of the worker pool and of the HIT-id space) and the scheduler
+//! pins one shard, and the jobs striped onto it, to one thread. The threads share exactly
+//! one thing: the lock-striped `SharedAccuracyRegistry`, so accuracy learned anywhere in
+//! the fleet weights votes everywhere, just as in a sequential run. The sequential
+//! clocked loop is literally the one-shard special case of the parallel code path, which
+//! the 1-shard run demonstrates by reproducing the `Clocked` report byte for byte.
 //!
 //! Run with: `cargo run --release -p cdas --example parallel_fleet`
 
-use cdas::core::economics::CostModel;
-use cdas::crowd::arrival::LatencyModel;
-use cdas::crowd::pool::PoolConfig;
-use cdas::engine::engine::WorkerCountPolicy;
-use cdas::engine::job_manager::JobKind;
-use cdas::engine::scheduler::demo_questions;
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 
 const SEED: u64 = 2024;
 const JOBS: usize = 8;
 
-fn pool() -> WorkerPool {
-    WorkerPool::generate(&PoolConfig {
-        latency: LatencyModel::Exponential { mean: 5.0 },
-        ..PoolConfig::clean(32, 0.85, SEED)
-    })
-}
-
-fn scheduler() -> JobScheduler {
-    let mut scheduler = JobScheduler::new(SchedulerConfig::default(), {
-        PoolLedger::from_pool(&pool())
-    });
+fn fleet() -> Fleet {
+    let mut builder = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(32, 0.85)
+                .seed(SEED)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .shards(4)
+        .batch_size(7);
     for i in 0..JOBS {
-        scheduler.submit(
-            ScheduledJob::named(
-                JobKind::SentimentAnalytics,
-                format!("job-{i}"),
-                demo_questions(24, 4),
-            )
-            .with_engine(EngineConfig {
-                workers: WorkerCountPolicy::Fixed(7),
-                domain_size: Some(3),
-                ..EngineConfig::default()
-            })
-            .with_batch_size(7),
+        builder = builder.job(
+            JobSpec::sentiment(format!("job-{i}"), demo_questions(24, 4))
+                .workers(7)
+                .domain_size(3),
         );
     }
-    scheduler
+    builder.build().expect("a well-formed fleet")
 }
 
 fn print_run(tag: &str, report: &FleetReport) {
@@ -79,40 +65,38 @@ fn print_run(tag: &str, report: &FleetReport) {
 }
 
 fn main() {
+    let fleet = fleet();
+
     // Sequential baseline: one thread, one event loop over all 8 jobs.
-    let mut platform = SimulatedPlatform::new(pool(), CostModel::default(), SEED);
-    let mut sequential = scheduler();
-    let baseline = sequential.run_clocked(&mut platform).expect("clocked run");
-    print_run("run_clocked (sequential)", &baseline);
+    let baseline = fleet.run(ExecutionMode::Clocked).expect("clocked run");
+    print_run("run(Clocked) — sequential", baseline.report());
 
     // The same fleet on the parallel path with a single shard: byte-identical results
     // (wall-clock timing aside) — the sequential loop IS the one-shard special case.
-    let mut one_shard = ShardedPlatform::split(&pool(), CostModel::default(), SEED, 1);
-    let mut parallel_one = scheduler();
-    let one = parallel_one
-        .run_parallel(&mut one_shard)
+    let one = fleet
+        .run(ExecutionMode::Parallel { shards: 1 })
         .expect("1-shard run");
-    print_run("run_parallel, 1 shard", &one);
+    print_run("run(Parallel { shards: 1 })", one.report());
     assert_eq!(
-        baseline.ignoring_wall_clock(),
-        one.ignoring_wall_clock(),
-        "1-shard run_parallel must reproduce run_clocked exactly"
+        baseline.report().ignoring_wall_clock(),
+        one.report().ignoring_wall_clock(),
+        "1-shard Parallel must reproduce Clocked exactly"
     );
 
     // Four shards, four OS threads: each owns 8 workers and 2 jobs. The fleet finishes
-    // as fast as its slowest shard instead of the sum of all of them.
-    let mut four_shards = ShardedPlatform::split(&pool(), CostModel::default(), SEED, 4);
-    let mut parallel_four = scheduler();
-    let four = parallel_four
-        .run_parallel(&mut four_shards)
-        .expect("4-shard run");
-    print_run("run_parallel, 4 shards", &four);
+    // as fast as its slowest shard instead of the sum of all of them. `run_parallel()`
+    // picks up the builder's `.shards(4)` default.
+    let four = fleet.run_parallel().expect("4-shard run");
+    print_run("run(Parallel { shards: 4 })", four.report());
 
-    assert_eq!(four.fleet.questions, baseline.fleet.questions);
-    assert!(four.fleet.accuracy > 0.8);
+    assert_eq!(
+        four.report().fleet.questions,
+        baseline.report().fleet.questions
+    );
+    assert!(four.report().fleet.accuracy > 0.8);
     println!(
         "4-shard speedup over running its shards serially: x{:.2} ({} threads)",
-        four.parallel_speedup(),
-        four.shards.len()
+        four.report().parallel_speedup(),
+        four.report().shards.len()
     );
 }

@@ -1,30 +1,76 @@
-//! Quickstart: the quality-sensitive answering model in ~40 lines.
+//! Quickstart: CDAS through the front door.
 //!
-//! 1. Ask the prediction model how many workers a 95 %-accuracy HIT needs.
-//! 2. Aggregate five conflicting worker answers with the probability-based verification
-//!    model (the paper's Table 3/4 example).
+//! 1. Describe a crowd (`CrowdSpec`), build a `Fleet`, submit a `JobSpec`.
+//! 2. Run it under simulated time and stream the verdicts as they terminate.
+//! 3. Peek under the hood: the prediction model that sizes HITs automatically, and the
+//!    paper's Table 3/4 worked example where probability-based verification overturns
+//!    the majority vote.
 //!
 //! Run with: `cargo run -p cdas --example quickstart`
 
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 
 fn main() {
-    // --- Phase 1: prediction --------------------------------------------------------
-    // Our worker population answers correctly 75 % of the time on average.
-    let prediction = PredictionModel::new(0.75).expect("mean accuracy must exceed 0.5");
-    for required in [0.80, 0.90, 0.95, 0.99] {
-        let conservative = prediction.conservative_workers(required).unwrap();
-        let refined = prediction.refined_workers(required).unwrap();
+    // --- The front door ------------------------------------------------------------
+    // A 16-worker crowd at 85 % accuracy whose answers arrive asynchronously, and one
+    // sentiment job: 10 real questions plus 2 gold questions, 5 workers per HIT.
+    let mut fleet = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(16, 0.85)
+                .seed(7)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .build()
+        .expect("a well-formed fleet");
+    fleet
+        .submit(
+            JobSpec::sentiment("quickstart", demo_questions(10, 2))
+                .workers(5)
+                .domain_size(3),
+        )
+        .expect("a well-formed job");
+
+    let run = fleet.run(ExecutionMode::Clocked).expect("fleet run");
+
+    // The streaming side: verdicts in event order, no report spelunking.
+    println!("verdicts as they terminated:");
+    for (job, question, verdict) in run.verdicts() {
         println!(
-            "required accuracy {:>4.0}% -> conservative estimate {:>3} workers, refined {:>3}",
-            required * 100.0,
-            conservative,
-            refined
+            "  job {} question {:>2} -> {}",
+            job.0,
+            question.0,
+            verdict.label().map(|l| l.as_str()).unwrap_or("no answer")
         );
     }
 
-    // --- Phase 2: verification ------------------------------------------------------
-    // Five workers disagree about the sentiment of a tweet (Table 3 of the paper).
+    // The aggregate side: the same FleetReport the scheduler has always produced.
+    let report = run.report();
+    println!(
+        "\n{} questions, accuracy {:.3}, ${:.2}, makespan {:.1} simulated minutes",
+        report.fleet.questions,
+        report.fleet.accuracy,
+        report.total_cost(),
+        report.makespan
+    );
+
+    // --- Phase 1 under the hood ------------------------------------------------------
+    // Instead of `.workers(5)` the job could ask the prediction model to size its HITs:
+    // `g(C)` workers for a required accuracy `C`, given the crowd's mean accuracy.
+    let prediction = PredictionModel::new(0.75).expect("mean accuracy must exceed 0.5");
+    for required in [0.80, 0.90, 0.95, 0.99] {
+        println!(
+            "required accuracy {:>4.0}% -> conservative estimate {:>3} workers, refined {:>3}",
+            required * 100.0,
+            prediction.conservative_workers(required).unwrap(),
+            prediction.refined_workers(required).unwrap()
+        );
+    }
+    println!("(ask for that with JobSpec::worker_policy(WorkerCountPolicy::Predicted {{ .. }}))");
+
+    // --- Phase 2 under the hood -------------------------------------------------------
+    // The verification model that weighed the votes above, on the paper's Table 3/4
+    // example: five workers disagree about the sentiment of a tweet.
     let observation = Observation::from_votes(vec![
         Vote::new(WorkerId(1), Label::from("Positive"), 0.54),
         Vote::new(WorkerId(2), Label::from("Positive"), 0.31),
@@ -32,25 +78,20 @@ fn main() {
         Vote::new(WorkerId(4), Label::from("Negative"), 0.73),
         Vote::new(WorkerId(5), Label::from("Positive"), 0.46),
     ]);
-
     let majority = MajorityVoting::new().decide(&observation).unwrap();
     println!(
         "\nMajority-Voting says:         {}",
         majority.label().map(|l| l.as_str()).unwrap_or("no answer")
     );
-
-    let verifier = ProbabilisticVerifier::with_domain_size(3);
-    let result = verifier.verify(&observation).unwrap();
+    let result = ProbabilisticVerifier::with_domain_size(3)
+        .verify(&observation)
+        .unwrap();
     println!(
         "Probability-based model says: {} (confidence {:.3})",
         result.best(),
         result.best_confidence()
     );
-    println!("Full ranking:");
-    for (label, confidence) in result.ranking() {
-        println!("  {label:<9} {confidence:.3}");
-    }
     println!(
-        "\nThe high-accuracy worker (0.73) flips the answer to Negative — Table 4 of the paper."
+        "The high-accuracy worker (0.73) flips the answer to Negative — Table 4 of the paper."
     );
 }

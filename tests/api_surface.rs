@@ -1,0 +1,178 @@
+//! Snapshot test of the `cdas::prelude` public surface.
+//!
+//! The prelude is the API contract examples and downstream users program against, so an
+//! export added or removed without a deliberate decision is a review-worthy event. This
+//! test parses the `pub use` lines of the `pub mod prelude` block in the umbrella
+//! crate's source and compares the **sorted item list** against the snapshot below: any
+//! drift fails with a diff-style message telling the author to update the snapshot
+//! (and `tests/prelude_api_sync.rs`, which pins each item to its canonical definition).
+
+use std::path::Path;
+
+/// The snapshot: every item `cdas::prelude` exports, sorted. Update deliberately.
+const PRELUDE_SNAPSHOT: &[&str] = &[
+    "AccuracyCache",
+    "AnalyticsJob",
+    "CancelReceipt",
+    "ClockedCollector",
+    "ClockedOutcome",
+    "CostModel",
+    "CrowdPlatform",
+    "CrowdSpec",
+    "CrowdsourcingEngine",
+    "DispatchPolicy",
+    "EngineConfig",
+    "ExecutionMode",
+    "Fleet",
+    "FleetBuilder",
+    "FleetEvent",
+    "FleetReport",
+    "FleetRun",
+    "HalfVoting",
+    "ImageGenerator",
+    "ImageGeneratorConfig",
+    "ImageTaggingApp",
+    "ItConfig",
+    "JobId",
+    "JobKind",
+    "JobManager",
+    "JobReport",
+    "JobScheduler",
+    "JobSpec",
+    "Label",
+    "LatencyModel",
+    "LeaseId",
+    "MajorityVoting",
+    "Observation",
+    "PlatformShard",
+    "PoolConfig",
+    "PoolLedger",
+    "PredictionModel",
+    "ProbabilisticVerifier",
+    "QualitySensitiveModel",
+    "Query",
+    "QuestionId",
+    "ScheduledJob",
+    "SchedulerConfig",
+    "ShardReport",
+    "ShardedPlatform",
+    "SharedAccuracyRegistry",
+    "SimClock",
+    "SimulatedPlatform",
+    "TerminationStrategy",
+    "TsaApp",
+    "TsaConfig",
+    "TweetGenerator",
+    "TweetGeneratorConfig",
+    "Verdict",
+    "VerificationStrategy",
+    "Verifier",
+    "Vote",
+    "WorkerCountPolicy",
+    "WorkerId",
+    "WorkerLease",
+    "WorkerPool",
+];
+
+/// Extract the sorted item list from the `pub mod prelude { ... }` block of the given
+/// source text. Handles `pub use path::Item;` and `pub use path::{A, B, ...};` (possibly
+/// spanning lines); `crate::`-style prefixes and nesting deeper than one brace level are
+/// not used in the prelude and are rejected loudly.
+fn prelude_items(source: &str) -> Vec<String> {
+    let start = source
+        .find("pub mod prelude {")
+        .expect("cdas lib.rs declares `pub mod prelude {`");
+    let block = &source[start..];
+    let end = block.find("\n}").expect("prelude block is brace-closed");
+    let block = &block[..end];
+
+    let mut items = Vec::new();
+    // Statement-split on ';' so multi-line `pub use a::{B, C};` groups stay whole.
+    for statement in block.split(';') {
+        let joined = statement
+            .lines()
+            .map(str::trim)
+            .filter(|l| !l.starts_with("//"))
+            .collect::<Vec<_>>()
+            .join(" ");
+        // The first split segment also carries the `pub mod prelude {` header, so find
+        // the use-declaration inside the statement rather than anchoring at its start.
+        let Some(idx) = joined.find("pub use ") else {
+            continue;
+        };
+        let path = joined[idx + "pub use ".len()..].trim().to_string();
+        match (path.find('{'), path.rfind('}')) {
+            (Some(open), Some(close)) => {
+                assert!(
+                    !path[open + 1..close].contains('{'),
+                    "nested use-groups are not supported by the snapshot parser: {path}"
+                );
+                for item in path[open + 1..close].split(',') {
+                    let item = item.trim();
+                    if !item.is_empty() {
+                        items.push(leaf_name(item));
+                    }
+                }
+            }
+            (None, None) => items.push(leaf_name(&path)),
+            _ => panic!("unbalanced braces in prelude use statement: {path}"),
+        }
+    }
+    items.sort();
+    items
+}
+
+/// `a::b::Item` or `Item as Alias` → the name the prelude exports.
+fn leaf_name(item: &str) -> String {
+    let item = match item.rsplit_once(" as ") {
+        Some((_, alias)) => alias,
+        None => item,
+    };
+    item.rsplit("::").next().unwrap_or(item).trim().to_string()
+}
+
+#[test]
+fn prelude_surface_matches_the_snapshot() {
+    // This integration test is registered against the `cdas` crate, so the manifest dir
+    // is `crates/cdas` and the prelude source sits right below it.
+    let lib = Path::new(env!("CARGO_MANIFEST_DIR")).join("src/lib.rs");
+    let source = std::fs::read_to_string(&lib)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", lib.display()));
+    let actual = prelude_items(&source);
+
+    let expected: Vec<String> = PRELUDE_SNAPSHOT.iter().map(|s| s.to_string()).collect();
+    let mut sorted_snapshot = expected.clone();
+    sorted_snapshot.sort();
+    assert_eq!(
+        expected, sorted_snapshot,
+        "keep PRELUDE_SNAPSHOT sorted so diffs stay readable"
+    );
+
+    let added: Vec<&String> = actual.iter().filter(|i| !expected.contains(i)).collect();
+    let removed: Vec<&String> = expected.iter().filter(|i| !actual.contains(i)).collect();
+    assert!(
+        added.is_empty() && removed.is_empty(),
+        "cdas::prelude drifted from the snapshot in tests/api_surface.rs.\n\
+         added (update the snapshot AND tests/prelude_api_sync.rs): {added:?}\n\
+         removed (breaking change — update the snapshot if deliberate): {removed:?}"
+    );
+    assert_eq!(actual, expected, "duplicate or re-ordered prelude exports");
+}
+
+#[test]
+fn snapshot_parser_understands_the_grammar() {
+    let source = r#"
+pub mod prelude {
+    pub use a::b::Single;
+    pub use c::{Two, Three};
+    pub use d::e::{
+        Four, Five,
+    };
+    pub use f::Item as Renamed;
+}
+"#;
+    assert_eq!(
+        prelude_items(source),
+        ["Five", "Four", "Renamed", "Single", "Three", "Two"]
+    );
+}

@@ -6,12 +6,9 @@
 
 use cdas::core::economics::CostModel;
 use cdas::core::online::TerminationStrategy;
-use cdas::crowd::arrival::LatencyModel;
-use cdas::crowd::lease::PoolLedger;
-use cdas::crowd::pool::{PoolConfig, WorkerPool};
-use cdas::engine::engine::WorkerCountPolicy;
+
 use cdas::engine::job_manager::JobKind;
-use cdas::engine::scheduler::demo_questions;
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 
 const SEED: u64 = 2012;
@@ -165,4 +162,65 @@ fn clocked_fleet_is_deterministic_end_to_end() {
     assert_eq!(a.0.makespan, b.0.makespan);
     assert_eq!(a.0.reclaimed_minutes, b.0.reclaimed_minutes);
     assert_eq!(a.1, b.1);
+}
+
+#[test]
+fn facade_reproduces_this_suite_and_streams_the_handover() {
+    // The same fleet, built through the front door: the facade's Clocked run must equal
+    // the hand-wired `run_clocked` above, and its event stream must show the mid-flight
+    // lease handover the hand-wired assertions dig out of the dispatch timeline.
+    let mut fleet = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(9, 0.9)
+                .seed(SEED)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .build()
+        .unwrap();
+    for name in ["first", "second"] {
+        fleet
+            .submit(
+                JobSpec::sentiment(name, demo_questions(6, 3))
+                    .workers(7)
+                    .domain_size(3)
+                    .termination(TerminationStrategy::ExpMax)
+                    .batch_size(9),
+            )
+            .unwrap();
+    }
+    let facade = fleet.run(ExecutionMode::Clocked).unwrap();
+    let (direct, direct_platform_cost) = run(Some(TerminationStrategy::ExpMax));
+    assert_eq!(
+        facade.report().ignoring_wall_clock(),
+        direct.ignoring_wall_clock(),
+        "facade Clocked != hand-wired run_clocked"
+    );
+    assert!((facade.platform_cost() - direct_platform_cost).abs() < 1e-12);
+
+    // Streaming: job 0's mid-flight reclamation is anchored no later than the second
+    // job's start — the handover is observable without spelunking the dispatch records.
+    let events = facade.events();
+    let reclaimed_at = events
+        .iter()
+        .find_map(|e| match e {
+            FleetEvent::LeaseReclaimed {
+                job: JobId(0), at, ..
+            } => Some(*at),
+            _ => None,
+        })
+        .expect("job 0 reclaimed a lease mid-flight");
+    let second_started_at = events
+        .iter()
+        .find_map(|e| match e {
+            FleetEvent::JobStarted {
+                job: JobId(1), at, ..
+            } => Some(*at),
+            _ => None,
+        })
+        .expect("job 1 started");
+    assert!(
+        reclaimed_at <= second_started_at + 1e-9,
+        "the handover ({reclaimed_at}) must not postdate the second job's start \
+         ({second_started_at})"
+    );
 }

@@ -2,7 +2,6 @@
 //! simulated crowd, and the automatic-tagger baseline (Figure 17/18 shape).
 
 use cdas::baselines::image::AutoTagger;
-use cdas::engine::engine::WorkerCountPolicy;
 use cdas::prelude::*;
 use cdas::workloads::it::FIGURE17_SUBJECTS;
 

@@ -4,7 +4,6 @@
 
 use cdas::baselines::text::NaiveBayesClassifier;
 use cdas::core::types::AnswerDomain;
-use cdas::engine::engine::WorkerCountPolicy;
 use cdas::engine::executor::ProgramExecutor;
 use cdas::prelude::*;
 use cdas::workloads::difficulty::DifficultyModel;

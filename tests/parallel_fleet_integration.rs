@@ -10,12 +10,9 @@
 
 use cdas::core::economics::CostModel;
 use cdas::core::online::TerminationStrategy;
-use cdas::crowd::arrival::LatencyModel;
-use cdas::crowd::lease::PoolLedger;
-use cdas::crowd::pool::{PoolConfig, WorkerPool};
-use cdas::engine::engine::WorkerCountPolicy;
+
 use cdas::engine::job_manager::JobKind;
-use cdas::engine::scheduler::demo_questions;
+use cdas::fixtures::demo_questions;
 use cdas::prelude::*;
 
 const SEED: u64 = 2024;
@@ -83,6 +80,40 @@ fn one_shard_parallel_run_equals_run_clocked_with_termination() {
     // And the engine-side accounting still equals the platform ledger, shard-summed.
     assert!((par.fleet.cost - sharded.total_cost()).abs() < 1e-9);
     assert!((clocked.fleet.cost - platform.total_cost()).abs() < 1e-9);
+
+    // The facade runs the identical fleet through `ExecutionMode`: both of the above are
+    // reproduced by one `Fleet` without any of this file's hand-wiring.
+    let mut fleet = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(12, 0.85)
+                .seed(SEED)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .build()
+        .unwrap();
+    for i in 0..3 {
+        fleet
+            .submit(
+                JobSpec::sentiment(format!("job-{i}"), demo_questions(10, 3))
+                    .workers(7)
+                    .domain_size(3)
+                    .termination(TerminationStrategy::ExpMax)
+                    .batch_size(5),
+            )
+            .unwrap();
+    }
+    let facade_clocked = fleet.run(ExecutionMode::Clocked).unwrap();
+    let facade_parallel = fleet.run(ExecutionMode::Parallel { shards: 1 }).unwrap();
+    assert_eq!(
+        facade_clocked.report().ignoring_wall_clock(),
+        clocked.ignoring_wall_clock(),
+        "facade Clocked != hand-wired run_clocked"
+    );
+    assert_eq!(
+        facade_parallel.report().ignoring_wall_clock(),
+        par.ignoring_wall_clock(),
+        "facade 1-shard Parallel != hand-wired run_parallel"
+    );
 }
 
 /// Run the same sharded fleet either in parallel (`run_parallel`) or as the equivalent

@@ -5,7 +5,7 @@ use cdas::core::online::TerminationStrategy;
 use cdas::core::types::{AnswerDomain, Label, QuestionId};
 use cdas::crowd::hit::HitRequest;
 use cdas::crowd::question::CrowdQuestion;
-use cdas::engine::engine::{AccuracySource, WorkerCountPolicy};
+use cdas::engine::engine::AccuracySource;
 use cdas::prelude::*;
 
 fn questions(count: u64) -> Vec<CrowdQuestion> {
@@ -83,9 +83,9 @@ fn engine_cost_always_equals_platform_cost_and_clocked_termination_saves() {
     // and cancels mid-flight, so undelivered assignments are never charged. Workers must
     // finish asynchronously for that to matter (a constant-latency pool delivers every
     // answer in one event).
-    let pool = WorkerPool::generate(&cdas::crowd::pool::PoolConfig {
-        latency: cdas::crowd::arrival::LatencyModel::Exponential { mean: 5.0 },
-        ..cdas::crowd::pool::PoolConfig::clean(100, 0.85, 3)
+    let pool = WorkerPool::generate(&PoolConfig {
+        latency: LatencyModel::Exponential { mean: 5.0 },
+        ..PoolConfig::clean(100, 0.85, 3)
     });
     let mut p_clocked = SimulatedPlatform::new(pool, CostModel::default(), 3);
     let mut clock = cdas::crowd::clock::SimClock::new();

@@ -130,6 +130,30 @@ fn prelude_clocked_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_front_door_types_match_their_canonical_definitions() {
+    // The fleet facade surface (PR 5): the crowd spec lives in crowd, the facade in
+    // engine, plus the deep-path items the examples used to import through
+    // `cdas::engine::engine::` / `cdas::crowd::arrival::`, promoted to the prelude.
+    same_type::<prelude::CrowdSpec, cdas::crowd::spec::CrowdSpec>("CrowdSpec");
+    same_type::<prelude::LatencyModel, cdas::crowd::arrival::LatencyModel>("LatencyModel");
+    same_type::<prelude::WorkerCountPolicy, cdas::engine::engine::WorkerCountPolicy>(
+        "WorkerCountPolicy",
+    );
+    same_type::<prelude::Fleet, cdas::engine::fleet::Fleet>("Fleet");
+    same_type::<prelude::FleetBuilder, cdas::engine::fleet::FleetBuilder>("FleetBuilder");
+    // The typestate default must survive the re-export: `FleetBuilder` with no
+    // parameter is the crowd-less state on both paths.
+    same_type::<
+        prelude::FleetBuilder<cdas::crowd::spec::CrowdSpec>,
+        cdas::engine::fleet::FleetBuilder<cdas::crowd::spec::CrowdSpec>,
+    >("FleetBuilder<CrowdSpec>");
+    same_type::<prelude::JobSpec, cdas::engine::fleet::JobSpec>("JobSpec");
+    same_type::<prelude::ExecutionMode, cdas::engine::fleet::ExecutionMode>("ExecutionMode");
+    same_type::<prelude::FleetRun, cdas::engine::fleet::FleetRun>("FleetRun");
+    same_type::<prelude::FleetEvent, cdas::engine::fleet::FleetEvent>("FleetEvent");
+}
+
+#[test]
 fn prelude_traits_match_their_canonical_definitions() {
     // The canonical implementors must satisfy the *prelude-named* traits: this
     // fails to compile if prelude::Verifier / prelude::CrowdPlatform ever stop

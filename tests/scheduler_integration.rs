@@ -4,7 +4,6 @@
 
 use cdas::core::economics::CostModel;
 use cdas::crowd::question::CrowdQuestion;
-use cdas::engine::engine::WorkerCountPolicy;
 use cdas::prelude::*;
 use cdas::workloads::it::images::SyntheticImage;
 use cdas::workloads::tsa::tweets::Tweet;
