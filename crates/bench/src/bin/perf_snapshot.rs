@@ -1,0 +1,289 @@
+//! Record (or validate) the committed scheduler performance snapshot.
+//!
+//! Usage:
+//! ```text
+//! cargo run -p cdas-bench --release --bin perf_snapshot                  # write BENCH_clocked.json
+//! cargo run -p cdas-bench --release --bin perf_snapshot -- --out /tmp/b.json
+//! cargo run -p cdas-bench --release --bin perf_snapshot -- --quick      # CI smoke (small workload)
+//! cargo run -p cdas-bench --bin perf_snapshot -- --check BENCH_clocked.json
+//! ```
+//!
+//! The default run measures the clocked fleet under both arrival-discovery modes at one
+//! shard (scan is the pre-heap oracle, heap the production path) and the heap mode at
+//! 2/4/8 shards, then writes one `BENCH_clocked.json` snapshot. Every PR re-records the
+//! file, so the trajectory of `events_per_sec` is reviewable in git history. Simulated
+//! results (ticks, questions, latencies, makespan) are deterministic per workload; only
+//! the wall-clock figures move between hosts.
+
+use std::time::Instant;
+
+use cdas_bench::snapshot::{percentile, BenchRecord, BenchSnapshot, BenchWorkload, SCHEMA_VERSION};
+use cdas_core::online::TerminationStrategy;
+use cdas_crowd::arrival::LatencyModel;
+use cdas_crowd::spec::CrowdSpec;
+use cdas_engine::fixtures::demo_questions;
+use cdas_engine::fleet::{ExecutionMode, Fleet, FleetEvent, FleetRun, JobSpec};
+use cdas_engine::scheduler::ArrivalDiscovery;
+
+/// The standard workload: enough concurrent HITs that the scan loop's per-tick
+/// O(in-flight) polling dominates, which is exactly what the event heap removes.
+fn standard_workload() -> BenchWorkload {
+    BenchWorkload {
+        jobs: 48,
+        questions_per_job: 48,
+        gold_per_job: 12,
+        pool: 288,
+        workers_per_hit: 5,
+        batch_size: 4,
+        accuracy: 0.85,
+        latency_mean_minutes: 5.0,
+        seed: 42,
+    }
+}
+
+/// The CI smoke workload: same shape, a fraction of the size.
+fn quick_workload() -> BenchWorkload {
+    BenchWorkload {
+        jobs: 8,
+        questions_per_job: 6,
+        gold_per_job: 2,
+        pool: 48,
+        workers_per_hit: 4,
+        batch_size: 4,
+        accuracy: 0.85,
+        latency_mean_minutes: 5.0,
+        seed: 42,
+    }
+}
+
+fn build_fleet(w: &BenchWorkload, discovery: ArrivalDiscovery) -> Fleet {
+    let crowd = CrowdSpec::clean(w.pool as usize, w.accuracy)
+        .seed(w.seed)
+        .latency(LatencyModel::Exponential {
+            mean: w.latency_mean_minutes,
+        });
+    let mut builder = Fleet::builder()
+        .crowd(crowd)
+        .scheduler_seed(w.seed)
+        .arrival_discovery(discovery);
+    for i in 0..w.jobs {
+        builder = builder.job(
+            JobSpec::sentiment(
+                format!("job-{i}"),
+                demo_questions(w.questions_per_job, w.gold_per_job),
+            )
+            .workers(w.workers_per_hit as usize)
+            .batch_size(w.batch_size as usize)
+            .domain_size(3)
+            .termination(TerminationStrategy::ExpMax),
+        );
+    }
+    builder.build().expect("benchmark workload is feasible")
+}
+
+/// Per-HIT verdict latencies in simulated minutes. A job's batches run back to back,
+/// so one HIT's span runs from its dispatch to the job's next dispatch (or the job's
+/// completion, for its last HIT).
+fn verdict_latencies(run: &FleetRun) -> Vec<f64> {
+    use std::collections::BTreeMap;
+    let mut dispatches: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
+    let mut completed: BTreeMap<u64, f64> = BTreeMap::new();
+    for event in run.events() {
+        match event {
+            FleetEvent::HitDispatched { job, at, .. } => {
+                dispatches.entry(job.0 as u64).or_default().push(*at);
+            }
+            FleetEvent::JobCompleted { job, at, .. } => {
+                completed.insert(job.0 as u64, *at);
+            }
+            _ => {}
+        }
+    }
+    let mut latencies = Vec::new();
+    for (job, mut ats) in dispatches {
+        ats.sort_by(f64::total_cmp);
+        let end = completed.get(&job).copied().unwrap_or(f64::NAN);
+        for (i, &at) in ats.iter().enumerate() {
+            let until = ats.get(i + 1).copied().unwrap_or(end);
+            if until.is_finite() {
+                latencies.push(until - at);
+            }
+        }
+    }
+    latencies
+}
+
+/// Measure one configuration: best-of-`repeats` wall clock around `Fleet::run`; the
+/// simulated outcome is deterministic, so ticks/questions/latencies come from any run.
+fn measure(
+    w: &BenchWorkload,
+    label: &str,
+    discovery: ArrivalDiscovery,
+    mode: ExecutionMode,
+    repeats: usize,
+) -> BenchRecord {
+    let fleet = build_fleet(w, discovery);
+    let mut best = f64::INFINITY;
+    let mut measured: Option<FleetRun> = None;
+    for _ in 0..repeats.max(1) {
+        let start = Instant::now();
+        let run = fleet.run(mode).expect("benchmark run succeeds");
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        if wall < best {
+            best = wall;
+        }
+        measured = Some(run);
+    }
+    let run = measured.expect("at least one repeat ran");
+    let report = run.report();
+    let latencies = verdict_latencies(&run);
+    let (shards, mode_name) = match mode {
+        ExecutionMode::Parallel { shards } => (shards as u64, "parallel"),
+        _ => (1, "clocked"),
+    };
+    BenchRecord {
+        label: label.to_string(),
+        discovery: match discovery {
+            ArrivalDiscovery::Heap => "heap",
+            ArrivalDiscovery::Scan => "scan",
+        }
+        .to_string(),
+        mode: mode_name.to_string(),
+        shards,
+        wall_seconds: best,
+        ticks: report.ticks as u64,
+        questions: report.fleet.questions as u64,
+        events_per_sec: report.ticks as f64 / best,
+        questions_per_sec: report.fleet.questions as f64 / best,
+        p50_verdict_latency_min: percentile(&latencies, 0.5),
+        p99_verdict_latency_min: percentile(&latencies, 0.99),
+        makespan_min: report.makespan,
+    }
+}
+
+fn record_snapshot(w: &BenchWorkload, repeats: usize) -> BenchSnapshot {
+    let configs: Vec<(String, ArrivalDiscovery, ExecutionMode)> = std::iter::once((
+        "scan-1shard".to_string(),
+        ArrivalDiscovery::Scan,
+        ExecutionMode::Clocked,
+    ))
+    .chain(std::iter::once((
+        "heap-1shard".to_string(),
+        ArrivalDiscovery::Heap,
+        ExecutionMode::Clocked,
+    )))
+    .chain([2usize, 4, 8].into_iter().map(|shards| {
+        (
+            format!("heap-{shards}shard"),
+            ArrivalDiscovery::Heap,
+            ExecutionMode::Parallel { shards },
+        )
+    }))
+    .collect();
+
+    let records = configs
+        .into_iter()
+        .map(|(label, discovery, mode)| {
+            let record = measure(w, &label, discovery, mode, repeats);
+            eprintln!(
+                "  {:<12} {:>9.1} events/s  {:>8.1} questions/s  (wall {:.4}s, {} ticks)",
+                record.label,
+                record.events_per_sec,
+                record.questions_per_sec,
+                record.wall_seconds,
+                record.ticks,
+            );
+            record
+        })
+        .collect();
+
+    BenchSnapshot {
+        schema: SCHEMA_VERSION,
+        workload: w.clone(),
+        records,
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out = "BENCH_clocked.json".to_string();
+    let mut check: Option<String> = None;
+    let mut repeats = 5usize;
+    let mut iter = args.iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match iter.next() {
+                Some(path) => out = path.clone(),
+                None => usage("--out needs a path"),
+            },
+            "--check" => match iter.next() {
+                Some(path) => check = Some(path.clone()),
+                None => usage("--check needs a path"),
+            },
+            "--repeats" => match iter.next().and_then(|n| n.parse().ok()) {
+                Some(n) => repeats = n,
+                None => usage("--repeats needs a number"),
+            },
+            other => usage(&format!("unknown argument {other:?}")),
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match BenchSnapshot::from_json(&text) {
+            Ok(snapshot) => {
+                println!(
+                    "{path}: valid perf snapshot (schema {}, {} records, workload of {} jobs)",
+                    snapshot.schema,
+                    snapshot.records.len(),
+                    snapshot.workload.jobs,
+                );
+            }
+            Err(e) => {
+                eprintln!("{path}: INVALID: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let workload = if quick {
+        quick_workload()
+    } else {
+        standard_workload()
+    };
+    eprintln!(
+        "recording perf snapshot ({} jobs x {} questions, pool {}, {} repeats):",
+        workload.jobs, workload.questions_per_job, workload.pool, repeats,
+    );
+    let snapshot = record_snapshot(&workload, repeats);
+    if let (Some(scan), Some(heap)) = (
+        snapshot.record("scan-1shard"),
+        snapshot.record("heap-1shard"),
+    ) {
+        eprintln!(
+            "  heap/scan events/sec at 1 shard: {:.2}x",
+            heap.events_per_sec / scan.events_per_sec,
+        );
+    }
+    snapshot.validate().unwrap_or_else(|e| {
+        eprintln!("recorded snapshot failed its own validation: {e}");
+        std::process::exit(1);
+    });
+    std::fs::write(&out, snapshot.to_json()).unwrap_or_else(|e| {
+        eprintln!("cannot write {out}: {e}");
+        std::process::exit(1);
+    });
+    println!("wrote {out}");
+}
+
+fn usage(problem: &str) -> ! {
+    eprintln!("perf_snapshot: {problem}");
+    eprintln!("usage: perf_snapshot [--quick] [--out <path>] [--repeats <n>] [--check <path>]");
+    std::process::exit(2);
+}

@@ -1,0 +1,729 @@
+//! The `BENCH_*.json` snapshot codec — schema, serializer, parser, validator.
+//!
+//! Each PR commits one performance snapshot (`BENCH_clocked.json` at the repository
+//! root) recorded by the `perf_snapshot` binary, so the scheduler's throughput
+//! trajectory is reviewable alongside the code that moved it. The workspace's `serde`
+//! is a no-op shim (the container builds without a registry), so the JSON round-trip
+//! here is hand-rolled: a minimal JSON value model, a recursive-descent parser, a
+//! pretty-printer, and a typed [`BenchSnapshot`] layer with schema validation on top.
+//!
+//! The schema is deliberately small and flat:
+//!
+//! ```json
+//! {
+//!   "schema": 1,
+//!   "name": "cdas-perf-snapshot",
+//!   "workload": { "jobs": 16, "questions_per_job": 12, ... },
+//!   "records": [
+//!     { "label": "heap-1shard", "discovery": "heap", "mode": "clocked",
+//!       "shards": 1, "wall_seconds": 0.021, "ticks": 214, "questions": 192,
+//!       "events_per_sec": 10190.4, "questions_per_sec": 9142.8,
+//!       "p50_verdict_latency_min": 9.1, "p99_verdict_latency_min": 31.7,
+//!       "makespan_min": 47.8 },
+//!     ...
+//!   ]
+//! }
+//! ```
+//!
+//! **Metric definitions.** `ticks` counts scheduler events (every tick of a clocked run
+//! advances simulated time to the next answer arrival), so `events_per_sec` =
+//! `ticks / wall_seconds` measures raw event-loop throughput — the number the
+//! event-heap refactor exists to move. `questions_per_sec` = resolved real questions
+//! per host second. Verdict latency is per HIT, in *simulated* minutes: a job's batches
+//! run back to back, so one HIT's latency is the span from its dispatch to the job's
+//! next dispatch (or the job's completion, for its last HIT); `p50`/`p99` rank those
+//! spans fleet-wide.
+
+use std::fmt::Write as _;
+
+/// Current snapshot schema version. Bump when the shape of the JSON changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// The `name` field every snapshot carries, doubling as a file-format magic.
+pub const SNAPSHOT_NAME: &str = "cdas-perf-snapshot";
+
+/// A minimal JSON value: everything the snapshot schema needs, nothing more.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (parsed as `f64`).
+    Num(f64),
+    /// A string (no escape sequences beyond `\"`, `\\`, `\n`, `\t`, `\r`, `\/`).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, with insertion order preserved (snapshots diff cleanly).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Look up a key of an object (`None` for non-objects and missing keys).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) if n.is_finite() => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Render with two-space indentation and a trailing newline.
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth + 1);
+        let close = "  ".repeat(depth);
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => {
+                let _ = write!(out, "{b}");
+            }
+            Json::Num(n) => write_number(out, *n),
+            Json::Str(s) => write_string(out, s),
+            Json::Arr(items) if items.is_empty() => out.push_str("[]"),
+            Json::Arr(items) => {
+                out.push_str("[\n");
+                for (i, item) in items.iter().enumerate() {
+                    out.push_str(&pad);
+                    item.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < items.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push(']');
+            }
+            Json::Obj(fields) if fields.is_empty() => out.push_str("{}"),
+            Json::Obj(fields) => {
+                out.push_str("{\n");
+                for (i, (key, value)) in fields.iter().enumerate() {
+                    out.push_str(&pad);
+                    write_string(out, key);
+                    out.push_str(": ");
+                    value.write_pretty(out, depth + 1);
+                    out.push_str(if i + 1 < fields.len() { ",\n" } else { "\n" });
+                }
+                out.push_str(&close);
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parse a JSON document (rejecting trailing garbage).
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+/// Numbers print as integers when they are one (ticks, shard counts), with enough
+/// digits to round-trip otherwise.
+fn write_number(out: &mut String, n: f64) {
+    if n.fract() == 0.0 && n.abs() < 1e15 {
+        let _ = write!(out, "{}", n as i64);
+    } else {
+        let _ = write!(out, "{n}");
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), String> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", char::from(byte), *pos))
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b't') => parse_keyword(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_keyword(bytes, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_keyword(bytes, pos, "null", Json::Null),
+        Some(_) => parse_number(bytes, pos),
+    }
+}
+
+fn parse_keyword(bytes: &[u8], pos: &mut usize, word: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(word.as_bytes()) {
+        *pos += word.len();
+        Ok(value)
+    } else {
+        Err(format!("invalid literal at byte {}", *pos))
+    }
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < bytes.len()
+        && matches!(bytes[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+    {
+        *pos += 1;
+    }
+    let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+    text.parse::<f64>()
+        .map(Json::Num)
+        .map_err(|_| format!("invalid number {text:?} at byte {start}"))
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(bytes, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match bytes.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b'u') => {
+                        let hex = bytes
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(
+                            std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                            16,
+                        )
+                        .map_err(|e| e.to_string())?;
+                        out.push(char::from_u32(code).ok_or("invalid \\u escape")?);
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("invalid escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(_) => {
+                // Consume one UTF-8 character (the input is a &str, so boundaries hold).
+                let rest = std::str::from_utf8(&bytes[*pos..]).map_err(|e| e.to_string())?;
+                let c = rest.chars().next().ok_or("unterminated string")?;
+                out.push(c);
+                *pos += c.len_utf8();
+            }
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(bytes, pos)?);
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(bytes, pos, b'{')?;
+    let mut fields = Vec::new();
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(fields));
+    }
+    loop {
+        skip_ws(bytes, pos);
+        let key = parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        fields.push((key, parse_value(bytes, pos)?));
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+/// The fleet the snapshot was measured on — enough to re-run the exact workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchWorkload {
+    /// Concurrent analytics jobs.
+    pub jobs: u64,
+    /// Real (scored) questions per job.
+    pub questions_per_job: u64,
+    /// Gold questions per job.
+    pub gold_per_job: u64,
+    /// Simulated worker pool size.
+    pub pool: u64,
+    /// Workers leased per HIT.
+    pub workers_per_hit: u64,
+    /// Questions per HIT batch.
+    pub batch_size: u64,
+    /// Mean simulated worker accuracy.
+    pub accuracy: f64,
+    /// Mean of the exponential answer-latency model, simulated minutes.
+    pub latency_mean_minutes: f64,
+    /// Crowd + scheduler seed.
+    pub seed: u64,
+}
+
+/// One measured configuration: a discovery mode at a shard count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchRecord {
+    /// Human-readable row id, e.g. `heap-4shard`.
+    pub label: String,
+    /// Arrival discovery: `"heap"` or `"scan"`.
+    pub discovery: String,
+    /// Execution mode: `"clocked"` or `"parallel"`.
+    pub mode: String,
+    /// Shard (OS thread) count — 1 for `clocked`.
+    pub shards: u64,
+    /// Host seconds for the measured run (best of the recorded repeats).
+    pub wall_seconds: f64,
+    /// Scheduler events (clocked ticks) in the run.
+    pub ticks: u64,
+    /// Real questions resolved.
+    pub questions: u64,
+    /// `ticks / wall_seconds`.
+    pub events_per_sec: f64,
+    /// `questions / wall_seconds`.
+    pub questions_per_sec: f64,
+    /// Median per-HIT verdict latency, simulated minutes.
+    pub p50_verdict_latency_min: f64,
+    /// 99th-percentile per-HIT verdict latency, simulated minutes.
+    pub p99_verdict_latency_min: f64,
+    /// Simulated minutes from fleet start to the last batch's completion.
+    pub makespan_min: f64,
+}
+
+/// A full snapshot: schema header, workload, and one record per configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchSnapshot {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema: u64,
+    /// The workload all records share.
+    pub workload: BenchWorkload,
+    /// The measured configurations.
+    pub records: Vec<BenchRecord>,
+}
+
+fn field_num(obj: &Json, key: &str, ctx: &str) -> Result<f64, String> {
+    obj.get(key)
+        .and_then(Json::as_num)
+        .ok_or_else(|| format!("{ctx}: missing or non-numeric field {key:?}"))
+}
+
+fn field_uint(obj: &Json, key: &str, ctx: &str) -> Result<u64, String> {
+    let n = field_num(obj, key, ctx)?;
+    if n >= 0.0 && n.fract() == 0.0 {
+        Ok(n as u64)
+    } else {
+        Err(format!(
+            "{ctx}: field {key:?} must be a non-negative integer"
+        ))
+    }
+}
+
+fn field_str(obj: &Json, key: &str, ctx: &str) -> Result<String, String> {
+    obj.get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("{ctx}: missing or non-string field {key:?}"))
+}
+
+impl BenchSnapshot {
+    /// Serialize to the committed pretty-JSON form.
+    pub fn to_json(&self) -> String {
+        let workload = Json::Obj(vec![
+            ("jobs".into(), Json::Num(self.workload.jobs as f64)),
+            (
+                "questions_per_job".into(),
+                Json::Num(self.workload.questions_per_job as f64),
+            ),
+            (
+                "gold_per_job".into(),
+                Json::Num(self.workload.gold_per_job as f64),
+            ),
+            ("pool".into(), Json::Num(self.workload.pool as f64)),
+            (
+                "workers_per_hit".into(),
+                Json::Num(self.workload.workers_per_hit as f64),
+            ),
+            (
+                "batch_size".into(),
+                Json::Num(self.workload.batch_size as f64),
+            ),
+            ("accuracy".into(), Json::Num(self.workload.accuracy)),
+            (
+                "latency_mean_minutes".into(),
+                Json::Num(self.workload.latency_mean_minutes),
+            ),
+            ("seed".into(), Json::Num(self.workload.seed as f64)),
+        ]);
+        let records = self
+            .records
+            .iter()
+            .map(|r| {
+                Json::Obj(vec![
+                    ("label".into(), Json::Str(r.label.clone())),
+                    ("discovery".into(), Json::Str(r.discovery.clone())),
+                    ("mode".into(), Json::Str(r.mode.clone())),
+                    ("shards".into(), Json::Num(r.shards as f64)),
+                    ("wall_seconds".into(), Json::Num(r.wall_seconds)),
+                    ("ticks".into(), Json::Num(r.ticks as f64)),
+                    ("questions".into(), Json::Num(r.questions as f64)),
+                    ("events_per_sec".into(), Json::Num(r.events_per_sec)),
+                    ("questions_per_sec".into(), Json::Num(r.questions_per_sec)),
+                    (
+                        "p50_verdict_latency_min".into(),
+                        Json::Num(r.p50_verdict_latency_min),
+                    ),
+                    (
+                        "p99_verdict_latency_min".into(),
+                        Json::Num(r.p99_verdict_latency_min),
+                    ),
+                    ("makespan_min".into(), Json::Num(r.makespan_min)),
+                ])
+            })
+            .collect();
+        Json::Obj(vec![
+            ("schema".into(), Json::Num(self.schema as f64)),
+            ("name".into(), Json::Str(SNAPSHOT_NAME.into())),
+            ("workload".into(), workload),
+            ("records".into(), Json::Arr(records)),
+        ])
+        .to_pretty()
+    }
+
+    /// Parse and validate a snapshot document.
+    pub fn from_json(text: &str) -> Result<BenchSnapshot, String> {
+        let doc = Json::parse(text)?;
+        let schema = field_uint(&doc, "schema", "snapshot")?;
+        if schema != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema version {schema} (this build reads {SCHEMA_VERSION})"
+            ));
+        }
+        let name = field_str(&doc, "name", "snapshot")?;
+        if name != SNAPSHOT_NAME {
+            return Err(format!("not a perf snapshot: name is {name:?}"));
+        }
+        let w = doc
+            .get("workload")
+            .ok_or("snapshot: missing field \"workload\"")?;
+        let workload = BenchWorkload {
+            jobs: field_uint(w, "jobs", "workload")?,
+            questions_per_job: field_uint(w, "questions_per_job", "workload")?,
+            gold_per_job: field_uint(w, "gold_per_job", "workload")?,
+            pool: field_uint(w, "pool", "workload")?,
+            workers_per_hit: field_uint(w, "workers_per_hit", "workload")?,
+            batch_size: field_uint(w, "batch_size", "workload")?,
+            accuracy: field_num(w, "accuracy", "workload")?,
+            latency_mean_minutes: field_num(w, "latency_mean_minutes", "workload")?,
+            seed: field_uint(w, "seed", "workload")?,
+        };
+        let Some(Json::Arr(rows)) = doc.get("records") else {
+            return Err("snapshot: missing or non-array field \"records\"".into());
+        };
+        let mut records = Vec::with_capacity(rows.len());
+        for (i, row) in rows.iter().enumerate() {
+            let ctx = format!("records[{i}]");
+            records.push(BenchRecord {
+                label: field_str(row, "label", &ctx)?,
+                discovery: field_str(row, "discovery", &ctx)?,
+                mode: field_str(row, "mode", &ctx)?,
+                shards: field_uint(row, "shards", &ctx)?,
+                wall_seconds: field_num(row, "wall_seconds", &ctx)?,
+                ticks: field_uint(row, "ticks", &ctx)?,
+                questions: field_uint(row, "questions", &ctx)?,
+                events_per_sec: field_num(row, "events_per_sec", &ctx)?,
+                questions_per_sec: field_num(row, "questions_per_sec", &ctx)?,
+                p50_verdict_latency_min: field_num(row, "p50_verdict_latency_min", &ctx)?,
+                p99_verdict_latency_min: field_num(row, "p99_verdict_latency_min", &ctx)?,
+                makespan_min: field_num(row, "makespan_min", &ctx)?,
+            });
+        }
+        let snapshot = BenchSnapshot {
+            schema,
+            workload,
+            records,
+        };
+        snapshot.validate()?;
+        Ok(snapshot)
+    }
+
+    /// Semantic checks beyond shape: labels unique, enums in range, metrics coherent.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.records.is_empty() {
+            return Err("snapshot has no records".into());
+        }
+        let mut labels: Vec<&str> = self.records.iter().map(|r| r.label.as_str()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        if labels.len() != self.records.len() {
+            return Err("snapshot record labels are not unique".into());
+        }
+        for r in &self.records {
+            let ctx = &r.label;
+            if r.discovery != "heap" && r.discovery != "scan" {
+                return Err(format!("{ctx}: discovery must be \"heap\" or \"scan\""));
+            }
+            if r.mode != "clocked" && r.mode != "parallel" {
+                return Err(format!("{ctx}: mode must be \"clocked\" or \"parallel\""));
+            }
+            if r.mode == "clocked" && r.shards != 1 {
+                return Err(format!("{ctx}: a clocked run has exactly 1 shard"));
+            }
+            if r.shards == 0 {
+                return Err(format!("{ctx}: shards must be positive"));
+            }
+            if r.wall_seconds <= 0.0 {
+                return Err(format!("{ctx}: wall_seconds must be positive"));
+            }
+            if r.ticks == 0 || r.questions == 0 {
+                return Err(format!("{ctx}: an empty run is not a benchmark"));
+            }
+            let events = r.ticks as f64 / r.wall_seconds;
+            if (events - r.events_per_sec).abs() > events * 1e-6 {
+                return Err(format!("{ctx}: events_per_sec != ticks / wall_seconds"));
+            }
+            let questions = r.questions as f64 / r.wall_seconds;
+            if (questions - r.questions_per_sec).abs() > questions * 1e-6 {
+                return Err(format!(
+                    "{ctx}: questions_per_sec != questions / wall_seconds"
+                ));
+            }
+            if r.p50_verdict_latency_min > r.p99_verdict_latency_min {
+                return Err(format!("{ctx}: p50 latency exceeds p99"));
+            }
+            if r.p99_verdict_latency_min > r.makespan_min {
+                return Err(format!("{ctx}: p99 latency exceeds the makespan"));
+            }
+        }
+        Ok(())
+    }
+
+    /// The record with the given label, if present.
+    pub fn record(&self, label: &str) -> Option<&BenchRecord> {
+        self.records.iter().find(|r| r.label == label)
+    }
+}
+
+/// Rank-based percentile (nearest-rank on a sorted copy); `q` in `[0, 1]`.
+pub fn percentile(samples: &[f64], q: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort_by(f64::total_cmp);
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchSnapshot {
+        BenchSnapshot {
+            schema: SCHEMA_VERSION,
+            workload: BenchWorkload {
+                jobs: 16,
+                questions_per_job: 12,
+                gold_per_job: 4,
+                pool: 96,
+                workers_per_hit: 5,
+                batch_size: 4,
+                accuracy: 0.85,
+                latency_mean_minutes: 5.0,
+                seed: 42,
+            },
+            records: vec![
+                BenchRecord {
+                    label: "scan-1shard".into(),
+                    discovery: "scan".into(),
+                    mode: "clocked".into(),
+                    shards: 1,
+                    wall_seconds: 0.04,
+                    ticks: 200,
+                    questions: 192,
+                    events_per_sec: 200.0 / 0.04,
+                    questions_per_sec: 192.0 / 0.04,
+                    p50_verdict_latency_min: 9.5,
+                    p99_verdict_latency_min: 30.25,
+                    makespan_min: 48.125,
+                },
+                BenchRecord {
+                    label: "heap-2shard".into(),
+                    discovery: "heap".into(),
+                    mode: "parallel".into(),
+                    shards: 2,
+                    wall_seconds: 0.015,
+                    ticks: 210,
+                    questions: 192,
+                    events_per_sec: 210.0 / 0.015,
+                    questions_per_sec: 192.0 / 0.015,
+                    p50_verdict_latency_min: 8.0,
+                    p99_verdict_latency_min: 28.0,
+                    makespan_min: 40.0,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let original = sample();
+        let text = original.to_json();
+        let parsed = BenchSnapshot::from_json(&text).unwrap();
+        assert_eq!(parsed, original);
+        // And the rendered form is stable (idempotent re-serialization).
+        assert_eq!(parsed.to_json(), text);
+    }
+
+    #[test]
+    fn parser_handles_the_grammar() {
+        let doc = Json::parse(
+            r#"{"a": [1, 2.5, -3e2], "b": {"nested": true}, "c": null, "d": "x\n\"yA"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            doc.get("a"),
+            Some(&Json::Arr(vec![
+                Json::Num(1.0),
+                Json::Num(2.5),
+                Json::Num(-300.0),
+            ]))
+        );
+        assert_eq!(
+            doc.get("b").and_then(|b| b.get("nested")),
+            Some(&Json::Bool(true))
+        );
+        assert_eq!(doc.get("c"), Some(&Json::Null));
+        assert_eq!(doc.get("d").and_then(Json::as_str), Some("x\n\"yA"));
+        assert!(Json::parse("{} trailing").is_err());
+        assert!(Json::parse("{\"open\": ").is_err());
+        assert!(Json::parse("[1,]").is_err());
+    }
+
+    #[test]
+    fn validation_rejects_broken_snapshots() {
+        let ok = sample();
+
+        let mut wrong_schema = ok.clone();
+        wrong_schema.schema = SCHEMA_VERSION + 1;
+        assert!(BenchSnapshot::from_json(&wrong_schema.to_json())
+            .unwrap_err()
+            .contains("schema"));
+
+        let mut duplicate = ok.clone();
+        duplicate.records[1].label = duplicate.records[0].label.clone();
+        assert!(duplicate.validate().unwrap_err().contains("unique"));
+
+        let mut bad_discovery = ok.clone();
+        bad_discovery.records[0].discovery = "magic".into();
+        assert!(bad_discovery.validate().unwrap_err().contains("discovery"));
+
+        let mut clocked_sharded = ok.clone();
+        clocked_sharded.records[0].shards = 4;
+        assert!(clocked_sharded.validate().unwrap_err().contains("1 shard"));
+
+        let mut incoherent = ok.clone();
+        incoherent.records[0].events_per_sec *= 2.0;
+        assert!(incoherent
+            .validate()
+            .unwrap_err()
+            .contains("events_per_sec"));
+
+        let mut inverted = ok.clone();
+        inverted.records[0].p50_verdict_latency_min = 99.0;
+        assert!(inverted.validate().unwrap_err().contains("p50"));
+
+        let mut not_a_snapshot = ok.clone();
+        not_a_snapshot.records.clear();
+        assert!(not_a_snapshot.validate().unwrap_err().contains("records"));
+
+        assert!(BenchSnapshot::from_json("{\"name\": \"other\"}").is_err());
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let samples: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&samples, 0.5), 50.0);
+        assert_eq!(percentile(&samples, 0.99), 99.0);
+        assert_eq!(percentile(&samples, 1.0), 100.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+}

@@ -1,0 +1,67 @@
+//! Guard the committed `BENCH_clocked.json` at the repository root: it must parse
+//! against the in-tree codec, pass schema validation, and actually record the claim the
+//! event-heap PR series makes — the heap-driven scheduler out-runs the scan oracle on
+//! raw event throughput at one shard, with the 2/4/8-shard trajectory present.
+
+use cdas_bench::snapshot::{BenchSnapshot, SCHEMA_VERSION};
+use std::path::Path;
+
+fn committed_snapshot() -> BenchSnapshot {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("../../BENCH_clocked.json");
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    BenchSnapshot::from_json(&text)
+        .unwrap_or_else(|e| panic!("{} is not a valid perf snapshot: {e}", path.display()))
+}
+
+#[test]
+fn committed_snapshot_is_valid_and_current() {
+    let snapshot = committed_snapshot();
+    assert_eq!(snapshot.schema, SCHEMA_VERSION);
+    assert!(snapshot.workload.jobs > 0);
+}
+
+#[test]
+fn committed_snapshot_covers_the_shard_trajectory() {
+    let snapshot = committed_snapshot();
+    for label in [
+        "scan-1shard",
+        "heap-1shard",
+        "heap-2shard",
+        "heap-4shard",
+        "heap-8shard",
+    ] {
+        assert!(
+            snapshot.record(label).is_some(),
+            "snapshot is missing the {label} record"
+        );
+    }
+    for (label, shards) in [("heap-2shard", 2), ("heap-4shard", 4), ("heap-8shard", 8)] {
+        let record = snapshot.record(label).unwrap();
+        assert_eq!(record.shards, shards);
+        assert_eq!(record.mode, "parallel");
+        assert_eq!(record.discovery, "heap");
+    }
+}
+
+#[test]
+fn committed_snapshot_shows_the_heap_beating_the_scan_oracle() {
+    let snapshot = committed_snapshot();
+    let scan = snapshot
+        .record("scan-1shard")
+        .expect("scan baseline present");
+    let heap = snapshot.record("heap-1shard").expect("heap record present");
+    // Identical simulated workload — the wall clock is the only thing that may differ.
+    assert_eq!(
+        heap.ticks, scan.ticks,
+        "1-shard heap and scan are bit-identical"
+    );
+    assert_eq!(heap.questions, scan.questions);
+    assert!(
+        heap.events_per_sec > scan.events_per_sec,
+        "recorded heap events/sec ({:.1}) does not beat scan ({:.1}) — re-record the \
+         snapshot with `cargo run -p cdas-bench --release --bin perf_snapshot`",
+        heap.events_per_sec,
+        scan.events_per_sec,
+    );
+}

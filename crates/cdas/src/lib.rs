@@ -50,7 +50,7 @@ pub mod prelude {
     pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
     pub use cdas_crowd::sharded::{PlatformShard, ShardedPlatform};
     pub use cdas_crowd::spec::CrowdSpec;
-    pub use cdas_crowd::{CancelReceipt, CrowdPlatform, SimulatedPlatform};
+    pub use cdas_crowd::{ArrivalQueue, CancelReceipt, CrowdPlatform, SimulatedPlatform};
     pub use cdas_engine::apps::{ImageTaggingApp, ItConfig, TsaApp, TsaConfig};
     pub use cdas_engine::clocked::{ClockedCollector, ClockedOutcome};
     pub use cdas_engine::engine::WorkerCountPolicy;
@@ -60,7 +60,7 @@ pub mod prelude {
     pub use cdas_engine::job_manager::{AnalyticsJob, JobKind, JobManager};
     pub use cdas_engine::metrics::{FleetReport, JobReport, ShardReport};
     pub use cdas_engine::scheduler::{
-        DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
+        ArrivalDiscovery, DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
     };
     pub use cdas_engine::{CrowdsourcingEngine, EngineConfig, Query, VerificationStrategy};
     pub use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};

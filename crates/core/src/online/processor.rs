@@ -1,10 +1,23 @@
 //! Algorithm 5: the online processing loop.
 //!
 //! The processor consumes one answer at a time (as the crowd platform delivers them),
-//! recomputes the confidence of every distinct answer, and reports whether the configured
+//! refreshes the confidence of every distinct answer, and reports whether the configured
 //! early-termination condition is satisfied. The engine uses it to (a) render approximate
 //! results while the HIT is still running and (b) cancel the HIT as soon as the answer is
 //! good enough, which caps the crowdsourcing cost.
+//!
+//! **Incremental accumulation.** The per-label summed log-odds that drive both the
+//! ranking and the termination bounds are maintained as running state: consuming a vote
+//! applies one `+=` delta instead of re-deriving every sum from the full observation
+//! (which made each clocked poll O(n²) in the answers received). Because
+//! [`summed_confidences`] itself folds votes in arrival order with the same `+=`, the
+//! delta path is **bit-identical** to from-scratch recomputation — a property pinned by
+//! the prefix-equality proptest below. The only event that invalidates the running sums
+//! is a change of the effective answer-domain size `m` (possible in estimated-domain
+//! mode when a vote introduces a new distinct label, since `m` reweights *every* vote);
+//! the processor detects that and rebuilds the sums from the observation.
+
+use std::collections::BTreeMap;
 
 use serde::{Deserialize, Serialize};
 
@@ -12,6 +25,7 @@ use crate::error::{CdasError, Result};
 use crate::online::partial::PartialConfidence;
 use crate::online::termination::{TerminationConfig, TerminationStrategy};
 use crate::types::{Label, Observation, Vote};
+use crate::verification::confidence::{ranked_from_sums, summed_confidences, worker_confidence};
 
 /// Snapshot of the online state after consuming an answer.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -32,6 +46,13 @@ pub struct OnlineProcessor {
     termination: TerminationConfig,
     observation: Observation,
     terminated_at: Option<usize>,
+    /// Running per-label summed confidences, valid for domain size `sums_domain`. One
+    /// `+=` per consumed vote keeps this bit-identical to
+    /// [`summed_confidences`]`(&observation, sums_domain)`.
+    sums: BTreeMap<Label, f64>,
+    /// The effective domain `m` the running sums were accumulated under. Starts at 0
+    /// (below the minimum domain of 2), so the first vote always triggers a rebuild.
+    sums_domain: usize,
 }
 
 impl OnlineProcessor {
@@ -47,13 +68,27 @@ impl OnlineProcessor {
             termination: TerminationConfig::new(strategy, partial),
             observation: Observation::empty(),
             terminated_at: None,
+            sums: BTreeMap::new(),
+            sums_domain: 0,
         })
     }
 
     /// Fix the answer-domain size `m` instead of estimating it per observation.
     pub fn with_domain_size(mut self, m: usize) -> Self {
         self.termination.partial = self.termination.partial.with_domain_size(m);
+        // Changing `m` reweights every vote; invalidate the running sums so the next
+        // consume rebuilds them (0 never equals an effective domain, which is ≥ 2).
+        self.sums_domain = 0;
         self
+    }
+
+    /// The running per-label summed confidences (the delta-maintained log-odds state).
+    ///
+    /// Bit-identical to [`summed_confidences`] over [`observation`](Self::observation)
+    /// at the current effective domain — the contract the prefix-equality proptests
+    /// pin. Empty before the first answer.
+    pub fn confidence_sums(&self) -> &BTreeMap<Label, f64> {
+        &self.sums
     }
 
     /// The observation accumulated so far.
@@ -84,9 +119,25 @@ impl OnlineProcessor {
     /// (the platform may deliver them before the cancellation takes effect) but do not
     /// reset the termination point.
     pub fn consume(&mut self, vote: Vote) -> Result<OnlineOutcome> {
+        let (label, accuracy) = (vote.label.clone(), vote.accuracy());
         self.observation.push(vote);
-        let ranking = self.termination.partial.confidences(&self.observation)?;
-        if self.terminated_at.is_none() && self.termination.should_terminate(&self.observation)? {
+        let m = self.termination.partial.effective_domain(&self.observation);
+        if m == self.sums_domain {
+            // Delta path: `summed_confidences` folds votes in arrival order with this
+            // same `+=`, so appending one term is bit-identical to recomputing.
+            *self.sums.entry(label).or_insert(0.0) += worker_confidence(accuracy, m);
+        } else {
+            // The effective domain changed (first vote, or estimated-domain mode saw a
+            // new distinct label): `m` reweights every vote, so rebuild from scratch.
+            self.sums = summed_confidences(&self.observation, m);
+            self.sums_domain = m;
+        }
+        let ranking = ranked_from_sums(&self.sums, m);
+        if self.terminated_at.is_none()
+            && self
+                .termination
+                .should_terminate_from_sums(&self.observation, &self.sums)?
+        {
             self.terminated_at = Some(self.observation.len());
         }
         Ok(OnlineOutcome {
@@ -107,7 +158,14 @@ impl OnlineProcessor {
                 terminated: false,
             });
         }
-        let ranking = self.termination.partial.confidences(&self.observation)?;
+        let m = self.termination.partial.effective_domain(&self.observation);
+        // After any consume the running sums match the observation; the from-scratch
+        // fallback only covers a domain reconfigured since (e.g. `with_domain_size`).
+        let ranking = if m == self.sums_domain {
+            ranked_from_sums(&self.sums, m)
+        } else {
+            self.termination.partial.confidences(&self.observation)?
+        };
         Ok(OnlineOutcome {
             best: ranking.first().cloned(),
             ranking,
@@ -298,6 +356,7 @@ mod tests {
 #[cfg(test)]
 mod proptests {
     use super::*;
+    use crate::online::partial::PartialConfidence;
     use crate::types::{Observation, WorkerId};
     use crate::verification::confidence::answer_confidences;
     use proptest::prelude::*;
@@ -320,6 +379,96 @@ mod proptests {
                     .collect();
                 (votes, mu)
             })
+    }
+
+    /// Assert that after every prefix of `votes`, the delta-maintained state of a
+    /// processor equals from-scratch recomputation **bitwise**: running sums, ranking,
+    /// and the termination decision. `domain` fixes `m` (the scheduler's usual mode);
+    /// `None` estimates it per observation, exercising the rebuild-on-domain-change
+    /// path every time a new distinct label arrives.
+    fn assert_prefixes_match_from_scratch(
+        votes: &[Vote],
+        mu: f64,
+        strategy: TerminationStrategy,
+        domain: Option<usize>,
+    ) {
+        let n = votes.len();
+        let mut partial = PartialConfidence::new(n, mu).unwrap();
+        if let Some(m) = domain {
+            partial = partial.with_domain_size(m);
+        }
+        let oracle = TerminationConfig::new(strategy, partial);
+
+        let mut p = OnlineProcessor::new(n, mu, strategy).unwrap();
+        if let Some(m) = domain {
+            p = p.with_domain_size(m);
+        }
+        let mut oracle_terminated_at = None;
+        for (i, vote) in votes.iter().enumerate() {
+            let outcome = p.consume(vote.clone()).unwrap();
+            let prefix = Observation::from_votes(votes[..=i].to_vec());
+            let m = oracle.partial.effective_domain(&prefix);
+
+            // The running sums are bit-identical to a from-scratch fold of the prefix.
+            let scratch = crate::verification::confidence::summed_confidences(&prefix, m);
+            prop_assert_eq!(
+                p.confidence_sums(),
+                &scratch,
+                "sums diverged after {} votes (m={})",
+                i + 1,
+                m
+            );
+            // And so is everything derived from them: the ranking ...
+            prop_assert_eq!(outcome.ranking, answer_confidences(&prefix, m));
+            // ... and the termination decision, against the from-scratch oracle.
+            if oracle_terminated_at.is_none() && oracle.should_terminate(&prefix).unwrap() {
+                oracle_terminated_at = Some(i + 1);
+            }
+            prop_assert_eq!(p.terminated_at(), oracle_terminated_at);
+        }
+    }
+
+    /// Arrival sequences over four labels so estimated-domain mode keeps discovering
+    /// new distinct answers mid-stream (each discovery reweights every prior vote).
+    fn mixed_label_sequence() -> impl Strategy<Value = (Vec<Vote>, f64)> {
+        let label = prop_oneof![Just("a"), Just("b"), Just("c"), Just("d")];
+        (
+            prop::collection::vec((label, 0.55f64..0.95), 1..14),
+            0.6f64..0.9,
+        )
+            .prop_map(|(entries, mu)| {
+                let votes = entries
+                    .into_iter()
+                    .enumerate()
+                    .map(|(i, (l, a))| Vote::new(WorkerId(i as u64), Label::from(l), a))
+                    .collect();
+                (votes, mu)
+            })
+    }
+
+    proptest! {
+        /// Satellite of the event-heap PR: the delta-applied log-odds state equals
+        /// from-scratch recomputation after **every prefix** of an arrival sequence,
+        /// for every termination strategy, in the scheduler's fixed-domain mode.
+        #[test]
+        fn incremental_sums_equal_from_scratch_on_every_prefix(
+            (votes, mu) in mixed_label_sequence()
+        ) {
+            for strategy in TerminationStrategy::ALL {
+                assert_prefixes_match_from_scratch(&votes, mu, strategy, Some(3));
+            }
+        }
+
+        /// Same prefix equality with an **estimated** domain: new distinct labels bump
+        /// `m` mid-stream, forcing the rebuild path, which must also match bitwise.
+        #[test]
+        fn incremental_sums_survive_domain_growth(
+            (votes, mu) in mixed_label_sequence()
+        ) {
+            for strategy in TerminationStrategy::ALL {
+                assert_prefixes_match_from_scratch(&votes, mu, strategy, None);
+            }
+        }
     }
 
     proptest! {

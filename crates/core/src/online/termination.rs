@@ -92,16 +92,40 @@ impl TerminationConfig {
 
     /// Compute the extreme-case bounds (Equations 5–6) for the current observation.
     ///
-    /// Requires at least one received answer.
+    /// Requires at least one received answer. This recomputes the per-label summed
+    /// confidences from scratch; incremental consumers that already maintain them (the
+    /// [`OnlineProcessor`](crate::online::processor::OnlineProcessor) delta path) use
+    /// [`bounds_from_sums`](Self::bounds_from_sums) instead. The two are bit-identical
+    /// — this from-scratch form is the oracle the incremental path is property-tested
+    /// against.
     pub fn bounds(&self, observation: &Observation) -> Result<TerminationBounds> {
+        if observation.is_empty() {
+            return Err(CdasError::EmptyObservation);
+        }
+        let m = self.partial.effective_domain(observation);
+        let sums = summed_confidences(observation, m);
+        self.bounds_from_sums(observation, &sums)
+    }
+
+    /// [`bounds`](Self::bounds) over **precomputed** summed confidences.
+    ///
+    /// `sums` must be the per-label summed confidences of `observation` under its
+    /// current [`PartialConfidence::effective_domain`] — exactly what
+    /// [`summed_confidences`] returns, or what an incremental accumulator maintains by
+    /// applying one `+=` delta per vote (the two agree bitwise because
+    /// [`summed_confidences`] itself folds votes in arrival order).
+    pub fn bounds_from_sums(
+        &self,
+        observation: &Observation,
+        sums: &BTreeMap<Label, f64>,
+    ) -> Result<TerminationBounds> {
         if observation.is_empty() {
             return Err(CdasError::EmptyObservation);
         }
         let m = self.partial.effective_domain(observation);
         let remaining = self.partial.remaining(observation);
         let unseen_confidence = self.partial.unseen_worker_confidence(observation);
-        let sums = summed_confidences(observation, m);
-        let ranked = rank(&sums);
+        let ranked = rank(sums);
         let (best, _best_sum) = ranked[0].clone();
         // The runner-up is the second observed answer; when every vote agrees, the
         // adversarial completion targets a fresh (never observed) answer with sum 0.
@@ -111,10 +135,10 @@ impl TerminationConfig {
             .map(|(l, s)| (Some(l), s))
             .unwrap_or((None, 0.0));
 
-        let current = current_probabilities(&sums, m, &best, second.as_ref());
+        let current = current_probabilities(sums, m, &best, second.as_ref());
         // Adversarial completion: the remaining workers all vote for the runner-up.
         let boosted_second_sum = second_sum + remaining as f64 * unseen_confidence;
-        let worst = completed_probabilities(&sums, m, second.as_ref(), boosted_second_sum, &best);
+        let worst = completed_probabilities(sums, m, second.as_ref(), boosted_second_sum, &best);
 
         Ok(TerminationBounds {
             best,
@@ -130,8 +154,25 @@ impl TerminationConfig {
     /// Whether the configured strategy allows terminating the HIT now.
     ///
     /// With no outstanding answers the HIT is complete and this always returns `true`.
+    /// Like [`bounds`](Self::bounds) this is the from-scratch form; incremental
+    /// consumers use [`should_terminate_from_sums`](Self::should_terminate_from_sums).
     pub fn should_terminate(&self, observation: &Observation) -> Result<bool> {
-        let bounds = self.bounds(observation)?;
+        self.decide(self.bounds(observation)?)
+    }
+
+    /// [`should_terminate`](Self::should_terminate) over precomputed summed
+    /// confidences — see [`bounds_from_sums`](Self::bounds_from_sums) for the contract
+    /// on `sums`.
+    pub fn should_terminate_from_sums(
+        &self,
+        observation: &Observation,
+        sums: &BTreeMap<Label, f64>,
+    ) -> Result<bool> {
+        self.decide(self.bounds_from_sums(observation, sums)?)
+    }
+
+    /// Apply the configured strategy to already-computed bounds.
+    fn decide(&self, bounds: TerminationBounds) -> Result<bool> {
         if bounds.remaining == 0 {
             return Ok(true);
         }
@@ -442,6 +483,26 @@ mod proptests {
             let b = cfg.bounds(&observation).unwrap();
             prop_assert!(b.best_worst_case <= b.best_current + 1e-9);
             prop_assert!(b.second_best_case >= b.second_current - 1e-9);
+        }
+
+        /// The sums-accepting variants (the incremental hot path) equal the from-scratch
+        /// forms bit for bit, for every strategy.
+        #[test]
+        fn sums_variants_match_from_scratch((observation, n) in arbitrary_partial(), mu in 0.6f64..0.9) {
+            let partial = PartialConfidence::new(n, mu).unwrap().with_domain_size(3);
+            for strategy in TerminationStrategy::ALL {
+                let cfg = TerminationConfig::new(strategy, partial);
+                let m = cfg.partial.effective_domain(&observation);
+                let sums = summed_confidences(&observation, m);
+                prop_assert_eq!(
+                    cfg.bounds_from_sums(&observation, &sums).unwrap(),
+                    cfg.bounds(&observation).unwrap()
+                );
+                prop_assert_eq!(
+                    cfg.should_terminate_from_sums(&observation, &sums).unwrap(),
+                    cfg.should_terminate(&observation).unwrap()
+                );
+            }
         }
 
         /// If MinMax fires, the adversarial completion cannot flip the winner.

@@ -185,6 +185,40 @@ impl SharedAccuracyRegistry {
         changed
     }
 
+    /// Overwrite a batch of estimates verbatim — no pooling — returning the number of
+    /// workers whose entry changed (bit-compared, so re-adopting an identical entry is a
+    /// no-op and does not bump the generation).
+    ///
+    /// This is the merge-back primitive for shard isolation (see
+    /// `JobScheduler::run_parallel`): each parallel shard runs over its own registry
+    /// seeded from a pre-spawn snapshot of the fleet registry, and once the threads join
+    /// the parent adopts every entry a shard *changed*. A shard's entry already pooled
+    /// the seed's history with the run's new gold samples, so [`absorb`](Self::absorb)
+    /// would pool the seed portion twice; adoption replaces the entry wholesale instead.
+    /// Sound because shard rosters are disjoint — each worker's sampled history lives in
+    /// exactly one shard.
+    pub fn adopt(&self, estimates: &AccuracyRegistry) -> usize {
+        if estimates.is_empty() {
+            return 0;
+        }
+        let mut changed = 0usize;
+        for (&worker, incoming) in estimates.iter() {
+            let mut stripe = self.write_stripe(stripe_of(worker));
+            let same = stripe.get(worker).is_some_and(|current| {
+                current.accuracy.to_bits() == incoming.accuracy.to_bits()
+                    && current.samples == incoming.samples
+            });
+            if !same {
+                stripe.set(worker, incoming.accuracy, incoming.samples);
+                changed += 1;
+            }
+        }
+        if changed > 0 {
+            self.inner.generation.fetch_add(1, Ordering::AcqRel);
+        }
+        changed
+    }
+
     /// The current write generation (bumped on every mutating call that changed an entry).
     pub fn generation(&self) -> u64 {
         self.inner.generation.load(Ordering::Acquire)
@@ -399,6 +433,32 @@ mod tests {
         assert!((w1.accuracy - (0.6 * 4.0 + 0.9 * 8.0) / 12.0).abs() < 1e-12);
         assert_eq!(w1.samples, 12);
         assert_eq!(snap.get(WorkerId(2)).unwrap().samples, 2);
+    }
+
+    #[test]
+    fn adopt_overwrites_without_pooling() {
+        // A shard seeded with (0.6, 4) pools 8 new gold samples into (0.8, 12); the
+        // parent adopts the pooled entry verbatim instead of re-pooling the seed.
+        let shared = SharedAccuracyRegistry::new();
+        shared.record(WorkerId(1), 0.6, 4);
+        let mut delta = AccuracyRegistry::new();
+        delta.set(WorkerId(1), 0.8, 12);
+        delta.set(WorkerId(2), 0.7, 2);
+        assert_eq!(shared.adopt(&delta), 2);
+        let w1 = shared.snapshot().get(WorkerId(1)).copied().unwrap();
+        assert_eq!(w1.accuracy.to_bits(), 0.8f64.to_bits());
+        assert_eq!(w1.samples, 12);
+        // Unlike absorb, adopt lets an injected entry replace a sampled one — the
+        // adopter vouches for the entry being the worker's whole history.
+        let mut injected = AccuracyRegistry::new();
+        injected.set(WorkerId(2), 0.3, 0);
+        assert_eq!(shared.adopt(&injected), 1);
+        assert_eq!(shared.accuracy_of(WorkerId(2)), Some(0.3));
+        // Re-adopting identical entries is a generation-preserving no-op.
+        let before = shared.generation();
+        assert_eq!(shared.adopt(&injected), 0);
+        assert_eq!(shared.generation(), before, "no-op adopt must not bump");
+        assert_eq!(shared.adopt(&AccuracyRegistry::new()), 0);
     }
 
     #[test]

@@ -1,0 +1,356 @@
+//! The arrival priority queue at the heart of the event-heap scheduler core.
+//!
+//! The clocked scheduler used to discover "what happens next" by scanning every
+//! in-flight HIT per tick and folding their [`CrowdPlatform::next_arrival`] look-aheads
+//! into a minimum — O(inflight) work per arrival event. [`ArrivalQueue`] replaces that
+//! scan with a binary min-heap keyed by arrival time, so each event costs O(log n):
+//!
+//! ```text
+//!               arm(hit, at)                     pop() / next_time()
+//!                    │                                   ▲
+//!                    ▼                                   │ skims stale entries
+//!            ┌───────────────┐  lazily deleted   ┌───────┴───────┐
+//!            │ live map      │  entries stay in  │ binary heap   │
+//!            │ HitId -> at   │─────────────────▶ │ (at, HitId)   │
+//!            └───────────────┘  the heap until   └───────────────┘
+//!                    ▲          they surface
+//!                    │
+//!               cancel(hit)   — removes from the live map only
+//! ```
+//!
+//! **Lazy deletion.** A binary heap cannot remove an interior entry cheaply, so
+//! [`cancel`](ArrivalQueue::cancel) and re-[`arm`](ArrivalQueue::arm) never touch the
+//! heap: they only update the `live` side map. Heap entries that no longer match the
+//! live map are *stale* and are discarded when they reach the top. This is what lets a
+//! mid-flight [`CrowdPlatform::cancel`] drop a HIT from the event stream in O(log n)
+//! without ever firing a ghost arrival for it.
+//!
+//! **Deterministic tie-break.** Simultaneous arrivals (exactly equal `f64` times) pop
+//! in ascending [`HitId`] order, so two schedulers fed the same timeline process ties
+//! identically — a requirement for the bit-identical differential suite in
+//! `tests/event_heap_equivalence.rs`.
+//!
+//! [`CrowdPlatform::next_arrival`]: crate::platform::CrowdPlatform::next_arrival
+//! [`CrowdPlatform::cancel`]: crate::platform::CrowdPlatform::cancel
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BinaryHeap};
+
+use cdas_core::types::HitId;
+
+/// One scheduled arrival: HIT `hit` has an answer landing at simulated minute `at`.
+///
+/// Ordered so that a *max*-heap of entries pops the **earliest** time first, breaking
+/// exact ties by ascending [`HitId`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct Entry {
+    at: f64,
+    hit: HitId,
+}
+
+// `at` is guaranteed finite by `ArrivalQueue::arm`, so equality is total in practice.
+impl Eq for Entry {}
+
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Reversed on both keys: `BinaryHeap` is a max-heap, and we want the earliest
+        // time (then the smallest HIT id) on top.
+        other
+            .at
+            .total_cmp(&self.at)
+            .then_with(|| other.hit.cmp(&self.hit))
+    }
+}
+
+/// A min-heap of upcoming answer arrivals with O(log n) lazy deletion.
+///
+/// See the [module docs](self) for the design. The queue tracks **at most one** arrival
+/// per HIT — re-arming replaces the previous entry, mirroring how
+/// [`CrowdPlatform::next_arrival`](crate::platform::CrowdPlatform::next_arrival)
+/// exposes only the *next* pending answer.
+///
+/// ```
+/// use cdas_core::types::HitId;
+/// use cdas_crowd::ArrivalQueue;
+///
+/// let mut queue = ArrivalQueue::new();
+/// queue.arm(HitId(2), 5.0);
+/// queue.arm(HitId(1), 5.0); // simultaneous: ties pop in HIT-id order
+/// queue.arm(HitId(3), 4.0);
+/// queue.cancel(HitId(3)); // lazy deletion: never pops
+/// assert_eq!(queue.pop(), Some((5.0, HitId(1))));
+/// assert_eq!(queue.pop(), Some((5.0, HitId(2))));
+/// assert_eq!(queue.pop(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ArrivalQueue {
+    heap: BinaryHeap<Entry>,
+    /// The authoritative schedule: the heap is just an index over this map, and a heap
+    /// entry is live iff it matches the map exactly.
+    live: BTreeMap<HitId, f64>,
+}
+
+impl ArrivalQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedule (or reschedule) `hit`'s next arrival at simulated minute `at`.
+    ///
+    /// Re-arming replaces the previous schedule; the superseded heap entry goes stale
+    /// and is skimmed off when it surfaces. Arming an already-identical `(hit, at)`
+    /// pair is a no-op, so per-tick re-arms don't grow the heap.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is not finite — infinite look-aheads mean "no arrival" and must
+    /// be kept out of the queue by the caller.
+    pub fn arm(&mut self, hit: HitId, at: f64) {
+        assert!(
+            at.is_finite(),
+            "arrival time for {hit} must be finite, got {at}"
+        );
+        if self.live.get(&hit) == Some(&at) {
+            return;
+        }
+        self.live.insert(hit, at);
+        self.heap.push(Entry { at, hit });
+    }
+
+    /// Drop `hit` from the schedule. Returns whether it was tracked.
+    ///
+    /// This is the lazy-deletion path: only the live map is touched, and the HIT's heap
+    /// entry (if any) dies as a stale skim later. After `cancel`, no [`pop`](Self::pop)
+    /// will ever return this HIT unless it is re-armed.
+    pub fn cancel(&mut self, hit: HitId) -> bool {
+        self.live.remove(&hit).is_some()
+    }
+
+    /// Whether `hit` currently has a scheduled arrival.
+    pub fn tracks(&self, hit: HitId) -> bool {
+        self.live.contains_key(&hit)
+    }
+
+    /// Number of HITs with a scheduled arrival (stale heap entries don't count).
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no arrivals are scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Discard stale entries until the heap's top is live (or the heap is empty).
+    fn skim(&mut self) {
+        while let Some(top) = self.heap.peek() {
+            if self.live.get(&top.hit) == Some(&top.at) {
+                return;
+            }
+            self.heap.pop();
+        }
+    }
+
+    /// The earliest scheduled `(time, hit)` without removing it.
+    pub fn peek(&mut self) -> Option<(f64, HitId)> {
+        self.skim();
+        self.heap.peek().map(|e| (e.at, e.hit))
+    }
+
+    /// The earliest scheduled arrival time, if any.
+    pub fn next_time(&mut self) -> Option<f64> {
+        self.peek().map(|(at, _)| at)
+    }
+
+    /// Remove and return the earliest scheduled `(time, hit)`.
+    ///
+    /// Ties (bit-equal times) pop in ascending [`HitId`] order. The popped HIT leaves
+    /// the live map, so it won't pop again until re-armed.
+    pub fn pop(&mut self) -> Option<(f64, HitId)> {
+        self.skim();
+        let entry = self.heap.pop()?;
+        self.live.remove(&entry.hit);
+        Some((entry.at, entry.hit))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = ArrivalQueue::new();
+        q.arm(HitId(1), 9.0);
+        q.arm(HitId(2), 3.0);
+        q.arm(HitId(3), 6.0);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.next_time(), Some(3.0));
+        assert_eq!(q.pop(), Some((3.0, HitId(2))));
+        assert_eq!(q.pop(), Some((6.0, HitId(3))));
+        assert_eq!(q.pop(), Some((9.0, HitId(1))));
+        assert_eq!(q.pop(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn simultaneous_arrivals_tie_break_by_hit_id() {
+        let mut q = ArrivalQueue::new();
+        for hit in [4u64, 1, 3, 2] {
+            q.arm(HitId(hit), 7.5);
+        }
+        let order: Vec<HitId> = std::iter::from_fn(|| q.pop().map(|(_, h)| h)).collect();
+        assert_eq!(order, [HitId(1), HitId(2), HitId(3), HitId(4)]);
+    }
+
+    #[test]
+    fn cancel_suppresses_the_arrival_without_touching_the_heap() {
+        let mut q = ArrivalQueue::new();
+        q.arm(HitId(1), 2.0);
+        q.arm(HitId(2), 4.0);
+        assert!(q.cancel(HitId(1)));
+        assert!(!q.cancel(HitId(1)), "cancel is idempotent");
+        assert!(!q.tracks(HitId(1)));
+        assert_eq!(q.len(), 1);
+        // The stale entry for HIT 1 is still physically in the heap; pop skims past it.
+        assert_eq!(q.pop(), Some((4.0, HitId(2))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn rearm_replaces_the_previous_schedule() {
+        let mut q = ArrivalQueue::new();
+        q.arm(HitId(1), 10.0);
+        q.arm(HitId(1), 2.0); // earlier re-arm wins
+        assert_eq!(q.pop(), Some((2.0, HitId(1))));
+        assert_eq!(q.pop(), None, "the superseded 10.0 entry is stale");
+
+        q.arm(HitId(1), 2.0);
+        q.arm(HitId(1), 10.0); // later re-arm wins too
+        assert_eq!(q.pop(), Some((10.0, HitId(1))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn identical_rearm_is_a_no_op_and_never_double_pops() {
+        let mut q = ArrivalQueue::new();
+        for _ in 0..100 {
+            q.arm(HitId(1), 5.0); // per-tick re-arm pattern from the scheduler
+        }
+        assert_eq!(q.pop(), Some((5.0, HitId(1))));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be finite")]
+    fn infinite_arrival_times_are_rejected() {
+        ArrivalQueue::new().arm(HitId(1), f64::INFINITY);
+    }
+
+    /// The satellite oracle: a queue with no index at all — `pop` min-scans a map the
+    /// way the pre-heap scheduler min-scanned the in-flight list.
+    #[derive(Default)]
+    struct NaiveQueue {
+        live: BTreeMap<HitId, f64>,
+    }
+
+    impl NaiveQueue {
+        fn arm(&mut self, hit: HitId, at: f64) {
+            self.live.insert(hit, at);
+        }
+        fn cancel(&mut self, hit: HitId) -> bool {
+            self.live.remove(&hit).is_some()
+        }
+        fn peek(&self) -> Option<(f64, HitId)> {
+            // Min by time then HIT id; BTreeMap iteration already ascends by id, so a
+            // strict `<` keeps the first (smallest-id) holder of the minimal time.
+            let mut best: Option<(f64, HitId)> = None;
+            for (&hit, &at) in &self.live {
+                if best.map(|(t, _)| at < t).unwrap_or(true) {
+                    best = Some((at, hit));
+                }
+            }
+            best
+        }
+        fn pop(&mut self) -> Option<(f64, HitId)> {
+            let top = self.peek()?;
+            self.live.remove(&top.1);
+            Some(top)
+        }
+    }
+
+    /// One step of the interleaved workload: arm / cancel / pop / peek.
+    #[derive(Debug, Clone, Copy)]
+    enum Op {
+        Arm { hit: u64, at: f64 },
+        Cancel { hit: u64 },
+        Pop,
+        Peek,
+    }
+
+    fn op_strategy() -> impl Strategy<Value = Op> {
+        // HIT ids from a tiny universe and arrival times snapped to a coarse grid, so
+        // re-arms, cancels of tracked HITs, ties, and simultaneous arrivals all happen
+        // constantly rather than almost never.
+        prop_oneof![
+            (0u64..6, 0usize..8).prop_map(|(hit, slot)| Op::Arm {
+                hit,
+                at: slot as f64 * 2.5,
+            }),
+            (0u64..6).prop_map(|hit| Op::Cancel { hit }),
+            Just(Op::Pop),
+            Just(Op::Pop), // weight pops up so queues drain and refill
+            Just(Op::Peek),
+        ]
+    }
+
+    proptest! {
+        /// Satellite: under interleaved arm/pop/cancel — ties included — the lazy-deletion
+        /// heap agrees with the naive min-scan oracle at every step.
+        #[test]
+        fn heap_matches_the_naive_min_scan_oracle(
+            ops in prop::collection::vec(op_strategy(), 1..120)
+        ) {
+            let mut heap = ArrivalQueue::new();
+            let mut oracle = NaiveQueue::default();
+            for op in ops {
+                match op {
+                    Op::Arm { hit, at } => {
+                        heap.arm(HitId(hit), at);
+                        oracle.arm(HitId(hit), at);
+                    }
+                    Op::Cancel { hit } => {
+                        prop_assert_eq!(heap.cancel(HitId(hit)), oracle.cancel(HitId(hit)));
+                    }
+                    Op::Pop => {
+                        prop_assert_eq!(heap.pop(), oracle.pop());
+                    }
+                    Op::Peek => {
+                        prop_assert_eq!(heap.peek(), oracle.peek());
+                    }
+                }
+                prop_assert_eq!(heap.len(), oracle.live.len());
+                prop_assert_eq!(heap.is_empty(), oracle.live.is_empty());
+                for hit in 0u64..6 {
+                    prop_assert_eq!(heap.tracks(HitId(hit)), oracle.live.contains_key(&HitId(hit)));
+                }
+            }
+            // Drain both to the end: every surviving schedule pops, in the same order.
+            loop {
+                let (a, b) = (heap.pop(), oracle.pop());
+                prop_assert_eq!(a, b);
+                if a.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

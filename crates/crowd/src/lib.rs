@@ -20,7 +20,10 @@
 //!   [`CrowdPlatform::cancel`] (uncollected assignments are never paid, per §3.1's
 //!   footnote), and charges the requester per delivered answer,
 //! * a monotone [`clock::SimClock`] that clocked collectors advance from arrival event to
-//!   arrival event (discrete-event simulation of §4.2's asynchronous crowd), and
+//!   arrival event (discrete-event simulation of §4.2's asynchronous crowd), plus an
+//!   [`arrival_queue::ArrivalQueue`] — a lazy-deletion binary min-heap over
+//!   [`CrowdPlatform::next_arrival`] look-aheads that lets the clocked scheduler find the
+//!   next event in O(log n) instead of scanning every in-flight HIT, and
 //! * a worker checkout [`lease::PoolLedger`] — a concurrent lease table whose
 //!   [`lease::WorkerLease`]s release on drop (RAII) — so that many concurrent jobs
 //!   multiplexed over one pool (the multi-job scheduler in `cdas-engine`) never
@@ -42,6 +45,7 @@
 
 pub mod approval;
 pub mod arrival;
+pub mod arrival_queue;
 pub mod behavior;
 pub mod clock;
 pub mod distribution;
@@ -54,6 +58,7 @@ pub mod sharded;
 pub mod spec;
 pub mod worker;
 
+pub use arrival_queue::ArrivalQueue;
 pub use clock::SimClock;
 pub use lease::{LeaseId, PoolLedger, WorkerLease};
 pub use platform::{CancelReceipt, CrowdPlatform, SimulatedPlatform, WorkerAnswer};

@@ -65,7 +65,9 @@ use serde::{Deserialize, Serialize};
 use crate::engine::{CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy};
 use crate::job_manager::{AnalyticsJob, JobKind, ProcessingPlan};
 use crate::metrics::FleetReport;
-use crate::scheduler::{DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig};
+use crate::scheduler::{
+    ArrivalDiscovery, DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
+};
 
 /// How [`Fleet::run`] executes the submitted jobs. All three modes drive the same
 /// scheduler over the same crowd — they differ only in how time and threads are modelled.
@@ -367,6 +369,15 @@ impl<Crowd> FleetBuilder<Crowd> {
     /// Set the scheduler's stall valve (default [`SchedulerConfig::default`]'s).
     pub fn max_ticks(mut self, max_ticks: usize) -> Self {
         self.scheduler.max_ticks = max_ticks;
+        self
+    }
+
+    /// Set how the clocked loops discover the next arrival event (default
+    /// [`ArrivalDiscovery::Heap`]). [`ArrivalDiscovery::Scan`] is the pre-heap
+    /// per-tick scan, retained as the differential-testing oracle and the benchmark
+    /// baseline; both produce bit-identical reports.
+    pub fn arrival_discovery(mut self, discovery: ArrivalDiscovery) -> Self {
+        self.scheduler.discovery = discovery;
         self
     }
 

@@ -239,16 +239,22 @@ impl FleetReport {
         }
     }
 
-    /// A copy with every shard's host wall-clock timing zeroed.
+    /// A copy with every host-scheduling-dependent field normalized away.
     ///
-    /// Wall-clock seconds are the one nondeterministic field in a report; equivalence
-    /// assertions (e.g. "a 1-shard parallel run is byte-identical to `run_clocked`")
-    /// compare through this.
+    /// Two report fields depend on the host, not the simulation: each shard's
+    /// `wall_seconds`, and the cache hit/**miss split** — under a parallel run, whether a
+    /// shared-registry read lands before or after a concurrent write (which invalidates
+    /// the cached snapshot) is decided by thread interleaving. The *total* read count is
+    /// deterministic, so the split is folded into `cache_hits` rather than dropped.
+    /// Equivalence assertions (e.g. "a 1-shard parallel run is byte-identical to
+    /// `run_clocked`") compare through this.
     pub fn ignoring_wall_clock(&self) -> FleetReport {
         let mut copy = self.clone();
         for shard in &mut copy.shards {
             shard.wall_seconds = 0.0;
         }
+        copy.cache_hits += copy.cache_misses;
+        copy.cache_misses = 0;
         copy
     }
 }
@@ -415,5 +421,25 @@ mod tests {
         // Two runs that differ only in wall clock compare equal through it.
         let other = fleet_with_shards(vec![shard(0, 9.0), shard(1, 0.001)]);
         assert_eq!(normalized, other.ignoring_wall_clock());
+    }
+
+    #[test]
+    fn ignoring_wall_clock_folds_the_racy_cache_split_into_the_total() {
+        // The hit/miss split depends on thread interleaving in a parallel run; only
+        // hits + misses is simulation-determined. Same total, different split → equal.
+        let mut a = fleet_with_shards(vec![shard(0, 1.0)]);
+        a.cache_hits = 19;
+        a.cache_misses = 7;
+        let mut b = fleet_with_shards(vec![shard(0, 2.0)]);
+        b.cache_hits = 20;
+        b.cache_misses = 6;
+        assert_eq!(a.ignoring_wall_clock(), b.ignoring_wall_clock());
+        assert_eq!(a.ignoring_wall_clock().cache_hits, 26);
+        assert_eq!(a.ignoring_wall_clock().cache_misses, 0);
+        // A different total still diverges.
+        let mut c = fleet_with_shards(vec![shard(0, 1.0)]);
+        c.cache_hits = 20;
+        c.cache_misses = 7;
+        assert_ne!(a.ignoring_wall_clock(), c.ignoring_wall_clock());
     }
 }

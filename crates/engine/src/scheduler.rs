@@ -61,9 +61,11 @@
 use std::collections::BTreeSet;
 use std::time::Instant;
 
+use cdas_core::accuracy::AccuracyRegistry;
 use cdas_core::sharing::{AccuracyCache, SharedAccuracyRegistry};
 use cdas_core::types::{AnswerDomain, HitId, WorkerId};
 use cdas_core::{CdasError, Result};
+use cdas_crowd::arrival_queue::ArrivalQueue;
 use cdas_crowd::lease::{PoolLedger, WorkerLease};
 use cdas_crowd::platform::CrowdPlatform;
 use cdas_crowd::question::CrowdQuestion;
@@ -96,6 +98,25 @@ pub enum DispatchPolicy {
     Priority,
 }
 
+/// How the clocked loop discovers the next arrival event across the in-flight HITs.
+///
+/// Both modes produce **bit-identical** reports (pinned by the differential suite in
+/// `tests/event_heap_equivalence.rs`); they differ only in how much work each tick
+/// costs. `Scan` is kept as the differential-testing oracle and the benchmark baseline
+/// that `cdas-bench`'s `perf_snapshot` binary records `Heap` against.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ArrivalDiscovery {
+    /// A global arrival priority queue ([`cdas_crowd::ArrivalQueue`]): a binary
+    /// min-heap keyed by [`CrowdPlatform::next_arrival`], with lazy deletion of
+    /// entries for cancelled or terminated HITs so a mid-flight cancel never fires a
+    /// ghost arrival — O(log n) per event.
+    #[default]
+    Heap,
+    /// The pre-heap discovery: every tick folds [`CrowdPlatform::next_arrival`] over
+    /// all in-flight HITs and polls each one — O(inflight) per event.
+    Scan,
+}
+
 /// Scheduler configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct SchedulerConfig {
@@ -106,6 +127,8 @@ pub struct SchedulerConfig {
     pub seed: u64,
     /// Safety valve: abort with [`CdasError::SchedulerStalled`] after this many ticks.
     pub max_ticks: usize,
+    /// How the clocked loop finds the next arrival event (heap vs. the scan oracle).
+    pub discovery: ArrivalDiscovery,
 }
 
 impl Default for SchedulerConfig {
@@ -114,6 +137,7 @@ impl Default for SchedulerConfig {
             policy: DispatchPolicy::RoundRobin,
             seed: 42,
             max_ticks: 10_000,
+            discovery: ArrivalDiscovery::Heap,
         }
     }
 }
@@ -625,11 +649,21 @@ impl JobScheduler {
             }
         }
 
-        // Build one sub-scheduler per shard over the shared registry, and stripe the job
-        // states across them (shard `s` owns jobs `s, s+n, s+2n, …`). The states are
-        // *moved*, not copied — the threads do the real work on the real jobs, and the
-        // parent reassembles them afterwards so `outcomes()` keeps working.
+        // Build one sub-scheduler per shard and stripe the job states across them
+        // (shard `s` owns jobs `s, s+n, s+2n, …`). The states are *moved*, not copied —
+        // the threads do the real work on the real jobs, and the parent reassembles them
+        // afterwards so `outcomes()` keeps working.
+        //
+        // Each shard runs over its OWN registry, seeded from one pre-spawn snapshot of
+        // the fleet registry, instead of writing into the live shared one. A live
+        // registry would make the *simulation* host-timing dependent: a late-starting
+        // job's population mean (`ClockedCollector::running_mean`) reads fleet-wide
+        // estimates, so whether another shard's gold scores have landed yet would move
+        // termination bounds. Isolation makes a multi-shard run a pure function of its
+        // inputs; the shards' learnings are merged back deterministically after the
+        // join below.
         let shared = self.cache.shared().clone();
+        let seed_registry = shared.snapshot();
         let mut global: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
         let mut subs: Vec<JobScheduler> = rosters
             .iter()
@@ -641,7 +675,7 @@ impl JobScheduler {
                         ..self.config
                     },
                     PoolLedger::new(roster.iter().copied()),
-                    shared.clone(),
+                    SharedAccuracyRegistry::with_registry(seed_registry.clone()),
                 )
             })
             .collect();
@@ -703,6 +737,25 @@ impl JobScheduler {
         for (s, (result, sub, payload)) in outcomes.into_iter().enumerate() {
             cache_hits += sub.cache.hits();
             cache_misses += sub.cache.misses();
+            // Merge the shard's learnings back into the fleet registry, in shard order:
+            // adopt (overwrite, not pool — the shard's entry already contains the seed's
+            // history) every entry that differs from the pre-spawn snapshot. Shard
+            // rosters are disjoint, so no two shards contend for a sampled entry; the
+            // only possible overlap is identical injected oracle estimates, where
+            // adopting in shard order is deterministic. This also covers a panicked
+            // shard — whatever it learned before unwinding is preserved, like the live
+            // registry used to.
+            let mut delta = AccuracyRegistry::new();
+            for (&worker, entry) in sub.cache.shared().snapshot().iter() {
+                let unchanged = seed_registry.get(worker).is_some_and(|seed| {
+                    seed.accuracy.to_bits() == entry.accuracy.to_bits()
+                        && seed.samples == entry.samples
+                });
+                if !unchanged {
+                    delta.set(worker, entry.accuracy, entry.samples);
+                }
+            }
+            shared.adopt(&delta);
             for (local, state) in sub.jobs.into_iter().enumerate() {
                 slots[global[s][local]] = Some(state);
             }
@@ -758,6 +811,27 @@ impl JobScheduler {
     /// The discrete-event loop of [`run_clocked`](Self::run_clocked). On error, in-flight
     /// batches stay in `inflight` for the caller to cancel (their leases release on
     /// drop).
+    ///
+    /// # The event-heap core
+    ///
+    /// Under [`ArrivalDiscovery::Heap`] (the default) the loop keeps a global
+    /// [`ArrivalQueue`] — a lazy-deletion binary min-heap over every in-flight HIT's
+    /// [`CrowdPlatform::next_arrival`] look-ahead. Each tick pops the earliest arrival
+    /// (plus its bit-equal ties) and polls **only the due HITs**, instead of scanning
+    /// and polling the whole in-flight set the way [`ArrivalDiscovery::Scan`] does.
+    /// Three details keep the two modes bit-identical:
+    ///
+    /// * **Lazy deletion** — when a batch leaves the in-flight set (terminated and
+    ///   cancelled mid-flight, or exhausted), its queue entry is cancelled in O(log n);
+    ///   a stale heap entry can never fire a ghost arrival for it.
+    /// * **Untracked HITs poll every tick** — a platform without a finite look-ahead
+    ///   for a HIT gets the scan loop's behavior (polled at every `poll_at`), so
+    ///   foreign platforms that only resolve arrivals at poll time stay correct.
+    /// * **Freshly dispatched HITs poll once on their dispatch tick** — the scan loop
+    ///   polls a new batch immediately (an empty poll, since the tick's `poll_at`
+    ///   can't exceed the batch's first arrival), and that first contact is when a
+    ///   collector seeds the shared accuracy registry. The heap loop reproduces it so
+    ///   registry-driven runs stay identical.
     fn clocked_loop<P: CrowdPlatform>(
         &mut self,
         platform: &mut P,
@@ -778,6 +852,10 @@ impl JobScheduler {
             })
             .sum();
         let max_ticks = self.config.max_ticks.max(expected_events.saturating_mul(2));
+        let heap_mode = self.config.discovery == ArrivalDiscovery::Heap;
+
+        // The event heap (Heap mode only): one scheduled arrival per in-flight HIT.
+        let mut arrivals = ArrivalQueue::new();
 
         let mut ticks = 0usize;
         while self.jobs.iter().any(|j| !j.finished()) || !inflight.is_empty() {
@@ -785,6 +863,8 @@ impl JobScheduler {
             if ticks > max_ticks {
                 return Err(CdasError::SchedulerStalled { ticks });
             }
+            // HITs dispatched this tick, owed their scan-equivalent first poll.
+            let mut fresh: Vec<HitId> = Vec::new();
 
             // Phase 1: dispatch at the current simulated time. A job keeps one batch in
             // flight; everyone else competes for the workers that are free *now* — which
@@ -799,12 +879,21 @@ impl JobScheduler {
                     self.try_dispatch(idx, ticks, clock.now(), platform, dispatches)?
                 {
                     let collector = self.jobs[idx].engine.begin_clocked(ticket, clock.now());
+                    let hit = collector.hit();
                     inflight.push(ClockedInflight {
                         job: idx,
                         range,
                         collector,
                         _lease: lease,
                     });
+                    if heap_mode {
+                        // Schedule the batch's first arrival; HITs with no finite
+                        // look-ahead stay untracked and are polled every tick instead.
+                        if let Some(t) = platform.next_arrival(hit).filter(|t| t.is_finite()) {
+                            arrivals.arm(hit, t);
+                        }
+                        fresh.push(hit);
+                    }
                 }
             }
 
@@ -817,11 +906,21 @@ impl JobScheduler {
             // Phase 2: advance the clock to the next arrival across all in-flight HITs
             // and ingest it. Completed batches are finalized immediately and their leases
             // released, so the next tick's dispatch phase sees the freed workers.
-            let next = inflight
-                .iter()
-                .filter_map(|b| platform.next_arrival(b.collector.hit()))
-                .filter(|t| t.is_finite())
-                .fold(f64::INFINITY, f64::min);
+            //
+            // Heap mode reads the next arrival off the queue's top in O(log n); Scan mode
+            // folds `next_arrival` over the whole in-flight set. The two minima are equal
+            // because every tracked HIT's armed time *is* its `next_arrival` (armed at
+            // dispatch, re-armed after each poll), and untracked HITs have no finite
+            // look-ahead in either mode.
+            let next = if heap_mode {
+                arrivals.next_time().unwrap_or(f64::INFINITY)
+            } else {
+                inflight
+                    .iter()
+                    .filter_map(|b| platform.next_arrival(b.collector.hit()))
+                    .filter(|t| t.is_finite())
+                    .fold(f64::INFINITY, f64::min)
+            };
             let poll_at = if next.is_finite() {
                 clock.advance_to(next)
             } else {
@@ -829,9 +928,34 @@ impl JobScheduler {
                 f64::INFINITY
             };
 
+            // Heap mode: pop the due arrivals — the top entry plus its bit-equal ties, in
+            // HIT-id order. Everything else stays armed and is *not* polled this tick.
+            let mut due: BTreeSet<HitId> = BTreeSet::new();
+            if heap_mode && poll_at.is_finite() {
+                while let Some((t, hit)) = arrivals.peek() {
+                    if t > poll_at {
+                        break;
+                    }
+                    arrivals.pop();
+                    due.insert(hit);
+                }
+            }
+
             let mut i = 0;
             while i < inflight.len() {
                 let hit = inflight[i].collector.hit();
+                if heap_mode {
+                    // Poll only HITs with a due arrival, plus the scan-equivalence
+                    // cases: freshly dispatched batches (their first, possibly empty,
+                    // poll is when a collector seeds the shared registry) and untracked
+                    // HITs (no finite look-ahead — the platform resolves their arrivals
+                    // at poll time, so they get the scan loop's every-tick poll).
+                    let untracked = !arrivals.tracks(hit);
+                    if !(due.contains(&hit) || fresh.contains(&hit) || untracked) {
+                        i += 1;
+                        continue;
+                    }
+                }
                 let cost_before = platform.total_cost();
                 let answers = platform.poll(hit, poll_at);
                 inflight[i]
@@ -851,10 +975,25 @@ impl JobScheduler {
                         .ingest(&answers, clock.now(), Some(&self.cache))?;
                 let exhausted = platform.next_arrival(hit).is_none();
                 if !(terminated || exhausted) {
+                    if heap_mode {
+                        // Reschedule the HIT's next look-ahead. A non-finite look-ahead
+                        // demotes it to untracked (polled every tick, like Scan); the
+                        // re-arm of an unchanged time is a no-op.
+                        match platform.next_arrival(hit).filter(|t| t.is_finite()) {
+                            Some(t) => arrivals.arm(hit, t),
+                            None => {
+                                arrivals.cancel(hit);
+                            }
+                        }
+                    }
                     i += 1;
                     continue;
                 }
                 let batch = inflight.remove(i);
+                // Lazy deletion: the finished HIT leaves the arrival queue the moment it
+                // leaves the in-flight set, so a stale heap entry can never fire a ghost
+                // arrival for a cancelled or exhausted batch.
+                arrivals.cancel(hit);
                 let receipt = terminated.then(|| platform.cancel(hit, clock.now()));
                 // `batch` (and with it the lease guard) drops at the end of this
                 // iteration — after finalize, before the next tick's dispatch phase sees

@@ -13,6 +13,8 @@ use std::path::Path;
 const PRELUDE_SNAPSHOT: &[&str] = &[
     "AccuracyCache",
     "AnalyticsJob",
+    "ArrivalDiscovery",
+    "ArrivalQueue",
     "CancelReceipt",
     "ClockedCollector",
     "ClockedOutcome",

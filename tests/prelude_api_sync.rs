@@ -130,6 +130,16 @@ fn prelude_clocked_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_event_heap_types_match_their_canonical_definitions() {
+    // The event-heap scheduler core (PR 6): the lazy-deletion arrival queue lives in
+    // crowd, the discovery-mode switch on the scheduler config in engine.
+    same_type::<prelude::ArrivalQueue, cdas::crowd::arrival_queue::ArrivalQueue>("ArrivalQueue");
+    same_type::<prelude::ArrivalDiscovery, cdas::engine::scheduler::ArrivalDiscovery>(
+        "ArrivalDiscovery",
+    );
+}
+
+#[test]
 fn prelude_front_door_types_match_their_canonical_definitions() {
     // The fleet facade surface (PR 5): the crowd spec lives in crowd, the facade in
     // engine, plus the deep-path items the examples used to import through
