@@ -9,12 +9,14 @@
 //! ```
 //!
 //! The default run measures the clocked fleet under both arrival-discovery modes at one
-//! shard (scan is the pre-heap oracle, heap the production path) and the heap mode at
-//! 2/4/8 shards, then writes one `BENCH_clocked.json` snapshot. Every PR re-records the
+//! shard (scan is the pre-heap oracle, heap the production path), the heap mode again
+//! with the write-ahead event journal appending (the durability-overhead row), and the
+//! heap mode at 2/4/8 shards, then writes one `BENCH_clocked.json` snapshot. Every PR re-records the
 //! file, so the trajectory of `events_per_sec` is reviewable in git history. Simulated
 //! results (ticks, questions, latencies, makespan) are deterministic per workload; only
 //! the wall-clock figures move between hosts.
 
+use std::path::Path;
 use std::time::Instant;
 
 use cdas_bench::snapshot::{percentile, BenchRecord, BenchSnapshot, BenchWorkload, SCHEMA_VERSION};
@@ -56,7 +58,7 @@ fn quick_workload() -> BenchWorkload {
     }
 }
 
-fn build_fleet(w: &BenchWorkload, discovery: ArrivalDiscovery) -> Fleet {
+fn build_fleet(w: &BenchWorkload, discovery: ArrivalDiscovery, journal: Option<&Path>) -> Fleet {
     let crowd = CrowdSpec::clean(w.pool as usize, w.accuracy)
         .seed(w.seed)
         .latency(LatencyModel::Exponential {
@@ -66,6 +68,9 @@ fn build_fleet(w: &BenchWorkload, discovery: ArrivalDiscovery) -> Fleet {
         .crowd(crowd)
         .scheduler_seed(w.seed)
         .arrival_discovery(discovery);
+    if let Some(dir) = journal {
+        builder = builder.journal(dir);
+    }
     for i in 0..w.jobs {
         builder = builder.job(
             JobSpec::sentiment(
@@ -120,9 +125,10 @@ fn measure(
     label: &str,
     discovery: ArrivalDiscovery,
     mode: ExecutionMode,
+    journal: Option<&Path>,
     repeats: usize,
 ) -> BenchRecord {
-    let fleet = build_fleet(w, discovery);
+    let fleet = build_fleet(w, discovery, journal);
     let mut best = f64::INFINITY;
     let mut measured: Option<FleetRun> = None;
     for _ in 0..repeats.max(1) {
@@ -149,6 +155,7 @@ fn measure(
         }
         .to_string(),
         mode: mode_name.to_string(),
+        journal: if journal.is_some() { "on" } else { "off" }.to_string(),
         shards,
         wall_seconds: best,
         ticks: report.ticks as u64,
@@ -162,31 +169,49 @@ fn measure(
 }
 
 fn record_snapshot(w: &BenchWorkload, repeats: usize) -> BenchSnapshot {
-    let configs: Vec<(String, ArrivalDiscovery, ExecutionMode)> = std::iter::once((
+    // A throwaway journal directory for the journaled row; `Journal::create` wipes
+    // leftover segments, so repeats overwrite rather than accumulate.
+    let journal_dir =
+        std::env::temp_dir().join(format!("cdas-perf-journal-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let configs: Vec<(String, ArrivalDiscovery, ExecutionMode, bool)> = std::iter::once((
         "scan-1shard".to_string(),
         ArrivalDiscovery::Scan,
         ExecutionMode::Clocked,
+        false,
     ))
     .chain(std::iter::once((
         "heap-1shard".to_string(),
         ArrivalDiscovery::Heap,
         ExecutionMode::Clocked,
+        false,
+    )))
+    // The same configuration with the write-ahead journal appending every event:
+    // its delta against heap-1shard is the durability overhead.
+    .chain(std::iter::once((
+        "heap-1shard-journal".to_string(),
+        ArrivalDiscovery::Heap,
+        ExecutionMode::Clocked,
+        true,
     )))
     .chain([2usize, 4, 8].into_iter().map(|shards| {
         (
             format!("heap-{shards}shard"),
             ArrivalDiscovery::Heap,
             ExecutionMode::Parallel { shards },
+            false,
         )
     }))
     .collect();
 
     let records = configs
         .into_iter()
-        .map(|(label, discovery, mode)| {
-            let record = measure(w, &label, discovery, mode, repeats);
+        .map(|(label, discovery, mode, journaled)| {
+            let journal = journaled.then_some(journal_dir.as_path());
+            let record = measure(w, &label, discovery, mode, journal, repeats);
             eprintln!(
-                "  {:<12} {:>9.1} events/s  {:>8.1} questions/s  (wall {:.4}s, {} ticks)",
+                "  {:<19} {:>9.1} events/s  {:>8.1} questions/s  (wall {:.4}s, {} ticks)",
                 record.label,
                 record.events_per_sec,
                 record.questions_per_sec,
@@ -196,6 +221,7 @@ fn record_snapshot(w: &BenchWorkload, repeats: usize) -> BenchSnapshot {
             record
         })
         .collect();
+    let _ = std::fs::remove_dir_all(&journal_dir);
 
     BenchSnapshot {
         schema: SCHEMA_VERSION,
@@ -269,6 +295,15 @@ fn main() {
         eprintln!(
             "  heap/scan events/sec at 1 shard: {:.2}x",
             heap.events_per_sec / scan.events_per_sec,
+        );
+    }
+    if let (Some(plain), Some(journaled)) = (
+        snapshot.record("heap-1shard"),
+        snapshot.record("heap-1shard-journal"),
+    ) {
+        eprintln!(
+            "  journal-on/journal-off events/sec at 1 shard: {:.2}x",
+            journaled.events_per_sec / plain.events_per_sec,
         );
     }
     snapshot.validate().unwrap_or_else(|e| {

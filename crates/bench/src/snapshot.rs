@@ -11,13 +11,13 @@
 //!
 //! ```json
 //! {
-//!   "schema": 1,
+//!   "schema": 2,
 //!   "name": "cdas-perf-snapshot",
 //!   "workload": { "jobs": 16, "questions_per_job": 12, ... },
 //!   "records": [
 //!     { "label": "heap-1shard", "discovery": "heap", "mode": "clocked",
-//!       "shards": 1, "wall_seconds": 0.021, "ticks": 214, "questions": 192,
-//!       "events_per_sec": 10190.4, "questions_per_sec": 9142.8,
+//!       "journal": "off", "shards": 1, "wall_seconds": 0.021, "ticks": 214,
+//!       "questions": 192, "events_per_sec": 10190.4, "questions_per_sec": 9142.8,
 //!       "p50_verdict_latency_min": 9.1, "p99_verdict_latency_min": 31.7,
 //!       "makespan_min": 47.8 },
 //!     ...
@@ -37,7 +37,9 @@
 use std::fmt::Write as _;
 
 /// Current snapshot schema version. Bump when the shape of the JSON changes.
-pub const SCHEMA_VERSION: u64 = 1;
+/// Version history: 1 — initial shape; 2 — per-record `journal` column ("on"/"off",
+/// whether the run appended to a write-ahead event journal while executing).
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// The `name` field every snapshot carries, doubling as a file-format magic.
 pub const SNAPSHOT_NAME: &str = "cdas-perf-snapshot";
@@ -347,6 +349,8 @@ pub struct BenchRecord {
     pub discovery: String,
     /// Execution mode: `"clocked"` or `"parallel"`.
     pub mode: String,
+    /// Whether the run wrote a write-ahead event journal: `"on"` or `"off"`.
+    pub journal: String,
     /// Shard (OS thread) count — 1 for `clocked`.
     pub shards: u64,
     /// Host seconds for the measured run (best of the recorded repeats).
@@ -439,6 +443,7 @@ impl BenchSnapshot {
                     ("label".into(), Json::Str(r.label.clone())),
                     ("discovery".into(), Json::Str(r.discovery.clone())),
                     ("mode".into(), Json::Str(r.mode.clone())),
+                    ("journal".into(), Json::Str(r.journal.clone())),
                     ("shards".into(), Json::Num(r.shards as f64)),
                     ("wall_seconds".into(), Json::Num(r.wall_seconds)),
                     ("ticks".into(), Json::Num(r.ticks as f64)),
@@ -503,6 +508,7 @@ impl BenchSnapshot {
                 label: field_str(row, "label", &ctx)?,
                 discovery: field_str(row, "discovery", &ctx)?,
                 mode: field_str(row, "mode", &ctx)?,
+                journal: field_str(row, "journal", &ctx)?,
                 shards: field_uint(row, "shards", &ctx)?,
                 wall_seconds: field_num(row, "wall_seconds", &ctx)?,
                 ticks: field_uint(row, "ticks", &ctx)?,
@@ -541,6 +547,9 @@ impl BenchSnapshot {
             }
             if r.mode != "clocked" && r.mode != "parallel" {
                 return Err(format!("{ctx}: mode must be \"clocked\" or \"parallel\""));
+            }
+            if r.journal != "on" && r.journal != "off" {
+                return Err(format!("{ctx}: journal must be \"on\" or \"off\""));
             }
             if r.mode == "clocked" && r.shards != 1 {
                 return Err(format!("{ctx}: a clocked run has exactly 1 shard"));
@@ -614,6 +623,7 @@ mod tests {
                     label: "scan-1shard".into(),
                     discovery: "scan".into(),
                     mode: "clocked".into(),
+                    journal: "off".into(),
                     shards: 1,
                     wall_seconds: 0.04,
                     ticks: 200,
@@ -628,6 +638,7 @@ mod tests {
                     label: "heap-2shard".into(),
                     discovery: "heap".into(),
                     mode: "parallel".into(),
+                    journal: "on".into(),
                     shards: 2,
                     wall_seconds: 0.015,
                     ticks: 210,
@@ -694,6 +705,10 @@ mod tests {
         let mut bad_discovery = ok.clone();
         bad_discovery.records[0].discovery = "magic".into();
         assert!(bad_discovery.validate().unwrap_err().contains("discovery"));
+
+        let mut bad_journal = ok.clone();
+        bad_journal.records[0].journal = "maybe".into();
+        assert!(bad_journal.validate().unwrap_err().contains("journal"));
 
         let mut clocked_sharded = ok.clone();
         clocked_sharded.records[0].shards = 4;

@@ -27,6 +27,7 @@ fn committed_snapshot_covers_the_shard_trajectory() {
     for label in [
         "scan-1shard",
         "heap-1shard",
+        "heap-1shard-journal",
         "heap-2shard",
         "heap-4shard",
         "heap-8shard",
@@ -64,4 +65,25 @@ fn committed_snapshot_shows_the_heap_beating_the_scan_oracle() {
         heap.events_per_sec,
         scan.events_per_sec,
     );
+}
+
+#[test]
+fn committed_snapshot_records_the_journal_overhead_row() {
+    let snapshot = committed_snapshot();
+    let plain = snapshot.record("heap-1shard").expect("heap record present");
+    let journaled = snapshot
+        .record("heap-1shard-journal")
+        .expect("journaled heap record present");
+    assert_eq!(journaled.journal, "on");
+    assert_eq!(plain.journal, "off");
+    assert_eq!(journaled.mode, "clocked");
+    assert_eq!(journaled.discovery, "heap");
+    // Journaling is pure observation: the simulated run is bit-identical to the
+    // unjournaled one — only wall clock (and so events/sec) may differ.
+    assert_eq!(
+        journaled.ticks, plain.ticks,
+        "the journal must not change the simulated schedule"
+    );
+    assert_eq!(journaled.questions, plain.questions);
+    assert_eq!(journaled.makespan_min, plain.makespan_min);
 }

@@ -46,6 +46,7 @@ pub mod prelude {
     pub use cdas_core::verification::{Verdict, Verifier};
     pub use cdas_crowd::arrival::LatencyModel;
     pub use cdas_crowd::clock::SimClock;
+    pub use cdas_crowd::failpoint::{Failpoint, FailpointPlatform};
     pub use cdas_crowd::lease::{LeaseId, PoolLedger, WorkerLease};
     pub use cdas_crowd::pool::{PoolConfig, WorkerPool};
     pub use cdas_crowd::sharded::{PlatformShard, ShardedPlatform};
@@ -55,9 +56,12 @@ pub mod prelude {
     pub use cdas_engine::clocked::{ClockedCollector, ClockedOutcome};
     pub use cdas_engine::engine::WorkerCountPolicy;
     pub use cdas_engine::fleet::{
-        ExecutionMode, Fleet, FleetBuilder, FleetEvent, FleetRun, JobSpec,
+        ExecutionMode, Fleet, FleetBuilder, FleetEvent, FleetFailpoints, FleetRun, JobSpec,
     };
     pub use cdas_engine::job_manager::{AnalyticsJob, JobKind, JobManager};
+    pub use cdas_engine::journal::{
+        Journal, JournalConfig, JournalRecord, RecoveryReport, RunConfig, SyncPolicy,
+    };
     pub use cdas_engine::metrics::{FleetReport, JobReport, ShardReport};
     pub use cdas_engine::scheduler::{
         ArrivalDiscovery, DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,

@@ -90,6 +90,35 @@ pub enum CdasError {
         /// The number of workers in the crowd being partitioned.
         workers: usize,
     },
+    /// An I/O operation on the write-ahead journal failed (open, read, write, or sync).
+    JournalIo {
+        /// The path (directory or segment file) the operation touched.
+        path: String,
+        /// The underlying I/O error, rendered to text (keeps the variant `Clone + PartialEq`).
+        detail: String,
+    },
+    /// A journal record failed its integrity checks somewhere other than the torn tail of
+    /// the final segment — a CRC mismatch, an undecodable payload, or a frame that
+    /// overruns a non-final segment. Unlike a torn tail (expected after a crash), this
+    /// means the journal was damaged after it was written.
+    JournalCorrupt {
+        /// The segment file in which the damage was found.
+        segment: String,
+        /// Byte offset of the damaged record frame within the segment.
+        offset: u64,
+        /// What exactly failed to check out.
+        detail: String,
+    },
+    /// The journal holds no `RunStarted` record, so there is no run to recover — either
+    /// the directory is empty or the process died before the header record was durable.
+    JournalEmpty,
+    /// Replaying the journal diverged from the journaled history: deterministic
+    /// re-execution produced a dispatch, charge, or commit that contradicts a journaled
+    /// record. The journal belongs to a different configuration or was edited.
+    JournalDiverged {
+        /// The first contradiction found.
+        detail: String,
+    },
 }
 
 impl fmt::Display for CdasError {
@@ -142,6 +171,24 @@ impl fmt::Display for CdasError {
                 "cannot split a {workers}-worker crowd into {shards} shards \
                  (need 1 <= shards <= workers)"
             ),
+            CdasError::JournalIo { path, detail } => {
+                write!(f, "journal I/O error at {path}: {detail}")
+            }
+            CdasError::JournalCorrupt {
+                segment,
+                offset,
+                detail,
+            } => write!(
+                f,
+                "journal segment {segment} corrupt at byte {offset}: {detail}"
+            ),
+            CdasError::JournalEmpty => {
+                write!(f, "journal holds no run to recover (no RunStarted record)")
+            }
+            CdasError::JournalDiverged { detail } => write!(
+                f,
+                "journal replay diverged from the journaled history: {detail}"
+            ),
         }
     }
 }
@@ -182,6 +229,24 @@ mod tests {
             workers: 4,
         };
         assert!(e.to_string().contains('9') && e.to_string().contains('4'));
+        let e = CdasError::JournalIo {
+            path: "/tmp/journal".to_string(),
+            detail: "disk on fire".to_string(),
+        };
+        assert!(e.to_string().contains("/tmp/journal") && e.to_string().contains("disk on fire"));
+        let e = CdasError::JournalCorrupt {
+            segment: "segment-000001.cdj".to_string(),
+            offset: 96,
+            detail: "crc mismatch".to_string(),
+        };
+        assert!(e.to_string().contains("segment-000001.cdj"));
+        assert!(e.to_string().contains("96") && e.to_string().contains("crc mismatch"));
+        let e = CdasError::JournalEmpty;
+        assert!(e.to_string().contains("no run to recover"));
+        let e = CdasError::JournalDiverged {
+            detail: "commit for job 3 seq 0 does not match".to_string(),
+        };
+        assert!(e.to_string().contains("job 3"));
         let e = CdasError::WorkerEstimateOverflow {
             required: 0.99,
             mu: 0.5000000001,

@@ -54,6 +54,7 @@
 #![deny(unsafe_code)]
 
 pub mod accuracy;
+pub mod codec;
 pub mod economics;
 pub mod error;
 pub mod math;

@@ -1,0 +1,283 @@
+//! [`BinCodec`] implementations for the crowd-layer types that end up inside journal
+//! records: the crowd specification a run was started with and the questions inside a
+//! dispatched batch.
+//!
+//! These live here (not in `cdas-engine`) because Rust's orphan rules require the impl
+//! in the crate that owns the type. The encodings follow the conventions documented in
+//! [`cdas_core::codec`].
+
+use cdas_core::codec::{BinCodec, CodecError, CodecResult};
+use cdas_core::economics::CostModel;
+use cdas_core::types::{AnswerDomain, Label, QuestionId};
+
+use crate::approval::ApprovalModel;
+use crate::arrival::LatencyModel;
+use crate::distribution::AccuracyDistribution;
+use crate::pool::PoolConfig;
+use crate::question::CrowdQuestion;
+use crate::spec::CrowdSpec;
+
+impl BinCodec for ApprovalModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.auto_approval_fraction.encode(out);
+        self.accuracy_weight.encode(out);
+        self.noise.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(ApprovalModel {
+            auto_approval_fraction: f64::decode(input)?,
+            accuracy_weight: f64::decode(input)?,
+            noise: f64::decode(input)?,
+        })
+    }
+}
+
+impl BinCodec for LatencyModel {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            LatencyModel::Constant(minutes) => {
+                out.push(0);
+                minutes.encode(out);
+            }
+            LatencyModel::Uniform { lo, hi } => {
+                out.push(1);
+                lo.encode(out);
+                hi.encode(out);
+            }
+            LatencyModel::Exponential { mean } => {
+                out.push(2);
+                mean.encode(out);
+            }
+            LatencyModel::LogNormal { mu, sigma } => {
+                out.push(3);
+                mu.encode(out);
+                sigma.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match u8::decode(input)? {
+            0 => Ok(LatencyModel::Constant(f64::decode(input)?)),
+            1 => Ok(LatencyModel::Uniform {
+                lo: f64::decode(input)?,
+                hi: f64::decode(input)?,
+            }),
+            2 => Ok(LatencyModel::Exponential {
+                mean: f64::decode(input)?,
+            }),
+            3 => Ok(LatencyModel::LogNormal {
+                mu: f64::decode(input)?,
+                sigma: f64::decode(input)?,
+            }),
+            other => Err(CodecError::new(format!("invalid LatencyModel tag {other}"))),
+        }
+    }
+}
+
+impl BinCodec for AccuracyDistribution {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            AccuracyDistribution::Constant(accuracy) => {
+                out.push(0);
+                accuracy.encode(out);
+            }
+            AccuracyDistribution::Uniform { lo, hi } => {
+                out.push(1);
+                lo.encode(out);
+                hi.encode(out);
+            }
+            AccuracyDistribution::Beta { alpha, beta } => {
+                out.push(2);
+                alpha.encode(out);
+                beta.encode(out);
+            }
+            AccuracyDistribution::TruncatedNormal { mean, std } => {
+                out.push(3);
+                mean.encode(out);
+                std.encode(out);
+            }
+            AccuracyDistribution::Empirical { bins } => {
+                out.push(4);
+                bins.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match u8::decode(input)? {
+            0 => Ok(AccuracyDistribution::Constant(f64::decode(input)?)),
+            1 => Ok(AccuracyDistribution::Uniform {
+                lo: f64::decode(input)?,
+                hi: f64::decode(input)?,
+            }),
+            2 => Ok(AccuracyDistribution::Beta {
+                alpha: f64::decode(input)?,
+                beta: f64::decode(input)?,
+            }),
+            3 => Ok(AccuracyDistribution::TruncatedNormal {
+                mean: f64::decode(input)?,
+                std: f64::decode(input)?,
+            }),
+            4 => Ok(AccuracyDistribution::Empirical {
+                bins: Vec::<(f64, f64, f64)>::decode(input)?,
+            }),
+            other => Err(CodecError::new(format!(
+                "invalid AccuracyDistribution tag {other}"
+            ))),
+        }
+    }
+}
+
+impl BinCodec for PoolConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.size.encode(out);
+        self.accuracy.encode(out);
+        self.spammer_fraction.encode(out);
+        self.colluder_fraction.encode(out);
+        self.expert_fraction.encode(out);
+        self.approval.encode(out);
+        self.latency.encode(out);
+        self.seed.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(PoolConfig {
+            size: usize::decode(input)?,
+            accuracy: AccuracyDistribution::decode(input)?,
+            spammer_fraction: f64::decode(input)?,
+            colluder_fraction: f64::decode(input)?,
+            expert_fraction: f64::decode(input)?,
+            approval: ApprovalModel::decode(input)?,
+            latency: LatencyModel::decode(input)?,
+            seed: u64::decode(input)?,
+        })
+    }
+}
+
+impl BinCodec for CrowdSpec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.config().clone().encode(out);
+        self.cost().encode(out);
+        self.platform_seed_override().encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        let config = PoolConfig::decode(input)?;
+        let cost = CostModel::decode(input)?;
+        let platform_seed = Option::<u64>::decode(input)?;
+        let mut spec = CrowdSpec::from_config(config).cost_model(cost);
+        if let Some(seed) = platform_seed {
+            spec = spec.platform_seed(seed);
+        }
+        Ok(spec)
+    }
+}
+
+impl BinCodec for CrowdQuestion {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.id.encode(out);
+        self.domain.encode(out);
+        self.ground_truth.encode(out);
+        self.difficulty.encode(out);
+        self.is_gold.encode(out);
+        self.reason_keywords.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(CrowdQuestion {
+            id: QuestionId::decode(input)?,
+            domain: AnswerDomain::decode(input)?,
+            ground_truth: Label::decode(input)?,
+            difficulty: f64::decode(input)?,
+            is_gold: bool::decode(input)?,
+            reason_keywords: Vec::<String>::decode(input)?,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: BinCodec + PartialEq + std::fmt::Debug>(value: T) {
+        let bytes = value.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).expect("decodes"), value);
+    }
+
+    #[test]
+    fn crowd_models_round_trip() {
+        round_trip(ApprovalModel::default());
+        round_trip(LatencyModel::Constant(2.0));
+        round_trip(LatencyModel::Uniform { lo: 1.0, hi: 9.0 });
+        round_trip(LatencyModel::Exponential { mean: 5.0 });
+        round_trip(LatencyModel::LogNormal {
+            mu: 1.2,
+            sigma: 0.4,
+        });
+        round_trip(AccuracyDistribution::Constant(0.85));
+        round_trip(AccuracyDistribution::Beta {
+            alpha: 4.0,
+            beta: 1.5,
+        });
+        round_trip(AccuracyDistribution::Empirical {
+            bins: vec![(0.5, 0.7, 0.4), (0.7, 0.9, 0.6)],
+        });
+    }
+
+    #[test]
+    fn pool_config_round_trips() {
+        let config = PoolConfig {
+            size: 48,
+            accuracy: AccuracyDistribution::TruncatedNormal {
+                mean: 0.8,
+                std: 0.1,
+            },
+            spammer_fraction: 0.05,
+            colluder_fraction: 0.0,
+            expert_fraction: 0.1,
+            approval: ApprovalModel::default(),
+            latency: LatencyModel::Exponential { mean: 5.0 },
+            seed: 1234,
+        };
+        round_trip(config);
+    }
+
+    #[test]
+    fn crowd_spec_round_trip_preserves_behavior() {
+        let spec = CrowdSpec::clean(16, 0.85)
+            .seed(7)
+            .platform_seed(99)
+            .latency(LatencyModel::Exponential { mean: 5.0 });
+        let back = CrowdSpec::from_bytes(&spec.to_bytes()).expect("decodes");
+        assert_eq!(back.config(), spec.config());
+        assert_eq!(back.cost(), spec.cost());
+        assert_eq!(
+            back.effective_platform_seed(),
+            spec.effective_platform_seed()
+        );
+        // A spec that never pinned a platform seed still round-trips to the same
+        // effective seed (the decoded spec pins it explicitly).
+        let implicit = CrowdSpec::clean(8, 0.9).seed(3);
+        let back = CrowdSpec::from_bytes(&implicit.to_bytes()).expect("decodes");
+        assert_eq!(
+            back.effective_platform_seed(),
+            implicit.effective_platform_seed()
+        );
+        assert_eq!(back.config(), implicit.config());
+    }
+
+    #[test]
+    fn crowd_question_round_trips() {
+        let question = CrowdQuestion {
+            id: QuestionId(11),
+            domain: AnswerDomain::from_strs(&["pos", "neg", "neutral"]),
+            ground_truth: Label::new("pos"),
+            difficulty: 0.3,
+            is_gold: true,
+            reason_keywords: vec!["because".to_string(), "evidence".to_string()],
+        };
+        round_trip(question);
+    }
+}

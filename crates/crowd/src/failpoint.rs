@@ -1,0 +1,194 @@
+//! Fault injection for crash-recovery testing.
+//!
+//! A [`FailpointPlatform`] wraps any [`CrowdPlatform`] and panics after a configured
+//! number of polls, simulating a process (or shard thread) dying mid-run. Combined with
+//! the journal's byte-level write kill ([`fail_writes_after`]) and the tail
+//! truncation/corruption helpers, this is the harness the durability proptests use to
+//! assert that `Fleet::recover` + resume is indistinguishable from a run that never
+//! crashed.
+//!
+//! The panic deliberately fires *inside* `poll` — the instant a real crash is most
+//! harmful: after HITs were published (money committed) but before their outcomes were
+//! committed to the journal.
+//!
+//! [`fail_writes_after`]: https://en.wikipedia.org/wiki/Fault_injection
+
+use cdas_core::types::{HitId, WorkerId};
+
+use crate::hit::HitRequest;
+use crate::platform::{CancelReceipt, CrowdPlatform, WorkerAnswer};
+
+/// The panic message an armed failpoint aborts with; tests match on it to distinguish
+/// injected crashes from genuine bugs.
+pub const FAILPOINT_PANIC: &str = "failpoint: injected platform crash";
+
+/// When (if ever) a [`FailpointPlatform`] kills its thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Failpoint {
+    after_polls: Option<u64>,
+}
+
+impl Failpoint {
+    /// A failpoint that never fires (the wrapper becomes a transparent pass-through).
+    pub fn never() -> Self {
+        Failpoint { after_polls: None }
+    }
+
+    /// Panic on the `n + 1`-th poll — i.e. allow `n` polls to complete, then die at the
+    /// next one. `after_polls(0)` dies on the very first poll.
+    pub fn after_polls(n: u64) -> Self {
+        Failpoint {
+            after_polls: Some(n),
+        }
+    }
+
+    /// Whether this failpoint can ever fire.
+    pub fn is_armed(&self) -> bool {
+        self.after_polls.is_some()
+    }
+
+    /// The number of polls the failpoint lets through, if armed.
+    pub fn polls_allowed(&self) -> Option<u64> {
+        self.after_polls
+    }
+}
+
+/// A [`CrowdPlatform`] decorator that injects a crash (panic) after a configured number
+/// of polls, leaving every already-published HIT in flight — exactly the state a
+/// kill -9 leaves a real fleet in.
+#[derive(Debug)]
+pub struct FailpointPlatform<P> {
+    inner: P,
+    failpoint: Failpoint,
+    polls: u64,
+}
+
+impl<P> FailpointPlatform<P> {
+    /// Wrap `inner` with the given failpoint.
+    pub fn new(inner: P, failpoint: Failpoint) -> Self {
+        FailpointPlatform {
+            inner,
+            failpoint,
+            polls: 0,
+        }
+    }
+
+    /// The number of polls served so far.
+    pub fn polls(&self) -> u64 {
+        self.polls
+    }
+
+    /// The wrapped platform.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwrap back into the inner platform.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+}
+
+impl<P: CrowdPlatform> CrowdPlatform for FailpointPlatform<P> {
+    fn publish(&mut self, request: HitRequest) -> HitId {
+        self.inner.publish(request)
+    }
+
+    fn publish_to(&mut self, request: HitRequest, workers: &[WorkerId]) -> HitId {
+        self.inner.publish_to(request, workers)
+    }
+
+    fn advance_time(&mut self, now: f64) {
+        self.inner.advance_time(now);
+    }
+
+    fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer> {
+        if let Some(allowed) = self.failpoint.polls_allowed() {
+            if self.polls >= allowed {
+                panic!("{FAILPOINT_PANIC}");
+            }
+        }
+        self.polls += 1;
+        self.inner.poll(hit, now)
+    }
+
+    fn next_arrival(&self, hit: HitId) -> Option<f64> {
+        self.inner.next_arrival(hit)
+    }
+
+    fn cancel(&mut self, hit: HitId, now: f64) -> CancelReceipt {
+        self.inner.cancel(hit, now)
+    }
+
+    fn total_cost(&self) -> f64 {
+        self.inner.total_cost()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cdas_core::economics::CostModel;
+    use cdas_core::types::{AnswerDomain, Label, QuestionId};
+
+    use crate::platform::SimulatedPlatform;
+    use crate::pool::{PoolConfig, WorkerPool};
+    use crate::question::CrowdQuestion;
+
+    fn platform() -> SimulatedPlatform {
+        let pool = WorkerPool::generate(&PoolConfig {
+            size: 4,
+            ..PoolConfig::default()
+        });
+        SimulatedPlatform::new(pool, CostModel::default(), 7)
+    }
+
+    fn request() -> HitRequest {
+        let domain = AnswerDomain::from_strs(&["a", "b"]);
+        let question = CrowdQuestion {
+            id: QuestionId(0),
+            domain: domain.clone(),
+            ground_truth: Label::new("a"),
+            difficulty: 0.0,
+            is_gold: false,
+            reason_keywords: Vec::new(),
+        };
+        HitRequest::new(vec![question], 2, 0.01)
+    }
+
+    #[test]
+    fn unarmed_failpoint_is_transparent() {
+        let mut wrapped = FailpointPlatform::new(platform(), Failpoint::never());
+        let hit = wrapped.publish(request());
+        let answers = wrapped.poll(hit, f64::INFINITY);
+        assert_eq!(answers.len(), 2);
+        assert_eq!(wrapped.polls(), 1);
+        assert!(wrapped.total_cost() > 0.0);
+    }
+
+    #[test]
+    fn armed_failpoint_kills_the_configured_poll() {
+        let mut wrapped = FailpointPlatform::new(platform(), Failpoint::after_polls(1));
+        let hit = wrapped.publish(request());
+        let _ = wrapped.poll(hit, f64::INFINITY);
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wrapped.poll(hit, f64::INFINITY)
+        }));
+        let payload = result.expect_err("second poll dies");
+        let message = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_default();
+        assert_eq!(message, FAILPOINT_PANIC);
+    }
+
+    #[test]
+    fn after_polls_zero_dies_immediately() {
+        let mut wrapped = FailpointPlatform::new(platform(), Failpoint::after_polls(0));
+        let hit = wrapped.publish(request());
+        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            wrapped.poll(hit, 0.0)
+        }))
+        .is_err());
+    }
+}

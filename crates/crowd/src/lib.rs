@@ -48,7 +48,9 @@ pub mod arrival;
 pub mod arrival_queue;
 pub mod behavior;
 pub mod clock;
+pub mod codec;
 pub mod distribution;
+pub mod failpoint;
 pub mod hit;
 pub mod lease;
 pub mod platform;
@@ -60,6 +62,7 @@ pub mod worker;
 
 pub use arrival_queue::ArrivalQueue;
 pub use clock::SimClock;
+pub use failpoint::{Failpoint, FailpointPlatform};
 pub use lease::{LeaseId, PoolLedger, WorkerLease};
 pub use platform::{CancelReceipt, CrowdPlatform, SimulatedPlatform, WorkerAnswer};
 pub use pool::{PoolConfig, WorkerPool};

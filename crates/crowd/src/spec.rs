@@ -131,6 +131,13 @@ impl CrowdSpec {
         self.platform_seed.unwrap_or(self.config.seed)
     }
 
+    /// The explicit platform seed override, if one was set (`None` means the platform
+    /// follows the pool seed). The codec round-trips this raw value so a decoded spec
+    /// compares equal to the original.
+    pub fn platform_seed_override(&self) -> Option<u64> {
+        self.platform_seed
+    }
+
     /// Generate the worker pool (deterministic given the seed).
     pub fn build_pool(&self) -> WorkerPool {
         WorkerPool::generate(&self.config)

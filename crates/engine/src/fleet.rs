@@ -4,7 +4,7 @@
 //! CDAS is pitched as a *system* users hand a job to, yet the layers beneath this module
 //! — [`WorkerPool`](cdas_crowd::pool::WorkerPool) →
 //! [`SimulatedPlatform`](cdas_crowd::SimulatedPlatform) /
-//! [`ShardedPlatform`](cdas_crowd::sharded::ShardedPlatform) →
+//! [`ShardedPlatform`] →
 //! [`PoolLedger`](cdas_crowd::lease::PoolLedger) → [`JobScheduler`] →
 //! [`ScheduledJob`] — ask every caller to hand-wire five structs and pick one of three
 //! divergent entry points (`run` / `run_clocked` / `run_parallel`). The facade collapses
@@ -52,21 +52,28 @@
 #![deny(missing_docs)]
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
 use cdas_core::online::TerminationStrategy;
 use cdas_core::types::{HitId, QuestionId};
 use cdas_core::verification::Verdict;
 use cdas_core::{CdasError, Result};
+use cdas_crowd::failpoint::{Failpoint, FailpointPlatform};
 use cdas_crowd::platform::CrowdPlatform;
 use cdas_crowd::question::CrowdQuestion;
+use cdas_crowd::sharded::ShardedPlatform;
 use cdas_crowd::spec::CrowdSpec;
 use serde::{Deserialize, Serialize};
 
 use crate::engine::{CrowdsourcingEngine, EngineConfig, VerificationStrategy, WorkerCountPolicy};
 use crate::job_manager::{AnalyticsJob, JobKind, ProcessingPlan};
+use crate::journal::recovery::{JournalReplay, JournalSink, RecoveryObserver};
+use crate::journal::{Journal, JournalConfig, JournalRecord, RecoveryReport, RunConfig};
 use crate::metrics::FleetReport;
 use crate::scheduler::{
-    ArrivalDiscovery, DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
+    ArrivalDiscovery, DispatchPolicy, JobId, JobScheduler, RunObserver, ScheduledJob,
+    SchedulerConfig,
 };
 
 /// How [`Fleet::run`] executes the submitted jobs. All three modes drive the same
@@ -322,6 +329,8 @@ pub struct FleetBuilder<Crowd = NeedsCrowd> {
     shards: usize,
     defaults: FleetDefaults,
     jobs: Vec<JobSpec>,
+    journal: Option<PathBuf>,
+    journal_config: JournalConfig,
 }
 
 impl Default for FleetBuilder<NeedsCrowd> {
@@ -332,6 +341,8 @@ impl Default for FleetBuilder<NeedsCrowd> {
             shards: 1,
             defaults: FleetDefaults::default(),
             jobs: Vec::new(),
+            journal: None,
+            journal_config: JournalConfig::default(),
         }
     }
 }
@@ -346,6 +357,8 @@ impl FleetBuilder<NeedsCrowd> {
             shards: self.shards,
             defaults: self.defaults,
             jobs: self.jobs,
+            journal: self.journal,
+            journal_config: self.journal_config,
         }
     }
 }
@@ -404,6 +417,24 @@ impl<Crowd> FleetBuilder<Crowd> {
         self
     }
 
+    /// Journal every run of this fleet into the given directory: a write-ahead,
+    /// CRC-checked [`Journal`] of the run's configuration, dispatches, charges, batch
+    /// commits and events, from which [`Fleet::recover`] can resume a half-finished run.
+    /// [`Fleet::run`] wipes any previous run's segments from the directory first — one
+    /// directory holds one run.
+    pub fn journal(mut self, dir: impl Into<PathBuf>) -> Self {
+        self.journal = Some(dir.into());
+        self
+    }
+
+    /// Tune the journal ([`JournalConfig`]: segment size, fsync policy, and the
+    /// byte-level write-kill failpoint the durability tests use). Only meaningful
+    /// together with [`journal`](Self::journal).
+    pub fn journal_config(mut self, config: JournalConfig) -> Self {
+        self.journal_config = config;
+        self
+    }
+
     /// Queue a job for submission at [`build`](FleetBuilder::build) time. Jobs can also
     /// be submitted after building via [`Fleet::submit`].
     pub fn job(mut self, job: JobSpec) -> Self {
@@ -439,6 +470,8 @@ impl FleetBuilder<CrowdSpec> {
             shards: self.shards,
             defaults: self.defaults,
             jobs: Vec::new(),
+            journal: self.journal,
+            journal_config: self.journal_config,
         };
         let mut fleet = fleet;
         for job in self.jobs {
@@ -464,6 +497,53 @@ pub struct Fleet {
     shards: usize,
     defaults: FleetDefaults,
     jobs: Vec<JobSpec>,
+    journal: Option<PathBuf>,
+    journal_config: JournalConfig,
+}
+
+/// Where (if anywhere) a [`Fleet::run_with_failpoints`] run injects a platform crash.
+/// The platform of every run is wrapped in a [`FailpointPlatform`]; an unarmed
+/// failpoint is a transparent pass-through, so `run` and `run_with_failpoints(…,
+/// FleetFailpoints::none())` are the same run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FleetFailpoints {
+    platform: Failpoint,
+    shard: usize,
+}
+
+impl FleetFailpoints {
+    /// No injected faults (the default).
+    pub fn none() -> Self {
+        FleetFailpoints::default()
+    }
+
+    /// Arm a failpoint on the run's platform (shard 0 under
+    /// [`ExecutionMode::Parallel`]).
+    pub fn platform(failpoint: Failpoint) -> Self {
+        FleetFailpoints {
+            platform: failpoint,
+            shard: 0,
+        }
+    }
+
+    /// Arm a failpoint on one specific shard of a [`ExecutionMode::Parallel`] run —
+    /// that shard's thread dies mid-run (the kill -9 drill) while the others finish
+    /// their polls. Under the single-platform modes only shard 0 exists, so a failpoint
+    /// armed on any other shard never fires.
+    pub fn on_shard(shard: usize, failpoint: Failpoint) -> Self {
+        FleetFailpoints {
+            platform: failpoint,
+            shard,
+        }
+    }
+
+    fn for_shard(&self, shard: usize) -> Failpoint {
+        if shard == self.shard {
+            self.platform
+        } else {
+            Failpoint::never()
+        }
+    }
 }
 
 impl Fleet {
@@ -526,38 +606,213 @@ impl Fleet {
     /// [`CrowdSpec`], so runs are independent and deterministic: running the same fleet
     /// twice — or under `Clocked` and `Parallel { shards: 1 }` — produces equal reports
     /// (host wall-clock aside; compare via [`FleetReport::ignoring_wall_clock`]).
+    ///
+    /// With [`FleetBuilder::journal`] set, the run is write-ahead journaled: the
+    /// resolved [`RunConfig`] is persisted before anything dispatches, every dispatch /
+    /// charge / batch commit is appended as it happens, and the event stream plus a
+    /// `RunCompleted` trailer land after the run. [`Fleet::recover`] turns that journal
+    /// back into a finished run after a crash.
     pub fn run(&self, mode: ExecutionMode) -> Result<FleetRun> {
+        self.run_with_failpoints(mode, FleetFailpoints::none())
+    }
+
+    /// [`run`](Self::run) with fault injection: the run's platform(s) are wrapped in
+    /// [`FailpointPlatform`]s armed per [`FleetFailpoints`]. An armed failpoint
+    /// **panics** mid-run — callers catch it with `std::panic::catch_unwind`, then hand
+    /// the journal directory to [`Fleet::recover`], exactly as a supervisor would after
+    /// a real crash. Journal appends hit the OS unbuffered, so everything appended
+    /// before the panic survives it.
+    pub fn run_with_failpoints(
+        &self,
+        mode: ExecutionMode,
+        failpoints: FleetFailpoints,
+    ) -> Result<FleetRun> {
+        let sink = match &self.journal {
+            None => None,
+            Some(dir) => {
+                let mut journal = Journal::create(dir, self.journal_config.clone())?;
+                journal.append(&JournalRecord::RunStarted(self.run_config(mode)?))?;
+                Some(Arc::new(JournalSink::new(journal)))
+            }
+        };
+        let observer = sink.clone().map(|sink| sink as Arc<dyn RunObserver>);
+        let (report, platform_cost, events) = self.execute(mode, &failpoints, observer)?;
+        if let Some(sink) = sink {
+            for event in &events {
+                sink.append(&JournalRecord::Event(event.clone()));
+            }
+            sink.append(&JournalRecord::RunCompleted {
+                cost: report.fleet.cost,
+                questions: report.fleet.questions,
+                makespan: report.makespan,
+            });
+            sink.sync();
+            if let Some(failure) = sink.take_failure() {
+                return Err(failure);
+            }
+        }
+        Ok(FleetRun {
+            report,
+            events,
+            platform_cost,
+        })
+    }
+
+    /// The fully-resolved configuration a run under `mode` executes — the pure-function
+    /// input that, journaled as the `RunStarted` record, lets [`Fleet::recover`] rebuild
+    /// this fleet from disk alone.
+    pub fn run_config(&self, mode: ExecutionMode) -> Result<RunConfig> {
+        Ok(RunConfig {
+            crowd: self.crowd.clone(),
+            scheduler: self.scheduler,
+            mode,
+            jobs: self.resolved_jobs()?,
+        })
+    }
+
+    /// Rebuild a fleet from a journaled [`RunConfig`] (the inverse of
+    /// [`run_config`](Self::run_config)): resolved jobs lift back into the facade via
+    /// [`JobSpec::from`], so re-resolving them reproduces the original run's jobs
+    /// exactly.
+    pub fn from_run_config(config: RunConfig) -> Result<Fleet> {
+        let workers = config.crowd.worker_count();
+        if workers == 0 {
+            return Err(CdasError::EmptyFleet);
+        }
+        let shards = match config.mode {
+            ExecutionMode::Parallel { shards } => shards,
+            _ => 1,
+        };
+        validate_shards(shards, workers)?;
+        let mut fleet = Fleet {
+            crowd: config.crowd,
+            scheduler: config.scheduler,
+            shards,
+            defaults: FleetDefaults::default(),
+            jobs: Vec::new(),
+            journal: None,
+            journal_config: JournalConfig::default(),
+        };
+        for job in config.jobs {
+            fleet.submit(JobSpec::from(job))?;
+        }
+        Ok(fleet)
+    }
+
+    /// Recover the run journaled in `dir` and resume it to completion.
+    ///
+    /// A run is a pure function of its journaled [`RunConfig`], so recovery re-executes
+    /// it deterministically while a [`RecoveryObserver`] cross-checks every dispatch,
+    /// charge and commit against the journaled prefix: journaled work is *recovered*
+    /// (matched, **not** re-appended and not re-paid — see
+    /// [`RecoveryReport::recovered_cost`]), post-crash work is *resumed* (appended
+    /// exactly as a live run would have). A torn final frame — the signature of dying
+    /// mid-write — is dropped and the journal repaired in place; any substantive
+    /// mismatch aborts with [`CdasError::JournalDiverged`], and corruption anywhere
+    /// except the tail with [`CdasError::JournalCorrupt`]. The returned [`FleetRun`] is
+    /// bit-identical (wall clock aside) to the run the crash interrupted, and the
+    /// journal is left complete — recovering again is a no-op resume
+    /// ([`RecoveryReport::was_complete`]).
+    pub fn recover(dir: impl AsRef<Path>) -> Result<(FleetRun, RecoveryReport)> {
+        Self::recover_with_config(dir, JournalConfig::default())
+    }
+
+    /// [`recover`](Self::recover) with an explicit [`JournalConfig`] for the re-opened
+    /// journal — the hook the durability tests use to crash the journal *again* during
+    /// a resume ([`JournalConfig::fail_writes_after`]) or to tune rotation/fsync of the
+    /// resumed tail.
+    pub fn recover_with_config(
+        dir: impl AsRef<Path>,
+        config: JournalConfig,
+    ) -> Result<(FleetRun, RecoveryReport)> {
+        let (journal, contents) = Journal::open_append(&dir, config)?;
+        let replay = JournalReplay::assemble(&contents)?;
+        let run_config = replay.config.clone();
+        let mode = run_config.mode;
+        let fleet = Fleet::from_run_config(run_config)?;
+        let observer = Arc::new(RecoveryObserver::new(journal, replay));
+        let (report, platform_cost, events) = fleet.execute(
+            mode,
+            &FleetFailpoints::none(),
+            Some(Arc::clone(&observer) as Arc<dyn RunObserver>),
+        )?;
+        let recovery = observer.finish(
+            &events,
+            report.fleet.cost,
+            report.fleet.questions,
+            report.makespan,
+        )?;
+        Ok((
+            FleetRun {
+                report,
+                events,
+                platform_cost,
+            },
+            recovery,
+        ))
+    }
+
+    fn resolved_jobs(&self) -> Result<Vec<ScheduledJob>> {
+        self.jobs
+            .iter()
+            .map(|job| job.resolve(&self.defaults))
+            .collect()
+    }
+
+    /// The engine room shared by [`run_with_failpoints`](Self::run_with_failpoints) and
+    /// [`recover`](Self::recover): build a scheduler, attach the observer, run under
+    /// `mode` on failpoint-wrapped platforms, and assemble the event stream.
+    fn execute(
+        &self,
+        mode: ExecutionMode,
+        failpoints: &FleetFailpoints,
+        observer: Option<Arc<dyn RunObserver>>,
+    ) -> Result<(FleetReport, f64, Vec<FleetEvent>)> {
         let mut scheduler = JobScheduler::new(self.scheduler, self.crowd.build_ledger());
-        for job in &self.jobs {
-            scheduler.submit(job.resolve(&self.defaults)?);
+        for job in self.resolved_jobs()? {
+            scheduler.submit(job);
+        }
+        if let Some(observer) = observer {
+            scheduler.attach_observer(observer);
         }
         let (report, platform_cost) = match mode {
             ExecutionMode::EndOfTime => {
-                let mut platform = self.crowd.build_platform();
+                let mut platform =
+                    FailpointPlatform::new(self.crowd.build_platform(), failpoints.for_shard(0));
                 let report = scheduler.run(&mut platform)?;
                 let cost = platform.total_cost();
                 (report, cost)
             }
             ExecutionMode::Clocked => {
-                let mut platform = self.crowd.build_platform();
+                let mut platform =
+                    FailpointPlatform::new(self.crowd.build_platform(), failpoints.for_shard(0));
                 let report = scheduler.run_clocked(&mut platform)?;
                 let cost = platform.total_cost();
                 (report, cost)
             }
             ExecutionMode::Parallel { shards } => {
                 validate_shards(shards, self.crowd.worker_count())?;
-                let mut platform = self.crowd.build_sharded(shards);
+                let mut platform = ShardedPlatform::from_parts(
+                    self.crowd
+                        .build_sharded(shards)
+                        .into_shards()
+                        .into_iter()
+                        .enumerate()
+                        .map(|(s, shard)| {
+                            let (inner, roster) = shard.into_parts();
+                            (
+                                FailpointPlatform::new(inner, failpoints.for_shard(s)),
+                                roster,
+                            )
+                        }),
+                );
                 let report = scheduler.run_parallel(&mut platform)?;
                 let cost = platform.total_cost();
                 (report, cost)
             }
         };
         let events = stream_events(&report, &scheduler);
-        Ok(FleetRun {
-            report,
-            events,
-            platform_cost,
-        })
+        Ok((report, platform_cost, events))
     }
 
     /// [`run`](Self::run) under [`ExecutionMode::Parallel`] with the builder's default

@@ -1,0 +1,595 @@
+//! Durable fleet: a segmented, append-only, CRC-checked write-ahead event journal.
+//!
+//! The fleet's ordered event stream becomes a log-structured source of truth in the
+//! spirit of LogBase's WAL-as-data design: while a run executes, every dispatch, per-poll
+//! charge, and batch commit is appended to an on-disk journal (via the scheduler's
+//! [`crate::scheduler::RunObserver`] hook), framed as
+//!
+//! ```text
+//! segment-000000.wal             segment-000001.wal
+//! ┌────────────────┐             ┌────────────────┐
+//! │ 16-byte header │             │ 16-byte header │
+//! ├────────────────┤             ├────────────────┤
+//! │ len │ crc │ pay │  rotation  │ len │ crc │ pay │
+//! │ len │ crc │ pay │  ───────►  │ ...            │
+//! │ ...            │             └────────────────┘
+//! └────────────────┘
+//! ```
+//!
+//! with a `u32` little-endian length, a `u32` CRC-32 (IEEE) of the payload, and the
+//! payload itself (a [`JournalRecord`] encoded with the in-tree [`BinCodec`] — the no-op
+//! serde shim plays no part in this path). Segments rotate at
+//! [`JournalConfig::max_segment_bytes`]; [`Journal::compact`] folds everything into a
+//! [`JournalRecord::Snapshot`] checkpoint and deletes the older segments.
+//!
+//! Recovery ([`crate::fleet::Fleet::recover`]) reads the journal back, rebuilds the run
+//! configuration from the head record, and re-executes the run deterministically while
+//! cross-checking (and completing) the journaled prefix — see [`recovery`].
+//!
+//! A record whose frame is cut short **at the end of the final segment** is a *torn
+//! tail*: the expected wreckage of a crash mid-write, silently dropped (and reported via
+//! [`JournalContents::torn_tail`]). The same damage anywhere else is corruption and
+//! surfaces as [`CdasError::JournalCorrupt`].
+
+mod record;
+pub mod recovery;
+
+pub use record::{CommitDigest, JournalRecord, JournalSnapshot, RunConfig};
+pub use recovery::RecoveryReport;
+
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use cdas_core::codec::BinCodec;
+use cdas_core::{CdasError, Result};
+
+/// Magic + format version prefix of every segment file.
+const SEGMENT_MAGIC: &[u8; 8] = b"CDASWAL1";
+/// Segment header: magic followed by the segment's `u64` index.
+const SEGMENT_HEADER_LEN: u64 = 16;
+/// Frame header: `u32` payload length + `u32` CRC-32 of the payload.
+const FRAME_HEADER_LEN: u64 = 8;
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected) lookup table, built at compile time.
+const CRC32_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut crc = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            crc = if crc & 1 != 0 {
+                (crc >> 1) ^ 0xEDB8_8320
+            } else {
+                crc >> 1
+            };
+            bit += 1;
+        }
+        table[i] = crc;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of a byte string — the checksum guarding every journal record.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+    }
+    !crc
+}
+
+/// When the journal forces its writes to stable storage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncPolicy {
+    /// Never fsync explicitly (fastest; a crash may lose the OS-buffered suffix, which
+    /// recovery treats as a torn tail).
+    Never,
+    /// Fsync after commit-class records (`RunStarted`, `Commit`, `Snapshot`,
+    /// `RunCompleted`) — the default: a committed batch is never re-paid, while the
+    /// chatty dispatch/charge records ride along with the next commit's sync.
+    #[default]
+    Commits,
+    /// Fsync after every record (slowest, smallest possible torn tail).
+    Always,
+}
+
+/// Configuration of a [`Journal`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalConfig {
+    /// Rotate to a new segment once the current one reaches this many bytes (a record
+    /// never straddles two segments; an oversized record gets a segment to itself).
+    pub max_segment_bytes: u64,
+    /// When to fsync.
+    pub sync: SyncPolicy,
+    /// Fault injection: silently stop persisting after this many bytes have been
+    /// written through this handle, cutting the final write mid-frame — the byte-level
+    /// "kill the writer" crash the durability proptests exercise. `None` (the default)
+    /// disables the failpoint.
+    pub fail_writes_after: Option<u64>,
+}
+
+impl Default for JournalConfig {
+    fn default() -> Self {
+        JournalConfig {
+            max_segment_bytes: 1 << 20,
+            sync: SyncPolicy::default(),
+            fail_writes_after: None,
+        }
+    }
+}
+
+/// What a full read of a journal directory yielded.
+#[derive(Debug, Clone)]
+pub struct JournalContents {
+    /// Every intact record, in append order (a `Snapshot` appears in place).
+    pub records: Vec<JournalRecord>,
+    /// Whether a torn (incomplete or CRC-failing) frame was dropped from the end of the
+    /// final segment — the signature of a crash mid-write.
+    pub torn_tail: bool,
+    /// Number of segment files read.
+    pub segments: usize,
+}
+
+/// A segmented, append-only, CRC-checked on-disk event journal.
+///
+/// One journal directory holds one run: [`Journal::create`] wipes any previous segments,
+/// and [`crate::fleet::Fleet::recover`] re-opens the directory with
+/// [`Journal::open_append`] to complete a half-finished run in place.
+#[derive(Debug)]
+pub struct Journal {
+    dir: PathBuf,
+    config: JournalConfig,
+    segment_index: u64,
+    /// `None` once the write-kill failpoint fired (the "process" is dead; writes drop).
+    file: Option<File>,
+    segment_bytes: u64,
+    written_total: u64,
+}
+
+fn io_err(path: &Path, e: std::io::Error) -> CdasError {
+    CdasError::JournalIo {
+        path: path.display().to_string(),
+        detail: e.to_string(),
+    }
+}
+
+fn segment_name(index: u64) -> String {
+    format!("segment-{index:06}.wal")
+}
+
+/// Sorted (by index) list of `(index, path)` segment files in `dir`.
+fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>> {
+    let mut segments = Vec::new();
+    let entries = std::fs::read_dir(dir).map_err(|e| io_err(dir, e))?;
+    for entry in entries {
+        let entry = entry.map_err(|e| io_err(dir, e))?;
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if let Some(index) = name
+            .strip_prefix("segment-")
+            .and_then(|rest| rest.strip_suffix(".wal"))
+            .and_then(|digits| digits.parse::<u64>().ok())
+        {
+            segments.push((index, entry.path()));
+        }
+    }
+    segments.sort_by_key(|(index, _)| *index);
+    Ok(segments)
+}
+
+/// Outcome of scanning one segment file.
+struct SegmentScan {
+    records: Vec<JournalRecord>,
+    /// Byte offset just past the last intact frame (where a re-opened journal resumes).
+    valid_end: u64,
+    /// Whether a torn frame was dropped at the segment's end.
+    torn: bool,
+}
+
+/// Parse one segment. `is_last` controls torn-tail tolerance: damage that reaches the
+/// end of the **final** segment is a crash signature and is dropped; the same damage in
+/// an earlier segment (or damage that does *not* reach EOF) is corruption.
+fn scan_segment(path: &Path, is_last: bool) -> Result<SegmentScan> {
+    let bytes = std::fs::read(path).map_err(|e| io_err(path, e))?;
+    let corrupt = |offset: u64, detail: String| CdasError::JournalCorrupt {
+        segment: path.display().to_string(),
+        offset,
+        detail,
+    };
+    if bytes.len() < SEGMENT_HEADER_LEN as usize {
+        if is_last {
+            // The crash landed inside the header write of a fresh segment: nothing of
+            // value was lost (rotation only happens between records).
+            return Ok(SegmentScan {
+                records: Vec::new(),
+                valid_end: 0,
+                torn: true,
+            });
+        }
+        return Err(corrupt(
+            0,
+            format!("segment shorter ({}) than its header", bytes.len()),
+        ));
+    }
+    if &bytes[..8] != SEGMENT_MAGIC {
+        return Err(corrupt(0, "bad segment magic".to_string()));
+    }
+    let mut records = Vec::new();
+    let mut offset = SEGMENT_HEADER_LEN as usize;
+    let mut torn = false;
+    while offset < bytes.len() {
+        let frame_start = offset as u64;
+        let torn_or_corrupt = |detail: String, reaches_eof: bool| -> Result<()> {
+            if is_last && reaches_eof {
+                Ok(())
+            } else {
+                Err(corrupt(frame_start, detail))
+            }
+        };
+        if bytes.len() - offset < FRAME_HEADER_LEN as usize {
+            torn_or_corrupt(
+                format!(
+                    "{} stray bytes where a frame header belongs",
+                    bytes.len() - offset
+                ),
+                true,
+            )?;
+            torn = true;
+            break;
+        }
+        let len =
+            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
+        let stored_crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4"));
+        let payload_start = offset + FRAME_HEADER_LEN as usize;
+        if bytes.len() - payload_start < len {
+            torn_or_corrupt(
+                format!(
+                    "frame claims {len} payload bytes, only {} remain",
+                    bytes.len() - payload_start
+                ),
+                true,
+            )?;
+            torn = true;
+            break;
+        }
+        let payload = &bytes[payload_start..payload_start + len];
+        if crc32(payload) != stored_crc {
+            // A CRC failure is tolerated only when the damaged frame is the very last
+            // thing in the final segment — a flipped byte mid-file is corruption even
+            // there.
+            torn_or_corrupt(
+                "crc mismatch".to_string(),
+                payload_start + len == bytes.len(),
+            )?;
+            torn = true;
+            break;
+        }
+        let record = JournalRecord::from_bytes(payload)
+            .map_err(|e| corrupt(frame_start, format!("undecodable record: {e}")))?;
+        records.push(record);
+        offset = payload_start + len;
+    }
+    Ok(SegmentScan {
+        records,
+        valid_end: offset.min(bytes.len()) as u64,
+        torn,
+    })
+}
+
+impl Journal {
+    /// Create a fresh journal in `dir` (creating the directory, deleting any previous
+    /// run's segments) and open segment 0 for appending.
+    pub fn create(dir: impl AsRef<Path>, config: JournalConfig) -> Result<Self> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(|e| io_err(&dir, e))?;
+        for (_, path) in list_segments(&dir)? {
+            std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+        let mut journal = Journal {
+            dir,
+            config,
+            segment_index: 0,
+            file: None,
+            segment_bytes: 0,
+            written_total: 0,
+        };
+        journal.open_segment()?;
+        Ok(journal)
+    }
+
+    /// Read the journal in `dir` and re-open it for appending, physically truncating a
+    /// torn tail off the final segment first. Returns the journal positioned at the end
+    /// together with everything intact that was read. `config.fail_writes_after` counts
+    /// from this re-open, not from the original run's writes.
+    pub fn open_append(
+        dir: impl AsRef<Path>,
+        config: JournalConfig,
+    ) -> Result<(Self, JournalContents)> {
+        let dir = dir.as_ref().to_path_buf();
+        let segments = list_segments(&dir)?;
+        let Some(&(last_index, ref last_path)) = segments.last() else {
+            let journal = Journal::create(&dir, config)?;
+            let contents = JournalContents {
+                records: Vec::new(),
+                torn_tail: false,
+                segments: 0,
+            };
+            return Ok((journal, contents));
+        };
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        let mut last_valid_end = 0u64;
+        let count = segments.len();
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let is_last = i + 1 == count;
+            let scan = scan_segment(path, is_last)?;
+            records.extend(scan.records);
+            if is_last {
+                torn_tail = scan.torn;
+                last_valid_end = scan.valid_end;
+            }
+        }
+        let file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(last_path)
+            .map_err(|e| io_err(last_path, e))?;
+        file.set_len(last_valid_end.max(SEGMENT_HEADER_LEN))
+            .map_err(|e| io_err(last_path, e))?;
+        let mut journal = Journal {
+            dir,
+            config,
+            segment_index: last_index,
+            file: Some(file),
+            segment_bytes: last_valid_end.max(SEGMENT_HEADER_LEN),
+            written_total: 0,
+        };
+        if last_valid_end < SEGMENT_HEADER_LEN {
+            // The torn final segment did not even finish its header: rewrite it.
+            journal.segment_bytes = 0;
+            journal.write_header()?;
+        } else if let Some(file) = journal.file.as_mut() {
+            file.seek(SeekFrom::End(0))
+                .map_err(|e| io_err(&journal.dir, e))?;
+        }
+        let contents = JournalContents {
+            records,
+            torn_tail,
+            segments: count,
+        };
+        Ok((journal, contents))
+    }
+
+    /// Read every record of the journal in `dir` without opening it for writes,
+    /// tolerating (and flagging) a torn tail on the final segment.
+    pub fn read(dir: impl AsRef<Path>) -> Result<JournalContents> {
+        let dir = dir.as_ref();
+        let segments = list_segments(dir)?;
+        let mut records = Vec::new();
+        let mut torn_tail = false;
+        let count = segments.len();
+        for (i, (_, path)) in segments.iter().enumerate() {
+            let scan = scan_segment(path, i + 1 == count)?;
+            records.extend(scan.records);
+            if i + 1 == count {
+                torn_tail = scan.torn;
+            }
+        }
+        Ok(JournalContents {
+            records,
+            torn_tail,
+            segments: count,
+        })
+    }
+
+    /// Append one record, rotating segments as configured and fsyncing according to the
+    /// [`SyncPolicy`]. Silently drops the write (simulating a dead process) once the
+    /// `fail_writes_after` failpoint has fired.
+    pub fn append(&mut self, record: &JournalRecord) -> Result<()> {
+        if self.file.is_none() {
+            return Ok(());
+        }
+        let payload = record.to_bytes();
+        let mut frame = Vec::with_capacity(payload.len() + FRAME_HEADER_LEN as usize);
+        frame.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+        frame.extend_from_slice(&crc32(&payload).to_le_bytes());
+        frame.extend_from_slice(&payload);
+        if self.segment_bytes > SEGMENT_HEADER_LEN
+            && self.segment_bytes + frame.len() as u64 > self.config.max_segment_bytes
+        {
+            self.rotate()?;
+        }
+        self.write_bytes(&frame)?;
+        match self.config.sync {
+            SyncPolicy::Always => self.sync()?,
+            SyncPolicy::Commits if record.is_commit_class() => self.sync()?,
+            _ => {}
+        }
+        Ok(())
+    }
+
+    /// Force everything appended so far to stable storage (no-op after a write kill).
+    pub fn sync(&mut self) -> Result<()> {
+        if let Some(file) = self.file.as_mut() {
+            file.sync_data().map_err(|e| io_err(&self.dir, e))?;
+        }
+        Ok(())
+    }
+
+    /// The journal's directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bytes written through this handle (including segment headers).
+    pub fn bytes_written(&self) -> u64 {
+        self.written_total
+    }
+
+    /// Whether the write-kill failpoint has fired (all further appends are dropped).
+    pub fn is_dead(&self) -> bool {
+        self.file.is_none()
+    }
+
+    /// Fold the journal in `dir` into a snapshot: a single fresh segment holding one
+    /// [`JournalRecord::Snapshot`] (run configuration + dispatch history + commit
+    /// digests + folded charges) followed by any completed-run trailer records, then
+    /// delete all older segments. Shrinks the journal — full commit payloads and
+    /// per-poll charges collapse into digests and one total — while preserving exactly
+    /// what recovery needs.
+    pub fn compact(dir: impl AsRef<Path>) -> Result<()> {
+        let dir = dir.as_ref();
+        let contents = Journal::read(dir)?;
+        let replay = recovery::JournalReplay::assemble(&contents)?;
+        let snapshot = replay.to_snapshot();
+        let old_segments = list_segments(dir)?;
+        let next_index = old_segments.last().map_or(0, |(i, _)| i + 1);
+        let mut journal = Journal {
+            dir: dir.to_path_buf(),
+            config: JournalConfig {
+                // One segment regardless of size: a snapshot is atomic by design.
+                max_segment_bytes: u64::MAX,
+                sync: SyncPolicy::Never,
+                fail_writes_after: None,
+            },
+            segment_index: next_index,
+            file: None,
+            segment_bytes: 0,
+            written_total: 0,
+        };
+        journal.open_segment()?;
+        journal.append(&JournalRecord::Snapshot(snapshot))?;
+        for event in &replay.events {
+            journal.append(&JournalRecord::Event(event.clone()))?;
+        }
+        if let Some((cost, questions, makespan)) = replay.completed {
+            journal.append(&JournalRecord::RunCompleted {
+                cost,
+                questions,
+                makespan,
+            })?;
+        }
+        journal.sync()?;
+        for (_, path) in old_segments {
+            std::fs::remove_file(&path).map_err(|e| io_err(&path, e))?;
+        }
+        Ok(())
+    }
+
+    /// Test helper: chop `bytes` off the end of the final segment, simulating a tail
+    /// lost to a crash before it reached the disk. Returns the segment's new length.
+    pub fn truncate_tail(dir: impl AsRef<Path>, bytes: u64) -> Result<u64> {
+        let dir = dir.as_ref();
+        let segments = list_segments(dir)?;
+        let Some((_, path)) = segments.last() else {
+            return Err(CdasError::JournalEmpty);
+        };
+        let len = std::fs::metadata(path).map_err(|e| io_err(path, e))?.len();
+        let new_len = len.saturating_sub(bytes);
+        let file = OpenOptions::new()
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        file.set_len(new_len).map_err(|e| io_err(path, e))?;
+        Ok(new_len)
+    }
+
+    /// Test helper: flip one byte `offset_from_end` bytes before the end of the final
+    /// segment (`1` = the very last byte), simulating tail corruption.
+    pub fn corrupt_tail_byte(dir: impl AsRef<Path>, offset_from_end: u64) -> Result<()> {
+        let dir = dir.as_ref();
+        let segments = list_segments(dir)?;
+        let Some((_, path)) = segments.last() else {
+            return Err(CdasError::JournalEmpty);
+        };
+        let len = std::fs::metadata(path).map_err(|e| io_err(path, e))?.len();
+        if offset_from_end == 0 || offset_from_end > len {
+            return Err(CdasError::JournalIo {
+                path: path.display().to_string(),
+                detail: format!(
+                    "cannot corrupt byte {offset_from_end} from the end of a {len}-byte segment"
+                ),
+            });
+        }
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .open(path)
+            .map_err(|e| io_err(path, e))?;
+        let pos = len - offset_from_end;
+        file.seek(SeekFrom::Start(pos))
+            .map_err(|e| io_err(path, e))?;
+        let mut byte = [0u8];
+        file.read_exact(&mut byte).map_err(|e| io_err(path, e))?;
+        byte[0] ^= 0xFF;
+        file.seek(SeekFrom::Start(pos))
+            .map_err(|e| io_err(path, e))?;
+        file.write_all(&byte).map_err(|e| io_err(path, e))?;
+        Ok(())
+    }
+
+    fn segment_path(&self, index: u64) -> PathBuf {
+        self.dir.join(segment_name(index))
+    }
+
+    fn open_segment(&mut self) -> Result<()> {
+        let path = self.segment_path(self.segment_index);
+        let file = OpenOptions::new()
+            .create(true)
+            .write(true)
+            .truncate(true)
+            .open(&path)
+            .map_err(|e| io_err(&path, e))?;
+        self.file = Some(file);
+        self.segment_bytes = 0;
+        self.write_header()
+    }
+
+    fn write_header(&mut self) -> Result<()> {
+        let mut header = Vec::with_capacity(SEGMENT_HEADER_LEN as usize);
+        header.extend_from_slice(SEGMENT_MAGIC);
+        header.extend_from_slice(&self.segment_index.to_le_bytes());
+        self.write_bytes(&header)
+    }
+
+    fn rotate(&mut self) -> Result<()> {
+        self.sync()?;
+        self.segment_index += 1;
+        self.open_segment()
+    }
+
+    /// Write raw bytes through the write-kill failpoint: once `fail_writes_after` total
+    /// bytes have been written, the remainder of this write (and everything after it)
+    /// is silently dropped and the handle goes dead — exactly what the filesystem sees
+    /// when the writing process is killed mid-`write`.
+    fn write_bytes(&mut self, bytes: &[u8]) -> Result<()> {
+        let Some(file) = self.file.as_mut() else {
+            return Ok(());
+        };
+        let allowed = match self.config.fail_writes_after {
+            None => bytes.len(),
+            Some(limit) => {
+                let remaining = limit.saturating_sub(self.written_total);
+                usize::try_from(remaining)
+                    .unwrap_or(usize::MAX)
+                    .min(bytes.len())
+            }
+        };
+        if allowed > 0 {
+            file.write_all(&bytes[..allowed])
+                .map_err(|e| io_err(&self.dir, e))?;
+            self.segment_bytes += allowed as u64;
+            self.written_total += allowed as u64;
+        }
+        if allowed < bytes.len() {
+            // Failpoint fired mid-frame: leave the partial prefix on disk (the torn
+            // tail a real crash leaves) and drop the handle without flushing anything
+            // further.
+            self.file = None;
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,560 @@
+//! Crash recovery: deterministic re-execution cross-checked against the journaled
+//! history.
+//!
+//! A fleet run is a pure function of its [`RunConfig`] (up to wall clock), so the
+//! journal does not need to checkpoint live scheduler state: [`crate::fleet::Fleet::recover`]
+//! rebuilds the fleet from the journal's head record and *re-executes* the run, while a
+//! [`RecoveryObserver`] matches every dispatch, charge, and commit the re-execution
+//! produces against the journaled prefix:
+//!
+//! - a replayed record that matches the journal's next record for that job **consumes**
+//!   it — that work was already journaled (and, for commits, already paid for) by the
+//!   crashed run, so it is *recovered*, not re-appended and not re-paid;
+//! - a replayed record with no journaled counterpart is *resumed* work: appended to the
+//!   journal exactly as a live run would have;
+//! - a replayed record that **contradicts** its journaled counterpart aborts recovery
+//!   with [`CdasError::JournalDiverged`] — the journal belongs to a different
+//!   configuration or was tampered with.
+//!
+//! Matching is keyed per job (and per `(job, seq)` for commits) because parallel runs
+//! interleave shards nondeterministically while every job's own record order stays
+//! deterministic.
+
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::Mutex;
+
+use cdas_core::types::HitId;
+use cdas_core::{CdasError, Result};
+
+use crate::fleet::FleetEvent;
+use crate::scheduler::{BatchCommit, DispatchRecord, JobId, RunObserver};
+
+use super::record::{CommitDigest, JournalRecord, JournalSnapshot, RunConfig};
+use super::{Journal, JournalContents};
+
+/// What recovery found in the journal and what the resumed run added.
+///
+/// `recovered` figures come from records already journaled by the crashed run — work
+/// (and money) that was **not** redone; `resumed` figures come from records the resumed
+/// run appended. For an intact journal of a finished run, `resumed` is zero and
+/// [`was_complete`](Self::was_complete) is true.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// The journal already held a `RunCompleted` trailer (recovery was a no-op resume).
+    pub was_complete: bool,
+    /// A torn frame was dropped from the journal's tail (crash signature).
+    pub torn_tail: bool,
+    /// Batch commits matched against the journal (work already paid by the crashed run).
+    pub recovered_hits: usize,
+    /// Batch commits the resumed run appended (work paid after recovery).
+    pub resumed_hits: usize,
+    /// Requester cost of the recovered commits.
+    pub recovered_cost: f64,
+    /// Requester cost of the resumed commits.
+    pub resumed_cost: f64,
+}
+
+impl RecoveryReport {
+    /// Total batch commits across the crashed and resumed portions.
+    pub fn total_hits(&self) -> usize {
+        self.recovered_hits + self.resumed_hits
+    }
+
+    /// Total requester cost across the crashed and resumed portions.
+    pub fn total_cost(&self) -> f64 {
+        self.recovered_cost + self.resumed_cost
+    }
+}
+
+/// A journaled commit: full payload (live journal) or digest (after compaction).
+#[derive(Debug, Clone)]
+pub enum JournaledCommit {
+    /// The full commit as appended by the run.
+    Full(BatchCommit),
+    /// A compaction digest standing in for the full commit.
+    Digest(CommitDigest),
+}
+
+impl JournaledCommit {
+    fn charge(&self) -> f64 {
+        match self {
+            JournaledCommit::Full(commit) => commit.charge,
+            JournaledCommit::Digest(digest) => digest.charge,
+        }
+    }
+
+    fn matches(&self, commit: &BatchCommit) -> bool {
+        match self {
+            JournaledCommit::Full(journaled) => journaled == commit,
+            JournaledCommit::Digest(digest) => digest.matches(commit),
+        }
+    }
+}
+
+/// The journal's records, assembled into the per-job state recovery matches against.
+#[derive(Debug)]
+pub struct JournalReplay {
+    /// The run configuration from the head record (`RunStarted` or `Snapshot`).
+    pub config: RunConfig,
+    /// Journaled dispatches, per job, in journal order.
+    pub dispatches: Vec<VecDeque<DispatchRecord>>,
+    /// Journaled commits keyed by `(job, seq)`.
+    pub commits: BTreeMap<(usize, usize), JournaledCommit>,
+    /// Journaled per-poll charges, per job, as `(hit, amount bits, at bits)`.
+    pub charges: Vec<VecDeque<(HitId, u64, u64)>>,
+    /// Charges folded away by a compaction snapshot.
+    pub charged_before_snapshot: f64,
+    /// Journaled fleet events (only present once a run finished, or partially if the
+    /// crash hit the event flush).
+    pub events: Vec<FleetEvent>,
+    /// The `RunCompleted` trailer, if the run finished: `(cost, questions, makespan)`.
+    pub completed: Option<(f64, usize, f64)>,
+    /// Whether the journal's tail was torn.
+    pub torn_tail: bool,
+}
+
+fn diverged(detail: impl Into<String>) -> CdasError {
+    CdasError::JournalDiverged {
+        detail: detail.into(),
+    }
+}
+
+impl JournalReplay {
+    /// Assemble a journal's records. Fails with [`CdasError::JournalEmpty`] when no head
+    /// record is present and [`CdasError::JournalDiverged`] on structural inconsistencies
+    /// (a second head record, a record for an unknown job, a duplicate commit).
+    pub fn assemble(contents: &JournalContents) -> Result<Self> {
+        let mut replay: Option<JournalReplay> = None;
+        for record in &contents.records {
+            match record {
+                JournalRecord::RunStarted(config) => {
+                    if replay.is_some() {
+                        return Err(diverged("second RunStarted record"));
+                    }
+                    replay = Some(JournalReplay::empty(config.clone(), contents.torn_tail));
+                }
+                JournalRecord::Snapshot(snapshot) => {
+                    // A snapshot replaces everything before it (compaction writes it as
+                    // the first record of the surviving segment).
+                    replay = Some(JournalReplay::from_snapshot(snapshot, contents.torn_tail)?);
+                }
+                JournalRecord::Dispatch(dispatch) => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("Dispatch before a head record"))?;
+                    let job = dispatch.job.0;
+                    replay
+                        .dispatches
+                        .get_mut(job)
+                        .ok_or_else(|| diverged(format!("dispatch for unknown job {job}")))?
+                        .push_back(dispatch.clone());
+                }
+                JournalRecord::Charge {
+                    job,
+                    hit,
+                    amount,
+                    at,
+                } => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("Charge before a head record"))?;
+                    replay
+                        .charges
+                        .get_mut(job.0)
+                        .ok_or_else(|| diverged(format!("charge for unknown job {}", job.0)))?
+                        .push_back((*hit, amount.to_bits(), at.to_bits()));
+                }
+                JournalRecord::Commit(commit) => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("Commit before a head record"))?;
+                    if commit.job.0 >= replay.dispatches.len() {
+                        return Err(diverged(format!("commit for unknown job {}", commit.job.0)));
+                    }
+                    let key = (commit.job.0, commit.seq);
+                    if replay
+                        .commits
+                        .insert(key, JournaledCommit::Full(commit.clone()))
+                        .is_some()
+                    {
+                        return Err(diverged(format!(
+                            "duplicate commit for job {} seq {}",
+                            key.0, key.1
+                        )));
+                    }
+                }
+                JournalRecord::Event(event) => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("Event before a head record"))?;
+                    replay.events.push(event.clone());
+                }
+                JournalRecord::RunCompleted {
+                    cost,
+                    questions,
+                    makespan,
+                } => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("RunCompleted before a head record"))?;
+                    replay.completed = Some((*cost, *questions, *makespan));
+                }
+            }
+        }
+        replay.ok_or(CdasError::JournalEmpty)
+    }
+
+    fn empty(config: RunConfig, torn_tail: bool) -> Self {
+        let jobs = config.jobs.len();
+        JournalReplay {
+            config,
+            dispatches: (0..jobs).map(|_| VecDeque::new()).collect(),
+            commits: BTreeMap::new(),
+            charges: (0..jobs).map(|_| VecDeque::new()).collect(),
+            charged_before_snapshot: 0.0,
+            events: Vec::new(),
+            completed: None,
+            torn_tail,
+        }
+    }
+
+    fn from_snapshot(snapshot: &JournalSnapshot, torn_tail: bool) -> Result<Self> {
+        let mut replay = JournalReplay::empty(snapshot.config.clone(), torn_tail);
+        for dispatch in &snapshot.dispatches {
+            let job = dispatch.job.0;
+            replay
+                .dispatches
+                .get_mut(job)
+                .ok_or_else(|| diverged(format!("snapshot dispatch for unknown job {job}")))?
+                .push_back(dispatch.clone());
+        }
+        for digest in &snapshot.commits {
+            let key = (digest.job.0, digest.seq);
+            if key.0 >= replay.charges.len() {
+                return Err(diverged(format!(
+                    "snapshot commit for unknown job {}",
+                    key.0
+                )));
+            }
+            if replay
+                .commits
+                .insert(key, JournaledCommit::Digest(digest.clone()))
+                .is_some()
+            {
+                return Err(diverged(format!(
+                    "duplicate snapshot commit for job {} seq {}",
+                    key.0, key.1
+                )));
+            }
+        }
+        replay.charged_before_snapshot = snapshot.charged;
+        Ok(replay)
+    }
+
+    /// Fold this replay into a compaction snapshot (full commits become digests, charge
+    /// queues fold into one total).
+    pub fn to_snapshot(&self) -> JournalSnapshot {
+        let mut charged = self.charged_before_snapshot;
+        for queue in &self.charges {
+            for &(_, amount_bits, _) in queue {
+                charged += f64::from_bits(amount_bits);
+            }
+        }
+        JournalSnapshot {
+            config: self.config.clone(),
+            dispatches: self
+                .dispatches
+                .iter()
+                .flat_map(|queue| queue.iter().cloned())
+                .collect(),
+            commits: self
+                .commits
+                .values()
+                .map(|commit| match commit {
+                    JournaledCommit::Full(full) => CommitDigest::of(full),
+                    JournaledCommit::Digest(digest) => digest.clone(),
+                })
+                .collect(),
+            charged,
+        }
+    }
+}
+
+struct RecoveryState {
+    journal: Journal,
+    dispatches: Vec<VecDeque<DispatchRecord>>,
+    commits: BTreeMap<(usize, usize), JournaledCommit>,
+    charges: Vec<VecDeque<(HitId, u64, u64)>>,
+    journaled_events: Vec<FleetEvent>,
+    completed: Option<(f64, usize, f64)>,
+    torn_tail: bool,
+    divergence: Option<String>,
+    failure: Option<CdasError>,
+    recovered_hits: usize,
+    resumed_hits: usize,
+    recovered_cost: f64,
+    resumed_cost: f64,
+}
+
+impl RecoveryState {
+    fn append(&mut self, record: &JournalRecord) {
+        if self.failure.is_some() {
+            return;
+        }
+        if let Err(e) = self.journal.append(record) {
+            self.failure = Some(e);
+        }
+    }
+
+    fn diverge(&mut self, detail: String) {
+        if self.divergence.is_none() {
+            self.divergence = Some(detail);
+        }
+    }
+}
+
+/// The [`RunObserver`] that performs recovery: matches the re-execution's records
+/// against the journaled prefix and appends only the missing suffix.
+pub struct RecoveryObserver {
+    state: Mutex<RecoveryState>,
+}
+
+impl RecoveryObserver {
+    /// Build the observer over a re-opened journal and the assembled replay state.
+    pub fn new(journal: Journal, replay: JournalReplay) -> Self {
+        RecoveryObserver {
+            state: Mutex::new(RecoveryState {
+                journal,
+                dispatches: replay.dispatches,
+                commits: replay.commits,
+                charges: replay.charges,
+                journaled_events: replay.events,
+                completed: replay.completed,
+                torn_tail: replay.torn_tail,
+                divergence: None,
+                failure: None,
+                recovered_hits: 0,
+                resumed_hits: 0,
+                recovered_cost: 0.0,
+                resumed_cost: 0.0,
+            }),
+        }
+    }
+
+    /// Finish recovery after the re-execution completed: verify no journaled record was
+    /// left unconsumed, reconcile the event stream (append only the missing suffix), and
+    /// append the `RunCompleted` trailer when the journal lacked one.
+    pub fn finish(
+        &self,
+        events: &[FleetEvent],
+        cost: f64,
+        questions: usize,
+        makespan: f64,
+    ) -> Result<RecoveryReport> {
+        let mut state = self.state.lock().expect("recovery state lock");
+        if let Some(failure) = state.failure.take() {
+            return Err(failure);
+        }
+        if let Some(detail) = state.divergence.take() {
+            return Err(diverged(detail));
+        }
+        let leftover_dispatches: usize = state.dispatches.iter().map(VecDeque::len).sum();
+        let leftover_charges: usize = state.charges.iter().map(VecDeque::len).sum();
+        let leftover_commits = state.commits.len();
+        if leftover_dispatches + leftover_charges + leftover_commits > 0 {
+            return Err(diverged(format!(
+                "replay never produced {leftover_dispatches} journaled dispatches, \
+                 {leftover_commits} commits, {leftover_charges} charges"
+            )));
+        }
+        if state.journaled_events.len() > events.len() {
+            return Err(diverged(format!(
+                "journal holds {} events, replay produced only {}",
+                state.journaled_events.len(),
+                events.len()
+            )));
+        }
+        for (i, event) in events.iter().enumerate() {
+            if i < state.journaled_events.len() {
+                if state.journaled_events[i] != *event {
+                    return Err(diverged(format!("event {i} does not match the journal")));
+                }
+            } else {
+                let record = JournalRecord::Event(event.clone());
+                state.append(&record);
+            }
+        }
+        let was_complete = match state.completed {
+            Some((journaled_cost, journaled_questions, journaled_makespan)) => {
+                if journaled_cost.to_bits() != cost.to_bits()
+                    || journaled_questions != questions
+                    || journaled_makespan.to_bits() != makespan.to_bits()
+                {
+                    return Err(diverged(format!(
+                        "RunCompleted mismatch: journal says cost {journaled_cost} / \
+                         {journaled_questions} questions / makespan {journaled_makespan}, \
+                         replay got {cost} / {questions} / {makespan}"
+                    )));
+                }
+                true
+            }
+            None => {
+                state.append(&JournalRecord::RunCompleted {
+                    cost,
+                    questions,
+                    makespan,
+                });
+                false
+            }
+        };
+        if let Some(failure) = state.failure.take() {
+            return Err(failure);
+        }
+        state.journal.sync()?;
+        Ok(RecoveryReport {
+            was_complete,
+            torn_tail: state.torn_tail,
+            recovered_hits: state.recovered_hits,
+            resumed_hits: state.resumed_hits,
+            recovered_cost: state.recovered_cost,
+            resumed_cost: state.resumed_cost,
+        })
+    }
+}
+
+impl RunObserver for RecoveryObserver {
+    fn on_dispatch(&self, dispatch: &DispatchRecord) {
+        let mut state = self.state.lock().expect("recovery state lock");
+        let job = dispatch.job.0;
+        match state.dispatches.get_mut(job).and_then(VecDeque::pop_front) {
+            Some(journaled) => {
+                if journaled != *dispatch {
+                    state.diverge(format!(
+                        "dispatch for job {job} (hit {}) does not match the journaled one (hit {})",
+                        dispatch.hit.0, journaled.hit.0
+                    ));
+                }
+            }
+            None => {
+                let record = JournalRecord::Dispatch(dispatch.clone());
+                state.append(&record);
+            }
+        }
+    }
+
+    fn on_charge(&self, job: JobId, hit: HitId, amount: f64, at: f64) {
+        let mut state = self.state.lock().expect("recovery state lock");
+        match state.charges.get_mut(job.0).and_then(VecDeque::pop_front) {
+            Some((journaled_hit, amount_bits, at_bits)) => {
+                if journaled_hit != hit
+                    || amount_bits != amount.to_bits()
+                    || at_bits != at.to_bits()
+                {
+                    state.diverge(format!(
+                        "charge for job {} (hit {}, amount {amount}) does not match the journal",
+                        job.0, hit.0
+                    ));
+                }
+            }
+            None => {
+                let record = JournalRecord::Charge {
+                    job,
+                    hit,
+                    amount,
+                    at,
+                };
+                state.append(&record);
+            }
+        }
+    }
+
+    fn on_commit(&self, commit: &BatchCommit) {
+        let mut state = self.state.lock().expect("recovery state lock");
+        let key = (commit.job.0, commit.seq);
+        match state.commits.remove(&key) {
+            Some(journaled) => {
+                if journaled.matches(commit) {
+                    state.recovered_hits += 1;
+                    state.recovered_cost += journaled.charge();
+                } else {
+                    state.diverge(format!(
+                        "commit for job {} seq {} does not match the journaled one",
+                        key.0, key.1
+                    ));
+                }
+            }
+            None => {
+                state.resumed_hits += 1;
+                state.resumed_cost += commit.charge;
+                let record = JournalRecord::Commit(commit.clone());
+                state.append(&record);
+            }
+        }
+    }
+}
+
+/// The [`RunObserver`] a live journaled run attaches: a straight append sink with
+/// failure capture (an I/O error mid-run is reported when the run finishes — observers
+/// cannot propagate errors through the scheduler hot path).
+pub struct JournalSink {
+    journal: Mutex<Journal>,
+    failure: Mutex<Option<CdasError>>,
+}
+
+impl JournalSink {
+    /// Wrap a journal.
+    pub fn new(journal: Journal) -> Self {
+        JournalSink {
+            journal: Mutex::new(journal),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Append a record, capturing (rather than propagating) any I/O error.
+    pub fn append(&self, record: &JournalRecord) {
+        let mut failure = self.failure.lock().expect("journal failure lock");
+        if failure.is_some() {
+            return;
+        }
+        let mut journal = self.journal.lock().expect("journal lock");
+        if let Err(e) = journal.append(record) {
+            *failure = Some(e);
+        }
+    }
+
+    /// Fsync the journal, capturing any error.
+    pub fn sync(&self) {
+        let mut failure = self.failure.lock().expect("journal failure lock");
+        if failure.is_some() {
+            return;
+        }
+        let mut journal = self.journal.lock().expect("journal lock");
+        if let Err(e) = journal.sync() {
+            *failure = Some(e);
+        }
+    }
+
+    /// The first I/O error captured, if any (the run's result surfaces it).
+    pub fn take_failure(&self) -> Option<CdasError> {
+        self.failure.lock().expect("journal failure lock").take()
+    }
+}
+
+impl RunObserver for JournalSink {
+    fn on_dispatch(&self, dispatch: &DispatchRecord) {
+        self.append(&JournalRecord::Dispatch(dispatch.clone()));
+    }
+
+    fn on_charge(&self, job: JobId, hit: HitId, amount: f64, at: f64) {
+        self.append(&JournalRecord::Charge {
+            job,
+            hit,
+            amount,
+            at,
+        });
+    }
+
+    fn on_commit(&self, commit: &BatchCommit) {
+        self.append(&JournalRecord::Commit(commit.clone()));
+    }
+}

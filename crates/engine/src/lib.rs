@@ -50,6 +50,7 @@ pub mod executor;
 pub mod fixtures;
 pub mod fleet;
 pub mod job_manager;
+pub mod journal;
 pub mod metrics;
 pub mod privacy;
 pub mod query;
@@ -62,6 +63,7 @@ pub use engine::{
     VerificationStrategy, WorkerCountPolicy,
 };
 pub use fleet::{ExecutionMode, Fleet, FleetBuilder, FleetEvent, FleetRun, JobSpec};
+pub use journal::{Journal, JournalConfig, RecoveryReport, SyncPolicy};
 pub use metrics::{FleetReport, JobReport, ShardReport};
 pub use query::Query;
 pub use scheduler::{DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig};

@@ -59,6 +59,7 @@
 //! ```
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Instant;
 
 use cdas_core::accuracy::AccuracyRegistry;
@@ -223,6 +224,94 @@ pub struct DispatchRecord {
     pub at: f64,
 }
 
+/// One committed batch: the durable unit of scheduler progress. Emitted through
+/// [`RunObserver::on_commit`] at the exact point an outcome is pushed onto its job's run
+/// list — after this, the batch's verdicts, cost, and registry contributions are part of
+/// the run's state and must never be paid for again.
+///
+/// `seq` is the batch's index within its **job** (not a global counter): per-job order
+/// is deterministic even in parallel runs, where the global interleaving across shards
+/// is not. The journal's recovery matches commits per `(job, seq)` for exactly this
+/// reason.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchCommit {
+    /// The committing job.
+    pub job: JobId,
+    /// The batch's 0-based sequence number within the job.
+    pub seq: usize,
+    /// The platform HIT the batch ran as.
+    pub hit: HitId,
+    /// The batch's range within the job's question list.
+    pub range: std::ops::Range<usize>,
+    /// The engine outcome being committed (verdicts, cost, registry contributions).
+    pub outcome: HitOutcome,
+    /// What the batch charged the requester (`outcome.cost`).
+    pub charge: f64,
+    /// Simulated completion time (0.0 in unclocked runs).
+    pub completed_at: f64,
+    /// Simulated time of the batch's first verdict, if any arrived.
+    pub first_verdict_at: Option<f64>,
+    /// Worker-minutes reclaimed by cancelling the batch mid-flight.
+    pub reclaimed_minutes: f64,
+    /// Answers cut off by the cancellation.
+    pub answers_cancelled: usize,
+    /// Whether the batch was cancelled early (terminated before all answers arrived).
+    pub cancelled: bool,
+}
+
+/// Observer of the scheduler's durable state changes, called synchronously at the three
+/// points recovery needs to replay a run: dispatch (money committed to the platform),
+/// per-poll charge (incremental spend in clocked runs), and batch commit (outcome made
+/// part of run state). The write-ahead journal is the canonical implementation.
+///
+/// In parallel runs each shard's sub-scheduler reports through a relabeling shim, so
+/// observers always see **global** job ids; calls from different shard threads may
+/// interleave, but per-job call order is deterministic.
+pub trait RunObserver: Send + Sync {
+    /// A batch was published: workers leased, HIT live on the platform.
+    fn on_dispatch(&self, dispatch: &DispatchRecord) {
+        let _ = dispatch;
+    }
+
+    /// A clocked poll charged the requester `amount` for answers of `hit` at simulated
+    /// time `at`. Never called with `amount == 0.0`.
+    fn on_charge(&self, job: JobId, hit: HitId, amount: f64, at: f64) {
+        let _ = (job, hit, amount, at);
+    }
+
+    /// A batch outcome was committed to its job's run list.
+    fn on_commit(&self, commit: &BatchCommit) {
+        let _ = commit;
+    }
+}
+
+/// Relabels a shard-local sub-scheduler's observer calls with global job ids before
+/// forwarding to the fleet-level observer.
+struct ShardRelabel {
+    inner: Arc<dyn RunObserver>,
+    /// `global[local_job_index]` = the job's index in the parent scheduler.
+    global: Vec<usize>,
+}
+
+impl RunObserver for ShardRelabel {
+    fn on_dispatch(&self, dispatch: &DispatchRecord) {
+        let mut relabeled = dispatch.clone();
+        relabeled.job = JobId(self.global[relabeled.job.0]);
+        self.inner.on_dispatch(&relabeled);
+    }
+
+    fn on_charge(&self, job: JobId, hit: HitId, amount: f64, at: f64) {
+        self.inner
+            .on_charge(JobId(self.global[job.0]), hit, amount, at);
+    }
+
+    fn on_commit(&self, commit: &BatchCommit) {
+        let mut relabeled = commit.clone();
+        relabeled.job = JobId(self.global[relabeled.job.0]);
+        self.inner.on_commit(&relabeled);
+    }
+}
+
 /// A batch published in the current tick's dispatch phase, awaiting this tick's ingest
 /// phase. Batches live exactly one tick: dispatch leases and publishes, ingest collects,
 /// and the [`WorkerLease`] guard releases on drop — at the end of the tick on the happy
@@ -301,6 +390,9 @@ pub struct JobScheduler {
     cache: AccuracyCache,
     jobs: Vec<JobState>,
     rng: StdRng,
+    /// Observer of durable state changes (dispatches, charges, commits); `None` keeps
+    /// every run loop allocation-free on the hot path.
+    observer: Option<Arc<dyn RunObserver>>,
 }
 
 impl JobScheduler {
@@ -322,7 +414,15 @@ impl JobScheduler {
             cache: AccuracyCache::new(shared),
             jobs: Vec::new(),
             rng: StdRng::seed_from_u64(config.seed),
+            observer: None,
         }
+    }
+
+    /// Attach an observer that is called synchronously at every dispatch, charge, and
+    /// batch commit of the following runs. The write-ahead journal attaches itself here;
+    /// replacing a previous observer is allowed (last one wins).
+    pub fn attach_observer(&mut self, observer: Arc<dyn RunObserver>) {
+        self.observer = Some(observer);
     }
 
     /// Submit a job; returns its [`JobId`].
@@ -470,11 +570,27 @@ impl JobScheduler {
             // vector unwinds on an early `?` return — so no path, happy or failing, can
             // leak workers out of the roster.
             for batch in inflight {
+                let observer = self.observer.clone();
                 let state = &mut self.jobs[batch.job];
                 let outcome =
                     state
                         .engine
                         .collect_batch_cached(platform, batch.ticket, &self.cache)?;
+                if let Some(observer) = &observer {
+                    observer.on_commit(&BatchCommit {
+                        job: JobId(batch.job),
+                        seq: state.runs.len(),
+                        hit: outcome.hit,
+                        range: batch.range.clone(),
+                        charge: outcome.cost,
+                        completed_at: 0.0,
+                        first_verdict_at: None,
+                        reclaimed_minutes: 0.0,
+                        answers_cancelled: 0,
+                        cancelled: false,
+                        outcome: outcome.clone(),
+                    });
+                }
                 state.runs.push((batch.range, outcome));
             }
         }
@@ -683,6 +799,18 @@ impl JobScheduler {
         for (j, state) in std::mem::take(&mut self.jobs).into_iter().enumerate() {
             global[j % shard_count].push(j);
             subs[j % shard_count].jobs.push(state);
+        }
+        if let Some(observer) = &self.observer {
+            // Each shard reports through a relabeling shim so the fleet-level observer
+            // (the journal) always sees global job ids. Calls from different shard
+            // threads interleave, but per-job order stays deterministic — which is all
+            // recovery matches on.
+            for (s, sub) in subs.iter_mut().enumerate() {
+                sub.observer = Some(Arc::new(ShardRelabel {
+                    inner: Arc::clone(observer),
+                    global: global[s].clone(),
+                }));
+            }
         }
 
         // One OS thread per shard, each running the same clocked event loop the
@@ -958,9 +1086,13 @@ impl JobScheduler {
                 }
                 let cost_before = platform.total_cost();
                 let answers = platform.poll(hit, poll_at);
-                inflight[i]
-                    .collector
-                    .record_charge(platform.total_cost() - cost_before);
+                let charged = platform.total_cost() - cost_before;
+                inflight[i].collector.record_charge(charged);
+                if charged != 0.0 {
+                    if let Some(observer) = &self.observer {
+                        observer.on_charge(JobId(inflight[i].job), hit, charged, poll_at);
+                    }
+                }
                 if poll_at.is_infinite() {
                     // End-of-time drain (a platform without arrival look-ahead): the
                     // answers carry their own arrival times, so move the clock to the
@@ -1009,6 +1141,21 @@ impl JobScheduler {
                 };
                 state.reclaimed_minutes += clocked.reclaimed_minutes;
                 state.answers_cancelled += clocked.answers_cancelled;
+                if let Some(observer) = &self.observer {
+                    observer.on_commit(&BatchCommit {
+                        job: JobId(batch.job),
+                        seq: state.runs.len(),
+                        hit,
+                        range: batch.range.clone(),
+                        charge: clocked.outcome.cost,
+                        completed_at: clocked.completed_at,
+                        first_verdict_at: clocked.first_verdict_at,
+                        reclaimed_minutes: clocked.reclaimed_minutes,
+                        answers_cancelled: clocked.answers_cancelled,
+                        cancelled: clocked.cancelled,
+                        outcome: clocked.outcome.clone(),
+                    });
+                }
                 state.runs.push((batch.range, clocked.outcome));
             }
         }
@@ -1048,6 +1195,9 @@ impl JobScheduler {
                     workers: lease.workers().to_vec(),
                     at,
                 });
+                if let Some(observer) = &self.observer {
+                    observer.on_dispatch(dispatches.last().expect("dispatch just pushed"));
+                }
                 state.workers_seen.extend(lease.workers().iter().copied());
                 let range = state.cursor..end;
                 state.cursor = end;

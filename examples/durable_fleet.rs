@@ -1,0 +1,129 @@
+//! The durable fleet: journal a run, kill it mid-flight, recover it exactly.
+//!
+//! A `Fleet` built with `.journal(dir)` appends every scheduler decision — dispatches,
+//! charges, batch commits, fleet events — to a segmented write-ahead log as the run
+//! executes. This example crashes a 2-shard parallel run on purpose (a failpoint aborts
+//! shard 1 after three platform polls, the in-process stand-in for `kill -9`), then
+//! calls `Fleet::recover(dir)`: the journaled prefix is replayed and cross-checked
+//! against a deterministic re-execution, the unfinished suffix is resumed live, and the
+//! final report is bit-identical (wall clock aside) to a run that never crashed — with
+//! every already-committed HIT recovered from the log rather than paid a second time.
+//!
+//! Run with: `cargo run --release -p cdas --example durable_fleet`
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use cdas::crowd::failpoint::FAILPOINT_PANIC;
+use cdas::fixtures::demo_questions;
+use cdas::prelude::*;
+
+const MODE: ExecutionMode = ExecutionMode::Parallel { shards: 2 };
+
+fn fleet(journal: Option<&std::path::Path>) -> Fleet {
+    let mut builder = Fleet::builder()
+        .crowd(
+            CrowdSpec::clean(12, 0.85)
+                .seed(11)
+                .latency(LatencyModel::Exponential { mean: 4.0 }),
+        )
+        .job(
+            JobSpec::sentiment("alpha", demo_questions(6, 2))
+                .workers(4)
+                .domain_size(3)
+                .batch_size(3),
+        )
+        .job(
+            JobSpec::sentiment("beta", demo_questions(5, 1))
+                .workers(3)
+                .domain_size(3)
+                .batch_size(5),
+        );
+    if let Some(dir) = journal {
+        builder = builder.journal(dir);
+    }
+    builder.build().expect("a well-formed fleet")
+}
+
+fn journal_bytes(dir: &std::path::Path) -> u64 {
+    let mut total = 0;
+    if let Ok(entries) = std::fs::read_dir(dir) {
+        for entry in entries.flatten() {
+            if entry.path().extension().is_some_and(|e| e == "wal") {
+                total += entry.metadata().map(|m| m.len()).unwrap_or(0);
+            }
+        }
+    }
+    total
+}
+
+fn main() {
+    // The injected crash is the whole point of the demo; keep the default panic hook
+    // from printing a scary backtrace for it (genuine panics still print).
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let injected = info
+            .payload()
+            .downcast_ref::<String>()
+            .is_some_and(|message| message == FAILPOINT_PANIC);
+        if !injected {
+            previous(info);
+        }
+    }));
+
+    let dir = std::env::temp_dir().join(format!("cdas-durable-fleet-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // The control: the same fleet, never crashed and never journaled.
+    let expected = fleet(None).run(MODE).expect("uninterrupted run");
+    println!(
+        "uninterrupted run: {} questions, ${:.2}, makespan {:.1}m",
+        expected.report().fleet.questions,
+        expected.report().total_cost(),
+        expected.report().makespan,
+    );
+
+    // Journal the run and kill shard 1 after three polls. The healthy shard finishes
+    // and its commits land in the journal before the panic resurfaces here.
+    let crash = catch_unwind(AssertUnwindSafe(|| {
+        fleet(Some(&dir)).run_with_failpoints(
+            MODE,
+            FleetFailpoints::on_shard(1, Failpoint::after_polls(3)),
+        )
+    }));
+    assert!(crash.is_err(), "the failpoint must abort the run");
+    println!(
+        "crashed mid-run: shard 1 aborted, {} journal bytes survive in {}",
+        journal_bytes(&dir),
+        dir.display(),
+    );
+
+    // Recovery: replay the wreckage, resume the rest, and account for both halves.
+    let (run, report) = Fleet::recover(&dir).expect("recovery succeeds");
+    println!(
+        "recovered: {} HITs (${:.2}) replayed from the journal, {} HITs (${:.2}) resumed live",
+        report.recovered_hits, report.recovered_cost, report.resumed_hits, report.resumed_cost,
+    );
+    assert!(!report.was_complete, "the crashed journal had no trailer");
+    assert_eq!(
+        run.report().ignoring_wall_clock(),
+        expected.report().ignoring_wall_clock(),
+        "recovery must reproduce the uninterrupted run exactly"
+    );
+    assert_eq!(run.events(), expected.events());
+    assert!(
+        (report.total_cost() - expected.report().total_cost()).abs() < 1e-9,
+        "recovered + resumed dollars equal the uninterrupted cost — nothing paid twice"
+    );
+
+    // The resumed run completed the journal, so recovering again is a pure no-op read.
+    let (_, second) = Fleet::recover(&dir).expect("second recovery");
+    assert!(second.was_complete);
+    assert_eq!(second.resumed_hits, 0);
+    println!(
+        "second recovery: complete journal, {} HITs replayed, 0 resumed — crash-and-resume \
+         is indistinguishable from never crashing",
+        second.recovered_hits,
+    );
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -25,9 +25,12 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "DispatchPolicy",
     "EngineConfig",
     "ExecutionMode",
+    "Failpoint",
+    "FailpointPlatform",
     "Fleet",
     "FleetBuilder",
     "FleetEvent",
+    "FleetFailpoints",
     "FleetReport",
     "FleetRun",
     "HalfVoting",
@@ -41,6 +44,9 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "JobReport",
     "JobScheduler",
     "JobSpec",
+    "Journal",
+    "JournalConfig",
+    "JournalRecord",
     "Label",
     "LatencyModel",
     "LeaseId",
@@ -54,6 +60,8 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "QualitySensitiveModel",
     "Query",
     "QuestionId",
+    "RecoveryReport",
+    "RunConfig",
     "ScheduledJob",
     "SchedulerConfig",
     "ShardReport",
@@ -61,6 +69,7 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "SharedAccuracyRegistry",
     "SimClock",
     "SimulatedPlatform",
+    "SyncPolicy",
     "TerminationStrategy",
     "TsaApp",
     "TsaConfig",

@@ -1,0 +1,413 @@
+//! Journal durability and crash-recovery edge cases.
+//!
+//! The contract under test: a fleet run journaled via [`FleetBuilder::journal`] can be
+//! recovered from *any* crash signature the journal layer can exhibit — a torn final
+//! frame, a write kill mid-run, a compaction snapshot plus a partial tail, or a journal
+//! that already holds the whole run — and `Fleet::recover` resumes it to a report and
+//! event stream identical (wall clock aside) to a run that never crashed. Corruption
+//! that is *not* a crash signature (a flipped byte away from the tail) must be rejected
+//! loudly, never silently replayed.
+
+use std::path::{Path, PathBuf};
+
+use cdas::core::types::HitId;
+use cdas::core::CdasError;
+use cdas::fixtures::demo_questions;
+use cdas::prelude::*;
+use proptest::prelude::*;
+
+/// A unique scratch directory per test (wiped on entry; tests may run in parallel).
+fn temp_dir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("cdas-journal-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn crowd() -> CrowdSpec {
+    CrowdSpec::clean(12, 0.85)
+        .seed(11)
+        .latency(LatencyModel::Exponential { mean: 4.0 })
+}
+
+fn builder() -> FleetBuilder<CrowdSpec> {
+    Fleet::builder()
+        .crowd(crowd())
+        .job(
+            JobSpec::sentiment("alpha", demo_questions(6, 2))
+                .workers(4)
+                .domain_size(3)
+                .batch_size(3),
+        )
+        .job(
+            JobSpec::sentiment("beta", demo_questions(5, 1))
+                .workers(3)
+                .domain_size(3)
+                .batch_size(5),
+        )
+}
+
+/// The same fleet without a journal — the uninterrupted baseline.
+fn baseline(mode: ExecutionMode) -> FleetRun {
+    builder().build().unwrap().run(mode).unwrap()
+}
+
+fn journaled(dir: &Path, config: JournalConfig) -> Fleet {
+    builder()
+        .journal(dir)
+        .journal_config(config)
+        .build()
+        .unwrap()
+}
+
+const MODES: [ExecutionMode; 3] = [
+    ExecutionMode::EndOfTime,
+    ExecutionMode::Clocked,
+    ExecutionMode::Parallel { shards: 2 },
+];
+
+fn assert_equals_baseline(run: &FleetRun, expected: &FleetRun, context: &str) {
+    assert_eq!(
+        run.report().ignoring_wall_clock(),
+        expected.report().ignoring_wall_clock(),
+        "{context}: report differs from the uninterrupted run"
+    );
+    assert_eq!(
+        run.events(),
+        expected.events(),
+        "{context}: event stream differs from the uninterrupted run"
+    );
+}
+
+/// Total on-disk size of the journal's segments.
+fn journal_bytes(dir: &Path) -> u64 {
+    std::fs::read_dir(dir)
+        .unwrap()
+        .filter_map(|entry| entry.ok())
+        .filter(|entry| entry.path().extension().is_some_and(|e| e == "wal"))
+        .map(|entry| entry.metadata().unwrap().len())
+        .sum()
+}
+
+#[test]
+fn recovering_an_empty_journal_is_journal_empty() {
+    // A directory that never existed is an I/O error, not an empty journal…
+    let dir = temp_dir("empty");
+    match Fleet::recover(&dir) {
+        Err(CdasError::JournalIo { .. }) => {}
+        other => panic!("expected JournalIo for a missing directory, got {other:?}"),
+    }
+    // …an existing directory with no segments (or a header-only segment) is empty.
+    std::fs::create_dir_all(&dir).unwrap();
+    match Fleet::recover(&dir) {
+        Err(CdasError::JournalEmpty) => {}
+        other => panic!("expected JournalEmpty, got {other:?}"),
+    }
+    let _ = Journal::create(&dir, JournalConfig::default()).unwrap();
+    match Fleet::recover(&dir) {
+        Err(CdasError::JournalEmpty) => {}
+        other => panic!("expected JournalEmpty for a header-only journal, got {other:?}"),
+    }
+}
+
+#[test]
+fn journaled_runs_match_plain_runs_and_recovery_is_a_noop_resume() {
+    for (i, mode) in MODES.iter().enumerate() {
+        let expected = baseline(*mode);
+        let dir = temp_dir(&format!("noop-{i}"));
+        let run = journaled(&dir, JournalConfig::default())
+            .run(*mode)
+            .unwrap();
+        assert_equals_baseline(&run, &expected, "journal-on run");
+
+        // The journal holds the complete run: recovery replays it, re-pays nothing,
+        // appends nothing new.
+        let (recovered, report) = Fleet::recover(&dir).unwrap();
+        assert_equals_baseline(&recovered, &expected, "no-op recovery");
+        assert!(report.was_complete, "{mode:?}: journal held RunCompleted");
+        assert!(!report.torn_tail);
+        assert_eq!(report.resumed_hits, 0, "{mode:?}: nothing left to resume");
+        assert!(report.recovered_hits > 0);
+        assert!(
+            (report.recovered_cost - expected.report().fleet.cost).abs() < 1e-12,
+            "{mode:?}: every journaled dollar is accounted as recovered"
+        );
+    }
+}
+
+#[test]
+fn a_torn_final_record_is_dropped_and_resumed() {
+    let mode = ExecutionMode::Clocked;
+    let expected = baseline(mode);
+    let dir = temp_dir("torn");
+    journaled(&dir, JournalConfig::default()).run(mode).unwrap();
+
+    // Chop into the final frame (the RunCompleted trailer), leaving a torn tail.
+    Journal::truncate_tail(&dir, 10).unwrap();
+    let contents = Journal::read(&dir).unwrap();
+    assert!(contents.torn_tail, "a mid-frame cut reads as a torn tail");
+
+    let (recovered, report) = Fleet::recover(&dir).unwrap();
+    assert_equals_baseline(&recovered, &expected, "torn-tail recovery");
+    assert!(report.torn_tail);
+    assert!(!report.was_complete, "the trailer was in the torn frame");
+
+    // The repaired journal is complete: recovering again is a clean no-op.
+    let (_, second) = Fleet::recover(&dir).unwrap();
+    assert!(second.was_complete);
+    assert!(!second.torn_tail);
+}
+
+#[test]
+fn corruption_away_from_the_tail_is_rejected() {
+    let dir = temp_dir("corrupt");
+    journaled(&dir, JournalConfig::default())
+        .run(ExecutionMode::Clocked)
+        .unwrap();
+    // Flip a payload byte of the very first frame (RunStarted): 16-byte segment header,
+    // 8-byte frame header, then payload. Nowhere near the tail, so this must be
+    // corruption, not a crash signature.
+    let len = journal_bytes(&dir);
+    Journal::corrupt_tail_byte(&dir, len - 16 - 8 - 2).unwrap();
+    match Fleet::recover(&dir) {
+        Err(CdasError::JournalCorrupt { segment, .. }) => {
+            assert!(
+                segment.contains("segment-000000"),
+                "damage is in segment 0: {segment}"
+            )
+        }
+        other => panic!("expected JournalCorrupt in segment 0, got {other:?}"),
+    }
+    match Journal::read(&dir) {
+        Err(CdasError::JournalCorrupt { .. }) => {}
+        other => panic!("read must reject it too, got {other:?}"),
+    }
+}
+
+#[test]
+fn recovery_from_snapshot_plus_partial_tail() {
+    let mode = ExecutionMode::Clocked;
+    let expected = baseline(mode);
+
+    // Crash the journal mid-run (the run itself finishes; the journal's on-disk state
+    // is frozen at the write kill, like a supervisor snapshotting the crash instant).
+    let dir = temp_dir("snapshot");
+    let full = {
+        let probe = temp_dir("snapshot-probe");
+        journaled(&probe, JournalConfig::default())
+            .run(mode)
+            .unwrap();
+        journal_bytes(&probe)
+    };
+    journaled(
+        &dir,
+        JournalConfig {
+            fail_writes_after: Some(full / 2),
+            ..JournalConfig::default()
+        },
+    )
+    .run(mode)
+    .unwrap();
+
+    // Compact the crashed journal into a snapshot…
+    Journal::compact(&dir).unwrap();
+    let compacted = Journal::read(&dir).unwrap();
+    assert_eq!(compacted.segments, 1);
+    assert!(matches!(
+        compacted.records.first(),
+        Some(JournalRecord::Snapshot(_))
+    ));
+
+    // …resume it with the journal crashing *again* partway through the resumed tail…
+    let (run, report) = Fleet::recover_with_config(
+        &dir,
+        JournalConfig {
+            fail_writes_after: Some(512),
+            ..JournalConfig::default()
+        },
+    )
+    .unwrap();
+    assert_equals_baseline(&run, &expected, "resume from snapshot");
+    assert!(!report.was_complete);
+    assert!(report.recovered_hits > 0, "snapshot commits were matched");
+
+    // …and recover once more from snapshot + partial tail, to a complete journal.
+    let (run, report) = Fleet::recover(&dir).unwrap();
+    assert_equals_baseline(&run, &expected, "recover snapshot + partial tail");
+    let (_, finished) = Fleet::recover(&dir).unwrap();
+    assert!(finished.was_complete, "third recovery is a no-op");
+    assert_eq!(
+        report.recovered_hits + report.resumed_hits,
+        finished.recovered_hits,
+        "recovered + resumed converges to the full run's commit count"
+    );
+}
+
+#[test]
+fn a_foreign_record_in_the_journal_diverges() {
+    let dir = temp_dir("diverged");
+    journaled(&dir, JournalConfig::default())
+        .run(ExecutionMode::Clocked)
+        .unwrap();
+    // Append a charge for a job this run never had.
+    let (mut journal, _) = Journal::open_append(&dir, JournalConfig::default()).unwrap();
+    journal
+        .append(&JournalRecord::Charge {
+            job: JobId(99),
+            hit: HitId(0),
+            amount: 0.25,
+            at: 1.0,
+        })
+        .unwrap();
+    journal.sync().unwrap();
+    match Fleet::recover(&dir) {
+        Err(CdasError::JournalDiverged { detail }) => {
+            assert!(
+                detail.contains("99"),
+                "detail names the bogus job: {detail}"
+            )
+        }
+        other => panic!("expected JournalDiverged, got {other:?}"),
+    }
+}
+
+#[test]
+fn a_journal_from_a_different_crowd_diverges() {
+    // Journal a run, then overwrite the journal with a *different* fleet's journal head
+    // but graft the first fleet's tail records onto it: replay must notice the grafted
+    // records never happen.
+    let dir = temp_dir("foreign");
+    journaled(&dir, JournalConfig::default())
+        .run(ExecutionMode::Clocked)
+        .unwrap();
+    let original = Journal::read(&dir).unwrap();
+    let other = Fleet::builder()
+        .crowd(CrowdSpec::clean(12, 0.85).seed(99))
+        .job(
+            JobSpec::sentiment("alpha", demo_questions(6, 2))
+                .workers(4)
+                .domain_size(3)
+                .batch_size(3),
+        )
+        .build()
+        .unwrap();
+    let mut journal = Journal::create(&dir, JournalConfig::default()).unwrap();
+    journal
+        .append(&JournalRecord::RunStarted(
+            other.run_config(ExecutionMode::Clocked).unwrap(),
+        ))
+        .unwrap();
+    for record in &original.records {
+        if matches!(record, JournalRecord::Commit(_)) {
+            journal.append(record).unwrap();
+        }
+    }
+    journal.sync().unwrap();
+    drop(journal);
+    match Fleet::recover(&dir) {
+        Err(CdasError::JournalDiverged { .. }) => {}
+        other => panic!("expected JournalDiverged, got {other:?}"),
+    }
+}
+
+proptest! {
+    /// The headline durability property: kill the journal's writer at a random byte,
+    /// in every execution mode — recover-then-resume always reproduces the
+    /// uninterrupted run, re-journals it completely, and a second recovery is a no-op.
+    #[test]
+    fn recover_after_a_random_write_kill(frac in 0.0f64..1.0, mode_idx in 0usize..3) {
+        let mode = MODES[mode_idx];
+        let expected = baseline(mode);
+        let dir = temp_dir(&format!("kill-{mode_idx}-{}", (frac * 1e6) as u64));
+
+        // Bound the kill below by the head record so a RunStarted always survives
+        // (a journal cut inside its head is unrecoverable by design) and above by the
+        // full journal size (no kill at all).
+        let head = head_bytes(mode, &format!("kill-head-{mode_idx}-{}", (frac * 1e6) as u64));
+        let full = {
+            let probe = temp_dir(&format!("kill-full-{mode_idx}-{}", (frac * 1e6) as u64));
+            journaled(&probe, JournalConfig::default()).run(mode).unwrap();
+            journal_bytes(&probe)
+        };
+        let cut = head + 1 + ((full.saturating_sub(head + 1)) as f64 * frac) as u64;
+
+        journaled(
+            &dir,
+            JournalConfig { fail_writes_after: Some(cut), ..JournalConfig::default() },
+        )
+        .run(mode)
+        .unwrap();
+
+        let (run, report) = Fleet::recover(&dir).unwrap();
+        assert_equals_baseline(&run, &expected, "write-kill recovery");
+        prop_assert_eq!(
+            report.recovered_hits + report.resumed_hits,
+            expected.events().iter().filter(|e| matches!(e, FleetEvent::HitDispatched { .. })).count(),
+            "every dispatched HIT is either recovered or resumed"
+        );
+        prop_assert!((report.total_cost() - expected.report().fleet.cost).abs() < 1e-9);
+
+        let (_, second) = Fleet::recover(&dir).unwrap();
+        prop_assert!(second.was_complete, "recovery left a complete journal");
+        prop_assert_eq!(second.resumed_hits, 0);
+    }
+
+    /// Truncate a random number of bytes off the journal's tail: recovery must either
+    /// repair and resume to the uninterrupted run, or (when the cut reaches into the
+    /// head record) report the journal as unrecoverable — never anything in between.
+    #[test]
+    fn recover_after_a_random_tail_truncation(frac in 0.0f64..1.0, mode_idx in 0usize..3) {
+        let mode = MODES[mode_idx];
+        let expected = baseline(mode);
+        let dir = temp_dir(&format!("trunc-{mode_idx}-{}", (frac * 1e6) as u64));
+        let head = head_bytes(mode, &format!("trunc-head-{mode_idx}-{}", (frac * 1e6) as u64));
+        journaled(&dir, JournalConfig::default()).run(mode).unwrap();
+        let full = journal_bytes(&dir);
+        let cut = 1 + ((full - 1) as f64 * frac) as u64;
+        Journal::truncate_tail(&dir, cut).unwrap();
+        match Fleet::recover(&dir) {
+            Ok((run, report)) => {
+                assert_equals_baseline(&run, &expected, "truncation recovery");
+                let (_, second) = Fleet::recover(&dir).unwrap();
+                prop_assert!(second.was_complete);
+                prop_assert_eq!(report.recovered_hits + report.resumed_hits, second.recovered_hits);
+            }
+            Err(CdasError::JournalEmpty) => {
+                // The cut reached into the head record: nothing to recover.
+                prop_assert!(
+                    full - cut < head,
+                    "only a cut into the head frame may read as empty (kept {} of {full}, head {head})",
+                    full - cut
+                );
+            }
+            Err(other) => panic!("unexpected recovery error: {other:?}"),
+        }
+    }
+
+    /// Flip a random byte near the journal's tail. Whatever the byte hits — a CRC, a
+    /// length field, payload — recovery must never silently produce a WRONG run: it
+    /// either errors, or resumes to exactly the uninterrupted run (possible when the
+    /// flip reads as a torn tail and the damage is dropped).
+    #[test]
+    fn a_random_tail_flip_never_silently_corrupts(offset in 1u64..64, mode_idx in 0usize..3) {
+        let mode = MODES[mode_idx];
+        let expected = baseline(mode);
+        let dir = temp_dir(&format!("flip-{mode_idx}-{offset}"));
+        journaled(&dir, JournalConfig::default()).run(mode).unwrap();
+        Journal::corrupt_tail_byte(&dir, offset).unwrap();
+        if let Ok((run, _)) = Fleet::recover(&dir) {
+            assert_equals_baseline(&run, &expected, "tail-flip recovery");
+        }
+    }
+}
+
+/// Bytes the journal holds once the head (`RunStarted`) record is appended — segment
+/// header included. Measured by appending a real head record to a probe journal.
+fn head_bytes(mode: ExecutionMode, probe_name: &str) -> u64 {
+    let probe = temp_dir(probe_name);
+    let fleet = builder().build().unwrap();
+    let mut journal = Journal::create(&probe, JournalConfig::default()).unwrap();
+    journal
+        .append(&JournalRecord::RunStarted(fleet.run_config(mode).unwrap()))
+        .unwrap();
+    journal.bytes_written()
+}

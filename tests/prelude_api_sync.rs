@@ -164,6 +164,27 @@ fn prelude_front_door_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_durability_types_match_their_canonical_definitions() {
+    // The durable-fleet surface (PR 7): the write-ahead journal and recovery report
+    // live in engine::journal, the fault-injection platform wrapper in crowd.
+    same_type::<prelude::Journal, cdas::engine::journal::Journal>("Journal");
+    same_type::<prelude::JournalConfig, cdas::engine::journal::JournalConfig>("JournalConfig");
+    same_type::<prelude::JournalRecord, cdas::engine::journal::JournalRecord>("JournalRecord");
+    same_type::<prelude::SyncPolicy, cdas::engine::journal::SyncPolicy>("SyncPolicy");
+    same_type::<prelude::RunConfig, cdas::engine::journal::RunConfig>("RunConfig");
+    same_type::<prelude::RecoveryReport, cdas::engine::journal::RecoveryReport>("RecoveryReport");
+    same_type::<prelude::RecoveryReport, cdas::engine::journal::recovery::RecoveryReport>(
+        "RecoveryReport (re-export)",
+    );
+    same_type::<prelude::FleetFailpoints, cdas::engine::fleet::FleetFailpoints>("FleetFailpoints");
+    same_type::<prelude::Failpoint, cdas::crowd::failpoint::Failpoint>("Failpoint");
+    same_type::<
+        prelude::FailpointPlatform<cdas::crowd::SimulatedPlatform>,
+        cdas::crowd::failpoint::FailpointPlatform<cdas::crowd::SimulatedPlatform>,
+    >("FailpointPlatform");
+}
+
+#[test]
 fn prelude_traits_match_their_canonical_definitions() {
     // The canonical implementors must satisfy the *prelude-named* traits: this
     // fails to compile if prelude::Verifier / prelude::CrowdPlatform ever stop
