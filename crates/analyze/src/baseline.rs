@@ -1,0 +1,159 @@
+//! The grandfathering baseline: a committed, sorted inventory of known
+//! violations that `--check` tolerates while new code stays clean.
+//!
+//! Each entry is one line, `rule<TAB>path<TAB>count<TAB>fingerprint`, where
+//! the fingerprint is the violating line's normalized text. Keying on content
+//! rather than line numbers means unrelated edits that move code around do
+//! not invalidate the baseline, while *any* new violation — even a copy of a
+//! grandfathered one in a new file — is reported. CI separately asserts the
+//! file only ever shrinks.
+
+use std::collections::BTreeMap;
+
+use crate::Violation;
+
+/// One baseline key: (rule, path, fingerprint).
+pub type Key = (String, String, String);
+
+/// Parsed baseline: occurrence counts per key.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct Baseline {
+    /// Count of grandfathered occurrences for each key.
+    pub entries: BTreeMap<Key, usize>,
+}
+
+/// A problem found while parsing a baseline file.
+#[derive(Debug)]
+pub struct ParseError {
+    /// 1-based line number of the malformed entry.
+    pub line: usize,
+    /// What was wrong with it.
+    pub detail: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "baseline line {}: {}", self.line, self.detail)
+    }
+}
+
+impl Baseline {
+    /// Parses the baseline text format. Lines starting with `#` and blank
+    /// lines are ignored.
+    pub fn parse(text: &str) -> Result<Baseline, ParseError> {
+        let mut entries = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            let trimmed = line.trim();
+            if trimmed.is_empty() || trimmed.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.splitn(4, '\t');
+            let (Some(rule), Some(path), Some(count), Some(fp)) =
+                (parts.next(), parts.next(), parts.next(), parts.next())
+            else {
+                return Err(ParseError {
+                    line: lineno,
+                    detail: "expected rule<TAB>path<TAB>count<TAB>fingerprint".to_string(),
+                });
+            };
+            let count: usize = count.parse().map_err(|_| ParseError {
+                line: lineno,
+                detail: format!("count `{count}` is not a number"),
+            })?;
+            if count == 0 {
+                return Err(ParseError {
+                    line: lineno,
+                    detail: "zero-count entries must be deleted, not kept".to_string(),
+                });
+            }
+            let key = (rule.to_string(), path.to_string(), fp.to_string());
+            if entries.insert(key, count).is_some() {
+                return Err(ParseError {
+                    line: lineno,
+                    detail: "duplicate entry".to_string(),
+                });
+            }
+        }
+        Ok(Baseline { entries })
+    }
+
+    /// Builds a baseline that grandfathers exactly the given violations.
+    pub fn from_violations(violations: &[Violation]) -> Baseline {
+        let mut entries: BTreeMap<Key, usize> = BTreeMap::new();
+        for v in violations {
+            *entries
+                .entry((v.rule.to_string(), v.path.clone(), v.fingerprint.clone()))
+                .or_insert(0) += 1;
+        }
+        Baseline { entries }
+    }
+
+    /// Renders the canonical, sorted text form.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# cdas-analyze baseline: grandfathered violations.\n");
+        out.push_str("# Format: rule<TAB>path<TAB>count<TAB>line-fingerprint (sorted).\n");
+        out.push_str("# Regenerate with `cargo run -p cdas-analyze -- --write-baseline`.\n");
+        out.push_str("# CI enforces that this file only ever shrinks.\n");
+        for ((rule, path, fp), count) in &self.entries {
+            out.push_str(&format!("{rule}\t{path}\t{count}\t{fp}\n"));
+        }
+        out
+    }
+
+    /// Total grandfathered occurrence count.
+    pub fn total(&self) -> usize {
+        self.entries.values().sum()
+    }
+}
+
+/// Outcome of checking a scan against a baseline.
+#[derive(Debug, Default)]
+pub struct CheckOutcome {
+    /// Violations not covered by the baseline — new debt; fails the check.
+    pub new: Vec<Violation>,
+    /// Baseline entries whose violations no longer exist (or exist fewer
+    /// times); the file must be shrunk — also fails the check so the
+    /// inventory stays exact.
+    pub stale: Vec<(Key, usize, usize)>,
+    /// Occurrences matched by the baseline.
+    pub grandfathered: usize,
+}
+
+impl CheckOutcome {
+    /// True when the scan matches the baseline exactly.
+    pub fn is_clean(&self) -> bool {
+        self.new.is_empty() && self.stale.is_empty()
+    }
+}
+
+/// Compares `violations` against `baseline`, classifying each occurrence.
+pub fn check(violations: &[Violation], baseline: &Baseline) -> CheckOutcome {
+    let actual = Baseline::from_violations(violations);
+    let mut outcome = CheckOutcome::default();
+    // Surplus occurrences per key (beyond the baselined count) are new.
+    let mut budget: BTreeMap<Key, usize> = BTreeMap::new();
+    for (key, &count) in &actual.entries {
+        let allowed = baseline.entries.get(key).copied().unwrap_or(0);
+        budget.insert(key.clone(), allowed);
+        outcome.grandfathered += count.min(allowed);
+        if count < allowed {
+            outcome.stale.push((key.clone(), allowed, count));
+        }
+    }
+    for (key, &allowed) in &baseline.entries {
+        if !actual.entries.contains_key(key) {
+            outcome.stale.push((key.clone(), allowed, 0));
+        }
+    }
+    for v in violations {
+        let key = (v.rule.to_string(), v.path.clone(), v.fingerprint.clone());
+        match budget.get_mut(&key) {
+            Some(remaining) if *remaining > 0 => *remaining -= 1,
+            _ => outcome.new.push(v.clone()),
+        }
+    }
+    outcome.stale.sort();
+    outcome
+}

@@ -1,0 +1,193 @@
+//! CLI front end for the `cdas-analyze` static-analysis pass.
+//!
+//! Usage:
+//!
+//! ```text
+//! cdas-analyze --check [--root DIR] [--baseline FILE] [--format text|json]
+//! cdas-analyze --write-baseline [--root DIR] [--baseline FILE]
+//! ```
+//!
+//! Exit codes: `0` clean, `1` violations (new findings or a stale baseline),
+//! `2` usage or I/O error. The JSON format is machine-readable for CI.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cdas_analyze::baseline::{check, Baseline};
+use cdas_analyze::{run, Config, Violation};
+
+/// Parsed command-line options.
+struct Options {
+    /// `--check` or `--write-baseline`.
+    mode: Mode,
+    /// Workspace root (defaults to the current directory).
+    root: PathBuf,
+    /// Baseline path (defaults to `<root>/analyze-baseline.txt`).
+    baseline: Option<PathBuf>,
+    /// `text` or `json`.
+    json: bool,
+}
+
+enum Mode {
+    Check,
+    WriteBaseline,
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cdas-analyze (--check | --write-baseline) \
+         [--root DIR] [--baseline FILE] [--format text|json]"
+    );
+    ExitCode::from(2)
+}
+
+fn parse_args() -> Result<Options, ()> {
+    let mut mode = None;
+    let mut root = PathBuf::from(".");
+    let mut baseline = None;
+    let mut json = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => mode = Some(Mode::Check),
+            "--write-baseline" => mode = Some(Mode::WriteBaseline),
+            "--root" => root = PathBuf::from(args.next().ok_or(())?),
+            "--baseline" => baseline = Some(PathBuf::from(args.next().ok_or(())?)),
+            "--format" => match args.next().ok_or(())?.as_str() {
+                "json" => json = true,
+                "text" => json = false,
+                _ => return Err(()),
+            },
+            _ => return Err(()),
+        }
+    }
+    Ok(Options {
+        mode: mode.ok_or(())?,
+        root,
+        baseline,
+        json,
+    })
+}
+
+/// Minimal JSON string escaping (the serde shim is a no-op, so the binary
+/// renders its machine-readable output by hand, like the bench JSON codec).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn render_json(new: &[Violation], stale: usize, grandfathered: usize) -> String {
+    let mut out = String::from("{\n  \"violations\": [\n");
+    for (i, v) in new.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"path\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            v.rule,
+            json_escape(&v.path),
+            v.line,
+            json_escape(&v.message),
+            if i + 1 < new.len() { "," } else { "" }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"new\": {},\n  \"stale_baseline_entries\": {},\n  \"grandfathered\": {}\n}}\n",
+        new.len(),
+        stale,
+        grandfathered
+    ));
+    out
+}
+
+fn main() -> ExitCode {
+    let Ok(opts) = parse_args() else {
+        return usage();
+    };
+    let config = Config::workspace(&opts.root);
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join("analyze-baseline.txt"));
+
+    let violations = match run(&config) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("cdas-analyze: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    match opts.mode {
+        Mode::WriteBaseline => {
+            let baseline = Baseline::from_violations(&violations);
+            if let Err(e) = std::fs::write(&baseline_path, baseline.render()) {
+                eprintln!("cdas-analyze: write {}: {e}", baseline_path.display());
+                return ExitCode::from(2);
+            }
+            println!(
+                "wrote {} entries ({} occurrences) to {}",
+                baseline.entries.len(),
+                baseline.total(),
+                baseline_path.display()
+            );
+            ExitCode::SUCCESS
+        }
+        Mode::Check => {
+            let baseline = if baseline_path.is_file() {
+                let text = match std::fs::read_to_string(&baseline_path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        eprintln!("cdas-analyze: read {}: {e}", baseline_path.display());
+                        return ExitCode::from(2);
+                    }
+                };
+                match Baseline::parse(&text) {
+                    Ok(b) => b,
+                    Err(e) => {
+                        eprintln!("cdas-analyze: {}: {e}", baseline_path.display());
+                        return ExitCode::from(2);
+                    }
+                }
+            } else {
+                Baseline::default()
+            };
+            let outcome = check(&violations, &baseline);
+            if opts.json {
+                print!(
+                    "{}",
+                    render_json(&outcome.new, outcome.stale.len(), outcome.grandfathered)
+                );
+            } else {
+                for v in &outcome.new {
+                    println!("{v}");
+                }
+                for ((rule, path, fp), allowed, actual) in &outcome.stale {
+                    println!(
+                        "stale baseline entry: {rule}\t{path}\t{allowed}->{actual}\t{fp} \
+                         (violation fixed; shrink the baseline)"
+                    );
+                }
+                println!(
+                    "cdas-analyze: {} new, {} stale baseline entries, {} grandfathered",
+                    outcome.new.len(),
+                    outcome.stale.len(),
+                    outcome.grandfathered
+                );
+            }
+            if outcome.is_clean() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::from(1)
+            }
+        }
+    }
+}

@@ -1,0 +1,589 @@
+//! The rule set: determinism, panic-freedom, codec exhaustiveness, lock
+//! discipline, must-use coverage, and `cdas-allow` syntax validation.
+//!
+//! Every rule emits [`Violation`]s keyed by a *content fingerprint* (the
+//! normalized line text) rather than a line number, so the committed
+//! baseline survives unrelated edits that shift code up or down a file.
+
+use crate::scan::SourceFile;
+use crate::{fingerprint, Violation};
+
+/// Names of every rule the analyzer knows, in report order.
+pub const RULE_NAMES: &[&str] = &[
+    "determinism",
+    "panic_freedom",
+    "codec_exhaustive",
+    "lock_discipline",
+    "must_use",
+    "allow_syntax",
+];
+
+/// Returns true when `name` is a known rule.
+pub fn is_known_rule(name: &str) -> bool {
+    RULE_NAMES.contains(&name)
+}
+
+/// True when the char is part of a Rust identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Finds `needle` in `code` at identifier boundaries (the chars immediately
+/// before and after the match must not extend an identifier).
+fn find_token(code: &str, needle: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + needle.len()..].chars().next().unwrap_or(' ');
+        let needle_end = needle.chars().next_back().unwrap_or(' ');
+        let after_ok = !is_ident(needle_end) || !is_ident(after);
+        if before_ok && after_ok {
+            return Some(at);
+        }
+        from = at + needle.len();
+    }
+    None
+}
+
+/// Rule 1: determinism. Bans wall-clock reads and hash-ordered containers in
+/// production code — anything feeding `FleetReport`, `FleetEvent` streams, or
+/// the journal must iterate in a stable order.
+pub fn determinism(file: &SourceFile, out: &mut Vec<Violation>) {
+    const NEEDLES: &[(&str, &str)] = &[
+        (
+            "Instant::now",
+            "wall-clock read; derive time from the simulation clock",
+        ),
+        (
+            "SystemTime::now",
+            "wall-clock read; derive time from the simulation clock",
+        ),
+        (
+            "HashMap",
+            "hash-ordered container; use BTreeMap so drains are deterministic",
+        ),
+        (
+            "HashSet",
+            "hash-ordered container; use BTreeSet so drains are deterministic",
+        ),
+        (
+            "RandomState",
+            "hasher-seeded state leaks host entropy into iteration order",
+        ),
+    ];
+    for (lineno, line) in file.numbered() {
+        if line.in_test || file.is_allowed("determinism", lineno) {
+            continue;
+        }
+        for (needle, why) in NEEDLES {
+            if find_token(&line.code, needle).is_some() {
+                out.push(Violation {
+                    rule: "determinism",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!("`{needle}`: {why}"),
+                    fingerprint: fingerprint(&line.raw),
+                });
+            }
+        }
+    }
+}
+
+/// Rule 2: panic-freedom. Bans `unwrap`/`expect`/panicking macros and bare
+/// indexing in non-test code; a panic inside a shard thread surfaces only
+/// after join, so fallible paths must return `CdasError` instead.
+pub fn panic_freedom(file: &SourceFile, out: &mut Vec<Violation>) {
+    const CALLS: &[&str] = &[".unwrap()", ".expect("];
+    const MACROS: &[&str] = &["panic!", "unreachable!", "todo!", "unimplemented!"];
+    for (lineno, line) in file.numbered() {
+        if line.in_test || file.is_allowed("panic_freedom", lineno) {
+            continue;
+        }
+        let code = &line.code;
+        for needle in CALLS {
+            if code.contains(needle) {
+                out.push(Violation {
+                    rule: "panic_freedom",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!("`{needle}` can panic; return a typed error instead"),
+                    fingerprint: fingerprint(&line.raw),
+                });
+            }
+        }
+        for needle in MACROS {
+            if find_token(code, needle).is_some() {
+                out.push(Violation {
+                    rule: "panic_freedom",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!("`{needle}` aborts the shard; return a typed error instead"),
+                    fingerprint: fingerprint(&line.raw),
+                });
+            }
+        }
+        if let Some(col) = bare_index(code) {
+            out.push(Violation {
+                rule: "panic_freedom",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "bare indexing at column {} can panic; use `.get()` or a checked slice",
+                    col + 1
+                ),
+                fingerprint: fingerprint(&line.raw),
+            });
+        }
+    }
+}
+
+/// Detects `expr[...]` indexing: a `[` immediately preceded (ignoring spaces)
+/// by an identifier char, `)`, or `]` — which excludes attributes (`#[...]`),
+/// macro brackets (`vec![...]`), type positions (`-> [u8; 4]`), and slice
+/// types behind a lifetime (`&'a [u8]`).
+fn bare_index(code: &str) -> Option<usize> {
+    let chars: Vec<char> = code.chars().collect();
+    for (i, &c) in chars.iter().enumerate() {
+        if c != '[' {
+            continue;
+        }
+        let mut j = i;
+        while j > 0 && chars[j - 1] == ' ' {
+            j -= 1;
+        }
+        if j == 0 {
+            continue;
+        }
+        let prev = chars[j - 1];
+        if prev == ')' || prev == ']' {
+            return Some(i);
+        }
+        if is_ident(prev) {
+            // Walk back over the identifier; a leading `'` means it was a
+            // lifetime (`&'a [u8]`), not an indexable expression.
+            let mut k = j;
+            while k > 0 && is_ident(chars[k - 1]) {
+                k -= 1;
+            }
+            if k > 0 && chars[k - 1] == '\'' {
+                continue;
+            }
+            return Some(i);
+        }
+    }
+    None
+}
+
+/// Configuration for one codec-exhaustiveness check: an enum whose
+/// hand-written `BinCodec` impl and round-trip tests must cover every variant.
+#[derive(Debug, Clone)]
+pub struct CodecSpec {
+    /// The enum's name, e.g. `JournalRecord`.
+    pub enum_name: &'static str,
+    /// File (relative to the root) declaring the enum.
+    pub decl_path: &'static str,
+    /// File containing the `impl BinCodec for <enum>` block.
+    pub codec_path: &'static str,
+    /// Files whose test regions must mention every variant (round-trip tests).
+    pub test_paths: &'static [&'static str],
+}
+
+/// Rule 3: codec exhaustiveness. Parses the enum's variants and verifies each
+/// one appears in the encode arm, the decode arm, and a round-trip test.
+pub fn codec_exhaustive(
+    spec: &CodecSpec,
+    files: &std::collections::BTreeMap<String, SourceFile>,
+    out: &mut Vec<Violation>,
+) {
+    let Some(decl) = files.get(spec.decl_path) else {
+        out.push(Violation {
+            rule: "codec_exhaustive",
+            path: spec.decl_path.to_string(),
+            line: 1,
+            message: format!(
+                "declaring file for enum `{}` not found in scan set",
+                spec.enum_name
+            ),
+            fingerprint: fingerprint(&format!("missing decl {}", spec.enum_name)),
+        });
+        return;
+    };
+    let Some((decl_line, variants)) = enum_variants(decl, spec.enum_name) else {
+        out.push(Violation {
+            rule: "codec_exhaustive",
+            path: spec.decl_path.to_string(),
+            line: 1,
+            message: format!("enum `{}` not found in {}", spec.enum_name, spec.decl_path),
+            fingerprint: fingerprint(&format!("missing enum {}", spec.enum_name)),
+        });
+        return;
+    };
+    let Some(codec) = files.get(spec.codec_path) else {
+        out.push(Violation {
+            rule: "codec_exhaustive",
+            path: spec.codec_path.to_string(),
+            line: 1,
+            message: format!(
+                "codec file for enum `{}` not found in scan set",
+                spec.enum_name
+            ),
+            fingerprint: fingerprint(&format!("missing codec {}", spec.enum_name)),
+        });
+        return;
+    };
+    let (encode, decode) = codec_fn_bodies(codec, spec.enum_name);
+    for variant in &variants {
+        let qualified = format!("{}::{}", spec.enum_name, variant);
+        let in_encode = encode.iter().any(|l| find_token(l, &qualified).is_some());
+        let in_decode = decode.iter().any(|l| find_token(l, &qualified).is_some());
+        let in_test = spec.test_paths.iter().any(|tp| {
+            files.get(*tp).is_some_and(|tf| {
+                tf.numbered()
+                    .any(|(_, l)| l.in_test && find_token(&l.code, &qualified).is_some())
+            })
+        });
+        let mut missing = Vec::new();
+        if !in_encode {
+            missing.push("encode arm");
+        }
+        if !in_decode {
+            missing.push("decode arm");
+        }
+        if !in_test {
+            missing.push("round-trip test mention");
+        }
+        if !missing.is_empty() {
+            out.push(Violation {
+                rule: "codec_exhaustive",
+                path: spec.decl_path.to_string(),
+                line: decl_line,
+                message: format!("variant `{qualified}` is missing: {}", missing.join(", ")),
+                fingerprint: fingerprint(&format!("{qualified} missing {}", missing.join(","))),
+            });
+        }
+    }
+}
+
+/// Finds `enum <name>` and returns its 1-based declaration line plus the
+/// variant names parsed from the depth-1 lines of its body.
+fn enum_variants(file: &SourceFile, name: &str) -> Option<(usize, Vec<String>)> {
+    let needle = format!("enum {name}");
+    let mut decl_line = None;
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        if find_token(&line.code, &needle).is_some() {
+            decl_line = Some(lineno);
+            break;
+        }
+    }
+    let start = decl_line?;
+    let base_depth = file.lines[start - 1].depth_start;
+    let mut variants = Vec::new();
+    for (lineno, line) in file.numbered().skip(start - 1) {
+        // Variant names sit at depth base+1; the enum ends when depth returns
+        // to base after the opening brace.
+        if lineno > start && line.depth_end <= base_depth && line.code.contains('}') {
+            break;
+        }
+        if line.depth_start != base_depth + 1 {
+            continue;
+        }
+        let trimmed = line.code.trim_start();
+        let Some(first) = trimmed.chars().next() else {
+            continue;
+        };
+        if !first.is_ascii_uppercase() {
+            continue;
+        }
+        let ident: String = trimmed.chars().take_while(|&c| is_ident(c)).collect();
+        if !ident.is_empty() {
+            variants.push(ident);
+        }
+    }
+    Some((start, variants))
+}
+
+/// Extracts the lines of `fn encode` and `fn decode` inside
+/// `impl BinCodec for <name>`.
+fn codec_fn_bodies(file: &SourceFile, name: &str) -> (Vec<String>, Vec<String>) {
+    let impl_needle = format!("impl BinCodec for {name}");
+    let mut encode = Vec::new();
+    let mut decode = Vec::new();
+    let mut in_impl = false;
+    let mut impl_depth = 0usize;
+    let mut current: Option<&mut Vec<String>> = None;
+    let mut fn_depth = 0usize;
+    for line in &file.lines {
+        if !in_impl {
+            if line.code.contains(&impl_needle) {
+                in_impl = true;
+                impl_depth = line.depth_start;
+            }
+            continue;
+        }
+        if line.depth_end <= impl_depth && line.code.contains('}') && current.is_none() {
+            break;
+        }
+        if current.is_none() {
+            if find_token(&line.code, "fn encode").is_some() {
+                current = Some(&mut encode);
+                fn_depth = line.depth_start;
+            } else if find_token(&line.code, "fn decode").is_some() {
+                current = Some(&mut decode);
+                fn_depth = line.depth_start;
+            }
+        }
+        if let Some(body) = current.as_mut() {
+            body.push(line.code.clone());
+            if line.depth_end <= fn_depth && line.code.contains('}') {
+                current = None;
+            }
+        }
+    }
+    (encode, decode)
+}
+
+/// Rule 4: lock discipline. Flags a `Mutex`/`RwLock` guard bound on one line
+/// and still live when a later line calls into platform or journal I/O —
+/// holding a stripe lock across `publish`/`poll`/`append`/`sync` serializes
+/// shards and risks deadlock with the journal's own locking.
+pub fn lock_discipline(file: &SourceFile, io_needles: &[&str], out: &mut Vec<Violation>) {
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        let Some(guard) = guard_binding(&line.code) else {
+            continue;
+        };
+        let scope_depth = line.depth_start;
+        for (later_no, later) in file.numbered().skip(lineno) {
+            if later.depth_end < scope_depth {
+                break;
+            }
+            let code = &later.code;
+            if code.contains(&format!("drop({guard})")) {
+                break;
+            }
+            if later.in_test {
+                continue;
+            }
+            for needle in io_needles {
+                let Some(at) = code.find(needle) else {
+                    continue;
+                };
+                // Calls *through the guard itself* are the point of holding
+                // it (e.g. `journal.append(..)` on the locked journal).
+                if receiver_root(code, at) == guard {
+                    continue;
+                }
+                if file.is_allowed("lock_discipline", later_no)
+                    || file.is_allowed("lock_discipline", lineno)
+                {
+                    continue;
+                }
+                out.push(Violation {
+                    rule: "lock_discipline",
+                    path: file.path.clone(),
+                    line: later_no,
+                    message: format!(
+                        "guard `{guard}` (line {lineno}) held across I/O call `{}`",
+                        needle.trim_end_matches('(')
+                    ),
+                    fingerprint: fingerprint(&later.raw),
+                });
+            }
+        }
+    }
+}
+
+/// Parses `let [mut] <name> = <expr>.lock()/.read()/.write()` and returns the
+/// guard name.
+fn guard_binding(code: &str) -> Option<String> {
+    let has_guard_call = [".lock()", ".read()", ".write()"]
+        .iter()
+        .any(|n| code.contains(n));
+    if !has_guard_call {
+        return None;
+    }
+    let let_pos = find_token(code, "let")?;
+    let rest = code[let_pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() || name == "_" {
+        return None;
+    }
+    Some(name)
+}
+
+/// Returns the root identifier of the receiver chain ending at `at`, e.g.
+/// `state` for `state.journal.append(`.
+fn receiver_root(code: &str, at: usize) -> String {
+    let head = &code[..at];
+    let chain: String = head
+        .chars()
+        .rev()
+        .take_while(|&c| is_ident(c) || c == '.' || c == ':')
+        .collect::<String>()
+        .chars()
+        .rev()
+        .collect();
+    chain
+        .split(['.', ':'])
+        .find(|s| !s.is_empty())
+        .unwrap_or("")
+        .to_string()
+}
+
+/// Rule 5: must-use coverage. Every type in the configured list must carry
+/// `#[must_use]` on its declaration, and `pub fn`s returning one wrapped in a
+/// non-`Result` container need a fn-level `#[must_use]` (`Result` is already
+/// `#[must_use]`, and doubling the attribute trips `clippy::double_must_use`).
+pub fn must_use(file: &SourceFile, types: &[&str], out: &mut Vec<Violation>) {
+    for ty in types {
+        check_decl_must_use(file, ty, out);
+    }
+    check_fn_must_use(file, types, out);
+}
+
+fn check_decl_must_use(file: &SourceFile, ty: &str, out: &mut Vec<Violation>) {
+    for (lineno, line) in file.numbered() {
+        if line.in_test {
+            continue;
+        }
+        let is_decl = find_token(&line.code, &format!("struct {ty}")).is_some()
+            || find_token(&line.code, &format!("enum {ty}")).is_some();
+        if !is_decl {
+            continue;
+        }
+        if file.is_allowed("must_use", lineno) {
+            return;
+        }
+        // Walk the contiguous attribute/doc lines above the declaration.
+        let mut has = false;
+        let mut i = lineno - 1;
+        while i > 0 {
+            let above = &file.lines[i - 1];
+            let t = above.raw.trim_start();
+            if t.starts_with("#[") || t.starts_with("///") || t.starts_with("#![") {
+                if t.starts_with("#[must_use") {
+                    has = true;
+                }
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        if !has {
+            out.push(Violation {
+                rule: "must_use",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!(
+                    "`{ty}` must carry `#[must_use]`; discarding one loses accounting"
+                ),
+                fingerprint: fingerprint(&line.raw),
+            });
+        }
+        return;
+    }
+}
+
+fn check_fn_must_use(file: &SourceFile, types: &[&str], out: &mut Vec<Violation>) {
+    for (lineno, line) in file.numbered() {
+        if line.in_test || file.is_allowed("must_use", lineno) {
+            continue;
+        }
+        let code = &line.code;
+        let Some(fn_pos) = find_token(code, "fn") else {
+            continue;
+        };
+        if find_token(code, "pub").is_none() {
+            continue;
+        }
+        // Join the signature across lines until the body opens or the item
+        // ends (trait method without a body).
+        let mut sig = code[fn_pos..].to_string();
+        let mut j = lineno;
+        while !sig.contains('{') && !sig.contains(';') && j < file.lines.len() && j < lineno + 8 {
+            sig.push(' ');
+            sig.push_str(&file.lines[j].code);
+            j += 1;
+        }
+        let Some(arrow) = sig.find("->") else {
+            continue;
+        };
+        let ret = sig[arrow + 2..]
+            .split(['{', ';'])
+            .next()
+            .unwrap_or("")
+            .trim();
+        let mentions = types.iter().find(|ty| find_token(ret, ty).is_some());
+        let Some(ty) = mentions else {
+            continue;
+        };
+        // `Result<...>` is inherently must_use; a direct return of the listed
+        // type is covered by the type-level attribute.
+        if find_token(ret, "Result").is_some() {
+            continue;
+        }
+        let direct = ret == *ty || ret.ends_with(&format!("::{ty}"));
+        if direct {
+            continue;
+        }
+        // Wrapped in Option/Vec/tuple/...: the fn needs its own attribute.
+        let mut has = false;
+        let mut i = lineno - 1;
+        while i > 0 {
+            let t = file.lines[i - 1].raw.trim_start();
+            if t.starts_with("#[") || t.starts_with("///") {
+                if t.starts_with("#[must_use") {
+                    has = true;
+                }
+                i -= 1;
+            } else {
+                break;
+            }
+        }
+        if !has {
+            out.push(Violation {
+                rule: "must_use",
+                path: file.path.clone(),
+                line: lineno,
+                message: format!("pub fn returns `{ret}` wrapping `{ty}` but lacks `#[must_use]`"),
+                fingerprint: fingerprint(&line.raw),
+            });
+        }
+    }
+}
+
+/// Rule 6: allow-annotation hygiene. Malformed `cdas-allow` comments and
+/// unknown rule names are hard errors — a typo must not silently disable a
+/// lint.
+pub fn allow_syntax(file: &SourceFile, out: &mut Vec<Violation>) {
+    for allow in &file.allows {
+        if allow.rules.is_empty() {
+            out.push(Violation {
+                rule: "allow_syntax",
+                path: file.path.clone(),
+                line: allow.line,
+                message: "malformed annotation; expected `// cdas-allow(rule): reason`".to_string(),
+                fingerprint: fingerprint(&file.lines[allow.line - 1].raw),
+            });
+            continue;
+        }
+        for rule in &allow.rules {
+            if !is_known_rule(rule) {
+                out.push(Violation {
+                    rule: "allow_syntax",
+                    path: file.path.clone(),
+                    line: allow.line,
+                    message: format!("unknown rule `{rule}` in cdas-allow annotation"),
+                    fingerprint: fingerprint(&file.lines[allow.line - 1].raw),
+                });
+            }
+        }
+    }
+}

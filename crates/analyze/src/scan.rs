@@ -1,0 +1,428 @@
+//! A hand-rolled line scanner for Rust source.
+//!
+//! The container is offline, so `syn` is unavailable; in the same in-tree
+//! spirit as `cdas_core::codec` this module implements the minimal lexical
+//! analysis the rules need: stripping comments and string/char literals,
+//! tracking brace depth, detecting `#[cfg(test)]` / `#[test]` regions, and
+//! collecting `// cdas-allow(rule): reason` escape hatches.
+//!
+//! The scanner is deliberately line-oriented. It does not build an AST; each
+//! rule works over [`SourceLine`]s whose `code` field contains only the
+//! characters that are live Rust tokens (literal contents and comments are
+//! blanked with spaces so byte offsets still line up with the raw text).
+
+use std::collections::BTreeMap;
+
+/// One physical line of a scanned source file.
+#[derive(Debug, Clone)]
+pub struct SourceLine {
+    /// The raw line text exactly as read (without the trailing newline).
+    pub raw: String,
+    /// The line with comments removed and string/char literal contents
+    /// blanked out by spaces. Offsets match `raw`.
+    pub code: String,
+    /// The concatenated comment text found on the line (line and block
+    /// comments), used to parse `cdas-allow` annotations.
+    pub comment: String,
+    /// Brace depth at the start of the line (before any `{`/`}` on it).
+    pub depth_start: usize,
+    /// Brace depth after the line's braces have been applied.
+    pub depth_end: usize,
+    /// True when the line sits inside a `#[cfg(test)]` or `#[test]` item.
+    pub in_test: bool,
+}
+
+/// A parsed `// cdas-allow(rule, ...): reason` annotation.
+#[derive(Debug, Clone)]
+pub struct Allow {
+    /// The rule names listed inside the parentheses.
+    pub rules: Vec<String>,
+    /// The free-form justification after the colon.
+    pub reason: String,
+    /// 1-based line the annotation textually appears on.
+    pub line: usize,
+    /// 1-based line the annotation applies to (the same line for trailing
+    /// annotations, the next line for standalone comment lines).
+    pub applies_to: usize,
+}
+
+/// A scanned source file: classified lines plus resolved allow annotations.
+#[derive(Debug)]
+pub struct SourceFile {
+    /// Path relative to the analysis root, with `/` separators.
+    pub path: String,
+    /// The classified lines, index 0 = line 1.
+    pub lines: Vec<SourceLine>,
+    /// All `cdas-allow` annotations found in the file.
+    pub allows: Vec<Allow>,
+}
+
+impl SourceFile {
+    /// Scans `text` into classified lines.
+    pub fn scan(path: &str, text: &str) -> SourceFile {
+        let mut lexer = Lexer::default();
+        let mut lines = Vec::new();
+        for raw in text.lines() {
+            let (code, comment) = lexer.strip_line(raw);
+            let depth_start = lexer.depth;
+            for ch in code.chars() {
+                match ch {
+                    '{' => lexer.depth += 1,
+                    '}' => lexer.depth = lexer.depth.saturating_sub(1),
+                    _ => {}
+                }
+            }
+            lines.push(SourceLine {
+                raw: raw.to_string(),
+                code,
+                comment,
+                depth_start,
+                depth_end: lexer.depth,
+                in_test: false,
+            });
+        }
+        mark_test_regions(&mut lines);
+        let allows = collect_allows(&lines);
+        SourceFile {
+            path: path.to_string(),
+            lines,
+            allows,
+        }
+    }
+
+    /// Returns true when `rule` is allowed on 1-based line `line`.
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        self.allows
+            .iter()
+            .any(|a| a.applies_to == line && a.rules.iter().any(|r| r == rule))
+    }
+
+    /// Iterates over (1-based line number, line) pairs.
+    pub fn numbered(&self) -> impl Iterator<Item = (usize, &SourceLine)> {
+        self.lines.iter().enumerate().map(|(i, l)| (i + 1, l))
+    }
+}
+
+/// Carry-over lexer state between lines.
+#[derive(Default)]
+struct Lexer {
+    /// Brace depth in live code.
+    depth: usize,
+    /// Nesting level of `/* */` block comments (they nest in Rust).
+    block_comment: usize,
+    /// True while inside a normal `"` string that continued past a line end.
+    in_string: bool,
+    /// `Some(hashes)` while inside a raw string `r##"..."##`.
+    raw_string: Option<usize>,
+}
+
+impl Lexer {
+    /// Splits one raw line into (code-with-literals-blanked, comment-text).
+    fn strip_line(&mut self, raw: &str) -> (String, String) {
+        let bytes: Vec<char> = raw.chars().collect();
+        let mut code = String::with_capacity(raw.len());
+        let mut comment = String::new();
+        let mut i = 0usize;
+        while i < bytes.len() {
+            if self.block_comment > 0 {
+                if bytes[i] == '*' && bytes.get(i + 1) == Some(&'/') {
+                    self.block_comment -= 1;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                } else if bytes[i] == '/' && bytes.get(i + 1) == Some(&'*') {
+                    self.block_comment += 1;
+                    i += 2;
+                } else {
+                    comment.push(bytes[i]);
+                    code.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if let Some(hashes) = self.raw_string {
+                if bytes[i] == '"' && closes_raw(&bytes, i + 1, hashes) {
+                    self.raw_string = None;
+                    for _ in 0..=hashes {
+                        code.push(' ');
+                    }
+                    i += 1 + hashes;
+                } else {
+                    code.push(' ');
+                    i += 1;
+                }
+                continue;
+            }
+            if self.in_string {
+                match bytes[i] {
+                    '\\' => {
+                        code.push(' ');
+                        code.push(' ');
+                        i += 2;
+                    }
+                    '"' => {
+                        self.in_string = false;
+                        code.push('"');
+                        i += 1;
+                    }
+                    _ => {
+                        code.push(' ');
+                        i += 1;
+                    }
+                }
+                continue;
+            }
+            match bytes[i] {
+                '/' if bytes.get(i + 1) == Some(&'/') => {
+                    comment.push_str(&raw[char_offset(raw, i)..]);
+                    while code.ends_with(' ') {
+                        code.pop();
+                    }
+                    break;
+                }
+                '/' if bytes.get(i + 1) == Some(&'*') => {
+                    self.block_comment += 1;
+                    code.push(' ');
+                    code.push(' ');
+                    i += 2;
+                }
+                '"' => {
+                    self.in_string = true;
+                    code.push('"');
+                    i += 1;
+                }
+                'r' if is_raw_string_start(&bytes, i) => {
+                    let hashes = count_hashes(&bytes, i + 1);
+                    self.raw_string = Some(hashes);
+                    for _ in 0..(2 + hashes) {
+                        code.push(' ');
+                    }
+                    i += 2 + hashes;
+                }
+                'b' if bytes.get(i + 1) == Some(&'"') && !prev_is_ident(&bytes, i) => {
+                    self.in_string = true;
+                    code.push(' ');
+                    code.push('"');
+                    i += 2;
+                }
+                '\'' => {
+                    // Distinguish char literals from lifetimes: a char literal
+                    // closes with a `'` one or two (escaped) chars later.
+                    if let Some(len) = char_literal_len(&bytes, i) {
+                        for _ in 0..len {
+                            code.push(' ');
+                        }
+                        i += len;
+                    } else {
+                        code.push('\'');
+                        i += 1;
+                    }
+                }
+                c => {
+                    code.push(c);
+                    i += 1;
+                }
+            }
+        }
+        (code, comment)
+    }
+}
+
+/// Byte offset of the `idx`-th char of `s`.
+fn char_offset(s: &str, idx: usize) -> usize {
+    s.char_indices()
+        .nth(idx)
+        .map(|(off, _)| off)
+        .unwrap_or(s.len())
+}
+
+fn prev_is_ident(bytes: &[char], i: usize) -> bool {
+    i > 0 && (bytes[i - 1].is_alphanumeric() || bytes[i - 1] == '_')
+}
+
+fn is_raw_string_start(bytes: &[char], i: usize) -> bool {
+    if prev_is_ident(bytes, i) {
+        return false;
+    }
+    let mut j = i + 1;
+    while bytes.get(j) == Some(&'#') {
+        j += 1;
+    }
+    bytes.get(j) == Some(&'"')
+}
+
+fn count_hashes(bytes: &[char], mut i: usize) -> usize {
+    let start = i;
+    while bytes.get(i) == Some(&'#') {
+        i += 1;
+    }
+    i - start
+}
+
+fn closes_raw(bytes: &[char], i: usize, hashes: usize) -> bool {
+    (0..hashes).all(|k| bytes.get(i + k) == Some(&'#'))
+}
+
+/// Length in chars of a char literal starting at `'`, or `None` for a
+/// lifetime / loop label.
+fn char_literal_len(bytes: &[char], i: usize) -> Option<usize> {
+    match bytes.get(i + 1) {
+        Some('\\') => {
+            // Escaped char: scan to the closing quote (handles \n, \x7f, \u{...}).
+            let mut j = i + 2;
+            while j < bytes.len() && j < i + 12 {
+                if bytes[j] == '\'' {
+                    return Some(j - i + 1);
+                }
+                j += 1;
+            }
+            None
+        }
+        Some(_) if bytes.get(i + 2) == Some(&'\'') => Some(3),
+        _ => None,
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` / `#[test]` items as test code.
+fn mark_test_regions(lines: &mut [SourceLine]) {
+    let mut pending = false;
+    let mut pending_start = 0usize;
+    let mut region_depth: Option<usize> = None;
+    for i in 0..lines.len() {
+        let code = lines[i].code.clone();
+        if let Some(depth) = region_depth {
+            lines[i].in_test = true;
+            if lines[i].depth_end <= depth && code.contains('}') {
+                region_depth = None;
+            }
+            continue;
+        }
+        if pending {
+            lines[i].in_test = true;
+            if code.contains('{') {
+                // The item body opened: the region lasts until depth returns
+                // to what it was before the opening brace.
+                region_depth = Some(lines[i].depth_start);
+                for line in lines.iter_mut().take(i + 1).skip(pending_start) {
+                    line.in_test = true;
+                }
+                pending = false;
+                // Single-line item: `#[test] fn f() { .. }`.
+                if lines[i].depth_end <= lines[i].depth_start {
+                    region_depth = None;
+                }
+            } else if code.contains(';') {
+                pending = false;
+            }
+            continue;
+        }
+        if code.contains("#[cfg(test)]") || contains_token(&code, "#[test]") {
+            pending = true;
+            pending_start = i;
+            lines[i].in_test = true;
+            if code.contains('{') {
+                region_depth = Some(lines[i].depth_start);
+                if lines[i].depth_end <= lines[i].depth_start {
+                    region_depth = None;
+                }
+                pending = false;
+            }
+        }
+    }
+}
+
+fn contains_token(code: &str, token: &str) -> bool {
+    code.contains(token)
+}
+
+/// Extracts `cdas-allow` annotations from comment text.
+fn collect_allows(lines: &[SourceLine]) -> Vec<Allow> {
+    let mut allows = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        let Some(pos) = line.comment.find("cdas-allow") else {
+            continue;
+        };
+        let lineno = i + 1;
+        let rest = &line.comment[pos + "cdas-allow".len()..];
+        // Prose *mentioning* cdas-allow (docs, this comment) is not an
+        // annotation attempt; only `cdas-allow(` is.
+        if !rest.trim_start().starts_with('(') {
+            continue;
+        }
+        let parsed = parse_allow(rest);
+        // A comment-only line annotates the next line; a trailing comment
+        // annotates its own line.
+        let applies_to = if line.code.trim().is_empty() {
+            lineno + 1
+        } else {
+            lineno
+        };
+        match parsed {
+            Some((rules, reason)) => allows.push(Allow {
+                rules,
+                reason,
+                line: lineno,
+                applies_to,
+            }),
+            None => allows.push(Allow {
+                rules: Vec::new(),
+                reason: String::new(),
+                line: lineno,
+                applies_to,
+            }),
+        }
+    }
+    allows
+}
+
+/// Parses `(rule, rule2): reason` after the `cdas-allow` keyword.
+fn parse_allow(rest: &str) -> Option<(Vec<String>, String)> {
+    let rest = rest.trim_start();
+    let inner = rest.strip_prefix('(')?;
+    let close = inner.find(')')?;
+    let rules: Vec<String> = inner[..close]
+        .split(',')
+        .map(|r| r.trim().to_string())
+        .filter(|r| !r.is_empty())
+        .collect();
+    if rules.is_empty() {
+        return None;
+    }
+    let after = inner[close + 1..].trim_start();
+    let reason = after.strip_prefix(':')?.trim();
+    if reason.is_empty() {
+        return None;
+    }
+    Some((rules, reason.to_string()))
+}
+
+/// Counts, for diagnostics, how many lines of each kind a file has.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct LineStats {
+    /// Lines carrying live (non-test) code tokens.
+    pub prod_code: usize,
+    /// Lines inside test regions.
+    pub test: usize,
+}
+
+/// Computes [`LineStats`] for a scanned file.
+pub fn stats(file: &SourceFile) -> LineStats {
+    let mut s = LineStats::default();
+    for line in &file.lines {
+        if line.in_test {
+            s.test += 1;
+        } else if !line.code.trim().is_empty() {
+            s.prod_code += 1;
+        }
+    }
+    s
+}
+
+/// Returns a map from 1-based line to the allow annotations applying there.
+pub fn allows_by_line(file: &SourceFile) -> BTreeMap<usize, Vec<&Allow>> {
+    let mut map: BTreeMap<usize, Vec<&Allow>> = BTreeMap::new();
+    for allow in &file.allows {
+        map.entry(allow.applies_to).or_default().push(allow);
+    }
+    map
+}

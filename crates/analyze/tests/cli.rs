@@ -1,0 +1,144 @@
+//! End-to-end tests of the `cdas-analyze` binary against the fixture
+//! workspaces, plus the regression test that the committed baseline parses
+//! and matches `--check` output on the real workspace.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn fixtures() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+fn repo_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../..")
+}
+
+fn analyze(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_cdas-analyze"))
+        .args(args)
+        .output()
+        .expect("binary runs")
+}
+
+#[test]
+fn check_exits_nonzero_on_each_seeded_fixture_violation() {
+    let ws = fixtures().join("ws-violations");
+    let out = analyze(&["--check", "--root", ws.to_str().expect("utf-8 path")]);
+    assert_eq!(out.status.code(), Some(1), "seeded violations must fail");
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    for rule in [
+        "determinism",
+        "panic_freedom",
+        "codec_exhaustive",
+        "lock_discipline",
+        "must_use",
+        "allow_syntax",
+    ] {
+        assert!(
+            stdout.contains(&format!("[{rule}]")),
+            "rule {rule} did not fire on its seeded fixture:\n{stdout}"
+        );
+    }
+    // The valid escape hatch in engine/src/lib.rs must have suppressed its
+    // unwrap — only the seeded sites may be reported.
+    assert!(
+        !stdout.contains("properly_allowed"),
+        "cdas-allow failed to suppress:\n{stdout}"
+    );
+}
+
+#[test]
+fn check_exits_zero_on_clean_fixture_workspace() {
+    let ws = fixtures().join("ws-clean");
+    let out = analyze(&["--check", "--root", ws.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "clean fixture flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn json_output_is_machine_readable() {
+    let ws = fixtures().join("ws-violations");
+    let out = analyze(&[
+        "--check",
+        "--root",
+        ws.to_str().expect("utf-8 path"),
+        "--format",
+        "json",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert!(stdout.trim_start().starts_with('{'), "not JSON:\n{stdout}");
+    assert!(stdout.contains("\"violations\""));
+    assert!(stdout.contains("\"rule\": \"panic_freedom\""));
+    assert!(stdout.contains("\"stale_baseline_entries\": 0"));
+}
+
+#[test]
+fn usage_errors_exit_two() {
+    assert_eq!(analyze(&[]).status.code(), Some(2));
+    assert_eq!(analyze(&["--frobnicate"]).status.code(), Some(2));
+    assert_eq!(
+        analyze(&["--check", "--format", "yaml"]).status.code(),
+        Some(2)
+    );
+}
+
+#[test]
+fn stale_baseline_entries_fail_the_check() {
+    // A baseline claiming a violation that no longer exists must fail, so the
+    // committed inventory can only shrink truthfully.
+    let ws = fixtures().join("ws-clean");
+    let dir = std::env::temp_dir().join("cdas-analyze-stale-test");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let baseline = dir.join("baseline.txt");
+    std::fs::write(
+        &baseline,
+        "panic_freedom\tcrates/core/src/lib.rs\t1\tlong gone line\n",
+    )
+    .expect("write baseline");
+    let out = analyze(&[
+        "--check",
+        "--root",
+        ws.to_str().expect("utf-8 path"),
+        "--baseline",
+        baseline.to_str().expect("utf-8 path"),
+    ]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    assert_eq!(
+        out.status.code(),
+        Some(1),
+        "stale entry accepted:\n{stdout}"
+    );
+    assert!(stdout.contains("stale baseline entry"));
+}
+
+#[test]
+fn committed_baseline_parses_and_matches_workspace_check() {
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join("analyze-baseline.txt"))
+        .expect("committed baseline exists");
+    let baseline = cdas_analyze::baseline::Baseline::parse(&text).expect("baseline parses");
+    assert!(baseline.total() > 0, "baseline unexpectedly empty");
+    for (rule, _, _) in baseline.entries.keys() {
+        assert!(
+            cdas_analyze::rules::is_known_rule(rule),
+            "baseline names unknown rule {rule}"
+        );
+    }
+    let config = cdas_analyze::Config::workspace(&root);
+    let violations = cdas_analyze::run(&config).expect("workspace scans");
+    let outcome = cdas_analyze::baseline::check(&violations, &baseline);
+    assert!(
+        outcome.is_clean(),
+        "workspace does not match committed baseline: {} new {:?}, {} stale {:?}",
+        outcome.new.len(),
+        outcome.new.first(),
+        outcome.stale.len(),
+        outcome.stale.first(),
+    );
+    assert_eq!(outcome.grandfathered, baseline.total());
+}

@@ -1,0 +1,10 @@
+//! Fixture: a fully clean file — no rule may fire here.
+use std::collections::BTreeMap;
+
+pub fn sorted_sum(map: &BTreeMap<u32, u32>) -> u32 {
+    map.values().copied().sum()
+}
+
+pub fn safe_head(values: &[u32]) -> Option<u32> {
+    values.first().copied()
+}

@@ -1,0 +1,7 @@
+//! Fixture: the clean counterpart of ws-violations/crates/core/src/lib.rs —
+//! ordered container, no panicking calls.
+use std::collections::BTreeMap;
+
+pub fn lookup(map: &BTreeMap<u32, u32>) -> Option<u32> {
+    map.get(&0).copied()
+}

@@ -1,0 +1,21 @@
+//! Fixture: the clean counterpart of the crowd file — the receipt carries
+//! `#[must_use]` and the guard is released before I/O.
+use std::sync::Mutex;
+
+#[must_use = "dropping the receipt discards the accounting"]
+pub struct CancelReceipt {
+    pub answers_cancelled: usize,
+}
+
+pub struct Sink {
+    state: Mutex<u32>,
+}
+
+impl Sink {
+    pub fn flush(&self, io: &mut Writer) {
+        let guard = self.state.lock();
+        let value = *guard;
+        drop(guard);
+        io.append(value);
+    }
+}

@@ -1,0 +1,11 @@
+//! Fixture: declares the event/mode enums; their codecs in journal/record.rs
+//! are complete, so the codec rule stays quiet about them.
+pub enum FleetEvent {
+    JobStarted,
+    JobCompleted,
+}
+
+pub enum ExecutionMode {
+    EndOfTime,
+    Clocked,
+}

@@ -1,0 +1,6 @@
+//! Fixture: a correctly-formed `cdas-allow` annotation — the escape hatch in
+//! its valid shape, suppressing the finding without tripping allow_syntax.
+pub fn properly_allowed(v: Option<u32>) -> u32 {
+    // cdas-allow(panic_freedom): fixture demonstrates a justified escape hatch
+    v.unwrap()
+}

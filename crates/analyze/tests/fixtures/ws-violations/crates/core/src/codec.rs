@@ -1,0 +1,47 @@
+//! Fixture codec file: `Verdict` is missing its `NoAnswer` decode arm and
+//! round-trip test mention; `TerminationStrategy` is fully covered (clean).
+use super::online::termination::TerminationStrategy;
+use super::verification::Verdict;
+
+impl BinCodec for Verdict {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Verdict::Accepted => out.push(0),
+            Verdict::NoAnswer => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match tag {
+            0 => Ok(Verdict::Accepted),
+            other => Err(other),
+        }
+    }
+}
+
+impl BinCodec for TerminationStrategy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            TerminationStrategy::MinMax => out.push(0),
+            TerminationStrategy::MinExp => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match tag {
+            0 => Ok(TerminationStrategy::MinMax),
+            1 => Ok(TerminationStrategy::MinExp),
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips() {
+        round_trip(Verdict::Accepted);
+        round_trip(TerminationStrategy::MinMax);
+        round_trip(TerminationStrategy::MinExp);
+    }
+}

@@ -1,0 +1,17 @@
+//! Fixture: seeds one determinism violation and one panic-freedom violation.
+//! These files are analyzer inputs, not compiled Rust.
+use std::collections::HashMap;
+
+pub fn lookup(map: &HashMap<u32, u32>) -> u32 {
+    *map.get(&0).unwrap()
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may unwrap freely; this must NOT be reported.
+    #[test]
+    fn in_test_unwrap_is_fine() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

@@ -1,0 +1,5 @@
+//! Fixture: a fully codec-covered enum — the codec rule's clean case.
+pub enum TerminationStrategy {
+    MinMax,
+    MinExp,
+}

@@ -1,0 +1,6 @@
+//! Fixture: declares the `Verdict` enum whose codec (in ../codec.rs) is
+//! deliberately missing the `NoAnswer` decode arm and test mention.
+pub enum Verdict {
+    Accepted,
+    NoAnswer,
+}

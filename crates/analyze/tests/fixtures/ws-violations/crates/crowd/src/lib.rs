@@ -1,0 +1,26 @@
+//! Fixture: seeds one must-use violation (`CancelReceipt` lacks the
+//! attribute) and one lock-discipline violation (guard held across `.append`).
+use std::sync::Mutex;
+
+pub struct CancelReceipt {
+    pub answers_cancelled: usize,
+}
+
+pub struct Sink {
+    state: Mutex<u32>,
+}
+
+impl Sink {
+    pub fn flush(&self, io: &mut Writer) {
+        let guard = self.state.lock();
+        io.append(*guard);
+    }
+
+    pub fn flush_politely(&self, io: &mut Writer) {
+        // The clean shape: release the guard before touching I/O.
+        let guard = self.state.lock();
+        let value = *guard;
+        drop(guard);
+        io.append(value);
+    }
+}

@@ -1,0 +1,70 @@
+//! Fixture: complete codecs for `JournalRecord`, `FleetEvent`, and
+//! `ExecutionMode` — the codec rule's clean case for multi-enum files.
+pub enum JournalRecord {
+    Started,
+    Finished,
+}
+
+impl BinCodec for JournalRecord {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            JournalRecord::Started => out.push(0),
+            JournalRecord::Finished => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match tag {
+            0 => Ok(JournalRecord::Started),
+            1 => Ok(JournalRecord::Finished),
+            other => Err(other),
+        }
+    }
+}
+
+impl BinCodec for FleetEvent {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            FleetEvent::JobStarted => out.push(0),
+            FleetEvent::JobCompleted => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match tag {
+            0 => Ok(FleetEvent::JobStarted),
+            1 => Ok(FleetEvent::JobCompleted),
+            other => Err(other),
+        }
+    }
+}
+
+impl BinCodec for ExecutionMode {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            ExecutionMode::EndOfTime => out.push(0),
+            ExecutionMode::Clocked => out.push(1),
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match tag {
+            0 => Ok(ExecutionMode::EndOfTime),
+            1 => Ok(ExecutionMode::Clocked),
+            other => Err(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn round_trips() {
+        round_trip(JournalRecord::Started);
+        round_trip(JournalRecord::Finished);
+        round_trip(FleetEvent::JobStarted);
+        round_trip(FleetEvent::JobCompleted);
+        round_trip(ExecutionMode::EndOfTime);
+        round_trip(ExecutionMode::Clocked);
+    }
+}

@@ -1,0 +1,12 @@
+//! Fixture: seeds an allow-syntax violation (unknown rule name) and shows a
+//! valid annotation suppressing a finding.
+pub fn misannotated() -> u32 {
+    // cdas-allow(not_a_rule): typos must not silently disable lints
+    let v: Option<u32> = Some(1);
+    v.unwrap_or(0)
+}
+
+pub fn properly_allowed(v: Option<u32>) -> u32 {
+    // cdas-allow(panic_freedom): fixture demonstrates a justified escape hatch
+    v.unwrap()
+}

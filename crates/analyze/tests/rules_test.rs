@@ -1,0 +1,283 @@
+//! Fixture-based self-tests: every rule gets one seeded violation and one
+//! clean counterpart, exercised through the same `run_on` entry point the
+//! CLI uses.
+
+use std::collections::BTreeMap;
+
+use cdas_analyze::rules::CodecSpec;
+use cdas_analyze::scan::SourceFile;
+use cdas_analyze::{fingerprint, run_on, Config, Violation};
+
+/// A one-file scan set.
+fn scan_one(path: &str, text: &str) -> BTreeMap<String, SourceFile> {
+    let mut files = BTreeMap::new();
+    files.insert(path.to_string(), SourceFile::scan(path, text));
+    files
+}
+
+/// A config with no codec/must-use entries, so only line rules fire.
+fn line_rules_config() -> Config {
+    Config {
+        root: ".".into(),
+        scan_dirs: vec![],
+        codecs: vec![],
+        must_use_types: vec![],
+        io_needles: vec![".append(", ".sync("],
+    }
+}
+
+fn findings(text: &str) -> Vec<Violation> {
+    run_on(&line_rules_config(), &scan_one("src/lib.rs", text))
+}
+
+fn rules_fired(violations: &[Violation]) -> Vec<&'static str> {
+    let mut rules: Vec<&'static str> = violations.iter().map(|v| v.rule).collect();
+    rules.sort();
+    rules.dedup();
+    rules
+}
+
+#[test]
+fn determinism_flags_hash_containers_and_wall_clock() {
+    let bad = "use std::collections::HashMap;\nfn f() { let t = Instant::now(); }\n";
+    let got = findings(bad);
+    assert_eq!(rules_fired(&got), vec!["determinism"]);
+    assert_eq!(got.len(), 2);
+}
+
+#[test]
+fn determinism_clean_on_ordered_containers() {
+    let clean = "use std::collections::BTreeMap;\nfn f(c: &SimClock) -> f64 { c.now() }\n";
+    assert!(findings(clean).is_empty());
+}
+
+#[test]
+fn determinism_ignores_test_code_and_allows() {
+    let text = "#[cfg(test)]\nmod tests {\n    use std::collections::HashMap;\n}\n";
+    assert!(findings(text).is_empty());
+    let allowed = "// cdas-allow(determinism): timing telemetry only\nlet t = Instant::now();\n";
+    assert!(findings(allowed).is_empty());
+}
+
+#[test]
+fn panic_freedom_flags_unwrap_expect_macros_and_indexing() {
+    let got = findings(
+        "fn f(v: Vec<u32>) -> u32 { v.first().unwrap() + v.iter().next().expect(\"x\") }\n",
+    );
+    assert_eq!(rules_fired(&got), vec!["panic_freedom"]);
+    assert_eq!(got.len(), 2);
+    let got = findings("fn f() { panic!(\"boom\"); }\n");
+    assert_eq!(got.len(), 1);
+    let got = findings("fn f(v: &[u32]) -> u32 { v[0] }\n");
+    assert_eq!(got.len(), 1, "bare indexing: {got:?}");
+}
+
+#[test]
+fn panic_freedom_clean_cases() {
+    // expect_err is a different method; slices typed `&'a [u8]` are not
+    // indexing; `vec![..]` and attributes use non-indexing brackets; strings
+    // and comments are not code.
+    let clean = concat!(
+        "fn f(r: Result<u32, u32>) -> u32 { r.expect_err(\"inverted\") }\n",
+        "fn g<'a>(v: &'a [u8]) -> Option<&'a u8> { v.first() }\n",
+        "#[derive(Debug)]\n",
+        "struct S;\n",
+        "fn h() -> Vec<u32> { vec![1, 2] }\n",
+        "fn s() -> &'static str { \"do not unwrap() me\" } // unwrap() in comment\n",
+    );
+    assert!(findings(clean).is_empty(), "{:?}", findings(clean));
+}
+
+#[test]
+fn panic_freedom_respects_test_regions_and_allows() {
+    let text = "#[test]\nfn t() { Some(1).unwrap(); }\n";
+    assert!(findings(text).is_empty());
+    let trailing =
+        "fn f(v: Option<u32>) -> u32 { v.unwrap() } // cdas-allow(panic_freedom): fixture\n";
+    assert!(findings(trailing).is_empty());
+}
+
+#[test]
+fn lock_discipline_flags_guard_held_across_io() {
+    let bad = "fn f(&self, io: &mut W) {\n    let guard = self.state.lock();\n    io.append(*guard);\n}\n";
+    let got = findings(bad);
+    assert_eq!(rules_fired(&got), vec!["lock_discipline"]);
+    assert_eq!(got[0].line, 3);
+}
+
+#[test]
+fn lock_discipline_clean_when_dropped_or_through_guard() {
+    let dropped = "fn f(&self, io: &mut W) {\n    let guard = self.state.lock();\n    let v = *guard;\n    drop(guard);\n    io.append(v);\n}\n";
+    assert!(findings(dropped).is_empty());
+    // Calling I/O *through* the guard is the point of holding it.
+    let through =
+        "fn f(&self) {\n    let journal = self.journal.lock();\n    journal.append(1);\n}\n";
+    assert!(findings(through).is_empty());
+    // Scope closes before the I/O call.
+    let scoped = "fn f(&self, io: &mut W) {\n    {\n        let guard = self.state.lock();\n    }\n    io.append(1);\n}\n";
+    assert!(findings(scoped).is_empty());
+}
+
+#[test]
+fn must_use_flags_missing_attribute_and_wrapped_returns() {
+    let config = Config {
+        must_use_types: vec!["CancelReceipt"],
+        ..line_rules_config()
+    };
+    let bad = "pub struct CancelReceipt {\n    pub n: usize,\n}\n";
+    let got = run_on(&config, &scan_one("src/lib.rs", bad));
+    assert_eq!(rules_fired(&got), vec!["must_use"]);
+    let wrapped = "pub fn cancel_all(&mut self) -> Vec<CancelReceipt> {\n    Vec::new()\n}\n";
+    let got = run_on(&config, &scan_one("src/lib.rs", wrapped));
+    assert_eq!(rules_fired(&got), vec!["must_use"]);
+}
+
+#[test]
+fn must_use_clean_cases() {
+    let config = Config {
+        must_use_types: vec!["CancelReceipt"],
+        ..line_rules_config()
+    };
+    // Attribute present; Result returns are inherently must_use (adding the
+    // attribute would trip clippy::double_must_use); direct returns are
+    // covered by the type-level attribute.
+    let clean = concat!(
+        "#[must_use = \"accounting\"]\n",
+        "pub struct CancelReceipt;\n",
+        "pub fn cancel(&mut self) -> Result<CancelReceipt> { todo }\n",
+        "pub fn receipt(&self) -> CancelReceipt { CancelReceipt }\n",
+        "#[must_use]\n",
+        "pub fn try_cancel(&mut self) -> Option<CancelReceipt> { None }\n",
+    );
+    let got = run_on(&config, &scan_one("src/lib.rs", clean));
+    assert!(got.is_empty(), "{got:?}");
+}
+
+fn codec_config() -> Config {
+    Config {
+        codecs: vec![CodecSpec {
+            enum_name: "Verdict",
+            decl_path: "src/decl.rs",
+            codec_path: "src/codec.rs",
+            test_paths: &["src/codec.rs"],
+        }],
+        ..line_rules_config()
+    }
+}
+
+const VERDICT_DECL: &str = "pub enum Verdict {\n    Accepted,\n    NoAnswer,\n}\n";
+
+#[test]
+fn codec_exhaustive_flags_missing_arm_and_test() {
+    let codec = concat!(
+        "impl BinCodec for Verdict {\n",
+        "    fn encode(&self, out: &mut Vec<u8>) {\n",
+        "        match self {\n",
+        "            Verdict::Accepted => out.push(0),\n",
+        "            Verdict::NoAnswer => out.push(1),\n",
+        "        }\n",
+        "    }\n",
+        "    fn decode(input: &mut &[u8]) -> CodecResult<Self> {\n",
+        "        match tag {\n",
+        "            0 => Ok(Verdict::Accepted),\n",
+        "            other => Err(other),\n",
+        "        }\n",
+        "    }\n",
+        "}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn rt() { round_trip(Verdict::Accepted); }\n",
+        "}\n",
+    );
+    let mut files = scan_one("src/decl.rs", VERDICT_DECL);
+    files.insert(
+        "src/codec.rs".into(),
+        SourceFile::scan("src/codec.rs", codec),
+    );
+    let got = run_on(&codec_config(), &files);
+    assert_eq!(rules_fired(&got), vec!["codec_exhaustive"]);
+    assert_eq!(got.len(), 1, "{got:?}");
+    assert!(got[0].message.contains("Verdict::NoAnswer"));
+    assert!(got[0].message.contains("decode arm"));
+    assert!(got[0].message.contains("round-trip test mention"));
+}
+
+#[test]
+fn codec_exhaustive_clean_when_complete() {
+    let codec = concat!(
+        "impl BinCodec for Verdict {\n",
+        "    fn encode(&self, out: &mut Vec<u8>) {\n",
+        "        match self {\n",
+        "            Verdict::Accepted => out.push(0),\n",
+        "            Verdict::NoAnswer => out.push(1),\n",
+        "        }\n",
+        "    }\n",
+        "    fn decode(input: &mut &[u8]) -> CodecResult<Self> {\n",
+        "        match tag {\n",
+        "            0 => Ok(Verdict::Accepted),\n",
+        "            1 => Ok(Verdict::NoAnswer),\n",
+        "            other => Err(other),\n",
+        "        }\n",
+        "    }\n",
+        "}\n",
+        "#[cfg(test)]\n",
+        "mod tests {\n",
+        "    #[test]\n",
+        "    fn rt() { round_trip(Verdict::Accepted); round_trip(Verdict::NoAnswer); }\n",
+        "}\n",
+    );
+    let mut files = scan_one("src/decl.rs", VERDICT_DECL);
+    files.insert(
+        "src/codec.rs".into(),
+        SourceFile::scan("src/codec.rs", codec),
+    );
+    let got = run_on(&codec_config(), &files);
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn codec_exhaustive_flags_missing_files() {
+    let files = scan_one("src/decl.rs", VERDICT_DECL);
+    let got = run_on(&codec_config(), &files);
+    assert_eq!(rules_fired(&got), vec!["codec_exhaustive"]);
+    assert!(got[0].message.contains("codec file"));
+}
+
+#[test]
+fn allow_syntax_flags_unknown_rules_and_malformed_annotations() {
+    let unknown = "// cdas-allow(not_a_rule): beep\nfn f() {}\n";
+    let got = findings(unknown);
+    assert_eq!(rules_fired(&got), vec!["allow_syntax"]);
+    let malformed = "// cdas-allow(panic_freedom) missing reason colon\nfn f() {}\n";
+    let got = findings(malformed);
+    assert_eq!(rules_fired(&got), vec!["allow_syntax"]);
+    let empty_reason = "// cdas-allow(panic_freedom):\nfn f() {}\n";
+    let got = findings(empty_reason);
+    assert_eq!(rules_fired(&got), vec!["allow_syntax"]);
+}
+
+#[test]
+fn allow_syntax_clean_on_valid_annotation() {
+    let valid = "// cdas-allow(panic_freedom, determinism): both justified here\nlet t = Instant::now().elapsed().as_secs_f64().to_string().parse().unwrap();\n";
+    assert!(findings(valid).is_empty());
+}
+
+#[test]
+fn scanner_strips_strings_comments_and_char_literals() {
+    let text = concat!(
+        "fn f() -> &'static str {\n",
+        "    /* block comment with unwrap() and panic! */\n",
+        "    let c = '[';\n",
+        "    \"string with .unwrap() and HashMap\"\n",
+        "}\n",
+        "// line comment: .expect( nothing )\n",
+        "fn raw() -> &'static str { r#\"raw .unwrap() string\"# }\n",
+    );
+    assert!(findings(text).is_empty(), "{:?}", findings(text));
+}
+
+#[test]
+fn fingerprints_collapse_whitespace() {
+    assert_eq!(fingerprint("   let  x =\t1;  "), fingerprint("let x = 1;"));
+}

@@ -97,6 +97,16 @@ pub fn take<'a>(input: &mut &'a [u8], n: usize) -> CodecResult<&'a [u8]> {
     Ok(head)
 }
 
+/// Split exactly `N` bytes off the front of `input` as a fixed-size array,
+/// or fail if fewer remain. Infallible once `take` succeeds, so fixed-width
+/// integer decodes need no panicking `try_into().expect(..)` conversion.
+pub fn take_array<const N: usize>(input: &mut &[u8]) -> CodecResult<[u8; N]> {
+    let head = take(input, N)?;
+    let mut array = [0u8; N];
+    array.copy_from_slice(head);
+    Ok(array)
+}
+
 impl BinCodec for u8 {
     fn encode(&self, out: &mut Vec<u8>) {
         out.push(*self);
@@ -113,8 +123,7 @@ impl BinCodec for u32 {
     }
 
     fn decode(input: &mut &[u8]) -> CodecResult<Self> {
-        let bytes = take(input, 4)?;
-        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+        Ok(u32::from_le_bytes(take_array(input)?))
     }
 }
 
@@ -124,8 +133,7 @@ impl BinCodec for u64 {
     }
 
     fn decode(input: &mut &[u8]) -> CodecResult<Self> {
-        let bytes = take(input, 8)?;
-        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+        Ok(u64::from_le_bytes(take_array(input)?))
     }
 }
 

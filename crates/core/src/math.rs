@@ -73,9 +73,13 @@ pub fn harmonic(k: u64) -> f64 {
 
 /// Probability mass function of the binomial distribution, `P[X = k]` for
 /// `X ~ Binomial(n, p)`, computed in log space.
+///
+/// A probability outside `[0, 1]` (or NaN) has no binomial interpretation and
+/// yields `f64::NAN` rather than panicking — a shard thread must never abort
+/// on bad estimator output, and NaN propagates loudly through any sum.
 pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
     if !(0.0..=1.0).contains(&p) {
-        panic!("binomial_pmf requires p in [0, 1], got {p}");
+        return f64::NAN;
     }
     if k > n {
         return 0.0;
@@ -213,6 +217,9 @@ mod tests {
         assert_eq!(binomial_pmf(10, 10, 1.0), 1.0);
         assert_eq!(binomial_pmf(10, 9, 1.0), 0.0);
         assert_eq!(binomial_pmf(10, 11, 0.5), 0.0);
+        assert!(binomial_pmf(10, 5, -0.1).is_nan());
+        assert!(binomial_pmf(10, 5, 1.5).is_nan());
+        assert!(binomial_pmf(10, 5, f64::NAN).is_nan());
     }
 
     #[test]

@@ -59,8 +59,18 @@ impl SamplingPlan {
 
     /// The paper's default plan: B = 100, α = 0.2.
     pub fn paper_default() -> Self {
-        SamplingPlan::new(DEFAULT_BATCH_SIZE, DEFAULT_SAMPLING_RATE)
-            .expect("default plan parameters are valid")
+        // Mirrors `new(DEFAULT_BATCH_SIZE, DEFAULT_SAMPLING_RATE)` without a
+        // panicking `expect`: the constants are valid by construction, and
+        // `paper_default_matches_new` pins the two paths to stay equal.
+        let count = ((DEFAULT_BATCH_SIZE as f64 * DEFAULT_SAMPLING_RATE).ceil() as usize)
+            .clamp(1, DEFAULT_BATCH_SIZE);
+        let gold_positions = (0..count)
+            .map(|i| (i * DEFAULT_BATCH_SIZE) / count)
+            .collect();
+        SamplingPlan {
+            batch_size: DEFAULT_BATCH_SIZE,
+            gold_positions,
+        }
     }
 
     /// Number of questions in the batch.
@@ -235,6 +245,12 @@ pub struct SamplingReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn paper_default_matches_new() {
+        let via_new = SamplingPlan::new(DEFAULT_BATCH_SIZE, DEFAULT_SAMPLING_RATE).unwrap();
+        assert_eq!(SamplingPlan::paper_default(), via_new);
+    }
 
     #[test]
     fn plan_validation() {

@@ -112,11 +112,15 @@ impl SharedAccuracyRegistry {
     /// every [`snapshot`](Self::snapshot).
     pub fn with_registry(registry: AccuracyRegistry) -> Self {
         let shared = Self::new();
+        // Poison recovery is sound here and in the accessors below: every
+        // critical section is a handful of scalar reads/writes on one stripe
+        // (no multi-step invariants), so a panic mid-section cannot leave a
+        // torn state — the worst case is a spuriously stale estimate.
         *shared
             .inner
             .default_accuracy
             .write()
-            .expect("shared accuracy registry default poisoned") = registry.default_accuracy();
+            .unwrap_or_else(std::sync::PoisonError::into_inner) = registry.default_accuracy();
         for (&worker, entry) in registry.iter() {
             let mut stripe = shared.write_stripe(stripe_of(worker));
             stripe.set(worker, entry.accuracy, entry.samples);
@@ -129,19 +133,19 @@ impl SharedAccuracyRegistry {
             .inner
             .default_accuracy
             .read()
-            .expect("shared accuracy registry default poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn read_stripe(&self, i: usize) -> std::sync::RwLockReadGuard<'_, AccuracyRegistry> {
         self.inner.stripes[i]
             .read()
-            .expect("shared accuracy registry stripe poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn write_stripe(&self, i: usize) -> std::sync::RwLockWriteGuard<'_, AccuracyRegistry> {
         self.inner.stripes[i]
             .write()
-            .expect("shared accuracy registry stripe poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Record (or merge) a single worker estimate backed by `samples` gold questions.

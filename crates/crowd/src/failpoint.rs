@@ -105,6 +105,7 @@ impl<P: CrowdPlatform> CrowdPlatform for FailpointPlatform<P> {
     fn poll(&mut self, hit: HitId, now: f64) -> Vec<WorkerAnswer> {
         if let Some(allowed) = self.failpoint.polls_allowed() {
             if self.polls >= allowed {
+                // cdas-allow(panic_freedom): panicking on cue is this harness's entire purpose
                 panic!("{FAILPOINT_PANIC}");
             }
         }

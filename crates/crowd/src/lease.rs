@@ -83,6 +83,7 @@ impl LedgerState {
 /// workers to the [`PoolLedger`] it came from. There is no way to copy or serialize a
 /// lease: exactly one guard exists per checkout, so the release happens exactly once.
 #[derive(Debug)]
+#[must_use = "dropping a WorkerLease returns its workers to the ledger immediately; bind it for the HIT's lifetime"]
 pub struct WorkerLease {
     /// The lease identifier (for the dispatch timeline and [`PoolLedger::workers_of`]).
     pub id: LeaseId,
@@ -211,6 +212,7 @@ impl PoolLedger {
     /// than `n` workers are free (the caller waits and retries) or when `n` is zero.
     ///
     /// The returned [`WorkerLease`] releases on drop.
+    #[must_use = "an unbound lease releases its workers immediately, making the checkout a no-op"]
     pub fn try_lease<R: Rng + ?Sized>(&self, n: usize, rng: &mut R) -> Option<WorkerLease> {
         if n == 0 {
             return None;

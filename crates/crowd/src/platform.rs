@@ -43,6 +43,7 @@ pub struct WorkerAnswer {
 /// otherwise have kept working until their completion time — returns their remaining
 /// simulated minutes to the crowd, which is what a scheduler can re-lease to another job.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+#[must_use = "a CancelReceipt carries the refunded answers and reclaimed minutes; dropping it discards that accounting"]
 pub struct CancelReceipt {
     /// Per-question answers that will now never be delivered (and never be paid for).
     pub answers_cancelled: usize,

@@ -338,10 +338,12 @@ impl ClockedCollector {
             let processor = match self.processors.get_mut(&answer.question) {
                 Some(p) => p,
                 None => {
-                    let strategy = self
-                        .config
-                        .termination
-                        .expect("online() implies a termination strategy");
+                    // `online` is true only when a termination strategy is
+                    // configured; if that invariant ever breaks, skip online
+                    // processing for the answer instead of panicking the run.
+                    let Some(strategy) = self.config.termination else {
+                        continue;
+                    };
                     let domain = self.config.domain_size.unwrap_or_else(|| {
                         self.questions
                             .iter()

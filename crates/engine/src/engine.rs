@@ -153,6 +153,7 @@ impl Default for EngineConfig {
 /// the engine re-entrant: any number of tickets — across jobs — may be outstanding against
 /// one platform, and each is ingested independently.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[must_use = "a BatchTicket is the only handle for collecting its HIT; dropping it strands the published batch"]
 pub struct BatchTicket {
     /// The platform HIT id phase 2 will poll.
     pub hit: HitId,
@@ -415,7 +416,9 @@ impl CrowdsourcingEngine {
         // `HitOutcome::cost` disagree with `platform.total_cost()`. Real savings come from
         // the clocked path ([`crate::clocked`]), which stops polling at termination.
         if self.config.termination.is_some() && online_consumed_max < workers {
-            platform.cancel(hit, f64::INFINITY);
+            // An end-of-time cancel reclaims nothing by construction, so the
+            // receipt is deliberately discarded.
+            let _ = platform.cancel(hit, f64::INFINITY);
         }
         let cost = platform.total_cost() - cost_before;
 

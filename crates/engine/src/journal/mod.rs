@@ -240,9 +240,16 @@ fn scan_segment(path: &Path, is_last: bool) -> Result<SegmentScan> {
             torn = true;
             break;
         }
-        let len =
-            u32::from_le_bytes(bytes[offset..offset + 4].try_into().expect("4 bytes")) as usize;
-        let stored_crc = u32::from_le_bytes(bytes[offset + 4..offset + 8].try_into().expect("4"));
+        // The header-length check above guarantees 8 bytes remain; decoding
+        // through a cursor keeps this branch panic-free even if it did not.
+        let mut header = bytes.get(offset..).unwrap_or(&[]);
+        let len = cdas_core::codec::take_array::<4>(&mut header)
+            .map(u32::from_le_bytes)
+            .map_err(|e| corrupt(frame_start, format!("frame header: {e}")))?
+            as usize;
+        let stored_crc = cdas_core::codec::take_array::<4>(&mut header)
+            .map(u32::from_le_bytes)
+            .map_err(|e| corrupt(frame_start, format!("frame header: {e}")))?;
         let payload_start = offset + FRAME_HEADER_LEN as usize;
         if bytes.len() - payload_start < len {
             torn_or_corrupt(

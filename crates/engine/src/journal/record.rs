@@ -849,6 +849,13 @@ mod tests {
         round_trip(demo_commit());
         round_trip(JournalRecord::Commit(demo_commit()));
         round_trip(JournalRecord::RunStarted(demo_config()));
+        round_trip(JournalRecord::Dispatch(DispatchRecord {
+            tick: 2,
+            job: JobId(1),
+            hit: HitId(9),
+            workers: vec![WorkerId(4), WorkerId(7)],
+            at: 6.25,
+        }));
         round_trip(JournalRecord::Charge {
             job: JobId(0),
             hit: HitId(3),

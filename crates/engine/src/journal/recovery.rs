@@ -39,6 +39,7 @@ use super::{Journal, JournalContents};
 /// run appended. For an intact journal of a finished run, `resumed` is zero and
 /// [`was_complete`](Self::was_complete) is true.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use = "a RecoveryReport says how much journaled work (and money) was reused; dropping it discards that accounting"]
 pub struct RecoveryReport {
     /// The journal already held a `RunCompleted` trailer (recovery was a no-op resume).
     pub was_complete: bool,
@@ -320,6 +321,17 @@ pub struct RecoveryObserver {
 }
 
 impl RecoveryObserver {
+    /// Lock the recovery state, recovering from poisoning: every critical
+    /// section either matches one record against the journaled prefix or
+    /// records a first-divergence/first-failure, so a panic mid-section
+    /// cannot tear an invariant — at worst recovery reports a divergence it
+    /// would have reported anyway.
+    fn locked(&self) -> std::sync::MutexGuard<'_, RecoveryState> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Build the observer over a re-opened journal and the assembled replay state.
     pub fn new(journal: Journal, replay: JournalReplay) -> Self {
         RecoveryObserver {
@@ -351,7 +363,7 @@ impl RecoveryObserver {
         questions: usize,
         makespan: f64,
     ) -> Result<RecoveryReport> {
-        let mut state = self.state.lock().expect("recovery state lock");
+        let mut state = self.locked();
         if let Some(failure) = state.failure.take() {
             return Err(failure);
         }
@@ -424,7 +436,7 @@ impl RecoveryObserver {
 
 impl RunObserver for RecoveryObserver {
     fn on_dispatch(&self, dispatch: &DispatchRecord) {
-        let mut state = self.state.lock().expect("recovery state lock");
+        let mut state = self.locked();
         let job = dispatch.job.0;
         match state.dispatches.get_mut(job).and_then(VecDeque::pop_front) {
             Some(journaled) => {
@@ -443,7 +455,7 @@ impl RunObserver for RecoveryObserver {
     }
 
     fn on_charge(&self, job: JobId, hit: HitId, amount: f64, at: f64) {
-        let mut state = self.state.lock().expect("recovery state lock");
+        let mut state = self.locked();
         match state.charges.get_mut(job.0).and_then(VecDeque::pop_front) {
             Some((journaled_hit, amount_bits, at_bits)) => {
                 if journaled_hit != hit
@@ -469,7 +481,7 @@ impl RunObserver for RecoveryObserver {
     }
 
     fn on_commit(&self, commit: &BatchCommit) {
-        let mut state = self.state.lock().expect("recovery state lock");
+        let mut state = self.locked();
         let key = (commit.job.0, commit.seq);
         match state.commits.remove(&key) {
             Some(journaled) => {
@@ -510,13 +522,24 @@ impl JournalSink {
         }
     }
 
+    /// Lock one of the sink's mutexes, recovering from poisoning: both
+    /// critical sections are a single optional-slot write or one journal
+    /// call, so a panic mid-section cannot tear an invariant.
+    fn relock<T>(lock: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+        lock.lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Append a record, capturing (rather than propagating) any I/O error.
     pub fn append(&self, record: &JournalRecord) {
-        let mut failure = self.failure.lock().expect("journal failure lock");
+        // Holding `failure` across the append is deliberate: it serializes
+        // appends and guarantees the *first* failure wins the slot.
+        // cdas-allow(lock_discipline): failure guard intentionally spans the append so the first I/O error wins
+        let mut failure = Self::relock(&self.failure);
         if failure.is_some() {
             return;
         }
-        let mut journal = self.journal.lock().expect("journal lock");
+        let mut journal = Self::relock(&self.journal);
         if let Err(e) = journal.append(record) {
             *failure = Some(e);
         }
@@ -524,11 +547,12 @@ impl JournalSink {
 
     /// Fsync the journal, capturing any error.
     pub fn sync(&self) {
-        let mut failure = self.failure.lock().expect("journal failure lock");
+        // cdas-allow(lock_discipline): failure guard intentionally spans the fsync so the first I/O error wins
+        let mut failure = Self::relock(&self.failure);
         if failure.is_some() {
             return;
         }
-        let mut journal = self.journal.lock().expect("journal lock");
+        let mut journal = Self::relock(&self.journal);
         if let Err(e) = journal.sync() {
             *failure = Some(e);
         }
@@ -536,7 +560,7 @@ impl JournalSink {
 
     /// The first I/O error captured, if any (the run's result surfaces it).
     pub fn take_failure(&self) -> Option<CdasError> {
-        self.failure.lock().expect("journal failure lock").take()
+        Self::relock(&self.failure).take()
     }
 }
 

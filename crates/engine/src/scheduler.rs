@@ -530,6 +530,7 @@ impl JobScheduler {
     /// assert!(report.registry_size > 0, "gold estimates were shared");
     /// ```
     pub fn run<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
+        // cdas-allow(determinism): wall-clock telemetry only feeds `wall_seconds`, which report equality ignores
         let started = Instant::now();
         self.check_feasibility(self.ledger.roster_len())?;
         let mut dispatches: Vec<DispatchRecord> = Vec::new();
@@ -636,6 +637,7 @@ impl JobScheduler {
     /// assert_eq!(report.fleet.questions, 8);
     /// ```
     pub fn run_clocked<P: CrowdPlatform>(&mut self, platform: &mut P) -> Result<FleetReport> {
+        // cdas-allow(determinism): wall-clock telemetry only feeds `wall_seconds`, which report equality ignores
         let started = Instant::now();
         self.check_feasibility(self.ledger.roster_len())?;
         let mut clock = SimClock::new();
@@ -648,7 +650,9 @@ impl JobScheduler {
             // collector already cancelled (the error came *after* its cancel) is a no-op
             // here rather than a double refund. The lease guards release on drop.
             for batch in inflight.drain(..) {
-                platform.cancel(batch.collector.hit(), clock.now());
+                // The run is already failing; the teardown receipts have no
+                // report to land in and are deliberately discarded.
+                let _ = platform.cancel(batch.collector.hit(), clock.now());
             }
         }
         let ticks = result?;
@@ -819,11 +823,7 @@ impl JobScheduler {
         // RAII lease guards release during it); the payload is re-raised from the parent
         // only after every shard joined and every job state was reassembled, so a caller
         // that catches the panic still holds a scheduler with all its jobs.
-        type ShardJoin = (
-            Option<Result<FleetReport>>,
-            JobScheduler,
-            Option<Box<dyn std::any::Any + Send>>,
-        );
+        type ShardJoin = (std::thread::Result<Result<FleetReport>>, JobScheduler);
         let outcomes: Vec<ShardJoin> = std::thread::scope(|scope| {
             let handles: Vec<_> = platform
                 .shards_mut()
@@ -834,10 +834,7 @@ impl JobScheduler {
                         let run = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                             sub.run_clocked(shard.platform_mut())
                         }));
-                        match run {
-                            Ok(result) => (Some(result), sub, None),
-                            Err(payload) => (None, sub, Some(payload)),
-                        }
+                        (run, sub)
                     })
                 })
                 .collect();
@@ -862,7 +859,7 @@ impl JobScheduler {
         let mut ticks = 0usize;
         let mut makespan = 0.0f64;
         let (mut cache_hits, mut cache_misses) = (0u64, 0u64);
-        for (s, (result, sub, payload)) in outcomes.into_iter().enumerate() {
+        for (s, (result, sub)) in outcomes.into_iter().enumerate() {
             cache_hits += sub.cache.hits();
             cache_misses += sub.cache.misses();
             // Merge the shard's learnings back into the fleet registry, in shard order:
@@ -887,40 +884,57 @@ impl JobScheduler {
             for (local, state) in sub.jobs.into_iter().enumerate() {
                 slots[global[s][local]] = Some(state);
             }
-            if let Some(payload) = payload {
-                first_panic = first_panic.or(Some(payload));
-                continue;
-            }
-            match result.expect("a shard that did not panic returned a result") {
+            let result = match result {
+                Ok(result) => result,
+                Err(payload) => {
+                    first_panic = first_panic.or(Some(payload));
+                    continue;
+                }
+            };
+            match result {
                 Ok(shard_report) => {
-                    ticks += shard_report.ticks;
-                    makespan = makespan.max(shard_report.makespan);
+                    let (sub_ticks, sub_makespan) = (shard_report.ticks, shard_report.makespan);
+                    ticks += sub_ticks;
+                    makespan = makespan.max(sub_makespan);
                     merged_dispatches.extend(shard_report.dispatches.into_iter().map(
                         |mut dispatch| {
                             dispatch.job = JobId(global[s][dispatch.job.0]);
                             dispatch
                         },
                     ));
-                    let rollup = shard_report
-                        .shards
-                        .into_iter()
-                        .next()
-                        .expect("a sequential run reports exactly one shard");
+                    // A sequential sub-run reports exactly one shard rollup;
+                    // if that invariant ever breaks, fall back to the sub-run
+                    // totals instead of panicking the merge (only the
+                    // wall-clock split is unknowable then).
+                    let rollup = shard_report.shards.into_iter().next();
                     shard_seeds.push(ShardSeed {
                         shard: s,
                         jobs: global[s].iter().copied().map(JobId).collect(),
-                        ticks: rollup.ticks,
-                        makespan: rollup.makespan,
-                        wall_seconds: rollup.wall_seconds,
+                        ticks: rollup.as_ref().map_or(sub_ticks, |r| r.ticks),
+                        makespan: rollup.as_ref().map_or(sub_makespan, |r| r.makespan),
+                        wall_seconds: rollup.as_ref().map_or(0.0, |r| r.wall_seconds),
                     });
                 }
                 Err(e) => first_error = first_error.or(Some(e)),
             }
         }
-        self.jobs = slots
-            .into_iter()
-            .map(|state| state.expect("every job state returns from its shard"))
-            .collect();
+        // Reassemble job states in submission order. Every slot is filled even
+        // when a shard panicked (the sub-scheduler survives the unwind and
+        // hands its jobs back above); a hole would mean the striping logic
+        // itself broke, which surfaces as an error rather than a panic so the
+        // caller still gets a scheduler with the states that did return.
+        let mut jobs = Vec::with_capacity(total_jobs);
+        let mut missing = 0usize;
+        for state in slots {
+            match state {
+                Some(state) => jobs.push(state),
+                None => missing += 1,
+            }
+        }
+        self.jobs = jobs;
+        if missing > 0 {
+            first_error = first_error.or(Some(CdasError::SchedulerStalled { ticks }));
+        }
         if let Some(payload) = first_panic {
             std::panic::resume_unwind(payload);
         }
@@ -1188,16 +1202,17 @@ impl JobScheduler {
                 let ticket = state
                     .engine
                     .publish_batch_to(platform, batch, lease.workers())?;
-                dispatches.push(DispatchRecord {
+                let record = DispatchRecord {
                     tick,
                     job: JobId(idx),
                     hit: ticket.hit,
                     workers: lease.workers().to_vec(),
                     at,
-                });
+                };
                 if let Some(observer) = &self.observer {
-                    observer.on_dispatch(dispatches.last().expect("dispatch just pushed"));
+                    observer.on_dispatch(&record);
                 }
+                dispatches.push(record);
                 state.workers_seen.extend(lease.workers().iter().copied());
                 let range = state.cursor..end;
                 state.cursor = end;
