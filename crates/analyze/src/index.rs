@@ -1,0 +1,304 @@
+//! Pass 1 of the two-pass analyzer: the workspace symbol index.
+//!
+//! Built on top of the comment/string-stripping scanner (still zero deps, no
+//! `syn`), the index records every `fn` definition with its signature span,
+//! parsed parameters and return type, plus a workspace-wide struct-field type
+//! table. Pass 2 ([`crate::callgraph`] and the cross-file rules) resolves
+//! method calls against this index by *unique name*: a name defined more than
+//! once in the scan set is treated as ambiguous and never resolved, trading
+//! recall for zero-false-positive resolution — the right bias for a linter
+//! without type information.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::scan::SourceFile;
+
+/// One parsed function parameter.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// The binding name (empty for pattern parameters the scanner cannot name).
+    pub name: String,
+    /// The declared type text, trimmed (e.g. `f64`, `&mut P`, `Option<f64>`).
+    pub ty: String,
+}
+
+/// One `fn` definition found in the scan set.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's bare name (no path, no generics).
+    pub name: String,
+    /// Root-relative path of the defining file.
+    pub path: String,
+    /// 1-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 1-based first line of the body (the line carrying the opening `{`);
+    /// equals `decl_line` for single-line items. `None` for bodyless trait
+    /// method declarations.
+    pub body_start: Option<usize>,
+    /// 1-based last line of the body (the line carrying the closing `}`).
+    pub body_end: usize,
+    /// The joined signature text, from `fn` up to (not including) `{` or `;`.
+    pub signature: String,
+    /// Parsed value parameters (receiver `self` forms are skipped).
+    pub params: Vec<Param>,
+    /// Return type text after `->`, or empty for `()`.
+    pub ret: String,
+    /// Whether the definition sits in a `#[cfg(test)]` / `#[test]` region.
+    pub in_test: bool,
+}
+
+impl FnInfo {
+    /// Whether this fn returns a lock guard (`MutexGuard`, `RwLock*Guard`).
+    pub fn returns_guard(&self) -> bool {
+        self.ret.contains("Guard")
+    }
+}
+
+/// The workspace symbol index: pass 1's output.
+#[derive(Debug, Default)]
+pub struct WorkspaceIndex {
+    /// Every fn definition, in (path, line) order.
+    pub fns: Vec<FnInfo>,
+    /// Fn name → indices into [`Self::fns`] (test fns excluded).
+    pub by_name: BTreeMap<String, Vec<usize>>,
+    /// Struct field name → set of declared type texts, across all structs.
+    pub field_types: BTreeMap<String, BTreeSet<String>>,
+}
+
+impl WorkspaceIndex {
+    /// Builds the index over a scanned file set.
+    pub fn build(files: &BTreeMap<String, SourceFile>) -> WorkspaceIndex {
+        let mut index = WorkspaceIndex::default();
+        for file in files.values() {
+            collect_fns(file, &mut index.fns);
+            collect_fields(file, &mut index.field_types);
+        }
+        for (i, f) in index.fns.iter().enumerate() {
+            if !f.in_test {
+                index.by_name.entry(f.name.clone()).or_default().push(i);
+            }
+        }
+        index
+    }
+
+    /// Resolves a call by name to a unique non-test definition, or `None`
+    /// when the name is undefined or ambiguous (defined more than once).
+    pub fn resolve(&self, name: &str) -> Option<usize> {
+        match self.by_name.get(name).map(Vec::as_slice) {
+            Some([only]) => Some(*only),
+            _ => None,
+        }
+    }
+
+    /// Whether any struct in the workspace declares a field `name` whose type
+    /// is (or wraps) `f64` — the gate the unit rule uses before classifying a
+    /// field access by its name.
+    pub fn is_f64_field(&self, name: &str) -> bool {
+        self.field_types
+            .get(name)
+            .is_some_and(|types| types.iter().any(|t| t.contains("f64")))
+    }
+}
+
+/// True when the char is part of a Rust identifier.
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Scans one file for `fn` definitions.
+fn collect_fns(file: &SourceFile, out: &mut Vec<FnInfo>) {
+    for (lineno, line) in file.numbered() {
+        let code = &line.code;
+        let Some(fn_pos) = find_fn_keyword(code) else {
+            continue;
+        };
+        // Parse the name: `fn <ident>` (generics or parens follow).
+        let after = code[fn_pos + 2..].trim_start();
+        let name: String = after.chars().take_while(|&c| is_ident(c)).collect();
+        if name.is_empty() || name.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+            continue;
+        }
+        // Join the signature across lines until the body opens or the item
+        // ends without one (trait method declaration).
+        let mut sig = code[fn_pos..].to_string();
+        let mut j = lineno; // 1-based index of the line just appended
+        while !sig.contains('{') && !sig.contains(';') && j < file.lines.len() && j < lineno + 24 {
+            sig.push(' ');
+            sig.push_str(&file.lines[j].code);
+            j += 1;
+        }
+        let open_line = if sig.contains('{') { Some(j) } else { None };
+        let sig_text = sig
+            .split(['{', ';'])
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string();
+        let (params, ret) = parse_signature(&sig_text);
+        // The body spans from the opening brace to the line where depth
+        // returns to the declaration line's starting depth.
+        let fn_depth = line.depth_start;
+        let mut body_end = open_line.unwrap_or(lineno);
+        if let Some(open) = open_line {
+            for (later_no, later) in file.numbered().skip(open - 1) {
+                body_end = later_no;
+                if later.depth_end <= fn_depth && later.code.contains('}') {
+                    break;
+                }
+            }
+        }
+        out.push(FnInfo {
+            name,
+            path: file.path.clone(),
+            decl_line: lineno,
+            body_start: open_line,
+            body_end,
+            signature: sig_text,
+            params,
+            ret,
+            in_test: line.in_test,
+        });
+    }
+}
+
+/// Position of a `fn` keyword that starts a definition (not `Fn` bounds).
+fn find_fn_keyword(code: &str) -> Option<usize> {
+    let mut from = 0;
+    while let Some(rel) = code[from..].find("fn") {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + 2..].chars().next().unwrap_or(' ');
+        if before_ok && after == ' ' {
+            return Some(at);
+        }
+        from = at + 2;
+    }
+    None
+}
+
+/// Parses `fn name(<params>) -> <ret>` into parameter and return info.
+fn parse_signature(sig: &str) -> (Vec<Param>, String) {
+    let Some(open) = sig.find('(') else {
+        return (Vec::new(), String::new());
+    };
+    // Find the matching close paren.
+    let mut depth = 0i32;
+    let mut close = sig.len();
+    for (i, c) in sig.char_indices() {
+        if i < open {
+            continue;
+        }
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth <= 0 {
+                    close = i;
+                    break;
+                }
+            }
+            _ => {}
+        }
+    }
+    let inner = &sig[open + 1..close.min(sig.len())];
+    let mut params = Vec::new();
+    for piece in split_top_level(inner) {
+        let piece = piece.trim();
+        if piece.is_empty() || piece.ends_with("self") {
+            continue; // receiver: self, &self, &mut self, mut self
+        }
+        let Some(colon) = piece.find(':') else {
+            continue;
+        };
+        let raw_name = piece[..colon].trim();
+        let raw_name = raw_name.strip_prefix("mut ").unwrap_or(raw_name).trim();
+        // Only simple identifier bindings are indexed; tuple/struct patterns
+        // have no single name to classify.
+        if !raw_name.chars().all(is_ident) || raw_name.is_empty() {
+            continue;
+        }
+        params.push(Param {
+            name: raw_name.to_string(),
+            ty: piece[colon + 1..].trim().to_string(),
+        });
+    }
+    let ret = match sig[close.min(sig.len())..].find("->") {
+        Some(arrow) => sig[close + arrow + 2..]
+            .split(" where ")
+            .next()
+            .unwrap_or("")
+            .trim()
+            .to_string(),
+        None => String::new(),
+    };
+    (params, ret)
+}
+
+/// Splits `a, b, c` at commas not nested inside `<>`, `()`, `[]`.
+fn split_top_level(s: &str) -> Vec<&str> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in s.char_indices() {
+        match c {
+            '<' | '(' | '[' => depth += 1,
+            '>' | ')' | ']' => depth -= 1,
+            ',' if depth <= 0 => {
+                out.push(&s[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(&s[start..]);
+    out
+}
+
+/// Scans one file for struct declarations and records field name → type.
+fn collect_fields(file: &SourceFile, out: &mut BTreeMap<String, BTreeSet<String>>) {
+    let mut in_struct: Option<usize> = None; // base depth of the open struct
+    for line in &file.lines {
+        if line.in_test {
+            continue;
+        }
+        let code = line.code.trim();
+        if let Some(base) = in_struct {
+            if line.depth_end <= base && line.code.contains('}') {
+                in_struct = None;
+                continue;
+            }
+            if line.depth_start != base + 1 {
+                continue;
+            }
+            // A field line: `pub? name: Type,`
+            let body = code.strip_prefix("pub ").unwrap_or(code);
+            let name: String = body.chars().take_while(|&c| is_ident(c)).collect();
+            let rest = &body[name.len()..];
+            if name.is_empty() || !rest.trim_start().starts_with(':') {
+                continue;
+            }
+            let ty = rest
+                .trim_start()
+                .trim_start_matches(':')
+                .trim()
+                .trim_end_matches(',')
+                .to_string();
+            if !ty.is_empty() {
+                out.entry(name).or_default().insert(ty);
+            }
+            continue;
+        }
+        // `struct Name {` — tuple structs and unit structs carry no named
+        // fields and are skipped.
+        if let Some(pos) = code.find("struct ") {
+            let before_ok = pos == 0 || !is_ident(code[..pos].chars().next_back().unwrap_or(' '));
+            if before_ok && line.code.contains('{') {
+                in_struct = Some(line.depth_start);
+                // Single-line struct with `{ .. }` closed on the same line.
+                if line.depth_end <= line.depth_start {
+                    in_struct = None;
+                }
+            }
+        }
+    }
+}

@@ -11,19 +11,31 @@
 //! option — same in-tree spirit as `cdas_core::codec`) and enforces those
 //! rules as a hard CI gate.
 //!
+//! The analyzer runs in two passes. Pass 1 scans every file and builds a
+//! workspace symbol index (fn definitions, signatures, struct-field types)
+//! plus an approximate call graph with unique-name resolution
+//! ([`index`], [`callgraph`]). Pass 2 runs the file-local rules *and* three
+//! cross-file rules over that graph: `lock_order` (deadlock cycles in the
+//! lock-acquisition graph), `unit_taint` (minutes/dollars/probability
+//! confusion in bare `f64` arithmetic, [`units`]), and `protocol_order`
+//! (publish/collect ticket sequencing and journal append-before-mutate).
+//!
 //! Pre-existing debt is grandfathered in a committed baseline file keyed by
 //! line *content*, not line numbers; intentional sites carry an inline
 //! `// cdas-allow(rule): reason` annotation. See ARCHITECTURE.md § Static
 //! analysis for the workflow.
 
 pub mod baseline;
+pub mod callgraph;
+pub mod index;
 pub mod rules;
 pub mod scan;
+pub mod units;
 
 use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
-use rules::CodecSpec;
+use rules::{CodecSpec, ProtocolSpec};
 use scan::SourceFile;
 
 /// One finding: a rule, the offending site, and a content fingerprint that
@@ -86,6 +98,8 @@ pub struct Config {
     pub must_use_types: Vec<&'static str>,
     /// Call needles treated as platform/journal I/O by the lock rule.
     pub io_needles: Vec<&'static str>,
+    /// Publish/collect call families and journal paths for `protocol_order`.
+    pub protocol: ProtocolSpec,
 }
 
 impl Config {
@@ -154,6 +168,18 @@ impl Config {
                 "fs::rename",
                 "fs::remove_file",
             ],
+            protocol: ProtocolSpec {
+                publish_calls: vec!["publish_batch", "publish_batch_to"],
+                collect_calls: vec![
+                    "collect_batch",
+                    "collect_batch_cached",
+                    "collect_batch_clocked",
+                    "collect_batch_clocked_cached",
+                    "begin_clocked",
+                ],
+                ticket_type: "BatchTicket",
+                journal_paths: vec!["crates/engine/src/journal/"],
+            },
         }
     }
 }
@@ -252,6 +278,13 @@ pub fn run_on(config: &Config, files: &BTreeMap<String, SourceFile>) -> Vec<Viol
     for spec in &config.codecs {
         rules::codec_exhaustive(spec, files, &mut out);
     }
+    // Pass 2: the cross-file rules over the symbol index and call graph.
+    let (index, _graph, lock_graph) = build_pass2(config, files, &mut out);
+    rules::lock_order_cycles(&lock_graph, files, &mut out);
+    for file in files.values() {
+        rules::unit_taint(file, &index, &mut out);
+        rules::protocol_order(file, &config.protocol, &index, &mut out);
+    }
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(
             b.path.as_str(),
@@ -260,5 +293,35 @@ pub fn run_on(config: &Config, files: &BTreeMap<String, SourceFile>) -> Vec<Viol
             b.message.as_str(),
         ))
     });
+    // Nested fns are walked both standalone and as part of their enclosing
+    // body; identical findings collapse.
+    out.dedup();
     out
+}
+
+/// Builds the pass-2 artifacts and runs the lock-order collection walk
+/// (which both populates the lock graph and emits held-across-I/O findings).
+pub fn build_pass2(
+    config: &Config,
+    files: &BTreeMap<String, SourceFile>,
+    out: &mut Vec<Violation>,
+) -> (
+    index::WorkspaceIndex,
+    callgraph::CallGraph,
+    callgraph::LockGraph,
+) {
+    let index = index::WorkspaceIndex::build(files);
+    let graph = callgraph::CallGraph::build(files, &index, &config.io_needles);
+    let mut lock_graph = callgraph::LockGraph::default();
+    for file in files.values() {
+        rules::lock_order_collect(
+            file,
+            &index,
+            &graph,
+            &config.io_needles,
+            &mut lock_graph,
+            out,
+        );
+    }
+    (index, graph, lock_graph)
 }

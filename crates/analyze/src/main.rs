@@ -3,12 +3,14 @@
 //! Usage:
 //!
 //! ```text
-//! cdas-analyze --check [--root DIR] [--baseline FILE] [--format text|json]
+//! cdas-analyze --check [--root DIR] [--baseline FILE] [--format text|json|github]
 //! cdas-analyze --write-baseline [--root DIR] [--baseline FILE]
 //! ```
 //!
 //! Exit codes: `0` clean, `1` violations (new findings or a stale baseline),
-//! `2` usage or I/O error. The JSON format is machine-readable for CI.
+//! `2` usage or I/O error. The JSON format is machine-readable for CI; the
+//! github format emits `::error file=…,line=…::…` workflow annotations so
+//! findings render inline on pull requests.
 
 use std::path::PathBuf;
 use std::process::ExitCode;
@@ -24,8 +26,8 @@ struct Options {
     root: PathBuf,
     /// Baseline path (defaults to `<root>/analyze-baseline.txt`).
     baseline: Option<PathBuf>,
-    /// `text` or `json`.
-    json: bool,
+    /// Output format for `--check`.
+    format: Format,
 }
 
 enum Mode {
@@ -33,10 +35,17 @@ enum Mode {
     WriteBaseline,
 }
 
+#[derive(PartialEq)]
+enum Format {
+    Text,
+    Json,
+    Github,
+}
+
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cdas-analyze (--check | --write-baseline) \
-         [--root DIR] [--baseline FILE] [--format text|json]"
+         [--root DIR] [--baseline FILE] [--format text|json|github]"
     );
     ExitCode::from(2)
 }
@@ -45,7 +54,7 @@ fn parse_args() -> Result<Options, ()> {
     let mut mode = None;
     let mut root = PathBuf::from(".");
     let mut baseline = None;
-    let mut json = false;
+    let mut format = Format::Text;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -53,11 +62,14 @@ fn parse_args() -> Result<Options, ()> {
             "--write-baseline" => mode = Some(Mode::WriteBaseline),
             "--root" => root = PathBuf::from(args.next().ok_or(())?),
             "--baseline" => baseline = Some(PathBuf::from(args.next().ok_or(())?)),
-            "--format" => match args.next().ok_or(())?.as_str() {
-                "json" => json = true,
-                "text" => json = false,
-                _ => return Err(()),
-            },
+            "--format" => {
+                format = match args.next().ok_or(())?.as_str() {
+                    "json" => Format::Json,
+                    "text" => Format::Text,
+                    "github" => Format::Github,
+                    _ => return Err(()),
+                }
+            }
             _ => return Err(()),
         }
     }
@@ -65,7 +77,7 @@ fn parse_args() -> Result<Options, ()> {
         mode: mode.ok_or(())?,
         root,
         baseline,
-        json,
+        format,
     })
 }
 
@@ -85,6 +97,14 @@ fn json_escape(s: &str) -> String {
         }
     }
     out
+}
+
+/// Escapes a message for a GitHub workflow-command data section: `%`, `\r`,
+/// and `\n` are percent-encoded per the workflow-command grammar.
+fn github_escape(s: &str) -> String {
+    s.replace('%', "%25")
+        .replace('\r', "%0D")
+        .replace('\n', "%0A")
 }
 
 fn render_json(new: &[Violation], stale: usize, grandfathered: usize) -> String {
@@ -161,27 +181,52 @@ fn main() -> ExitCode {
                 Baseline::default()
             };
             let outcome = check(&violations, &baseline);
-            if opts.json {
-                print!(
+            match opts.format {
+                Format::Json => print!(
                     "{}",
                     render_json(&outcome.new, outcome.stale.len(), outcome.grandfathered)
-                );
-            } else {
-                for v in &outcome.new {
-                    println!("{v}");
-                }
-                for ((rule, path, fp), allowed, actual) in &outcome.stale {
+                ),
+                Format::Github => {
+                    for v in &outcome.new {
+                        println!(
+                            "::error file={},line={},title=cdas-analyze {}::{}",
+                            v.path,
+                            v.line,
+                            v.rule,
+                            github_escape(&v.message)
+                        );
+                    }
+                    for ((rule, path, fp), allowed, actual) in &outcome.stale {
+                        println!(
+                            "::error file={path},title=cdas-analyze stale baseline::{rule} entry \
+                             allows {allowed} but found {actual} ({}); shrink the baseline",
+                            github_escape(fp)
+                        );
+                    }
                     println!(
-                        "stale baseline entry: {rule}\t{path}\t{allowed}->{actual}\t{fp} \
-                         (violation fixed; shrink the baseline)"
+                        "cdas-analyze: {} new, {} stale baseline entries, {} grandfathered",
+                        outcome.new.len(),
+                        outcome.stale.len(),
+                        outcome.grandfathered
                     );
                 }
-                println!(
-                    "cdas-analyze: {} new, {} stale baseline entries, {} grandfathered",
-                    outcome.new.len(),
-                    outcome.stale.len(),
-                    outcome.grandfathered
-                );
+                Format::Text => {
+                    for v in &outcome.new {
+                        println!("{v}");
+                    }
+                    for ((rule, path, fp), allowed, actual) in &outcome.stale {
+                        println!(
+                            "stale baseline entry: {rule}\t{path}\t{allowed}->{actual}\t{fp} \
+                             (violation fixed; shrink the baseline)"
+                        );
+                    }
+                    println!(
+                        "cdas-analyze: {} new, {} stale baseline entries, {} grandfathered",
+                        outcome.new.len(),
+                        outcome.stale.len(),
+                        outcome.grandfathered
+                    );
+                }
             }
             if outcome.is_clean() {
                 ExitCode::SUCCESS

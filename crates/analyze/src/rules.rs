@@ -1,11 +1,21 @@
-//! The rule set: determinism, panic-freedom, codec exhaustiveness, lock
-//! discipline, must-use coverage, and `cdas-allow` syntax validation.
+//! The rule set. File-local rules: determinism, panic-freedom, codec
+//! exhaustiveness, lock discipline, must-use coverage, and `cdas-allow`
+//! syntax validation. Cross-file rules (pass 2, over the symbol index and
+//! call graph): lock-order deadlock detection, unit-taint analysis, and
+//! publish/collect + journal protocol ordering.
 //!
 //! Every rule emits [`Violation`]s keyed by a *content fingerprint* (the
 //! normalized line text) rather than a line number, so the committed
 //! baseline survives unrelated edits that shift code up or down a file.
 
+use std::collections::BTreeMap;
+
+use crate::callgraph::{
+    calls_on_line, direct_acquisitions, self_fields_in_args, CallGraph, LockGraph,
+};
+use crate::index::WorkspaceIndex;
 use crate::scan::SourceFile;
+use crate::units::{self, Unit};
 use crate::{fingerprint, Violation};
 
 /// Names of every rule the analyzer knows, in report order.
@@ -16,6 +26,9 @@ pub const RULE_NAMES: &[&str] = &[
     "lock_discipline",
     "must_use",
     "allow_syntax",
+    "lock_order",
+    "unit_taint",
+    "protocol_order",
 ];
 
 /// Returns true when `name` is a known rule.
@@ -167,6 +180,16 @@ fn bare_index(code: &str) -> Option<usize> {
                 k -= 1;
             }
             if k > 0 && chars[k - 1] == '\'' {
+                continue;
+            }
+            // A keyword before `[` is a type or pattern position (`&mut
+            // [u8]`, `let [first, ..] = arr`), not an indexable expression.
+            let word: String = chars[k..j].iter().collect();
+            const KEYWORDS: &[&str] = &[
+                "let", "mut", "ref", "dyn", "in", "as", "box", "return", "break", "match", "impl",
+                "where", "move", "static", "const", "unsafe", "else",
+            ];
+            if KEYWORDS.contains(&word.as_str()) {
                 continue;
             }
             return Some(i);
@@ -557,6 +580,709 @@ fn check_fn_must_use(file: &SourceFile, types: &[&str], out: &mut Vec<Violation>
             });
         }
     }
+}
+
+/// Parses `let [mut] <name> = ...` and returns the binding name, or `None`
+/// for tuple/struct patterns and wildcard bindings.
+fn let_name(code: &str) -> Option<String> {
+    let let_pos = find_token(code, "let")?;
+    let rest = code[let_pos + 3..].trim_start();
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest).trim_start();
+    let name: String = rest.chars().take_while(|&c| is_ident(c)).collect();
+    if name.is_empty() {
+        return None;
+    }
+    Some(name)
+}
+
+/// All identifier-boundary positions of `needle` in `code`.
+fn token_positions(code: &str, needle: &str) -> Vec<usize> {
+    let mut out = Vec::new();
+    let mut from = 0;
+    while let Some(rel) = code[from..].find(needle) {
+        let at = from + rel;
+        let before_ok = at == 0 || !is_ident(code[..at].chars().next_back().unwrap_or(' '));
+        let after = code[at + needle.len()..].chars().next().unwrap_or(' ');
+        if before_ok && !is_ident(after) {
+            out.push(at);
+        }
+        from = at + needle.len();
+    }
+    out
+}
+
+/// One guard live during the [`lock_order`] walk of a fn body.
+struct LiveGuard {
+    /// The binding name.
+    name: String,
+    /// Lock classes acquired on the binding line.
+    classes: Vec<String>,
+    /// Depth the binding line started at; the guard dies when a later line's
+    /// end depth drops below it.
+    scope_depth: usize,
+    /// 1-based binding line.
+    line: usize,
+    /// Whether the binding line carried a literal `.lock()`/`.read()`/
+    /// `.write()` (those are `lock_discipline`'s territory for direct-I/O
+    /// checks; helper-acquired guards are only visible to this rule).
+    file_local: bool,
+}
+
+/// Rule 7 (pass 2), collection half: walks every fn body tracking live
+/// guards, feeds held→acquired edges into the workspace [`LockGraph`], and
+/// flags I/O reached *through resolved calls* while a guard is held (the
+/// cross-file strengthening of `lock_discipline`, which only sees I/O
+/// spelled on the line itself).
+pub fn lock_order_collect(
+    file: &SourceFile,
+    index: &WorkspaceIndex,
+    graph: &CallGraph,
+    io_needles: &[&str],
+    lock_graph: &mut LockGraph,
+    out: &mut Vec<Violation>,
+) {
+    for info in index.fns.iter().filter(|f| f.path == file.path) {
+        let (Some(start), false) = (info.body_start, info.in_test) else {
+            continue;
+        };
+        let mut live: Vec<LiveGuard> = Vec::new();
+        for (lineno, line) in crate::callgraph::body_lines(file, start, info.body_end) {
+            live.retain(|g| line.depth_end >= g.scope_depth);
+            let code = &line.code;
+            live.retain(|g| !code.contains(&format!("drop({})", g.name)));
+            // Everything acquired on this line: direct needles, guard
+            // helpers, and locks transitively reachable through plain calls.
+            let prev = crate::callgraph::prev_code(file, lineno);
+            let mut acquired: Vec<String> = direct_acquisitions(&file.path, code, prev, lineno)
+                .into_iter()
+                .map(|a| a.class)
+                .collect();
+            let file_local = !acquired.is_empty();
+            let mut guard_call = false;
+            for call in calls_on_line(code) {
+                if live.iter().any(|g| g.name == call.receiver_root) {
+                    // Calls through a held guard are the point of holding it.
+                    continue;
+                }
+                let Some(ci) = index.resolve(&call.name) else {
+                    continue;
+                };
+                let callee = &index.fns[ci];
+                if callee.returns_guard() {
+                    guard_call = true;
+                    // A generic relock helper names its lock at the call
+                    // site (`Self::relock(&self.journal)`); helpers with an
+                    // internal lock contribute their own classes.
+                    let fields = self_fields_in_args(&call.args);
+                    if fields.is_empty() {
+                        acquired.extend(graph.reachable_locks[ci].iter().cloned());
+                    } else {
+                        acquired.extend(fields.iter().map(|f| format!("{}:{f}", file.path)));
+                    }
+                } else {
+                    acquired.extend(graph.reachable_locks[ci].iter().cloned());
+                    if !live.is_empty()
+                        && graph.reachable_io[ci]
+                        && !file.is_allowed("lock_order", lineno)
+                    {
+                        let held = &live[live.len() - 1];
+                        out.push(Violation {
+                            rule: "lock_order",
+                            path: file.path.clone(),
+                            line: lineno,
+                            message: format!(
+                                "guard `{}` (line {}) held across call to `{}`, which performs platform/journal I/O",
+                                held.name, held.line, call.name
+                            ),
+                            fingerprint: fingerprint(&line.raw),
+                        });
+                    }
+                }
+            }
+            // Direct I/O on the line while a *helper-acquired* guard is held
+            // (a needle `lock_discipline` cannot attribute to a guard).
+            for needle in io_needles {
+                let Some(at) = code.find(needle) else {
+                    continue;
+                };
+                let root = receiver_root(code, at);
+                if live.iter().any(|g| g.name == root) {
+                    continue;
+                }
+                if let Some(held) = live.iter().rev().find(|g| !g.file_local) {
+                    if !file.is_allowed("lock_order", lineno)
+                        && !file.is_allowed("lock_order", held.line)
+                    {
+                        out.push(Violation {
+                            rule: "lock_order",
+                            path: file.path.clone(),
+                            line: lineno,
+                            message: format!(
+                                "guard `{}` (line {}) held across I/O call `{}`",
+                                held.name,
+                                held.line,
+                                needle.trim_end_matches('(')
+                            ),
+                            fingerprint: fingerprint(&line.raw),
+                        });
+                    }
+                }
+            }
+            acquired.sort();
+            acquired.dedup();
+            for class in &acquired {
+                lock_graph.add_class(class);
+                for g in &live {
+                    for held in &g.classes {
+                        lock_graph.add_edge(held, class, &file.path, lineno);
+                    }
+                }
+            }
+            if !acquired.is_empty() && (file_local || guard_call) {
+                if let Some(name) = let_name(code) {
+                    live.push(LiveGuard {
+                        name,
+                        classes: acquired,
+                        scope_depth: line.depth_start,
+                        line: lineno,
+                        file_local,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Rule 7 (pass 2), reporting half: flags every lock-graph edge that sits on
+/// a cycle — two functions acquiring the same pair of lock classes in
+/// opposite orders can deadlock under concurrent shards.
+pub fn lock_order_cycles(
+    lock_graph: &LockGraph,
+    files: &std::collections::BTreeMap<String, SourceFile>,
+    out: &mut Vec<Violation>,
+) {
+    for edge in lock_graph.cyclic_edges() {
+        let Some(file) = files.get(&edge.path) else {
+            continue;
+        };
+        if file.is_allowed("lock_order", edge.line) {
+            continue;
+        }
+        let raw = file
+            .lines
+            .get(edge.line - 1)
+            .map(|l| l.raw.as_str())
+            .unwrap_or("");
+        out.push(Violation {
+            rule: "lock_order",
+            path: edge.path.clone(),
+            line: edge.line,
+            message: format!(
+                "lock-order cycle: `{}` acquired while holding `{}`; another path takes them in the opposite order",
+                edge.acquired, edge.held
+            ),
+            fingerprint: fingerprint(raw),
+        });
+    }
+}
+
+/// Operators whose operands must share a unit.
+const UNIT_OPS: &[&str] = &["+", "-", "+=", "-=", "<", ">", "<=", ">=", "==", "!="];
+/// Operators that legitimately change units; an operand adjacent to one is
+/// part of a product and is never judged.
+const SCALE_OPS: &[&str] = &["*", "/", "%"];
+
+/// Rule 8 (pass 2): unit-taint analysis over `f64` values. See
+/// [`crate::units`] for the classification tables and operand grammar.
+pub fn unit_taint(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Violation>) {
+    for info in index.fns.iter().filter(|f| f.path == file.path) {
+        let (Some(start), false) = (info.body_start, info.in_test) else {
+            continue;
+        };
+        let mut locals: BTreeMap<String, Unit> = BTreeMap::new();
+        for p in &info.params {
+            if let Some(u) = units::classify_param(&p.name, &p.ty) {
+                locals.insert(p.name.clone(), u);
+            }
+        }
+        for (lineno, line) in crate::callgraph::body_lines(file, start, info.body_end) {
+            if file.is_allowed("unit_taint", lineno) {
+                continue;
+            }
+            let code = &line.code;
+            check_call_args(file, info, index, code, lineno, &locals, out);
+            let toks = units::tokenize(code);
+            // Operands keyed by their end token; earliest start wins so a
+            // full chain is preferred over its own tail.
+            let mut by_end: BTreeMap<usize, (usize, units::Operand)> = BTreeMap::new();
+            for i in 0..toks.len() {
+                if let Some(op) = units::parse_operand(&toks, i) {
+                    by_end.entry(op.end).or_insert((i, op));
+                }
+            }
+            for (t, tok) in toks.iter().enumerate() {
+                let units::Tok::Op(op) = tok else {
+                    continue;
+                };
+                let is_unit_op = UNIT_OPS.contains(&op.as_str());
+                let is_assign = op == "=";
+                if !is_unit_op && !is_assign && op != ":" {
+                    continue;
+                }
+                let Some((a_start, a)) = by_end.get(&t) else {
+                    continue;
+                };
+                let Some(b) = units::parse_operand(&toks, t + 1) else {
+                    continue;
+                };
+                // Skip anything adjacent to a product: `mins * rate` changes
+                // units by design.
+                let a_scaled = *a_start > 0
+                    && matches!(&toks[a_start - 1], units::Tok::Op(p) if SCALE_OPS.contains(&p.as_str()));
+                let b_scaled = matches!(toks.get(b.end), Some(units::Tok::Op(p)) if SCALE_OPS.contains(&p.as_str()));
+                if a_scaled || b_scaled {
+                    continue;
+                }
+                let gate = |name: &str| index.is_f64_field(name);
+                let ua = units::operand_unit(a, &locals, gate);
+                let ub = units::operand_unit(&b, &locals, gate);
+                if op == ":" {
+                    // Struct-literal field init: `required_accuracy: 1.5,`.
+                    if a.segments == 1
+                        && !a.is_call
+                        && ua == Some(Unit::Probability)
+                        && out_of_prob_range(b.literal)
+                    {
+                        push_unit(
+                            file,
+                            lineno,
+                            line,
+                            out,
+                            format!(
+                                "probability field `{}` initialized with literal outside [0, 1]",
+                                a.last
+                            ),
+                        );
+                    }
+                    continue;
+                }
+                if is_unit_op || is_assign {
+                    if let (Some(ua), Some(ub)) = (ua, ub) {
+                        if ua != ub {
+                            let verb = if is_assign { "assigns" } else { "mixes" };
+                            push_unit(file, lineno, line, out, format!(
+                                "{verb} {} `{}` and {} `{}` (op `{op}`); convert explicitly or rename",
+                                ua.name(),
+                                display_name(a),
+                                ub.name(),
+                                display_name(&b)
+                            ));
+                        }
+                    }
+                    if ua == Some(Unit::Probability) && out_of_prob_range(b.literal) {
+                        push_unit(
+                            file,
+                            lineno,
+                            line,
+                            out,
+                            format!(
+                                "probability `{}` {} literal outside [0, 1]",
+                                display_name(a),
+                                if is_assign {
+                                    "assigned"
+                                } else {
+                                    "compared against"
+                                }
+                            ),
+                        );
+                    }
+                    if ub == Some(Unit::Probability) && out_of_prob_range(a.literal) {
+                        push_unit(
+                            file,
+                            lineno,
+                            line,
+                            out,
+                            format!(
+                                "literal outside [0, 1] compared against probability `{}`",
+                                display_name(&b)
+                            ),
+                        );
+                    }
+                }
+                // Taint propagation: `let elapsed = reclaimed_minutes();`
+                if is_assign && a.segments == 1 && !a.is_call {
+                    if let Some(ub) = ub {
+                        if units::classify_name(&a.last).is_none() {
+                            locals.entry(a.last.clone()).or_insert(ub);
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Human-readable operand name for messages.
+fn display_name(op: &units::Operand) -> String {
+    if let Some(v) = op.literal {
+        return format!("{v}");
+    }
+    if op.is_call {
+        return format!("{}()", op.last);
+    }
+    op.last.clone()
+}
+
+/// True when a literal value exists and falls outside `[0, 1]`.
+fn out_of_prob_range(literal: Option<f64>) -> bool {
+    literal.is_some_and(|v| !(0.0..=1.0).contains(&v))
+}
+
+/// Emits one `unit_taint` violation.
+fn push_unit(
+    file: &SourceFile,
+    lineno: usize,
+    line: &crate::scan::SourceLine,
+    out: &mut Vec<Violation>,
+    message: String,
+) {
+    out.push(Violation {
+        rule: "unit_taint",
+        path: file.path.clone(),
+        line: lineno,
+        message,
+        fingerprint: fingerprint(&line.raw),
+    });
+}
+
+/// Checks simple call arguments against the units of the callee's `f64`
+/// parameters (unique-name resolution only).
+fn check_call_args(
+    file: &SourceFile,
+    caller: &crate::index::FnInfo,
+    index: &WorkspaceIndex,
+    code: &str,
+    lineno: usize,
+    locals: &BTreeMap<String, Unit>,
+    out: &mut Vec<Violation>,
+) {
+    for call in calls_on_line(code) {
+        if call.name == caller.name {
+            continue;
+        }
+        let Some(ci) = index.resolve(&call.name) else {
+            continue;
+        };
+        let callee = &index.fns[ci];
+        if !callee.params.iter().any(|p| p.ty.contains("f64")) {
+            continue;
+        }
+        let mut pieces = split_args(&call.args);
+        if !call.complete && !pieces.is_empty() {
+            // The call continues on the next line; the last piece may be cut
+            // mid-argument.
+            pieces.pop();
+        }
+        for (piece, param) in pieces.iter().zip(&callee.params) {
+            let Some(pu) = units::classify_param(&param.name, &param.ty) else {
+                continue;
+            };
+            let toks = units::tokenize(piece.trim());
+            let Some(operand) = units::parse_operand(&toks, 0) else {
+                continue;
+            };
+            if operand.end != toks.len() {
+                continue; // not a single simple operand
+            }
+            if pu == Unit::Probability && out_of_prob_range(operand.literal) {
+                out.push(Violation {
+                    rule: "unit_taint",
+                    path: file.path.clone(),
+                    line: lineno,
+                    message: format!(
+                        "literal outside [0, 1] passed to `{}` parameter `{}` (probability)",
+                        call.name, param.name
+                    ),
+                    fingerprint: fingerprint(code),
+                });
+                continue;
+            }
+            let au = units::operand_unit(&operand, locals, |n| index.is_f64_field(n));
+            if let Some(au) = au {
+                if au != pu {
+                    out.push(Violation {
+                        rule: "unit_taint",
+                        path: file.path.clone(),
+                        line: lineno,
+                        message: format!(
+                            "{} `{}` passed to `{}` parameter `{}` ({})",
+                            au.name(),
+                            display_name(&operand),
+                            call.name,
+                            param.name,
+                            pu.name()
+                        ),
+                        fingerprint: fingerprint(code),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Splits an argument list at top-level commas.
+fn split_args(args: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut start = 0usize;
+    for (i, c) in args.char_indices() {
+        match c {
+            '(' | '[' | '{' | '<' => depth += 1,
+            ')' | ']' | '}' | '>' => depth -= 1,
+            ',' if depth <= 0 => {
+                out.push(args[start..i].to_string());
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    out.push(args[start..].to_string());
+    out
+}
+
+/// Configuration for the [`protocol_order`] rule: the publish/collect call
+/// families, the ticket type they hand off, and the journal paths whose
+/// `append` ordering is checked.
+#[derive(Debug, Clone, Default)]
+pub struct ProtocolSpec {
+    /// Calls that mint a ticket (`publish_batch` family).
+    pub publish_calls: Vec<&'static str>,
+    /// Calls that consume one (`collect_batch` family).
+    pub collect_calls: Vec<&'static str>,
+    /// The ticket type's bare name (empty disables the ticket half).
+    pub ticket_type: &'static str,
+    /// Path substrings of files whose journal `append` ordering is checked.
+    pub journal_paths: Vec<&'static str>,
+}
+
+/// Rule 9 (pass 2): protocol ordering. Half one: every ticket minted by a
+/// publish-family call must be consumed (forwarded, destructured, or
+/// collected); an explicit `drop` needs a `cdas-allow(protocol_order)`.
+/// Half two: inside journal/recovery files, a `.append(` recording an event
+/// must precede the same-block state mutations it records — mutate-then-log
+/// loses the mutation if the append fails.
+pub fn protocol_order(
+    file: &SourceFile,
+    spec: &ProtocolSpec,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Violation>,
+) {
+    if !spec.ticket_type.is_empty() {
+        protocol_tickets(file, spec, index, out);
+    }
+    if spec.journal_paths.iter().any(|p| file.path.contains(p)) {
+        protocol_journal(file, index, out);
+    }
+}
+
+/// The ticket half of [`protocol_order`].
+fn protocol_tickets(
+    file: &SourceFile,
+    spec: &ProtocolSpec,
+    index: &WorkspaceIndex,
+    out: &mut Vec<Violation>,
+) {
+    for info in index.fns.iter().filter(|f| f.path == file.path) {
+        let (Some(start), false) = (info.body_start, info.in_test) else {
+            continue;
+        };
+        // Tickets taken by value as parameters are tracked from the top.
+        let mut tracked: Vec<(String, usize, usize)> = Vec::new(); // (name, report line, scan-from line)
+        for p in &info.params {
+            if p.ty == spec.ticket_type {
+                tracked.push((p.name.clone(), info.decl_line, start));
+            }
+        }
+        for (lineno, line) in crate::callgraph::body_lines(file, start, info.body_end) {
+            let code = &line.code;
+            if find_token(code, "fn").is_some() {
+                continue; // decl lines mention the family's own names
+            }
+            if !spec
+                .publish_calls
+                .iter()
+                .any(|pc| find_token(code, pc).is_some())
+            {
+                continue;
+            }
+            // Find the `let` of the statement (it may sit a few lines up for
+            // a rustfmt-broken method chain).
+            let mut bind = None;
+            let mut k = lineno;
+            loop {
+                let kcode = &file.lines[k - 1].code;
+                if find_token(kcode, "let").is_some() {
+                    bind = Some(k);
+                    break;
+                }
+                if k <= start || k + 6 < lineno {
+                    break;
+                }
+                let above = file.lines[k - 2].code.trim_end();
+                if above.ends_with(';') || above.ends_with('{') || above.ends_with('}') {
+                    break;
+                }
+                k -= 1;
+            }
+            let Some(bind_line) = bind else {
+                continue; // returned or passed straight through; must_use covers discards
+            };
+            let Some(name) = let_name(&file.lines[bind_line - 1].code) else {
+                continue;
+            };
+            if name == "_" || name.starts_with('_') {
+                if !file.is_allowed("protocol_order", bind_line) {
+                    out.push(Violation {
+                        rule: "protocol_order",
+                        path: file.path.clone(),
+                        line: bind_line,
+                        message: format!(
+                            "ticket bound to `{name}` is silently discarded; collect it or drop it under cdas-allow(protocol_order)"
+                        ),
+                        fingerprint: fingerprint(&file.lines[bind_line - 1].raw),
+                    });
+                }
+                continue;
+            }
+            tracked.push((name, bind_line, lineno + 1));
+        }
+        for (name, report_line, scan_from) in tracked {
+            if file.is_allowed("protocol_order", report_line) {
+                continue;
+            }
+            let mut consumed = false;
+            let mut drop_violation = false;
+            'scan: for (lineno, line) in
+                crate::callgraph::body_lines(file, scan_from, info.body_end)
+            {
+                let code = &line.code;
+                for at in token_positions(code, &name) {
+                    let after = code[at + name.len()..].chars().find(|c| !c.is_whitespace());
+                    match after {
+                        Some(':') => continue, // its own declaration
+                        Some('.') => continue, // borrow/field/method access
+                        _ => {}
+                    }
+                    if code[..at].ends_with("drop(") {
+                        if file.is_allowed("protocol_order", lineno) {
+                            consumed = true;
+                        } else {
+                            drop_violation = true;
+                            out.push(Violation {
+                                rule: "protocol_order",
+                                path: file.path.clone(),
+                                line: lineno,
+                                message: format!(
+                                    "ticket `{name}` dropped without cdas-allow(protocol_order); a dropped ticket is a published batch nobody collects"
+                                ),
+                                fingerprint: fingerprint(&line.raw),
+                            });
+                        }
+                        break 'scan;
+                    }
+                    // Any other whole-value use consumes it: forwarded to a
+                    // collect-family call, destructured, stored, or returned.
+                    consumed = true;
+                    break 'scan;
+                }
+            }
+            if !consumed && !drop_violation {
+                out.push(Violation {
+                    rule: "protocol_order",
+                    path: file.path.clone(),
+                    line: report_line,
+                    message: format!(
+                        "ticket `{name}` never reaches a collect_batch-family call; forward it or drop it under cdas-allow(protocol_order)"
+                    ),
+                    fingerprint: fingerprint(&file.lines[report_line - 1].raw),
+                });
+            }
+        }
+    }
+}
+
+/// The journal half of [`protocol_order`]: walk back from each `.append(`
+/// through the same block; a preceding mutation of the same receiver means
+/// the state changed before the record that justifies it was durable.
+fn protocol_journal(file: &SourceFile, index: &WorkspaceIndex, out: &mut Vec<Violation>) {
+    const MUTATORS: &[&str] = &[".push(", ".insert(", ".extend("];
+    for info in index.fns.iter().filter(|f| f.path == file.path) {
+        let (Some(start), false) = (info.body_start, info.in_test) else {
+            continue;
+        };
+        for (lineno, line) in crate::callgraph::body_lines(file, start, info.body_end) {
+            let code = &line.code;
+            let Some(at) = code.find(".append(") else {
+                continue;
+            };
+            let root = receiver_root(code, at);
+            if root.is_empty() {
+                continue;
+            }
+            let depth = line.depth_start;
+            let mut j = lineno;
+            while j > start {
+                j -= 1;
+                let prev = &file.lines[j - 1];
+                if prev.in_test {
+                    continue;
+                }
+                if prev.depth_start < depth {
+                    break; // left the block (its opener)
+                }
+                if prev.depth_start != depth {
+                    continue; // nested sub-block content
+                }
+                if let Some(snippet) = mutation_of(&prev.code, &root, MUTATORS) {
+                    if file.is_allowed("protocol_order", j)
+                        || file.is_allowed("protocol_order", lineno)
+                    {
+                        continue;
+                    }
+                    out.push(Violation {
+                        rule: "protocol_order",
+                        path: file.path.clone(),
+                        line: j,
+                        message: format!(
+                            "`{snippet}` mutates `{root}` before the journal append on line {lineno}; append first so a failed write cannot desync state"
+                        ),
+                        fingerprint: fingerprint(&prev.raw),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// If `code` mutates state rooted at `root` (`root.x += ...`, `root.y.push(`),
+/// returns a short snippet for the message.
+fn mutation_of(code: &str, root: &str, mutators: &[&str]) -> Option<String> {
+    for op in ["+=", "-="] {
+        if let Some(at) = code.find(op) {
+            let head = code[..at].trim_end();
+            if receiver_root(head, head.len()) == root {
+                return Some(code.trim().trim_end_matches(';').to_string());
+            }
+        }
+    }
+    for needle in mutators {
+        if let Some(at) = code.find(needle) {
+            if receiver_root(code, at) == root {
+                return Some(code.trim().trim_end_matches(';').to_string());
+            }
+        }
+    }
+    None
 }
 
 /// Rule 6: allow-annotation hygiene. Malformed `cdas-allow` comments and

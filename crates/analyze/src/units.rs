@@ -1,0 +1,375 @@
+//! Unit-taint analysis: classify `f64` values into physical units from
+//! declaration-site naming (CDAS accounting lives entirely in bare `f64`s)
+//! and flag cross-unit mixing.
+//!
+//! Units are assigned lexically — `reclaimed_minutes` is minutes, `hit_cost`
+//! is dollars, `required_accuracy` is a probability — gated by the symbol
+//! index's struct-field table where type information exists. Taints
+//! propagate through `let` bindings within a function and through call
+//! arguments via unique-name resolution. Only additive arithmetic (`+`, `-`,
+//! `+=`, `-=`) and comparisons are flagged: multiplication and division
+//! legitimately change units, and any operand more complex than one
+//! identifier chain or literal is skipped rather than guessed at.
+
+use std::collections::BTreeMap;
+
+/// A physical unit the accounting code traffics in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Unit {
+    /// Simulated time (the clock, `*_at` stamps, makespans, latencies).
+    Minutes,
+    /// Host wall-clock measurements (`wall_seconds`).
+    Seconds,
+    /// Money (costs, fees, budgets, charges, rewards).
+    Dollars,
+    /// A probability or fraction in `[0, 1]`.
+    Probability,
+    /// Log-space quantities (log-odds, log-probabilities, `ln_*` terms).
+    LogOdds,
+    /// Dimensionless tallies (workers, answers, samples, ticks).
+    Count,
+}
+
+impl Unit {
+    /// Human-readable name used in violation messages.
+    pub fn name(self) -> &'static str {
+        match self {
+            Unit::Minutes => "minutes",
+            Unit::Seconds => "seconds",
+            Unit::Dollars => "dollars",
+            Unit::Probability => "probability",
+            Unit::LogOdds => "log-odds",
+            Unit::Count => "count",
+        }
+    }
+}
+
+/// Classifies an identifier by its name alone. `None` means unit-neutral.
+pub fn classify_name(name: &str) -> Option<Unit> {
+    let tokens: Vec<&str> = name.split('_').filter(|t| !t.is_empty()).collect();
+    let has = |t: &str| tokens.contains(&t);
+    // Rates (`questions_per_minute`) are neither of their constituent units.
+    if has("per") {
+        return None;
+    }
+    if has("logit") || has("odds") {
+        return Some(Unit::LogOdds);
+    }
+    if tokens.len() > 1 && (tokens[0] == "ln" || tokens[0] == "log") {
+        return Some(Unit::LogOdds);
+    }
+    // Counts win over value units: `charge_count` tallies charges, it does
+    // not hold dollars. Plural `charges` names a record container here, so it
+    // is deliberately absent from the dollars list below.
+    if has("count")
+        || has("workers")
+        || has("answers")
+        || has("questions")
+        || has("samples")
+        || has("votes")
+        || has("ticks")
+        || has("hits")
+        || name == "n"
+        || name == "k"
+        || name == "len"
+    {
+        return Some(Unit::Count);
+    }
+    if has("accuracy") || has("probability") || has("prob") || has("confidence") || has("ratio") {
+        return Some(Unit::Probability);
+    }
+    if name == "p" || name == "mu" {
+        return Some(Unit::Probability);
+    }
+    if has("cost")
+        || has("fee")
+        || has("budget")
+        || has("price")
+        || has("dollars")
+        || has("spent")
+        || has("charge")
+        || has("charged")
+        || has("reward")
+        || has("savings")
+        || has("saving")
+        || has("amount")
+    {
+        return Some(Unit::Dollars);
+    }
+    if has("seconds") || has("secs") {
+        return Some(Unit::Seconds);
+    }
+    if has("minutes")
+        || has("minute")
+        || has("makespan")
+        || has("latency")
+        || has("deadline")
+        || tokens.last() == Some(&"at")
+        || name == "now"
+        || name.starts_with("time_to")
+    {
+        return Some(Unit::Minutes);
+    }
+    None
+}
+
+/// Classifies a parameter: only `f64`-typed (or `Option<f64>`) parameters
+/// carry units; everything else is neutral regardless of name.
+pub fn classify_param(name: &str, ty: &str) -> Option<Unit> {
+    if !ty.contains("f64") || ty.contains('&') {
+        return None;
+    }
+    classify_name(name)
+}
+
+/// One lexical token of a stripped code line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// An identifier or keyword.
+    Ident(String),
+    /// A numeric literal with its parsed value (`None` when unparseable).
+    Num(Option<f64>),
+    /// An operator or punctuation run (`+`, `+=`, `::`, `..=`, ...).
+    Op(String),
+    /// Open bracket: `(`, `[`, `{`.
+    Open(char),
+    /// Close bracket: `)`, `]`, `}`.
+    Close(char),
+}
+
+fn is_ident(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes one stripped code line.
+pub fn tokenize(code: &str) -> Vec<Tok> {
+    let chars: Vec<char> = code.chars().collect();
+    let mut out = Vec::new();
+    let mut i = 0usize;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                i += 1;
+            }
+            // A fractional part — but not a `..` range, method call, or field.
+            if i + 1 < chars.len() && chars[i] == '.' && chars[i + 1].is_ascii_digit() {
+                i += 1;
+                while i < chars.len() && (chars[i].is_ascii_digit() || chars[i] == '_') {
+                    i += 1;
+                }
+            }
+            // Exponent.
+            if i < chars.len() && (chars[i] == 'e' || chars[i] == 'E') {
+                let mut j = i + 1;
+                if j < chars.len() && (chars[j] == '+' || chars[j] == '-') {
+                    j += 1;
+                }
+                if j < chars.len() && chars[j].is_ascii_digit() {
+                    i = j;
+                    while i < chars.len() && chars[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                }
+            }
+            // Type suffix (`1.0f64`, `4u32`).
+            while i < chars.len() && is_ident(chars[i]) {
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().filter(|&&c| c != '_').collect();
+            let cleaned = text.trim_end_matches("f64").trim_end_matches("f32");
+            out.push(Tok::Num(cleaned.parse::<f64>().ok()));
+            continue;
+        }
+        if is_ident(c) {
+            let start = i;
+            while i < chars.len() && is_ident(chars[i]) {
+                i += 1;
+            }
+            out.push(Tok::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        match c {
+            '(' | '[' | '{' => {
+                out.push(Tok::Open(c));
+                i += 1;
+            }
+            ')' | ']' | '}' => {
+                out.push(Tok::Close(c));
+                i += 1;
+            }
+            _ => {
+                // Greedily take multi-char operators.
+                const MULTI: &[&str] = &[
+                    "..=", "...", "<<=", ">>=", "->", "=>", "::", "..", "==", "!=", "<=", ">=",
+                    "+=", "-=", "*=", "/=", "%=", "&&", "||", "<<", ">>", "&=", "|=", "^=",
+                ];
+                let rest: String = chars[i..chars.len().min(i + 3)].iter().collect();
+                let mut matched = None;
+                for m in MULTI {
+                    if rest.starts_with(m) {
+                        matched = Some(*m);
+                        break;
+                    }
+                }
+                match matched {
+                    Some(m) => {
+                        out.push(Tok::Op(m.to_string()));
+                        i += m.len();
+                    }
+                    None => {
+                        out.push(Tok::Op(c.to_string()));
+                        i += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A parsed simple operand: one identifier chain (fields, calls, indexes) or
+/// one numeric literal, optionally suffixed `as f64`.
+#[derive(Debug, Clone)]
+pub struct Operand {
+    /// Last named segment of the chain (classification key); empty for
+    /// literals.
+    pub last: String,
+    /// First segment (for local-variable lookups on single-segment chains).
+    pub first: String,
+    /// Number of named segments.
+    pub segments: usize,
+    /// Whether the final segment was a call (`total_cost()`).
+    pub is_call: bool,
+    /// Whether the chain contains any field access or index.
+    pub literal: Option<f64>,
+    /// Token index one past the operand.
+    pub end: usize,
+}
+
+/// Tries to parse a simple operand starting at token `at`. Returns `None`
+/// when the tokens there do not form one (operators, brackets, ...).
+pub fn parse_operand(toks: &[Tok], at: usize) -> Option<Operand> {
+    let mut i = at;
+    match toks.get(i)? {
+        Tok::Num(v) => {
+            let mut end = i + 1;
+            // `1.0 as f64` — pointless but legal.
+            if matches!(toks.get(end), Some(Tok::Ident(a)) if a == "as") {
+                end += 2;
+            }
+            return Some(Operand {
+                last: String::new(),
+                first: String::new(),
+                segments: 0,
+                is_call: false,
+                literal: *v,
+                end,
+            });
+        }
+        Tok::Ident(_) => {}
+        _ => return None,
+    }
+    let mut last = String::new();
+    let mut first = String::new();
+    let mut segments = 0usize;
+    let mut is_call = false;
+    while let Some(Tok::Ident(name)) = toks.get(i) {
+        if name == "as" {
+            // `x as f64` — consume the cast and stop.
+            i += 2;
+            break;
+        }
+        last = name.clone();
+        if segments == 0 {
+            first = name.clone();
+        }
+        segments += 1;
+        is_call = false;
+        i += 1;
+        // Optional call arguments and/or index brackets.
+        while let Some(Tok::Open(open @ ('(' | '['))) = toks.get(i) {
+            if *open == '(' {
+                is_call = true;
+            }
+            let mut depth = 0i32;
+            let mut closed = false;
+            while let Some(t) = toks.get(i) {
+                match t {
+                    Tok::Open(_) => depth += 1,
+                    Tok::Close(_) => {
+                        depth -= 1;
+                        if depth <= 0 {
+                            i += 1;
+                            closed = true;
+                            break;
+                        }
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            if !closed {
+                // The bracket run continues on the next line — too
+                // little context to judge this operand.
+                return None;
+            }
+        }
+        // Chain continues through `.` or `::`.
+        match toks.get(i) {
+            Some(Tok::Op(op)) if op == "." || op == "::" => {
+                i += 1;
+                continue;
+            }
+            _ => break,
+        }
+    }
+    if segments == 0 {
+        return None;
+    }
+    // `x as f64` after a chain.
+    if matches!(toks.get(i), Some(Tok::Ident(a)) if a == "as") {
+        i += 2;
+    }
+    Some(Operand {
+        last,
+        first,
+        segments,
+        is_call,
+        literal: None,
+        end: i,
+    })
+}
+
+/// The operand-level unit of one parsed operand, given the per-function
+/// local table and the workspace field-type gate.
+pub fn operand_unit(
+    op: &Operand,
+    locals: &BTreeMap<String, Unit>,
+    is_f64_field: impl Fn(&str) -> bool,
+) -> Option<Unit> {
+    if op.literal.is_some() {
+        return None;
+    }
+    if op.segments == 1 && !op.is_call {
+        if let Some(&u) = locals.get(&op.last) {
+            return Some(u);
+        }
+        return classify_name(&op.last);
+    }
+    if op.is_call {
+        // Calls classify by the called name: `total_cost()` is dollars,
+        // `max(..)`/`ln()` are neutral.
+        return classify_name(&op.last);
+    }
+    // Field access: gated on some struct declaring the field as f64.
+    if is_f64_field(&op.last) {
+        return classify_name(&op.last);
+    }
+    None
+}

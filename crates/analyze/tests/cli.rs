@@ -33,6 +33,9 @@ fn check_exits_nonzero_on_each_seeded_fixture_violation() {
         "lock_discipline",
         "must_use",
         "allow_syntax",
+        "lock_order",
+        "unit_taint",
+        "protocol_order",
     ] {
         assert!(
             stdout.contains(&format!("[{rule}]")),
@@ -75,6 +78,74 @@ fn json_output_is_machine_readable() {
     assert!(stdout.contains("\"violations\""));
     assert!(stdout.contains("\"rule\": \"panic_freedom\""));
     assert!(stdout.contains("\"stale_baseline_entries\": 0"));
+}
+
+#[test]
+fn cross_file_rules_report_the_seeded_sites() {
+    let ws = fixtures().join("ws-violations");
+    let out = analyze(&["--check", "--root", ws.to_str().expect("utf-8 path")]);
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    // lock_order: both edges of the left/right cycle are reported.
+    assert!(
+        stdout.contains("lock-order cycle"),
+        "no cycle message:\n{stdout}"
+    );
+    assert!(stdout.contains("lockorder.rs"));
+    // unit_taint: the three seeded confusions.
+    assert!(
+        stdout.contains("mixes dollars `total_cost` and minutes `extra_minutes`"),
+        "minutes-into-dollars not flagged:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("probability `accuracy` assigned literal outside [0, 1]"),
+        "probability literal not flagged:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("minutes `reclaimed_minutes` passed to `spend` parameter `cost` (dollars)"),
+        "call-arg mismatch not flagged:\n{stdout}"
+    );
+    // protocol_order: the unannotated drop and the mutate-before-append.
+    assert!(
+        stdout.contains("ticket `orphan` dropped without cdas-allow"),
+        "orphan drop not flagged:\n{stdout}"
+    );
+    assert!(
+        stdout.contains("mutates `self` before the journal append"),
+        "mutate-before-append not flagged:\n{stdout}"
+    );
+}
+
+#[test]
+fn github_format_emits_workflow_annotations() {
+    let ws = fixtures().join("ws-violations");
+    let out = analyze(&[
+        "--check",
+        "--root",
+        ws.to_str().expect("utf-8 path"),
+        "--format",
+        "github",
+    ]);
+    assert_eq!(out.status.code(), Some(1));
+    let stdout = String::from_utf8(out.stdout).expect("utf-8");
+    let annotation = stdout
+        .lines()
+        .find(|l| l.starts_with("::error file="))
+        .unwrap_or_else(|| panic!("no ::error annotation:\n{stdout}"));
+    assert!(
+        annotation.contains(",line="),
+        "annotation lacks line: {annotation}"
+    );
+    assert!(
+        annotation.contains("::"),
+        "annotation lacks message: {annotation}"
+    );
+    // Every new finding gets exactly one annotation; the summary line stays.
+    let errors = stdout.lines().filter(|l| l.starts_with("::error")).count();
+    assert!(errors > 0);
+    assert!(
+        stdout.lines().any(|l| l.starts_with("cdas-analyze: ")),
+        "summary line missing:\n{stdout}"
+    );
 }
 
 #[test]

@@ -1,0 +1,31 @@
+//! Fixture: the clean counterpart — same shapes, consistent units. Scaling
+//! by a rate (multiplication) legitimately changes units and stays silent.
+
+pub struct Meter {
+    pub total_cost: f64,
+    pub reclaimed_minutes: f64,
+    pub accuracy: f64,
+    pub cost_per_minute: f64,
+}
+
+impl Meter {
+    pub fn absorb(&mut self, extra_cost: f64) {
+        self.total_cost += extra_cost;
+    }
+
+    pub fn absorb_time(&mut self, extra_minutes: f64) {
+        self.total_cost += extra_minutes * self.cost_per_minute;
+    }
+
+    pub fn reset(&mut self) {
+        self.accuracy = 0.5;
+    }
+}
+
+pub fn spend(cost: f64) -> f64 {
+    cost
+}
+
+pub fn use_correctly(m: &Meter) -> f64 {
+    spend(m.total_cost)
+}

@@ -1,0 +1,14 @@
+//! Fixture: the clean counterpart — append first, then mutate the state the
+//! record justifies.
+
+pub struct Recovery {
+    hits: u64,
+    journal: Journal,
+}
+
+impl Recovery {
+    pub fn on_commit(&mut self, record: u64) {
+        self.journal.append(record);
+        self.hits += 1;
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: the clean counterpart — every function acquires `left` before
+//! `right`, so the acquisition graph has one edge and no cycle.
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        *a + *b
+    }
+
+    pub fn forward_again(&self) -> u32 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        *b - *a
+    }
+}

@@ -1,0 +1,32 @@
+//! Fixture: the clean counterpart — every ticket reaches the collect family,
+//! and the one deliberate drop carries an allow annotation.
+
+#[must_use]
+pub struct BatchTicket {
+    pub hit: u64,
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn publish_batch(&self) -> BatchTicket {
+        BatchTicket { hit: 1 }
+    }
+
+    pub fn collect_batch(&self, ticket: BatchTicket) -> u64 {
+        let BatchTicket { hit } = ticket;
+        hit
+    }
+
+    pub fn run(&self) -> u64 {
+        let ticket = self.publish_batch();
+        self.collect_batch(ticket)
+    }
+
+    pub fn run_and_abandon(&self) -> u64 {
+        let ticket = self.publish_batch();
+        // cdas-allow(protocol_order): fixture exercises the sanctioned drop
+        drop(ticket);
+        0
+    }
+}

@@ -1,0 +1,27 @@
+//! Fixture: seeds three unit-taint violations — minutes added to a dollar
+//! total, a probability field assigned a literal outside [0, 1], and a
+//! minutes value passed to a dollars parameter.
+
+pub struct Meter {
+    pub total_cost: f64,
+    pub reclaimed_minutes: f64,
+    pub accuracy: f64,
+}
+
+impl Meter {
+    pub fn absorb(&mut self, extra_minutes: f64) {
+        self.total_cost += extra_minutes;
+    }
+
+    pub fn reset(&mut self) {
+        self.accuracy = 1.5;
+    }
+}
+
+pub fn spend(cost: f64) -> f64 {
+    cost
+}
+
+pub fn misuse(m: &Meter) -> f64 {
+    spend(m.reclaimed_minutes)
+}

@@ -1,0 +1,14 @@
+//! Fixture: seeds the journal half of protocol-order — the counter is
+//! bumped before the append that records it.
+
+pub struct Recovery {
+    hits: u64,
+    journal: Journal,
+}
+
+impl Recovery {
+    pub fn on_commit(&mut self, record: u64) {
+        self.hits += 1;
+        self.journal.append(record);
+    }
+}

@@ -1,0 +1,22 @@
+//! Fixture: seeds a lock-order cycle — `forward` takes `left` then `right`,
+//! `backward` takes them in the opposite order.
+use std::sync::Mutex;
+
+pub struct Pair {
+    left: Mutex<u32>,
+    right: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn forward(&self) -> u32 {
+        let a = self.left.lock();
+        let b = self.right.lock();
+        *a + *b
+    }
+
+    pub fn backward(&self) -> u32 {
+        let b = self.right.lock();
+        let a = self.left.lock();
+        *a + *b
+    }
+}

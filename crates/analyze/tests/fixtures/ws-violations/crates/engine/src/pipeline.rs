@@ -1,0 +1,27 @@
+//! Fixture: seeds a protocol-order violation — a second ticket is minted and
+//! dropped without a `cdas-allow(protocol_order)` annotation.
+
+#[must_use]
+pub struct BatchTicket {
+    pub hit: u64,
+}
+
+pub struct Engine;
+
+impl Engine {
+    pub fn publish_batch(&self) -> BatchTicket {
+        BatchTicket { hit: 1 }
+    }
+
+    pub fn collect_batch(&self, ticket: BatchTicket) -> u64 {
+        let BatchTicket { hit } = ticket;
+        hit
+    }
+
+    pub fn run(&self) -> u64 {
+        let ticket = self.publish_batch();
+        let orphan = self.publish_batch();
+        drop(orphan);
+        self.collect_batch(ticket)
+    }
+}

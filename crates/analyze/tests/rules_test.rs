@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use cdas_analyze::rules::CodecSpec;
+use cdas_analyze::rules::{CodecSpec, ProtocolSpec};
 use cdas_analyze::scan::SourceFile;
 use cdas_analyze::{fingerprint, run_on, Config, Violation};
 
@@ -23,6 +23,7 @@ fn line_rules_config() -> Config {
         codecs: vec![],
         must_use_types: vec![],
         io_needles: vec![".append(", ".sync("],
+        protocol: ProtocolSpec::default(),
     }
 }
 
@@ -84,6 +85,8 @@ fn panic_freedom_clean_cases() {
         "struct S;\n",
         "fn h() -> Vec<u32> { vec![1, 2] }\n",
         "fn s() -> &'static str { \"do not unwrap() me\" } // unwrap() in comment\n",
+        "fn k(ranked: &mut [(u32, f64)]) { ranked.sort(); }\n",
+        "fn m(arr: &[u8; 4]) -> &u8 { let [first, ..] = arr; first }\n",
     );
     assert!(findings(clean).is_empty(), "{:?}", findings(clean));
 }

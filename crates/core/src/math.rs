@@ -31,8 +31,11 @@ pub fn ln_gamma(x: f64) -> f64 {
         return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
     }
     let x = x - 1.0;
-    let mut acc = COEFFS[0];
-    for (i, &c) in COEFFS.iter().enumerate().skip(1) {
+    // The constant term seeds the accumulator; the remaining coefficients are
+    // each divided by a shifted argument.
+    let mut coeffs = COEFFS.iter().enumerate();
+    let mut acc = coeffs.next().map_or(0.0, |(_, &c)| c);
+    for (i, &c) in coeffs {
         acc += c / (x + i as f64);
     }
     let t = x + 7.5;
@@ -98,7 +101,16 @@ pub fn binomial_pmf(n: u64, k: u64, p: f64) -> f64 {
 ///
 /// This is the quantity `E[P_{n/2}]` of Theorem 1 when `k = ⌈n/2⌉`; it is used by the
 /// tests as an independent reference for Algorithm 3's recurrence-based computation.
+///
+/// Inherits [`binomial_pmf`]'s contract: a probability outside `[0, 1]` (or
+/// NaN) yields NaN rather than panicking. Debug builds assert early so the
+/// bad estimate is caught at the call site instead of surfacing as a NaN sum
+/// far downstream.
 pub fn binomial_tail(n: u64, k: u64, p: f64) -> f64 {
+    debug_assert!(
+        (0.0..=1.0).contains(&p),
+        "binomial_tail requires p in [0, 1], got {p}"
+    );
     (k..=n).map(|i| binomial_pmf(n, i, p)).sum::<f64>().min(1.0)
 }
 
@@ -220,6 +232,15 @@ mod tests {
         assert!(binomial_pmf(10, 5, -0.1).is_nan());
         assert!(binomial_pmf(10, 5, 1.5).is_nan());
         assert!(binomial_pmf(10, 5, f64::NAN).is_nan());
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "binomial_tail requires p in [0, 1]")]
+    fn binomial_tail_asserts_valid_p_in_debug_builds() {
+        // Release builds propagate NaN per the documented contract; debug
+        // builds catch the bad estimate at the call site.
+        let _ = binomial_tail(10, 5, 1.5);
     }
 
     #[test]

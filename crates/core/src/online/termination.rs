@@ -126,7 +126,8 @@ impl TerminationConfig {
         let remaining = self.partial.remaining(observation);
         let unseen_confidence = self.partial.unseen_worker_confidence(observation);
         let ranked = rank(sums);
-        let (best, _best_sum) = ranked[0].clone();
+        // Non-empty observation (checked above) means at least one label.
+        let (best, _best_sum) = ranked.first().cloned().ok_or(CdasError::EmptyObservation)?;
         // The runner-up is the second observed answer; when every vote agrees, the
         // adversarial completion targets a fresh (never observed) answer with sum 0.
         let (second, second_sum) = ranked
@@ -207,13 +208,20 @@ fn current_probabilities(
         terms.push(((m - k) as f64).ln());
     }
     let denom = log_sum_exp(&terms);
-    let p_best = (sums[best] - denom).exp();
+    let p_best = (sum_of(sums, best) - denom).exp();
     let p_second = match second {
-        Some(l) => (sums[l] - denom).exp(),
+        Some(l) => (sum_of(sums, l) - denom).exp(),
         // Unobserved runner-up: summed confidence 0 → weight e^0 = 1.
         None => (0.0 - denom).exp(),
     };
     (p_best, p_second)
+}
+
+/// Summed confidence of `label`, treating an absent label as `-inf` (weight
+/// `e^{-inf} = 0`). `best`/`second` always come from `sums`' own keys, so the
+/// fallback only guards against a caller passing a foreign label.
+fn sum_of(sums: &BTreeMap<Label, f64>, label: &Label) -> f64 {
+    sums.get(label).copied().unwrap_or(f64::NEG_INFINITY)
 }
 
 /// `(min P(best|Ω), max P(second|Ω))` under the adversarial completion in which every
@@ -249,7 +257,7 @@ fn completed_probabilities(
         terms.push(((m - k) as f64).ln());
     }
     let denom = log_sum_exp(&terms);
-    let p_best = (sums[best] - denom).exp();
+    let p_best = (sum_of(sums, best) - denom).exp();
     let p_second = (boosted_second_sum - denom).exp();
     (p_best, p_second)
 }

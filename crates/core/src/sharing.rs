@@ -62,7 +62,9 @@ pub const STRIPES: usize = 16;
 #[derive(Debug)]
 struct StripedState {
     /// The buckets; a worker's entry lives in stripe `worker.0 % STRIPES`.
-    stripes: Vec<RwLock<AccuracyRegistry>>,
+    /// A fixed-size array (not a `Vec`) so the type itself proves there are
+    /// always exactly [`STRIPES`] stripes — stripe lookups cannot miss.
+    stripes: Box<[RwLock<AccuracyRegistry>; STRIPES]>,
     /// Fallback accuracy carried by a seeded registry ([`SharedAccuracyRegistry::with_registry`]),
     /// preserved so snapshots round-trip the whole [`AccuracyRegistry`] — entries *and*
     /// default — exactly like the pre-striping implementation's full clone did.
@@ -75,7 +77,7 @@ struct StripedState {
 impl Default for StripedState {
     fn default() -> Self {
         StripedState {
-            stripes: (0..STRIPES).map(|_| RwLock::default()).collect(),
+            stripes: Box::new(std::array::from_fn(|_| RwLock::default())),
             default_accuracy: RwLock::new(None),
             generation: AtomicU64::new(0),
         }
@@ -136,14 +138,25 @@ impl SharedAccuracyRegistry {
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
+    /// The stripe lock at `i`. Total over any index: every caller derives `i`
+    /// from [`stripe_of`] or a `0..STRIPES` loop, and a stray out-of-range
+    /// index (unreachable today) aliases stripe 0 instead of panicking
+    /// mid-HIT.
+    fn stripe(&self, i: usize) -> &RwLock<AccuracyRegistry> {
+        let [first, ..] = &*self.inner.stripes;
+        self.inner.stripes.get(i).unwrap_or(first)
+    }
+
     fn read_stripe(&self, i: usize) -> std::sync::RwLockReadGuard<'_, AccuracyRegistry> {
-        self.inner.stripes[i]
+        let stripe = self.stripe(i);
+        stripe
             .read()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     fn write_stripe(&self, i: usize) -> std::sync::RwLockWriteGuard<'_, AccuracyRegistry> {
-        self.inner.stripes[i]
+        let stripe = self.stripe(i);
+        stripe
             .write()
             .unwrap_or_else(std::sync::PoisonError::into_inner)
     }

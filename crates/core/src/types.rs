@@ -59,6 +59,13 @@ impl Label {
     pub fn as_str(&self) -> &str {
         &self.0
     }
+
+    /// The shared empty-label sentinel, for total accessors that must return
+    /// *some* label when a ranking is unexpectedly empty.
+    pub fn none() -> &'static Label {
+        static NONE: std::sync::OnceLock<Label> = std::sync::OnceLock::new();
+        NONE.get_or_init(|| Label::new(""))
+    }
 }
 
 impl From<&str> for Label {

@@ -19,13 +19,21 @@ pub struct VerificationResult {
 
 impl VerificationResult {
     /// The accepted (highest-confidence) answer.
+    ///
+    /// [`verify`](ProbabilisticVerifier::verify) rejects empty observations
+    /// before constructing a result, so the ranking always has a head; a
+    /// hand-rolled (e.g. deserialized) empty ranking yields the empty label
+    /// rather than panicking.
     pub fn best(&self) -> &Label {
-        &self.ranking[0].0
+        self.ranking
+            .first()
+            .map(|(label, _)| label)
+            .unwrap_or_else(|| Label::none())
     }
 
     /// Confidence of the accepted answer, `ρ(r̄) = P(r̄ | Ω)`.
     pub fn best_confidence(&self) -> f64 {
-        self.ranking[0].1
+        self.ranking.first().map(|(_, p)| *p).unwrap_or(0.0)
     }
 
     /// The runner-up answer and its confidence, if at least two answers were observed.

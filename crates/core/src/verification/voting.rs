@@ -77,8 +77,11 @@ impl Verifier for MajorityVoting {
         let tally = observation.tally();
         let mut entries: Vec<(&Label, usize)> = tally.iter().map(|(l, c)| (l, *c)).collect();
         entries.sort_by_key(|&(_, count)| std::cmp::Reverse(count));
-        let (top_label, top_count) = entries[0];
-        let tied = entries.len() > 1 && entries[1].1 == top_count;
+        let Some(&(top_label, top_count)) = entries.first() else {
+            // Unreachable: a non-empty observation tallies at least one label.
+            return Ok(Verdict::NoAnswer);
+        };
+        let tied = entries.get(1).is_some_and(|&(_, count)| count == top_count);
         if tied {
             return Ok(Verdict::NoAnswer);
         }

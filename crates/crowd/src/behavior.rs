@@ -79,7 +79,12 @@ impl WorkerBehavior {
                     if wrong.is_empty() {
                         question.ground_truth.clone()
                     } else {
-                        wrong[rng.random_range(0..wrong.len())].clone()
+                        let idx = rng.random_range(0..wrong.len());
+                        wrong
+                            .get(idx)
+                            .copied()
+                            .unwrap_or(&question.ground_truth)
+                            .clone()
                     }
                 }
             }

@@ -177,7 +177,9 @@ fn sample_empirical<R: Rng + ?Sized>(rng: &mut R, bins: &[(f64, f64, f64)]) -> f
         }
         target -= w;
     }
-    let (lo, hi, _) = bins[bins.len() - 1];
+    // Unreachable fallback (emptiness is handled above) matches the
+    // empty-bins midpoint.
+    let (lo, hi, _) = bins.last().copied().unwrap_or((0.5, 0.5, 0.0));
     0.5 * (lo + hi)
 }
 

@@ -232,7 +232,11 @@ impl SimulatedPlatform {
 
         let mut pending = Vec::with_capacity(assigned.len() * request.questions.len());
         for (worker_idx, finished_at) in schedule.iter() {
-            let worker = &assigned[worker_idx];
+            // The schedule only yields indexes of the workers it was built
+            // from, so a miss is unreachable.
+            let Some(worker) = assigned.get(worker_idx) else {
+                continue;
+            };
             for question in &request.questions {
                 let (label, keywords) = worker.answer_with_reasons(question, &mut self.rng);
                 pending.push(WorkerAnswer {
@@ -300,10 +304,11 @@ impl CrowdPlatform for SimulatedPlatform {
             return Vec::new();
         }
         let mut delivered = Vec::new();
-        while state.delivered < state.pending.len()
-            && state.pending[state.delivered].arrived_at <= now
-        {
-            delivered.push(state.pending[state.delivered].clone());
+        while let Some(answer) = state.pending.get(state.delivered) {
+            if answer.arrived_at > now {
+                break;
+            }
+            delivered.push(answer.clone());
             state.delivered += 1;
         }
         // The requester is charged per delivered per-question answer, pro-rated from the
@@ -341,7 +346,7 @@ impl CrowdPlatform for SimulatedPlatform {
         // difference is the reclaimed simulated time. An end-of-time cancel (`now` not
         // finite, or past every arrival) reclaims nothing.
         let mut workers = BTreeMap::new();
-        for answer in &state.pending[state.delivered..] {
+        for answer in state.pending.iter().skip(state.delivered) {
             workers.entry(answer.worker).or_insert(answer.arrived_at);
         }
         let reclaimed_minutes = if now.is_finite() {

@@ -125,7 +125,7 @@ impl WorkerPool {
         indices
             .into_iter()
             .take(n.min(self.workers.len()))
-            .map(|i| &self.workers[i])
+            .filter_map(|i| self.workers.get(i))
             .collect()
     }
 
@@ -173,7 +173,9 @@ impl WorkerPool {
         let shards = shards.max(1);
         let mut parts: Vec<Vec<SimulatedWorker>> = vec![Vec::new(); shards];
         for (i, worker) in self.workers.iter().enumerate() {
-            parts[i % shards].push(worker.clone());
+            if let Some(part) = parts.get_mut(i % shards) {
+                part.push(worker.clone());
+            }
         }
         parts
             .into_iter()

@@ -547,8 +547,8 @@ fn group_by_worker(answers: &[WorkerAnswer]) -> Vec<Vec<WorkerAnswer>> {
     let mut groups: Vec<Vec<WorkerAnswer>> = Vec::new();
     let mut index: BTreeMap<WorkerId, usize> = BTreeMap::new();
     for answer in answers {
-        match index.get(&answer.worker) {
-            Some(&i) => groups[i].push(answer.clone()),
+        match index.get(&answer.worker).and_then(|&i| groups.get_mut(i)) {
+            Some(group) => group.push(answer.clone()),
             None => {
                 index.insert(answer.worker, groups.len());
                 groups.push(vec![answer.clone()]);

@@ -990,11 +990,14 @@ fn stream_events(report: &FleetReport, scheduler: &JobScheduler) -> Vec<FleetEve
     let mut started: BTreeSet<usize> = BTreeSet::new();
     for dispatch in &report.dispatches {
         if started.insert(dispatch.job.0) {
-            events.push(FleetEvent::JobStarted {
-                job: dispatch.job,
-                name: report.jobs[dispatch.job.0].name.clone(),
-                at: dispatch.at,
-            });
+            // Dispatches only ever name jobs the report carries.
+            if let Some(job) = report.jobs.get(dispatch.job.0) {
+                events.push(FleetEvent::JobStarted {
+                    job: dispatch.job,
+                    name: job.name.clone(),
+                    at: dispatch.at,
+                });
+            }
         }
         events.push(FleetEvent::HitDispatched {
             job: dispatch.job,

@@ -66,6 +66,8 @@ const CRC32_TABLE: [u32; 256] = {
             };
             bit += 1;
         }
+        // cdas-allow(panic_freedom): const context — an out-of-range index
+        // here is a compile error, never a runtime panic.
         table[i] = crc;
         i += 1;
     }
@@ -76,7 +78,12 @@ const CRC32_TABLE: [u32; 256] = {
 pub fn crc32(bytes: &[u8]) -> u32 {
     let mut crc = 0xFFFF_FFFFu32;
     for &b in bytes {
-        crc = (crc >> 8) ^ CRC32_TABLE[((crc ^ u32::from(b)) & 0xFF) as usize];
+        // The `& 0xFF` mask keeps the index under the 256-entry table.
+        let entry = CRC32_TABLE
+            .get(((crc ^ u32::from(b)) & 0xFF) as usize)
+            .copied()
+            .unwrap_or(0);
+        crc = (crc >> 8) ^ entry;
     }
     !crc
 }
@@ -214,7 +221,7 @@ fn scan_segment(path: &Path, is_last: bool) -> Result<SegmentScan> {
             format!("segment shorter ({}) than its header", bytes.len()),
         ));
     }
-    if &bytes[..8] != SEGMENT_MAGIC {
+    if bytes.get(..8) != Some(SEGMENT_MAGIC.as_slice()) {
         return Err(corrupt(0, "bad segment magic".to_string()));
     }
     let mut records = Vec::new();
@@ -262,7 +269,9 @@ fn scan_segment(path: &Path, is_last: bool) -> Result<SegmentScan> {
             torn = true;
             break;
         }
-        let payload = &bytes[payload_start..payload_start + len];
+        // The remaining-bytes check above bounds the range; an (unreachable)
+        // miss reads as an empty payload and fails the CRC below.
+        let payload = bytes.get(payload_start..payload_start + len).unwrap_or(&[]);
         if crc32(payload) != stored_crc {
             // A CRC failure is tolerated only when the damaged frame is the very last
             // thing in the final segment — a flipped byte mid-file is corruption even
@@ -531,7 +540,8 @@ impl Journal {
             .map_err(|e| io_err(path, e))?;
         let mut byte = [0u8];
         file.read_exact(&mut byte).map_err(|e| io_err(path, e))?;
-        byte[0] ^= 0xFF;
+        let [b] = &mut byte;
+        *b ^= 0xFF;
         file.seek(SeekFrom::Start(pos))
             .map_err(|e| io_err(path, e))?;
         file.write_all(&byte).map_err(|e| io_err(path, e))?;
@@ -586,7 +596,8 @@ impl Journal {
             }
         };
         if allowed > 0 {
-            file.write_all(&bytes[..allowed])
+            // `allowed` is clamped to `bytes.len()` above.
+            file.write_all(bytes.get(..allowed).unwrap_or(bytes))
                 .map_err(|e| io_err(&self.dir, e))?;
             self.segment_bytes += allowed as u64;
             self.written_total += allowed as u64;

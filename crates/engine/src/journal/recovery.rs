@@ -387,8 +387,8 @@ impl RecoveryObserver {
             )));
         }
         for (i, event) in events.iter().enumerate() {
-            if i < state.journaled_events.len() {
-                if state.journaled_events[i] != *event {
+            if let Some(journaled) = state.journaled_events.get(i) {
+                if journaled != event {
                     return Err(diverged(format!("event {i} does not match the journal")));
                 }
             } else {
@@ -496,10 +496,13 @@ impl RunObserver for RecoveryObserver {
                 }
             }
             None => {
-                state.resumed_hits += 1;
-                state.resumed_cost += commit.charge;
+                // Append before touching the resumed counters: the record is
+                // what makes the commit durable, and a failed write must not
+                // leave state claiming a hit the journal never saw.
                 let record = JournalRecord::Commit(commit.clone());
                 state.append(&record);
+                state.resumed_hits += 1;
+                state.resumed_cost += commit.charge;
             }
         }
     }

@@ -54,13 +54,19 @@ impl PrivacyManager {
             let lower_term = term.to_lowercase();
             let mut result = String::with_capacity(out.len());
             let mut cursor = 0usize;
-            while let Some(pos) = lower_out[cursor..].find(&lower_term) {
+            // Checked slicing throughout: lowercasing is not length-preserving
+            // for every scalar (e.g. `İ`), so byte offsets found in
+            // `lower_out` are not guaranteed to be boundaries of `out`.
+            while let Some(pos) = lower_out
+                .get(cursor..)
+                .and_then(|tail| tail.find(&lower_term))
+            {
                 let absolute = cursor + pos;
-                result.push_str(&out[cursor..absolute]);
+                result.push_str(out.get(cursor..absolute).unwrap_or(""));
                 result.push_str(&self.mask);
                 cursor = absolute + term.len();
             }
-            result.push_str(&out[cursor..]);
+            result.push_str(out.get(cursor..).unwrap_or(""));
             out = result;
         }
         out

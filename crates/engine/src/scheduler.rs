@@ -494,7 +494,8 @@ impl JobScheduler {
             order.rotate_left((tick - 1) % n);
         }
         if self.config.policy == DispatchPolicy::Priority {
-            order.sort_by_key(|&i| std::cmp::Reverse(self.jobs[i].spec.priority));
+            let priority = |i: usize| self.jobs.get(i).map(|j| j.spec.priority).unwrap_or(0);
+            order.sort_by_key(|&i| std::cmp::Reverse(priority(i)));
         }
         order
     }
@@ -1198,7 +1199,12 @@ impl JobScheduler {
             }
             Some(lease) => {
                 let end = (state.cursor + state.spec.batch_size).min(state.spec.questions.len());
-                let batch = state.spec.questions[state.cursor..end].to_vec();
+                let batch = state
+                    .spec
+                    .questions
+                    .get(state.cursor..end)
+                    .unwrap_or(&[])
+                    .to_vec();
                 let ticket = state
                     .engine
                     .publish_batch_to(platform, batch, lease.workers())?;
@@ -1295,7 +1301,10 @@ impl JobScheduler {
                 let mut reclaimed_minutes = 0.0f64;
                 let mut answers_cancelled = 0usize;
                 for id in &seed.jobs {
-                    let job = &jobs[id.0];
+                    // Shard seeds only carry ids of jobs in this scheduler.
+                    let Some(job) = jobs.get(id.0) else {
+                        continue;
+                    };
                     questions += job.report.questions;
                     cost += job.report.cost;
                     reclaimed_minutes += job.reclaimed_minutes;
