@@ -98,8 +98,9 @@ pub struct Config {
     pub must_use_types: Vec<&'static str>,
     /// Call needles treated as platform/journal I/O by the lock rule.
     pub io_needles: Vec<&'static str>,
-    /// Publish/collect call families and journal paths for `protocol_order`.
-    pub protocol: ProtocolSpec,
+    /// Publish/collect call families and journal paths for `protocol_order`,
+    /// one spec per ticket protocol (batch tickets, service job tickets, …).
+    pub protocols: Vec<ProtocolSpec>,
 }
 
 impl Config {
@@ -152,6 +153,8 @@ impl Config {
                 "RecoveryReport",
                 "BatchTicket",
                 "WorkerLease",
+                "JobTicket",
+                "ServiceRecovery",
             ],
             io_needles: vec![
                 ".publish(",
@@ -168,18 +171,28 @@ impl Config {
                 "fs::rename",
                 "fs::remove_file",
             ],
-            protocol: ProtocolSpec {
-                publish_calls: vec!["publish_batch", "publish_batch_to"],
-                collect_calls: vec![
-                    "collect_batch",
-                    "collect_batch_cached",
-                    "collect_batch_clocked",
-                    "collect_batch_clocked_cached",
-                    "begin_clocked",
-                ],
-                ticket_type: "BatchTicket",
-                journal_paths: vec!["crates/engine/src/journal/"],
-            },
+            protocols: vec![
+                ProtocolSpec {
+                    publish_calls: vec!["publish_batch", "publish_batch_to"],
+                    collect_calls: vec![
+                        "collect_batch",
+                        "collect_batch_cached",
+                        "collect_batch_clocked",
+                        "collect_batch_clocked_cached",
+                        "begin_clocked",
+                    ],
+                    ticket_type: "BatchTicket",
+                    journal_paths: vec!["crates/engine/src/journal/"],
+                },
+                // The service layer's job tickets: a `submit` mints one, and the
+                // manifest journal in `service/` must append before mutating.
+                ProtocolSpec {
+                    publish_calls: vec!["submit"],
+                    collect_calls: vec!["poll", "subscribe", "shutdown"],
+                    ticket_type: "JobTicket",
+                    journal_paths: vec!["crates/engine/src/service/"],
+                },
+            ],
         }
     }
 }
@@ -283,7 +296,9 @@ pub fn run_on(config: &Config, files: &BTreeMap<String, SourceFile>) -> Vec<Viol
     rules::lock_order_cycles(&lock_graph, files, &mut out);
     for file in files.values() {
         rules::unit_taint(file, &index, &mut out);
-        rules::protocol_order(file, &config.protocol, &index, &mut out);
+        for spec in &config.protocols {
+            rules::protocol_order(file, spec, &index, &mut out);
+        }
     }
     out.sort_by(|a, b| {
         (a.path.as_str(), a.line, a.rule, a.message.as_str()).cmp(&(

@@ -23,7 +23,24 @@ fn line_rules_config() -> Config {
         codecs: vec![],
         must_use_types: vec![],
         io_needles: vec![".append(", ".sync("],
-        protocol: ProtocolSpec::default(),
+        protocols: vec![ProtocolSpec::default()],
+    }
+}
+
+/// A config whose only rule surface is a service-style `JobTicket` protocol.
+fn job_ticket_config() -> Config {
+    Config {
+        root: ".".into(),
+        scan_dirs: vec![],
+        codecs: vec![],
+        must_use_types: vec![],
+        io_needles: vec![],
+        protocols: vec![ProtocolSpec {
+            publish_calls: vec!["submit"],
+            collect_calls: vec!["poll", "subscribe", "shutdown"],
+            ticket_type: "JobTicket",
+            journal_paths: vec!["src/service/"],
+        }],
     }
 }
 
@@ -283,4 +300,76 @@ fn scanner_strips_strings_comments_and_char_literals() {
 #[test]
 fn fingerprints_collapse_whitespace() {
     assert_eq!(fingerprint("   let  x =\t1;  "), fingerprint("let x = 1;"));
+}
+
+#[test]
+fn protocol_order_flags_a_dropped_job_ticket() {
+    let text = concat!(
+        "impl Service {\n",
+        "    pub fn run(&mut self) {\n",
+        "        let ticket = self.submit(1);\n",
+        "        drop(ticket);\n",
+        "    }\n",
+        "}\n",
+    );
+    let got = run_on(&job_ticket_config(), &scan_one("src/service/mod.rs", text));
+    assert_eq!(rules_fired(&got), vec!["protocol_order"]);
+    assert!(
+        got.iter().any(|v| v.message.contains("dropped without")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn protocol_order_clean_when_job_ticket_reaches_poll() {
+    let text = concat!(
+        "impl Service {\n",
+        "    pub fn run(&mut self) {\n",
+        "        let ticket = self.submit(1);\n",
+        "        self.poll(ticket);\n",
+        "    }\n",
+        "}\n",
+    );
+    let got = run_on(&job_ticket_config(), &scan_one("src/service/mod.rs", text));
+    assert!(got.is_empty(), "{got:?}");
+}
+
+#[test]
+fn protocol_order_flags_an_unconsumed_job_ticket_param() {
+    let text = concat!(
+        "pub fn forget(ticket: JobTicket) {\n",
+        "    let _unrelated = 1;\n",
+        "}\n",
+    );
+    let got = run_on(&job_ticket_config(), &scan_one("src/service/mod.rs", text));
+    assert_eq!(rules_fired(&got), vec!["protocol_order"]);
+    assert!(
+        got.iter().any(|v| v.message.contains("never reaches")),
+        "{got:?}"
+    );
+}
+
+#[test]
+fn protocol_order_checks_manifest_appends_in_service_paths() {
+    let text = concat!(
+        "impl Service {\n",
+        "    pub fn record(&mut self, rec: u64) {\n",
+        "        self.spent += 1.0;\n",
+        "        self.manifest.append(rec);\n",
+        "    }\n",
+        "}\n",
+    );
+    let got = run_on(
+        &job_ticket_config(),
+        &scan_one("src/service/manifest.rs", text),
+    );
+    assert_eq!(rules_fired(&got), vec!["protocol_order"]);
+    assert!(
+        got.iter()
+            .any(|v| v.message.contains("before the journal append")),
+        "{got:?}"
+    );
+    // The same file outside a service path is not journal-checked.
+    let elsewhere = run_on(&job_ticket_config(), &scan_one("src/metrics.rs", text));
+    assert!(elsewhere.is_empty(), "{elsewhere:?}");
 }

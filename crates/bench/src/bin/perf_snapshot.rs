@@ -10,12 +10,16 @@
 //!
 //! The default run measures the clocked fleet under both arrival-discovery modes at one
 //! shard (scan is the pre-heap oracle, heap the production path), the heap mode again
-//! with the write-ahead event journal appending (the durability-overhead row), and the
-//! heap mode at 2/4/8 shards, then writes one `BENCH_clocked.json` snapshot. Every PR re-records the
-//! file, so the trajectory of `events_per_sec` is reviewable in git history. Simulated
-//! results (ticks, questions, latencies, makespan) are deterministic per workload; only
-//! the wall-clock figures move between hosts.
+//! with the write-ahead event journal appending under both fsync policies (per-commit
+//! sync vs. group commit — their deltas against heap-1shard are the durability
+//! overhead and what batching fsyncs claws back), the heap mode at 2/4/8 shards, and a
+//! sustained-arrival `FleetService` lifetime (jobs submitted in waves, one epoch per
+//! wave, group-commit run journals), then writes one `BENCH_clocked.json` snapshot.
+//! Every PR re-records the file, so the trajectory of `events_per_sec` is reviewable in
+//! git history. Simulated results (ticks, questions, latencies, makespan) are
+//! deterministic per workload; only the wall-clock figures move between hosts.
 
+use std::collections::BTreeMap;
 use std::path::Path;
 use std::time::Instant;
 
@@ -25,7 +29,9 @@ use cdas_crowd::arrival::LatencyModel;
 use cdas_crowd::spec::CrowdSpec;
 use cdas_engine::fixtures::demo_questions;
 use cdas_engine::fleet::{ExecutionMode, Fleet, FleetEvent, FleetRun, JobSpec};
+use cdas_engine::journal::{JournalConfig, SyncPolicy};
 use cdas_engine::scheduler::ArrivalDiscovery;
+use cdas_engine::service::{FleetService, ServiceConfig, ServiceEvent, ServiceReport};
 
 /// The standard workload: enough concurrent HITs that the scan loop's per-tick
 /// O(in-flight) polling dominates, which is exactly what the event heap removes.
@@ -58,39 +64,66 @@ fn quick_workload() -> BenchWorkload {
     }
 }
 
-fn build_fleet(w: &BenchWorkload, discovery: ArrivalDiscovery, journal: Option<&Path>) -> Fleet {
-    let crowd = CrowdSpec::clean(w.pool as usize, w.accuracy)
+fn bench_crowd(w: &BenchWorkload) -> CrowdSpec {
+    CrowdSpec::clean(w.pool as usize, w.accuracy)
         .seed(w.seed)
         .latency(LatencyModel::Exponential {
             mean: w.latency_mean_minutes,
-        });
+        })
+}
+
+fn bench_job(w: &BenchWorkload, i: u64) -> JobSpec {
+    JobSpec::sentiment(
+        format!("job-{i}"),
+        demo_questions(w.questions_per_job, w.gold_per_job),
+    )
+    .workers(w.workers_per_hit as usize)
+    .batch_size(w.batch_size as usize)
+    .domain_size(3)
+    .termination(TerminationStrategy::ExpMax)
+}
+
+fn build_fleet(
+    w: &BenchWorkload,
+    discovery: ArrivalDiscovery,
+    journal: Option<(&Path, JournalConfig)>,
+) -> Fleet {
     let mut builder = Fleet::builder()
-        .crowd(crowd)
+        .crowd(bench_crowd(w))
         .scheduler_seed(w.seed)
         .arrival_discovery(discovery);
-    if let Some(dir) = journal {
-        builder = builder.journal(dir);
+    if let Some((dir, config)) = journal {
+        builder = builder.journal(dir).journal_config(config);
     }
     for i in 0..w.jobs {
-        builder = builder.job(
-            JobSpec::sentiment(
-                format!("job-{i}"),
-                demo_questions(w.questions_per_job, w.gold_per_job),
-            )
-            .workers(w.workers_per_hit as usize)
-            .batch_size(w.batch_size as usize)
-            .domain_size(3)
-            .termination(TerminationStrategy::ExpMax),
-        );
+        builder = builder.job(bench_job(w, i));
     }
     builder.build().expect("benchmark workload is feasible")
 }
 
-/// Per-HIT verdict latencies in simulated minutes. A job's batches run back to back,
-/// so one HIT's span runs from its dispatch to the job's next dispatch (or the job's
-/// completion, for its last HIT).
+/// Turns per-key dispatch times plus completion times into per-HIT latency spans:
+/// a job's batches run back to back, so one HIT's span runs from its dispatch to the
+/// job's next dispatch (or the job's completion, for its last HIT).
+fn latency_spans<K: Ord>(
+    dispatches: BTreeMap<K, Vec<f64>>,
+    completed: &BTreeMap<K, f64>,
+) -> Vec<f64> {
+    let mut latencies = Vec::new();
+    for (key, mut ats) in dispatches {
+        ats.sort_by(f64::total_cmp);
+        let end = completed.get(&key).copied().unwrap_or(f64::NAN);
+        for (i, &at) in ats.iter().enumerate() {
+            let until = ats.get(i + 1).copied().unwrap_or(end);
+            if until.is_finite() {
+                latencies.push(until - at);
+            }
+        }
+    }
+    latencies
+}
+
+/// Per-HIT verdict latencies of a single fleet run, in simulated minutes.
 fn verdict_latencies(run: &FleetRun) -> Vec<f64> {
-    use std::collections::BTreeMap;
     let mut dispatches: BTreeMap<u64, Vec<f64>> = BTreeMap::new();
     let mut completed: BTreeMap<u64, f64> = BTreeMap::new();
     for event in run.events() {
@@ -104,18 +137,58 @@ fn verdict_latencies(run: &FleetRun) -> Vec<f64> {
             _ => {}
         }
     }
-    let mut latencies = Vec::new();
-    for (job, mut ats) in dispatches {
-        ats.sort_by(f64::total_cmp);
-        let end = completed.get(&job).copied().unwrap_or(f64::NAN);
-        for (i, &at) in ats.iter().enumerate() {
-            let until = ats.get(i + 1).copied().unwrap_or(end);
-            if until.is_finite() {
-                latencies.push(until - at);
+    latency_spans(dispatches, &completed)
+}
+
+/// Per-HIT verdict latencies across a whole service lifetime. Epoch-local `at`
+/// timestamps restart per epoch, so spans are keyed by (epoch, ticket) — a ticket's
+/// HITs never straddle epochs.
+fn service_verdict_latencies(report: &ServiceReport) -> Vec<f64> {
+    let mut dispatches: BTreeMap<(u64, u64), Vec<f64>> = BTreeMap::new();
+    let mut completed: BTreeMap<(u64, u64), f64> = BTreeMap::new();
+    for event in &report.events {
+        if let ServiceEvent::Job {
+            ticket,
+            epoch,
+            event,
+        } = event
+        {
+            match event {
+                FleetEvent::HitDispatched { at, .. } => {
+                    dispatches.entry((*epoch, ticket.0)).or_default().push(*at);
+                }
+                FleetEvent::JobCompleted { at, .. } => {
+                    completed.insert((*epoch, ticket.0), *at);
+                }
+                _ => {}
             }
         }
     }
-    latencies
+    latency_spans(dispatches, &completed)
+}
+
+/// One untimed journaled run before every timed repeat, so each row measures the same
+/// steady-state machine. Without it the rows measured first (the no-journal baselines)
+/// run on a quiet page cache while later journaled rows inherit the writeback their
+/// predecessors queued — which inflates the journal-overhead ratios the snapshot exists
+/// to pin down.
+fn warm_up(w: &BenchWorkload) {
+    let dir = std::env::temp_dir().join(format!("cdas-perf-warmup-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let group_commit = JournalConfig {
+        sync: SyncPolicy::GroupCommit {
+            max_batch: 32,
+            max_delay_ms: 50,
+        },
+        ..JournalConfig::default()
+    };
+    let fleet = build_fleet(
+        w,
+        ArrivalDiscovery::Heap,
+        Some((dir.as_path(), group_commit)),
+    );
+    let _ = fleet.run(ExecutionMode::Clocked);
+    let _ = std::fs::remove_dir_all(&dir);
 }
 
 /// Measure one configuration: best-of-`repeats` wall clock around `Fleet::run`; the
@@ -125,13 +198,15 @@ fn measure(
     label: &str,
     discovery: ArrivalDiscovery,
     mode: ExecutionMode,
-    journal: Option<&Path>,
+    journal: Option<(&Path, JournalConfig)>,
     repeats: usize,
 ) -> BenchRecord {
+    let journaled = journal.is_some();
     let fleet = build_fleet(w, discovery, journal);
     let mut best = f64::INFINITY;
     let mut measured: Option<FleetRun> = None;
     for _ in 0..repeats.max(1) {
+        warm_up(w);
         let start = Instant::now();
         let run = fleet.run(mode).expect("benchmark run succeeds");
         let wall = start.elapsed().as_secs_f64().max(1e-9);
@@ -155,7 +230,7 @@ fn measure(
         }
         .to_string(),
         mode: mode_name.to_string(),
-        journal: if journal.is_some() { "on" } else { "off" }.to_string(),
+        journal: if journaled { "on" } else { "off" }.to_string(),
         shards,
         wall_seconds: best,
         ticks: report.ticks as u64,
@@ -168,60 +243,163 @@ fn measure(
     }
 }
 
+/// How many arrival waves the sustained-service row spreads the workload across:
+/// each wave submits its jobs mid-lifetime and is served by one epoch.
+const SERVICE_WAVES: usize = 4;
+
+/// Measure a sustained-arrival `FleetService` lifetime: open, submit the workload's
+/// jobs in [`SERVICE_WAVES`] waves with one epoch after each (so later submissions
+/// genuinely arrive while earlier work is already served), then shut down. The wall
+/// clock covers the entire lifetime — manifest appends, admission, group-commit run
+/// journals, shutdown trailer. Ticks/questions/makespan sum across epochs.
+fn measure_service(w: &BenchWorkload, label: &str, repeats: usize) -> BenchRecord {
+    let dir = std::env::temp_dir().join(format!("cdas-perf-service-{}", std::process::id()));
+    let per_wave = (w.jobs as usize).div_ceil(SERVICE_WAVES).max(1);
+    let mut best = f64::INFINITY;
+    let mut measured: Option<ServiceReport> = None;
+    for _ in 0..repeats.max(1) {
+        warm_up(w);
+        let _ = std::fs::remove_dir_all(&dir);
+        let mut config = ServiceConfig::new(bench_crowd(w));
+        config.scheduler.seed = w.seed;
+        config.scheduler.discovery = ArrivalDiscovery::Heap;
+        // One shard keeps every epoch clocked, so the row compares directly against
+        // the 1-shard fleet rows.
+        config.max_shards = 1;
+        let start = Instant::now();
+        let mut service = FleetService::open(&dir, config).expect("service opens");
+        let mut submitted = 0usize;
+        while submitted < w.jobs as usize {
+            let wave_end = (submitted + per_wave).min(w.jobs as usize);
+            for i in submitted..wave_end {
+                // The row measures throughput; per-ticket streams are exercised by
+                // the service tests, so the minted ticket is deliberately unused.
+                let _ticket = service
+                    .submit(bench_job(w, i as u64))
+                    .expect("benchmark submissions are admissible");
+            }
+            submitted = wave_end;
+            service.run_epoch().expect("benchmark epoch succeeds");
+        }
+        let report = service.shutdown().expect("service shuts down cleanly");
+        let wall = start.elapsed().as_secs_f64().max(1e-9);
+        if wall < best {
+            best = wall;
+        }
+        measured = Some(report);
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let report = measured.expect("at least one repeat ran");
+    let ticks: usize = report.epochs.iter().map(|e| e.ticks).sum();
+    let questions: usize = report.epochs.iter().map(|e| e.fleet.questions).sum();
+    let makespan: f64 = report.epochs.iter().map(|e| e.makespan).sum();
+    let latencies = service_verdict_latencies(&report);
+    BenchRecord {
+        label: label.to_string(),
+        discovery: "heap".to_string(),
+        mode: "clocked".to_string(),
+        // A service always journals: the manifest plus one run journal per epoch.
+        journal: "on".to_string(),
+        shards: 1,
+        wall_seconds: best,
+        ticks: ticks as u64,
+        questions: questions as u64,
+        events_per_sec: ticks as f64 / best,
+        questions_per_sec: questions as f64 / best,
+        p50_verdict_latency_min: percentile(&latencies, 0.5),
+        p99_verdict_latency_min: percentile(&latencies, 0.99),
+        makespan_min: makespan,
+    }
+}
+
+fn print_record(record: &BenchRecord) {
+    eprintln!(
+        "  {:<31} {:>9.1} events/s  {:>8.1} questions/s  (wall {:.4}s, {} ticks)",
+        record.label,
+        record.events_per_sec,
+        record.questions_per_sec,
+        record.wall_seconds,
+        record.ticks,
+    );
+}
+
 fn record_snapshot(w: &BenchWorkload, repeats: usize) -> BenchSnapshot {
-    // A throwaway journal directory for the journaled row; `Journal::create` wipes
+    // A throwaway journal directory for the journaled rows; `Journal::create` wipes
     // leftover segments, so repeats overwrite rather than accumulate.
     let journal_dir =
         std::env::temp_dir().join(format!("cdas-perf-journal-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&journal_dir);
 
-    let configs: Vec<(String, ArrivalDiscovery, ExecutionMode, bool)> = std::iter::once((
-        "scan-1shard".to_string(),
-        ArrivalDiscovery::Scan,
-        ExecutionMode::Clocked,
-        false,
-    ))
-    .chain(std::iter::once((
-        "heap-1shard".to_string(),
-        ArrivalDiscovery::Heap,
-        ExecutionMode::Clocked,
-        false,
-    )))
-    // The same configuration with the write-ahead journal appending every event:
-    // its delta against heap-1shard is the durability overhead.
-    .chain(std::iter::once((
-        "heap-1shard-journal".to_string(),
-        ArrivalDiscovery::Heap,
-        ExecutionMode::Clocked,
-        true,
-    )))
-    .chain([2usize, 4, 8].into_iter().map(|shards| {
+    // max_batch 64 ≈ one fsync per 64 committed batches — wide enough that the fsync
+    // tail (spiky on shared storage) stops dominating the row, while max_delay_ms still
+    // bounds how long a committed batch can sit unsynced. The service default stays a
+    // tighter 8; this row records what the policy buys when a deployment opts into a
+    // wider group.
+    let group_commit = JournalConfig {
+        sync: SyncPolicy::GroupCommit {
+            max_batch: 64,
+            max_delay_ms: 50,
+        },
+        ..JournalConfig::default()
+    };
+    let mut configs: Vec<(
+        String,
+        ArrivalDiscovery,
+        ExecutionMode,
+        Option<JournalConfig>,
+    )> = vec![
         (
+            "scan-1shard".to_string(),
+            ArrivalDiscovery::Scan,
+            ExecutionMode::Clocked,
+            None,
+        ),
+        (
+            "heap-1shard".to_string(),
+            ArrivalDiscovery::Heap,
+            ExecutionMode::Clocked,
+            None,
+        ),
+        // The same configuration with the write-ahead journal appending every event:
+        // its delta against heap-1shard is the durability overhead. Once with the
+        // default per-commit fsync, once with group commit — the gap between the two
+        // is what batching fsyncs buys a resident service.
+        (
+            "heap-1shard-journal".to_string(),
+            ArrivalDiscovery::Heap,
+            ExecutionMode::Clocked,
+            Some(JournalConfig::default()),
+        ),
+        (
+            "heap-1shard-journal-groupcommit".to_string(),
+            ArrivalDiscovery::Heap,
+            ExecutionMode::Clocked,
+            Some(group_commit),
+        ),
+    ];
+    for shards in [2usize, 4, 8] {
+        configs.push((
             format!("heap-{shards}shard"),
             ArrivalDiscovery::Heap,
             ExecutionMode::Parallel { shards },
-            false,
-        )
-    }))
-    .collect();
+            None,
+        ));
+    }
 
-    let records = configs
+    let mut records: Vec<BenchRecord> = configs
         .into_iter()
-        .map(|(label, discovery, mode, journaled)| {
-            let journal = journaled.then_some(journal_dir.as_path());
+        .map(|(label, discovery, mode, journal)| {
+            let journal = journal.map(|config| (journal_dir.as_path(), config));
             let record = measure(w, &label, discovery, mode, journal, repeats);
-            eprintln!(
-                "  {:<19} {:>9.1} events/s  {:>8.1} questions/s  (wall {:.4}s, {} ticks)",
-                record.label,
-                record.events_per_sec,
-                record.questions_per_sec,
-                record.wall_seconds,
-                record.ticks,
-            );
+            print_record(&record);
             record
         })
         .collect();
     let _ = std::fs::remove_dir_all(&journal_dir);
+
+    let service = measure_service(w, "service-sustained", repeats);
+    print_record(&service);
+    records.push(service);
 
     BenchSnapshot {
         schema: SCHEMA_VERSION,
@@ -302,8 +480,24 @@ fn main() {
         snapshot.record("heap-1shard-journal"),
     ) {
         eprintln!(
-            "  journal-on/journal-off events/sec at 1 shard: {:.2}x",
-            journaled.events_per_sec / plain.events_per_sec,
+            "  per-commit-fsync journal wall overhead at 1 shard: {:.2}x",
+            journaled.wall_seconds / plain.wall_seconds,
+        );
+    }
+    if let (Some(plain), Some(grouped)) = (
+        snapshot.record("heap-1shard"),
+        snapshot.record("heap-1shard-journal-groupcommit"),
+    ) {
+        eprintln!(
+            "  group-commit journal wall overhead at 1 shard: {:.2}x",
+            grouped.wall_seconds / plain.wall_seconds,
+        );
+    }
+    if let Some(service) = snapshot.record("service-sustained") {
+        eprintln!(
+            "  sustained service: {:.1} jobs/s admitted+served, makespan {:.1} simulated min",
+            snapshot.workload.jobs as f64 / service.wall_seconds,
+            service.makespan_min,
         );
     }
     snapshot.validate().unwrap_or_else(|e| {

@@ -66,6 +66,10 @@ pub mod prelude {
     pub use cdas_engine::scheduler::{
         ArrivalDiscovery, DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig,
     };
+    pub use cdas_engine::service::{
+        AdmissionDecision, AdmissionForecast, AdmissionModel, FleetService, JobTicket, Rejected,
+        ServiceConfig, ServiceEvent, ServiceRecovery, ServiceReport,
+    };
     pub use cdas_engine::{CrowdsourcingEngine, EngineConfig, Query, VerificationStrategy};
     pub use cdas_workloads::it::images::{ImageGenerator, ImageGeneratorConfig};
     pub use cdas_workloads::tsa::tweets::{TweetGenerator, TweetGeneratorConfig};

@@ -118,6 +118,7 @@ pub struct JobSpec {
     termination: Option<Option<TerminationStrategy>>,
     required_accuracy: Option<f64>,
     domain_size: Option<Option<usize>>,
+    deadline_minutes: Option<f64>,
 }
 
 impl JobSpec {
@@ -136,6 +137,7 @@ impl JobSpec {
             termination: None,
             required_accuracy: None,
             domain_size: None,
+            deadline_minutes: None,
         }
     }
 
@@ -234,6 +236,21 @@ impl JobSpec {
         self
     }
 
+    /// Ask the service layer ([`crate::service::FleetService`]) to finish this job
+    /// within the given simulated-minutes deadline. Admission control rejects the job
+    /// outright when even an idle crowd could not meet it, and queues (rather than
+    /// accepts) it while the live mix would push its predicted makespan past it. A
+    /// plain [`Fleet`] run ignores the deadline.
+    pub fn deadline_minutes(mut self, minutes: f64) -> Self {
+        self.deadline_minutes = Some(minutes);
+        self
+    }
+
+    /// The service-level deadline, if one was requested.
+    pub fn deadline(&self) -> Option<f64> {
+        self.deadline_minutes
+    }
+
     /// The job's name.
     pub fn name(&self) -> &str {
         &self.name
@@ -285,6 +302,14 @@ impl JobSpec {
             scheduled = scheduled.with_batch_size(batch_size);
         }
         Ok(scheduled)
+    }
+
+    /// Resolve against *empty* fleet defaults — the resolution a fleet without
+    /// [`FleetBuilder::engine_defaults`] / [`FleetBuilder::batch_size`] performs. The
+    /// service layer admits jobs before any fleet exists, so it predicts from exactly
+    /// the [`ScheduledJob`] a default-configured epoch fleet will run.
+    pub(crate) fn resolve_default(&self) -> Result<ScheduledJob> {
+        self.resolve(&FleetDefaults::default())
     }
 }
 

@@ -24,11 +24,14 @@ use crate::engine::{
 };
 use crate::fleet::{ExecutionMode, FleetEvent};
 use crate::job_manager::{AnalyticsJob, JobKind};
+use crate::journal::{JournalConfig, SyncPolicy};
 use crate::query::Query;
 use crate::scheduler::{
     ArrivalDiscovery, BatchCommit, DispatchPolicy, DispatchRecord, JobId, ScheduledJob,
     SchedulerConfig,
 };
+use crate::service::admission::{AdmissionDecision, AdmissionForecast};
+use crate::service::manifest::{ServiceConfig, ServiceSubmission};
 
 /// Everything a run is a deterministic function of (up to wall clock): journaling this
 /// once at the head of the journal is what lets [`crate::fleet::Fleet::recover`] rebuild
@@ -132,6 +135,38 @@ pub enum JournalRecord {
         /// Simulated makespan in minutes.
         makespan: f64,
     },
+    /// Head record of a **service manifest** ([`crate::service::FleetService`]): the
+    /// resident service's full configuration. Never appears in a run journal.
+    ServiceOpened(ServiceConfig),
+    /// A job was submitted to the service and an admission decision taken. Durable
+    /// before the ticket is acknowledged, so a crash never forgets an admission.
+    ServiceSubmitted(ServiceSubmission),
+    /// A batch of admitted tickets was scheduled as epoch `epoch`, whose run journal
+    /// lives beside the manifest.
+    ServiceEpochStarted {
+        /// The epoch's 0-based index.
+        epoch: u64,
+        /// Tickets scheduled, in epoch-local [`JobId`] order.
+        tickets: Vec<u64>,
+        /// The mode the epoch fleet runs under.
+        mode: ExecutionMode,
+    },
+    /// Epoch `epoch`'s run completed with these totals.
+    ServiceEpochCompleted {
+        /// The completed epoch.
+        epoch: u64,
+        /// Requester cost of the epoch.
+        cost: f64,
+        /// Real questions the epoch resolved.
+        questions: usize,
+        /// The epoch's simulated makespan in minutes.
+        makespan: f64,
+    },
+    /// The service shut down cleanly; the manifest is complete.
+    ServiceClosed {
+        /// Total requester cost across every epoch.
+        total_cost: f64,
+    },
 }
 
 impl JournalRecord {
@@ -144,7 +179,21 @@ impl JournalRecord {
                 | JournalRecord::Commit(_)
                 | JournalRecord::Snapshot(_)
                 | JournalRecord::RunCompleted { .. }
+                | JournalRecord::ServiceOpened(_)
+                | JournalRecord::ServiceSubmitted(_)
+                | JournalRecord::ServiceEpochStarted { .. }
+                | JournalRecord::ServiceEpochCompleted { .. }
+                | JournalRecord::ServiceClosed { .. }
         )
+    }
+
+    /// Encode the `Commit` wire form straight from a borrowed commit — byte-identical
+    /// to `JournalRecord::Commit(commit.clone()).to_bytes()`. The journal appends one
+    /// commit per batch on the scheduler's hot path, and the outcome inside (verdicts,
+    /// registry contributions) is too heavy to deep-clone just to serialize it.
+    pub fn encode_commit(commit: &BatchCommit, out: &mut Vec<u8>) {
+        out.push(4);
+        commit.encode(out);
     }
 }
 
@@ -668,6 +717,134 @@ impl BinCodec for JournalSnapshot {
     }
 }
 
+impl BinCodec for SyncPolicy {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SyncPolicy::Never => out.push(0),
+            SyncPolicy::Commits => out.push(1),
+            SyncPolicy::Always => out.push(2),
+            SyncPolicy::GroupCommit {
+                max_batch,
+                max_delay_ms,
+            } => {
+                out.push(3);
+                max_batch.encode(out);
+                max_delay_ms.encode(out);
+            }
+        }
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match u8::decode(input)? {
+            0 => Ok(SyncPolicy::Never),
+            1 => Ok(SyncPolicy::Commits),
+            2 => Ok(SyncPolicy::Always),
+            3 => Ok(SyncPolicy::GroupCommit {
+                max_batch: usize::decode(input)?,
+                max_delay_ms: u64::decode(input)?,
+            }),
+            other => Err(CodecError::new(format!("invalid SyncPolicy tag {other}"))),
+        }
+    }
+}
+
+impl BinCodec for JournalConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.max_segment_bytes.encode(out);
+        self.sync.encode(out);
+        self.fail_writes_after.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(JournalConfig {
+            max_segment_bytes: u64::decode(input)?,
+            sync: SyncPolicy::decode(input)?,
+            fail_writes_after: Option::<u64>::decode(input)?,
+        })
+    }
+}
+
+impl BinCodec for AdmissionDecision {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            AdmissionDecision::Accept => 0,
+            AdmissionDecision::Queue => 1,
+            AdmissionDecision::Reject => 2,
+        });
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        match u8::decode(input)? {
+            0 => Ok(AdmissionDecision::Accept),
+            1 => Ok(AdmissionDecision::Queue),
+            2 => Ok(AdmissionDecision::Reject),
+            other => Err(CodecError::new(format!(
+                "invalid AdmissionDecision tag {other}"
+            ))),
+        }
+    }
+}
+
+impl BinCodec for AdmissionForecast {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.workers_per_hit.encode(out);
+        self.batches.encode(out);
+        self.worker_minutes.encode(out);
+        self.cost.encode(out);
+        self.makespan_minutes.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(AdmissionForecast {
+            workers_per_hit: usize::decode(input)?,
+            batches: usize::decode(input)?,
+            worker_minutes: f64::decode(input)?,
+            cost: f64::decode(input)?,
+            makespan_minutes: f64::decode(input)?,
+        })
+    }
+}
+
+impl BinCodec for ServiceConfig {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.crowd.encode(out);
+        self.scheduler.encode(out);
+        self.budget.encode(out);
+        self.max_shards.encode(out);
+        self.run_journal.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(ServiceConfig {
+            crowd: CrowdSpec::decode(input)?,
+            scheduler: SchedulerConfig::decode(input)?,
+            budget: Option::<f64>::decode(input)?,
+            max_shards: usize::decode(input)?,
+            run_journal: JournalConfig::decode(input)?,
+        })
+    }
+}
+
+impl BinCodec for ServiceSubmission {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.ticket.encode(out);
+        self.job.encode(out);
+        self.deadline_minutes.encode(out);
+        self.decision.encode(out);
+        self.forecast.encode(out);
+    }
+
+    fn decode(input: &mut &[u8]) -> CodecResult<Self> {
+        Ok(ServiceSubmission {
+            ticket: u64::decode(input)?,
+            job: ScheduledJob::decode(input)?,
+            deadline_minutes: Option::<f64>::decode(input)?,
+            decision: AdmissionDecision::decode(input)?,
+            forecast: AdmissionForecast::decode(input)?,
+        })
+    }
+}
+
 impl BinCodec for JournalRecord {
     fn encode(&self, out: &mut Vec<u8>) {
         match self {
@@ -692,8 +869,7 @@ impl BinCodec for JournalRecord {
                 at.encode(out);
             }
             JournalRecord::Commit(commit) => {
-                out.push(4);
-                commit.encode(out);
+                JournalRecord::encode_commit(commit, out);
             }
             JournalRecord::Event(event) => {
                 out.push(5);
@@ -712,6 +888,40 @@ impl BinCodec for JournalRecord {
                 cost.encode(out);
                 questions.encode(out);
                 makespan.encode(out);
+            }
+            JournalRecord::ServiceOpened(config) => {
+                out.push(8);
+                config.encode(out);
+            }
+            JournalRecord::ServiceSubmitted(submission) => {
+                out.push(9);
+                submission.encode(out);
+            }
+            JournalRecord::ServiceEpochStarted {
+                epoch,
+                tickets,
+                mode,
+            } => {
+                out.push(10);
+                epoch.encode(out);
+                tickets.encode(out);
+                mode.encode(out);
+            }
+            JournalRecord::ServiceEpochCompleted {
+                epoch,
+                cost,
+                questions,
+                makespan,
+            } => {
+                out.push(11);
+                epoch.encode(out);
+                cost.encode(out);
+                questions.encode(out);
+                makespan.encode(out);
+            }
+            JournalRecord::ServiceClosed { total_cost } => {
+                out.push(12);
+                total_cost.encode(out);
             }
         }
     }
@@ -733,6 +943,24 @@ impl BinCodec for JournalRecord {
                 cost: f64::decode(input)?,
                 questions: usize::decode(input)?,
                 makespan: f64::decode(input)?,
+            }),
+            8 => Ok(JournalRecord::ServiceOpened(ServiceConfig::decode(input)?)),
+            9 => Ok(JournalRecord::ServiceSubmitted(ServiceSubmission::decode(
+                input,
+            )?)),
+            10 => Ok(JournalRecord::ServiceEpochStarted {
+                epoch: u64::decode(input)?,
+                tickets: Vec::<u64>::decode(input)?,
+                mode: ExecutionMode::decode(input)?,
+            }),
+            11 => Ok(JournalRecord::ServiceEpochCompleted {
+                epoch: u64::decode(input)?,
+                cost: f64::decode(input)?,
+                questions: usize::decode(input)?,
+                makespan: f64::decode(input)?,
+            }),
+            12 => Ok(JournalRecord::ServiceClosed {
+                total_cost: f64::decode(input)?,
             }),
             other => Err(CodecError::new(format!(
                 "invalid JournalRecord tag {other}"
@@ -874,6 +1102,16 @@ mod tests {
     }
 
     #[test]
+    fn encode_commit_matches_the_owned_wire_form() {
+        // The no-clone hot path must stay byte-identical to the owned encoding —
+        // readers only ever see `JournalRecord` frames.
+        let commit = demo_commit();
+        let mut borrowed = Vec::new();
+        JournalRecord::encode_commit(&commit, &mut borrowed);
+        assert_eq!(borrowed, JournalRecord::Commit(commit).to_bytes());
+    }
+
+    #[test]
     fn snapshot_round_trips_and_digests_match() {
         let commit = demo_commit();
         let digest = CommitDigest::of(&commit);
@@ -893,6 +1131,91 @@ mod tests {
             commits: vec![digest],
             charged: 0.11,
         }));
+    }
+
+    #[test]
+    fn service_records_round_trip() {
+        for policy in [
+            SyncPolicy::Never,
+            SyncPolicy::Commits,
+            SyncPolicy::Always,
+            SyncPolicy::GroupCommit {
+                max_batch: 8,
+                max_delay_ms: 50,
+            },
+        ] {
+            round_trip(policy);
+        }
+        round_trip(JournalConfig {
+            max_segment_bytes: 4096,
+            sync: SyncPolicy::GroupCommit {
+                max_batch: 3,
+                max_delay_ms: 125,
+            },
+            fail_writes_after: Some(999),
+        });
+        for decision in [
+            AdmissionDecision::Accept,
+            AdmissionDecision::Queue,
+            AdmissionDecision::Reject,
+        ] {
+            round_trip(decision);
+        }
+        let forecast = AdmissionForecast {
+            workers_per_hit: 5,
+            batches: 3,
+            worker_minutes: 75.0,
+            cost: 0.165,
+            makespan_minutes: f64::INFINITY,
+        };
+        round_trip(forecast);
+        let config = ServiceConfig::new(
+            CrowdSpec::clean(16, 0.85)
+                .seed(3)
+                .latency(LatencyModel::Exponential { mean: 5.0 }),
+        )
+        .budget(12.5)
+        .max_shards(2);
+        round_trip(JournalRecord::ServiceOpened(config));
+        round_trip(JournalRecord::ServiceSubmitted(ServiceSubmission {
+            ticket: 4,
+            job: ScheduledJob::named(
+                JobKind::SentimentAnalytics,
+                "svc",
+                crate::fixtures::demo_questions(4, 1),
+            ),
+            deadline_minutes: Some(45.0),
+            decision: AdmissionDecision::Queue,
+            forecast,
+        }));
+        round_trip(JournalRecord::ServiceEpochStarted {
+            epoch: 2,
+            tickets: vec![0, 3, 4],
+            mode: ExecutionMode::Parallel { shards: 2 },
+        });
+        round_trip(JournalRecord::ServiceEpochCompleted {
+            epoch: 2,
+            cost: 1.75,
+            questions: 48,
+            makespan: 91.25,
+        });
+        round_trip(JournalRecord::ServiceClosed { total_cost: 3.5 });
+    }
+
+    #[test]
+    fn service_records_are_commit_class() {
+        assert!(JournalRecord::ServiceClosed { total_cost: 0.0 }.is_commit_class());
+        assert!(JournalRecord::ServiceEpochStarted {
+            epoch: 0,
+            tickets: vec![],
+            mode: ExecutionMode::Clocked,
+        }
+        .is_commit_class());
+        assert!(!JournalRecord::Event(FleetEvent::FirstVerdict {
+            job: JobId(0),
+            at: 1.0,
+        })
+        .is_commit_class());
     }
 
     #[test]

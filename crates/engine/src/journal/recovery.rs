@@ -200,6 +200,16 @@ impl JournalReplay {
                         .ok_or_else(|| diverged("RunCompleted before a head record"))?;
                     replay.completed = Some((*cost, *questions, *makespan));
                 }
+                JournalRecord::ServiceOpened(_)
+                | JournalRecord::ServiceSubmitted(_)
+                | JournalRecord::ServiceEpochStarted { .. }
+                | JournalRecord::ServiceEpochCompleted { .. }
+                | JournalRecord::ServiceClosed { .. } => {
+                    return Err(diverged(
+                        "service manifest record inside a run journal \
+                         (the directories were mixed up)",
+                    ));
+                }
             }
         }
         replay.ok_or(CdasError::JournalEmpty)
@@ -548,6 +558,22 @@ impl JournalSink {
         }
     }
 
+    /// Append a commit through the no-clone path, capturing any I/O error.
+    /// Commits are the heaviest records on the hot path (verdicts plus registry
+    /// contributions); deep-cloning one just to serialize it dominated the
+    /// journal's wall overhead.
+    fn append_commit(&self, commit: &BatchCommit) {
+        // cdas-allow(lock_discipline): failure guard intentionally spans the append so the first I/O error wins
+        let mut failure = Self::relock(&self.failure);
+        if failure.is_some() {
+            return;
+        }
+        let mut journal = Self::relock(&self.journal);
+        if let Err(e) = journal.append_commit(commit) {
+            *failure = Some(e);
+        }
+    }
+
     /// Fsync the journal, capturing any error.
     pub fn sync(&self) {
         // cdas-allow(lock_discipline): failure guard intentionally spans the fsync so the first I/O error wins
@@ -582,6 +608,6 @@ impl RunObserver for JournalSink {
     }
 
     fn on_commit(&self, commit: &BatchCommit) {
-        self.append(&JournalRecord::Commit(commit.clone()));
+        self.append_commit(commit);
     }
 }

@@ -55,6 +55,7 @@ pub mod metrics;
 pub mod privacy;
 pub mod query;
 pub mod scheduler;
+pub mod service;
 pub mod template;
 
 pub use clocked::{ClockedCollector, ClockedOutcome};
@@ -67,3 +68,7 @@ pub use journal::{Journal, JournalConfig, RecoveryReport, SyncPolicy};
 pub use metrics::{FleetReport, JobReport, ShardReport};
 pub use query::Query;
 pub use scheduler::{DispatchPolicy, JobId, JobScheduler, ScheduledJob, SchedulerConfig};
+pub use service::{
+    AdmissionDecision, AdmissionForecast, AdmissionModel, FleetService, JobTicket, Rejected,
+    ServiceConfig, ServiceEvent, ServiceRecovery, ServiceReport,
+};

@@ -293,21 +293,29 @@ struct ShardRelabel {
     global: Vec<usize>,
 }
 
+impl ShardRelabel {
+    /// Shard-local job id → fleet-global job id. The table is built from the same
+    /// striping that numbered the locals, so an unmapped id passes through unchanged
+    /// rather than panicking the observer callback inside a shard thread.
+    fn relabel(&self, job: JobId) -> JobId {
+        self.global.get(job.0).copied().map_or(job, JobId)
+    }
+}
+
 impl RunObserver for ShardRelabel {
     fn on_dispatch(&self, dispatch: &DispatchRecord) {
         let mut relabeled = dispatch.clone();
-        relabeled.job = JobId(self.global[relabeled.job.0]);
+        relabeled.job = self.relabel(relabeled.job);
         self.inner.on_dispatch(&relabeled);
     }
 
     fn on_charge(&self, job: JobId, hit: HitId, amount: f64, at: f64) {
-        self.inner
-            .on_charge(JobId(self.global[job.0]), hit, amount, at);
+        self.inner.on_charge(self.relabel(job), hit, amount, at);
     }
 
     fn on_commit(&self, commit: &BatchCommit) {
         let mut relabeled = commit.clone();
-        relabeled.job = JobId(self.global[relabeled.job.0]);
+        relabeled.job = self.relabel(relabeled.job);
         self.inner.on_commit(&relabeled);
     }
 }
@@ -479,7 +487,9 @@ impl JobScheduler {
             .map(|j| {
                 j.runs
                     .iter()
-                    .map(|(range, outcome)| (&j.spec.questions[range.clone()], outcome))
+                    .map(|(range, outcome)| {
+                        (j.spec.questions.get(range.clone()).unwrap_or(&[]), outcome)
+                    })
                     .collect()
             })
             .unwrap_or_default()
@@ -546,7 +556,7 @@ impl JobScheduler {
             // are all held simultaneously, which is what keeps concurrent HITs disjoint.
             let mut inflight: Vec<Inflight> = Vec::new();
             for idx in self.dispatch_order(ticks) {
-                if self.jobs[idx].finished() {
+                if self.jobs.get(idx).map_or(true, |j| j.finished()) {
                     continue;
                 }
                 if let Some((range, ticket, lease)) =
@@ -573,7 +583,12 @@ impl JobScheduler {
             // leak workers out of the roster.
             for batch in inflight {
                 let observer = self.observer.clone();
-                let state = &mut self.jobs[batch.job];
+                // A batch's job index came from this scheduler's own dispatch loop; an
+                // unknown id would mean the in-flight set was corrupted, and dropping
+                // the batch (lease and all) is the panic-free way out.
+                let Some(state) = self.jobs.get_mut(batch.job) else {
+                    continue;
+                };
                 let outcome =
                     state
                         .engine
@@ -764,7 +779,7 @@ impl JobScheduler {
         // Feasibility against the shard each job will actually run on.
         for (j, state) in self.jobs.iter().enumerate() {
             let needed = state.engine.decide_workers()?;
-            let available = rosters[j % shard_count].len();
+            let available = rosters.get(j % shard_count).map_or(0, Vec::len);
             if needed > available {
                 return Err(CdasError::PoolExhausted { needed, available });
             }
@@ -802,8 +817,14 @@ impl JobScheduler {
             .collect();
         let total_jobs = self.jobs.len();
         for (j, state) in std::mem::take(&mut self.jobs).into_iter().enumerate() {
-            global[j % shard_count].push(j);
-            subs[j % shard_count].jobs.push(state);
+            // `j % shard_count` is in range by construction; the striping tables and
+            // the sub-schedulers were both built with `shard_count` entries above.
+            if let Some(ids) = global.get_mut(j % shard_count) {
+                ids.push(j);
+            }
+            if let Some(sub) = subs.get_mut(j % shard_count) {
+                sub.jobs.push(state);
+            }
         }
         if let Some(observer) = &self.observer {
             // Each shard reports through a relabeling shim so the fleet-level observer
@@ -813,7 +834,7 @@ impl JobScheduler {
             for (s, sub) in subs.iter_mut().enumerate() {
                 sub.observer = Some(Arc::new(ShardRelabel {
                     inner: Arc::clone(observer),
-                    global: global[s].clone(),
+                    global: global.get(s).cloned().unwrap_or_default(),
                 }));
             }
         }
@@ -883,7 +904,12 @@ impl JobScheduler {
             }
             shared.adopt(&delta);
             for (local, state) in sub.jobs.into_iter().enumerate() {
-                slots[global[s][local]] = Some(state);
+                // A failed lookup leaves the slot empty; the hole check below turns
+                // that into `SchedulerStalled` instead of a panic mid-merge.
+                let target = global.get(s).and_then(|ids| ids.get(local)).copied();
+                if let Some(slot) = target.and_then(|g| slots.get_mut(g)) {
+                    *slot = Some(state);
+                }
             }
             let result = match result {
                 Ok(result) => result,
@@ -899,7 +925,10 @@ impl JobScheduler {
                     makespan = makespan.max(sub_makespan);
                     merged_dispatches.extend(shard_report.dispatches.into_iter().map(
                         |mut dispatch| {
-                            dispatch.job = JobId(global[s][dispatch.job.0]);
+                            let mapped = global.get(s).and_then(|ids| ids.get(dispatch.job.0));
+                            if let Some(&g) = mapped {
+                                dispatch.job = JobId(g);
+                            }
                             dispatch
                         },
                     ));
@@ -910,7 +939,13 @@ impl JobScheduler {
                     let rollup = shard_report.shards.into_iter().next();
                     shard_seeds.push(ShardSeed {
                         shard: s,
-                        jobs: global[s].iter().copied().map(JobId).collect(),
+                        jobs: global
+                            .get(s)
+                            .into_iter()
+                            .flatten()
+                            .copied()
+                            .map(JobId)
+                            .collect(),
                         ticks: rollup.as_ref().map_or(sub_ticks, |r| r.ticks),
                         makespan: rollup.as_ref().map_or(sub_makespan, |r| r.makespan),
                         wall_seconds: rollup.as_ref().map_or(0.0, |r| r.wall_seconds),
@@ -1015,13 +1050,18 @@ impl JobScheduler {
             platform.advance_time(clock.now());
             let busy: BTreeSet<usize> = inflight.iter().map(|b| b.job).collect();
             for idx in self.dispatch_order(ticks) {
-                if self.jobs[idx].finished() || busy.contains(&idx) {
+                if self.jobs.get(idx).map_or(true, |j| j.finished()) || busy.contains(&idx) {
                     continue;
                 }
                 if let Some((range, ticket, lease)) =
                     self.try_dispatch(idx, ticks, clock.now(), platform, dispatches)?
                 {
-                    let collector = self.jobs[idx].engine.begin_clocked(ticket, clock.now());
+                    // `try_dispatch` just touched this job, so the lookup cannot miss;
+                    // dropping the lease on the impossible path releases the workers.
+                    let Some(state) = self.jobs.get_mut(idx) else {
+                        continue;
+                    };
+                    let collector = state.engine.begin_clocked(ticket, clock.now());
                     let hit = collector.hit();
                     inflight.push(ClockedInflight {
                         job: idx,
@@ -1086,7 +1126,10 @@ impl JobScheduler {
 
             let mut i = 0;
             while i < inflight.len() {
-                let hit = inflight[i].collector.hit();
+                let Some(entry) = inflight.get_mut(i) else {
+                    break;
+                };
+                let hit = entry.collector.hit();
                 if heap_mode {
                     // Poll only HITs with a due arrival, plus the scan-equivalence
                     // cases: freshly dispatched batches (their first, possibly empty,
@@ -1102,10 +1145,10 @@ impl JobScheduler {
                 let cost_before = platform.total_cost();
                 let answers = platform.poll(hit, poll_at);
                 let charged = platform.total_cost() - cost_before;
-                inflight[i].collector.record_charge(charged);
+                entry.collector.record_charge(charged);
                 if charged != 0.0 {
                     if let Some(observer) = &self.observer {
-                        observer.on_charge(JobId(inflight[i].job), hit, charged, poll_at);
+                        observer.on_charge(JobId(entry.job), hit, charged, poll_at);
                     }
                 }
                 if poll_at.is_infinite() {
@@ -1117,7 +1160,7 @@ impl JobScheduler {
                     }
                 }
                 let terminated =
-                    inflight[i]
+                    entry
                         .collector
                         .ingest(&answers, clock.now(), Some(&self.cache))?;
                 let exhausted = platform.next_arrival(hit).is_none();
@@ -1148,7 +1191,11 @@ impl JobScheduler {
                 let clocked = batch
                     .collector
                     .finalize(clock.now(), receipt, Some(&self.cache))?;
-                let state = &mut self.jobs[batch.job];
+                // Same provenance as the unclocked loop: the index is ours, so a miss
+                // can only mean a corrupted in-flight set — skip, don't panic.
+                let Some(state) = self.jobs.get_mut(batch.job) else {
+                    continue;
+                };
                 state.completed_at = state.completed_at.max(clocked.completed_at);
                 state.first_verdict_at = match (state.first_verdict_at, clocked.first_verdict_at) {
                     (Some(a), Some(b)) => Some(a.min(b)),
@@ -1190,7 +1237,11 @@ impl JobScheduler {
         platform: &mut P,
         dispatches: &mut Vec<DispatchRecord>,
     ) -> Result<Option<(std::ops::Range<usize>, BatchTicket, WorkerLease)>> {
-        let state = &mut self.jobs[idx];
+        // Callers iterate `dispatch_order`, which only yields valid indices; an
+        // unknown one simply dispatches nothing.
+        let Some(state) = self.jobs.get_mut(idx) else {
+            return Ok(None);
+        };
         let needed = state.engine.decide_workers()?;
         match self.ledger.try_lease(needed, &mut self.rng) {
             None => {
@@ -1277,7 +1328,7 @@ impl JobScheduler {
                     state
                         .runs
                         .iter()
-                        .map(|(r, o)| (&state.spec.questions[r.clone()], o)),
+                        .map(|(r, o)| (state.spec.questions.get(r.clone()).unwrap_or(&[]), o)),
                 ),
                 hits: state.runs.len(),
                 ticks_waited: state.ticks_waited,
@@ -1291,7 +1342,7 @@ impl JobScheduler {
         let fleet = score_hits(self.jobs.iter().flat_map(|s| {
             s.runs
                 .iter()
-                .map(|(r, o)| (&s.spec.questions[r.clone()], o))
+                .map(|(r, o)| (s.spec.questions.get(r.clone()).unwrap_or(&[]), o))
         }));
         let shards = shards
             .into_iter()

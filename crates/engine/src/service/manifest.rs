@@ -1,0 +1,257 @@
+//! The service-level durability layer: one *manifest* journal per service directory,
+//! written with the same segmented/CRC-framed [`crate::journal::Journal`] machinery a
+//! run journal uses, recording the service's configuration, every admission decision,
+//! and every epoch boundary. Each epoch's actual run is journaled separately in its
+//! own `epoch-NNNN/` run journal; the manifest is the index over them:
+//!
+//! ```text
+//! service-dir/
+//! ├── manifest/segment-000000.wal   ServiceOpened · ServiceSubmitted* ·
+//! │                                 (ServiceEpochStarted · ServiceEpochCompleted)* ·
+//! │                                 ServiceClosed?
+//! ├── epoch-000000/segment-*.wal    an ordinary run journal (Fleet::recover territory)
+//! └── epoch-000001/segment-*.wal
+//! ```
+//!
+//! [`super::FleetService::recover`] reassembles the service from the manifest alone:
+//! submissions journaled but not yet scheduled come back as *journaled-pending*
+//! tickets, started epochs are handed to [`crate::fleet::Fleet::recover`], and a torn
+//! manifest tail (a submission cut mid-frame by a crash) is dropped exactly like a run
+//! journal's.
+
+use std::path::{Path, PathBuf};
+
+use cdas_core::{CdasError, Result};
+use cdas_crowd::spec::CrowdSpec;
+
+use crate::fleet::ExecutionMode;
+use crate::journal::{JournalConfig, JournalContents, JournalRecord};
+use crate::scheduler::{ScheduledJob, SchedulerConfig};
+
+use super::admission::{AdmissionDecision, AdmissionForecast};
+
+/// Everything a [`super::FleetService`] is configured by — journaled as the manifest's
+/// head record so [`super::FleetService::recover`] needs nothing but the directory.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceConfig {
+    /// The long-lived crowd the service runs every epoch against.
+    pub crowd: CrowdSpec,
+    /// Scheduler configuration shared by every epoch.
+    pub scheduler: SchedulerConfig,
+    /// Service-wide budget in dollars; admission rejects work whose predicted cost
+    /// would breach it. `None` = unmetered.
+    pub budget: Option<f64>,
+    /// Upper bound on the auto-picked per-epoch shard count.
+    pub max_shards: usize,
+    /// Journal configuration for each epoch's *run* journal (the manifest's own
+    /// journal is configured at [`super::FleetService::open`] time). Group commit
+    /// ([`crate::journal::SyncPolicy::GroupCommit`]) is the service default: a
+    /// resident process amortizes fsyncs across the batch.
+    pub run_journal: JournalConfig,
+}
+
+impl ServiceConfig {
+    /// A service over the given crowd with defaults: no budget cap, up to 4 shards
+    /// per epoch, and group-commit run journals (batches of 8, 50 ms delay bound).
+    pub fn new(crowd: CrowdSpec) -> Self {
+        ServiceConfig {
+            crowd,
+            scheduler: SchedulerConfig::default(),
+            budget: None,
+            max_shards: 4,
+            run_journal: JournalConfig {
+                sync: crate::journal::SyncPolicy::GroupCommit {
+                    max_batch: 8,
+                    max_delay_ms: 50,
+                },
+                ..JournalConfig::default()
+            },
+        }
+    }
+
+    /// Cap total service spending.
+    pub fn budget(mut self, dollars: f64) -> Self {
+        self.budget = Some(dollars);
+        self
+    }
+
+    /// Bound the auto-picked per-epoch shard count.
+    pub fn max_shards(mut self, shards: usize) -> Self {
+        self.max_shards = shards.max(1);
+        self
+    }
+
+    /// Override the scheduler configuration epochs run under.
+    pub fn scheduler(mut self, scheduler: SchedulerConfig) -> Self {
+        self.scheduler = scheduler;
+        self
+    }
+
+    /// Override the epoch run-journal configuration.
+    pub fn run_journal(mut self, config: JournalConfig) -> Self {
+        self.run_journal = config;
+        self
+    }
+}
+
+/// One journaled admission decision: the resolved job, its service-level deadline,
+/// and the verdict + forecast the model produced — enough to rebuild the ticket (and
+/// re-run the job) without the submitting process.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServiceSubmission {
+    /// The ticket minted for this submission (dense, 0-based).
+    pub ticket: u64,
+    /// The fully resolved job (lifts back into a [`crate::fleet::JobSpec`] exactly).
+    pub job: ScheduledJob,
+    /// The submission's deadline in simulated minutes, if any.
+    pub deadline_minutes: Option<f64>,
+    /// The admission verdict.
+    pub decision: AdmissionDecision,
+    /// The live-mix forecast the verdict was based on.
+    pub forecast: AdmissionForecast,
+}
+
+/// One epoch's manifest trace: its ticket list and mode from `ServiceEpochStarted`,
+/// and its completion totals once a `ServiceEpochCompleted` landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpochRecord {
+    /// The epoch's 0-based index (also its `epoch-NNNNNN` directory name).
+    pub epoch: u64,
+    /// Tickets scheduled into the epoch, in the order they became the epoch fleet's
+    /// local [`crate::scheduler::JobId`]s.
+    pub tickets: Vec<u64>,
+    /// The execution mode the epoch ran under.
+    pub mode: ExecutionMode,
+    /// `(cost, questions, makespan)` once the epoch completed.
+    pub completed: Option<(f64, usize, f64)>,
+}
+
+/// The manifest journal's records, assembled into service-replay state.
+#[derive(Debug, Clone)]
+pub struct ManifestReplay {
+    /// The service configuration from the head record.
+    pub config: ServiceConfig,
+    /// Every journaled submission, in ticket order.
+    pub submissions: Vec<ServiceSubmission>,
+    /// Every journaled epoch, in start order.
+    pub epochs: Vec<EpochRecord>,
+    /// The `ServiceClosed` trailer's total cost, if the service shut down cleanly.
+    pub closed: Option<f64>,
+    /// Whether the manifest's tail was torn (crash signature).
+    pub torn_tail: bool,
+}
+
+fn diverged(detail: impl Into<String>) -> CdasError {
+    CdasError::JournalDiverged {
+        detail: detail.into(),
+    }
+}
+
+impl ManifestReplay {
+    /// Assemble a manifest journal's records, validating structure: exactly one head
+    /// record, dense ticket numbering, epochs that only reference journaled tickets,
+    /// and completions that match a started epoch. Run-journal records inside a
+    /// manifest are a divergence (the directories were mixed up).
+    pub fn assemble(contents: &JournalContents) -> Result<Self> {
+        let mut replay: Option<ManifestReplay> = None;
+        for record in &contents.records {
+            match record {
+                JournalRecord::ServiceOpened(config) => {
+                    if replay.is_some() {
+                        return Err(diverged("second ServiceOpened record"));
+                    }
+                    replay = Some(ManifestReplay {
+                        config: config.clone(),
+                        submissions: Vec::new(),
+                        epochs: Vec::new(),
+                        closed: None,
+                        torn_tail: contents.torn_tail,
+                    });
+                }
+                JournalRecord::ServiceSubmitted(submission) => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("ServiceSubmitted before ServiceOpened"))?;
+                    if submission.ticket != replay.submissions.len() as u64 {
+                        return Err(diverged(format!(
+                            "submission ticket {} breaks dense numbering at {}",
+                            submission.ticket,
+                            replay.submissions.len()
+                        )));
+                    }
+                    replay.submissions.push(submission.clone());
+                }
+                JournalRecord::ServiceEpochStarted {
+                    epoch,
+                    tickets,
+                    mode,
+                } => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("ServiceEpochStarted before ServiceOpened"))?;
+                    if *epoch != replay.epochs.len() as u64 {
+                        return Err(diverged(format!(
+                            "epoch {} breaks dense numbering at {}",
+                            epoch,
+                            replay.epochs.len()
+                        )));
+                    }
+                    for ticket in tickets {
+                        if *ticket >= replay.submissions.len() as u64 {
+                            return Err(diverged(format!(
+                                "epoch {epoch} schedules unknown ticket {ticket}"
+                            )));
+                        }
+                    }
+                    replay.epochs.push(EpochRecord {
+                        epoch: *epoch,
+                        tickets: tickets.clone(),
+                        mode: *mode,
+                        completed: None,
+                    });
+                }
+                JournalRecord::ServiceEpochCompleted {
+                    epoch,
+                    cost,
+                    questions,
+                    makespan,
+                } => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("ServiceEpochCompleted before ServiceOpened"))?;
+                    let record = replay
+                        .epochs
+                        .iter_mut()
+                        .find(|e| e.epoch == *epoch)
+                        .ok_or_else(|| diverged(format!("completion for unknown epoch {epoch}")))?;
+                    if record.completed.is_some() {
+                        return Err(diverged(format!("duplicate completion for epoch {epoch}")));
+                    }
+                    record.completed = Some((*cost, *questions, *makespan));
+                }
+                JournalRecord::ServiceClosed { total_cost } => {
+                    let replay = replay
+                        .as_mut()
+                        .ok_or_else(|| diverged("ServiceClosed before ServiceOpened"))?;
+                    replay.closed = Some(*total_cost);
+                }
+                other => {
+                    return Err(diverged(format!(
+                        "run-journal record {other:?} inside a service manifest"
+                    )));
+                }
+            }
+        }
+        replay.ok_or(CdasError::JournalEmpty)
+    }
+}
+
+/// The manifest journal's directory under a service directory.
+pub fn manifest_dir(service_dir: &Path) -> PathBuf {
+    service_dir.join("manifest")
+}
+
+/// Epoch `index`'s run-journal directory under a service directory.
+pub fn epoch_dir(service_dir: &Path, epoch: u64) -> PathBuf {
+    service_dir.join(format!("epoch-{epoch:06}"))
+}

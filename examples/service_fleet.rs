@@ -1,0 +1,131 @@
+//! The resident service: submit jobs over time, watch admission decisions stream
+//! back, kill the service, recover it from its directory.
+//!
+//! A `FleetService` stays up across many jobs: each `submit` is forecast by the
+//! white-box admission model (workers per HIT, batches, dollars, predicted makespan
+//! under the *live mix*) and answered with Accept / Queue / Reject before anything
+//! runs. Accepted jobs pool into epochs; `run_epoch` drains them into one journaled
+//! fleet run with an auto-picked shard count, and queued jobs promote as capacity
+//! frees. Every decision and epoch boundary is journaled in the service's manifest,
+//! so this example can drop the service on the floor mid-lifetime — the in-process
+//! stand-in for `kill -9` — and `FleetService::recover(dir)` rebuilds it: journaled
+//! work is reused, pending tickets come back, and the finished lifetime is
+//! indistinguishable from one that never crashed.
+//!
+//! Run with: `cargo run --release -p cdas --example service_fleet`
+
+use cdas::fixtures::demo_questions;
+use cdas::prelude::*;
+
+fn spec(name: &str, workers: usize) -> JobSpec {
+    JobSpec::sentiment(name, demo_questions(6, 2))
+        .workers(workers)
+        .domain_size(3)
+        .batch_size(3)
+}
+
+fn describe(decision: AdmissionDecision, forecast: &AdmissionForecast) -> String {
+    format!(
+        "{decision:?} (predicted: {} workers/HIT, {} batches, ${:.3}, makespan {:.1} min)",
+        forecast.workers_per_hit, forecast.batches, forecast.cost, forecast.makespan_minutes
+    )
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("cdas-service-example-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let config = ServiceConfig::new(
+        CrowdSpec::clean(12, 0.85)
+            .seed(11)
+            .latency(LatencyModel::Exponential { mean: 4.0 }),
+    );
+    println!("== open ==");
+    println!(
+        "service dir: {} (manifest journal + one run journal per epoch)",
+        dir.display()
+    );
+    let mut service = FleetService::open(&dir, config).expect("a fresh service");
+
+    // Submissions arrive over time. The third one wants more workers than the mix
+    // leaves free, so admission queues it; the hopeless one is rejected outright.
+    println!("\n== submissions ==");
+    let mut tickets = Vec::new();
+    for (name, workers) in [("alpha", 4), ("beta", 3), ("gamma", 7)] {
+        let ticket = service.submit(spec(name, workers)).expect("servable job");
+        for event in service.poll(ticket) {
+            if let ServiceEvent::Submitted {
+                decision, forecast, ..
+            } = event
+            {
+                println!("  {name:<6} → {}", describe(decision, &forecast));
+            }
+        }
+        tickets.push((name, ticket));
+    }
+    match service.submit(spec("hopeless", 40)) {
+        Err(Rejected::Policy { reason, .. }) => {
+            println!("  hopeless → Reject ({reason})");
+        }
+        other => panic!("a 40-worker job cannot be admitted: {other:?}"),
+    }
+
+    // First epoch: the accepted jobs run; the queued one waits.
+    println!("\n== epoch 0 ==");
+    let summary = service
+        .run_epoch()
+        .expect("epoch runs")
+        .expect("jobs ready");
+    println!(
+        "  ran {} jobs under {:?}: {} questions, ${:.3}, makespan {:.1} min",
+        summary.tickets.len(),
+        summary.mode,
+        summary.questions,
+        summary.cost,
+        summary.makespan
+    );
+
+    // The kill: drop the service without shutdown. Everything journaled survives.
+    println!("\n== kill -9 ==");
+    drop(service);
+    println!("  service dropped without shutdown; recovering from the directory…");
+
+    let (service, recovery) = FleetService::recover(&dir).expect("recovery");
+    println!(
+        "  recovered: {} epoch(s) replayed, {} ticket(s) still pending, torn tail: {}",
+        recovery.epoch_recoveries.len(),
+        recovery.pending.len(),
+        recovery.torn_tail
+    );
+    for ticket in &recovery.pending {
+        let name = tickets
+            .iter()
+            .find(|(_, t)| t == ticket)
+            .map(|(n, _)| *n)
+            .unwrap_or("?");
+        println!("  pending after recovery: {name} ({ticket:?})");
+    }
+
+    // The recovered service is live: the queued job promotes now that the mix is
+    // empty, and shutdown drains it.
+    println!("\n== shutdown ==");
+    let report = service.shutdown().expect("clean shutdown");
+    println!(
+        "  {} submitted, {} rejected, {} epochs, total ${:.3}",
+        report.submitted,
+        report.rejected,
+        report.epochs.len(),
+        report.total_cost
+    );
+    for (name, ticket) in &tickets {
+        let served = report.events.iter().any(|e| {
+            matches!(e, ServiceEvent::Job { ticket: t, event: FleetEvent::JobCompleted { .. }, .. } if t == ticket)
+        });
+        println!("  {name:<6} served: {served}");
+    }
+    assert!(report.unserved.is_empty(), "every admitted job was served");
+    assert_eq!(report.rejected, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+    println!("\nA killed service is a directory, not a loss.");
+}

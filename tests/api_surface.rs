@@ -12,6 +12,9 @@ use std::path::Path;
 /// The snapshot: every item `cdas::prelude` exports, sorted. Update deliberately.
 const PRELUDE_SNAPSHOT: &[&str] = &[
     "AccuracyCache",
+    "AdmissionDecision",
+    "AdmissionForecast",
+    "AdmissionModel",
     "AnalyticsJob",
     "ArrivalDiscovery",
     "ArrivalQueue",
@@ -33,6 +36,7 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "FleetFailpoints",
     "FleetReport",
     "FleetRun",
+    "FleetService",
     "HalfVoting",
     "ImageGenerator",
     "ImageGeneratorConfig",
@@ -44,6 +48,7 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "JobReport",
     "JobScheduler",
     "JobSpec",
+    "JobTicket",
     "Journal",
     "JournalConfig",
     "JournalRecord",
@@ -61,9 +66,14 @@ const PRELUDE_SNAPSHOT: &[&str] = &[
     "Query",
     "QuestionId",
     "RecoveryReport",
+    "Rejected",
     "RunConfig",
     "ScheduledJob",
     "SchedulerConfig",
+    "ServiceConfig",
+    "ServiceEvent",
+    "ServiceRecovery",
+    "ServiceReport",
     "ShardReport",
     "ShardedPlatform",
     "SharedAccuracyRegistry",

@@ -243,6 +243,106 @@ fn recovery_from_snapshot_plus_partial_tail() {
 }
 
 #[test]
+fn group_commit_batches_fsyncs() {
+    let dir = temp_dir("groupcommit-batch");
+    let config = JournalConfig {
+        sync: SyncPolicy::GroupCommit {
+            max_batch: 4,
+            max_delay_ms: 60_000,
+        },
+        ..JournalConfig::default()
+    };
+    let mut journal = Journal::create(&dir, config).unwrap();
+    let commit = |i: usize| JournalRecord::RunCompleted {
+        cost: i as f64,
+        questions: i,
+        makespan: 1.0,
+    };
+    for i in 0..8 {
+        journal.append(&commit(i)).unwrap();
+    }
+    assert_eq!(
+        journal.syncs_performed(),
+        2,
+        "8 commit-class records at max_batch 4 cost exactly 2 fsyncs"
+    );
+    assert_eq!(journal.pending_commits(), 0, "both groups were closed");
+    for i in 8..11 {
+        journal.append(&commit(i)).unwrap();
+    }
+    assert_eq!(journal.syncs_performed(), 2, "a partial group stays open");
+    assert_eq!(journal.pending_commits(), 3);
+    journal.sync().unwrap();
+    assert_eq!(
+        journal.syncs_performed(),
+        3,
+        "explicit sync closes the group"
+    );
+    assert_eq!(journal.pending_commits(), 0);
+    let contents = Journal::read(&dir).unwrap();
+    assert_eq!(contents.records.len(), 11, "every record survived");
+}
+
+#[test]
+fn group_commit_delay_bounds_unsynced_commits() {
+    let dir = temp_dir("groupcommit-delay");
+    // With a zero delay, any commit joining an already-open group is overdue.
+    let config = JournalConfig {
+        sync: SyncPolicy::GroupCommit {
+            max_batch: usize::MAX,
+            max_delay_ms: 0,
+        },
+        ..JournalConfig::default()
+    };
+    let mut journal = Journal::create(&dir, config).unwrap();
+    let commit = JournalRecord::RunCompleted {
+        cost: 0.0,
+        questions: 1,
+        makespan: 1.0,
+    };
+    journal.append(&commit).unwrap();
+    assert_eq!(
+        journal.syncs_performed(),
+        0,
+        "the first commit opens the group"
+    );
+    assert_eq!(journal.pending_commits(), 1);
+    journal.append(&commit).unwrap();
+    assert_eq!(
+        journal.syncs_performed(),
+        1,
+        "the overdue group was flushed"
+    );
+    assert_eq!(journal.pending_commits(), 0);
+}
+
+#[test]
+fn group_commit_runs_recover_like_default_sync() {
+    let mode = ExecutionMode::Clocked;
+    let expected = baseline(mode);
+    let dir = temp_dir("groupcommit-run");
+    let run = journaled(
+        &dir,
+        JournalConfig {
+            sync: SyncPolicy::GroupCommit {
+                max_batch: 8,
+                max_delay_ms: 50,
+            },
+            ..JournalConfig::default()
+        },
+    )
+    .run(mode)
+    .unwrap();
+    assert_equals_baseline(&run, &expected, "group-commit run");
+    let (recovered, report) = Fleet::recover(&dir).unwrap();
+    assert_equals_baseline(&recovered, &expected, "group-commit recovery");
+    assert!(
+        report.was_complete,
+        "the run-completion sync made the whole journal durable"
+    );
+}
+
+#[test]
 fn a_foreign_record_in_the_journal_diverges() {
     let dir = temp_dir("diverged");
     journaled(&dir, JournalConfig::default())

@@ -185,6 +185,34 @@ fn prelude_durability_types_match_their_canonical_definitions() {
 }
 
 #[test]
+fn prelude_service_types_match_their_canonical_definitions() {
+    // The resident-service surface (PR 10): admission control, the service facade,
+    // and its tickets/events/reports all live in engine::service.
+    same_type::<prelude::AdmissionDecision, cdas::engine::service::AdmissionDecision>(
+        "AdmissionDecision",
+    );
+    same_type::<prelude::AdmissionForecast, cdas::engine::service::AdmissionForecast>(
+        "AdmissionForecast",
+    );
+    same_type::<prelude::AdmissionModel, cdas::engine::service::AdmissionModel>("AdmissionModel");
+    same_type::<prelude::AdmissionModel, cdas::engine::service::admission::AdmissionModel>(
+        "AdmissionModel (re-export)",
+    );
+    same_type::<prelude::FleetService, cdas::engine::service::FleetService>("FleetService");
+    same_type::<prelude::JobTicket, cdas::engine::service::JobTicket>("JobTicket");
+    same_type::<prelude::Rejected, cdas::engine::service::Rejected>("Rejected");
+    same_type::<prelude::ServiceConfig, cdas::engine::service::ServiceConfig>("ServiceConfig");
+    same_type::<prelude::ServiceConfig, cdas::engine::service::manifest::ServiceConfig>(
+        "ServiceConfig (re-export)",
+    );
+    same_type::<prelude::ServiceEvent, cdas::engine::service::ServiceEvent>("ServiceEvent");
+    same_type::<prelude::ServiceRecovery, cdas::engine::service::ServiceRecovery>(
+        "ServiceRecovery",
+    );
+    same_type::<prelude::ServiceReport, cdas::engine::service::ServiceReport>("ServiceReport");
+}
+
+#[test]
 fn prelude_traits_match_their_canonical_definitions() {
     // The canonical implementors must satisfy the *prelude-named* traits: this
     // fails to compile if prelude::Verifier / prelude::CrowdPlatform ever stop
